@@ -1,0 +1,59 @@
+//! S5 — diversity refinement: exact rank-sum enumeration vs greedy max-min.
+//!
+//! Expected shape: exact cost is `C(n, k)`-shaped (combinatorial cliff as
+//! the skyline grows); greedy is polynomial and close in quality for small
+//! k. Also measures the dense-ranking building block on its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_diversity::{dense_ranks_desc, refine_exact, refine_greedy};
+use gss_graph::Rng;
+use std::hint::black_box;
+
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
+fn random_matrices(n: usize, dims: usize, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..dims)
+        .map(|_| {
+            let mut m = vec![vec![0.0f64; n]; n];
+            for i in 0..n {
+                for j in i + 1..n {
+                    let v = rng.gen_f64();
+                    m[i][j] = v;
+                    m[j][i] = v;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S5-diversity");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16, 20] {
+        let m = random_matrices(n, 3, n as u64);
+        for &k in &[2usize, 3] {
+            group.bench_with_input(BenchmarkId::new(format!("exact-k{k}"), n), &m, |b, m| {
+                b.iter(|| black_box(refine_exact(m, k, u128::MAX).unwrap().best))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("greedy-k{k}"), n), &m, |b, m| {
+                b.iter(|| black_box(refine_greedy(m, k)))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("S5-ranking");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = Rng::seed_from_u64(3);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+        group.bench_with_input(BenchmarkId::new("dense_ranks", n), &values, |b, v| {
+            b.iter(|| black_box(dense_ranks_desc(v, 1e-9)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diversity);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! S2 — GED solver scaling: exact branch-and-bound vs bipartite vs beam.
+//!
+//! Expected shape: exact cost explodes with graph size (it is exponential);
+//! bipartite stays polynomial; beam sits between depending on width. The
+//! warm-started exact solver should expand fewer nodes than the cold one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
+use gss_ged::{beam::beam_ged, bipartite::bipartite_ged, exact_ged, CostModel, GedOptions};
+use gss_graph::{Graph, Rng, Vocabulary};
+use std::hint::black_box;
+
+fn pair_of_size(n: usize, edits: usize, seed: u64) -> (Graph, Graph) {
+    let mut vocab = Vocabulary::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let cfg = RandomGraphConfig { vertices: n, edges: n + n / 3, ..Default::default() };
+    let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
+    let g2 = perturb(&g1, edits, &mut vocab, &mut rng, "P");
+    (g1, g2)
+}
+
+fn bench_ged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S2-ged");
+    group.sample_size(10);
+    for &n in &[4usize, 6, 8, 10] {
+        let (g1, g2) = pair_of_size(n, 3, 0xbe_ec5 + n as u64);
+        group.bench_with_input(BenchmarkId::new("exact", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| {
+                let warm = bipartite_ged(g1, g2, &CostModel::uniform());
+                black_box(
+                    exact_ged(
+                        g1,
+                        g2,
+                        &GedOptions {
+                            warm_start: Some(warm.mapping),
+                            ..Default::default()
+                        },
+                    )
+                    .cost,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bipartite", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| black_box(bipartite_ged(g1, g2, &CostModel::uniform()).cost))
+        });
+        group.bench_with_input(BenchmarkId::new("beam16", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| black_box(beam_ged(g1, g2, &CostModel::uniform(), 16).cost))
+        });
+    }
+    group.finish();
+
+    // Approximation quality at a fixed size (reported via the bench names;
+    // criterion measures only time, the gap is printed once).
+    let (g1, g2) = pair_of_size(9, 4, 77);
+    let exact = exact_ged(&g1, &g2, &GedOptions::default()).cost;
+    let bip = bipartite_ged(&g1, &g2, &CostModel::uniform()).cost;
+    let beam = beam_ged(&g1, &g2, &CostModel::uniform(), 16).cost;
+    eprintln!("S2 quality @ n=9: exact {exact}, bipartite {bip}, beam16 {beam}");
+}
+
+criterion_group!(benches, bench_ged);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! S3 — MCS solver scaling: exact branch-and-bound vs greedy multi-start.
+//!
+//! Expected shape: exact grows super-polynomially with edge count (worst on
+//! sparse label alphabets where many mappings are feasible); greedy stays
+//! polynomial and reaches the optimum on subgraph-ish pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
+use gss_graph::{Graph, Rng, Vocabulary};
+use gss_mcs::{greedy::greedy_mcs, mcs_edge_size};
+use std::hint::black_box;
+
+fn pair(n: usize, labels: usize, seed: u64) -> (Graph, Graph) {
+    let mut vocab = Vocabulary::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let alphabet: Vec<String> = (0..labels).map(|i| format!("L{i}")).collect();
+    let cfg = RandomGraphConfig {
+        vertices: n,
+        edges: n + n / 2,
+        vertex_alphabet: alphabet,
+        ..Default::default()
+    };
+    let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
+    let g2 = perturb(&g1, 3, &mut vocab, &mut rng, "P");
+    (g1, g2)
+}
+
+fn bench_mcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S3-mcs");
+    group.sample_size(10);
+    for &n in &[5usize, 7, 9, 11] {
+        // Rich alphabet: labels prune hard, exact is fast.
+        let (g1, g2) = pair(n, 6, 0x3c5 + n as u64);
+        group.bench_with_input(BenchmarkId::new("exact-rich", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| black_box(mcs_edge_size(g1, g2)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy-rich", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges()))
+        });
+        // Poor alphabet (2 labels): many feasible mappings, exact suffers.
+        let (h1, h2) = pair(n, 2, 0xabc + n as u64);
+        group.bench_with_input(BenchmarkId::new("exact-poor", n), &(&h1, &h2), |b, (g1, g2)| {
+            b.iter(|| black_box(mcs_edge_size(g1, g2)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy-poor", n), &(&h1, &h2), |b, (g1, g2)| {
+            b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges()))
+        });
+    }
+    group.finish();
+
+    let (g1, g2) = pair(9, 2, 99);
+    let exact = mcs_edge_size(&g1, &g2);
+    let greedy = greedy_mcs(&g1, &g2, usize::MAX).edges();
+    eprintln!("S3 quality @ n=9 poor-alphabet: exact {exact}, greedy {greedy}");
+}
+
+criterion_group!(benches, bench_mcs);
+criterion_main!(benches);

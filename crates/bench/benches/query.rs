@@ -1,0 +1,51 @@
+//! S4 — end-to-end graph-similarity-skyline query scaling.
+//!
+//! Sweeps database size and solver configuration. Expected shape: cost is
+//! linear in |D| (one GCS evaluation per graph) with the constant dominated
+//! by the exact GED; approximate solvers trade a small accuracy loss (see
+//! ablation A2 in the `tables` binary) for a large constant-factor win, and
+//! threads give near-linear speedup on the embarrassingly parallel scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_core::{graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig};
+use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use std::hint::black_box;
+
+fn workload(n: usize) -> (GraphDatabase, gss_graph::Graph) {
+    let cfg = WorkloadConfig {
+        kind: WorkloadKind::Molecule,
+        database_size: n,
+        graph_vertices: 7,
+        related_fraction: 0.5,
+        max_edits: 4,
+        seed: 0x5_4_e_e_d,
+    };
+    let w = Workload::generate(&cfg);
+    (GraphDatabase::from_parts(w.vocab, w.graphs), w.query)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S4-query");
+    group.sample_size(10);
+    for &n in &[10usize, 40, 120] {
+        let (db, q) = workload(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &(&db, &q), |b, (db, q)| {
+            b.iter(|| black_box(graph_similarity_skyline(db, q, &QueryOptions::default()).skyline.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("approx", n), &(&db, &q), |b, (db, q)| {
+            let opts = QueryOptions {
+                solvers: SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+                ..Default::default()
+            };
+            b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("exact-4threads", n), &(&db, &q), |b, (db, q)| {
+            let opts = QueryOptions { threads: 4, ..Default::default() };
+            b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! S1 — skyline algorithm scaling (naive vs BNL vs SFS vs 2-d sweep).
+//!
+//! Expected shape: naive `O(n²)` falls behind quickly; SFS ≤ BNL on
+//! anti-correlated data; the 2-d sweep wins its special case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_graph::Rng;
+use gss_skyline::{bnl_skyline, dc2_skyline, naive_skyline, sfs_skyline};
+use std::hint::black_box;
+
+fn correlated(n: usize, d: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            let base = rng.gen_f64();
+            (0..d).map(|_| base + 0.1 * rng.gen_f64()).collect()
+        })
+        .collect()
+}
+
+fn anti_correlated(n: usize, d: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            let mut p: Vec<f64> = (0..d).map(|_| rng.gen_f64()).collect();
+            let sum: f64 = p.iter().sum();
+            // Push points toward the anti-correlated simplex: large skylines.
+            for x in &mut p {
+                *x = *x / sum + 0.05 * rng.gen_f64();
+            }
+            p
+        })
+        .collect()
+}
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S1-skyline");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 5_000] {
+        for (dist_name, maker) in [
+            ("correlated", correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>),
+            ("anti", anti_correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>),
+        ] {
+            let mut rng = Rng::seed_from_u64(42);
+            let pts = maker(n, 3, &mut rng);
+            group.bench_with_input(BenchmarkId::new(format!("naive-{dist_name}"), n), &pts, |b, p| {
+                b.iter(|| black_box(naive_skyline(p)))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("bnl-{dist_name}"), n), &pts, |b, p| {
+                b.iter(|| black_box(bnl_skyline(p)))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("sfs-{dist_name}"), n), &pts, |b, p| {
+                b.iter(|| black_box(sfs_skyline(p)))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("S1-skyline-2d");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = Rng::seed_from_u64(7);
+        let pts = anti_correlated(n, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("bnl", n), &pts, |b, p| {
+            b.iter(|| black_box(bnl_skyline(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("dc2", n), &pts, |b, p| {
+            b.iter(|| black_box(dc2_skyline(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline);
+criterion_main!(benches);

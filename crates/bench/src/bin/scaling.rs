@@ -1,0 +1,196 @@
+//! Quick scaling-shape report (S1–S5) using plain wall-clock medians —
+//! a fast complement to the rigorous criterion benches, for smoke-checking
+//! the expected shapes (see DESIGN.md §4) in seconds instead of minutes.
+//!
+//! Usage: `cargo run --release -p gss-bench --bin scaling`
+
+use std::time::Instant;
+
+use gss_bench::TextTable;
+use gss_core::{graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig};
+use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
+use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use gss_diversity::{refine_exact, refine_greedy};
+use gss_ged::{beam::beam_ged, bipartite::bipartite_ged, exact_ged, CostModel, GedOptions};
+use gss_graph::{Graph, Rng, Vocabulary};
+use gss_mcs::{greedy::greedy_mcs, mcs_edge_size};
+use gss_skyline::{bnl_skyline, naive_skyline, sfs_skyline};
+
+/// Median wall time of `runs` executions, in microseconds.
+fn time_us<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.1} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+fn main() {
+    s1_skyline();
+    s2_ged();
+    s3_mcs();
+    s4_query();
+    s5_diversity();
+}
+
+fn s1_skyline() {
+    println!("== S1: skyline algorithms (3-d anti-correlated points) ==");
+    let mut t = TextTable::new(vec!["n", "naive", "bnl", "sfs"]);
+    for &n in &[200usize, 1_000, 5_000] {
+        let mut rng = Rng::seed_from_u64(1);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let mut p: Vec<f64> = (0..3).map(|_| rng.gen_f64()).collect();
+                let s: f64 = p.iter().sum();
+                p.iter_mut().for_each(|x| *x = *x / s + 0.05 * rng.gen_f64());
+                p
+            })
+            .collect();
+        t.row(vec![
+            format!("{n}"),
+            fmt_us(time_us(5, || { naive_skyline(&pts); })),
+            fmt_us(time_us(5, || { bnl_skyline(&pts); })),
+            fmt_us(time_us(5, || { sfs_skyline(&pts); })),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn pair(n: usize, seed: u64) -> (Graph, Graph) {
+    let mut vocab = Vocabulary::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let cfg = RandomGraphConfig { vertices: n, edges: n + n / 3, ..Default::default() };
+    let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
+    let g2 = perturb(&g1, 3, &mut vocab, &mut rng, "P");
+    (g1, g2)
+}
+
+fn s2_ged() {
+    println!("== S2: GED solvers (perturbed random graph pairs) ==");
+    let mut t = TextTable::new(vec!["|V|", "exact", "bipartite", "beam(16)", "values e/b/m"]);
+    for &n in &[4usize, 6, 8, 10] {
+        let (g1, g2) = pair(n, 0x52 + n as u64);
+        let cost = CostModel::uniform();
+        let mut exact_val = 0.0;
+        let e = time_us(3, || {
+            let warm = bipartite_ged(&g1, &g2, &cost);
+            exact_val = exact_ged(&g1, &g2, &GedOptions { warm_start: Some(warm.mapping), ..Default::default() }).cost;
+        });
+        let mut bip_val = 0.0;
+        let b = time_us(3, || {
+            bip_val = bipartite_ged(&g1, &g2, &cost).cost;
+        });
+        let mut beam_val = 0.0;
+        let m = time_us(3, || {
+            beam_val = beam_ged(&g1, &g2, &cost, 16).cost;
+        });
+        t.row(vec![
+            format!("{n}"),
+            fmt_us(e),
+            fmt_us(b),
+            fmt_us(m),
+            format!("{exact_val}/{bip_val}/{beam_val}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn s3_mcs() {
+    println!("== S3: MCS solvers ==");
+    let mut t = TextTable::new(vec!["|V|", "exact", "greedy", "sizes e/g"]);
+    for &n in &[5usize, 7, 9, 11] {
+        let (g1, g2) = pair(n, 0x53 + n as u64);
+        let mut exact_val = 0usize;
+        let e = time_us(3, || {
+            exact_val = mcs_edge_size(&g1, &g2);
+        });
+        let mut greedy_val = 0usize;
+        let g = time_us(3, || {
+            greedy_val = greedy_mcs(&g1, &g2, usize::MAX).edges();
+        });
+        t.row(vec![
+            format!("{n}"),
+            fmt_us(e),
+            fmt_us(g),
+            format!("{exact_val}/{greedy_val}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn s4_query() {
+    println!("== S4: end-to-end GSS query (molecule workloads) ==");
+    let mut t = TextTable::new(vec!["|D|", "exact 1 thread", "exact 4 threads", "approx"]);
+    for &n in &[10usize, 40, 120] {
+        let w = Workload::generate(&WorkloadConfig {
+            kind: WorkloadKind::Molecule,
+            database_size: n,
+            graph_vertices: 7,
+            seed: 0x54,
+            ..Default::default()
+        });
+        let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+        let exact1 = time_us(2, || {
+            graph_similarity_skyline(&db, &w.query, &QueryOptions::default());
+        });
+        let exact4 = time_us(2, || {
+            graph_similarity_skyline(&db, &w.query, &QueryOptions { threads: 4, ..Default::default() });
+        });
+        let approx = time_us(2, || {
+            graph_similarity_skyline(
+                &db,
+                &w.query,
+                &QueryOptions {
+                    solvers: SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+                    ..Default::default()
+                },
+            );
+        });
+        t.row(vec![format!("{n}"), fmt_us(exact1), fmt_us(exact4), fmt_us(approx)]);
+    }
+    println!("{}", t.render());
+}
+
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
+fn s5_diversity() {
+    println!("== S5: diversity refinement ==");
+    let mut t = TextTable::new(vec!["n", "exact k=3", "greedy k=3"]);
+    for &n in &[8usize, 12, 16, 20] {
+        let mut rng = Rng::seed_from_u64(n as u64);
+        let ms: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|_| {
+                let mut m = vec![vec![0.0f64; n]; n];
+                for i in 0..n {
+                    for j in i + 1..n {
+                        let v = rng.gen_f64();
+                        m[i][j] = v;
+                        m[j][i] = v;
+                    }
+                }
+                m
+            })
+            .collect();
+        let e = time_us(3, || {
+            refine_exact(&ms, 3, u128::MAX).unwrap();
+        });
+        let g = time_us(3, || {
+            refine_greedy(&ms, 3);
+        });
+        t.row(vec![format!("{n}"), fmt_us(e), fmt_us(g)]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,454 @@
+//! The `gss` subcommand implementations.
+//!
+//! Every command returns its report as a `String` (testable, pipe-friendly);
+//! file-system access is limited to reading `--db`/`--query-file` inputs and
+//! optional `--out` writing handled by the binary shell.
+
+use std::fmt::Write as _;
+
+use gss_core::{
+    graph_similarity_skyband, graph_similarity_skyline, refine_skyline, top_k_by_measure, GedMode,
+    GraphDatabase, GraphId, McsMode, MeasureKind, QueryOptions, RefineOptions, SolverConfig,
+};
+use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use gss_ged::{bipartite::bipartite_ged, edit_path_for_mapping, exact_ged, CostModel, GedOptions};
+use gss_graph::format::to_dot;
+use gss_graph::Graph;
+
+use crate::args::{ArgError, Args};
+
+/// The `gss help` text.
+pub fn help() -> String {
+    "\
+gss — similarity-skyline graph queries (Abbaci et al., GDM/ICDE 2011)
+
+USAGE:
+  gss query    --db FILE --query-name NAME [--refine K] [--approx]
+               [--threads N] [--algo naive|bnl|sfs] [--format text|json]
+  gss measure  --db FILE --a NAME --b NAME
+  gss topk     --db FILE --query-name NAME --measure ed|ned|mcs|gu [--k K]
+  gss skyband  --db FILE --query-name NAME [--k K] [--approx] [--threads N]
+  gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
+               [--related FRACTION] [--max-edits E]
+  gss convert  --db FILE [--graph NAME]
+  gss paper
+
+Databases use the t/v/e text format:
+  t <name>
+  v <index> <label>
+  e <u> <v> <label>
+
+`query` removes the graph named by --query-name from the database and runs
+the compound-similarity skyline (DistEd, DistMcs, DistGu) against the rest.
+"
+    .to_owned()
+}
+
+fn load_db(args: &Args) -> Result<GraphDatabase, ArgError> {
+    let path = args.require("db")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read --db {path}: {e}")))?;
+    GraphDatabase::from_text(&text).map_err(|e| ArgError(format!("parse error in {path}: {e}")))
+}
+
+/// Splits off the named query graph, returning the remaining database and
+/// the query.
+fn split_query(db: GraphDatabase, name: &str) -> Result<(GraphDatabase, Graph), ArgError> {
+    let id = db
+        .find_by_name(name)
+        .ok_or_else(|| ArgError(format!("no graph named {name:?} in the database")))?;
+    let mut rest = GraphDatabase::from_parts(db.vocab().clone(), Vec::new());
+    let mut query = None;
+    for (gid, g) in db.iter() {
+        if gid == id {
+            query = Some(g.clone());
+        } else {
+            rest.push(g.clone());
+        }
+    }
+    Ok((rest, query.expect("id was found")))
+}
+
+fn solver_config(args: &Args) -> SolverConfig {
+    if args.flag("approx") {
+        SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+    } else {
+        SolverConfig::default()
+    }
+}
+
+fn parse_measure(token: &str) -> Result<MeasureKind, ArgError> {
+    match token {
+        "ed" => Ok(MeasureKind::EditDistance),
+        "ned" => Ok(MeasureKind::NormalizedEditDistance),
+        "mcs" => Ok(MeasureKind::Mcs),
+        "gu" => Ok(MeasureKind::Gu),
+        other => Err(ArgError(format!("unknown measure {other:?} (ed|ned|mcs|gu)"))),
+    }
+}
+
+/// `gss query` — similarity skyline with optional diversity refinement.
+pub fn query(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "query-name", "refine", "approx", "threads", "algo", "format"])?;
+    let db = load_db(args)?;
+    let (db, q) = split_query(db, args.require("query-name")?)?;
+    let threads = args.get_parsed_or("threads", 1usize)?;
+    let algo = match args.get_or("algo", "bnl") {
+        "naive" => gss_skyline::Algorithm::Naive,
+        "bnl" => gss_skyline::Algorithm::Bnl,
+        "sfs" => gss_skyline::Algorithm::Sfs,
+        other => return Err(ArgError(format!("unknown --algo {other:?} (naive|bnl|sfs)"))),
+    };
+    let options = QueryOptions {
+        solvers: solver_config(args),
+        threads,
+        skyline_algorithm: algo,
+        ..Default::default()
+    };
+    let result = graph_similarity_skyline(&db, &q, &options);
+
+    match args.get_or("format", "text") {
+        "json" => return Ok(gss_core::to_json(&db, &result)),
+        "text" => {}
+        other => return Err(ArgError(format!("unknown --format {other:?} (text|json)"))),
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "database: {} graphs; query: {} ({} vertices, {} edges)", db.len(), q.name(), q.order(), q.size());
+    let _ = writeln!(out, "\n{:<20} {:>8} {:>8} {:>8}  skyline", "graph", "DistEd", "DistMcs", "DistGu");
+    for (i, gcs) in result.gcs.iter().enumerate() {
+        let id = GraphId(i);
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8.2} {:>8.3} {:>8.3}  {}",
+            db.get(id).name(),
+            gcs.values[0],
+            gcs.values[1],
+            gcs.values[2],
+            if result.contains(id) { "yes" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "\nsimilarity skyline ({} members):", result.skyline.len());
+    for id in &result.skyline {
+        let _ = writeln!(out, "  {}", db.get(*id).name());
+    }
+    for w in &result.dominated {
+        let _ = writeln!(out, "  [{} dominated by {}]", db.get(w.graph).name(), db.get(w.dominator).name());
+    }
+
+    if let Some(k) = args.get("refine") {
+        let k: usize = k.parse().map_err(|_| ArgError(format!("--refine needs a number, got {k:?}")))?;
+        match refine_skyline(&db, &result.skyline, k, &RefineOptions::default()) {
+            Ok(refined) => {
+                let _ = writeln!(out, "\nmost diverse {k}-subset:");
+                for id in &refined.selected {
+                    let _ = writeln!(out, "  {}", db.get(*id).name());
+                }
+                if refined.evaluation.tied.len() > 1 {
+                    let _ = writeln!(out, "  ({} candidates tied on rank-sum)", refined.evaluation.tied.len());
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "\nrefinement skipped: {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `gss measure` — all measures plus the optimal edit script for one pair.
+pub fn measure(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "a", "b"])?;
+    let db = load_db(args)?;
+    let name_a = args.require("a")?;
+    let name_b = args.require("b")?;
+    let a_id = db
+        .find_by_name(name_a)
+        .ok_or_else(|| ArgError(format!("no graph named {name_a:?}")))?;
+    let b_id = db
+        .find_by_name(name_b)
+        .ok_or_else(|| ArgError(format!("no graph named {name_b:?}")))?;
+    let (a, b) = (db.get(a_id), db.get(b_id));
+
+    let cost = CostModel::uniform();
+    let warm = bipartite_ged(a, b, &cost);
+    let ged = exact_ged(a, b, &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None });
+    let p = gss_core::compute_primitives(a, b, &SolverConfig::default());
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (|g|={}) vs {} (|g|={})", a.name(), a.size(), b.name(), b.size());
+    let _ = writeln!(out, "  DistEd    = {}", ged.cost);
+    let _ = writeln!(out, "  |mcs|     = {}", p.mcs_edges);
+    let _ = writeln!(out, "  DistN-Ed  = {:.4}", MeasureKind::NormalizedEditDistance.from_primitives(&p));
+    let _ = writeln!(out, "  DistMcs   = {:.4}", MeasureKind::Mcs.from_primitives(&p));
+    let _ = writeln!(out, "  DistGu    = {:.4}", MeasureKind::Gu.from_primitives(&p));
+    let _ = writeln!(out, "  isomorphic: {}", gss_iso::are_isomorphic(a, b));
+    let _ = writeln!(out, "optimal edit script ({} ops):", edit_path_for_mapping(a, b, &ged.mapping).len());
+    for op in edit_path_for_mapping(a, b, &ged.mapping) {
+        let _ = writeln!(out, "  - {}", op.kind());
+    }
+    Ok(out)
+}
+
+/// `gss skyband` — the k-skyband relaxation of the similarity skyline:
+/// graphs dominated by fewer than `k` others (`k = 1` is the skyline).
+pub fn skyband(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "query-name", "k", "approx", "threads"])?;
+    let db = load_db(args)?;
+    let (db, q) = split_query(db, args.require("query-name")?)?;
+    let k = args.get_parsed_or("k", 2usize)?;
+    let threads = args.get_parsed_or("threads", 1usize)?;
+    let options = QueryOptions { solvers: solver_config(args), threads, ..Default::default() };
+    let band = graph_similarity_skyband(&db, &q, k, &options);
+    let mut out = String::new();
+    let _ = writeln!(out, "{k}-skyband ({} members):", band.len());
+    for id in &band {
+        let _ = writeln!(out, "  {}", db.get(*id).name());
+    }
+    Ok(out)
+}
+
+/// `gss topk` — single-measure baseline retrieval.
+pub fn topk(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "query-name", "measure", "k", "approx", "threads"])?;
+    let db = load_db(args)?;
+    let (db, q) = split_query(db, args.require("query-name")?)?;
+    let measure = parse_measure(args.get_or("measure", "ed"))?;
+    let k = args.get_parsed_or("k", 3usize)?;
+    let threads = args.get_parsed_or("threads", 1usize)?;
+    let scored = top_k_by_measure(&db, &q, measure, k, &solver_config(args), threads);
+    let mut out = String::new();
+    let _ = writeln!(out, "top-{k} by {}:", measure.name());
+    for s in scored {
+        let _ = writeln!(out, "  {:<20} {:.4}", db.get(s.id).name(), s.distance);
+    }
+    Ok(out)
+}
+
+/// `gss generate` — emit a synthetic workload in the text format. The query
+/// graph appears first, named `query`.
+pub fn generate(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["kind", "count", "vertices", "seed", "related", "max-edits"])?;
+    let kind = match args.get_or("kind", "molecule") {
+        "molecule" => WorkloadKind::Molecule,
+        "uniform" => WorkloadKind::Uniform,
+        other => return Err(ArgError(format!("unknown --kind {other:?} (molecule|uniform)"))),
+    };
+    let cfg = WorkloadConfig {
+        kind,
+        database_size: args.get_parsed_or("count", 12usize)?,
+        graph_vertices: args.get_parsed_or("vertices", 7usize)?,
+        related_fraction: args.get_parsed_or("related", 0.5f64)?,
+        max_edits: args.get_parsed_or("max-edits", 4usize)?,
+        seed: args.get_parsed_or("seed", 0xDA7Au64)?,
+    };
+    let w = Workload::generate(&cfg);
+    let mut all = vec![w.query.clone()];
+    all.extend(w.graphs.iter().cloned());
+    Ok(gss_graph::format::write_database(&all, &w.vocab))
+}
+
+/// `gss convert` — Graphviz DOT for one graph or the whole database.
+pub fn convert(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "graph"])?;
+    let db = load_db(args)?;
+    let mut out = String::new();
+    match args.get("graph") {
+        Some(name) => {
+            let id = db
+                .find_by_name(name)
+                .ok_or_else(|| ArgError(format!("no graph named {name:?}")))?;
+            out.push_str(&to_dot(db.get(id), db.vocab()));
+        }
+        None => {
+            for (_, g) in db.iter() {
+                out.push_str(&to_dot(g, db.vocab()));
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `gss paper` — the headline reproduction summary (the full table-by-table
+/// report lives in `cargo run -p gss-bench --bin tables`).
+pub fn paper() -> String {
+    use gss_datasets::paper::{expected, figure3_database};
+    let data = figure3_database();
+    let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+    let r = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
+    let members: Vec<GraphId> = r.skyline.clone();
+    let refined = refine_skyline(&db, &members, 2, &RefineOptions::default());
+
+    let mut out = String::new();
+    let sky: Vec<String> = r.skyline.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+    let _ = writeln!(out, "GSS(D, q)     = {sky:?}   (paper: [g1, g4, g5, g7])");
+    let ok = r.skyline.iter().map(|g| g.index()).collect::<Vec<_>>() == expected::SKYLINE.to_vec();
+    let _ = writeln!(out, "skyline match = {}", if ok { "exact" } else { "DIFFERS" });
+    if let Ok(refined) = refined {
+        let sel: Vec<String> = refined.selected.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+        let _ = writeln!(out, "refined 𝕊     = {sel:?}   (paper: [g1, g4])");
+    }
+    let _ = writeln!(out, "full report: cargo run -p gss-bench --bin tables");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp_db() -> (tempdir::TempPath, String) {
+        // Small self-contained db: a query-like path and two variants.
+        let text = "\
+t needle
+v 0 A
+v 1 B
+v 2 C
+e 0 1 -
+e 1 2 -
+
+t close
+v 0 A
+v 1 B
+v 2 C
+e 0 1 -
+e 1 2 =
+
+t far
+v 0 X
+v 1 Y
+e 0 1 -
+";
+        let path = tempdir::write(text);
+        let p = path.as_str().to_owned();
+        (path, p)
+    }
+
+    /// Minimal temp-file helper (std only).
+    mod tempdir {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(PathBuf);
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().expect("utf-8 temp path")
+            }
+        }
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn write(content: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+            let mut p = std::env::temp_dir();
+            p.push(format!("gss-cli-test-{}-{n}.gdb", std::process::id()));
+            std::fs::write(&p, content).expect("write temp db");
+            TempPath(p)
+        }
+    }
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn query_reports_skyline() {
+        let (_keep, path) = write_temp_db();
+        let out = query(&args(&["--db", &path, "--query-name", "needle"])).unwrap();
+        assert!(out.contains("database: 2 graphs"));
+        assert!(out.contains("close"));
+        assert!(out.contains("similarity skyline"));
+        // `close` (1 edit away) must be in the skyline; `far` is dominated.
+        assert!(out.contains("[far dominated by close]"), "{out}");
+    }
+
+    #[test]
+    fn query_with_approx_and_threads() {
+        let (_keep, path) = write_temp_db();
+        let out = query(&args(&[
+            "--db", &path, "--query-name", "needle", "--approx", "--threads", "2", "--algo", "sfs",
+        ]))
+        .unwrap();
+        assert!(out.contains("similarity skyline"));
+    }
+
+    #[test]
+    fn measure_prints_all_values() {
+        let (_keep, path) = write_temp_db();
+        let out = measure(&args(&["--db", &path, "--a", "needle", "--b", "close"])).unwrap();
+        assert!(out.contains("DistEd    = 1"));
+        assert!(out.contains("|mcs|     = 1"));
+        assert!(out.contains("edge-relabel"));
+        assert!(out.contains("isomorphic: false"));
+    }
+
+    #[test]
+    fn topk_ranks_by_measure() {
+        let (_keep, path) = write_temp_db();
+        let out = topk(&args(&["--db", &path, "--query-name", "needle", "--measure", "ed", "--k", "2"])).unwrap();
+        let close_pos = out.find("close").expect("close listed");
+        let far_pos = out.find("far").expect("far listed");
+        assert!(close_pos < far_pos, "close must rank before far:\n{out}");
+    }
+
+    #[test]
+    fn generate_emits_parseable_database() {
+        let out = generate(&args(&["--kind", "molecule", "--count", "5", "--seed", "9"])).unwrap();
+        let db = GraphDatabase::from_text(&out).unwrap();
+        assert_eq!(db.len(), 6, "query + 5 graphs");
+        assert!(db.find_by_name("query").is_some());
+        // Determinism.
+        let again = generate(&args(&["--kind", "molecule", "--count", "5", "--seed", "9"])).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn convert_produces_dot() {
+        let (_keep, path) = write_temp_db();
+        let one = convert(&args(&["--db", &path, "--graph", "needle"])).unwrap();
+        assert!(one.starts_with("graph needle {"));
+        let all = convert(&args(&["--db", &path])).unwrap();
+        assert_eq!(all.matches("graph ").count(), 3);
+    }
+
+    #[test]
+    fn query_json_format() {
+        let (_keep, path) = write_temp_db();
+        let out = query(&args(&["--db", &path, "--query-name", "needle", "--format", "json"])).unwrap();
+        assert!(out.contains("\"measures\": [\"DistEd\", \"DistMcs\", \"DistGu\"]"));
+        assert!(out.contains("\"skyline\": [\"close\"]"));
+        assert!(query(&args(&["--db", &path, "--query-name", "needle", "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn skyband_relaxes_the_skyline() {
+        let (_keep, path) = write_temp_db();
+        let band1 = skyband(&args(&["--db", &path, "--query-name", "needle", "--k", "1"])).unwrap();
+        let band9 = skyband(&args(&["--db", &path, "--query-name", "needle", "--k", "9"])).unwrap();
+        assert!(band1.contains("close"));
+        assert!(!band1.contains("far"), "k=1 skyband is the skyline:\n{band1}");
+        assert!(band9.contains("far"), "large k keeps everything");
+    }
+
+    #[test]
+    fn error_paths() {
+        let (_keep, path) = write_temp_db();
+        assert!(query(&args(&["--db", &path, "--query-name", "nope"])).is_err());
+        assert!(query(&args(&["--db", "/no/such/file", "--query-name", "x"])).is_err());
+        assert!(query(&args(&["--db", &path, "--query-name", "needle", "--bogus", "1"])).is_err());
+        assert!(topk(&args(&["--db", &path, "--query-name", "needle", "--measure", "zzz"])).is_err());
+        assert!(generate(&args(&["--kind", "alien"])).is_err());
+    }
+
+    #[test]
+    fn paper_summary_matches() {
+        let out = paper();
+        assert!(out.contains("skyline match = exact"));
+        assert!(out.contains("[\"g1\", \"g4\"]"));
+    }
+}

@@ -1,0 +1,14 @@
+//! The `gss` binary: a thin shell over [`gss_cli::run`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match gss_cli::run(raw) {
+        Ok(output) => {
+            print!("{output}");
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

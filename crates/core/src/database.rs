@@ -1,0 +1,266 @@
+//! The graph database: a set of graphs sharing one label vocabulary.
+
+use gss_graph::format::{parse_database, write_database};
+use gss_graph::{Graph, GraphBuilder, GraphError, Vocabulary};
+
+/// Identifier of a graph inside a [`GraphDatabase`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GraphId(pub usize);
+
+impl GraphId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A database `D = {g1, …, gn}` of labeled graphs.
+///
+/// Owning the [`Vocabulary`] guarantees the workspace-wide invariant that
+/// graphs compared against each other use the same label interning.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDatabase {
+    vocab: Vocabulary,
+    graphs: Vec<Graph>,
+}
+
+impl GraphDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps pre-built parts (e.g. the reconstructed paper dataset). The
+    /// caller asserts that every graph was built against `vocab`.
+    pub fn from_parts(vocab: Vocabulary, graphs: Vec<Graph>) -> Self {
+        GraphDatabase { vocab, graphs }
+    }
+
+    /// Parses a database from the `t/v/e` text format.
+    pub fn from_text(input: &str) -> Result<Self, GraphError> {
+        let mut vocab = Vocabulary::new();
+        let graphs = parse_database(input, &mut vocab)?;
+        Ok(GraphDatabase { vocab, graphs })
+    }
+
+    /// Serializes the database to the `t/v/e` text format.
+    pub fn to_text(&self) -> String {
+        write_database(&self.graphs, &self.vocab)
+    }
+
+    /// Adds a graph built through a builder wired to this database's
+    /// vocabulary; returns its id.
+    ///
+    /// ```
+    /// use gss_core::GraphDatabase;
+    ///
+    /// let mut db = GraphDatabase::new();
+    /// let id = db
+    ///     .add("triangle", |b| {
+    ///         b.vertices(&["x", "y", "z"], "C").cycle(&["x", "y", "z"], "-")
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(db.get(id).size(), 3);
+    /// ```
+    pub fn add<F>(&mut self, name: &str, build: F) -> Result<GraphId, GraphError>
+    where
+        F: for<'v> FnOnce(GraphBuilder<'v>) -> GraphBuilder<'v>,
+    {
+        let builder = GraphBuilder::new(name, &mut self.vocab);
+        let graph = build(builder).build()?;
+        Ok(self.push(graph))
+    }
+
+    /// Adds an already-built graph (must share this database's vocabulary).
+    pub fn push(&mut self, graph: Graph) -> GraphId {
+        let id = GraphId(self.graphs.len());
+        self.graphs.push(graph);
+        id
+    }
+
+    /// Builds a query graph against this database's vocabulary *without*
+    /// storing it.
+    pub fn build_query<F>(&mut self, name: &str, build: F) -> Result<Graph, GraphError>
+    where
+        F: for<'v> FnOnce(GraphBuilder<'v>) -> GraphBuilder<'v>,
+    {
+        let builder = GraphBuilder::new(name, &mut self.vocab);
+        build(builder).build()
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the database holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph behind an id.
+    ///
+    /// # Panics
+    /// Panics for ids not created by this database.
+    pub fn get(&self, id: GraphId) -> &Graph {
+        &self.graphs[id.0]
+    }
+
+    /// Iterates `(id, graph)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> + '_ {
+        self.graphs.iter().enumerate().map(|(i, g)| (GraphId(i), g))
+    }
+
+    /// All graphs as a slice (paper order).
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Mutable access to the vocabulary (for wiring external builders).
+    pub fn vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.vocab
+    }
+
+    /// Finds a graph id by name (first match).
+    pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
+        self.graphs.iter().position(|g| g.name() == name).map(GraphId)
+    }
+
+    /// Groups the database into isomorphism classes: each inner vector holds
+    /// the ids of mutually isomorphic graphs (singletons for unique graphs),
+    /// ordered by first occurrence.
+    ///
+    /// Candidates are bucketed by Weisfeiler–Lehman fingerprint first, so
+    /// the quadratic exact check only runs inside (typically tiny) buckets.
+    pub fn isomorphism_classes(&self) -> Vec<Vec<GraphId>> {
+        use std::collections::HashMap;
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, g) in self.graphs.iter().enumerate() {
+            buckets.entry(gss_graph::wl::wl_fingerprint(g, 2)).or_default().push(i);
+        }
+        let mut classes: Vec<Vec<GraphId>> = Vec::new();
+        let mut bucket_keys: Vec<(usize, u64)> = buckets
+            .iter()
+            .map(|(&fp, members)| (members[0], fp))
+            .collect();
+        bucket_keys.sort(); // first-occurrence order
+        for (_, fp) in bucket_keys {
+            let members = &buckets[&fp];
+            let mut local: Vec<Vec<GraphId>> = Vec::new();
+            'member: for &i in members {
+                for class in &mut local {
+                    let representative = class[0];
+                    if gss_iso::are_isomorphic(&self.graphs[representative.index()], &self.graphs[i]) {
+                        class.push(GraphId(i));
+                        continue 'member;
+                    }
+                }
+                local.push(vec![GraphId(i)]);
+            }
+            classes.extend(local);
+        }
+        classes.sort_by_key(|c| c[0]);
+        classes
+    }
+
+    /// Ids of graphs that are isomorphic duplicates of an earlier graph —
+    /// what a deduplicating ingest would drop.
+    pub fn duplicate_ids(&self) -> Vec<GraphId> {
+        self.isomorphism_classes()
+            .into_iter()
+            .flat_map(|class| class.into_iter().skip(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = GraphDatabase::new();
+        let a = db.add("a", |b| b.vertex("x", "X")).unwrap();
+        let b = db.add("b", |b| b.vertices(&["p", "q"], "P").edge("p", "q", "-")).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(a).name(), "a");
+        assert_eq!(db.get(b).size(), 1);
+        assert_eq!(db.find_by_name("b"), Some(b));
+        assert_eq!(db.find_by_name("zzz"), None);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn builder_errors_propagate() {
+        let mut db = GraphDatabase::new();
+        let err = db.add("bad", |b| b.edge("no", "pe", "-")).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownVertexName { .. }));
+        assert!(db.is_empty(), "failed add must not insert");
+    }
+
+    #[test]
+    fn shared_vocabulary_across_graphs() {
+        let mut db = GraphDatabase::new();
+        db.add("a", |b| b.vertex("x", "C")).unwrap();
+        db.add("b", |b| b.vertex("y", "C")).unwrap();
+        let la = db.get(GraphId(0)).vertex_label(gss_graph::VertexId::new(0));
+        let lb = db.get(GraphId(1)).vertex_label(gss_graph::VertexId::new(0));
+        assert_eq!(la, lb, "same string label must intern identically");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut db = GraphDatabase::new();
+        db.add("mol", |b| {
+            b.vertex("c1", "C").vertex("o", "O").edge("c1", "o", "=")
+        })
+        .unwrap();
+        let text = db.to_text();
+        let db2 = GraphDatabase::from_text(&text).unwrap();
+        assert_eq!(db2.len(), 1);
+        assert_eq!(db2.get(GraphId(0)).name(), "mol");
+        assert_eq!(db2.to_text(), text);
+    }
+
+    #[test]
+    fn isomorphism_classes_group_duplicates() {
+        let mut db = GraphDatabase::new();
+        // Two structurally identical triangles entered in different orders,
+        // one distinct path, and an exact re-insertion.
+        db.add("t1", |b| b.vertices(&["a", "b", "c"], "C").cycle(&["a", "b", "c"], "-")).unwrap();
+        db.add("p", |b| b.vertices(&["a", "b", "c"], "C").path(&["a", "b", "c"], "-")).unwrap();
+        db.add("t2", |b| b.vertices(&["x", "y", "z"], "C").cycle(&["z", "x", "y"], "-")).unwrap();
+        db.add("t3", |b| b.vertices(&["q", "r", "s"], "C").cycle(&["q", "r", "s"], "-")).unwrap();
+
+        let classes = db.isomorphism_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![GraphId(0), GraphId(2), GraphId(3)]);
+        assert_eq!(classes[1], vec![GraphId(1)]);
+        assert_eq!(db.duplicate_ids(), vec![GraphId(2), GraphId(3)]);
+    }
+
+    #[test]
+    fn isomorphism_classes_respect_labels() {
+        let mut db = GraphDatabase::new();
+        db.add("c", |b| b.vertices(&["a", "b"], "C").edge("a", "b", "-")).unwrap();
+        db.add("n", |b| b.vertices(&["a", "b"], "N").edge("a", "b", "-")).unwrap();
+        assert_eq!(db.isomorphism_classes().len(), 2);
+        assert!(db.duplicate_ids().is_empty());
+    }
+
+    #[test]
+    fn query_built_on_same_vocab() {
+        let mut db = GraphDatabase::new();
+        db.add("g", |b| b.vertex("x", "C")).unwrap();
+        let q = db.build_query("q", |b| b.vertex("y", "C")).unwrap();
+        assert_eq!(db.len(), 1, "query must not be stored");
+        let lg = db.get(GraphId(0)).vertex_label(gss_graph::VertexId::new(0));
+        let lq = q.vertex_label(gss_graph::VertexId::new(0));
+        assert_eq!(lg, lq);
+    }
+}

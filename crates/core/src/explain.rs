@@ -1,0 +1,205 @@
+//! Dominance explanations and result serialization.
+//!
+//! The paper argues (Section VI) that returning each answer "with a vector
+//! of scores showing different similarities" is itself a feature of the
+//! skyline approach. This module turns a [`GssResult`] into explanation
+//! structures — per-graph dominator lists with per-dimension comparisons —
+//! and serializes results to a small, dependency-free JSON subset for
+//! scripting consumers of the `gss` CLI.
+
+use std::fmt::Write as _;
+
+use crate::database::{GraphDatabase, GraphId};
+use crate::query::GssResult;
+
+/// Why (or why not) one graph is in the skyline, in full detail.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The graph being explained.
+    pub graph: GraphId,
+    /// True when the graph is Pareto-optimal.
+    pub in_skyline: bool,
+    /// Every database graph that similarity-dominates it (empty for skyline
+    /// members), ascending.
+    pub dominators: Vec<GraphId>,
+    /// Dimensions (measure indices) on which the graph is the unique best
+    /// in the whole database — the paper's "most interesting w.r.t. X"
+    /// remarks (e.g. g4 for DistEd, g1 for DistMcs, g7 for DistGu).
+    pub best_dimensions: Vec<usize>,
+}
+
+/// Builds explanations for every database graph from a query result.
+pub fn explain_all(result: &GssResult) -> Vec<Explanation> {
+    let n = result.gcs.len();
+    let points: Vec<&Vec<f64>> = result.gcs.iter().map(|g| &g.values).collect();
+    let dims = result.measures.len();
+
+    // Unique minimum per dimension.
+    let mut best_of_dim: Vec<Option<usize>> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let mut best: Option<(usize, f64)> = None;
+        let mut unique = true;
+        for (i, p) in points.iter().enumerate() {
+            match best {
+                None => best = Some((i, p[d])),
+                Some((_, v)) if p[d] < v => {
+                    best = Some((i, p[d]));
+                    unique = true;
+                }
+                Some((_, v)) if p[d] == v => unique = false,
+                _ => {}
+            }
+        }
+        best_of_dim.push(best.filter(|_| unique).map(|(i, _)| i));
+    }
+
+    (0..n)
+        .map(|i| {
+            let dominators: Vec<GraphId> = (0..n)
+                .filter(|&j| j != i && gss_skyline::dominates(points[j], points[i]))
+                .map(GraphId)
+                .collect();
+            let best_dimensions: Vec<usize> = (0..dims)
+                .filter(|&d| best_of_dim[d] == Some(i))
+                .collect();
+            Explanation {
+                graph: GraphId(i),
+                in_skyline: dominators.is_empty(),
+                dominators,
+                best_dimensions,
+            }
+        })
+        .collect()
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a query result as JSON (stable key order, no dependencies):
+///
+/// ```json
+/// {
+///   "measures": ["DistEd", "DistMcs", "DistGu"],
+///   "graphs": [
+///     {"name": "g1", "gcs": [4.0, 0.33, 0.5], "in_skyline": true,
+///      "dominators": [], "best_dimensions": [1]},
+///     …
+///   ],
+///   "skyline": ["g1", "g4"]
+/// }
+/// ```
+pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
+    let explanations = explain_all(result);
+    let mut out = String::from("{\n  \"measures\": [");
+    for (i, m) in result.measures.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", json_escape(m.name()));
+    }
+    out.push_str("],\n  \"graphs\": [\n");
+    for (i, ex) in explanations.iter().enumerate() {
+        let name = json_escape(db.get(ex.graph).name());
+        let values: Vec<String> = result.gcs[i].values.iter().map(|v| format!("{v}")).collect();
+        let dominators: Vec<String> = ex
+            .dominators
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(db.get(*d).name())))
+            .collect();
+        let dims: Vec<String> = ex.best_dimensions.iter().map(usize::to_string).collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"gcs\": [{}], \"in_skyline\": {}, \"dominators\": [{}], \"best_dimensions\": [{}]}}",
+            name,
+            values.join(", "),
+            ex.in_skyline,
+            dominators.join(", "),
+            dims.join(", ")
+        );
+        out.push_str(if i + 1 < explanations.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"skyline\": [");
+    for (i, id) in result.skyline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\"", json_escape(db.get(*id).name()));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{graph_similarity_skyline, QueryOptions};
+    use gss_datasets::paper::figure3_database;
+
+    fn paper_result() -> (GraphDatabase, GssResult) {
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        let r = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
+        (db, r)
+    }
+
+    #[test]
+    fn explanations_match_the_papers_discussion() {
+        let (_db, r) = paper_result();
+        let ex = explain_all(&r);
+        // g4 is the unique best on DistEd (dim 0), g1 on DistMcs (dim 1),
+        // g7 on DistGu (dim 2) — exactly Section VI's remarks.
+        assert_eq!(ex[3].best_dimensions, vec![0], "g4 best by DistEd");
+        assert_eq!(ex[0].best_dimensions, vec![1], "g1 best by DistMcs");
+        assert_eq!(ex[6].best_dimensions, vec![2], "g7 best by DistGu");
+        // g5 is the "good compromise": best nowhere yet in the skyline.
+        assert!(ex[4].in_skyline);
+        assert!(ex[4].best_dimensions.is_empty());
+        // Dominator lists: g3 dominated (exactly) by g5.
+        assert_eq!(ex[2].dominators, vec![GraphId(4)]);
+        // Skyline members have no dominators.
+        for e in &ex {
+            assert_eq!(e.in_skyline, e.dominators.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_names() {
+        let (db, r) = paper_result();
+        let json = to_json(&db, &r);
+        // Structural spot-checks (no JSON parser in the dependency set —
+        // check the invariants that matter to consumers).
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"name\":").count(), 7);
+        assert!(json.contains("\"measures\": [\"DistEd\", \"DistMcs\", \"DistGu\"]"));
+        assert!(json.contains("\"skyline\": [\"g1\", \"g4\", \"g5\", \"g7\"]"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

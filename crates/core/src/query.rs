@@ -1,0 +1,304 @@
+//! The graph similarity skyline query engine (Section V of the paper).
+//!
+//! Given a database `D`, a query graph `q` and `d` local distance measures,
+//! the engine computes the compound similarity vector `GCS(g, q)` for every
+//! `g ∈ D` and returns the graphs that are **not similarity-dominated**
+//! (Definition 12 / Equation 4) — together with, for every excluded graph, a
+//! witness dominator (the explanations the paper walks through in
+//! Section VI: "g2 is dominated by g7", …).
+
+use gss_graph::Graph;
+use gss_skyline::{dominance, Algorithm};
+
+use crate::database::{GraphDatabase, GraphId};
+use crate::measures::{GcsVector, MeasureKind, SolverConfig};
+use crate::parallel::parallel_map_indexed;
+
+/// Options for [`graph_similarity_skyline`].
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// The local distance measures forming the GCS vector, in order.
+    /// Default: the paper's `(DistEd, DistMcs, DistGu)`.
+    pub measures: Vec<MeasureKind>,
+    /// Which skyline algorithm filters the GCS matrix.
+    pub skyline_algorithm: Algorithm,
+    /// Exact/approximate solver selection for the primitives.
+    pub solvers: SolverConfig,
+    /// Worker threads for the per-graph GCS scan (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            measures: MeasureKind::paper_query_measures(),
+            skyline_algorithm: Algorithm::default(),
+            solvers: SolverConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Why a graph is not in the skyline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DominationWitness {
+    /// The excluded graph.
+    pub graph: GraphId,
+    /// A database graph whose GCS vector similarity-dominates it.
+    pub dominator: GraphId,
+}
+
+/// The result of a graph similarity skyline query.
+#[derive(Clone, Debug)]
+pub struct GssResult {
+    /// The measures used, in GCS-vector order.
+    pub measures: Vec<MeasureKind>,
+    /// `GCS(gi, q)` for every database graph, in database order.
+    pub gcs: Vec<GcsVector>,
+    /// Ids of the Pareto-optimal graphs (`GSS(D, q)`), ascending.
+    pub skyline: Vec<GraphId>,
+    /// One witness per excluded graph (ascending by excluded id).
+    pub dominated: Vec<DominationWitness>,
+}
+
+impl GssResult {
+    /// True when `id` made the skyline.
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.skyline.binary_search(&id).is_ok()
+    }
+
+    /// The witness dominator for an excluded graph, if any.
+    pub fn witness_for(&self, id: GraphId) -> Option<GraphId> {
+        self.dominated
+            .iter()
+            .find(|w| w.graph == id)
+            .map(|w| w.dominator)
+    }
+}
+
+/// Computes `GSS(D, q)` (Equation 4 of the paper).
+pub fn graph_similarity_skyline(
+    db: &GraphDatabase,
+    query: &Graph,
+    options: &QueryOptions,
+) -> GssResult {
+    assert!(!options.measures.is_empty(), "at least one measure is required");
+    // 1. GCS scan — the expensive part; parallel over database graphs.
+    let gcs: Vec<GcsVector> = parallel_map_indexed(db.len(), options.threads, |i| {
+        GcsVector::compute(db.get(GraphId(i)), query, &options.measures, &options.solvers)
+    });
+
+    // 2. Skyline over the GCS matrix.
+    let points: Vec<Vec<f64>> = gcs.iter().map(|g| g.values.clone()).collect();
+    let skyline: Vec<GraphId> = gss_skyline::skyline(&points, options.skyline_algorithm)
+        .into_iter()
+        .map(GraphId)
+        .collect();
+
+    // 3. Witnesses for the excluded graphs. Prefer a *skyline* dominator
+    //    (one always exists: dominance is a strict partial order, so
+    //    following dominators from any dominated point reaches a maximal,
+    //    i.e. skyline, point).
+    let mut dominated = Vec::new();
+    for i in 0..db.len() {
+        let id = GraphId(i);
+        if skyline.binary_search(&id).is_ok() {
+            continue;
+        }
+        let dominator = skyline
+            .iter()
+            .copied()
+            .find(|s| dominance::dominates(&points[s.index()], &points[i]))
+            .expect("every excluded point has a skyline dominator");
+        dominated.push(DominationWitness { graph: id, dominator });
+    }
+
+    GssResult { measures: options.measures.clone(), gcs, skyline, dominated }
+}
+
+/// **Extension** (related work \[20\] of the paper): the *k-skyband* of a
+/// similarity query — every database graph similarity-dominated by fewer
+/// than `k` others. `k = 1` is exactly [`graph_similarity_skyline`]; larger
+/// `k` relaxes the answer set gracefully (useful when the strict skyline is
+/// too small), while staying order-consistent: the skyband is monotone in
+/// `k` and always contains the skyline.
+pub fn graph_similarity_skyband(
+    db: &GraphDatabase,
+    query: &Graph,
+    k: usize,
+    options: &QueryOptions,
+) -> Vec<GraphId> {
+    assert!(!options.measures.is_empty(), "at least one measure is required");
+    let gcs: Vec<GcsVector> = parallel_map_indexed(db.len(), options.threads, |i| {
+        GcsVector::compute(db.get(GraphId(i)), query, &options.measures, &options.solvers)
+    });
+    let points: Vec<Vec<f64>> = gcs.into_iter().map(|g| g.values).collect();
+    gss_skyline::k_skyband(&points, k).into_iter().map(GraphId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_datasets::paper::{expected, figure3_database};
+
+    fn paper_db() -> (GraphDatabase, Graph) {
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        (db, data.query)
+    }
+
+    #[test]
+    fn paper_skyline_is_g1_g4_g5_g7() {
+        let (db, q) = paper_db();
+        let r = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let got: Vec<usize> = r.skyline.iter().map(|g| g.index()).collect();
+        assert_eq!(got, expected::SKYLINE.to_vec());
+    }
+
+    #[test]
+    fn paper_dominance_witnesses() {
+        let (db, q) = paper_db();
+        let r = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        // Paper: g2 dominated by g7, g3 by g5, g6 by g1.
+        for (loser, winner) in expected::DOMINANCE_WITNESSES {
+            let w = r.witness_for(GraphId(loser)).expect("dominated graph has witness");
+            // The specific witness the paper names must indeed dominate;
+            // our engine may legitimately report another dominator, so check
+            // dominance directly.
+            let paper_winner = &r.gcs[winner].values;
+            let lose = &r.gcs[loser].values;
+            assert!(gss_skyline::dominates(paper_winner, lose), "paper witness g{} ≻ g{}", winner + 1, loser + 1);
+            assert!(r.contains(w), "engine witness must be a skyline member");
+        }
+    }
+
+    #[test]
+    fn gcs_matrix_matches_table3() {
+        let (db, q) = paper_db();
+        let r = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        // Column 0: DistEd (Table III, exact integers).
+        let ed: Vec<f64> = r.gcs.iter().map(|g| g.values[0]).collect();
+        assert_eq!(ed, expected::TABLE3_ED.to_vec());
+        // Columns 1–2 derive from Table II mcs sizes.
+        for (i, g) in db.graphs().iter().enumerate() {
+            let mcs = expected::TABLE2_MCS[i] as f64;
+            let dist_mcs = 1.0 - mcs / (g.size().max(q.size()) as f64);
+            let dist_gu = 1.0 - mcs / ((g.size() + q.size()) as f64 - mcs);
+            assert!((r.gcs[i].values[1] - dist_mcs).abs() < 1e-12, "g{} DistMcs", i + 1);
+            assert!((r.gcs[i].values[2] - dist_gu).abs() < 1e-12, "g{} DistGu", i + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let (db, q) = paper_db();
+        let seq = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let par = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions { threads: 4, ..QueryOptions::default() },
+        );
+        assert_eq!(seq.skyline, par.skyline);
+        assert_eq!(seq.gcs, par.gcs);
+    }
+
+    #[test]
+    fn all_skyline_algorithms_agree() {
+        let (db, q) = paper_db();
+        let mut results = Vec::new();
+        for algo in [Algorithm::Naive, Algorithm::Bnl, Algorithm::Sfs] {
+            let r = graph_similarity_skyline(
+                &db,
+                &q,
+                &QueryOptions { skyline_algorithm: algo, ..QueryOptions::default() },
+            );
+            results.push(r.skyline);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn single_measure_query_degenerates_to_minimum() {
+        let (db, q) = paper_db();
+        let r = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions { measures: vec![MeasureKind::EditDistance], ..Default::default() },
+        );
+        // With one dimension, the skyline is the set of minimum-GED graphs:
+        // Table III says g4 (DistEd 2) is the unique minimum.
+        assert_eq!(r.skyline, vec![GraphId(3)]);
+    }
+
+    #[test]
+    fn skyband_1_is_the_skyline_and_grows_with_k() {
+        let (db, q) = paper_db();
+        let opts = QueryOptions::default();
+        let sky = graph_similarity_skyline(&db, &q, &opts).skyline;
+        let band1 = graph_similarity_skyband(&db, &q, 1, &opts);
+        assert_eq!(band1, sky);
+        let band2 = graph_similarity_skyband(&db, &q, 2, &opts);
+        for id in &band1 {
+            assert!(band2.contains(id), "skyband must be monotone in k");
+        }
+        // On the paper's data: g2 has 2 dominators (g1, g7), g3 has 1 (g5),
+        // g6 has 2 (g1, g5?) — verify counts directly instead of guessing.
+        let big = graph_similarity_skyband(&db, &q, db.len(), &opts);
+        assert_eq!(big.len(), db.len(), "huge k keeps everything");
+    }
+
+    #[test]
+    fn extended_measure_vector_still_yields_valid_skyline() {
+        let (db, q) = paper_db();
+        let opts = QueryOptions {
+            measures: vec![
+                MeasureKind::EditDistance,
+                MeasureKind::Mcs,
+                MeasureKind::Gu,
+                MeasureKind::LabelHistogram,
+            ],
+            ..Default::default()
+        };
+        let r = graph_similarity_skyline(&db, &q, &opts);
+        // Adding a dimension never invalidates the core invariant:
+        for (i, gcs) in r.gcs.iter().enumerate() {
+            assert_eq!(gcs.values.len(), 4);
+            let dominated = r
+                .gcs
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && gss_skyline::dominates(&other.values, &gcs.values));
+            assert_eq!(r.contains(GraphId(i)), !dominated);
+        }
+        // The paper's 3-measure skyline members remain Pareto-optimal here:
+        // a dominator in 4 dimensions must tie-or-beat all 3 original ones,
+        // and no two GCS vectors tie on all three in this dataset.
+        let base = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        for id in &base.skyline {
+            assert!(
+                r.contains(*id),
+                "g{} must survive when a dimension is added",
+                id.index() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let mut db = GraphDatabase::new();
+        let q = db.build_query("q", |b| b.vertex("x", "A")).unwrap();
+        let r = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        assert!(r.skyline.is_empty());
+        assert!(r.gcs.is_empty());
+        assert!(r.dominated.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measure")]
+    fn rejects_empty_measure_list() {
+        let mut db = GraphDatabase::new();
+        let q = db.build_query("q", |b| b.vertex("x", "A")).unwrap();
+        graph_similarity_skyline(&db, &q, &QueryOptions { measures: vec![], ..Default::default() });
+    }
+}

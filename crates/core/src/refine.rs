@@ -1,0 +1,192 @@
+//! Diversity refinement of a graph similarity skyline (Section VII).
+//!
+//! Builds the pairwise distance matrices over the skyline members —
+//! dimensions `(DistN-Ed, DistMcs, DistGu)` per the paper — and delegates to
+//! `gss-diversity` for the exhaustive rank-sum selection (or the greedy
+//! heuristic for large skylines).
+
+use gss_diversity::{refine_exact, refine_greedy, DiversityError, DiversityResult};
+
+use crate::database::{GraphDatabase, GraphId};
+use crate::measures::{compute_primitives, MeasureKind, SolverConfig};
+use crate::parallel::parallel_map_indexed;
+
+/// Options for [`refine_skyline`].
+#[derive(Clone, Debug)]
+pub struct RefineOptions {
+    /// Pairwise distance dimensions. Default: the paper's Section VII
+    /// triple `(DistN-Ed, DistMcs, DistGu)`.
+    pub measures: Vec<MeasureKind>,
+    /// Solver configuration for pairwise primitives.
+    pub solvers: SolverConfig,
+    /// Worker threads for the pairwise matrix.
+    pub threads: usize,
+    /// Cap on `C(n, k)` for the exact enumeration.
+    pub max_candidates: u128,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            measures: MeasureKind::paper_diversity_measures(),
+            solvers: SolverConfig::default(),
+            threads: 1,
+            max_candidates: 1 << 24,
+        }
+    }
+}
+
+/// A refined (maximally diverse) subset of skyline members.
+#[derive(Clone, Debug)]
+pub struct RefinedSkyline {
+    /// The skyline member ids, in the order the matrices index them.
+    pub members: Vec<GraphId>,
+    /// The winning subset, as database graph ids.
+    pub selected: Vec<GraphId>,
+    /// The full candidate evaluation (diversity vectors, ranks, rank sums),
+    /// indices referring to positions in `members`.
+    pub evaluation: DiversityResult,
+    /// The pairwise matrices used, one per measure (symmetric, zero
+    /// diagonal), indices referring to positions in `members`.
+    pub matrices: Vec<Vec<Vec<f64>>>,
+}
+
+/// Computes the pairwise distance matrices over `members`.
+pub fn pairwise_matrices(
+    db: &GraphDatabase,
+    members: &[GraphId],
+    measures: &[MeasureKind],
+    solvers: &SolverConfig,
+    threads: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    let n = members.len();
+    // Upper-triangle pair list.
+    let mut pairs = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            pairs.push((a, b));
+        }
+    }
+    let prims = parallel_map_indexed(pairs.len(), threads, |k| {
+        let (a, b) = pairs[k];
+        compute_primitives(db.get(members[a]), db.get(members[b]), solvers)
+    });
+    let mut matrices = vec![vec![vec![0.0f64; n]; n]; measures.len()];
+    for (k, &(a, b)) in pairs.iter().enumerate() {
+        for (mi, m) in measures.iter().enumerate() {
+            let v = m.from_primitives(&prims[k]);
+            matrices[mi][a][b] = v;
+            matrices[mi][b][a] = v;
+        }
+    }
+    matrices
+}
+
+/// Exact (paper Section VII) diversity refinement: pick the `k`-subset of
+/// `members` minimizing the rank sum of per-dimension diversities.
+pub fn refine_skyline(
+    db: &GraphDatabase,
+    members: &[GraphId],
+    k: usize,
+    options: &RefineOptions,
+) -> Result<RefinedSkyline, DiversityError> {
+    let matrices = pairwise_matrices(db, members, &options.measures, &options.solvers, options.threads);
+    let evaluation = refine_exact(&matrices, k, options.max_candidates)?;
+    let selected = evaluation
+        .best_members()
+        .iter()
+        .map(|&i| members[i])
+        .collect();
+    Ok(RefinedSkyline { members: members.to_vec(), selected, evaluation, matrices })
+}
+
+/// Greedy max-min refinement for skylines too large for exhaustive
+/// enumeration. Returns database ids.
+pub fn refine_skyline_greedy(
+    db: &GraphDatabase,
+    members: &[GraphId],
+    k: usize,
+    options: &RefineOptions,
+) -> Vec<GraphId> {
+    let matrices = pairwise_matrices(db, members, &options.measures, &options.solvers, options.threads);
+    refine_greedy(&matrices, k).into_iter().map(|i| members[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::GraphDatabase;
+    use gss_datasets::paper::{expected, figure3_database};
+
+    fn paper_members() -> (GraphDatabase, Vec<GraphId>) {
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        let members = expected::SKYLINE.iter().map(|&i| GraphId(i)).collect();
+        (db, members)
+    }
+
+    #[test]
+    fn paper_refinement_selects_g1_g4() {
+        let (db, members) = paper_members();
+        let r = refine_skyline(&db, &members, 2, &RefineOptions::default()).unwrap();
+        let got: Vec<usize> = r.selected.iter().map(|g| g.index()).collect();
+        assert_eq!(got, expected::REFINED.to_vec(), "𝕊 = {{g1, g4}}");
+        // With our two documented GED deviations, S1 and S5 tie on val;
+        // the evaluation must expose that tie.
+        assert!(!r.evaluation.tied.is_empty());
+    }
+
+    #[test]
+    fn table4_mcs_derived_cells_match() {
+        let (db, members) = paper_members();
+        let r = refine_skyline(&db, &members, 2, &RefineOptions::default()).unwrap();
+        // Candidate order is lexicographic: S1..S6 as in the paper.
+        for (idx, cand) in r.evaluation.candidates.iter().enumerate() {
+            let (v2, v3) = (cand.diversity[1], cand.diversity[2]);
+            let p2 = expected::TABLE4[idx][1];
+            let p3 = expected::TABLE4[idx][2];
+            // Tolerance 0.006: the paper mixes rounding and truncation
+            // when printing two decimals (e.g. 0.615… appears as 0.61).
+            assert!((v2 - p2).abs() < 0.006, "S{} v2: measured {v2} vs paper {p2}", idx + 1);
+            assert!((v3 - p3).abs() < 0.006, "S{} v3: measured {v3} vs paper {p3}", idx + 1);
+        }
+    }
+
+    #[test]
+    fn matrices_are_symmetric_zero_diagonal() {
+        let (db, members) = paper_members();
+        let m = pairwise_matrices(
+            &db,
+            &members,
+            &MeasureKind::paper_diversity_measures(),
+            &SolverConfig::default(),
+            2,
+        );
+        assert_eq!(m.len(), 3);
+        for mat in &m {
+            for (i, row) in mat.iter().enumerate() {
+                assert_eq!(row[i], 0.0);
+                for (j, v) in row.iter().enumerate() {
+                    assert_eq!(*v, mat[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_refinement_returns_k_members() {
+        let (db, members) = paper_members();
+        let sel = refine_skyline_greedy(&db, &members, 2, &RefineOptions::default());
+        assert_eq!(sel.len(), 2);
+        for id in &sel {
+            assert!(members.contains(id));
+        }
+    }
+
+    #[test]
+    fn refine_propagates_errors() {
+        let (db, members) = paper_members();
+        assert!(refine_skyline(&db, &members, 1, &RefineOptions::default()).is_err());
+        assert!(refine_skyline(&db, &members, 99, &RefineOptions::default()).is_err());
+    }
+}

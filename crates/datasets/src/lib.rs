@@ -1,0 +1,27 @@
+//! # gss-datasets — datasets and workloads for similarity-skyline queries
+//!
+//! * [`paper`] — faithful reconstructions of every dataset in Abbaci et al.
+//!   (GDM/ICDE 2011): the Figure 1 example pair, the Figure 3 database
+//!   `D = {g1…g7}` with query `q`, the Table I hotels, and the paper's
+//!   published numbers (`paper::expected`) for paper-vs-measured reporting.
+//! * [`synth`] — deterministic random/molecule-like graph generators and an
+//!   edit-perturbation operator.
+//! * [`workload`] — benchmark workloads with planted near-matches.
+//!
+//! ```
+//! use gss_datasets::paper::figure3_database;
+//!
+//! let db = figure3_database();
+//! assert_eq!(db.graphs.len(), 7);
+//! assert_eq!(db.query.size(), 6); // |q| = 6 edges
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod synth;
+pub mod workload;
+
+pub use paper::{figure1_pair, figure3_database, hotels};
+pub use synth::{molecule_like_graph, perturb, perturb_typed, random_connected_graph, MoleculeConfig, PerturbationStyle, RandomGraphConfig};
+pub use workload::{Workload, WorkloadConfig, WorkloadKind};

@@ -1,0 +1,356 @@
+//! Synthetic labeled-graph generators.
+//!
+//! The paper motivates graph similarity search with bioinformatics, chemical
+//! compounds, pattern recognition and social networks; these generators
+//! produce deterministic synthetic stand-ins for those workloads (the paper
+//! promises experiments on real data as future work, so there is no
+//! published dataset to replicate). All generators are driven by the
+//! workspace's deterministic [`Rng`], so a `(config, seed)` pair always
+//! yields the same graphs.
+
+use gss_graph::{Graph, Label, Rng, VertexId, Vocabulary};
+
+/// Configuration for [`random_connected_graph`].
+#[derive(Clone, Debug)]
+pub struct RandomGraphConfig {
+    /// Number of vertices (≥ 1).
+    pub vertices: usize,
+    /// Number of edges; clamped to `[vertices-1, C(n,2)]` so the graph can
+    /// be connected and simple.
+    pub edges: usize,
+    /// Vertex label alphabet (names are interned on demand).
+    pub vertex_alphabet: Vec<String>,
+    /// Edge label alphabet.
+    pub edge_alphabet: Vec<String>,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            vertices: 8,
+            edges: 10,
+            vertex_alphabet: ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect(),
+            edge_alphabet: ["-", "="].iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Generates a connected random labeled graph: a random spanning tree
+/// (guaranteeing connectivity) plus uniformly sampled extra edges.
+pub fn random_connected_graph(
+    name: impl Into<String>,
+    cfg: &RandomGraphConfig,
+    vocab: &mut Vocabulary,
+    rng: &mut Rng,
+) -> Graph {
+    assert!(cfg.vertices >= 1, "need at least one vertex");
+    assert!(!cfg.vertex_alphabet.is_empty() && !cfg.edge_alphabet.is_empty());
+    let n = cfg.vertices;
+    let max_edges = n * (n - 1) / 2;
+    let m = cfg.edges.clamp(n.saturating_sub(1), max_edges);
+
+    let vlabels: Vec<Label> = cfg.vertex_alphabet.iter().map(|s| vocab.intern(s)).collect();
+    let elabels: Vec<Label> = cfg.edge_alphabet.iter().map(|s| vocab.intern(s)).collect();
+
+    let mut g = Graph::with_capacity(name, n, m);
+    for _ in 0..n {
+        let l = *rng.choose(&vlabels).expect("non-empty alphabet");
+        g.add_vertex(l);
+    }
+    // Random spanning tree: connect vertex i to a random earlier vertex.
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for i in 1..n {
+        let j = order[rng.gen_index(i)];
+        let l = *rng.choose(&elabels).expect("non-empty alphabet");
+        g.add_edge(VertexId::new(order[i]), VertexId::new(j), l)
+            .expect("tree edges cannot clash");
+    }
+    // Extra edges by rejection sampling.
+    let mut guard = 0usize;
+    while g.size() < m && guard < 50 * m + 100 {
+        guard += 1;
+        let u = VertexId::new(rng.gen_index(n));
+        let v = VertexId::new(rng.gen_index(n));
+        if u == v || g.has_edge(u, v) {
+            continue;
+        }
+        let l = *rng.choose(&elabels).expect("non-empty alphabet");
+        g.add_edge(u, v, l).expect("checked for duplicates");
+    }
+    g
+}
+
+/// Configuration for [`molecule_like_graph`]: organic-chemistry-flavoured
+/// graphs with valence-capped atoms and bond labels, echoing the chemical
+/// compound workloads the paper cites.
+#[derive(Clone, Debug)]
+pub struct MoleculeConfig {
+    /// Number of atoms.
+    pub atoms: usize,
+    /// Probability of attempting a ring-closing extra bond per atom.
+    pub ring_bond_prob: f64,
+}
+
+impl Default for MoleculeConfig {
+    fn default() -> Self {
+        MoleculeConfig { atoms: 10, ring_bond_prob: 0.3 }
+    }
+}
+
+const ATOMS: [(&str, usize); 4] = [("C", 4), ("N", 3), ("O", 2), ("S", 2)];
+const BONDS: [&str; 3] = ["-", "=", "#"];
+
+/// Generates a connected molecule-like graph: atoms with element labels and
+/// valence caps, single/double/triple bond labels, tree backbone plus
+/// occasional rings.
+pub fn molecule_like_graph(
+    name: impl Into<String>,
+    cfg: &MoleculeConfig,
+    vocab: &mut Vocabulary,
+    rng: &mut Rng,
+) -> Graph {
+    assert!(cfg.atoms >= 1);
+    let n = cfg.atoms;
+    let mut g = Graph::with_capacity(name, n, n + 2);
+    let mut valence = Vec::with_capacity(n);
+    let mut capacity = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (sym, cap) = ATOMS[rng.gen_index(ATOMS.len())];
+        g.add_vertex(vocab.intern(sym));
+        valence.push(0usize);
+        capacity.push(cap);
+    }
+    let bond_labels: Vec<Label> = BONDS.iter().map(|b| vocab.intern(b)).collect();
+
+    // Backbone: attach atom i to an earlier atom with free valence.
+    for i in 1..n {
+        let candidates: Vec<usize> = (0..i).filter(|&j| valence[j] < capacity[j]).collect();
+        // Fall back to any earlier atom if everything is saturated — a
+        // slightly over-bonded molecule beats a disconnected one.
+        let j = if candidates.is_empty() { rng.gen_index(i) } else { *rng.choose(&candidates).expect("non-empty") };
+        let bond = bond_labels[rng.gen_index(if valence[j] + 2 <= capacity[j] { 2 } else { 1 }.min(bond_labels.len()))];
+        g.add_edge(VertexId::new(i), VertexId::new(j), bond).expect("tree edge");
+        valence[i] += 1;
+        valence[j] += 1;
+    }
+    // Ring closures.
+    for i in 0..n {
+        if valence[i] < capacity[i] && rng.gen_bool(cfg.ring_bond_prob) {
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&j| j != i && valence[j] < capacity[j] && !g.has_edge(VertexId::new(i), VertexId::new(j)))
+                .collect();
+            if let Some(&j) = rng.choose(&candidates) {
+                g.add_edge(VertexId::new(i), VertexId::new(j), bond_labels[0]).expect("checked");
+                valence[i] += 1;
+                valence[j] += 1;
+            }
+        }
+    }
+    g
+}
+
+/// The *style* of a typed perturbation (see [`perturb_typed`]).
+///
+/// Different styles trade off differently against the three measures — the
+/// ingredient that makes synthetic skylines non-trivial, mirroring the
+/// paper's Section VI discussion (g4 wins on `DistEd`, g1 on `DistMcs`,
+/// g7 ⊃ q on `DistGu`):
+///
+/// * [`Grow`](PerturbationStyle::Grow) keeps the original as a common
+///   subgraph (good `DistMcs`/`DistGu`) while paying edit distance;
+/// * [`Shrink`](PerturbationStyle::Shrink) keeps edit distance low but
+///   shrinks the common subgraph;
+/// * [`Relabel`](PerturbationStyle::Relabel) keeps sizes identical but can
+///   split the common subgraph badly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PerturbationStyle {
+    /// Only insert edges (supergraph-ish).
+    Grow,
+    /// Only delete edges (subgraph-ish).
+    Shrink,
+    /// Only relabel vertices/edges.
+    Relabel,
+    /// Uniform mix of all operations.
+    Mixed,
+}
+
+/// Like [`perturb`] but with a fixed [`PerturbationStyle`].
+pub fn perturb_typed(
+    g: &Graph,
+    style: PerturbationStyle,
+    edits: usize,
+    vocab: &mut Vocabulary,
+    rng: &mut Rng,
+    fresh_label_prefix: &str,
+) -> Graph {
+    let mut out = g.clone();
+    let mut fresh = 0usize;
+    for _ in 0..edits {
+        let mut guard = 0;
+        let mut done = false;
+        while !done && guard < 64 {
+            guard += 1;
+            let op = match style {
+                PerturbationStyle::Grow => 3,
+                PerturbationStyle::Shrink => 2,
+                // Vertex relabels only: relabeling a degree-d vertex breaks
+                // d shared edges, so cheap edits here carry real MCS damage
+                // (an edge relabel would be a near-free edit and make the
+                // perturbed graph dominate everything).
+                PerturbationStyle::Relabel => 0,
+                PerturbationStyle::Mixed => rng.gen_index(4),
+            };
+            match op {
+                0 if out.order() > 0 => {
+                    // Prefer the higher-degree of two sampled vertices.
+                    let v1 = VertexId::new(rng.gen_index(out.order()));
+                    let v2 = VertexId::new(rng.gen_index(out.order()));
+                    let v = if out.degree(v1) >= out.degree(v2) { v1 } else { v2 };
+                    let l = vocab.intern(&format!("{fresh_label_prefix}{fresh}"));
+                    fresh += 1;
+                    out.relabel_vertex(v, l).expect("in range");
+                    done = true;
+                }
+                1 if out.size() > 0 => {
+                    let e = gss_graph::EdgeId::new(rng.gen_index(out.size()));
+                    let l = vocab.intern(&format!("{fresh_label_prefix}e{fresh}"));
+                    fresh += 1;
+                    out.relabel_edge(e, l).expect("in range");
+                    done = true;
+                }
+                2 if out.size() > 0 => {
+                    let e = gss_graph::EdgeId::new(rng.gen_index(out.size()));
+                    out = out.without_edges(&[e]);
+                    done = true;
+                }
+                3 if out.order() >= 2 => {
+                    let u = VertexId::new(rng.gen_index(out.order()));
+                    let v = VertexId::new(rng.gen_index(out.order()));
+                    if u != v && !out.has_edge(u, v) {
+                        let l = vocab.intern("-");
+                        out.add_edge(u, v, l).expect("checked");
+                        done = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Applies `edits` random edit operations to a copy of `g`, returning the
+/// perturbed graph. Operations are drawn uniformly from {vertex relabel,
+/// edge relabel, edge deletion, edge insertion}; each applied operation
+/// changes the graph, so the uniform GED to the original is at most
+/// `edits` (and usually close to it for small counts) — the knob the
+/// perturbation workloads use to plant graphs at controlled distances.
+pub fn perturb(
+    g: &Graph,
+    edits: usize,
+    vocab: &mut Vocabulary,
+    rng: &mut Rng,
+    fresh_label_prefix: &str,
+) -> Graph {
+    perturb_typed(g, PerturbationStyle::Mixed, edits, vocab, rng, fresh_label_prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::algo::is_connected;
+
+    #[test]
+    fn random_graph_is_connected_and_sized() {
+        let mut vocab = Vocabulary::new();
+        let mut rng = Rng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 12] {
+            let cfg = RandomGraphConfig { vertices: n, edges: n + 3, ..Default::default() };
+            let g = random_connected_graph("t", &cfg, &mut vocab, &mut rng);
+            assert_eq!(g.order(), n);
+            assert!(is_connected(&g), "n={n}");
+            let max = n * (n - 1) / 2;
+            assert!(g.size() <= max);
+            assert!(g.size() >= n.saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomGraphConfig::default();
+        let make = || {
+            let mut vocab = Vocabulary::new();
+            let mut rng = Rng::seed_from_u64(42);
+            let g = random_connected_graph("t", &cfg, &mut vocab, &mut rng);
+            gss_graph::format::write_database(&[g], &vocab)
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn molecules_respect_connectivity() {
+        let mut vocab = Vocabulary::new();
+        let mut rng = Rng::seed_from_u64(7);
+        for atoms in [1usize, 3, 8, 20] {
+            let cfg = MoleculeConfig { atoms, ..Default::default() };
+            let m = molecule_like_graph("mol", &cfg, &mut vocab, &mut rng);
+            assert_eq!(m.order(), atoms);
+            assert!(is_connected(&m), "atoms={atoms}");
+        }
+    }
+
+    #[test]
+    fn molecule_labels_are_chemical() {
+        let mut vocab = Vocabulary::new();
+        let mut rng = Rng::seed_from_u64(9);
+        let m = molecule_like_graph("mol", &MoleculeConfig { atoms: 15, ..Default::default() }, &mut vocab, &mut rng);
+        for v in m.vertices() {
+            let name = vocab.name(m.vertex_label(v)).unwrap();
+            assert!(["C", "N", "O", "S"].contains(&name));
+        }
+        for e in m.edges() {
+            let name = vocab.name(m.edge_label(e)).unwrap();
+            assert!(["-", "=", "#"].contains(&name));
+        }
+    }
+
+    #[test]
+    fn perturbation_bounds_edit_distance() {
+        let mut vocab = Vocabulary::new();
+        let mut rng = Rng::seed_from_u64(11);
+        let base = random_connected_graph(
+            "base",
+            &RandomGraphConfig { vertices: 6, edges: 7, ..Default::default() },
+            &mut vocab,
+            &mut rng,
+        );
+        for edits in [0usize, 1, 2, 3] {
+            let p = perturb(&base, edits, &mut vocab, &mut rng, "P");
+            let d = gss_ged::ged(&base, &p);
+            assert!(
+                d <= edits as f64 + 1e-9,
+                "{edits} edits produced distance {d}"
+            );
+            if edits == 0 {
+                assert_eq!(d, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_leaves_original_untouched() {
+        let mut vocab = Vocabulary::new();
+        let mut rng = Rng::seed_from_u64(13);
+        let base = random_connected_graph(
+            "base",
+            &RandomGraphConfig::default(),
+            &mut vocab,
+            &mut rng,
+        );
+        let before = gss_graph::format::write_database(std::slice::from_ref(&base), &vocab);
+        let _ = perturb(&base, 5, &mut vocab, &mut rng, "P");
+        let after = gss_graph::format::write_database(&[base], &vocab);
+        assert_eq!(before, after);
+    }
+}

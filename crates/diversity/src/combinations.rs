@@ -1,0 +1,125 @@
+//! Lexicographic k-subset enumeration.
+
+/// Iterator over all `k`-element subsets of `0..n` in lexicographic order
+/// (the order the paper's worked example lists its candidate subsets in).
+///
+/// ```
+/// use gss_diversity::combinations::Combinations;
+/// let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(all[0], vec![0, 1]);
+/// assert_eq!(all[5], vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    /// Creates the iterator; yields nothing when `k > n`, and exactly one
+    /// empty subset when `k == 0`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            current: (0..k).collect(),
+            done: k > n,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let result = self.current.clone();
+        // Advance to the next combination.
+        if self.k == 0 {
+            self.done = true;
+            return Some(result);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.current[i] < self.n - self.k + i {
+                self.current[i] += 1;
+                for j in i + 1..self.k {
+                    self.current[j] = self.current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+/// `C(n, k)` without overflow for the small arguments used here.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_lexicographically() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_match_binomial() {
+        for n in 0..8 {
+            for k in 0..=n + 1 {
+                let count = Combinations::new(n, k).count() as u128;
+                assert_eq!(count, binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(Combinations::new(0, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(Combinations::new(3, 0).count(), 1);
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+        assert_eq!(Combinations::new(5, 5).collect::<Vec<_>>(), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424); // fits u128
+    }
+}

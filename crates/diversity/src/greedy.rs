@@ -1,0 +1,138 @@
+//! Greedy max-min diversity heuristic.
+//!
+//! Exhaustive refinement costs `C(n, k)` subset evaluations; this module
+//! provides the classical polynomial alternative for large skylines:
+//! scalarize the `d` pairwise distances (sum), seed with the farthest pair,
+//! then repeatedly add the item maximizing its minimum scalarized distance
+//! to the current selection. `O(n²d + k·n²)`.
+//!
+//! The heuristic optimizes max-min scalarized diversity, not the paper's
+//! rank-sum objective, so it is a *baseline*: benches compare its rank-sum
+//! `val` against the exact optimum.
+
+/// Greedily selects `k` diverse items. Returns ascending indices.
+///
+/// `matrices[i]` is the symmetric `n × n` matrix of `Dist_i`. Returns all
+/// items when `k ≥ n`; an empty vector when `k == 0` or there are no items.
+pub fn refine_greedy(matrices: &[Vec<Vec<f64>>], k: usize) -> Vec<usize> {
+    let n = matrices.first().map_or(0, Vec::len);
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    let scalar = |a: usize, b: usize| -> f64 { matrices.iter().map(|m| m[a][b]).sum() };
+
+    // Seed: the globally farthest pair (ties by smaller indices).
+    let (mut sa, mut sb, mut best) = (0usize, 1usize.min(n - 1), f64::NEG_INFINITY);
+    for a in 0..n {
+        for b in a + 1..n {
+            let d = scalar(a, b);
+            if d > best {
+                best = d;
+                sa = a;
+                sb = b;
+            }
+        }
+    }
+    let mut selected = vec![sa, sb];
+    if k == 1 {
+        selected.truncate(1);
+        return selected;
+    }
+
+    while selected.len() < k {
+        let mut pick: Option<(usize, f64)> = None;
+        for cand in 0..n {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let dmin = selected
+                .iter()
+                .map(|&s| scalar(cand, s))
+                .fold(f64::INFINITY, f64::min);
+            if pick.map_or(true, |(_, d)| dmin > d) {
+                pick = Some((cand, dmin));
+            }
+        }
+        selected.push(pick.expect("k < n guarantees a candidate").0);
+    }
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::refine_exact;
+
+    fn line_instance(n: usize) -> Vec<Vec<Vec<f64>>> {
+        // Items on a line: distance = |i - j|.
+        let m: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect();
+        vec![m]
+    }
+
+    #[test]
+    fn picks_extremes_on_a_line() {
+        let m = line_instance(10);
+        assert_eq!(refine_greedy(&m, 2), vec![0, 9]);
+        // Adding a third point: the middle maximizes min distance.
+        let three = refine_greedy(&m, 3);
+        assert_eq!(three.len(), 3);
+        assert!(three.contains(&0) && three.contains(&9));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let m = line_instance(5);
+        assert!(refine_greedy(&m, 0).is_empty());
+        assert_eq!(refine_greedy(&m, 1).len(), 1);
+        assert_eq!(refine_greedy(&m, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(refine_greedy(&m, 50), vec![0, 1, 2, 3, 4]);
+        assert!(refine_greedy(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_easy_instance() {
+        // When one pair is overwhelmingly far apart, both must pick it.
+        let m = vec![vec![
+            vec![0.0, 0.1, 9.0],
+            vec![0.1, 0.0, 0.1],
+            vec![9.0, 0.1, 0.0],
+        ]];
+        let g = refine_greedy(&m, 2);
+        let e = refine_exact(&m, 2, u128::MAX).unwrap();
+        assert_eq!(g, e.best_members());
+        assert_eq!(g, vec![0, 2]);
+    }
+
+    #[test]
+    fn greedy_val_is_at_least_exact_val() {
+        // Rank-sum of the greedy subset can't beat the exact optimum.
+        let m = vec![
+            vec![
+                vec![0.0, 0.5, 0.2, 0.7],
+                vec![0.5, 0.0, 0.9, 0.1],
+                vec![0.2, 0.9, 0.0, 0.4],
+                vec![0.7, 0.1, 0.4, 0.0],
+            ],
+            vec![
+                vec![0.0, 0.3, 0.8, 0.2],
+                vec![0.3, 0.0, 0.5, 0.6],
+                vec![0.8, 0.5, 0.0, 0.3],
+                vec![0.2, 0.6, 0.3, 0.0],
+            ],
+        ];
+        let exact = refine_exact(&m, 2, u128::MAX).unwrap();
+        let greedy = refine_greedy(&m, 2);
+        let greedy_eval = exact
+            .candidates
+            .iter()
+            .find(|c| c.members == greedy)
+            .expect("greedy subset must be among candidates");
+        assert!(greedy_eval.val >= exact.candidates[exact.best].val);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gss-diversity — diversity-based result refinement
+//!
+//! Implements Section VII of Abbaci et al. (GDM/ICDE 2011): a graph
+//! similarity skyline can be large, so the user asks for the `k`-subset with
+//! **maximal diversity** — the subset whose members are as dissimilar from
+//! each other as possible, simultaneously along every local distance.
+//!
+//! The crate is domain-independent: it sees items only through `d` symmetric
+//! pairwise-distance matrices.
+//!
+//! * [`refine::refine_exact`] — the paper's exhaustive rank-sum procedure
+//!   (diversity vector → per-dimension dense ranks → minimize rank sum),
+//!   with explicit tie reporting;
+//! * [`greedy::refine_greedy`] — a polynomial max-min baseline for large
+//!   skylines;
+//! * [`combinations`], [`ranking`] — the underlying utilities, exposed
+//!   because the bench harness uses them directly.
+//!
+//! ```
+//! use gss_diversity::refine_exact;
+//!
+//! // Three items, one distance dimension; items 0 and 2 are farthest.
+//! let m = vec![vec![
+//!     vec![0.0, 0.2, 0.9],
+//!     vec![0.2, 0.0, 0.3],
+//!     vec![0.9, 0.3, 0.0],
+//! ]];
+//! let r = refine_exact(&m, 2, u128::MAX).unwrap();
+//! assert_eq!(r.best_members(), &[0, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod combinations;
+pub mod greedy;
+pub mod ranking;
+pub mod refine;
+
+pub use greedy::refine_greedy;
+pub use ranking::dense_ranks_desc;
+pub use refine::{refine_exact, DiversityError, DiversityResult, SubsetEvaluation};

@@ -1,0 +1,73 @@
+//! Dense descending ranking with ties.
+//!
+//! Step 1 of the paper's refinement (Section VII) ranks candidate subsets
+//! per dimension "in decreasing way according to their diversity": rank 1 is
+//! the most diverse, tied values share a rank, and ranks are *dense* (the
+//! rank after a tie group is the next integer — exactly how Table V ranks
+//! its tied candidates, e.g. two candidates at rank 3 followed by rank 4).
+
+/// Assigns dense, descending ranks (1 = largest value). Values closer than
+/// `epsilon` are treated as tied, guarding against floating-point noise in
+/// distances computed along different code paths.
+pub fn dense_ranks_desc(values: &[f64], epsilon: f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+    let mut ranks = vec![0usize; values.len()];
+    let mut rank = 0usize;
+    let mut prev: Option<f64> = None;
+    for &i in &order {
+        match prev {
+            Some(p) if (p - values[i]).abs() <= epsilon => {}
+            _ => rank += 1,
+        }
+        ranks[i] = rank;
+        prev = Some(values[i]);
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        // Values 0.86, 0.83, 0.87, 0.80, 0.83, 0.75 — the paper's v1 column.
+        let v = [0.86, 0.83, 0.87, 0.80, 0.83, 0.75];
+        let r = dense_ranks_desc(&v, 1e-9);
+        assert_eq!(r, vec![2, 3, 1, 4, 3, 5]); // Table V-(a) column r1
+    }
+
+    #[test]
+    fn paper_v2_column() {
+        let v = [0.67, 0.50, 0.60, 0.62, 0.70, 0.50];
+        let r = dense_ranks_desc(&v, 1e-9);
+        assert_eq!(r, vec![2, 5, 4, 3, 1, 5]); // Table V-(a) column r2
+    }
+
+    #[test]
+    fn paper_v3_column() {
+        let v = [0.80, 0.60, 0.67, 0.73, 0.77, 0.61];
+        let r = dense_ranks_desc(&v, 1e-9);
+        assert_eq!(r, vec![1, 6, 4, 3, 2, 5]); // Table V-(a) column r3
+    }
+
+    #[test]
+    fn all_equal_values_share_rank_one() {
+        let r = dense_ranks_desc(&[3.0, 3.0, 3.0], 1e-9);
+        assert_eq!(r, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(dense_ranks_desc(&[], 1e-9).is_empty());
+        assert_eq!(dense_ranks_desc(&[42.0], 1e-9), vec![1]);
+    }
+
+    #[test]
+    fn epsilon_merges_near_ties() {
+        let v = [0.5000000001, 0.5, 0.4];
+        assert_eq!(dense_ranks_desc(&v, 1e-6), vec![1, 1, 2]);
+        assert_eq!(dense_ranks_desc(&v, 0.0), vec![1, 2, 3]);
+    }
+}

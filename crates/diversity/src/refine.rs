@@ -1,0 +1,255 @@
+//! Exact diversity-based refinement (Section VII of the paper).
+//!
+//! Given `n` items, `d` pairwise distance matrices (one per local measure)
+//! and a target size `k`, evaluate **every** `k`-subset `S`:
+//!
+//! 1. `Div(S) = (v_1, …, v_d)` with `v_i = min { Dist_i(x, y) | x, y ∈ S }`;
+//! 2. rank all candidates per dimension in decreasing diversity
+//!    (dense ranks, ties share a rank — see [`crate::ranking`]);
+//! 3. `val(S) = Σ_i rank_i(S)`; the refined subset `𝕊` minimizes `val`.
+//!
+//! The paper does not define a tiebreak; we return the lexicographically
+//! first minimizer (by enumeration order) and expose every tied candidate
+//! so callers can surface the ambiguity.
+
+use crate::combinations::{binomial, Combinations};
+use crate::ranking::dense_ranks_desc;
+
+/// Evaluation of a single candidate subset.
+#[derive(Clone, Debug)]
+pub struct SubsetEvaluation {
+    /// Item indices, ascending.
+    pub members: Vec<usize>,
+    /// Per-dimension diversity `v_i` (minimum pairwise distance inside).
+    pub diversity: Vec<f64>,
+    /// Per-dimension dense rank (1 = most diverse).
+    pub ranks: Vec<usize>,
+    /// Rank sum `val(S)`.
+    pub val: usize,
+}
+
+/// Full result of the exact refinement.
+#[derive(Clone, Debug)]
+pub struct DiversityResult {
+    /// Every candidate subset in enumeration (lexicographic) order.
+    pub candidates: Vec<SubsetEvaluation>,
+    /// Index into `candidates` of the returned winner.
+    pub best: usize,
+    /// Indices of all candidates tied at the minimal `val` (includes
+    /// `best`; length 1 means the winner is unique).
+    pub tied: Vec<usize>,
+}
+
+impl DiversityResult {
+    /// The winning subset's members.
+    pub fn best_members(&self) -> &[usize] {
+        &self.candidates[self.best].members
+    }
+}
+
+/// Errors from [`refine_exact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiversityError {
+    /// `k` must be at least 2 (single-element subsets have no pairwise
+    /// diversity under the paper's definition).
+    SubsetTooSmall {
+        /// The offending k.
+        k: usize,
+    },
+    /// `k` exceeds the number of items.
+    NotEnoughItems {
+        /// Requested subset size.
+        k: usize,
+        /// Items available.
+        n: usize,
+    },
+    /// The number of candidate subsets exceeds `max_candidates`.
+    TooManyCandidates {
+        /// `C(n, k)`.
+        candidates: u128,
+        /// The configured cap.
+        cap: u128,
+    },
+    /// A distance matrix is malformed (not `n × n`).
+    MalformedMatrix {
+        /// Dimension index of the bad matrix.
+        dimension: usize,
+    },
+}
+
+impl std::fmt::Display for DiversityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiversityError::SubsetTooSmall { k } => {
+                write!(f, "subset size k={k} too small; pairwise diversity needs k >= 2")
+            }
+            DiversityError::NotEnoughItems { k, n } => {
+                write!(f, "cannot pick k={k} items out of {n}")
+            }
+            DiversityError::TooManyCandidates { candidates, cap } => {
+                write!(f, "C(n,k) = {candidates} exceeds the exact-enumeration cap {cap}")
+            }
+            DiversityError::MalformedMatrix { dimension } => {
+                write!(f, "distance matrix for dimension {dimension} is not n×n")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiversityError {}
+
+/// Exhaustive rank-sum refinement.
+///
+/// `matrices[i]` is the symmetric `n × n` matrix of `Dist_i`;
+/// `max_candidates` bounds `C(n, k)` to keep the exhaustive enumeration
+/// honest about its cost (pass `u128::MAX` to disable).
+pub fn refine_exact(
+    matrices: &[Vec<Vec<f64>>],
+    k: usize,
+    max_candidates: u128,
+) -> Result<DiversityResult, DiversityError> {
+    let n = matrices.first().map_or(0, Vec::len);
+    if k < 2 {
+        return Err(DiversityError::SubsetTooSmall { k });
+    }
+    if k > n {
+        return Err(DiversityError::NotEnoughItems { k, n });
+    }
+    for (dim, m) in matrices.iter().enumerate() {
+        if m.len() != n || m.iter().any(|row| row.len() != n) {
+            return Err(DiversityError::MalformedMatrix { dimension: dim });
+        }
+    }
+    let count = binomial(n, k);
+    if count > max_candidates {
+        return Err(DiversityError::TooManyCandidates { candidates: count, cap: max_candidates });
+    }
+
+    // Step 0: diversity vectors for every candidate.
+    let mut candidates: Vec<SubsetEvaluation> = Combinations::new(n, k)
+        .map(|members| {
+            let diversity: Vec<f64> = matrices
+                .iter()
+                .map(|m| {
+                    let mut v = f64::INFINITY;
+                    for (ai, &a) in members.iter().enumerate() {
+                        for &b in &members[ai + 1..] {
+                            v = v.min(m[a][b]);
+                        }
+                    }
+                    v
+                })
+                .collect();
+            SubsetEvaluation { members, diversity, ranks: Vec::new(), val: 0 }
+        })
+        .collect();
+
+    // Steps 1–2: per-dimension dense ranks, then rank sums.
+    for dim in 0..matrices.len() {
+        let column: Vec<f64> = candidates.iter().map(|c| c.diversity[dim]).collect();
+        let ranks = dense_ranks_desc(&column, 1e-9);
+        for (c, r) in candidates.iter_mut().zip(ranks) {
+            c.ranks.push(r);
+        }
+    }
+    for c in &mut candidates {
+        c.val = c.ranks.iter().sum();
+    }
+
+    let min_val = candidates.iter().map(|c| c.val).min().expect("k>=2 and k<=n imply candidates");
+    let tied: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.val == min_val)
+        .map(|(i, _)| i)
+        .collect();
+    let best = tied[0];
+    Ok(DiversityResult { candidates, best, tied })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 4-item, 2-dimension instance with a clear winner.
+    fn toy() -> Vec<Vec<Vec<f64>>> {
+        // Items 0..4; dim 0 distances spread items 0 and 3 far apart.
+        let d0 = vec![
+            vec![0.0, 0.1, 0.2, 0.9],
+            vec![0.1, 0.0, 0.1, 0.2],
+            vec![0.2, 0.1, 0.0, 0.1],
+            vec![0.9, 0.2, 0.1, 0.0],
+        ];
+        // dim 1 agrees.
+        let d1 = vec![
+            vec![0.0, 0.2, 0.3, 0.8],
+            vec![0.2, 0.0, 0.2, 0.3],
+            vec![0.3, 0.2, 0.0, 0.2],
+            vec![0.8, 0.3, 0.2, 0.0],
+        ];
+        vec![d0, d1]
+    }
+
+    #[test]
+    fn picks_the_far_pair() {
+        let r = refine_exact(&toy(), 2, u128::MAX).unwrap();
+        assert_eq!(r.best_members(), &[0, 3]);
+        assert_eq!(r.tied.len(), 1, "unique winner expected");
+        // Its per-dimension ranks must both be 1 (most diverse).
+        assert_eq!(r.candidates[r.best].ranks, vec![1, 1]);
+        assert_eq!(r.candidates[r.best].val, 2);
+    }
+
+    #[test]
+    fn diversity_is_min_pairwise() {
+        let r = refine_exact(&toy(), 3, u128::MAX).unwrap();
+        // Subset {0,1,3}: dim0 min(0.1, 0.9, 0.2) = 0.1
+        let s013 = r
+            .candidates
+            .iter()
+            .find(|c| c.members == vec![0, 1, 3])
+            .unwrap();
+        assert!((s013.diversity[0] - 0.1).abs() < 1e-12);
+        assert!((s013.diversity[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        let m = toy();
+        assert_eq!(refine_exact(&m, 1, u128::MAX).unwrap_err(), DiversityError::SubsetTooSmall { k: 1 });
+        assert_eq!(
+            refine_exact(&m, 9, u128::MAX).unwrap_err(),
+            DiversityError::NotEnoughItems { k: 9, n: 4 }
+        );
+        assert!(matches!(
+            refine_exact(&m, 2, 1).unwrap_err(),
+            DiversityError::TooManyCandidates { .. }
+        ));
+        let bad = vec![vec![vec![0.0, 1.0], vec![1.0]]]; // ragged 2×(2,1)
+        assert_eq!(
+            refine_exact(&bad, 2, u128::MAX).unwrap_err(),
+            DiversityError::MalformedMatrix { dimension: 0 }
+        );
+    }
+
+    #[test]
+    fn ties_are_reported() {
+        // Perfectly symmetric instance: all pairs equidistant → all subsets tie.
+        let m = vec![vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]];
+        let r = refine_exact(&m, 2, u128::MAX).unwrap();
+        assert_eq!(r.tied.len(), 3);
+        assert_eq!(r.best, 0, "lexicographically first tie wins");
+        assert_eq!(r.best_members(), &[0, 1]);
+    }
+
+    #[test]
+    fn full_set_subset() {
+        let r = refine_exact(&toy(), 4, u128::MAX).unwrap();
+        assert_eq!(r.candidates.len(), 1);
+        assert_eq!(r.best_members(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for diversity refinement.
+
+use gss_diversity::combinations::{binomial, Combinations};
+use gss_diversity::{dense_ranks_desc, refine_exact, refine_greedy};
+use proptest::prelude::*;
+
+/// Strategy: `d` random symmetric distance matrices over `n` items.
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
+fn matrices(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<Vec<f64>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0.0f64..1.0, n..=n), n..=n),
+        d..=d,
+    )
+    .prop_map(move |mut ms| {
+        for m in &mut ms {
+            for i in 0..n {
+                m[i][i] = 0.0;
+                for j in 0..i {
+                    m[i][j] = m[j][i];
+                }
+            }
+        }
+        ms
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exact_winner_minimizes_rank_sum(ms in matrices(6, 3), k in 2usize..5) {
+        let r = refine_exact(&ms, k, u128::MAX).unwrap();
+        let best_val = r.candidates[r.best].val;
+        for c in &r.candidates {
+            prop_assert!(c.val >= best_val, "winner must minimize val");
+        }
+        // Tie list is consistent.
+        for &t in &r.tied {
+            prop_assert_eq!(r.candidates[t].val, best_val);
+        }
+        prop_assert!(r.tied.contains(&r.best));
+        // Candidate count is C(n, k).
+        prop_assert_eq!(r.candidates.len() as u128, binomial(6, k));
+    }
+
+    #[test]
+    fn diversity_vectors_are_min_pairwise(ms in matrices(5, 2), k in 2usize..4) {
+        let r = refine_exact(&ms, k, u128::MAX).unwrap();
+        for c in &r.candidates {
+            for (dim, m) in ms.iter().enumerate() {
+                let mut expected = f64::INFINITY;
+                for (ai, &a) in c.members.iter().enumerate() {
+                    for &b in &c.members[ai + 1..] {
+                        expected = expected.min(m[a][b]);
+                    }
+                }
+                prop_assert!((c.diversity[dim] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_subset_is_valid_and_never_beats_exact(ms in matrices(6, 2), k in 2usize..5) {
+        let greedy = refine_greedy(&ms, k);
+        prop_assert_eq!(greedy.len(), k);
+        let mut sorted = greedy.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "greedy must return distinct items");
+
+        let exact = refine_exact(&ms, k, u128::MAX).unwrap();
+        let greedy_eval = exact
+            .candidates
+            .iter()
+            .find(|c| c.members == greedy)
+            .expect("greedy subset is one of the candidates");
+        prop_assert!(greedy_eval.val >= exact.candidates[exact.best].val);
+    }
+
+    #[test]
+    fn dense_ranks_are_dense_and_order_preserving(
+        values in prop::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let ranks = dense_ranks_desc(&values, 1e-12);
+        let max_rank = *ranks.iter().max().unwrap();
+        // Dense: every rank 1..=max occurs.
+        for r in 1..=max_rank {
+            prop_assert!(ranks.contains(&r), "rank {} missing", r);
+        }
+        // Order-preserving: larger value ⟹ smaller-or-equal rank.
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] + 1e-12 {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_distinct_and_complete(n in 0usize..7, k in 0usize..8) {
+        let all: Vec<Vec<usize>> = Combinations::new(n, k).collect();
+        prop_assert_eq!(all.len() as u128, binomial(n, k));
+        for c in &all {
+            prop_assert_eq!(c.len(), k);
+            for w in c.windows(2) {
+                prop_assert!(w[0] < w[1], "members strictly increasing");
+            }
+            for &x in c {
+                prop_assert!(x < n);
+            }
+        }
+        // Lexicographic and distinct.
+        for w in all.windows(2) {
+            prop_assert!(w[0] < w[1], "enumeration must be strictly lexicographic");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Beam-search GED approximation.
+//!
+//! Explores the same vertex-decision tree as [`crate::exact`] but keeps only
+//! the `width` cheapest partial states per depth. Polynomial
+//! (`O(depth · width · branching)`), anytime-quality upper bound: with
+//! `width = ∞` it would coincide with exhaustive search; tests verify it
+//! never undercuts the exact distance and improves with width.
+
+use gss_graph::{Graph, VertexId};
+
+use crate::cost::CostModel;
+use crate::exact::GedResult;
+use crate::path::{mapping_cost, VertexMapping};
+
+#[derive(Clone)]
+struct State {
+    /// Image per g1 vertex: None = undecided-or-deleted; tracked via `decided`.
+    map: Vec<Option<VertexId>>,
+    used2: Vec<bool>,
+    cost: f64,
+}
+
+/// Approximates GED with a beam of the given `width` (≥ 1).
+pub fn beam_ged(g1: &Graph, g2: &Graph, cost: &CostModel, width: usize) -> GedResult {
+    cost.validate().expect("invalid cost model");
+    let width = width.max(1);
+
+    let mut order: Vec<VertexId> = g1.vertices().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g1.degree(v)));
+
+    let mut beam = vec![State {
+        map: vec![None; g1.order()],
+        used2: vec![false; g2.order()],
+        cost: 0.0,
+    }];
+
+    for (depth, &u) in order.iter().enumerate() {
+        let mut next: Vec<State> = Vec::with_capacity(beam.len() * (g2.order() + 1));
+        for st in &beam {
+            // Substitutions.
+            for v in g2.vertices() {
+                if st.used2[v.index()] {
+                    continue;
+                }
+                let step = decide_cost(g1, g2, cost, &order[..depth], &st.map, u, Some(v));
+                let mut s = st.clone();
+                s.map[u.index()] = Some(v);
+                s.used2[v.index()] = true;
+                s.cost += step;
+                next.push(s);
+            }
+            // Deletion.
+            let step = decide_cost(g1, g2, cost, &order[..depth], &st.map, u, None);
+            let mut s = st.clone();
+            s.map[u.index()] = None;
+            s.cost += step;
+            next.push(s);
+        }
+        next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        next.truncate(width);
+        beam = next;
+    }
+
+    // Complete the cheapest surviving state (re-evaluated exactly).
+    let mut best: Option<(f64, VertexMapping)> = None;
+    for st in beam {
+        let mapping = VertexMapping { map: st.map };
+        let total = mapping_cost(g1, g2, &mapping, cost);
+        if best.as_ref().map_or(true, |(c, _)| total < *c) {
+            best = Some((total, mapping));
+        }
+    }
+    let (c, mapping) = best.expect("beam is never empty");
+    GedResult { cost: c, mapping, exact: false, expanded: 0 }
+}
+
+/// Incremental cost of deciding `u` given that exactly the vertices in
+/// `decided` (a prefix of the order) are already decided in `map`.
+fn decide_cost(
+    g1: &Graph,
+    g2: &Graph,
+    cm: &CostModel,
+    decided: &[VertexId],
+    map: &[Option<VertexId>],
+    u: VertexId,
+    choice: Option<VertexId>,
+) -> f64 {
+    let is_decided = |w: VertexId| decided.contains(&w);
+    let mut c = 0.0;
+    match choice {
+        Some(v) => {
+            if g1.vertex_label(u) != g2.vertex_label(v) {
+                c += cm.vertex_rel;
+            }
+            for (w, ew) in g1.neighbors(u) {
+                if !is_decided(w) {
+                    continue;
+                }
+                match map[w.index()] {
+                    Some(x) => match g2.edge_between(v, x) {
+                        Some(e2) => {
+                            if g2.edge_label(e2) != g1.edge_label(ew) {
+                                c += cm.edge_rel;
+                            }
+                        }
+                        None => c += cm.edge_del,
+                    },
+                    None => c += cm.edge_del,
+                }
+            }
+            // g2 edges from v to already-used images lacking a g1 counterpart.
+            for (x, _) in g2.neighbors(v) {
+                let preimage = decided
+                    .iter()
+                    .find(|w| map[w.index()] == Some(x))
+                    .copied();
+                if let Some(w) = preimage {
+                    if g1.edge_between(u, w).is_none() {
+                        c += cm.edge_ins;
+                    }
+                }
+            }
+        }
+        None => {
+            c += cm.vertex_del;
+            for (w, _) in g1.neighbors(u) {
+                if is_decided(w) {
+                    c += cm.edge_del;
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_ged, GedOptions};
+    use gss_graph::{Graph, GraphBuilder, Label, Rng, Vocabulary};
+
+    #[test]
+    fn identical_graphs_zero() {
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("g", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .edge("a", "b", "-")
+            .build()
+            .unwrap();
+        assert_eq!(beam_ged(&g, &g, &CostModel::uniform(), 4).cost, 0.0);
+    }
+
+    fn random_graph(rng: &mut Rng, n: usize, m: usize) -> Graph {
+        let mut g = Graph::new("r");
+        for _ in 0..n {
+            g.add_vertex(Label(rng.gen_index(3) as u32));
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < m && attempts < 100 {
+            attempts += 1;
+            let u = VertexId::new(rng.gen_index(n));
+            let w = VertexId::new(rng.gen_index(n));
+            if u != w && !g.has_edge(u, w) {
+                g.add_edge(u, w, Label(10)).unwrap();
+                added += 1;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn upper_bounds_exact_and_improves_with_width() {
+        let mut rng = Rng::seed_from_u64(0xbea);
+        for case in 0..40 {
+            let (n1, m1) = (1 + rng.gen_index(5), rng.gen_index(6));
+            let (n2, m2) = (1 + rng.gen_index(5), rng.gen_index(6));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            let exact = exact_ged(&g1, &g2, &GedOptions::default()).cost;
+            let narrow = beam_ged(&g1, &g2, &CostModel::uniform(), 1).cost;
+            let wide = beam_ged(&g1, &g2, &CostModel::uniform(), 64).cost;
+            assert!(narrow >= exact - 1e-9, "case {case}: beam(1) {narrow} < exact {exact}");
+            assert!(wide >= exact - 1e-9, "case {case}: beam(64) {wide} < exact {exact}");
+            assert!(wide <= narrow + 1e-9, "case {case}: wider beam must not be worse");
+        }
+    }
+
+    #[test]
+    fn wide_beam_matches_exact_on_small_graphs() {
+        let mut rng = Rng::seed_from_u64(0xbeef);
+        for _ in 0..20 {
+            let (n1, m1) = (1 + rng.gen_index(4), rng.gen_index(4));
+            let (n2, m2) = (1 + rng.gen_index(4), rng.gen_index(4));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            let exact = exact_ged(&g1, &g2, &GedOptions::default()).cost;
+            // Width 10_000 on ≤4-vertex graphs is effectively exhaustive.
+            let wide = beam_ged(&g1, &g2, &CostModel::uniform(), 10_000).cost;
+            assert_eq!(wide, exact);
+        }
+    }
+}

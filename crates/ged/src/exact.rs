@@ -1,0 +1,529 @@
+//! Exact graph edit distance via depth-first branch and bound.
+//!
+//! ## Formulation
+//!
+//! The solver searches over complete vertex mappings (see [`crate::path`]):
+//! `g1` vertices are decided one by one (highest degree first) — each either
+//! substituted onto an unused `g2` vertex or deleted — and the induced edit
+//! cost is accumulated incrementally so that every edge operation is charged
+//! exactly once (when its *later* endpoint is decided, or at completion for
+//! edges touching inserted vertices).
+//!
+//! ## Bounding
+//!
+//! At every node an admissible lower bound on the remaining cost is added:
+//! the label-multiset alignment bound over the still-undecided vertex sets
+//! and the edge sets fully contained in them (scaled by the cheapest
+//! respective operation cost so it stays admissible under non-uniform
+//! models). Branches with `cost + bound ≥ best` are pruned.
+//!
+//! The solver accepts an optional *node budget*; when exhausted it returns
+//! the best complete mapping found so far flagged `exact = false`, making it
+//! an anytime algorithm for the large-graph benchmarks.
+
+use gss_graph::{Graph, VertexId};
+
+use crate::cost::CostModel;
+use crate::path::{mapping_cost, VertexMapping};
+
+/// Options for [`exact_ged`].
+#[derive(Clone, Debug, Default)]
+pub struct GedOptions {
+    /// Per-operation costs (default: uniform, as in the paper).
+    pub cost: CostModel,
+    /// Maximum number of search-tree nodes to expand (`None` = unlimited).
+    pub node_limit: Option<u64>,
+    /// Optional starting incumbent (e.g. from
+    /// [`crate::bipartite::bipartite_ged`]); must be a valid complete mapping.
+    pub warm_start: Option<VertexMapping>,
+}
+
+/// Result of a GED computation.
+#[derive(Clone, Debug)]
+pub struct GedResult {
+    /// The edit cost found (minimal when `exact`).
+    pub cost: f64,
+    /// The witnessing vertex mapping.
+    pub mapping: VertexMapping,
+    /// True when the search completed and `cost` is provably optimal.
+    pub exact: bool,
+    /// Number of search nodes expanded.
+    pub expanded: u64,
+}
+
+struct Solver<'a> {
+    g1: &'a Graph,
+    g2: &'a Graph,
+    cm: CostModel,
+    /// g1 vertices in decision order (highest degree first).
+    order: Vec<VertexId>,
+    /// image of each g1 vertex (by g1 index): u32::MAX undecided, SENTINEL_DELETED deleted.
+    map: Vec<u32>,
+    /// preimage of each g2 vertex.
+    inv: Vec<u32>,
+    /// remaining (undecided) vertex-label counts.
+    r1_vlabels: Vec<i64>,
+    r2_vlabels: Vec<i64>,
+    best_cost: f64,
+    best_map: Vec<u32>,
+    expanded: u64,
+    node_limit: u64,
+    aborted: bool,
+}
+
+const UNDECIDED: u32 = u32::MAX;
+const DELETED: u32 = u32::MAX - 1;
+
+impl<'a> Solver<'a> {
+    /// Incremental cost of deciding `u` (the vertex at `depth`) as `choice`
+    /// (`Some(v)` substitution, `None` deletion), given all vertices earlier
+    /// in the order are decided.
+    fn decide_cost(&self, u: VertexId, choice: Option<VertexId>) -> f64 {
+        let mut c = 0.0;
+        match choice {
+            Some(v) => {
+                if self.g1.vertex_label(u) != self.g2.vertex_label(v) {
+                    c += self.cm.vertex_rel;
+                }
+                // g1 edges from u to decided vertices.
+                for (w, ew) in self.g1.neighbors(u) {
+                    match self.map[w.index()] {
+                        UNDECIDED => {}
+                        DELETED => c += self.cm.edge_del,
+                        x => match self.g2.edge_between(v, VertexId(x)) {
+                            Some(e2) => {
+                                if self.g2.edge_label(e2) != self.g1.edge_label(ew) {
+                                    c += self.cm.edge_rel;
+                                }
+                            }
+                            None => c += self.cm.edge_del,
+                        },
+                    }
+                }
+                // g2 edges from v to used vertices with no g1 counterpart.
+                for (x, _ex) in self.g2.neighbors(v) {
+                    let w = self.inv[x.index()];
+                    if w == UNDECIDED {
+                        continue;
+                    }
+                    if self.g1.edge_between(u, VertexId(w)).is_none() {
+                        c += self.cm.edge_ins;
+                    }
+                }
+            }
+            None => {
+                c += self.cm.vertex_del;
+                for (w, _) in self.g1.neighbors(u) {
+                    if self.map[w.index()] != UNDECIDED {
+                        c += self.cm.edge_del;
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Cost of completing a state where all g1 vertices are decided:
+    /// insert every unused g2 vertex and every g2 edge touching one.
+    fn completion_cost(&self) -> f64 {
+        let mut c = 0.0;
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED {
+                c += self.cm.vertex_ins;
+            }
+        }
+        for e in self.g2.edges() {
+            let edge = self.g2.edge(e);
+            if self.inv[edge.u.index()] == UNDECIDED || self.inv[edge.v.index()] == UNDECIDED {
+                c += self.cm.edge_ins;
+            }
+        }
+        c
+    }
+
+    /// Admissible lower bound on the cost still to come (see module docs).
+    fn lower_bound(&self, depth: usize) -> f64 {
+        // Vertex part: align remaining label multisets.
+        let n1r = (self.order.len() - depth) as i64;
+        let n2r = self.inv.iter().filter(|&&w| w == UNDECIDED).count() as i64;
+        let mut common_v = 0i64;
+        for (l, &c1) in self.r1_vlabels.iter().enumerate() {
+            common_v += c1.min(self.r2_vlabels[l]);
+        }
+        let vertex_ops = (n1r.max(n2r) - common_v).max(0) as f64;
+
+        // Edge part: edges fully inside the undecided regions, aligned by
+        // edge label.
+        let mut e1_labels: Vec<i64> = vec![0; self.r1_vlabels.len()];
+        let mut e1r = 0i64;
+        for e in self.g1.edges() {
+            let edge = self.g1.edge(e);
+            if self.map[edge.u.index()] == UNDECIDED && self.map[edge.v.index()] == UNDECIDED {
+                e1_labels[edge.label.index()] += 1;
+                e1r += 1;
+            }
+        }
+        let mut e2_labels: Vec<i64> = vec![0; self.r1_vlabels.len()];
+        let mut e2r = 0i64;
+        for e in self.g2.edges() {
+            let edge = self.g2.edge(e);
+            if self.inv[edge.u.index()] == UNDECIDED && self.inv[edge.v.index()] == UNDECIDED {
+                e2_labels[edge.label.index()] += 1;
+                e2r += 1;
+            }
+        }
+        let mut common_e = 0i64;
+        for (l, &c1) in e1_labels.iter().enumerate() {
+            common_e += c1.min(e2_labels[l]);
+        }
+        let edge_ops = (e1r.max(e2r) - common_e).max(0) as f64;
+
+        vertex_ops * self.cm.min_vertex_op() + edge_ops * self.cm.min_edge_op()
+    }
+
+    fn search(&mut self, depth: usize, cost_so_far: f64) {
+        if self.aborted {
+            return;
+        }
+        self.expanded += 1;
+        if self.expanded > self.node_limit {
+            self.aborted = true;
+            return;
+        }
+        if depth == self.order.len() {
+            let total = cost_so_far + self.completion_cost();
+            if total < self.best_cost {
+                self.best_cost = total;
+                self.best_map = self.map.clone();
+            }
+            return;
+        }
+        if cost_so_far + self.lower_bound(depth) >= self.best_cost {
+            return;
+        }
+        let u = self.order[depth];
+        let lu = self.g1.vertex_label(u);
+
+        // Candidate order: same-label substitutions, deletion, then
+        // different-label substitutions — cheap options first so a good
+        // incumbent appears early.
+        let mut candidates: Vec<Option<VertexId>> = Vec::with_capacity(self.g2.order() + 1);
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) == lu {
+                candidates.push(Some(v));
+            }
+        }
+        candidates.push(None);
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) != lu {
+                candidates.push(Some(v));
+            }
+        }
+
+        for choice in candidates {
+            let step = self.decide_cost(u, choice);
+            if cost_so_far + step >= self.best_cost {
+                continue;
+            }
+            // Apply.
+            self.r1_vlabels[lu.index()] -= 1;
+            match choice {
+                Some(v) => {
+                    self.map[u.index()] = v.0;
+                    self.inv[v.index()] = u.0;
+                    self.r2_vlabels[self.g2.vertex_label(v).index()] -= 1;
+                }
+                None => self.map[u.index()] = DELETED,
+            }
+            self.search(depth + 1, cost_so_far + step);
+            // Undo.
+            self.r1_vlabels[lu.index()] += 1;
+            match choice {
+                Some(v) => {
+                    self.map[u.index()] = UNDECIDED;
+                    self.inv[v.index()] = UNDECIDED;
+                    self.r2_vlabels[self.g2.vertex_label(v).index()] += 1;
+                }
+                None => self.map[u.index()] = UNDECIDED,
+            }
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+fn max_label_index(g1: &Graph, g2: &Graph) -> usize {
+    let mut m = 0usize;
+    for g in [g1, g2] {
+        for v in g.vertices() {
+            m = m.max(g.vertex_label(v).index() + 1);
+        }
+        for e in g.edges() {
+            m = m.max(g.edge_label(e).index() + 1);
+        }
+    }
+    m
+}
+
+/// Computes the exact graph edit distance between `g1` and `g2`
+/// (Definition 8 of the paper, uniform costs by default).
+///
+/// GED is symmetric for symmetric cost models (swap deletions/insertions),
+/// which the default model is; `tests` verify symmetry empirically.
+pub fn exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
+    options.cost.validate().expect("invalid cost model");
+    let labels = max_label_index(g1, g2);
+
+    let mut order: Vec<VertexId> = g1.vertices().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g1.degree(v)));
+
+    let mut r1 = vec![0i64; labels];
+    for v in g1.vertices() {
+        r1[g1.vertex_label(v).index()] += 1;
+    }
+    let mut r2 = vec![0i64; labels];
+    for v in g2.vertices() {
+        r2[g2.vertex_label(v).index()] += 1;
+    }
+
+    // Incumbent: warm start if provided, else "delete everything".
+    let trivial = VertexMapping::all_deleted(g1.order());
+    let (seed_map, seed_cost) = match &options.warm_start {
+        Some(m) => (m.clone(), mapping_cost(g1, g2, m, &options.cost)),
+        None => (trivial.clone(), mapping_cost(g1, g2, &trivial, &options.cost)),
+    };
+
+    let mut solver = Solver {
+        g1,
+        g2,
+        cm: options.cost,
+        order,
+        map: vec![UNDECIDED; g1.order()],
+        inv: vec![UNDECIDED; g2.order()],
+        r1_vlabels: r1,
+        r2_vlabels: r2,
+        best_cost: seed_cost,
+        best_map: seed_map
+            .map
+            .iter()
+            .map(|m| m.map_or(DELETED, |v| v.0))
+            .collect(),
+        expanded: 0,
+        node_limit: options.node_limit.unwrap_or(u64::MAX),
+        aborted: false,
+    };
+    solver.search(0, 0.0);
+
+    let mapping = VertexMapping {
+        map: solver
+            .best_map
+            .iter()
+            .map(|&x| if x == DELETED || x == UNDECIDED { None } else { Some(VertexId(x)) })
+            .collect(),
+    };
+    // Recompute from the mapping for bullet-proof consistency.
+    let cost = mapping_cost(g1, g2, &mapping, &options.cost);
+    debug_assert!((cost - solver.best_cost).abs() < 1e-9, "incremental cost drifted: {cost} vs {}", solver.best_cost);
+    GedResult {
+        cost,
+        mapping,
+        exact: !solver.aborted,
+        expanded: solver.expanded,
+    }
+}
+
+/// Convenience: exact uniform-cost GED as used throughout the paper.
+pub fn uniform_ged(g1: &Graph, g2: &Graph) -> f64 {
+    exact_ged(g1, g2, &GedOptions::default()).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{Graph, GraphBuilder, Label, Rng, Vocabulary};
+
+    fn build(v: &mut Vocabulary, name: &str, verts: &[(&str, &str)], edges: &[(&str, &str, &str)]) -> Graph {
+        let mut b = GraphBuilder::new(name, v);
+        for (n, l) in verts {
+            b = b.vertex(n, l);
+        }
+        for (a, c, l) in edges {
+            b = b.edge(a, c, l);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_distance() {
+        let mut v = Vocabulary::new();
+        let g = build(&mut v, "g", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        let r = exact_ged(&g, &g, &GedOptions::default());
+        assert_eq!(r.cost, 0.0);
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn single_vertex_relabel() {
+        let mut v = Vocabulary::new();
+        let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        let g2 = build(&mut v, "g2", &[("a", "A"), ("b", "X")], &[("a", "b", "-")]);
+        assert_eq!(uniform_ged(&g1, &g2), 1.0);
+    }
+
+    #[test]
+    fn single_edge_relabel() {
+        let mut v = Vocabulary::new();
+        let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        let g2 = build(&mut v, "g2", &[("a", "A"), ("b", "B")], &[("a", "b", "=")]);
+        assert_eq!(uniform_ged(&g1, &g2), 1.0);
+    }
+
+    #[test]
+    fn edge_insertion_only() {
+        let mut v = Vocabulary::new();
+        let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B"), ("c", "C")], &[("a", "b", "-")]);
+        let g2 = build(
+            &mut v,
+            "g2",
+            &[("a", "A"), ("b", "B"), ("c", "C")],
+            &[("a", "b", "-"), ("b", "c", "-")],
+        );
+        assert_eq!(uniform_ged(&g1, &g2), 1.0);
+        assert_eq!(uniform_ged(&g2, &g1), 1.0); // symmetry
+    }
+
+    #[test]
+    fn vertex_insertion_with_edge() {
+        let mut v = Vocabulary::new();
+        let g1 = build(&mut v, "g1", &[("a", "A")], &[]);
+        let g2 = build(&mut v, "g2", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        // insert vertex + insert edge = 2
+        assert_eq!(uniform_ged(&g1, &g2), 2.0);
+        assert_eq!(uniform_ged(&g2, &g1), 2.0);
+    }
+
+    #[test]
+    fn relabeling_beats_delete_insert() {
+        // Same structure, all labels shifted: relabel each vertex.
+        let mut v = Vocabulary::new();
+        let g1 = build(
+            &mut v,
+            "g1",
+            &[("a", "A"), ("b", "B"), ("c", "C")],
+            &[("a", "b", "-"), ("b", "c", "-")],
+        );
+        let g2 = build(
+            &mut v,
+            "g2",
+            &[("a", "X"), ("b", "Y"), ("c", "Z")],
+            &[("a", "b", "-"), ("b", "c", "-")],
+        );
+        assert_eq!(uniform_ged(&g1, &g2), 3.0);
+    }
+
+    #[test]
+    fn structural_mismatch_star_vs_path() {
+        // Same labels, star vs path (unlabeled-ish): requires 2 edge moves
+        // (delete one star edge, insert one path edge).
+        let mut v = Vocabulary::new();
+        let star = build(
+            &mut v,
+            "star",
+            &[("c", "C"), ("x", "C"), ("y", "C"), ("z", "C")],
+            &[("c", "x", "-"), ("c", "y", "-"), ("c", "z", "-")],
+        );
+        let path = build(
+            &mut v,
+            "path",
+            &[("a", "C"), ("b", "C"), ("d", "C"), ("e", "C")],
+            &[("a", "b", "-"), ("b", "d", "-"), ("d", "e", "-")],
+        );
+        assert_eq!(uniform_ged(&star, &path), 2.0);
+    }
+
+    #[test]
+    fn warm_start_does_not_change_answer() {
+        let mut v = Vocabulary::new();
+        let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        let g2 = build(&mut v, "g2", &[("b", "B"), ("x", "X"), ("a", "A")], &[("a", "b", "=")]);
+        let plain = exact_ged(&g1, &g2, &GedOptions::default());
+        let warm = exact_ged(
+            &g1,
+            &g2,
+            &GedOptions {
+                warm_start: Some(plain.mapping.clone()),
+                ..GedOptions::default()
+            },
+        );
+        assert_eq!(plain.cost, warm.cost);
+        assert!(warm.exact);
+        assert!(warm.expanded <= plain.expanded, "warm start should not expand more nodes");
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let mut v = Vocabulary::new();
+        // Larger same-label graphs so the search tree is non-trivial.
+        let mut b1 = GraphBuilder::new("g1", &mut v).vertices(
+            &["a", "b", "c", "d", "e", "f"],
+            "C",
+        );
+        b1 = b1.cycle(&["a", "b", "c", "d", "e", "f"], "-");
+        let g1 = b1.build().unwrap();
+        let mut b2 = GraphBuilder::new("g2", &mut v).vertices(
+            &["a", "b", "c", "d", "e", "f"],
+            "C",
+        );
+        b2 = b2.path(&["a", "b", "c", "d", "e", "f"], "-").edge("a", "c", "-");
+        let g2 = b2.build().unwrap();
+        let limited = exact_ged(&g1, &g2, &GedOptions { node_limit: Some(3), ..Default::default() });
+        assert!(!limited.exact);
+        let full = exact_ged(&g1, &g2, &GedOptions::default());
+        assert!(full.exact);
+        assert!(limited.cost >= full.cost, "anytime bound must upper-bound the optimum");
+    }
+
+    #[test]
+    fn symmetry_on_random_graphs() {
+        fn random_graph(rng: &mut Rng, n: usize, m: usize) -> Graph {
+            let mut g = Graph::new("r");
+            for _ in 0..n {
+                g.add_vertex(Label(rng.gen_index(3) as u32));
+            }
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < m && attempts < 100 {
+                attempts += 1;
+                let u = gss_graph::VertexId::new(rng.gen_index(n));
+                let w = gss_graph::VertexId::new(rng.gen_index(n));
+                if u != w && !g.has_edge(u, w) {
+                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32)).unwrap();
+                    added += 1;
+                }
+            }
+            g
+        }
+        let mut rng = Rng::seed_from_u64(0x6ed);
+        for case in 0..40 {
+            let (n1, m1) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let (n2, m2) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            let d12 = uniform_ged(&g1, &g2);
+            let d21 = uniform_ged(&g2, &g1);
+            assert_eq!(d12, d21, "case {case}: GED must be symmetric");
+            assert_eq!(uniform_ged(&g1, &g1), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_distances() {
+        let mut v = Vocabulary::new();
+        let empty = GraphBuilder::new("e", &mut v).build().unwrap();
+        let g = build(&mut v, "g", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
+        assert_eq!(uniform_ged(&empty, &empty), 0.0);
+        assert_eq!(uniform_ged(&empty, &g), 3.0); // 2 vertices + 1 edge
+        assert_eq!(uniform_ged(&g, &empty), 3.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The Hungarian algorithm (Kuhn–Munkres) for the square assignment problem.
+//!
+//! `O(n³)` shortest-augmenting-path formulation with dual potentials. This is
+//! a substrate the bipartite GED approximation (Riesen & Bunke) needs; it is
+//! exposed publicly because workload code also uses it for diagnostics.
+//!
+//! Forbidden assignments should be encoded as [`FORBIDDEN`] (a large finite
+//! value) rather than `f64::INFINITY`, which would poison the potentials
+//! with `inf − inf = NaN`.
+
+/// Large finite cost standing in for "forbidden assignment".
+pub const FORBIDDEN: f64 = 1.0e12;
+
+/// Solves the square assignment problem for the given `n × n` cost matrix.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = col` and the
+/// total is minimal.
+///
+/// # Panics
+/// Panics when the matrix is not square or rows have inconsistent lengths.
+pub fn solve(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+
+    // 1-based arrays; column 0 is virtual.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row currently assigned to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=n {
+        if p[j] >= 1 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sizes() {
+        let (a, c) = solve(&[]);
+        assert!(a.is_empty());
+        assert_eq!(c, 0.0);
+        let (a, c) = solve(&[vec![7.0]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(c, 7.0);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // Optimal: (0,1), (1,0), (2,2) = 1 + 2 + 3 = 6? Check by brute force below.
+        let m = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (_, total) = solve(&m);
+        assert_eq!(total, brute_force(&m));
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        let m = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![3.0, 6.0, 9.0, 12.0],
+            vec![4.0, 8.0, 12.0, 16.0],
+        ];
+        let (a, _) = solve(&m);
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn respects_forbidden_entries() {
+        let m = vec![
+            vec![FORBIDDEN, 1.0],
+            vec![1.0, FORBIDDEN],
+        ];
+        let (a, total) = solve(&m);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(total, 2.0);
+    }
+
+    fn brute_force(m: &[Vec<f64>]) -> f64 {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for i in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(i, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        perms(m.len())
+            .into_iter()
+            .map(|p| p.iter().enumerate().map(|(i, &j)| m[i][j]).sum())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use gss_graph::Rng;
+        let mut rng = Rng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = 1 + rng.gen_index(5);
+            let m: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| (rng.gen_index(20)) as f64).collect())
+                .collect();
+            let (_, total) = solve(&m);
+            let best = brute_force(&m);
+            assert!((total - best).abs() < 1e-9, "hungarian {total} vs brute {best} on {m:?}");
+        }
+    }
+}

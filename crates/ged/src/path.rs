@@ -1,0 +1,299 @@
+//! Vertex mappings, their induced edit cost, and edit-path extraction.
+//!
+//! Every (partial) injective vertex mapping between two graphs induces a
+//! canonical edit path: relabel/delete/insert vertices according to the
+//! mapping, then fix up edges pair by pair. For cost models where an
+//! operation is never cheaper when simulated by other operations (true for
+//! the uniform model), the minimum over all mappings *is* the graph edit
+//! distance — this is the classical mapping formulation the solvers in this
+//! crate search over.
+
+use gss_graph::{Graph, Label, VertexId};
+
+use crate::cost::CostModel;
+
+/// A complete vertex mapping from `g1` to `g2`.
+///
+/// `map[u] = Some(v)` means `u → v` (substitution, relabeling if labels
+/// differ); `map[u] = None` means `u` is deleted; `g2` vertices that are not
+/// images are inserted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexMapping {
+    /// Image of each `g1` vertex.
+    pub map: Vec<Option<VertexId>>,
+}
+
+impl VertexMapping {
+    /// The identity-shaped empty mapping for a graph with `n1` vertices
+    /// (everything deleted).
+    pub fn all_deleted(n1: usize) -> Self {
+        VertexMapping { map: vec![None; n1] }
+    }
+
+    /// Inverse map: for each `g2` vertex, its `g1` preimage.
+    pub fn inverse(&self, n2: usize) -> Vec<Option<VertexId>> {
+        let mut inv = vec![None; n2];
+        for (u, m) in self.map.iter().enumerate() {
+            if let Some(v) = m {
+                inv[v.index()] = Some(VertexId::new(u));
+            }
+        }
+        inv
+    }
+}
+
+/// A single edit operation (for reporting; costs come from [`CostModel`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Change the label of a `g1` vertex.
+    RelabelVertex {
+        /// The vertex in `g1`.
+        vertex: VertexId,
+        /// Original label.
+        from: Label,
+        /// New label.
+        to: Label,
+    },
+    /// Delete a `g1` vertex.
+    DeleteVertex {
+        /// The vertex in `g1`.
+        vertex: VertexId,
+    },
+    /// Insert a vertex matching the given `g2` vertex.
+    InsertVertex {
+        /// The vertex in `g2` being materialized.
+        vertex: VertexId,
+        /// Its label.
+        label: Label,
+    },
+    /// Change the label of a `g1` edge.
+    RelabelEdge {
+        /// Endpoints in `g1`.
+        u: VertexId,
+        /// Second endpoint in `g1`.
+        v: VertexId,
+        /// Original label.
+        from: Label,
+        /// New label.
+        to: Label,
+    },
+    /// Delete a `g1` edge.
+    DeleteEdge {
+        /// Endpoints in `g1`.
+        u: VertexId,
+        /// Second endpoint in `g1`.
+        v: VertexId,
+    },
+    /// Insert an edge matching the given `g2` edge.
+    InsertEdge {
+        /// Endpoints in `g2`.
+        u: VertexId,
+        /// Second endpoint in `g2`.
+        v: VertexId,
+        /// Its label.
+        label: Label,
+    },
+}
+
+impl EditOp {
+    /// The cost of this operation under `cost`.
+    pub fn cost(&self, cost: &CostModel) -> f64 {
+        match self {
+            EditOp::RelabelVertex { .. } => cost.vertex_rel,
+            EditOp::DeleteVertex { .. } => cost.vertex_del,
+            EditOp::InsertVertex { .. } => cost.vertex_ins,
+            EditOp::RelabelEdge { .. } => cost.edge_rel,
+            EditOp::DeleteEdge { .. } => cost.edge_del,
+            EditOp::InsertEdge { .. } => cost.edge_ins,
+        }
+    }
+
+    /// A short human-readable kind tag ("vertex-relabel", "edge-insert", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EditOp::RelabelVertex { .. } => "vertex-relabel",
+            EditOp::DeleteVertex { .. } => "vertex-delete",
+            EditOp::InsertVertex { .. } => "vertex-insert",
+            EditOp::RelabelEdge { .. } => "edge-relabel",
+            EditOp::DeleteEdge { .. } => "edge-delete",
+            EditOp::InsertEdge { .. } => "edge-insert",
+        }
+    }
+}
+
+/// The exact edit cost induced by a complete vertex mapping.
+///
+/// Counts, exactly once each:
+/// * vertex substitutions (relabel when labels differ), deletions,
+///   insertions;
+/// * `g1` edges whose endpoints are both mapped — matched against the `g2`
+///   edge between the images (none → delete; different label → relabel);
+/// * `g1` edges with a deleted endpoint — deletions;
+/// * `g2` edges between images with no corresponding `g1` edge — insertions;
+/// * `g2` edges with an inserted endpoint — insertions.
+pub fn mapping_cost(g1: &Graph, g2: &Graph, mapping: &VertexMapping, cost: &CostModel) -> f64 {
+    let total: f64 = edit_path_for_mapping(g1, g2, mapping)
+        .iter()
+        .map(|op| op.cost(cost))
+        .sum();
+    // `+ 0.0` normalizes a signed zero so perfect matches display as "0".
+    total + 0.0
+}
+
+/// Materializes the canonical edit path induced by a mapping.
+pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) -> Vec<EditOp> {
+    assert_eq!(mapping.map.len(), g1.order(), "mapping must cover all g1 vertices");
+    let inv = mapping.inverse(g2.order());
+    let mut ops = Vec::new();
+
+    // Vertex operations.
+    for u in g1.vertices() {
+        match mapping.map[u.index()] {
+            Some(v) => {
+                let (lu, lv) = (g1.vertex_label(u), g2.vertex_label(v));
+                if lu != lv {
+                    ops.push(EditOp::RelabelVertex { vertex: u, from: lu, to: lv });
+                }
+            }
+            None => ops.push(EditOp::DeleteVertex { vertex: u }),
+        }
+    }
+    for v in g2.vertices() {
+        if inv[v.index()].is_none() {
+            ops.push(EditOp::InsertVertex { vertex: v, label: g2.vertex_label(v) });
+        }
+    }
+
+    // g1 edge operations (delete / relabel).
+    for e in g1.edges() {
+        let edge = g1.edge(e);
+        match (mapping.map[edge.u.index()], mapping.map[edge.v.index()]) {
+            (Some(iu), Some(iv)) => match g2.edge_between(iu, iv) {
+                Some(e2) => {
+                    let l2 = g2.edge_label(e2);
+                    if l2 != edge.label {
+                        ops.push(EditOp::RelabelEdge { u: edge.u, v: edge.v, from: edge.label, to: l2 });
+                    }
+                }
+                None => ops.push(EditOp::DeleteEdge { u: edge.u, v: edge.v }),
+            },
+            _ => ops.push(EditOp::DeleteEdge { u: edge.u, v: edge.v }),
+        }
+    }
+
+    // g2 edge insertions (edges not hit by any g1 edge).
+    for e in g2.edges() {
+        let edge = g2.edge(e);
+        let (pu, pv) = (inv[edge.u.index()], inv[edge.v.index()]);
+        let covered = match (pu, pv) {
+            (Some(a), Some(b)) => g1.edge_between(a, b).is_some(),
+            _ => false,
+        };
+        if !covered {
+            ops.push(EditOp::InsertEdge { u: edge.u, v: edge.v, label: edge.label });
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{GraphBuilder, Vocabulary};
+
+    fn pair() -> (Graph, Graph) {
+        let mut v = Vocabulary::new();
+        let g1 = GraphBuilder::new("g1", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .vertex("c", "C")
+            .path(&["a", "b", "c"], "-")
+            .build()
+            .unwrap();
+        let g2 = GraphBuilder::new("g2", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .vertex("x", "X")
+            .edge("a", "b", "-")
+            .edge("b", "x", "=")
+            .build()
+            .unwrap();
+        (g1, g2)
+    }
+
+    #[test]
+    fn identity_mapping_of_equal_graphs_is_free() {
+        let (g1, _) = pair();
+        let mapping = VertexMapping {
+            map: (0..g1.order()).map(|i| Some(VertexId::new(i))).collect(),
+        };
+        assert_eq!(mapping_cost(&g1, &g1, &mapping, &CostModel::uniform()), 0.0);
+        assert!(edit_path_for_mapping(&g1, &g1, &mapping).is_empty());
+    }
+
+    #[test]
+    fn natural_mapping_counts_relabels() {
+        let (g1, g2) = pair();
+        // a→a, b→b, c→x : vertex relabel C→X plus edge relabel on b-c.
+        let mapping = VertexMapping {
+            map: vec![Some(VertexId::new(0)), Some(VertexId::new(1)), Some(VertexId::new(2))],
+        };
+        let ops = edit_path_for_mapping(&g1, &g2, &mapping);
+        let kinds: Vec<_> = ops.iter().map(|o| o.kind()).collect();
+        assert_eq!(kinds.len(), 2, "{kinds:?}");
+        assert!(kinds.contains(&"vertex-relabel"));
+        assert!(kinds.contains(&"edge-relabel"));
+        assert_eq!(mapping_cost(&g1, &g2, &mapping, &CostModel::uniform()), 2.0);
+    }
+
+    #[test]
+    fn all_deleted_costs_everything() {
+        let (g1, g2) = pair();
+        let mapping = VertexMapping::all_deleted(g1.order());
+        // Delete 3 vertices + 2 edges, insert 3 vertices + 2 edges.
+        assert_eq!(mapping_cost(&g1, &g2, &mapping, &CostModel::uniform()), 10.0);
+    }
+
+    #[test]
+    fn deleted_endpoint_forces_edge_delete_and_insert() {
+        let (g1, g2) = pair();
+        // a→a, b→b, c deleted; x inserted.
+        let mapping = VertexMapping {
+            map: vec![Some(VertexId::new(0)), Some(VertexId::new(1)), None],
+        };
+        let ops = edit_path_for_mapping(&g1, &g2, &mapping);
+        // vertex-delete(c), vertex-insert(x), edge-delete(b-c), edge-insert(b-x)
+        assert_eq!(ops.len(), 4);
+        assert_eq!(mapping_cost(&g1, &g2, &mapping, &CostModel::uniform()), 4.0);
+    }
+
+    #[test]
+    fn non_uniform_costs_scale() {
+        let (g1, g2) = pair();
+        let mapping = VertexMapping {
+            map: vec![Some(VertexId::new(0)), Some(VertexId::new(1)), None],
+        };
+        let cost = CostModel::structure_weighted(5.0);
+        // vertex-del(5) + vertex-ins(5) + edge-del(5) + edge-ins(5) = 20.
+        assert_eq!(mapping_cost(&g1, &g2, &mapping, &cost), 20.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let mapping = VertexMapping {
+            map: vec![Some(VertexId::new(2)), None, Some(VertexId::new(0))],
+        };
+        let inv = mapping.inverse(3);
+        assert_eq!(inv[2], Some(VertexId::new(0)));
+        assert_eq!(inv[0], Some(VertexId::new(2)));
+        assert_eq!(inv[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping must cover")]
+    fn incomplete_mapping_panics() {
+        let (g1, g2) = pair();
+        let mapping = VertexMapping { map: vec![None] };
+        edit_path_for_mapping(&g1, &g2, &mapping);
+    }
+}

@@ -1,0 +1,291 @@
+//! Traversal and connectivity utilities.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+
+/// Breadth-first order of vertices reachable from `start`.
+pub fn bfs_order(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.order()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (n, _) in g.neighbors(v) {
+            if !seen[n.index()] {
+                seen[n.index()] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first order of vertices reachable from `start` (iterative,
+/// neighbor order as stored).
+pub fn dfs_order(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.order()];
+    let mut stack = vec![start];
+    let mut order = Vec::new();
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        order.push(v);
+        // Push in reverse so the first-listed neighbor is visited first.
+        let ns: Vec<_> = g.neighbors(v).map(|(n, _)| n).collect();
+        for n in ns.into_iter().rev() {
+            if !seen[n.index()] {
+                stack.push(n);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components as lists of vertex ids (each sorted ascending;
+/// components ordered by their smallest vertex).
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut comp = vec![usize::MAX; g.order()];
+    let mut components = Vec::new();
+    for v in g.vertices() {
+        if comp[v.index()] != usize::MAX {
+            continue;
+        }
+        let idx = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![v];
+        comp[v.index()] = idx;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for (n, _) in g.neighbors(u) {
+                if comp[n.index()] == usize::MAX {
+                    comp[n.index()] = idx;
+                    stack.push(n);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// True when the graph is connected (the empty graph counts as connected;
+/// a single isolated vertex does too).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// Size (in edges) of the largest connected component of the subgraph formed
+/// by exactly the given `edges` of `g`.
+///
+/// This is the reference implementation of the paper's "largest *connected*
+/// common subgraph" size used to cross-check the MCS solver: isolated
+/// vertices contribute components of zero edges.
+pub fn largest_connected_edge_component(g: &Graph, edges: &[EdgeId]) -> usize {
+    if edges.is_empty() {
+        return 0;
+    }
+    // Union-find over vertices touched by the edge set.
+    let mut parent: Vec<usize> = (0..g.order()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut edge_count = vec![0usize; g.order()];
+    for &e in edges {
+        let edge = g.edge(e);
+        let a = find(&mut parent, edge.u.index());
+        let b = find(&mut parent, edge.v.index());
+        if a == b {
+            edge_count[a] += 1;
+        } else {
+            // Union by arbitrary orientation; accumulate edge counts at root.
+            parent[a] = b;
+            edge_count[b] += edge_count[a] + 1;
+            edge_count[a] = 0;
+        }
+    }
+    (0..g.order())
+        .filter(|&v| find(&mut parent, v) == v)
+        .map(|v| edge_count[v])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Degree sequence in non-increasing order — a cheap isomorphism invariant.
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    let mut d: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    d
+}
+
+/// Unweighted shortest-path (hop) distances from `start` to every vertex;
+/// `None` for unreachable vertices. `O(|V| + |E|)` BFS.
+pub fn bfs_distances(g: &Graph, start: VertexId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.order()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("popped vertices have distances");
+        for (n, _) in g.neighbors(v) {
+            if dist[n.index()].is_none() {
+                dist[n.index()] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `v`: the greatest hop distance to any reachable vertex.
+pub fn eccentricity(g: &Graph, v: VertexId) -> usize {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Diameter of the graph: the largest eccentricity over all vertices, or
+/// `None` when the graph is disconnected or empty (infinite/undefined).
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.order() == 0 || !is_connected(g) {
+        return None;
+    }
+    g.vertices().map(|v| eccentricity(g, v)).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Vocabulary;
+
+    fn two_triangles() -> Graph {
+        let mut v = Vocabulary::new();
+        GraphBuilder::new("tt", &mut v)
+            .vertices(&["a", "b", "c", "x", "y", "z"], "C")
+            .cycle(&["a", "b", "c"], "-")
+            .cycle(&["x", "y", "z"], "-")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bfs_and_dfs_cover_component() {
+        let g = two_triangles();
+        let b = bfs_order(&g, VertexId::new(0));
+        let d = dfs_order(&g, VertexId::new(0));
+        assert_eq!(b.len(), 3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(b[0], VertexId::new(0));
+        assert_eq!(d[0], VertexId::new(0));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = two_triangles();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_edge_cases() {
+        let mut v = Vocabulary::new();
+        let empty = GraphBuilder::new("e", &mut v).build().unwrap();
+        assert!(is_connected(&empty));
+        let single = GraphBuilder::new("s", &mut v).vertex("a", "A").build().unwrap();
+        assert!(is_connected(&single));
+        let pair = GraphBuilder::new("p", &mut v)
+            .vertices(&["a", "b"], "A")
+            .build()
+            .unwrap();
+        assert!(!is_connected(&pair));
+    }
+
+    #[test]
+    fn largest_edge_component_counts_edges_not_vertices() {
+        let g = two_triangles();
+        let all: Vec<_> = g.edges().collect();
+        // Both triangles have 3 edges; max connected edge component = 3.
+        assert_eq!(largest_connected_edge_component(&g, &all), 3);
+        // One triangle + a single edge of the other: max stays 3.
+        assert_eq!(largest_connected_edge_component(&g, &all[..4]), 3);
+        // Two edges of the first triangle only.
+        assert_eq!(largest_connected_edge_component(&g, &all[..2]), 2);
+        assert_eq!(largest_connected_edge_component(&g, &[]), 0);
+    }
+
+    #[test]
+    fn largest_edge_component_with_internal_cycle_edges() {
+        // Square with diagonal: component edge counting must include edges
+        // that close cycles (union finds them in the same set already).
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("sq", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .cycle(&["a", "b", "c", "d"], "-")
+            .edge("a", "c", "-")
+            .build()
+            .unwrap();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(largest_connected_edge_component(&g, &all), 5);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("p", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .path(&["a", "b", "c", "d"], "-")
+            .build()
+            .unwrap();
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(eccentricity(&g, VertexId::new(0)), 3);
+        assert_eq!(eccentricity(&g, VertexId::new(1)), 2);
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn bfs_distances_unreachable() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], None, "other triangle unreachable");
+        assert_eq!(diameter(&g), None, "disconnected graph has no diameter");
+    }
+
+    #[test]
+    fn diameter_edge_cases() {
+        let mut v = Vocabulary::new();
+        let empty = GraphBuilder::new("e", &mut v).build().unwrap();
+        assert_eq!(diameter(&empty), None);
+        let single = GraphBuilder::new("s", &mut v).vertex("a", "A").build().unwrap();
+        assert_eq!(diameter(&single), Some(0));
+        let cycle = GraphBuilder::new("c", &mut v)
+            .vertices(&["a", "b", "c", "d", "e", "f"], "C")
+            .cycle(&["a", "b", "c", "d", "e", "f"], "-")
+            .build()
+            .unwrap();
+        assert_eq!(diameter(&cycle), Some(3));
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("star", &mut v)
+            .vertices(&["c", "l1", "l2", "l3"], "C")
+            .edge("c", "l1", "-")
+            .edge("c", "l2", "-")
+            .edge("c", "l3", "-")
+            .build()
+            .unwrap();
+        assert_eq!(degree_sequence(&g), vec![3, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operation referenced a vertex id that does not exist in the graph.
+    InvalidVertex {
+        /// The offending vertex index.
+        index: usize,
+        /// Number of vertices actually present.
+        order: usize,
+    },
+    /// An operation referenced an edge id that does not exist in the graph.
+    InvalidEdge {
+        /// The offending edge index.
+        index: usize,
+        /// Number of edges actually present.
+        size: usize,
+    },
+    /// Attempted to add an edge from a vertex to itself.
+    ///
+    /// The paper's graph model (Definition 3) and all similarity measures
+    /// assume simple graphs, so self-loops are rejected at construction time.
+    SelfLoop {
+        /// The vertex on both endpoints.
+        vertex: usize,
+    },
+    /// Attempted to add a second edge between an already-connected pair.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// A named vertex was re-declared in a [`crate::GraphBuilder`].
+    DuplicateVertexName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A [`crate::GraphBuilder`] edge referenced an undeclared vertex name.
+    UnknownVertexName {
+        /// The missing name.
+        name: String,
+    },
+    /// A parse failure in [`crate::format`].
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidVertex { index, order } => {
+                write!(f, "vertex index {index} out of range (graph has {order} vertices)")
+            }
+            GraphError::InvalidEdge { index, size } => {
+                write!(f, "edge index {index} out of range (graph has {size} edges)")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed (simple graphs only)")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between vertices {u} and {v} (simple graphs only)")
+            }
+            GraphError::DuplicateVertexName { name } => {
+                write!(f, "vertex name {name:?} declared twice in builder")
+            }
+            GraphError::UnknownVertexName { name } => {
+                write!(f, "edge references undeclared vertex name {name:?}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains("bad token"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::DuplicateEdge { u: 1, v: 2 },
+            GraphError::DuplicateEdge { u: 1, v: 2 }
+        );
+        assert_ne!(
+            GraphError::DuplicateEdge { u: 1, v: 2 },
+            GraphError::DuplicateEdge { u: 2, v: 1 }
+        );
+    }
+}

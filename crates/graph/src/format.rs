@@ -1,0 +1,269 @@
+//! Text serialization of graph databases, plus Graphviz DOT export.
+//!
+//! The text format follows the classic transactional graph layout used by
+//! graph-mining datasets (gSpan, Grafil, …), extended with string labels:
+//!
+//! ```text
+//! # comment (anywhere)
+//! t <name>            — starts a new graph
+//! v <index> <label>   — vertex; indices must be 0,1,2,… in order
+//! e <u> <v> <label>   — undirected edge between vertex indices
+//! ```
+//!
+//! Labels may be any whitespace-free token. Parsing interns labels into the
+//! caller's [`Vocabulary`] so graphs read together are directly comparable.
+
+use std::fmt::Write as _;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, VertexId};
+use crate::label::Vocabulary;
+
+/// Parses a multi-graph database from the `t/v/e` text format.
+pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>, GraphError> {
+    let mut graphs: Vec<Graph> = Vec::new();
+    let mut current: Option<Graph> = None;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let mut tok = text.split_whitespace();
+        let kind = tok.next().expect("non-empty line has a first token");
+        match kind {
+            "t" => {
+                if let Some(g) = current.take() {
+                    graphs.push(g);
+                }
+                let name = tok.next().unwrap_or("").to_owned();
+                if tok.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line,
+                        message: "t line takes exactly one name token".into(),
+                    });
+                }
+                current = Some(Graph::new(name));
+            }
+            "v" => {
+                let g = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line,
+                    message: "v line before any t line".into(),
+                })?;
+                let idx: usize = parse_field(tok.next(), line, "vertex index")?;
+                let label = tok.next().ok_or_else(|| GraphError::Parse {
+                    line,
+                    message: "v line missing label".into(),
+                })?;
+                if idx != g.order() {
+                    return Err(GraphError::Parse {
+                        line,
+                        message: format!("vertex index {idx} out of order (expected {})", g.order()),
+                    });
+                }
+                let l = vocab.intern(label);
+                g.add_vertex(l);
+            }
+            "e" => {
+                let g = current.as_mut().ok_or_else(|| GraphError::Parse {
+                    line,
+                    message: "e line before any t line".into(),
+                })?;
+                let u: usize = parse_field(tok.next(), line, "edge endpoint")?;
+                let v: usize = parse_field(tok.next(), line, "edge endpoint")?;
+                let label = tok.next().ok_or_else(|| GraphError::Parse {
+                    line,
+                    message: "e line missing label".into(),
+                })?;
+                let l = vocab.intern(label);
+                g.add_edge(VertexId::new(u), VertexId::new(v), l)
+                    .map_err(|e| GraphError::Parse { line, message: e.to_string() })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line,
+                    message: format!("unknown record type {other:?} (expected t/v/e)"),
+                });
+            }
+        }
+    }
+    if let Some(g) = current.take() {
+        graphs.push(g);
+    }
+    Ok(graphs)
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<usize, GraphError> {
+    let t = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    t.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} {t:?}"),
+    })
+}
+
+/// Serializes a database into the `t/v/e` text format.
+///
+/// `parse_database(&write_database(gs, vocab), &mut fresh_vocab)` round-trips
+/// structurally (names, labels, edges).
+pub fn write_database(graphs: &[Graph], vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    for g in graphs {
+        let _ = writeln!(out, "t {}", g.name());
+        for v in g.vertices() {
+            let _ = writeln!(out, "v {} {}", v.index(), vocab.name_or_id(g.vertex_label(v)));
+        }
+        for e in g.edges() {
+            let edge = g.edge(e);
+            let _ = writeln!(
+                out,
+                "e {} {} {}",
+                edge.u.index(),
+                edge.v.index(),
+                vocab.name_or_id(edge.label)
+            );
+        }
+    }
+    out
+}
+
+/// Renders a graph as Graphviz DOT (undirected).
+pub fn to_dot(g: &Graph, vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    let ident: String = g
+        .name()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let _ = writeln!(out, "graph {ident} {{");
+    for v in g.vertices() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            v.index(),
+            vocab.name_or_id(g.vertex_label(v))
+        );
+    }
+    for e in g.edges() {
+        let edge = g.edge(e);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}\"];",
+            edge.u.index(),
+            edge.v.index(),
+            vocab.name_or_id(edge.label)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    const SAMPLE: &str = "\
+# a two-graph database
+t first
+v 0 A
+v 1 B
+e 0 1 -
+
+t second
+v 0 C
+v 1 C
+v 2 O
+e 0 1 -
+e 1 2 =
+";
+
+    #[test]
+    fn parses_sample() {
+        let mut vocab = Vocabulary::new();
+        let gs = parse_database(SAMPLE, &mut vocab).unwrap();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].name(), "first");
+        assert_eq!(gs[0].order(), 2);
+        assert_eq!(gs[0].size(), 1);
+        assert_eq!(gs[1].order(), 3);
+        assert_eq!(gs[1].size(), 2);
+        assert!(vocab.get("O").is_some());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut vocab = Vocabulary::new();
+        let gs = parse_database(SAMPLE, &mut vocab).unwrap();
+        let text = write_database(&gs, &vocab);
+        let mut vocab2 = Vocabulary::new();
+        let gs2 = parse_database(&text, &mut vocab2).unwrap();
+        assert_eq!(gs.len(), gs2.len());
+        for (a, b) in gs.iter().zip(&gs2) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.order(), b.order());
+            assert_eq!(a.size(), b.size());
+            for v in a.vertices() {
+                assert_eq!(
+                    vocab.name(a.vertex_label(v)),
+                    vocab2.name(b.vertex_label(v)),
+                    "vertex label mismatch after round trip"
+                );
+            }
+            for e in a.edges() {
+                let ea = a.edge(e);
+                let eb = b.edge(e);
+                assert_eq!((ea.u, ea.v), (eb.u, eb.v));
+                assert_eq!(vocab.name(ea.label), vocab2.name(eb.label));
+            }
+        }
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let mut vocab = Vocabulary::new();
+        let err = parse_database("v 0 A", &mut vocab).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+
+        let err = parse_database("t g\nv 1 A", &mut vocab).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+
+        let err = parse_database("t g\nv 0 A\ne 0 0 -", &mut vocab).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("self-loop"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let err = parse_database("x whatever", &mut vocab).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+
+        let err = parse_database("t g\nv zero A", &mut vocab).unwrap_err();
+        assert!(err.to_string().contains("invalid vertex index"));
+    }
+
+    #[test]
+    fn dot_output_contains_all_elements() {
+        let mut vocab = Vocabulary::new();
+        let g = GraphBuilder::new("my graph", &mut vocab)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .edge("a", "b", "-")
+            .build()
+            .unwrap();
+        let dot = to_dot(&g, &vocab);
+        assert!(dot.starts_with("graph my_graph {"));
+        assert!(dot.contains("n0 [label=\"A\"]"));
+        assert!(dot.contains("n1 [label=\"B\"]"));
+        assert!(dot.contains("n0 -- n1 [label=\"-\"]"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_database() {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_database("", &mut vocab).unwrap().is_empty());
+        assert!(parse_database("# only comments\n\n", &mut vocab).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Label interning.
+//!
+//! All similarity algorithms in the workspace are label-sensitive: vertex
+//! mappings must preserve vertex labels and edge mappings must preserve edge
+//! labels (Definitions 4–7 of the paper). To keep the hot comparison loops
+//! cheap, labels are interned once into dense [`Label`] ids by a
+//! [`Vocabulary`] and compared as plain `u32`s afterwards.
+//!
+//! A single [`Vocabulary`] is shared by every graph that participates in one
+//! database/query workload; `gss-core::GraphDatabase` owns it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label id.
+///
+/// `Label` is meaningful only relative to the [`Vocabulary`] that produced
+/// it. Ids are dense (`0..vocab.len()`), which lets algorithms index arrays
+/// by label.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The id as a `usize`, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A string ↔ [`Label`] interner.
+///
+/// ```
+/// use gss_graph::{Label, Vocabulary};
+///
+/// let mut vocab = Vocabulary::new();
+/// let carbon = vocab.intern("C");
+/// assert_eq!(vocab.intern("C"), carbon); // idempotent
+/// assert_eq!(vocab.name(carbon), Some("C"));
+/// assert_eq!(vocab.get("C"), Some(carbon));
+/// assert_eq!(vocab.get("missing"), None);
+/// ```
+#[derive(Default, Debug, Clone)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    index: HashMap<String, Label>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable [`Label`].
+    ///
+    /// Repeated calls with the same string return the same id.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.index.get(name) {
+            return l;
+        }
+        let l = Label(u32::try_from(self.names.len()).expect("more than u32::MAX labels"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Looks up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.index.get(name).copied()
+    }
+
+    /// The string behind a label, or `None` for a foreign/unknown label.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// The string behind a label, falling back to the raw id for foreign
+    /// labels. Useful for diagnostics.
+    pub fn name_or_id(&self, label: Label) -> String {
+        match self.name(label) {
+            Some(s) => s.to_owned(),
+            None => label.to_string(),
+        }
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all labels in id order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+
+    /// Iterates over `(label, name)` pairs in id order.
+    pub fn entries(&self) -> impl Iterator<Item = (Label, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Label(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("A");
+        let b = v.intern("B");
+        let a2 = v.intern("A");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn round_trip_names() {
+        let mut v = Vocabulary::new();
+        for name in ["C", "N", "O", "-", "=", "#"] {
+            let l = v.intern(name);
+            assert_eq!(v.name(l), Some(name));
+            assert_eq!(v.get(name), Some(l));
+        }
+        assert_eq!(v.name(Label(999)), None);
+        assert_eq!(v.name_or_id(Label(999)), "#999");
+    }
+
+    #[test]
+    fn entries_and_labels_agree() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let via_entries: Vec<_> = v.entries().map(|(l, _)| l).collect();
+        let via_labels: Vec<_> = v.labels().collect();
+        assert_eq!(via_entries, via_labels);
+        assert_eq!(v.entries().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.labels().count(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Weisfeiler–Lehman (1-WL) color refinement and fingerprints.
+//!
+//! 1-WL iteratively recolors every vertex with a hash of its own color and
+//! the multiset of `(edge label, neighbor color)` pairs around it. The
+//! resulting color histogram is an **isomorphism invariant**: isomorphic
+//! graphs always produce equal fingerprints (the converse fails only for
+//! WL-equivalent non-isomorphic graphs, which are rare at this domain's
+//! sizes). Uses:
+//!
+//! * a cheap *necessary* condition for isomorphism (wired into
+//!   `gss-iso::invariants`-style pre-filters by callers);
+//! * near-duplicate detection in graph databases;
+//! * stable, deterministic hashing — no `RandomState`, so fingerprints are
+//!   reproducible across runs and platforms.
+
+use crate::graph::Graph;
+
+/// A stable 64-bit mixer (SplitMix64 finalizer) — deterministic across
+/// platforms, unlike `std::collections` hashing.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn combine(a: u64, b: u64) -> u64 {
+    mix(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x2545_F491_4F6C_DD1D))
+}
+
+/// Runs `rounds` of 1-WL refinement and returns the per-vertex colors.
+///
+/// Round 0 colors are hashes of the vertex labels; each subsequent round
+/// folds in the sorted multiset of `(edge label, neighbor color)` hashes.
+pub fn wl_colors(g: &Graph, rounds: usize) -> Vec<u64> {
+    let mut colors: Vec<u64> = g
+        .vertices()
+        .map(|v| mix(0xC01D_u64 ^ u64::from(g.vertex_label(v).0)))
+        .collect();
+    let mut scratch: Vec<u64> = Vec::new();
+    for _ in 0..rounds {
+        let mut next = Vec::with_capacity(colors.len());
+        for v in g.vertices() {
+            scratch.clear();
+            for (n, e) in g.neighbors(v) {
+                scratch.push(combine(u64::from(g.edge_label(e).0), colors[n.index()]));
+            }
+            scratch.sort_unstable();
+            let mut c = colors[v.index()];
+            for &s in &scratch {
+                c = combine(c, s);
+            }
+            next.push(mix(c));
+        }
+        colors = next;
+    }
+    colors
+}
+
+/// An isomorphism-invariant fingerprint of the whole graph: the hash of the
+/// sorted multiset of WL colors (plus the order/size header).
+///
+/// `are_isomorphic(g1, g2) ⟹ wl_fingerprint(g1, r) == wl_fingerprint(g2, r)`
+/// for every round count `r`. Two rounds distinguish almost everything at
+/// this domain's graph sizes.
+pub fn wl_fingerprint(g: &Graph, rounds: usize) -> u64 {
+    let mut colors = wl_colors(g, rounds);
+    colors.sort_unstable();
+    let mut h = combine(g.order() as u64, g.size() as u64);
+    for c in colors {
+        h = combine(h, c);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::label::Vocabulary;
+    use crate::rng::Rng;
+    use crate::graph::{Graph, VertexId};
+
+    #[test]
+    fn invariant_under_vertex_permutation() {
+        let mut rng = Rng::seed_from_u64(0x11);
+        for case in 0..40 {
+            // Build a random graph and a permuted copy.
+            let n = 2 + rng.gen_index(6);
+            let mut g = Graph::new("g");
+            for _ in 0..n {
+                g.add_vertex(crate::label::Label(rng.gen_index(3) as u32));
+            }
+            for _ in 0..n + 2 {
+                let u = VertexId::new(rng.gen_index(n));
+                let v = VertexId::new(rng.gen_index(n));
+                if u != v && !g.has_edge(u, v) {
+                    g.add_edge(u, v, crate::label::Label(9)).unwrap();
+                }
+            }
+            let mut perm: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut perm);
+            // h's vertex i corresponds to g's vertex perm[i].
+            let mut h = Graph::new("h");
+            for &old in &perm {
+                h.add_vertex(g.vertex_label(VertexId::new(old)));
+            }
+            let fwd: Vec<usize> = {
+                let mut f = vec![0usize; n];
+                for (new, &old) in perm.iter().enumerate() {
+                    f[old] = new;
+                }
+                f
+            };
+            for e in g.edges() {
+                let edge = g.edge(e);
+                h.add_edge(
+                    VertexId::new(fwd[edge.u.index()]),
+                    VertexId::new(fwd[edge.v.index()]),
+                    edge.label,
+                )
+                .unwrap();
+            }
+            for rounds in [0usize, 1, 2, 3] {
+                assert_eq!(
+                    wl_fingerprint(&g, rounds),
+                    wl_fingerprint(&h, rounds),
+                    "case {case}, rounds {rounds}: permutation changed the fingerprint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishes_basic_non_isomorphic_pairs() {
+        let mut v = Vocabulary::new();
+        let path = GraphBuilder::new("p", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .path(&["a", "b", "c", "d"], "-")
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("s", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .edge("a", "b", "-")
+            .edge("a", "c", "-")
+            .edge("a", "d", "-")
+            .build()
+            .unwrap();
+        assert_ne!(wl_fingerprint(&path, 2), wl_fingerprint(&star, 2));
+
+        let single = GraphBuilder::new("e1", &mut v)
+            .vertices(&["x", "y"], "C")
+            .edge("x", "y", "-")
+            .build()
+            .unwrap();
+        let double = GraphBuilder::new("e2", &mut v)
+            .vertices(&["x", "y"], "C")
+            .edge("x", "y", "=")
+            .build()
+            .unwrap();
+        assert_ne!(wl_fingerprint(&single, 1), wl_fingerprint(&double, 1), "edge labels matter");
+
+        let carbon = GraphBuilder::new("v1", &mut v).vertex("x", "C").build().unwrap();
+        let oxygen = GraphBuilder::new("v2", &mut v).vertex("x", "O").build().unwrap();
+        assert_ne!(wl_fingerprint(&carbon, 0), wl_fingerprint(&oxygen, 0), "vertex labels matter");
+    }
+
+    #[test]
+    fn refinement_separates_what_degree_cannot() {
+        // Two 6-vertex, 6-edge graphs with equal degree sequences:
+        // a 6-cycle vs two triangles. 1-WL with ≥1 round cannot separate
+        // these (classic example), but the component structure shows in
+        // *colors with more rounds on labeled variants*; here we check at
+        // least that equal graphs agree and the fingerprint is stable.
+        let mut v = Vocabulary::new();
+        let cycle = GraphBuilder::new("c6", &mut v)
+            .vertices(&["a", "b", "c", "d", "e", "f"], "C")
+            .cycle(&["a", "b", "c", "d", "e", "f"], "-")
+            .build()
+            .unwrap();
+        let triangles = GraphBuilder::new("tt", &mut v)
+            .vertices(&["a", "b", "c", "x", "y", "z"], "C")
+            .cycle(&["a", "b", "c"], "-")
+            .cycle(&["x", "y", "z"], "-")
+            .build()
+            .unwrap();
+        // Known 1-WL blind spot: fingerprints agree — document the limit.
+        assert_eq!(wl_fingerprint(&cycle, 3), wl_fingerprint(&triangles, 3));
+        // …which is exactly why wl equality is only a *necessary* condition.
+        assert!(!gss_iso_stub_are_isomorphic(&cycle, &triangles));
+    }
+
+    /// Tiny local iso check (avoid a dev-dependency cycle with gss-iso):
+    /// distinguishes the 6-cycle from two triangles via connectivity.
+    fn gss_iso_stub_are_isomorphic(a: &Graph, b: &Graph) -> bool {
+        crate::algo::connected_components(a).len() == crate::algo::connected_components(b).len()
+            && a.order() == b.order()
+            && a.size() == b.size()
+    }
+
+    #[test]
+    fn zero_rounds_is_label_histogram_hash() {
+        // With 0 rounds only vertex labels + counts matter, not structure:
+        // the 4-path and the 4-star (same order, size, labels) collide at
+        // round 0 and separate from round 1 on.
+        let mut v = Vocabulary::new();
+        let path = GraphBuilder::new("p", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .path(&["a", "b", "c", "d"], "-")
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("s", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .edge("a", "b", "-")
+            .edge("a", "c", "-")
+            .edge("a", "d", "-")
+            .build()
+            .unwrap();
+        assert_eq!(wl_fingerprint(&path, 0), wl_fingerprint(&star, 0));
+        assert_ne!(wl_fingerprint(&path, 1), wl_fingerprint(&star, 1));
+    }
+}

@@ -1,0 +1,59 @@
+//! # gss-mcs — maximum common subgraph of labeled graphs
+//!
+//! Implements the paper's Definition 7: `mcs(g1, g2)` is the largest
+//! **connected** subgraph of `g1` that is (non-induced, label-preserving)
+//! subgraph-isomorphic to `g2`, with size `|mcs|` measured in **edges** —
+//! the quantity driving the `DistMcs` (Bunke–Shearer) and `DistGu`
+//! (Wallis et al.) distance measures of Section IV.
+//!
+//! Three solvers are provided:
+//!
+//! * [`exact::maximum_common_subgraph`] — a branch-and-bound search over
+//!   partial vertex mappings grown along shared edges, with an edge-class
+//!   upper bound for pruning. Exact; exponential in the worst case; intended
+//!   for the small graphs (≲ 20 edges) this domain works with.
+//! * [`greedy::greedy_mcs`] — a multi-start greedy approximation that grows
+//!   the mapping by the best immediate edge gain; a fast *lower* bound used
+//!   for large workloads and as a warm start for the exact search.
+//! * [`oracle::mcs_edges_by_definition`] — a direct executable transcription
+//!   of Definition 7 (enumerate connected edge subsets of `g1` by decreasing
+//!   size, test embeddability with `gss-iso`). Hopelessly slow, but the
+//!   ground truth the other solvers are checked against.
+//! * [`product::maximum_common_induced_subgraph`] — the classical modular
+//!   product + maximum clique (Bron–Kerbosch) construction for the
+//!   *induced* MCS variant; a different problem than Definition 7, included
+//!   for completeness and cross-checked against its own oracle.
+//!
+//! ## Note on disconnected inputs
+//!
+//! Because the common subgraph must be connected, `|mcs(g, g)|` equals the
+//! edge count of `g`'s **largest component**, not `|g|`, when `g` is
+//! disconnected; the paper implicitly assumes connected database graphs.
+//!
+//! ```
+//! use gss_graph::{GraphBuilder, Vocabulary};
+//! use gss_mcs::mcs_edge_size;
+//!
+//! let mut vocab = Vocabulary::new();
+//! let square = GraphBuilder::new("sq", &mut vocab)
+//!     .vertices(&["a", "b", "c", "d"], "C")
+//!     .cycle(&["a", "b", "c", "d"], "-")
+//!     .build()
+//!     .unwrap();
+//! let path = GraphBuilder::new("p", &mut vocab)
+//!     .vertices(&["x", "y", "z"], "C")
+//!     .path(&["x", "y", "z"], "-")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(mcs_edge_size(&square, &path), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod greedy;
+pub mod oracle;
+pub mod product;
+
+pub use exact::{maximum_common_subgraph, mcs_edge_size, Mcs, Objective};
+pub use product::{max_clique, maximum_common_induced_subgraph, InducedMcs};

@@ -1,0 +1,327 @@
+//! Induced maximum common subgraph via the modular product graph.
+//!
+//! The classical Levi/Bunke construction: vertices of the *modular product*
+//! of `g1` and `g2` are label-compatible vertex pairs `(u, v)`; two product
+//! vertices are adjacent when their underlying pairs are consistent — both
+//! graphs have an equally-labeled edge between them, or neither has any
+//! edge. Cliques of the product correspond exactly to common **induced**
+//! subgraphs (not necessarily connected), so a maximum clique yields the
+//! maximum common induced subgraph by vertex count.
+//!
+//! This complements [`crate::exact`] (which solves the paper's *connected,
+//! non-induced, edge-count* variant): the two solve different problems, and
+//! tests cross-check each against its own brute-force oracle plus the
+//! inequalities that relate them.
+//!
+//! The max-clique search is Bron–Kerbosch with pivoting ([`max_clique`]) —
+//! also exposed directly since it is a reusable substrate.
+
+use gss_graph::{Graph, VertexId};
+
+/// Maximum clique of an undirected graph given as an adjacency matrix,
+/// via Bron–Kerbosch with pivoting. Returns vertex indices (ascending).
+///
+/// Exponential worst case (the problem is NP-hard); intended for the small
+/// product graphs of this domain.
+///
+/// # Panics
+/// Panics when `adj` is not square or not symmetric (debug builds).
+pub fn max_clique(adj: &[Vec<bool>]) -> Vec<usize> {
+    let n = adj.len();
+    for (i, row) in adj.iter().enumerate() {
+        assert_eq!(row.len(), n, "adjacency matrix must be square");
+        debug_assert!(!row[i], "no self-loops expected");
+    }
+    let mut best: Vec<usize> = Vec::new();
+    let mut r: Vec<usize> = Vec::new();
+    let p: Vec<usize> = (0..n).collect();
+    let x: Vec<usize> = Vec::new();
+    bron_kerbosch(adj, &mut r, p, x, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn bron_kerbosch(
+    adj: &[Vec<bool>],
+    r: &mut Vec<usize>,
+    p: Vec<usize>,
+    x: Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    if p.is_empty() && x.is_empty() {
+        if r.len() > best.len() {
+            *best = r.clone();
+        }
+        return;
+    }
+    // Bound: even taking all of P cannot beat the incumbent.
+    if r.len() + p.len() <= best.len() {
+        return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&w| adj[u][w]).count())
+        .expect("P ∪ X non-empty here");
+    let candidates: Vec<usize> = p.iter().copied().filter(|&u| !adj[pivot][u]).collect();
+
+    let mut p = p;
+    let mut x = x;
+    for u in candidates {
+        let p_next: Vec<usize> = p.iter().copied().filter(|&w| adj[u][w]).collect();
+        let x_next: Vec<usize> = x.iter().copied().filter(|&w| adj[u][w]).collect();
+        r.push(u);
+        bron_kerbosch(adj, r, p_next, x_next, best);
+        r.pop();
+        p.retain(|&w| w != u);
+        x.push(u);
+    }
+}
+
+/// A maximum common **induced** subgraph witness: matched vertex pairs.
+#[derive(Clone, Debug, Default)]
+pub struct InducedMcs {
+    /// Matched `(g1 vertex, g2 vertex)` pairs, ascending by the g1 side.
+    pub vertex_pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl InducedMcs {
+    /// Number of matched vertices.
+    pub fn vertices(&self) -> usize {
+        self.vertex_pairs.len()
+    }
+
+    /// Number of (shared) edges induced between the matched g1 vertices —
+    /// by construction these all exist identically in g2.
+    pub fn edges(&self, g1: &Graph) -> usize {
+        let mut count = 0;
+        for (i, &(u1, _)) in self.vertex_pairs.iter().enumerate() {
+            for &(u2, _) in &self.vertex_pairs[i + 1..] {
+                if g1.has_edge(u1, u2) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Computes a maximum common induced subgraph (vertex-count objective,
+/// connectivity **not** required) via the modular product + max clique.
+pub fn maximum_common_induced_subgraph(g1: &Graph, g2: &Graph) -> InducedMcs {
+    // Product vertices: label-compatible pairs.
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+    for u in g1.vertices() {
+        for v in g2.vertices() {
+            if g1.vertex_label(u) == g2.vertex_label(v) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    let n = pairs.len();
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let (u1, v1) = pairs[i];
+            let (u2, v2) = pairs[j];
+            if u1 == u2 || v1 == v2 {
+                continue; // injectivity
+            }
+            let e1 = g1.edge_between(u1, u2);
+            let e2 = g2.edge_between(v1, v2);
+            let consistent = match (e1, e2) {
+                (Some(a), Some(b)) => g1.edge_label(a) == g2.edge_label(b),
+                (None, None) => true,
+                _ => false,
+            };
+            if consistent {
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+    }
+    let clique = max_clique(&adj);
+    let mut vertex_pairs: Vec<(VertexId, VertexId)> = clique.into_iter().map(|i| pairs[i]).collect();
+    vertex_pairs.sort();
+    InducedMcs { vertex_pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_graph::{GraphBuilder, Label, Rng, Vocabulary};
+
+    #[test]
+    fn max_clique_basics() {
+        // Triangle plus pendant: max clique = the triangle.
+        let adj = vec![
+            vec![false, true, true, false],
+            vec![true, false, true, false],
+            vec![true, true, false, true],
+            vec![false, false, true, false],
+        ];
+        assert_eq!(max_clique(&adj), vec![0, 1, 2]);
+        // Empty graph: any single vertex.
+        let empty = vec![vec![false; 3]; 3];
+        assert_eq!(max_clique(&empty).len(), 1);
+        // No vertices.
+        assert!(max_clique(&[]).is_empty());
+    }
+
+    #[test]
+    fn identical_graphs_match_completely() {
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("g", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .vertex("c", "C")
+            .cycle(&["a", "b", "c"], "-")
+            .build()
+            .unwrap();
+        let m = maximum_common_induced_subgraph(&g, &g);
+        assert_eq!(m.vertices(), 3);
+        assert_eq!(m.edges(&g), 3);
+    }
+
+    #[test]
+    fn induced_semantics_differ_from_non_induced() {
+        // Pattern: path a-b-c. Host: triangle a-b-c. Non-induced mcs keeps
+        // all 3 vertices (2 shared edges); *induced* cannot map all three
+        // (the host's closing edge is absent in the path), so it matches
+        // only 2 vertices.
+        let mut v = Vocabulary::new();
+        let path = GraphBuilder::new("p", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .vertex("c", "C")
+            .path(&["a", "b", "c"], "-")
+            .build()
+            .unwrap();
+        let tri = GraphBuilder::new("t", &mut v)
+            .vertex("a", "A")
+            .vertex("b", "B")
+            .vertex("c", "C")
+            .cycle(&["a", "b", "c"], "-")
+            .build()
+            .unwrap();
+        let induced = maximum_common_induced_subgraph(&path, &tri);
+        assert_eq!(induced.vertices(), 2);
+        // Non-induced connected solver sees 2 shared edges.
+        assert_eq!(crate::exact::mcs_edge_size(&path, &tri), 2);
+    }
+
+    /// Brute-force oracle: try all subsets of g1's vertices (by decreasing
+    /// size) and all injections into g2, checking induced consistency.
+    fn induced_oracle(g1: &Graph, g2: &Graph) -> usize {
+        let n1 = g1.order();
+        let mut best = 0usize;
+        for mask in 0u32..(1 << n1) {
+            let subset: Vec<VertexId> = (0..n1)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(VertexId::new)
+                .collect();
+            if subset.len() <= best {
+                continue;
+            }
+            if injects(g1, g2, &subset, &mut Vec::new()) {
+                best = subset.len();
+            }
+        }
+        best
+    }
+
+    fn injects(g1: &Graph, g2: &Graph, subset: &[VertexId], map: &mut Vec<VertexId>) -> bool {
+        if map.len() == subset.len() {
+            return true;
+        }
+        let u = subset[map.len()];
+        'cand: for v in g2.vertices() {
+            if map.contains(&v) || g1.vertex_label(u) != g2.vertex_label(v) {
+                continue;
+            }
+            for (k, &w) in map.iter().enumerate() {
+                let e1 = g1.edge_between(u, subset[k]);
+                let e2 = g2.edge_between(v, w);
+                let ok = match (e1, e2) {
+                    (Some(a), Some(b)) => g1.edge_label(a) == g2.edge_label(b),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !ok {
+                    continue 'cand;
+                }
+            }
+            map.push(v);
+            if injects(g1, g2, subset, map) {
+                map.pop();
+                return true;
+            }
+            map.pop();
+        }
+        false
+    }
+
+    fn random_graph(rng: &mut Rng, n: usize, m: usize) -> Graph {
+        let mut g = Graph::new("r");
+        for _ in 0..n {
+            g.add_vertex(Label(rng.gen_index(2) as u32));
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < m && guard < 60 {
+            guard += 1;
+            let u = VertexId::new(rng.gen_index(n));
+            let v = VertexId::new(rng.gen_index(n));
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v, Label(5)).unwrap();
+                added += 1;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn clique_solver_matches_brute_force_oracle() {
+        let mut rng = Rng::seed_from_u64(0xC11);
+        for case in 0..60 {
+            let (n1, m1) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let (n2, m2) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            let fast = maximum_common_induced_subgraph(&g1, &g2).vertices();
+            let slow = induced_oracle(&g1, &g2);
+            assert_eq!(fast, slow, "case {case}");
+        }
+    }
+
+    #[test]
+    fn induced_mcs_bounds_and_witness_validity() {
+        let mut rng = Rng::seed_from_u64(0xC12);
+        for case in 0..30 {
+            let (n1, m1) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let (n2, m2) = (1 + rng.gen_index(4), rng.gen_index(5));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            let m = maximum_common_induced_subgraph(&g1, &g2);
+            assert!(m.vertices() <= g1.order().min(g2.order()), "case {case}");
+            // The witness must be an injective, label- and edge-consistent map.
+            for (i, &(u1, v1)) in m.vertex_pairs.iter().enumerate() {
+                assert_eq!(g1.vertex_label(u1), g2.vertex_label(v1), "case {case}");
+                for &(u2, v2) in &m.vertex_pairs[i + 1..] {
+                    assert_ne!(u1, u2, "case {case}: injective on g1");
+                    assert_ne!(v1, v2, "case {case}: injective on g2");
+                    let e1 = g1.edge_between(u1, u2);
+                    let e2 = g2.edge_between(v1, v2);
+                    let consistent = match (e1, e2) {
+                        (Some(a), Some(b)) => g1.edge_label(a) == g2.edge_label(b),
+                        (None, None) => true,
+                        _ => false,
+                    };
+                    assert!(consistent, "case {case}: induced consistency violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Pareto dominance on numeric vectors (Definition 1 of the paper).
+//!
+//! All dimensions are **minimized**: point `p` dominates `q` iff `p[i] ≤
+//! q[i]` on every dimension and `p[j] < q[j]` on at least one. Identical
+//! points do not dominate each other (both survive in a skyline).
+
+/// Relation between two points under Pareto dominance.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Dominance {
+    /// The first point dominates the second.
+    Dominates,
+    /// The first point is dominated by the second.
+    DominatedBy,
+    /// Neither dominates (including the equal-points case).
+    Incomparable,
+    /// The points are identical in every dimension.
+    Equal,
+}
+
+/// Compares `a` and `b` under minimizing Pareto dominance.
+///
+/// # Panics
+/// Panics when the dimensionalities differ.
+pub fn compare(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(a.len(), b.len(), "points must share dimensionality");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// True iff `a` dominates `b` (the paper's `a ≻ b`).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    compare(a, b) == Dominance::Dominates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_dominance() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 3.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal: no strict dim
+    }
+
+    #[test]
+    fn incomparable_points() {
+        assert_eq!(compare(&[1.0, 5.0], &[2.0, 3.0]), Dominance::Incomparable);
+        assert_eq!(compare(&[2.0, 3.0], &[1.0, 5.0]), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn equal_and_oriented() {
+        assert_eq!(compare(&[1.0, 1.0], &[1.0, 1.0]), Dominance::Equal);
+        assert_eq!(compare(&[0.0], &[1.0]), Dominance::Dominates);
+        assert_eq!(compare(&[1.0], &[0.0]), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn antisymmetry_and_transitivity_spotcheck() {
+        let pts: [&[f64]; 3] = [&[1.0, 1.0, 4.0], &[1.0, 2.0, 4.0], &[2.0, 2.0, 4.0]];
+        assert!(dominates(pts[0], pts[1]));
+        assert!(dominates(pts[1], pts[2]));
+        assert!(dominates(pts[0], pts[2])); // transitive
+        assert!(!dominates(pts[2], pts[0])); // antisymmetric
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mismatched_dims_panic() {
+        compare(&[1.0], &[1.0, 2.0]);
+    }
+}

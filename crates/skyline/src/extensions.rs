@@ -1,0 +1,105 @@
+//! Skyline-adjacent operators from the related-work space: k-skyband and
+//! top-k dominating queries (references \[18\]–\[21\] of the paper). They
+//! serve as baselines for the evaluation harness.
+
+use crate::dominance::{compare, Dominance};
+
+/// The k-skyband: points dominated by **fewer than** `k` other points.
+/// `k = 1` is exactly the skyline.
+pub fn k_skyband(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let mut dominators = 0usize;
+        for (j, q) in points.iter().enumerate() {
+            if i != j && compare(q, p) == Dominance::Dominates {
+                dominators += 1;
+                if dominators >= k {
+                    break;
+                }
+            }
+        }
+        if dominators < k {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Top-k dominating query: the `k` points that dominate the most others
+/// (ties broken by smaller index). Unlike the skyline this always returns
+/// exactly `min(k, n)` points.
+pub fn top_k_dominating(points: &[Vec<f64>], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(usize, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let score = points
+                .iter()
+                .enumerate()
+                .filter(|&(j, q)| i != j && compare(p, q) == Dominance::Dominates)
+                .count();
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    let mut out: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive_skyline;
+
+    fn hotels() -> Vec<Vec<f64>> {
+        vec![
+            vec![4.0, 150.0],
+            vec![3.0, 110.0],
+            vec![2.5, 240.0],
+            vec![2.0, 180.0],
+            vec![1.7, 270.0],
+            vec![1.0, 195.0],
+            vec![1.2, 210.0],
+        ]
+    }
+
+    #[test]
+    fn skyband_1_is_skyline() {
+        let pts = hotels();
+        assert_eq!(k_skyband(&pts, 1), naive_skyline(&pts));
+    }
+
+    #[test]
+    fn skyband_grows_with_k() {
+        let pts = hotels();
+        let s1 = k_skyband(&pts, 1);
+        let s2 = k_skyband(&pts, 2);
+        let s3 = k_skyband(&pts, 100);
+        assert!(s1.len() <= s2.len());
+        assert!(s2.len() <= s3.len());
+        assert_eq!(s3.len(), pts.len(), "huge k keeps everything");
+        for i in &s1 {
+            assert!(s2.contains(i), "skyband must be monotone in k");
+        }
+    }
+
+    #[test]
+    fn skyband_zero_is_empty() {
+        assert!(k_skyband(&hotels(), 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_dominating_counts() {
+        // Dominance scores: H6 (1.0,195) dominates H3, H5, H7 → 3;
+        // H7 (1.2,210) dominates H3, H5 → 2; H2 → {H1}; H4 → {H3}.
+        // Note the contrast with the skyline: H7 is *not* Pareto-optimal
+        // (H6 dominates it) yet ranks second by dominated count.
+        let pts = hotels();
+        let top2 = top_k_dominating(&pts, 2);
+        assert_eq!(top2, vec![5, 6]); // H6 and H7
+        assert_eq!(top_k_dominating(&pts, 0).len(), 0);
+        assert_eq!(top_k_dominating(&pts, 100).len(), pts.len());
+    }
+}

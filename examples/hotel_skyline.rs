@@ -1,0 +1,38 @@
+//! The classic relational skyline (the paper's Example 1) plus the related
+//! operators this workspace ships: k-skyband and top-k dominating queries.
+//!
+//! Run with: `cargo run --example hotel_skyline`
+
+use gss_datasets::paper::hotels;
+use gss_skyline::{k_skyband, naive_skyline, sfs_skyline, top_k_dominating};
+
+fn main() {
+    let (names, rows) = hotels();
+
+    println!("hotels (price in 100€, distance to beach in km):");
+    for (i, n) in names.iter().enumerate() {
+        println!("  {n}: ({}, {})", rows[i][0], rows[i][1]);
+    }
+
+    let sky = naive_skyline(&rows);
+    println!("\nskyline (Pareto-optimal hotels):");
+    for &i in &sky {
+        println!("  {}", names[i]);
+    }
+    assert_eq!(sky, sfs_skyline(&rows), "all algorithms agree");
+
+    println!("\n2-skyband (dominated by at most one other hotel):");
+    for i in k_skyband(&rows, 2) {
+        println!("  {}", names[i]);
+    }
+
+    println!("\ntop-2 dominating (hotels that dominate the most others):");
+    for i in top_k_dominating(&rows, 2) {
+        println!("  {}", names[i]);
+    }
+
+    println!(
+        "\nnote: H7 dominates 2 hotels yet is NOT in the skyline (H6 beats it) —\n\
+         dominance count and Pareto-optimality answer different questions."
+    );
+}

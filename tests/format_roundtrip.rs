@@ -1,0 +1,84 @@
+//! Property test: serialization round-trips for arbitrary generated graphs.
+
+use proptest::prelude::*;
+use similarity_skyline::datasets::synth::{random_connected_graph, RandomGraphConfig};
+use similarity_skyline::graph::format::{parse_database, to_dot, write_database};
+use similarity_skyline::graph::Rng as GssRng;
+use similarity_skyline::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn text_round_trip_preserves_structure(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        extra in 0usize..8,
+        labels in 1usize..5,
+    ) {
+        let mut vocab = Vocabulary::new();
+        let mut rng = GssRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig {
+            vertices: n,
+            edges: n.saturating_sub(1) + extra,
+            vertex_alphabet: (0..labels).map(|i| format!("V{i}")).collect(),
+            edge_alphabet: vec!["-".into(), "=".into()],
+        };
+        let g = random_connected_graph("roundtrip", &cfg, &mut vocab, &mut rng);
+
+        let text = write_database(std::slice::from_ref(&g), &vocab);
+        let mut vocab2 = Vocabulary::new();
+        let parsed = parse_database(&text, &mut vocab2).expect("own output must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        let h = &parsed[0];
+        prop_assert_eq!(h.name(), g.name());
+        prop_assert_eq!(h.order(), g.order());
+        prop_assert_eq!(h.size(), g.size());
+        // Structural equality via label names (ids may differ across vocabs).
+        for v in g.vertices() {
+            prop_assert_eq!(
+                vocab.name(g.vertex_label(v)),
+                vocab2.name(h.vertex_label(v))
+            );
+        }
+        for e in g.edges() {
+            let ge = g.edge(e);
+            let he = h.edge(e);
+            prop_assert_eq!((ge.u, ge.v), (he.u, he.v));
+            prop_assert_eq!(vocab.name(ge.label), vocab2.name(he.label));
+        }
+        // Idempotence: serialize again, byte-identical.
+        let text2 = write_database(&parsed, &vocab2);
+        prop_assert_eq!(text, text2);
+        // Round-tripped graphs are isomorphic under the matcher too —
+        // only meaningful when labels intern to the same ids, which holds
+        // when parsing into the original vocabulary.
+        let mut vocab3 = vocab.clone();
+        let reparsed = parse_database(&write_database(std::slice::from_ref(&g), &vocab), &mut vocab3).unwrap();
+        prop_assert!(are_isomorphic(&g, &reparsed[0]));
+    }
+
+    #[test]
+    fn dot_mentions_every_vertex_and_edge(
+        seed in any::<u64>(),
+        n in 1usize..8,
+    ) {
+        let mut vocab = Vocabulary::new();
+        let mut rng = GssRng::seed_from_u64(seed);
+        let cfg = RandomGraphConfig { vertices: n, edges: n + 1, ..Default::default() };
+        let g = random_connected_graph("dot", &cfg, &mut vocab, &mut rng);
+        let dot = to_dot(&g, &vocab);
+        prop_assert!(dot.starts_with("graph "));
+        let closed = dot.trim_end().ends_with('\u{7d}');
+        prop_assert!(closed, "dot output must close its block");
+        for v in g.vertices() {
+            let has_vertex = dot.contains(&format!("n{} ", v.index()));
+            prop_assert!(has_vertex, "missing vertex n{}", v.index());
+        }
+        for e in g.edges() {
+            let edge = g.edge(e);
+            let has_edge = dot.contains(&format!("n{} -- n{}", edge.u.index(), edge.v.index()));
+            prop_assert!(has_edge, "missing edge {:?}", edge);
+        }
+    }
+}
