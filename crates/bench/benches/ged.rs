@@ -13,7 +13,11 @@ use std::hint::black_box;
 fn pair_of_size(n: usize, edits: usize, seed: u64) -> (Graph, Graph) {
     let mut vocab = Vocabulary::new();
     let mut rng = Rng::seed_from_u64(seed);
-    let cfg = RandomGraphConfig { vertices: n, edges: n + n / 3, ..Default::default() };
+    let cfg = RandomGraphConfig {
+        vertices: n,
+        edges: n + n / 3,
+        ..Default::default()
+    };
     let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
     let g2 = perturb(&g1, edits, &mut vocab, &mut rng, "P");
     (g1, g2)
@@ -40,9 +44,11 @@ fn bench_ged(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_with_input(BenchmarkId::new("bipartite", n), &(&g1, &g2), |b, (g1, g2)| {
-            b.iter(|| black_box(bipartite_ged(g1, g2, &CostModel::uniform()).cost))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bipartite", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(bipartite_ged(g1, g2, &CostModel::uniform()).cost)),
+        );
         group.bench_with_input(BenchmarkId::new("beam16", n), &(&g1, &g2), |b, (g1, g2)| {
             b.iter(|| black_box(beam_ged(g1, g2, &CostModel::uniform(), 16).cost))
         });

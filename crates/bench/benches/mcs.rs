@@ -31,20 +31,28 @@ fn bench_mcs(c: &mut Criterion) {
     for &n in &[5usize, 7, 9, 11] {
         // Rich alphabet: labels prune hard, exact is fast.
         let (g1, g2) = pair(n, 6, 0x3c5 + n as u64);
-        group.bench_with_input(BenchmarkId::new("exact-rich", n), &(&g1, &g2), |b, (g1, g2)| {
-            b.iter(|| black_box(mcs_edge_size(g1, g2)))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy-rich", n), &(&g1, &g2), |b, (g1, g2)| {
-            b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact-rich", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(mcs_edge_size(g1, g2))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy-rich", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges())),
+        );
         // Poor alphabet (2 labels): many feasible mappings, exact suffers.
         let (h1, h2) = pair(n, 2, 0xabc + n as u64);
-        group.bench_with_input(BenchmarkId::new("exact-poor", n), &(&h1, &h2), |b, (g1, g2)| {
-            b.iter(|| black_box(mcs_edge_size(g1, g2)))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy-poor", n), &(&h1, &h2), |b, (g1, g2)| {
-            b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact-poor", n),
+            &(&h1, &h2),
+            |b, (g1, g2)| b.iter(|| black_box(mcs_edge_size(g1, g2))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy-poor", n),
+            &(&h1, &h2),
+            |b, (g1, g2)| b.iter(|| black_box(greedy_mcs(g1, g2, usize::MAX).edges())),
+        );
     }
     group.finish();
 

@@ -1,0 +1,82 @@
+//! S6 — filter-and-verify pruning vs the naive GSS scan.
+//!
+//! Expected shape: the prefilter's advantage grows with database size and
+//! with the fraction of decoys (graphs far from the query), because decoys
+//! are exactly what lower-bound domination prunes. On a workload of
+//! near-duplicates the two pipelines converge (everything must verify).
+//!
+//! The pruning rate itself is printed once per configuration — criterion
+//! only measures time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_core::{graph_similarity_skyline, GraphDatabase, QueryOptions};
+use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("S6-prefilter");
+    group.sample_size(10);
+    for &n in &[20usize, 60, 120] {
+        let w = Workload::generate(&WorkloadConfig {
+            kind: WorkloadKind::Molecule,
+            database_size: n,
+            graph_vertices: 7,
+            related_fraction: 0.3,
+            seed: 0x56,
+            ..Default::default()
+        });
+        let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+        let q = w.query;
+
+        let pruned_opts = QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        };
+        let r = graph_similarity_skyline(&db, &q, &pruned_opts);
+        let stats = r.pruning.expect("prefilter stats");
+        println!(
+            "n={n}: pruning rate {:.0}% ({} pruned, {} short-circuited, {} verified)",
+            stats.pruning_rate() * 100.0,
+            stats.pruned,
+            stats.short_circuited,
+            stats.verified
+        );
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&db, &q), |b, (db, q)| {
+            b.iter(|| {
+                black_box(
+                    graph_similarity_skyline(db, q, &QueryOptions::default())
+                        .skyline
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("prefilter", n),
+            &(&db, &q),
+            |b, (db, q)| {
+                let opts = QueryOptions {
+                    prefilter: true,
+                    ..QueryOptions::default()
+                };
+                b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prefilter-4threads", n),
+            &(&db, &q),
+            |b, (db, q)| {
+                let opts = QueryOptions {
+                    prefilter: true,
+                    threads: 4,
+                    ..QueryOptions::default()
+                };
+                b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefilter);
+criterion_main!(benches);

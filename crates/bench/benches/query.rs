@@ -7,7 +7,9 @@
 //! threads give near-linear speedup on the embarrassingly parallel scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gss_core::{graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig};
+use gss_core::{
+    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig,
+};
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use std::hint::black_box;
 
@@ -30,19 +32,35 @@ fn bench_query(c: &mut Criterion) {
     for &n in &[10usize, 40, 120] {
         let (db, q) = workload(n);
         group.bench_with_input(BenchmarkId::new("exact", n), &(&db, &q), |b, (db, q)| {
-            b.iter(|| black_box(graph_similarity_skyline(db, q, &QueryOptions::default()).skyline.len()))
+            b.iter(|| {
+                black_box(
+                    graph_similarity_skyline(db, q, &QueryOptions::default())
+                        .skyline
+                        .len(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("approx", n), &(&db, &q), |b, (db, q)| {
             let opts = QueryOptions {
-                solvers: SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+                solvers: SolverConfig {
+                    ged: GedMode::Bipartite,
+                    mcs: McsMode::Greedy,
+                },
                 ..Default::default()
             };
             b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
         });
-        group.bench_with_input(BenchmarkId::new("exact-4threads", n), &(&db, &q), |b, (db, q)| {
-            let opts = QueryOptions { threads: 4, ..Default::default() };
-            b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact-4threads", n),
+            &(&db, &q),
+            |b, (db, q)| {
+                let opts = QueryOptions {
+                    threads: 4,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
+            },
+        );
     }
     group.finish();
 }

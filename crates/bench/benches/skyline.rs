@@ -36,20 +36,32 @@ fn bench_skyline(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[100usize, 1_000, 5_000] {
         for (dist_name, maker) in [
-            ("correlated", correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>),
-            ("anti", anti_correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>),
+            (
+                "correlated",
+                correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>,
+            ),
+            (
+                "anti",
+                anti_correlated as fn(usize, usize, &mut Rng) -> Vec<Vec<f64>>,
+            ),
         ] {
             let mut rng = Rng::seed_from_u64(42);
             let pts = maker(n, 3, &mut rng);
-            group.bench_with_input(BenchmarkId::new(format!("naive-{dist_name}"), n), &pts, |b, p| {
-                b.iter(|| black_box(naive_skyline(p)))
-            });
-            group.bench_with_input(BenchmarkId::new(format!("bnl-{dist_name}"), n), &pts, |b, p| {
-                b.iter(|| black_box(bnl_skyline(p)))
-            });
-            group.bench_with_input(BenchmarkId::new(format!("sfs-{dist_name}"), n), &pts, |b, p| {
-                b.iter(|| black_box(sfs_skyline(p)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive-{dist_name}"), n),
+                &pts,
+                |b, p| b.iter(|| black_box(naive_skyline(p))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("bnl-{dist_name}"), n),
+                &pts,
+                |b, p| b.iter(|| black_box(bnl_skyline(p))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sfs-{dist_name}"), n),
+                &pts,
+                |b, p| b.iter(|| black_box(sfs_skyline(p))),
+            );
         }
     }
     group.finish();

@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 use gss_bench::TextTable;
-use gss_core::{graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig};
+use gss_core::{
+    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig,
+};
 use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use gss_diversity::{refine_exact, refine_greedy};
@@ -45,6 +47,7 @@ fn main() {
     s3_mcs();
     s4_query();
     s5_diversity();
+    s6_prefilter();
 }
 
 fn s1_skyline() {
@@ -56,15 +59,22 @@ fn s1_skyline() {
             .map(|_| {
                 let mut p: Vec<f64> = (0..3).map(|_| rng.gen_f64()).collect();
                 let s: f64 = p.iter().sum();
-                p.iter_mut().for_each(|x| *x = *x / s + 0.05 * rng.gen_f64());
+                p.iter_mut()
+                    .for_each(|x| *x = *x / s + 0.05 * rng.gen_f64());
                 p
             })
             .collect();
         t.row(vec![
             format!("{n}"),
-            fmt_us(time_us(5, || { naive_skyline(&pts); })),
-            fmt_us(time_us(5, || { bnl_skyline(&pts); })),
-            fmt_us(time_us(5, || { sfs_skyline(&pts); })),
+            fmt_us(time_us(5, || {
+                naive_skyline(&pts);
+            })),
+            fmt_us(time_us(5, || {
+                bnl_skyline(&pts);
+            })),
+            fmt_us(time_us(5, || {
+                sfs_skyline(&pts);
+            })),
         ]);
     }
     println!("{}", t.render());
@@ -73,7 +83,11 @@ fn s1_skyline() {
 fn pair(n: usize, seed: u64) -> (Graph, Graph) {
     let mut vocab = Vocabulary::new();
     let mut rng = Rng::seed_from_u64(seed);
-    let cfg = RandomGraphConfig { vertices: n, edges: n + n / 3, ..Default::default() };
+    let cfg = RandomGraphConfig {
+        vertices: n,
+        edges: n + n / 3,
+        ..Default::default()
+    };
     let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
     let g2 = perturb(&g1, 3, &mut vocab, &mut rng, "P");
     (g1, g2)
@@ -81,14 +95,28 @@ fn pair(n: usize, seed: u64) -> (Graph, Graph) {
 
 fn s2_ged() {
     println!("== S2: GED solvers (perturbed random graph pairs) ==");
-    let mut t = TextTable::new(vec!["|V|", "exact", "bipartite", "beam(16)", "values e/b/m"]);
+    let mut t = TextTable::new(vec![
+        "|V|",
+        "exact",
+        "bipartite",
+        "beam(16)",
+        "values e/b/m",
+    ]);
     for &n in &[4usize, 6, 8, 10] {
         let (g1, g2) = pair(n, 0x52 + n as u64);
         let cost = CostModel::uniform();
         let mut exact_val = 0.0;
         let e = time_us(3, || {
             let warm = bipartite_ged(&g1, &g2, &cost);
-            exact_val = exact_ged(&g1, &g2, &GedOptions { warm_start: Some(warm.mapping), ..Default::default() }).cost;
+            exact_val = exact_ged(
+                &g1,
+                &g2,
+                &GedOptions {
+                    warm_start: Some(warm.mapping),
+                    ..Default::default()
+                },
+            )
+            .cost;
         });
         let mut bip_val = 0.0;
         let b = time_us(3, || {
@@ -148,19 +176,89 @@ fn s4_query() {
             graph_similarity_skyline(&db, &w.query, &QueryOptions::default());
         });
         let exact4 = time_us(2, || {
-            graph_similarity_skyline(&db, &w.query, &QueryOptions { threads: 4, ..Default::default() });
+            graph_similarity_skyline(
+                &db,
+                &w.query,
+                &QueryOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+            );
         });
         let approx = time_us(2, || {
             graph_similarity_skyline(
                 &db,
                 &w.query,
                 &QueryOptions {
-                    solvers: SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+                    solvers: SolverConfig {
+                        ged: GedMode::Bipartite,
+                        mcs: McsMode::Greedy,
+                    },
                     ..Default::default()
                 },
             );
         });
-        t.row(vec![format!("{n}"), fmt_us(exact1), fmt_us(exact4), fmt_us(approx)]);
+        t.row(vec![
+            format!("{n}"),
+            fmt_us(exact1),
+            fmt_us(exact4),
+            fmt_us(approx),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn s6_prefilter() {
+    println!("== S6: filter-and-verify pruning (molecule workloads, 1 thread) ==");
+    let mut t = TextTable::new(vec![
+        "|D|",
+        "naive",
+        "prefilter",
+        "speedup",
+        "pruned/short/verified",
+    ]);
+    for &n in &[20usize, 60, 120] {
+        let w = Workload::generate(&WorkloadConfig {
+            kind: WorkloadKind::Molecule,
+            database_size: n,
+            graph_vertices: 7,
+            related_fraction: 0.3,
+            seed: 0x56,
+            ..Default::default()
+        });
+        let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+        let naive_opts = QueryOptions::default();
+        let pruned_opts = QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        };
+        let naive = time_us(3, || {
+            graph_similarity_skyline(&db, &w.query, &naive_opts);
+        });
+        let pruned = time_us(3, || {
+            graph_similarity_skyline(&db, &w.query, &pruned_opts);
+        });
+        let r = graph_similarity_skyline(&db, &w.query, &pruned_opts);
+        let base = graph_similarity_skyline(&db, &w.query, &naive_opts);
+        assert_eq!(
+            r.skyline, base.skyline,
+            "pruning must not change the answer"
+        );
+        assert_eq!(
+            r.dominated, base.dominated,
+            "pruning must not change witnesses"
+        );
+        let stats = r.pruning.expect("prefilter stats");
+        t.row(vec![
+            format!("{n}"),
+            fmt_us(naive),
+            fmt_us(pruned),
+            format!("{:.2}x", naive / pruned.max(1.0)),
+            format!(
+                "{}/{}/{}",
+                stats.pruned, stats.short_circuited, stats.verified
+            ),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -41,13 +41,20 @@ fn table1() {
             n.to_string(),
             format!("{}", rows[i][0]),
             format!("{}", rows[i][1]),
-            if sky.contains(&i) { "yes".into() } else { String::new() },
+            if sky.contains(&i) {
+                "yes".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{}", t.render());
     let got: Vec<&str> = sky.iter().map(|&i| names[i]).collect();
     let ok = got == ["H2", "H4", "H6"];
-    println!("measured skyline {got:?} vs paper [H2, H4, H6] {}", if ok { "✓" } else { "DIFFERS" });
+    println!(
+        "measured skyline {got:?} vs paper [H2, H4, H6] {}",
+        if ok { "✓" } else { "DIFFERS" }
+    );
     println!();
 }
 
@@ -59,7 +66,11 @@ fn figures1_2() {
     let ged = exact_ged(
         &pair.left,
         &pair.right,
-        &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None },
+        &GedOptions {
+            cost,
+            warm_start: Some(warm.mapping),
+            node_limit: None,
+        },
     );
     let mcs = maximum_common_subgraph(&pair.left, &pair.right, Objective::Edges);
     let m = mcs.edges() as f64;
@@ -67,10 +78,30 @@ fn figures1_2() {
     let dist_gu = 1.0 - m / (12.0 - m);
 
     let mut t = TextTable::new(vec!["quantity", "measured", "paper", "verdict"]);
-    t.row(vec!["DistEd".into(), format!("{}", ged.cost), "4".to_string(), verdict(ged.cost, 4.0, 0.0).into()]);
-    t.row(vec!["|mcs|".into(), format!("{}", mcs.edges()), "4".to_string(), verdict(m, 4.0, 0.0).into()]);
-    t.row(vec!["DistMcs".into(), f2(dist_mcs), "0.33".into(), verdict(dist_mcs, 0.33, 0.006).into()]);
-    t.row(vec!["DistGu".into(), f2(dist_gu), "0.50".into(), verdict(dist_gu, 0.50, 0.006).into()]);
+    t.row(vec![
+        "DistEd".into(),
+        format!("{}", ged.cost),
+        "4".to_string(),
+        verdict(ged.cost, 4.0, 0.0).into(),
+    ]);
+    t.row(vec![
+        "|mcs|".into(),
+        format!("{}", mcs.edges()),
+        "4".to_string(),
+        verdict(m, 4.0, 0.0).into(),
+    ]);
+    t.row(vec![
+        "DistMcs".into(),
+        f2(dist_mcs),
+        "0.33".into(),
+        verdict(dist_mcs, 0.33, 0.006).into(),
+    ]);
+    t.row(vec![
+        "DistGu".into(),
+        f2(dist_gu),
+        "0.50".into(),
+        verdict(dist_gu, 0.50, 0.006).into(),
+    ]);
     println!("{}", t.render());
 
     println!("optimal edit script (paper lists: edge deletion, edge relabeling,");
@@ -88,7 +119,13 @@ fn tables2_3() {
     let r = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
 
     let mut t = TextTable::new(vec![
-        "g", "|g|", "|mcs| meas/paper", "DistEd meas/paper", "DistMcs", "DistGu", "skyline",
+        "g",
+        "|g|",
+        "|mcs| meas/paper",
+        "DistEd meas/paper",
+        "DistMcs",
+        "DistGu",
+        "skyline",
     ]);
     for (i, gcs) in r.gcs.iter().enumerate() {
         let g = db.get(GraphId(i));
@@ -96,26 +133,59 @@ fn tables2_3() {
         t.row(vec![
             format!("g{}", i + 1),
             format!("{}", g.size()),
-            format!("{} / {} {}", mcs_meas, expected::TABLE2_MCS[i],
-                verdict(mcs_meas as f64, expected::TABLE2_MCS[i] as f64, 0.0)),
-            format!("{} / {} {}", gcs.values[0], expected::TABLE3_ED[i],
-                verdict(gcs.values[0], expected::TABLE3_ED[i], 0.0)),
+            format!(
+                "{} / {} {}",
+                mcs_meas,
+                expected::TABLE2_MCS[i],
+                verdict(mcs_meas as f64, expected::TABLE2_MCS[i] as f64, 0.0)
+            ),
+            format!(
+                "{} / {} {}",
+                gcs.values[0],
+                expected::TABLE3_ED[i],
+                verdict(gcs.values[0], expected::TABLE3_ED[i], 0.0)
+            ),
             f2(gcs.values[1]),
             f2(gcs.values[2]),
-            if r.contains(GraphId(i)) { "yes".into() } else { String::new() },
+            if r.contains(GraphId(i)) {
+                "yes".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{}", t.render());
 
-    let sky: Vec<String> = r.skyline.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+    let sky: Vec<String> = r
+        .skyline
+        .iter()
+        .map(|g| format!("g{}", g.index() + 1))
+        .collect();
     let ok = r.skyline.iter().map(|g| g.index()).collect::<Vec<_>>() == expected::SKYLINE.to_vec();
-    println!("GSS(D, q) = {sky:?} vs paper [g1, g4, g5, g7] {}", if ok { "✓" } else { "DIFFERS" });
+    println!(
+        "GSS(D, q) = {sky:?} vs paper [g1, g4, g5, g7] {}",
+        if ok { "✓" } else { "DIFFERS" }
+    );
     for w in &r.dominated {
-        println!("  g{} dominated by g{}", w.graph.index() + 1, w.dominator.index() + 1);
+        println!(
+            "  g{} dominated by g{}",
+            w.graph.index() + 1,
+            w.dominator.index() + 1
+        );
     }
 
-    let top3 = top_k_by_measure(&db, &data.query, MeasureKind::EditDistance, 3, &SolverConfig::default(), 1);
-    let ids: Vec<String> = top3.iter().map(|s| format!("g{}", s.id.index() + 1)).collect();
+    let top3 = top_k_by_measure(
+        &db,
+        &data.query,
+        MeasureKind::EditDistance,
+        3,
+        &SolverConfig::default(),
+        1,
+    );
+    let ids: Vec<String> = top3
+        .iter()
+        .map(|s| format!("g{}", s.id.index() + 1))
+        .collect();
     println!("top-3 by DistEd alone: {ids:?} — contains g3, which the skyline rejects (g5 ≻ g3) ✓");
     println!();
 }
@@ -128,28 +198,70 @@ fn tables4_5() {
     let refined = refine_skyline(&db, &members, 2, &RefineOptions::default()).unwrap();
 
     let mut t = TextTable::new(vec![
-        "S", "members", "v1 meas/paper", "v2 meas/paper", "v3 meas/paper", "r1 r2 r3", "val",
+        "S",
+        "members",
+        "v1 meas/paper",
+        "v2 meas/paper",
+        "v3 meas/paper",
+        "r1 r2 r3",
+        "val",
     ]);
     for (idx, cand) in refined.evaluation.candidates.iter().enumerate() {
-        let names: Vec<String> = cand.members.iter().map(|&i| format!("g{}", members[i].index() + 1)).collect();
+        let names: Vec<String> = cand
+            .members
+            .iter()
+            .map(|&i| format!("g{}", members[i].index() + 1))
+            .collect();
         let p = expected::TABLE4[idx];
         t.row(vec![
             format!("S{}", idx + 1),
             format!("{{{}}}", names.join(",")),
-            format!("{} / {} {}", f2(cand.diversity[0]), p[0], verdict(cand.diversity[0], p[0], 0.011)),
-            format!("{} / {} {}", f2(cand.diversity[1]), p[1], verdict(cand.diversity[1], p[1], 0.006)),
-            format!("{} / {} {}", f2(cand.diversity[2]), p[2], verdict(cand.diversity[2], p[2], 0.006)),
+            format!(
+                "{} / {} {}",
+                f2(cand.diversity[0]),
+                p[0],
+                verdict(cand.diversity[0], p[0], 0.011)
+            ),
+            format!(
+                "{} / {} {}",
+                f2(cand.diversity[1]),
+                p[1],
+                verdict(cand.diversity[1], p[1], 0.006)
+            ),
+            format!(
+                "{} / {} {}",
+                f2(cand.diversity[2]),
+                p[2],
+                verdict(cand.diversity[2], p[2], 0.006)
+            ),
             format!("{} {} {}", cand.ranks[0], cand.ranks[1], cand.ranks[2]),
             format!("{} (paper {})", cand.val, expected::TABLE5_VAL[idx]),
         ]);
     }
     println!("{}", t.render());
 
-    let sel: Vec<String> = refined.selected.iter().map(|g| format!("g{}", g.index() + 1)).collect();
-    let ok = refined.selected.iter().map(|g| g.index()).collect::<Vec<_>>() == expected::REFINED.to_vec();
-    println!("refined 𝕊 = {sel:?} vs paper [g1, g4] {}", if ok { "✓" } else { "DIFFERS" });
+    let sel: Vec<String> = refined
+        .selected
+        .iter()
+        .map(|g| format!("g{}", g.index() + 1))
+        .collect();
+    let ok = refined
+        .selected
+        .iter()
+        .map(|g| g.index())
+        .collect::<Vec<_>>()
+        == expected::REFINED.to_vec();
+    println!(
+        "refined 𝕊 = {sel:?} vs paper [g1, g4] {}",
+        if ok { "✓" } else { "DIFFERS" }
+    );
     if refined.evaluation.tied.len() > 1 {
-        let ties: Vec<String> = refined.evaluation.tied.iter().map(|&i| format!("S{}", i + 1)).collect();
+        let ties: Vec<String> = refined
+            .evaluation
+            .tied
+            .iter()
+            .map(|&i| format!("S{}", i + 1))
+            .collect();
         println!("note: rank-sum tie between {ties:?}; lexicographic tiebreak applied.");
         println!("The two v1 deviations trace to Table IV GED cells that are unattainable");
         println!("under the paper's own Definition 8 — see EXPERIMENTS.md for the proof.");
@@ -160,7 +272,13 @@ fn tables4_5() {
 /// A1: recall of planted near-matches, skyline vs single-measure top-k.
 fn ablation_a1(seed: u64) {
     println!("================ A1 — recall ablation (skyline vs single measure) ================");
-    let mut t = TextTable::new(vec!["workload seed", "method", "answers", "planted recalled", "precision"]);
+    let mut t = TextTable::new(vec![
+        "workload seed",
+        "method",
+        "answers",
+        "planted recalled",
+        "precision",
+    ]);
     for offset in 0..3u64 {
         let cfg = WorkloadConfig {
             kind: WorkloadKind::Molecule,
@@ -173,7 +291,14 @@ fn ablation_a1(seed: u64) {
         let w = Workload::generate(&cfg);
         let db = GraphDatabase::from_parts(w.vocab, w.graphs);
         let planted: Vec<GraphId> = w.planted.iter().map(|&(i, _)| GraphId(i)).collect();
-        let r = graph_similarity_skyline(&db, &w.query, &QueryOptions { threads: 4, ..Default::default() });
+        let r = graph_similarity_skyline(
+            &db,
+            &w.query,
+            &QueryOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         let k = r.skyline.len();
         let hits = planted.iter().filter(|p| r.contains(**p)).count();
         t.row(vec![
@@ -206,7 +331,12 @@ fn ablation_a1(seed: u64) {
 /// A2: skyline membership flips when swapping exact solvers for approximate.
 fn ablation_a2(seed: u64) {
     println!("================ A2 — exact vs approximate solver ablation ================");
-    let mut t = TextTable::new(vec!["workload seed", "solver config", "skyline size", "flips vs exact"]);
+    let mut t = TextTable::new(vec![
+        "workload seed",
+        "solver config",
+        "skyline size",
+        "flips vs exact",
+    ]);
     for offset in 0..3u64 {
         let cfg = WorkloadConfig {
             kind: WorkloadKind::Molecule,
@@ -218,7 +348,14 @@ fn ablation_a2(seed: u64) {
         };
         let w = Workload::generate(&cfg);
         let db = GraphDatabase::from_parts(w.vocab, w.graphs);
-        let exact = graph_similarity_skyline(&db, &w.query, &QueryOptions { threads: 4, ..Default::default() });
+        let exact = graph_similarity_skyline(
+            &db,
+            &w.query,
+            &QueryOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         t.row(vec![
             format!("{}", cfg.seed),
             "exact GED + exact MCS".into(),
@@ -226,13 +363,29 @@ fn ablation_a2(seed: u64) {
             "0".into(),
         ]);
         for (name, solvers) in [
-            ("bipartite GED + greedy MCS", SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }),
-            ("beam(8) GED + exact MCS", SolverConfig { ged: GedMode::Beam(8), mcs: McsMode::Exact }),
+            (
+                "bipartite GED + greedy MCS",
+                SolverConfig {
+                    ged: GedMode::Bipartite,
+                    mcs: McsMode::Greedy,
+                },
+            ),
+            (
+                "beam(8) GED + exact MCS",
+                SolverConfig {
+                    ged: GedMode::Beam(8),
+                    mcs: McsMode::Exact,
+                },
+            ),
         ] {
             let approx = graph_similarity_skyline(
                 &db,
                 &w.query,
-                &QueryOptions { solvers, threads: 4, ..Default::default() },
+                &QueryOptions {
+                    solvers,
+                    threads: 4,
+                    ..Default::default()
+                },
             );
             let flips = (0..db.len())
                 .filter(|&i| exact.contains(GraphId(i)) != approx.contains(GraphId(i)))
@@ -260,7 +413,11 @@ fn ablation_a3() {
 
     let mut t = TextTable::new(vec!["w (structure weight)", "DistEd(g1..g7, q)", "skyline"]);
     for w in [1.0f64, 2.0, 4.0] {
-        let cost = if w == 1.0 { CostModel::uniform() } else { CostModel::structure_weighted(w) };
+        let cost = if w == 1.0 {
+            CostModel::uniform()
+        } else {
+            CostModel::structure_weighted(w)
+        };
         let eds: Vec<String> = db
             .graphs()
             .iter()
@@ -269,7 +426,11 @@ fn ablation_a3() {
                 let r = exact_ged(
                     g,
                     &data.query,
-                    &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None },
+                    &GedOptions {
+                        cost,
+                        warm_start: Some(warm.mapping),
+                        node_limit: None,
+                    },
                 );
                 format!("{}", r.cost)
             })
@@ -283,7 +444,11 @@ fn ablation_a3() {
             p[0] = exact_ged(
                 db.get(GraphId(i)),
                 &data.query,
-                &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None },
+                &GedOptions {
+                    cost,
+                    warm_start: Some(warm.mapping),
+                    node_limit: None,
+                },
             )
             .cost;
         }
@@ -291,7 +456,11 @@ fn ablation_a3() {
             .into_iter()
             .map(|i| format!("g{}", i + 1))
             .collect();
-        t.row(vec![format!("{w}"), format!("[{}]", eds.join(", ")), format!("{sky:?}")]);
+        t.row(vec![
+            format!("{w}"),
+            format!("[{}]", eds.join(", ")),
+            format!("{sky:?}"),
+        ]);
     }
     println!("{}", t.render());
     println!("reading: the paper's skyline members all survive every weighting, but at");

@@ -47,7 +47,10 @@ impl Args {
                 positional.push(tok);
             }
         }
-        Args { positional, options }
+        Args {
+            positional,
+            options,
+        }
     }
 
     /// The positional arguments in order.
@@ -72,7 +75,11 @@ impl Args {
     }
 
     /// A parsed numeric/typed option with a default.
-    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -92,7 +99,11 @@ impl Args {
             if !allowed.contains(&k.as_str()) {
                 return Err(ArgError(format!(
                     "unknown option --{k} (expected one of: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }

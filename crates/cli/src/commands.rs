@@ -24,7 +24,8 @@ gss — similarity-skyline graph queries (Abbaci et al., GDM/ICDE 2011)
 
 USAGE:
   gss query    --db FILE --query-name NAME [--refine K] [--approx]
-               [--threads N] [--algo naive|bnl|sfs] [--format text|json]
+               [--prefilter] [--threads N] [--algo naive|bnl|sfs]
+               [--format text|json]
   gss measure  --db FILE --a NAME --b NAME
   gss topk     --db FILE --query-name NAME --measure ed|ned|mcs|gu [--k K]
   gss skyband  --db FILE --query-name NAME [--k K] [--approx] [--threads N]
@@ -40,6 +41,9 @@ Databases use the t/v/e text format:
 
 `query` removes the graph named by --query-name from the database and runs
 the compound-similarity skyline (DistEd, DistMcs, DistGu) against the rest.
+With --prefilter it runs the filter-and-verify pipeline: cheap lower bounds
+prune candidates before the exact solvers, with identical results (the
+report then includes pruning statistics).
 "
     .to_owned()
 }
@@ -71,7 +75,10 @@ fn split_query(db: GraphDatabase, name: &str) -> Result<(GraphDatabase, Graph), 
 
 fn solver_config(args: &Args) -> SolverConfig {
     if args.flag("approx") {
-        SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        SolverConfig {
+            ged: GedMode::Bipartite,
+            mcs: McsMode::Greedy,
+        }
     } else {
         SolverConfig::default()
     }
@@ -83,13 +90,24 @@ fn parse_measure(token: &str) -> Result<MeasureKind, ArgError> {
         "ned" => Ok(MeasureKind::NormalizedEditDistance),
         "mcs" => Ok(MeasureKind::Mcs),
         "gu" => Ok(MeasureKind::Gu),
-        other => Err(ArgError(format!("unknown measure {other:?} (ed|ned|mcs|gu)"))),
+        other => Err(ArgError(format!(
+            "unknown measure {other:?} (ed|ned|mcs|gu)"
+        ))),
     }
 }
 
 /// `gss query` — similarity skyline with optional diversity refinement.
 pub fn query(args: &Args) -> Result<String, ArgError> {
-    args.reject_unknown(&["db", "query-name", "refine", "approx", "threads", "algo", "format"])?;
+    args.reject_unknown(&[
+        "db",
+        "query-name",
+        "refine",
+        "approx",
+        "prefilter",
+        "threads",
+        "algo",
+        "format",
+    ])?;
     let db = load_db(args)?;
     let (db, q) = split_query(db, args.require("query-name")?)?;
     let threads = args.get_parsed_or("threads", 1usize)?;
@@ -97,12 +115,17 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         "naive" => gss_skyline::Algorithm::Naive,
         "bnl" => gss_skyline::Algorithm::Bnl,
         "sfs" => gss_skyline::Algorithm::Sfs,
-        other => return Err(ArgError(format!("unknown --algo {other:?} (naive|bnl|sfs)"))),
+        other => {
+            return Err(ArgError(format!(
+                "unknown --algo {other:?} (naive|bnl|sfs)"
+            )))
+        }
     };
     let options = QueryOptions {
         solvers: solver_config(args),
         threads,
         skyline_algorithm: algo,
+        prefilter: args.flag("prefilter"),
         ..Default::default()
     };
     let result = graph_similarity_skyline(&db, &q, &options);
@@ -114,8 +137,19 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "database: {} graphs; query: {} ({} vertices, {} edges)", db.len(), q.name(), q.order(), q.size());
-    let _ = writeln!(out, "\n{:<20} {:>8} {:>8} {:>8}  skyline", "graph", "DistEd", "DistMcs", "DistGu");
+    let _ = writeln!(
+        out,
+        "database: {} graphs; query: {} ({} vertices, {} edges)",
+        db.len(),
+        q.name(),
+        q.order(),
+        q.size()
+    );
+    let _ = writeln!(
+        out,
+        "\n{:<20} {:>8} {:>8} {:>8}  skyline",
+        "graph", "DistEd", "DistMcs", "DistGu"
+    );
     for (i, gcs) in result.gcs.iter().enumerate() {
         let id = GraphId(i);
         let _ = writeln!(
@@ -125,19 +159,47 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
             gcs.values[0],
             gcs.values[1],
             gcs.values[2],
-            if result.contains(id) { "yes" } else { "" }
+            if result.contains(id) {
+                "yes"
+            } else if !result.is_exact(id) {
+                "pruned (bounds shown)"
+            } else {
+                ""
+            }
         );
     }
-    let _ = writeln!(out, "\nsimilarity skyline ({} members):", result.skyline.len());
+    let _ = writeln!(
+        out,
+        "\nsimilarity skyline ({} members):",
+        result.skyline.len()
+    );
     for id in &result.skyline {
         let _ = writeln!(out, "  {}", db.get(*id).name());
     }
     for w in &result.dominated {
-        let _ = writeln!(out, "  [{} dominated by {}]", db.get(w.graph).name(), db.get(w.dominator).name());
+        let _ = writeln!(
+            out,
+            "  [{} dominated by {}]",
+            db.get(w.graph).name(),
+            db.get(w.dominator).name()
+        );
+    }
+    if let Some(stats) = &result.pruning {
+        let _ = writeln!(
+            out,
+            "\nprefilter: {} verified, {} pruned, {} short-circuited of {} candidates ({:.0}% skipped exact solving)",
+            stats.verified,
+            stats.pruned,
+            stats.short_circuited,
+            stats.candidates,
+            stats.pruning_rate() * 100.0
+        );
     }
 
     if let Some(k) = args.get("refine") {
-        let k: usize = k.parse().map_err(|_| ArgError(format!("--refine needs a number, got {k:?}")))?;
+        let k: usize = k
+            .parse()
+            .map_err(|_| ArgError(format!("--refine needs a number, got {k:?}")))?;
         match refine_skyline(&db, &result.skyline, k, &RefineOptions::default()) {
             Ok(refined) => {
                 let _ = writeln!(out, "\nmost diverse {k}-subset:");
@@ -145,7 +207,11 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
                     let _ = writeln!(out, "  {}", db.get(*id).name());
                 }
                 if refined.evaluation.tied.len() > 1 {
-                    let _ = writeln!(out, "  ({} candidates tied on rank-sum)", refined.evaluation.tied.len());
+                    let _ = writeln!(
+                        out,
+                        "  ({} candidates tied on rank-sum)",
+                        refined.evaluation.tied.len()
+                    );
                 }
             }
             Err(e) => {
@@ -172,18 +238,49 @@ pub fn measure(args: &Args) -> Result<String, ArgError> {
 
     let cost = CostModel::uniform();
     let warm = bipartite_ged(a, b, &cost);
-    let ged = exact_ged(a, b, &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None });
+    let ged = exact_ged(
+        a,
+        b,
+        &GedOptions {
+            cost,
+            warm_start: Some(warm.mapping),
+            node_limit: None,
+        },
+    );
     let p = gss_core::compute_primitives(a, b, &SolverConfig::default());
 
     let mut out = String::new();
-    let _ = writeln!(out, "{} (|g|={}) vs {} (|g|={})", a.name(), a.size(), b.name(), b.size());
+    let _ = writeln!(
+        out,
+        "{} (|g|={}) vs {} (|g|={})",
+        a.name(),
+        a.size(),
+        b.name(),
+        b.size()
+    );
     let _ = writeln!(out, "  DistEd    = {}", ged.cost);
     let _ = writeln!(out, "  |mcs|     = {}", p.mcs_edges);
-    let _ = writeln!(out, "  DistN-Ed  = {:.4}", MeasureKind::NormalizedEditDistance.from_primitives(&p));
-    let _ = writeln!(out, "  DistMcs   = {:.4}", MeasureKind::Mcs.from_primitives(&p));
-    let _ = writeln!(out, "  DistGu    = {:.4}", MeasureKind::Gu.from_primitives(&p));
+    let _ = writeln!(
+        out,
+        "  DistN-Ed  = {:.4}",
+        MeasureKind::NormalizedEditDistance.from_primitives(&p)
+    );
+    let _ = writeln!(
+        out,
+        "  DistMcs   = {:.4}",
+        MeasureKind::Mcs.from_primitives(&p)
+    );
+    let _ = writeln!(
+        out,
+        "  DistGu    = {:.4}",
+        MeasureKind::Gu.from_primitives(&p)
+    );
     let _ = writeln!(out, "  isomorphic: {}", gss_iso::are_isomorphic(a, b));
-    let _ = writeln!(out, "optimal edit script ({} ops):", edit_path_for_mapping(a, b, &ged.mapping).len());
+    let _ = writeln!(
+        out,
+        "optimal edit script ({} ops):",
+        edit_path_for_mapping(a, b, &ged.mapping).len()
+    );
     for op in edit_path_for_mapping(a, b, &ged.mapping) {
         let _ = writeln!(out, "  - {}", op.kind());
     }
@@ -198,7 +295,11 @@ pub fn skyband(args: &Args) -> Result<String, ArgError> {
     let (db, q) = split_query(db, args.require("query-name")?)?;
     let k = args.get_parsed_or("k", 2usize)?;
     let threads = args.get_parsed_or("threads", 1usize)?;
-    let options = QueryOptions { solvers: solver_config(args), threads, ..Default::default() };
+    let options = QueryOptions {
+        solvers: solver_config(args),
+        threads,
+        ..Default::default()
+    };
     let band = graph_similarity_skyband(&db, &q, k, &options);
     let mut out = String::new();
     let _ = writeln!(out, "{k}-skyband ({} members):", band.len());
@@ -232,7 +333,11 @@ pub fn generate(args: &Args) -> Result<String, ArgError> {
     let kind = match args.get_or("kind", "molecule") {
         "molecule" => WorkloadKind::Molecule,
         "uniform" => WorkloadKind::Uniform,
-        other => return Err(ArgError(format!("unknown --kind {other:?} (molecule|uniform)"))),
+        other => {
+            return Err(ArgError(format!(
+                "unknown --kind {other:?} (molecule|uniform)"
+            )))
+        }
     };
     let cfg = WorkloadConfig {
         kind,
@@ -281,12 +386,24 @@ pub fn paper() -> String {
     let refined = refine_skyline(&db, &members, 2, &RefineOptions::default());
 
     let mut out = String::new();
-    let sky: Vec<String> = r.skyline.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+    let sky: Vec<String> = r
+        .skyline
+        .iter()
+        .map(|g| format!("g{}", g.index() + 1))
+        .collect();
     let _ = writeln!(out, "GSS(D, q)     = {sky:?}   (paper: [g1, g4, g5, g7])");
     let ok = r.skyline.iter().map(|g| g.index()).collect::<Vec<_>>() == expected::SKYLINE.to_vec();
-    let _ = writeln!(out, "skyline match = {}", if ok { "exact" } else { "DIFFERS" });
+    let _ = writeln!(
+        out,
+        "skyline match = {}",
+        if ok { "exact" } else { "DIFFERS" }
+    );
     if let Ok(refined) = refined {
-        let sel: Vec<String> = refined.selected.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+        let sel: Vec<String> = refined
+            .selected
+            .iter()
+            .map(|g| format!("g{}", g.index() + 1))
+            .collect();
         let _ = writeln!(out, "refined 𝕊     = {sel:?}   (paper: [g1, g4])");
     }
     let _ = writeln!(out, "full report: cargo run -p gss-bench --bin tables");
@@ -371,7 +488,15 @@ e 0 1 -
     fn query_with_approx_and_threads() {
         let (_keep, path) = write_temp_db();
         let out = query(&args(&[
-            "--db", &path, "--query-name", "needle", "--approx", "--threads", "2", "--algo", "sfs",
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--approx",
+            "--threads",
+            "2",
+            "--algo",
+            "sfs",
         ]))
         .unwrap();
         assert!(out.contains("similarity skyline"));
@@ -390,7 +515,17 @@ e 0 1 -
     #[test]
     fn topk_ranks_by_measure() {
         let (_keep, path) = write_temp_db();
-        let out = topk(&args(&["--db", &path, "--query-name", "needle", "--measure", "ed", "--k", "2"])).unwrap();
+        let out = topk(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--measure",
+            "ed",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
         let close_pos = out.find("close").expect("close listed");
         let far_pos = out.find("far").expect("far listed");
         assert!(close_pos < far_pos, "close must rank before far:\n{out}");
@@ -398,12 +533,18 @@ e 0 1 -
 
     #[test]
     fn generate_emits_parseable_database() {
-        let out = generate(&args(&["--kind", "molecule", "--count", "5", "--seed", "9"])).unwrap();
+        let out = generate(&args(&[
+            "--kind", "molecule", "--count", "5", "--seed", "9",
+        ]))
+        .unwrap();
         let db = GraphDatabase::from_text(&out).unwrap();
         assert_eq!(db.len(), 6, "query + 5 graphs");
         assert!(db.find_by_name("query").is_some());
         // Determinism.
-        let again = generate(&args(&["--kind", "molecule", "--count", "5", "--seed", "9"])).unwrap();
+        let again = generate(&args(&[
+            "--kind", "molecule", "--count", "5", "--seed", "9",
+        ]))
+        .unwrap();
         assert_eq!(out, again);
     }
 
@@ -419,20 +560,108 @@ e 0 1 -
     #[test]
     fn query_json_format() {
         let (_keep, path) = write_temp_db();
-        let out = query(&args(&["--db", &path, "--query-name", "needle", "--format", "json"])).unwrap();
+        let out = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
         assert!(out.contains("\"measures\": [\"DistEd\", \"DistMcs\", \"DistGu\"]"));
         assert!(out.contains("\"skyline\": [\"close\"]"));
-        assert!(query(&args(&["--db", &path, "--query-name", "needle", "--format", "yaml"])).is_err());
+        assert!(query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
     }
 
     #[test]
     fn skyband_relaxes_the_skyline() {
         let (_keep, path) = write_temp_db();
-        let band1 = skyband(&args(&["--db", &path, "--query-name", "needle", "--k", "1"])).unwrap();
-        let band9 = skyband(&args(&["--db", &path, "--query-name", "needle", "--k", "9"])).unwrap();
+        let band1 = skyband(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        let band9 = skyband(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--k",
+            "9",
+        ]))
+        .unwrap();
         assert!(band1.contains("close"));
-        assert!(!band1.contains("far"), "k=1 skyband is the skyline:\n{band1}");
+        assert!(
+            !band1.contains("far"),
+            "k=1 skyband is the skyline:\n{band1}"
+        );
         assert!(band9.contains("far"), "large k keeps everything");
+    }
+
+    #[test]
+    fn query_with_prefilter_reports_stats_and_same_skyline() {
+        let (_keep, path) = write_temp_db();
+        let naive = query(&args(&["--db", &path, "--query-name", "needle"])).unwrap();
+        let pruned = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--prefilter",
+        ]))
+        .unwrap();
+        assert!(pruned.contains("prefilter:"), "{pruned}");
+        assert!(pruned.contains("candidates"), "{pruned}");
+        assert!(
+            !naive.contains("prefilter:"),
+            "naive runs must not print stats"
+        );
+        // Same skyline and witness lines in both modes.
+        assert!(pruned.contains("[far dominated by close]"), "{pruned}");
+        let sky = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("similarity skyline"))
+                .take(2)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(sky(&naive), sky(&pruned));
+        // JSON gains the pruning object only with --prefilter.
+        let json = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--prefilter",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"pruning\": {"), "{json}");
+        assert!(json.contains("\"exact\":"), "{json}");
+        let naive_json = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(!naive_json.contains("\"pruning\""));
     }
 
     #[test]
@@ -440,8 +669,24 @@ e 0 1 -
         let (_keep, path) = write_temp_db();
         assert!(query(&args(&["--db", &path, "--query-name", "nope"])).is_err());
         assert!(query(&args(&["--db", "/no/such/file", "--query-name", "x"])).is_err());
-        assert!(query(&args(&["--db", &path, "--query-name", "needle", "--bogus", "1"])).is_err());
-        assert!(topk(&args(&["--db", &path, "--query-name", "needle", "--measure", "zzz"])).is_err());
+        assert!(query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
+        assert!(topk(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--measure",
+            "zzz"
+        ]))
+        .is_err());
         assert!(generate(&args(&["--kind", "alien"])).is_err());
     }
 

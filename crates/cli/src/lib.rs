@@ -26,7 +26,11 @@ pub use args::{ArgError, Args};
 /// nothing: returns the output text or an error message.
 pub fn run<I: IntoIterator<Item = String>>(raw: I) -> Result<String, String> {
     let args = Args::parse(raw);
-    let command = args.positional().first().map(String::as_str).unwrap_or("help");
+    let command = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match command {
         "query" => commands::query(&args).map_err(|e| e.to_string()),
         "measure" => commands::measure(&args).map_err(|e| e.to_string()),
@@ -47,7 +51,9 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let out = run(["help".to_string()]).unwrap();
-        for cmd in ["query", "measure", "topk", "skyband", "generate", "convert", "paper"] {
+        for cmd in [
+            "query", "measure", "topk", "skyband", "generate", "convert", "paper",
+        ] {
             assert!(out.contains(cmd), "help must mention {cmd}");
         }
         // No-args behaves like help.

@@ -38,7 +38,10 @@ pub fn top_k_by_measure(
     let mut scored: Vec<ScoredGraph> = distances
         .into_iter()
         .enumerate()
-        .map(|(i, distance)| ScoredGraph { id: GraphId(i), distance })
+        .map(|(i, distance)| ScoredGraph {
+            id: GraphId(i),
+            distance,
+        })
         .collect();
     scored.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
     scored.truncate(k);
@@ -65,7 +68,10 @@ mod tests {
         let ids: Vec<usize> = top3.iter().map(|s| s.id.index()).collect();
         // DistEd: g4=2, g3=3, g5=3 → top-3 = {g4, g3, g5}.
         assert!(ids.contains(&3), "g4 must be in ED top-3");
-        assert!(ids.contains(&2), "g3 must be in ED top-3 (the paper's point)");
+        assert!(
+            ids.contains(&2),
+            "g3 must be in ED top-3 (the paper's point)"
+        );
         assert!(ids.contains(&4), "g5 must be in ED top-3");
         // …and yet g3 is NOT in the skyline (dominated by g5).
         let r = crate::query::graph_similarity_skyline(
@@ -107,9 +113,30 @@ mod tests {
     fn different_measures_rank_differently() {
         let data = figure3_database();
         let db = GraphDatabase::from_parts(data.vocab, data.graphs);
-        let by_ed = top_k_by_measure(&db, &data.query, MeasureKind::EditDistance, 1, &SolverConfig::default(), 1);
-        let by_mcs = top_k_by_measure(&db, &data.query, MeasureKind::Mcs, 1, &SolverConfig::default(), 1);
-        let by_gu = top_k_by_measure(&db, &data.query, MeasureKind::Gu, 1, &SolverConfig::default(), 1);
+        let by_ed = top_k_by_measure(
+            &db,
+            &data.query,
+            MeasureKind::EditDistance,
+            1,
+            &SolverConfig::default(),
+            1,
+        );
+        let by_mcs = top_k_by_measure(
+            &db,
+            &data.query,
+            MeasureKind::Mcs,
+            1,
+            &SolverConfig::default(),
+            1,
+        );
+        let by_gu = top_k_by_measure(
+            &db,
+            &data.query,
+            MeasureKind::Gu,
+            1,
+            &SolverConfig::default(),
+            1,
+        );
         // Section VI: g4 best by DistEd, g1 best by DistMcs, g7 best by DistGu.
         assert_eq!(by_ed[0].id, GraphId(3));
         assert_eq!(by_mcs[0].id, GraphId(0));

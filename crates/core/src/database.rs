@@ -128,7 +128,10 @@ impl GraphDatabase {
 
     /// Finds a graph id by name (first match).
     pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
-        self.graphs.iter().position(|g| g.name() == name).map(GraphId)
+        self.graphs
+            .iter()
+            .position(|g| g.name() == name)
+            .map(GraphId)
     }
 
     /// Groups the database into isomorphism classes: each inner vector holds
@@ -141,7 +144,10 @@ impl GraphDatabase {
         use std::collections::HashMap;
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, g) in self.graphs.iter().enumerate() {
-            buckets.entry(gss_graph::wl::wl_fingerprint(g, 2)).or_default().push(i);
+            buckets
+                .entry(gss_graph::wl::wl_fingerprint(g, 2))
+                .or_default()
+                .push(i);
         }
         let mut classes: Vec<Vec<GraphId>> = Vec::new();
         let mut bucket_keys: Vec<(usize, u64)> = buckets
@@ -155,7 +161,10 @@ impl GraphDatabase {
             'member: for &i in members {
                 for class in &mut local {
                     let representative = class[0];
-                    if gss_iso::are_isomorphic(&self.graphs[representative.index()], &self.graphs[i]) {
+                    if gss_iso::are_isomorphic(
+                        &self.graphs[representative.index()],
+                        &self.graphs[i],
+                    ) {
                         class.push(GraphId(i));
                         continue 'member;
                     }
@@ -186,7 +195,9 @@ mod tests {
     fn add_and_lookup() {
         let mut db = GraphDatabase::new();
         let a = db.add("a", |b| b.vertex("x", "X")).unwrap();
-        let b = db.add("b", |b| b.vertices(&["p", "q"], "P").edge("p", "q", "-")).unwrap();
+        let b = db
+            .add("b", |b| b.vertices(&["p", "q"], "P").edge("p", "q", "-"))
+            .unwrap();
         assert_eq!(db.len(), 2);
         assert_eq!(db.get(a).name(), "a");
         assert_eq!(db.get(b).size(), 1);
@@ -232,10 +243,26 @@ mod tests {
         let mut db = GraphDatabase::new();
         // Two structurally identical triangles entered in different orders,
         // one distinct path, and an exact re-insertion.
-        db.add("t1", |b| b.vertices(&["a", "b", "c"], "C").cycle(&["a", "b", "c"], "-")).unwrap();
-        db.add("p", |b| b.vertices(&["a", "b", "c"], "C").path(&["a", "b", "c"], "-")).unwrap();
-        db.add("t2", |b| b.vertices(&["x", "y", "z"], "C").cycle(&["z", "x", "y"], "-")).unwrap();
-        db.add("t3", |b| b.vertices(&["q", "r", "s"], "C").cycle(&["q", "r", "s"], "-")).unwrap();
+        db.add("t1", |b| {
+            b.vertices(&["a", "b", "c"], "C")
+                .cycle(&["a", "b", "c"], "-")
+        })
+        .unwrap();
+        db.add("p", |b| {
+            b.vertices(&["a", "b", "c"], "C")
+                .path(&["a", "b", "c"], "-")
+        })
+        .unwrap();
+        db.add("t2", |b| {
+            b.vertices(&["x", "y", "z"], "C")
+                .cycle(&["z", "x", "y"], "-")
+        })
+        .unwrap();
+        db.add("t3", |b| {
+            b.vertices(&["q", "r", "s"], "C")
+                .cycle(&["q", "r", "s"], "-")
+        })
+        .unwrap();
 
         let classes = db.isomorphism_classes();
         assert_eq!(classes.len(), 2);
@@ -247,8 +274,10 @@ mod tests {
     #[test]
     fn isomorphism_classes_respect_labels() {
         let mut db = GraphDatabase::new();
-        db.add("c", |b| b.vertices(&["a", "b"], "C").edge("a", "b", "-")).unwrap();
-        db.add("n", |b| b.vertices(&["a", "b"], "N").edge("a", "b", "-")).unwrap();
+        db.add("c", |b| b.vertices(&["a", "b"], "C").edge("a", "b", "-"))
+            .unwrap();
+        db.add("n", |b| b.vertices(&["a", "b"], "N").edge("a", "b", "-"))
+            .unwrap();
         assert_eq!(db.isomorphism_classes().len(), 2);
         assert!(db.duplicate_ids().is_empty());
     }

@@ -19,27 +19,44 @@ pub struct Explanation {
     pub graph: GraphId,
     /// True when the graph is Pareto-optimal.
     pub in_skyline: bool,
+    /// True when the explanation rests on the graph's exact GCS vector;
+    /// false for graphs the filter-and-verify pipeline pruned (their
+    /// dominator list is then derived from the lower-bound vector — sound,
+    /// but possibly incomplete).
+    pub exact: bool,
     /// Every database graph that similarity-dominates it (empty for skyline
-    /// members), ascending.
+    /// members), ascending. Only verified graphs are listed as dominators
+    /// (a pruned graph's stored vector is a lower bound and must not be
+    /// credited with dominating anything).
     pub dominators: Vec<GraphId>,
     /// Dimensions (measure indices) on which the graph is the unique best
-    /// in the whole database — the paper's "most interesting w.r.t. X"
-    /// remarks (e.g. g4 for DistEd, g1 for DistMcs, g7 for DistGu).
+    /// among the verified vectors — the paper's "most interesting w.r.t. X"
+    /// remarks (e.g. g4 for DistEd, g1 for DistMcs, g7 for DistGu). A
+    /// pruned graph never appears here: its dominator ties-or-beats it on
+    /// every dimension.
     pub best_dimensions: Vec<usize>,
 }
 
 /// Builds explanations for every database graph from a query result.
+///
+/// For naive results every vector is exact and the output is exhaustive.
+/// For pruned results ([`crate::QueryOptions::prefilter`]) the dominator
+/// lists consider verified vectors only; a pruned graph keeps at least its
+/// recorded witness.
 pub fn explain_all(result: &GssResult) -> Vec<Explanation> {
     let n = result.gcs.len();
     let points: Vec<&Vec<f64>> = result.gcs.iter().map(|g| &g.values).collect();
     let dims = result.measures.len();
 
-    // Unique minimum per dimension.
+    // Unique minimum per dimension, among verified vectors.
     let mut best_of_dim: Vec<Option<usize>> = Vec::with_capacity(dims);
     for d in 0..dims {
         let mut best: Option<(usize, f64)> = None;
         let mut unique = true;
         for (i, p) in points.iter().enumerate() {
+            if !result.evaluated[i] {
+                continue;
+            }
             match best {
                 None => best = Some((i, p[d])),
                 Some((_, v)) if p[d] < v => {
@@ -55,16 +72,30 @@ pub fn explain_all(result: &GssResult) -> Vec<Explanation> {
 
     (0..n)
         .map(|i| {
-            let dominators: Vec<GraphId> = (0..n)
-                .filter(|&j| j != i && gss_skyline::dominates(points[j], points[i]))
+            // Comparing a verified vector (j) against a lower bound (i,
+            // when pruned) is sound: dominating the lower bound implies
+            // dominating the true vector.
+            let mut dominators: Vec<GraphId> = (0..n)
+                .filter(|&j| {
+                    j != i && result.evaluated[j] && gss_skyline::dominates(points[j], points[i])
+                })
                 .map(GraphId)
                 .collect();
-            let best_dimensions: Vec<usize> = (0..dims)
-                .filter(|&d| best_of_dim[d] == Some(i))
-                .collect();
+            if dominators.is_empty() {
+                // A pruned graph whose lower bound is only *equalled* by its
+                // dominator still has a recorded witness — keep it so the
+                // explanation never claims Pareto-optimality for a pruned
+                // graph.
+                if let Some(w) = result.witness_for(GraphId(i)) {
+                    dominators.push(w);
+                }
+            }
+            let best_dimensions: Vec<usize> =
+                (0..dims).filter(|&d| best_of_dim[d] == Some(i)).collect();
             Explanation {
                 graph: GraphId(i),
                 in_skyline: dominators.is_empty(),
+                exact: result.evaluated[i],
                 dominators,
                 best_dimensions,
             }
@@ -106,6 +137,7 @@ fn json_escape(s: &str) -> String {
 /// ```
 pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
     let explanations = explain_all(result);
+    let pruned_run = result.pruning.is_some();
     let mut out = String::from("{\n  \"measures\": [");
     for (i, m) in result.measures.iter().enumerate() {
         if i > 0 {
@@ -116,7 +148,11 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
     out.push_str("],\n  \"graphs\": [\n");
     for (i, ex) in explanations.iter().enumerate() {
         let name = json_escape(db.get(ex.graph).name());
-        let values: Vec<String> = result.gcs[i].values.iter().map(|v| format!("{v}")).collect();
+        let values: Vec<String> = result.gcs[i]
+            .values
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
         let dominators: Vec<String> = ex
             .dominators
             .iter()
@@ -125,14 +161,24 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
         let dims: Vec<String> = ex.best_dimensions.iter().map(usize::to_string).collect();
         let _ = write!(
             out,
-            "    {{\"name\": \"{}\", \"gcs\": [{}], \"in_skyline\": {}, \"dominators\": [{}], \"best_dimensions\": [{}]}}",
+            "    {{\"name\": \"{}\", \"gcs\": [{}], \"in_skyline\": {}, \"dominators\": [{}], \"best_dimensions\": [{}]",
             name,
             values.join(", "),
             ex.in_skyline,
             dominators.join(", "),
             dims.join(", ")
         );
-        out.push_str(if i + 1 < explanations.len() { ",\n" } else { "\n" });
+        if pruned_run {
+            // Only pruned runs distinguish exact vectors from lower bounds;
+            // the key is omitted otherwise to keep the naive JSON stable.
+            let _ = write!(out, ", \"exact\": {}", ex.exact);
+        }
+        out.push('}');
+        out.push_str(if i + 1 < explanations.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n  \"skyline\": [");
     for (i, id) in result.skyline.iter().enumerate() {
@@ -141,7 +187,15 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
         }
         let _ = write!(out, "\"{}\"", json_escape(db.get(*id).name()));
     }
-    out.push_str("]\n}\n");
+    out.push(']');
+    if let Some(stats) = &result.pruning {
+        let _ = write!(
+            out,
+            ",\n  \"pruning\": {{\"candidates\": {}, \"verified\": {}, \"pruned\": {}, \"short_circuited\": {}, \"rate\": {:.4}}}",
+            stats.candidates, stats.verified, stats.pruned, stats.short_circuited, stats.pruning_rate()
+        );
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -192,6 +246,42 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn pruned_results_explain_soundly() {
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        let opts = QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        };
+        let r = graph_similarity_skyline(&db, &data.query, &opts);
+        let naive = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
+        let ex = explain_all(&r);
+        let naive_ex = explain_all(&naive);
+        for (e, ne) in ex.iter().zip(&naive_ex) {
+            // Skyline membership agrees with the naive explanation.
+            assert_eq!(e.in_skyline, ne.in_skyline, "graph {:?}", e.graph);
+            // Pruned graphs are flagged and never claimed Pareto-optimal.
+            if !e.exact {
+                assert!(!e.in_skyline);
+                assert!(!e.dominators.is_empty());
+            }
+            // Every listed dominator really dominates in the naive matrix.
+            for d in &e.dominators {
+                assert!(gss_skyline::dominates(
+                    &naive.gcs[d.index()].values,
+                    &naive.gcs[e.graph.index()].values
+                ));
+            }
+        }
+        // JSON carries the pruning summary and per-graph exactness.
+        let json = to_json(&db, &r);
+        assert!(json.contains("\"pruning\": {"));
+        assert!(json.contains("\"exact\": true"));
+        // Braces stay balanced with the extra object.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

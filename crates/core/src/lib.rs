@@ -11,9 +11,13 @@
 //! 2. **Similarity dominance & skyline** ([`query`]): `GSS(D, q)` returns
 //!    every database graph not similarity-dominated (Definition 12,
 //!    Equation 4), with dominance witnesses for the excluded graphs.
-//! 3. **Diversity refinement** ([`refine`]): extract the most diverse
+//! 3. **Filter-and-verify pruning** ([`prefilter`]): cheap admissible
+//!    lower bounds on every measure let [`QueryOptions::prefilter`] skip
+//!    the exact solvers for provably-dominated candidates, with
+//!    bit-identical results.
+//! 4. **Diversity refinement** ([`refine`]): extract the most diverse
 //!    `k`-subset of the skyline by the paper's rank-sum procedure.
-//! 4. **Baselines** ([`baseline`]): classical single-measure top-k
+//! 5. **Baselines** ([`baseline`]): classical single-measure top-k
 //!    retrieval, for the comparison the paper draws in Section VI.
 //!
 //! ```
@@ -37,6 +41,7 @@ pub mod database;
 pub mod explain;
 pub mod measures;
 pub mod parallel;
+pub mod prefilter;
 pub mod query;
 pub mod refine;
 
@@ -46,7 +51,11 @@ pub use explain::{explain_all, to_json, Explanation};
 pub use measures::{
     compute_primitives, GcsVector, GedMode, McsMode, MeasureKind, PairPrimitives, SolverConfig,
 };
-pub use query::{graph_similarity_skyband, graph_similarity_skyline, DominationWitness, GssResult, QueryOptions};
+pub use prefilter::{PrefilterContext, PrefilterSummary, PruneStats};
+pub use query::{
+    graph_similarity_skyband, graph_similarity_skyline, graph_similarity_skyline_batch,
+    DominationWitness, GssResult, QueryOptions,
+};
 pub use refine::{
     pairwise_matrices, refine_skyline, refine_skyline_greedy, RefineOptions, RefinedSkyline,
 };

@@ -8,7 +8,7 @@
 //! ([`MeasureKind::from_primitives`]), so adding a dimension to a query
 //! costs almost nothing extra.
 
-use gss_ged::{bipartite::bipartite_ged, beam::beam_ged, exact_ged, CostModel, GedOptions};
+use gss_ged::{beam::beam_ged, bipartite::bipartite_ged, exact_ged, CostModel, GedOptions};
 use gss_graph::Graph;
 use gss_mcs::{greedy::greedy_mcs, mcs_edge_size};
 
@@ -139,7 +139,11 @@ impl MeasureKind {
     /// The measure set of the paper's Section VII diversity refinement:
     /// `(DistN-Ed, DistMcs, DistGu)`.
     pub fn paper_diversity_measures() -> Vec<MeasureKind> {
-        vec![MeasureKind::NormalizedEditDistance, MeasureKind::Mcs, MeasureKind::Gu]
+        vec![
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+        ]
     }
 }
 
@@ -149,14 +153,27 @@ pub fn compute_primitives(g1: &Graph, g2: &Graph, config: &SolverConfig) -> Pair
     let ged = match config.ged {
         GedMode::Exact => {
             let warm = bipartite_ged(g1, g2, &cost);
-            exact_ged(g1, g2, &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None }).cost
+            exact_ged(
+                g1,
+                g2,
+                &GedOptions {
+                    cost,
+                    warm_start: Some(warm.mapping),
+                    node_limit: None,
+                },
+            )
+            .cost
         }
         GedMode::ExactBudget(limit) => {
             let warm = bipartite_ged(g1, g2, &cost);
             exact_ged(
                 g1,
                 g2,
-                &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: Some(limit) },
+                &GedOptions {
+                    cost,
+                    warm_start: Some(warm.mapping),
+                    node_limit: Some(limit),
+                },
             )
             .cost
         }
@@ -168,12 +185,18 @@ pub fn compute_primitives(g1: &Graph, g2: &Graph, config: &SolverConfig) -> Pair
         McsMode::Greedy => greedy_mcs(g1, g2, usize::MAX).edges(),
     };
     let (label_mismatch, label_total) = label_histogram_stats(g1, g2);
-    PairPrimitives { ged, mcs_edges, sizes: (g1.size(), g2.size()), label_mismatch, label_total }
+    PairPrimitives {
+        ged,
+        mcs_edges,
+        sizes: (g1.size(), g2.size()),
+        label_mismatch,
+        label_total,
+    }
 }
 
 /// Symmetric-difference and total size of the combined vertex+edge label
 /// multisets of a pair.
-fn label_histogram_stats(g1: &Graph, g2: &Graph) -> (u32, u32) {
+pub(crate) fn label_histogram_stats(g1: &Graph, g2: &Graph) -> (u32, u32) {
     use gss_graph::stats::{edge_label_multiset, vertex_label_multiset};
     let (v1, v2) = (vertex_label_multiset(g1), vertex_label_multiset(g2));
     let (e1, e2) = (edge_label_multiset(g1), edge_label_multiset(g2));
@@ -192,9 +215,16 @@ pub struct GcsVector {
 
 impl GcsVector {
     /// Builds the GCS vector for a pair.
-    pub fn compute(g1: &Graph, g2: &Graph, measures: &[MeasureKind], config: &SolverConfig) -> GcsVector {
+    pub fn compute(
+        g1: &Graph,
+        g2: &Graph,
+        measures: &[MeasureKind],
+        config: &SolverConfig,
+    ) -> GcsVector {
         let p = compute_primitives(g1, g2, config);
-        GcsVector { values: measures.iter().map(|m| m.from_primitives(&p)).collect() }
+        GcsVector {
+            values: measures.iter().map(|m| m.from_primitives(&p)).collect(),
+        }
     }
 }
 
@@ -251,7 +281,12 @@ mod tests {
         let e1 = GraphBuilder::new("e1", &mut v).build().unwrap();
         let e2 = GraphBuilder::new("e2", &mut v).build().unwrap();
         let p = compute_primitives(&e1, &e2, &SolverConfig::default());
-        for m in [MeasureKind::EditDistance, MeasureKind::NormalizedEditDistance, MeasureKind::Mcs, MeasureKind::Gu] {
+        for m in [
+            MeasureKind::EditDistance,
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+        ] {
             assert_eq!(m.from_primitives(&p), 0.0, "{}", m.name());
         }
     }
@@ -263,13 +298,36 @@ mod tests {
         let approx = compute_primitives(
             &a,
             &b,
-            &SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+            &SolverConfig {
+                ged: GedMode::Bipartite,
+                mcs: McsMode::Greedy,
+            },
         );
-        assert!(approx.ged >= exact.ged - 1e-9, "bipartite is an upper bound");
-        assert!(approx.mcs_edges <= exact.mcs_edges, "greedy is a lower bound");
-        let beam = compute_primitives(&a, &b, &SolverConfig { ged: GedMode::Beam(8), ..Default::default() });
+        assert!(
+            approx.ged >= exact.ged - 1e-9,
+            "bipartite is an upper bound"
+        );
+        assert!(
+            approx.mcs_edges <= exact.mcs_edges,
+            "greedy is a lower bound"
+        );
+        let beam = compute_primitives(
+            &a,
+            &b,
+            &SolverConfig {
+                ged: GedMode::Beam(8),
+                ..Default::default()
+            },
+        );
         assert!(beam.ged >= exact.ged - 1e-9);
-        let budget = compute_primitives(&a, &b, &SolverConfig { ged: GedMode::ExactBudget(2), ..Default::default() });
+        let budget = compute_primitives(
+            &a,
+            &b,
+            &SolverConfig {
+                ged: GedMode::ExactBudget(2),
+                ..Default::default()
+            },
+        );
         assert!(budget.ged >= exact.ged - 1e-9);
     }
 

@@ -56,7 +56,11 @@ mod tests {
     fn preserves_order() {
         for threads in [1usize, 2, 3, 8, 100] {
             let out = parallel_map_indexed(17, threads, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
         }
     }
 

@@ -1,0 +1,386 @@
+//! Cheap per-measure lower bounds for the filter-and-verify query pipeline.
+//!
+//! The naive GSS scan (Section V of the paper) runs the exact solvers —
+//! branch-and-bound GED and exact connected MCS — on *every* database graph,
+//! which is the textbook bottleneck of graph similarity search. The cure,
+//! standard in the filter-and-verify literature (MSQ-Index, pruned GED
+//! search), is to compute **admissible lower bounds** on each local distance
+//! first and skip the exact solvers whenever the bounds already prove a
+//! candidate cannot contribute to the answer.
+//!
+//! This module computes, in `O(|V| log |V| + |E| log |E|)` per pair:
+//!
+//! * a **GED lower bound** — the maximum of the label-alignment bound
+//!   (vertex + edge label multiset mismatches) and the degree-sequence bound
+//!   (`gss_ged::combined_lower_bound`), optionally tightened by the
+//!   edge-count difference;
+//! * an **MCS upper bound** — the edge-class multiset intersection
+//!   (`gss_graph::stats::mcs_upper_bound`), which upper-bounds the edge count
+//!   of *any* common subgraph, connected or not. Because `DistMcs` and
+//!   `DistGu` are strictly decreasing in `|mcs|`, an upper bound on `|mcs|`
+//!   yields a lower bound on both distances;
+//! * the **exact** label-histogram distance (it is already linear-time);
+//! * a **distance-zero short-circuit**: when the candidate's 1-WL
+//!   fingerprint matches the query's, the graphs are connected, and VF2
+//!   confirms isomorphism, the exact GCS vector is all-zeros — no solver
+//!   runs at all. Active only when both solvers are exact
+//!   (see [`PrefilterContext::for_query`]): approximate solvers may report
+//!   nonzero distances even for isomorphic pairs, and the pipeline promises
+//!   byte-identical results to whatever the configured solvers produce.
+//!
+//! Soundness contract, relied on by the pruned scan in [`crate::query`]:
+//! for every measure `m`, `lower_bound_m(g, q) ≤ value_m(g, q)` where
+//! `value_m` is whatever the configured solver reports — the bounds hold for
+//! the *exact* solvers and remain valid for the approximate ones (bipartite
+//! and beam GED only over-estimate, greedy MCS only under-estimates `|mcs|`).
+
+use gss_graph::stats::mcs_upper_bound;
+use gss_graph::{algo, wl, Graph};
+
+use crate::measures::{
+    label_histogram_stats, GcsVector, GedMode, McsMode, MeasureKind, SolverConfig,
+};
+
+/// Number of 1-WL refinement rounds used for the equality short-circuit.
+/// Two rounds separate almost all non-isomorphic pairs at this domain's
+/// graph sizes (see `gss_graph::wl`).
+const WL_ROUNDS: usize = 2;
+
+/// The cheap pair summary driving the pruned scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrefilterSummary {
+    /// Per-measure lower bounds, in the query's measure order. Every entry
+    /// is `≤` the corresponding exact (or approximate-solver) distance.
+    pub lower: GcsVector,
+    /// True when the candidate was proven isomorphic to the query: its exact
+    /// GCS vector is all-zeros and no solver needs to run.
+    pub isomorphic: bool,
+}
+
+impl PrefilterSummary {
+    /// The exact all-zero GCS vector for an isomorphic candidate, or `None`
+    /// when the exact vector still requires solving.
+    pub fn known_exact(&self, measures: &[MeasureKind]) -> Option<GcsVector> {
+        self.isomorphic.then(|| GcsVector {
+            values: vec![0.0; measures.len()],
+        })
+    }
+}
+
+/// The cheap admissible GED lower bound used by the pipeline: label-multiset
+/// alignment, degree-sequence alignment and the size difference, whichever
+/// is largest.
+pub fn ged_lower_bound(g: &Graph, q: &Graph) -> f64 {
+    // The size (edge-count) difference is already implied by the edge-label
+    // alignment bound, but stating it keeps the bound honest under future
+    // changes to the alignment bounds.
+    let size_diff = g.size().abs_diff(q.size()) as f64;
+    gss_ged::combined_lower_bound(g, q).max(size_diff)
+}
+
+/// Upper bound on the connected-MCS edge count the exact solver can return:
+/// the edge-class multiset intersection of the pair.
+pub fn mcs_edge_upper_bound(g: &Graph, q: &Graph) -> usize {
+    mcs_upper_bound(g, q) as usize
+}
+
+/// Lower-bounds one measure from the pair bounds.
+///
+/// `ged_lb` must be an admissible GED lower bound, `mcs_ub` an upper bound
+/// on the MCS edge count, and `label_histogram` the *exact* histogram
+/// distance (it is linear-time, so the prefilter computes it outright).
+pub fn measure_lower_bound(
+    measure: MeasureKind,
+    ged_lb: f64,
+    mcs_ub: usize,
+    sizes: (usize, usize),
+    label_histogram: f64,
+) -> f64 {
+    let (s1, s2) = sizes;
+    let mcs = mcs_ub as f64;
+    match measure {
+        MeasureKind::EditDistance => ged_lb,
+        // x / (1 + x) is increasing in x, so it maps a GED lower bound to a
+        // normalized lower bound.
+        MeasureKind::NormalizedEditDistance => ged_lb / (1.0 + ged_lb),
+        // 1 − |mcs| / max and 1 − |mcs| / (s1 + s2 − |mcs|) are both
+        // decreasing in |mcs|, so substituting the upper bound gives a lower
+        // bound. The zero-denominator cases mirror MeasureKind::from_primitives.
+        MeasureKind::Mcs => {
+            let denom = s1.max(s2) as f64;
+            if denom == 0.0 {
+                0.0
+            } else {
+                1.0 - mcs / denom
+            }
+        }
+        MeasureKind::Gu => {
+            let denom = (s1 + s2) as f64 - mcs;
+            if denom == 0.0 {
+                0.0
+            } else {
+                1.0 - mcs / denom
+            }
+        }
+        MeasureKind::LabelHistogram => label_histogram,
+    }
+}
+
+/// Per-query state shared by every [`summarize`] call of one scan: the
+/// query-side invariants are computed once, and the (worst-case
+/// exponential) isomorphism short-circuit is enabled only when it is both
+/// wanted and sound.
+#[derive(Clone, Debug)]
+pub struct PrefilterContext {
+    query_fingerprint: u64,
+    query_connected: bool,
+    check_isomorphism: bool,
+}
+
+impl PrefilterContext {
+    /// Builds the context for one query scan.
+    ///
+    /// The isomorphism short-circuit claims the exact GCS vector is
+    /// all-zeros, which is only what the configured solvers would report
+    /// when both are **exact**: the bipartite/beam GED upper bounds and the
+    /// greedy MCS legitimately return nonzero distances for isomorphic
+    /// pairs, and the pipeline's contract is byte-identical results to
+    /// whatever the solvers produce. With approximate (or budgeted) solvers
+    /// the short-circuit is therefore disabled; lower-bound pruning remains
+    /// active and sound.
+    pub fn for_query(q: &Graph, solvers: &SolverConfig, prefilter: bool) -> Self {
+        let check = prefilter && solvers.ged == GedMode::Exact && solvers.mcs == McsMode::Exact;
+        PrefilterContext {
+            query_fingerprint: if check {
+                wl::wl_fingerprint(q, WL_ROUNDS)
+            } else {
+                0
+            },
+            query_connected: check && algo::is_connected(q),
+            check_isomorphism: check,
+        }
+    }
+}
+
+/// Computes the pair summary for a candidate against the query.
+pub fn summarize(
+    g: &Graph,
+    q: &Graph,
+    measures: &[MeasureKind],
+    ctx: &PrefilterContext,
+) -> PrefilterSummary {
+    // Distance-zero short-circuit. Connectivity is required because the MCS
+    // measures use the *connected* MCS: for a disconnected graph, even the
+    // graph itself has DistMcs > 0, so all-zeros would be wrong.
+    let isomorphic = ctx.check_isomorphism
+        && ctx.query_connected
+        && wl::wl_fingerprint(g, WL_ROUNDS) == ctx.query_fingerprint
+        && algo::is_connected(g)
+        && gss_iso::are_isomorphic(g, q);
+
+    let ged_lb = ged_lower_bound(g, q);
+    let mcs_ub = mcs_edge_upper_bound(g, q);
+    let sizes = (g.size(), q.size());
+    let (mismatch, total) = label_histogram_stats(g, q);
+    let label_histogram = if total == 0 {
+        0.0
+    } else {
+        f64::from(mismatch) / f64::from(total)
+    };
+
+    let lower = GcsVector {
+        values: measures
+            .iter()
+            .map(|&m| measure_lower_bound(m, ged_lb, mcs_ub, sizes, label_histogram))
+            .collect(),
+    };
+    PrefilterSummary { lower, isomorphic }
+}
+
+/// Counters describing what the pruned scan did, for `explain` output and
+/// benchmarking.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Database size (candidates considered).
+    pub candidates: usize,
+    /// Candidates whose exact GCS vector was computed by the solvers.
+    pub verified: usize,
+    /// Candidates skipped because their lower-bound vector was dominated by
+    /// an already-verified exact vector.
+    pub pruned: usize,
+    /// Candidates resolved by the WL + isomorphism distance-zero
+    /// short-circuit (no solver ran; their exact vector is all-zeros).
+    pub short_circuited: usize,
+}
+
+impl PruneStats {
+    /// Fraction of candidates that skipped exact solving, in `[0, 1]`.
+    pub fn pruning_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            (self.pruned + self.short_circuited) as f64 / self.candidates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{compute_primitives, SolverConfig};
+    use gss_graph::{GraphBuilder, Vocabulary};
+
+    fn pair() -> (Graph, Graph) {
+        let mut v = Vocabulary::new();
+        let a = GraphBuilder::new("a", &mut v)
+            .vertex("x", "A")
+            .vertex("y", "B")
+            .vertex("z", "C")
+            .path(&["x", "y", "z"], "-")
+            .build()
+            .unwrap();
+        let b = GraphBuilder::new("b", &mut v)
+            .vertex("x", "A")
+            .vertex("y", "B")
+            .vertex("w", "W")
+            .edge("x", "y", "-")
+            .edge("y", "w", "=")
+            .build()
+            .unwrap();
+        (a, b)
+    }
+
+    fn exact_ctx(q: &Graph) -> PrefilterContext {
+        PrefilterContext::for_query(q, &SolverConfig::default(), true)
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_exact_values() {
+        let (a, b) = pair();
+        let measures = [
+            MeasureKind::EditDistance,
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+            MeasureKind::LabelHistogram,
+        ];
+        let summary = summarize(&a, &b, &measures, &exact_ctx(&b));
+        let p = compute_primitives(&a, &b, &SolverConfig::default());
+        for (i, m) in measures.iter().enumerate() {
+            let exact = m.from_primitives(&p);
+            assert!(
+                summary.lower.values[i] <= exact + 1e-12,
+                "{}: lower {} > exact {}",
+                m.name(),
+                summary.lower.values[i],
+                exact
+            );
+        }
+        assert!(!summary.isomorphic);
+    }
+
+    #[test]
+    fn isomorphic_pair_short_circuits_to_zero() {
+        let (a, _) = pair();
+        let summary = summarize(&a, &a, &MeasureKind::paper_query_measures(), &exact_ctx(&a));
+        assert!(summary.isomorphic);
+        let exact = summary
+            .known_exact(&MeasureKind::paper_query_measures())
+            .unwrap();
+        assert_eq!(exact.values, vec![0.0, 0.0, 0.0]);
+        // The short-circuit vector must be byte-identical to what the
+        // solvers produce.
+        let p = compute_primitives(&a, &a, &SolverConfig::default());
+        for (i, m) in MeasureKind::paper_query_measures().iter().enumerate() {
+            assert_eq!(exact.values[i], m.from_primitives(&p));
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_do_not_short_circuit() {
+        // Two components: the connected MCS of the graph with itself misses
+        // the smaller component, so DistMcs(g, g) > 0 and all-zeros would be
+        // unsound.
+        let mut v = Vocabulary::new();
+        let g = GraphBuilder::new("two", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .edge("a", "b", "-")
+            .edge("c", "d", "-")
+            .build()
+            .unwrap();
+        let summary = summarize(&g, &g, &MeasureKind::paper_query_measures(), &exact_ctx(&g));
+        assert!(
+            !summary.isomorphic,
+            "disconnected pairs must go through the solvers"
+        );
+        let p = compute_primitives(&g, &g, &SolverConfig::default());
+        assert!(MeasureKind::Mcs.from_primitives(&p) > 0.0);
+    }
+
+    #[test]
+    fn empty_pair_is_safe() {
+        let mut v = Vocabulary::new();
+        let e1 = GraphBuilder::new("e1", &mut v).build().unwrap();
+        let e2 = GraphBuilder::new("e2", &mut v).build().unwrap();
+        let summary = summarize(
+            &e1,
+            &e2,
+            &MeasureKind::paper_query_measures(),
+            &exact_ctx(&e2),
+        );
+        for lb in &summary.lower.values {
+            assert_eq!(*lb, 0.0);
+        }
+    }
+
+    #[test]
+    fn approximate_solvers_disable_the_short_circuit() {
+        use crate::measures::{GedMode, McsMode};
+        let (a, _) = pair();
+        for solvers in [
+            SolverConfig {
+                ged: GedMode::Bipartite,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                mcs: McsMode::Greedy,
+                ..SolverConfig::default()
+            },
+            SolverConfig {
+                ged: GedMode::Beam(4),
+                mcs: McsMode::Greedy,
+            },
+            SolverConfig {
+                ged: GedMode::ExactBudget(10),
+                ..SolverConfig::default()
+            },
+        ] {
+            let ctx = PrefilterContext::for_query(&a, &solvers, true);
+            let summary = summarize(&a, &a, &MeasureKind::paper_query_measures(), &ctx);
+            assert!(!summary.isomorphic, "{solvers:?} must not short-circuit");
+        }
+        // Lower bounds are still produced.
+        let ctx = PrefilterContext::for_query(
+            &a,
+            &SolverConfig {
+                ged: GedMode::Bipartite,
+                mcs: McsMode::Greedy,
+            },
+            true,
+        );
+        let summary = summarize(&a, &a, &MeasureKind::paper_query_measures(), &ctx);
+        assert_eq!(summary.lower.values, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pruning_rate_arithmetic() {
+        let stats = PruneStats {
+            candidates: 10,
+            verified: 4,
+            pruned: 5,
+            short_circuited: 1,
+        };
+        assert!((stats.pruning_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(PruneStats::default().pruning_rate(), 0.0);
+    }
+}

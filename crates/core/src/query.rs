@@ -6,6 +6,32 @@
 //! (Definition 12 / Equation 4) — together with, for every excluded graph, a
 //! witness dominator (the explanations the paper walks through in
 //! Section VI: "g2 is dominated by g7", …).
+//!
+//! # Filter-and-verify pipeline
+//!
+//! With [`QueryOptions::prefilter`] enabled the scan becomes a two-phase
+//! **filter-and-verify** pipeline:
+//!
+//! 1. **Filter** — a cheap [`crate::prefilter`] summary (per-measure lower
+//!    bounds plus a WL/isomorphism distance-zero short-circuit) is computed
+//!    for every candidate in `O(|V| log |V| + |E| log |E|)`.
+//! 2. **Verify** — candidates are visited most-promising-first (smallest
+//!    lower-bound sum). A candidate whose lower-bound vector is already
+//!    similarity-dominated by a *verified* exact vector is **pruned**: its
+//!    exact vector cannot make the skyline, because lower bounds only move
+//!    up (`exact ≥ lower` per dimension, so `dominates(e, lower)` implies
+//!    `dominates(e, exact)`). Everything else runs the exact solvers.
+//!
+//! The pruned scan returns the **identical** skyline and witness list as
+//! the naive scan — only [`GssResult::evaluated`] and
+//! [`GssResult::pruning`] reveal that less work was done. To keep witnesses
+//! identical in both modes, the witness for an excluded graph is defined as
+//! the first skyline member (ascending id) whose exact vector dominates the
+//! graph's *lower-bound* vector, falling back to its exact vector; for a
+//! pruned graph the first rule always fires (its pruner, or a skyline
+//! member dominating the pruner, dominates the lower bound transitively).
+
+use std::cmp::Ordering;
 
 use gss_graph::Graph;
 use gss_skyline::{dominance, Algorithm};
@@ -13,6 +39,7 @@ use gss_skyline::{dominance, Algorithm};
 use crate::database::{GraphDatabase, GraphId};
 use crate::measures::{GcsVector, MeasureKind, SolverConfig};
 use crate::parallel::parallel_map_indexed;
+use crate::prefilter::{self, PrefilterSummary, PruneStats};
 
 /// Options for [`graph_similarity_skyline`].
 #[derive(Clone, Debug)]
@@ -26,6 +53,12 @@ pub struct QueryOptions {
     pub solvers: SolverConfig,
     /// Worker threads for the per-graph GCS scan (1 = sequential).
     pub threads: usize,
+    /// Enables the filter-and-verify pruned scan: candidates whose
+    /// lower-bound GCS vector is dominated by a verified exact vector skip
+    /// the exact solvers. The skyline and witnesses are identical to the
+    /// naive scan. Ignored by [`graph_similarity_skyband`] (a `k`-skyband
+    /// needs every candidate's dominator count, so nothing can be skipped).
+    pub prefilter: bool,
 }
 
 impl Default for QueryOptions {
@@ -35,6 +68,7 @@ impl Default for QueryOptions {
             skyline_algorithm: Algorithm::default(),
             solvers: SolverConfig::default(),
             threads: 1,
+            prefilter: false,
         }
     }
 }
@@ -53,12 +87,20 @@ pub struct DominationWitness {
 pub struct GssResult {
     /// The measures used, in GCS-vector order.
     pub measures: Vec<MeasureKind>,
-    /// `GCS(gi, q)` for every database graph, in database order.
+    /// Per-graph vectors in database order: the exact `GCS(gi, q)` for
+    /// verified graphs, the prefilter *lower-bound* vector for pruned ones
+    /// (see [`GssResult::evaluated`]). Without pruning every entry is exact.
     pub gcs: Vec<GcsVector>,
+    /// `evaluated[i]` is true when `gcs[i]` is the exact vector (computed by
+    /// the solvers or proven all-zero by the isomorphism short-circuit).
+    pub evaluated: Vec<bool>,
     /// Ids of the Pareto-optimal graphs (`GSS(D, q)`), ascending.
     pub skyline: Vec<GraphId>,
     /// One witness per excluded graph (ascending by excluded id).
     pub dominated: Vec<DominationWitness>,
+    /// Pruning counters when the filter-and-verify pipeline ran, `None` for
+    /// the naive scan.
+    pub pruning: Option<PruneStats>,
 }
 
 impl GssResult {
@@ -74,46 +116,273 @@ impl GssResult {
             .find(|w| w.graph == id)
             .map(|w| w.dominator)
     }
+
+    /// True when `gcs[id]` holds the exact GCS vector (always true for
+    /// skyline members; false only for graphs pruned by the prefilter).
+    pub fn is_exact(&self, id: GraphId) -> bool {
+        self.evaluated[id.index()]
+    }
 }
 
-/// Computes `GSS(D, q)` (Equation 4 of the paper).
+/// Computes `GSS(D, q)` (Equation 4 of the paper), optionally through the
+/// filter-and-verify pruned pipeline ([`QueryOptions::prefilter`]).
 pub fn graph_similarity_skyline(
     db: &GraphDatabase,
     query: &Graph,
     options: &QueryOptions,
 ) -> GssResult {
-    assert!(!options.measures.is_empty(), "at least one measure is required");
-    // 1. GCS scan — the expensive part; parallel over database graphs.
-    let gcs: Vec<GcsVector> = parallel_map_indexed(db.len(), options.threads, |i| {
-        GcsVector::compute(db.get(GraphId(i)), query, &options.measures, &options.solvers)
+    assert!(
+        !options.measures.is_empty(),
+        "at least one measure is required"
+    );
+    let n = db.len();
+
+    // 1. Filter: cheap per-candidate summaries. Always computed — the
+    //    witness rule consumes the lower bounds in both modes so that the
+    //    pruned and naive scans report identical witnesses, and the cost is
+    //    linear-ish per pair (negligible next to one exact GED call). The
+    //    context hoists the query-side invariants and disables the
+    //    isomorphism short-circuit on naive scans and approximate solvers.
+    let ctx = prefilter::PrefilterContext::for_query(query, &options.solvers, options.prefilter);
+    let summaries: Vec<PrefilterSummary> = parallel_map_indexed(n, options.threads, |i| {
+        prefilter::summarize(db.get(GraphId(i)), query, &options.measures, &ctx)
     });
 
-    // 2. Skyline over the GCS matrix.
-    let points: Vec<Vec<f64>> = gcs.iter().map(|g| g.values.clone()).collect();
+    // 2. Verify: exact vectors for all candidates (naive) or for the
+    //    non-pruned subset (filter-and-verify).
+    let (exact, pruning) = if options.prefilter {
+        let (exact, stats) = pruned_verify(db, query, options, &summaries);
+        (exact, Some(stats))
+    } else {
+        let gcs: Vec<GcsVector> = parallel_map_indexed(n, options.threads, |i| {
+            GcsVector::compute(
+                db.get(GraphId(i)),
+                query,
+                &options.measures,
+                &options.solvers,
+            )
+        });
+        (gcs.into_iter().map(Some).collect(), None)
+    };
+
+    // 3. Skyline over the verified GCS matrix. Pruned candidates are
+    //    provably dominated, and removing dominated points never changes a
+    //    skyline, so running the algorithm on the verified subset yields
+    //    exactly `GSS(D, q)`.
+    let verified: Vec<usize> = (0..n).filter(|&i| exact[i].is_some()).collect();
+    let points: Vec<Vec<f64>> = verified
+        .iter()
+        .map(|&i| exact[i].as_ref().expect("verified").values.clone())
+        .collect();
     let skyline: Vec<GraphId> = gss_skyline::skyline(&points, options.skyline_algorithm)
         .into_iter()
-        .map(GraphId)
+        .map(|k| GraphId(verified[k]))
         .collect();
 
-    // 3. Witnesses for the excluded graphs. Prefer a *skyline* dominator
-    //    (one always exists: dominance is a strict partial order, so
-    //    following dominators from any dominated point reaches a maximal,
-    //    i.e. skyline, point).
+    // 4. Witnesses for the excluded graphs (identical rule in both modes).
+    let dominated = compute_witnesses(n, &skyline, &exact, &summaries);
+
+    // 5. Assemble: exact vectors where verified, lower bounds elsewhere.
+    let mut evaluated = Vec::with_capacity(n);
+    let mut gcs = Vec::with_capacity(n);
+    for (i, e) in exact.into_iter().enumerate() {
+        match e {
+            Some(v) => {
+                evaluated.push(true);
+                gcs.push(v);
+            }
+            None => {
+                evaluated.push(false);
+                gcs.push(summaries[i].lower.clone());
+            }
+        }
+    }
+
+    GssResult {
+        measures: options.measures.clone(),
+        gcs,
+        evaluated,
+        skyline,
+        dominated,
+        pruning,
+    }
+}
+
+/// The verify phase of the pruned pipeline: exact vectors for every
+/// candidate that survives lower-bound domination, `None` for the pruned.
+fn pruned_verify(
+    db: &GraphDatabase,
+    query: &Graph,
+    options: &QueryOptions,
+    summaries: &[PrefilterSummary],
+) -> (Vec<Option<GcsVector>>, PruneStats) {
+    let n = db.len();
+    let mut stats = PruneStats {
+        candidates: n,
+        ..PruneStats::default()
+    };
+    let mut exact: Vec<Option<GcsVector>> = vec![None; n];
+
+    // Distance-zero short-circuits: exact all-zero vectors, no solver runs.
+    for i in 0..n {
+        if summaries[i].isomorphic {
+            exact[i] = summaries[i].known_exact(&options.measures);
+            stats.short_circuited += 1;
+        }
+    }
+
+    // Verification order: most promising first (smallest lower-bound sum,
+    // ties by id). Near-answers verify early and build a strong pruning
+    // frontier for the long tail.
+    let mut order: Vec<usize> = (0..n).filter(|&i| exact[i].is_none()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = summaries[a].lower.values.iter().sum();
+        let sb: f64 = summaries[b].lower.values.iter().sum();
+        sa.partial_cmp(&sb)
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // BNL-style frontier: the non-dominated subset of verified vectors.
+    // Dominance is transitive, so testing candidates against the frontier
+    // is as strong as testing against every verified vector.
+    let mut frontier: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if exact[i].is_some() {
+            frontier_insert(&mut frontier, &exact, i);
+        }
+    }
+
+    // Verify in waves of up to `threads` candidates so the expensive exact
+    // solving still parallelizes; each wave refreshes the frontier before
+    // the next pruning decision. `threads == 1` is the classic sequential
+    // filter-and-verify loop.
+    let threads = options.threads.max(1);
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let mut batch: Vec<usize> = Vec::with_capacity(threads);
+        while cursor < order.len() && batch.len() < threads {
+            let i = order[cursor];
+            cursor += 1;
+            let lower = &summaries[i].lower.values;
+            let dominated = frontier.iter().any(|&f| {
+                dominance::dominates(
+                    &exact[f].as_ref().expect("frontier is verified").values,
+                    lower,
+                )
+            });
+            if dominated {
+                stats.pruned += 1;
+            } else {
+                batch.push(i);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let results: Vec<GcsVector> = parallel_map_indexed(batch.len(), threads, |k| {
+            GcsVector::compute(
+                db.get(GraphId(batch[k])),
+                query,
+                &options.measures,
+                &options.solvers,
+            )
+        });
+        for (k, v) in results.into_iter().enumerate() {
+            let i = batch[k];
+            exact[i] = Some(v);
+            stats.verified += 1;
+            frontier_insert(&mut frontier, &exact, i);
+        }
+    }
+
+    (exact, stats)
+}
+
+/// Inserts a verified vector into the non-dominated frontier.
+fn frontier_insert(frontier: &mut Vec<usize>, exact: &[Option<GcsVector>], i: usize) {
+    let v = &exact[i]
+        .as_ref()
+        .expect("inserting a verified vector")
+        .values;
+    if frontier
+        .iter()
+        .any(|&f| dominance::dominates(&exact[f].as_ref().expect("frontier").values, v))
+    {
+        return;
+    }
+    frontier.retain(|&f| !dominance::dominates(v, &exact[f].as_ref().expect("frontier").values));
+    frontier.push(i);
+}
+
+/// One witness per excluded graph: the first skyline member (ascending)
+/// whose exact vector dominates the graph's lower-bound vector, else the
+/// first dominating its exact vector. Lower bounds never exceed exact
+/// values, so a lower-bound dominator is always a true dominator; the
+/// two-step rule exists so pruned graphs (whose exact vector is unknown)
+/// and verified graphs resolve through the same deterministic procedure.
+fn compute_witnesses(
+    n: usize,
+    skyline: &[GraphId],
+    exact: &[Option<GcsVector>],
+    summaries: &[PrefilterSummary],
+) -> Vec<DominationWitness> {
+    let sky_point = |s: &GraphId| {
+        &exact[s.index()]
+            .as_ref()
+            .expect("skyline members are verified")
+            .values
+    };
     let mut dominated = Vec::new();
-    for i in 0..db.len() {
+    for i in 0..n {
         let id = GraphId(i);
         if skyline.binary_search(&id).is_ok() {
             continue;
         }
+        let lower = &summaries[i].lower.values;
         let dominator = skyline
             .iter()
+            .find(|s| dominance::dominates(sky_point(s), lower))
+            .or_else(|| {
+                let ev = &exact[i]
+                    .as_ref()
+                    .expect(
+                        "an excluded graph is either pruned (lower-bound dominated) or verified",
+                    )
+                    .values;
+                skyline
+                    .iter()
+                    .find(|s| dominance::dominates(sky_point(s), ev))
+            })
             .copied()
-            .find(|s| dominance::dominates(&points[s.index()], &points[i]))
             .expect("every excluded point has a skyline dominator");
-        dominated.push(DominationWitness { graph: id, dominator });
+        dominated.push(DominationWitness {
+            graph: id,
+            dominator,
+        });
     }
+    dominated
+}
 
-    GssResult { measures: options.measures.clone(), gcs, skyline, dominated }
+/// Runs one skyline query per input over a shared database, spreading the
+/// queries across [`QueryOptions::threads`] workers (each query then scans
+/// sequentially — for multi-query workloads, cross-query parallelism beats
+/// nested per-candidate parallelism because it needs no synchronization).
+///
+/// Results are in query order and identical to calling
+/// [`graph_similarity_skyline`] per query with `threads = 1`.
+pub fn graph_similarity_skyline_batch(
+    db: &GraphDatabase,
+    queries: &[Graph],
+    options: &QueryOptions,
+) -> Vec<GssResult> {
+    let per_query = QueryOptions {
+        threads: 1,
+        ..options.clone()
+    };
+    parallel_map_indexed(queries.len(), options.threads, |i| {
+        graph_similarity_skyline(db, &queries[i], &per_query)
+    })
 }
 
 /// **Extension** (related work \[20\] of the paper): the *k-skyband* of a
@@ -128,12 +397,23 @@ pub fn graph_similarity_skyband(
     k: usize,
     options: &QueryOptions,
 ) -> Vec<GraphId> {
-    assert!(!options.measures.is_empty(), "at least one measure is required");
+    assert!(
+        !options.measures.is_empty(),
+        "at least one measure is required"
+    );
     let gcs: Vec<GcsVector> = parallel_map_indexed(db.len(), options.threads, |i| {
-        GcsVector::compute(db.get(GraphId(i)), query, &options.measures, &options.solvers)
+        GcsVector::compute(
+            db.get(GraphId(i)),
+            query,
+            &options.measures,
+            &options.solvers,
+        )
     });
     let points: Vec<Vec<f64>> = gcs.into_iter().map(|g| g.values).collect();
-    gss_skyline::k_skyband(&points, k).into_iter().map(GraphId).collect()
+    gss_skyline::k_skyband(&points, k)
+        .into_iter()
+        .map(GraphId)
+        .collect()
 }
 
 #[cfg(test)]
@@ -145,6 +425,13 @@ mod tests {
         let data = figure3_database();
         let db = GraphDatabase::from_parts(data.vocab, data.graphs);
         (db, data.query)
+    }
+
+    fn prefilter_options() -> QueryOptions {
+        QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        }
     }
 
     #[test]
@@ -161,13 +448,20 @@ mod tests {
         let r = graph_similarity_skyline(&db, &q, &QueryOptions::default());
         // Paper: g2 dominated by g7, g3 by g5, g6 by g1.
         for (loser, winner) in expected::DOMINANCE_WITNESSES {
-            let w = r.witness_for(GraphId(loser)).expect("dominated graph has witness");
+            let w = r
+                .witness_for(GraphId(loser))
+                .expect("dominated graph has witness");
             // The specific witness the paper names must indeed dominate;
             // our engine may legitimately report another dominator, so check
             // dominance directly.
             let paper_winner = &r.gcs[winner].values;
             let lose = &r.gcs[loser].values;
-            assert!(gss_skyline::dominates(paper_winner, lose), "paper witness g{} ≻ g{}", winner + 1, loser + 1);
+            assert!(
+                gss_skyline::dominates(paper_winner, lose),
+                "paper witness g{} ≻ g{}",
+                winner + 1,
+                loser + 1
+            );
             assert!(r.contains(w), "engine witness must be a skyline member");
         }
     }
@@ -184,8 +478,16 @@ mod tests {
             let mcs = expected::TABLE2_MCS[i] as f64;
             let dist_mcs = 1.0 - mcs / (g.size().max(q.size()) as f64);
             let dist_gu = 1.0 - mcs / ((g.size() + q.size()) as f64 - mcs);
-            assert!((r.gcs[i].values[1] - dist_mcs).abs() < 1e-12, "g{} DistMcs", i + 1);
-            assert!((r.gcs[i].values[2] - dist_gu).abs() < 1e-12, "g{} DistGu", i + 1);
+            assert!(
+                (r.gcs[i].values[1] - dist_mcs).abs() < 1e-12,
+                "g{} DistMcs",
+                i + 1
+            );
+            assert!(
+                (r.gcs[i].values[2] - dist_gu).abs() < 1e-12,
+                "g{} DistGu",
+                i + 1
+            );
         }
     }
 
@@ -196,7 +498,10 @@ mod tests {
         let par = graph_similarity_skyline(
             &db,
             &q,
-            &QueryOptions { threads: 4, ..QueryOptions::default() },
+            &QueryOptions {
+                threads: 4,
+                ..QueryOptions::default()
+            },
         );
         assert_eq!(seq.skyline, par.skyline);
         assert_eq!(seq.gcs, par.gcs);
@@ -210,7 +515,10 @@ mod tests {
             let r = graph_similarity_skyline(
                 &db,
                 &q,
-                &QueryOptions { skyline_algorithm: algo, ..QueryOptions::default() },
+                &QueryOptions {
+                    skyline_algorithm: algo,
+                    ..QueryOptions::default()
+                },
             );
             results.push(r.skyline);
         }
@@ -224,7 +532,10 @@ mod tests {
         let r = graph_similarity_skyline(
             &db,
             &q,
-            &QueryOptions { measures: vec![MeasureKind::EditDistance], ..Default::default() },
+            &QueryOptions {
+                measures: vec![MeasureKind::EditDistance],
+                ..Default::default()
+            },
         );
         // With one dimension, the skyline is the set of minimum-GED graphs:
         // Table III says g4 (DistEd 2) is the unique minimum.
@@ -292,6 +603,9 @@ mod tests {
         assert!(r.skyline.is_empty());
         assert!(r.gcs.is_empty());
         assert!(r.dominated.is_empty());
+        let pruned = graph_similarity_skyline(&db, &q, &prefilter_options());
+        assert!(pruned.skyline.is_empty());
+        assert_eq!(pruned.pruning.expect("stats present").candidates, 0);
     }
 
     #[test]
@@ -299,6 +613,136 @@ mod tests {
     fn rejects_empty_measure_list() {
         let mut db = GraphDatabase::new();
         let q = db.build_query("q", |b| b.vertex("x", "A")).unwrap();
-        graph_similarity_skyline(&db, &q, &QueryOptions { measures: vec![], ..Default::default() });
+        graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions {
+                measures: vec![],
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn pruned_scan_matches_naive_on_paper_data() {
+        let (db, q) = paper_db();
+        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let pruned = graph_similarity_skyline(&db, &q, &prefilter_options());
+        assert_eq!(pruned.skyline, naive.skyline);
+        assert_eq!(pruned.dominated, naive.dominated);
+        let stats = pruned.pruning.expect("prefilter stats");
+        assert_eq!(stats.candidates, db.len());
+        assert_eq!(
+            stats.verified + stats.pruned + stats.short_circuited,
+            db.len()
+        );
+        // Every verified vector is byte-identical to the naive one.
+        for i in 0..db.len() {
+            if pruned.is_exact(GraphId(i)) {
+                assert_eq!(pruned.gcs[i], naive.gcs[i], "g{}", i + 1);
+            } else {
+                // A pruned graph's lower bound never exceeds the exact value.
+                for (lb, ex) in pruned.gcs[i].values.iter().zip(&naive.gcs[i].values) {
+                    assert!(lb <= &(ex + 1e-12));
+                }
+            }
+        }
+        // Naive results report every vector as exact, no stats.
+        assert!(naive.evaluated.iter().all(|&e| e));
+        assert!(naive.pruning.is_none());
+    }
+
+    #[test]
+    fn pruned_scan_is_thread_count_invariant() {
+        let (db, q) = paper_db();
+        let seq = graph_similarity_skyline(&db, &q, &prefilter_options());
+        let par = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions {
+                threads: 4,
+                prefilter: true,
+                ..QueryOptions::default()
+            },
+        );
+        assert_eq!(seq.skyline, par.skyline);
+        assert_eq!(seq.dominated, par.dominated);
+    }
+
+    #[test]
+    fn identical_graph_short_circuits() {
+        let (mut db, q) = paper_db();
+        let copy = db.push(q.clone());
+        let r = graph_similarity_skyline(&db, &q, &prefilter_options());
+        assert!(r.contains(copy));
+        assert_eq!(r.gcs[copy.index()].values, vec![0.0, 0.0, 0.0]);
+        let stats = r.pruning.expect("stats");
+        assert!(
+            stats.short_circuited >= 1,
+            "the planted copy must short-circuit"
+        );
+        // An all-zero frontier member prunes everything it strictly
+        // dominates; only ties (other zero vectors) still verify.
+        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        assert_eq!(r.skyline, naive.skyline);
+        assert_eq!(r.dominated, naive.dominated);
+        assert!(stats.pruned > 0, "a perfect match should prune the rest");
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let (db, q) = paper_db();
+        let queries: Vec<Graph> = vec![
+            q.clone(),
+            db.get(GraphId(1)).clone(),
+            db.get(GraphId(6)).clone(),
+        ];
+        for prefilter in [false, true] {
+            let opts = QueryOptions {
+                prefilter,
+                threads: 3,
+                ..QueryOptions::default()
+            };
+            let batch = graph_similarity_skyline_batch(&db, &queries, &opts);
+            assert_eq!(batch.len(), queries.len());
+            let single_opts = QueryOptions {
+                prefilter,
+                ..QueryOptions::default()
+            };
+            for (i, query) in queries.iter().enumerate() {
+                let single = graph_similarity_skyline(&db, query, &single_opts);
+                assert_eq!(batch[i].skyline, single.skyline, "query {i}");
+                assert_eq!(batch[i].dominated, single.dominated, "query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_works_with_approximate_solvers() {
+        use crate::measures::{GedMode, McsMode};
+        let (db, q) = paper_db();
+        let solvers = SolverConfig {
+            ged: GedMode::Bipartite,
+            mcs: McsMode::Greedy,
+        };
+        let naive = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions {
+                solvers,
+                ..QueryOptions::default()
+            },
+        );
+        let pruned = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions {
+                solvers,
+                prefilter: true,
+                ..QueryOptions::default()
+            },
+        );
+        assert_eq!(pruned.skyline, naive.skyline);
+        assert_eq!(pruned.dominated, naive.dominated);
     }
 }

@@ -90,14 +90,25 @@ pub fn refine_skyline(
     k: usize,
     options: &RefineOptions,
 ) -> Result<RefinedSkyline, DiversityError> {
-    let matrices = pairwise_matrices(db, members, &options.measures, &options.solvers, options.threads);
+    let matrices = pairwise_matrices(
+        db,
+        members,
+        &options.measures,
+        &options.solvers,
+        options.threads,
+    );
     let evaluation = refine_exact(&matrices, k, options.max_candidates)?;
     let selected = evaluation
         .best_members()
         .iter()
         .map(|&i| members[i])
         .collect();
-    Ok(RefinedSkyline { members: members.to_vec(), selected, evaluation, matrices })
+    Ok(RefinedSkyline {
+        members: members.to_vec(),
+        selected,
+        evaluation,
+        matrices,
+    })
 }
 
 /// Greedy max-min refinement for skylines too large for exhaustive
@@ -108,8 +119,17 @@ pub fn refine_skyline_greedy(
     k: usize,
     options: &RefineOptions,
 ) -> Vec<GraphId> {
-    let matrices = pairwise_matrices(db, members, &options.measures, &options.solvers, options.threads);
-    refine_greedy(&matrices, k).into_iter().map(|i| members[i]).collect()
+    let matrices = pairwise_matrices(
+        db,
+        members,
+        &options.measures,
+        &options.solvers,
+        options.threads,
+    );
+    refine_greedy(&matrices, k)
+        .into_iter()
+        .map(|i| members[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -147,8 +167,16 @@ mod tests {
             let p3 = expected::TABLE4[idx][2];
             // Tolerance 0.006: the paper mixes rounding and truncation
             // when printing two decimals (e.g. 0.615… appears as 0.61).
-            assert!((v2 - p2).abs() < 0.006, "S{} v2: measured {v2} vs paper {p2}", idx + 1);
-            assert!((v3 - p3).abs() < 0.006, "S{} v3: measured {v3} vs paper {p3}", idx + 1);
+            assert!(
+                (v2 - p2).abs() < 0.006,
+                "S{} v2: measured {v2} vs paper {p2}",
+                idx + 1
+            );
+            assert!(
+                (v3 - p3).abs() < 0.006,
+                "S{} v3: measured {v3} vs paper {p3}",
+                idx + 1
+            );
         }
     }
 

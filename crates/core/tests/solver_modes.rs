@@ -8,7 +8,10 @@ use gss_datasets::paper::{expected, figure3_database};
 
 fn paper() -> (GraphDatabase, gss_graph::Graph) {
     let data = figure3_database();
-    (GraphDatabase::from_parts(data.vocab, data.graphs), data.query)
+    (
+        GraphDatabase::from_parts(data.vocab, data.graphs),
+        data.query,
+    )
 }
 
 #[test]
@@ -19,7 +22,10 @@ fn huge_budget_equals_exact() {
         &db,
         &q,
         &QueryOptions {
-            solvers: SolverConfig { ged: GedMode::ExactBudget(u64::MAX / 2), mcs: McsMode::Exact },
+            solvers: SolverConfig {
+                ged: GedMode::ExactBudget(u64::MAX / 2),
+                mcs: McsMode::Exact,
+            },
             ..Default::default()
         },
     );
@@ -31,12 +37,20 @@ fn huge_budget_equals_exact() {
 fn approximate_ged_never_underestimates_on_paper_data() {
     let (db, q) = paper();
     let exact = graph_similarity_skyline(&db, &q, &QueryOptions::default());
-    for mode in [GedMode::Bipartite, GedMode::Beam(1), GedMode::Beam(16), GedMode::ExactBudget(2)] {
+    for mode in [
+        GedMode::Bipartite,
+        GedMode::Beam(1),
+        GedMode::Beam(16),
+        GedMode::ExactBudget(2),
+    ] {
         let approx = graph_similarity_skyline(
             &db,
             &q,
             &QueryOptions {
-                solvers: SolverConfig { ged: mode, mcs: McsMode::Exact },
+                solvers: SolverConfig {
+                    ged: mode,
+                    mcs: McsMode::Exact,
+                },
                 ..Default::default()
             },
         );
@@ -58,7 +72,10 @@ fn greedy_mcs_never_overestimates_on_paper_data() {
         &db,
         &q,
         &QueryOptions {
-            solvers: SolverConfig { ged: GedMode::Exact, mcs: McsMode::Greedy },
+            solvers: SolverConfig {
+                ged: GedMode::Exact,
+                mcs: McsMode::Greedy,
+            },
             ..Default::default()
         },
     );
@@ -79,7 +96,10 @@ fn exhaustive_beam_reproduces_the_paper_skyline() {
         &db,
         &q,
         &QueryOptions {
-            solvers: SolverConfig { ged: GedMode::Beam(20_000), mcs: McsMode::Exact },
+            solvers: SolverConfig {
+                ged: GedMode::Beam(20_000),
+                mcs: McsMode::Exact,
+            },
             ..Default::default()
         },
     );
@@ -97,7 +117,10 @@ fn greedy_mcs_still_reproduces_the_paper_skyline() {
         &db,
         &q,
         &QueryOptions {
-            solvers: SolverConfig { ged: GedMode::Exact, mcs: McsMode::Greedy },
+            solvers: SolverConfig {
+                ged: GedMode::Exact,
+                mcs: McsMode::Greedy,
+            },
             ..Default::default()
         },
     );

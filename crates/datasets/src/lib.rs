@@ -23,5 +23,8 @@ pub mod synth;
 pub mod workload;
 
 pub use paper::{figure1_pair, figure3_database, hotels};
-pub use synth::{molecule_like_graph, perturb, perturb_typed, random_connected_graph, MoleculeConfig, PerturbationStyle, RandomGraphConfig};
+pub use synth::{
+    molecule_like_graph, perturb, perturb_typed, random_connected_graph, MoleculeConfig,
+    PerturbationStyle, RandomGraphConfig,
+};
 pub use workload::{Workload, WorkloadConfig, WorkloadKind};

@@ -216,7 +216,11 @@ pub fn figure3_database() -> Figure3Database {
         .build()
         .expect("static graph");
 
-    Figure3Database { vocab, query, graphs: vec![g1, g2, g3, g4, g5, g6, g7] }
+    Figure3Database {
+        vocab,
+        query,
+        graphs: vec![g1, g2, g3, g4, g5, g6, g7],
+    }
 }
 
 /// The hotels of Table I as `(names, [price, distance])` rows.

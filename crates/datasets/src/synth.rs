@@ -49,7 +49,11 @@ pub fn random_connected_graph(
     let max_edges = n * (n - 1) / 2;
     let m = cfg.edges.clamp(n.saturating_sub(1), max_edges);
 
-    let vlabels: Vec<Label> = cfg.vertex_alphabet.iter().map(|s| vocab.intern(s)).collect();
+    let vlabels: Vec<Label> = cfg
+        .vertex_alphabet
+        .iter()
+        .map(|s| vocab.intern(s))
+        .collect();
     let elabels: Vec<Label> = cfg.edge_alphabet.iter().map(|s| vocab.intern(s)).collect();
 
     let mut g = Graph::with_capacity(name, n, m);
@@ -94,7 +98,10 @@ pub struct MoleculeConfig {
 
 impl Default for MoleculeConfig {
     fn default() -> Self {
-        MoleculeConfig { atoms: 10, ring_bond_prob: 0.3 }
+        MoleculeConfig {
+            atoms: 10,
+            ring_bond_prob: 0.3,
+        }
     }
 }
 
@@ -128,9 +135,15 @@ pub fn molecule_like_graph(
         let candidates: Vec<usize> = (0..i).filter(|&j| valence[j] < capacity[j]).collect();
         // Fall back to any earlier atom if everything is saturated — a
         // slightly over-bonded molecule beats a disconnected one.
-        let j = if candidates.is_empty() { rng.gen_index(i) } else { *rng.choose(&candidates).expect("non-empty") };
-        let bond = bond_labels[rng.gen_index(if valence[j] + 2 <= capacity[j] { 2 } else { 1 }.min(bond_labels.len()))];
-        g.add_edge(VertexId::new(i), VertexId::new(j), bond).expect("tree edge");
+        let j = if candidates.is_empty() {
+            rng.gen_index(i)
+        } else {
+            *rng.choose(&candidates).expect("non-empty")
+        };
+        let bond = bond_labels[rng
+            .gen_index(if valence[j] + 2 <= capacity[j] { 2 } else { 1 }.min(bond_labels.len()))];
+        g.add_edge(VertexId::new(i), VertexId::new(j), bond)
+            .expect("tree edge");
         valence[i] += 1;
         valence[j] += 1;
     }
@@ -138,10 +151,15 @@ pub fn molecule_like_graph(
     for i in 0..n {
         if valence[i] < capacity[i] && rng.gen_bool(cfg.ring_bond_prob) {
             let candidates: Vec<usize> = (0..n)
-                .filter(|&j| j != i && valence[j] < capacity[j] && !g.has_edge(VertexId::new(i), VertexId::new(j)))
+                .filter(|&j| {
+                    j != i
+                        && valence[j] < capacity[j]
+                        && !g.has_edge(VertexId::new(i), VertexId::new(j))
+                })
                 .collect();
             if let Some(&j) = rng.choose(&candidates) {
-                g.add_edge(VertexId::new(i), VertexId::new(j), bond_labels[0]).expect("checked");
+                g.add_edge(VertexId::new(i), VertexId::new(j), bond_labels[0])
+                    .expect("checked");
                 valence[i] += 1;
                 valence[j] += 1;
             }
@@ -206,7 +224,11 @@ pub fn perturb_typed(
                     // Prefer the higher-degree of two sampled vertices.
                     let v1 = VertexId::new(rng.gen_index(out.order()));
                     let v2 = VertexId::new(rng.gen_index(out.order()));
-                    let v = if out.degree(v1) >= out.degree(v2) { v1 } else { v2 };
+                    let v = if out.degree(v1) >= out.degree(v2) {
+                        v1
+                    } else {
+                        v2
+                    };
                     let l = vocab.intern(&format!("{fresh_label_prefix}{fresh}"));
                     fresh += 1;
                     out.relabel_vertex(v, l).expect("in range");
@@ -253,7 +275,14 @@ pub fn perturb(
     rng: &mut Rng,
     fresh_label_prefix: &str,
 ) -> Graph {
-    perturb_typed(g, PerturbationStyle::Mixed, edits, vocab, rng, fresh_label_prefix)
+    perturb_typed(
+        g,
+        PerturbationStyle::Mixed,
+        edits,
+        vocab,
+        rng,
+        fresh_label_prefix,
+    )
 }
 
 #[cfg(test)]
@@ -266,7 +295,11 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let mut rng = Rng::seed_from_u64(1);
         for n in [1usize, 2, 5, 12] {
-            let cfg = RandomGraphConfig { vertices: n, edges: n + 3, ..Default::default() };
+            let cfg = RandomGraphConfig {
+                vertices: n,
+                edges: n + 3,
+                ..Default::default()
+            };
             let g = random_connected_graph("t", &cfg, &mut vocab, &mut rng);
             assert_eq!(g.order(), n);
             assert!(is_connected(&g), "n={n}");
@@ -293,7 +326,10 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let mut rng = Rng::seed_from_u64(7);
         for atoms in [1usize, 3, 8, 20] {
-            let cfg = MoleculeConfig { atoms, ..Default::default() };
+            let cfg = MoleculeConfig {
+                atoms,
+                ..Default::default()
+            };
             let m = molecule_like_graph("mol", &cfg, &mut vocab, &mut rng);
             assert_eq!(m.order(), atoms);
             assert!(is_connected(&m), "atoms={atoms}");
@@ -304,7 +340,15 @@ mod tests {
     fn molecule_labels_are_chemical() {
         let mut vocab = Vocabulary::new();
         let mut rng = Rng::seed_from_u64(9);
-        let m = molecule_like_graph("mol", &MoleculeConfig { atoms: 15, ..Default::default() }, &mut vocab, &mut rng);
+        let m = molecule_like_graph(
+            "mol",
+            &MoleculeConfig {
+                atoms: 15,
+                ..Default::default()
+            },
+            &mut vocab,
+            &mut rng,
+        );
         for v in m.vertices() {
             let name = vocab.name(m.vertex_label(v)).unwrap();
             assert!(["C", "N", "O", "S"].contains(&name));
@@ -321,7 +365,11 @@ mod tests {
         let mut rng = Rng::seed_from_u64(11);
         let base = random_connected_graph(
             "base",
-            &RandomGraphConfig { vertices: 6, edges: 7, ..Default::default() },
+            &RandomGraphConfig {
+                vertices: 6,
+                edges: 7,
+                ..Default::default()
+            },
             &mut vocab,
             &mut rng,
         );
@@ -342,12 +390,8 @@ mod tests {
     fn perturbation_leaves_original_untouched() {
         let mut vocab = Vocabulary::new();
         let mut rng = Rng::seed_from_u64(13);
-        let base = random_connected_graph(
-            "base",
-            &RandomGraphConfig::default(),
-            &mut vocab,
-            &mut rng,
-        );
+        let base =
+            random_connected_graph("base", &RandomGraphConfig::default(), &mut vocab, &mut rng);
         let before = gss_graph::format::write_database(std::slice::from_ref(&base), &vocab);
         let _ = perturb(&base, 5, &mut vocab, &mut rng, "P");
         let after = gss_graph::format::write_database(&[base], &vocab);

@@ -7,7 +7,10 @@
 
 use gss_graph::{Graph, Rng, Vocabulary};
 
-use crate::synth::{molecule_like_graph, perturb_typed, random_connected_graph, MoleculeConfig, PerturbationStyle, RandomGraphConfig};
+use crate::synth::{
+    molecule_like_graph, perturb_typed, random_connected_graph, MoleculeConfig, PerturbationStyle,
+    RandomGraphConfig,
+};
 
 /// The flavour of graphs a workload contains.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -81,15 +84,18 @@ impl Workload {
                     random_connected_graph(name, &rc, vocab, rng)
                 }
                 WorkloadKind::Molecule => {
-                    let mc = MoleculeConfig { atoms: cfg.graph_vertices.max(1), ..Default::default() };
+                    let mc = MoleculeConfig {
+                        atoms: cfg.graph_vertices.max(1),
+                        ..Default::default()
+                    };
                     molecule_like_graph(name, &mc, vocab, rng)
                 }
             }
         };
 
         let query = make("query", &mut vocab, &mut rng);
-        let related = ((cfg.database_size as f64) * cfg.related_fraction.clamp(0.0, 1.0))
-            .round() as usize;
+        let related =
+            ((cfg.database_size as f64) * cfg.related_fraction.clamp(0.0, 1.0)).round() as usize;
         let related = related.min(cfg.database_size);
 
         let mut graphs = Vec::with_capacity(cfg.database_size);
@@ -114,7 +120,14 @@ impl Workload {
                     _ => (PerturbationStyle::Mixed, 3 + round % 2),
                 };
                 let edits = edits.min(cfg.max_edits.max(1));
-                let mut p = perturb_typed(&query, style, edits, &mut vocab, &mut rng, &format!("W{i}_"));
+                let mut p = perturb_typed(
+                    &query,
+                    style,
+                    edits,
+                    &mut vocab,
+                    &mut rng,
+                    &format!("W{i}_"),
+                );
                 p.set_name(format!("related{i}"));
                 planted.push((i, edits));
                 graphs.push(p);
@@ -122,7 +135,12 @@ impl Workload {
                 graphs.push(make(&format!("decoy{i}"), &mut vocab, &mut rng));
             }
         }
-        Workload { vocab, query, graphs, planted }
+        Workload {
+            vocab,
+            query,
+            graphs,
+            planted,
+        }
     }
 }
 
@@ -132,7 +150,11 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let cfg = WorkloadConfig { database_size: 12, related_fraction: 0.5, ..Default::default() };
+        let cfg = WorkloadConfig {
+            database_size: 12,
+            related_fraction: 0.5,
+            ..Default::default()
+        };
         let w = Workload::generate(&cfg);
         assert_eq!(w.graphs.len(), 12);
         assert_eq!(w.planted.len(), 6);
@@ -141,7 +163,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = WorkloadConfig { seed: 7, ..Default::default() };
+        let cfg = WorkloadConfig {
+            seed: 7,
+            ..Default::default()
+        };
         let a = Workload::generate(&cfg);
         let b = Workload::generate(&cfg);
         assert_eq!(
@@ -169,7 +194,10 @@ mod tests {
         let w = Workload::generate(&cfg);
         for &(idx, edits) in &w.planted {
             let d = gss_ged::ged(&w.query, &w.graphs[idx]);
-            assert!(d <= edits as f64 + 1e-9, "planted graph {idx} drifted: {d} > {edits}");
+            assert!(
+                d <= edits as f64 + 1e-9,
+                "planted graph {idx} drifted: {d} > {edits}"
+            );
         }
     }
 

@@ -25,7 +25,11 @@ fn figure1_example_2_3_4() {
 #[test]
 fn table2_mcs_sizes() {
     let db = figure3_database();
-    let measured: Vec<usize> = db.graphs.iter().map(|g| mcs_edge_size(g, &db.query)).collect();
+    let measured: Vec<usize> = db
+        .graphs
+        .iter()
+        .map(|g| mcs_edge_size(g, &db.query))
+        .collect();
     assert_eq!(measured, expected::TABLE2_MCS.to_vec());
 }
 

@@ -108,10 +108,16 @@ mod tests {
 
     #[test]
     fn edge_cases() {
-        assert_eq!(Combinations::new(0, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(
+            Combinations::new(0, 0).collect::<Vec<_>>(),
+            vec![Vec::<usize>::new()]
+        );
         assert_eq!(Combinations::new(3, 0).count(), 1);
         assert_eq!(Combinations::new(3, 4).count(), 0);
-        assert_eq!(Combinations::new(5, 5).collect::<Vec<_>>(), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(
+            Combinations::new(5, 5).collect::<Vec<_>>(),
+            vec![vec![0, 1, 2, 3, 4]]
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn refine_greedy(matrices: &[Vec<Vec<f64>>], k: usize) -> Vec<usize> {
                 .iter()
                 .map(|&s| scalar(cand, s))
                 .fold(f64::INFINITY, f64::min);
-            if pick.map_or(true, |(_, d)| dmin > d) {
+            if pick.is_none_or(|(_, d)| dmin > d) {
                 pick = Some((cand, dmin));
             }
         }

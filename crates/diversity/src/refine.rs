@@ -81,13 +81,19 @@ impl std::fmt::Display for DiversityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DiversityError::SubsetTooSmall { k } => {
-                write!(f, "subset size k={k} too small; pairwise diversity needs k >= 2")
+                write!(
+                    f,
+                    "subset size k={k} too small; pairwise diversity needs k >= 2"
+                )
             }
             DiversityError::NotEnoughItems { k, n } => {
                 write!(f, "cannot pick k={k} items out of {n}")
             }
             DiversityError::TooManyCandidates { candidates, cap } => {
-                write!(f, "C(n,k) = {candidates} exceeds the exact-enumeration cap {cap}")
+                write!(
+                    f,
+                    "C(n,k) = {candidates} exceeds the exact-enumeration cap {cap}"
+                )
             }
             DiversityError::MalformedMatrix { dimension } => {
                 write!(f, "distance matrix for dimension {dimension} is not n×n")
@@ -122,7 +128,10 @@ pub fn refine_exact(
     }
     let count = binomial(n, k);
     if count > max_candidates {
-        return Err(DiversityError::TooManyCandidates { candidates: count, cap: max_candidates });
+        return Err(DiversityError::TooManyCandidates {
+            candidates: count,
+            cap: max_candidates,
+        });
     }
 
     // Step 0: diversity vectors for every candidate.
@@ -140,7 +149,12 @@ pub fn refine_exact(
                     v
                 })
                 .collect();
-            SubsetEvaluation { members, diversity, ranks: Vec::new(), val: 0 }
+            SubsetEvaluation {
+                members,
+                diversity,
+                ranks: Vec::new(),
+                val: 0,
+            }
         })
         .collect();
 
@@ -156,7 +170,11 @@ pub fn refine_exact(
         c.val = c.ranks.iter().sum();
     }
 
-    let min_val = candidates.iter().map(|c| c.val).min().expect("k>=2 and k<=n imply candidates");
+    let min_val = candidates
+        .iter()
+        .map(|c| c.val)
+        .min()
+        .expect("k>=2 and k<=n imply candidates");
     let tied: Vec<usize> = candidates
         .iter()
         .enumerate()
@@ -164,7 +182,11 @@ pub fn refine_exact(
         .map(|(i, _)| i)
         .collect();
     let best = tied[0];
-    Ok(DiversityResult { candidates, best, tied })
+    Ok(DiversityResult {
+        candidates,
+        best,
+        tied,
+    })
 }
 
 #[cfg(test)]
@@ -216,7 +238,10 @@ mod tests {
     #[test]
     fn error_cases() {
         let m = toy();
-        assert_eq!(refine_exact(&m, 1, u128::MAX).unwrap_err(), DiversityError::SubsetTooSmall { k: 1 });
+        assert_eq!(
+            refine_exact(&m, 1, u128::MAX).unwrap_err(),
+            DiversityError::SubsetTooSmall { k: 1 }
+        );
         assert_eq!(
             refine_exact(&m, 9, u128::MAX).unwrap_err(),
             DiversityError::NotEnoughItems { k: 9, n: 4 }

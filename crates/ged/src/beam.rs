@@ -66,12 +66,17 @@ pub fn beam_ged(g1: &Graph, g2: &Graph, cost: &CostModel, width: usize) -> GedRe
     for st in beam {
         let mapping = VertexMapping { map: st.map };
         let total = mapping_cost(g1, g2, &mapping, cost);
-        if best.as_ref().map_or(true, |(c, _)| total < *c) {
+        if best.as_ref().is_none_or(|(c, _)| total < *c) {
             best = Some((total, mapping));
         }
     }
     let (c, mapping) = best.expect("beam is never empty");
-    GedResult { cost: c, mapping, exact: false, expanded: 0 }
+    GedResult {
+        cost: c,
+        mapping,
+        exact: false,
+        expanded: 0,
+    }
 }
 
 /// Incremental cost of deciding `u` given that exactly the vertices in
@@ -110,10 +115,7 @@ fn decide_cost(
             }
             // g2 edges from v to already-used images lacking a g1 counterpart.
             for (x, _) in g2.neighbors(v) {
-                let preimage = decided
-                    .iter()
-                    .find(|w| map[w.index()] == Some(x))
-                    .copied();
+                let preimage = decided.iter().find(|w| map[w.index()] == Some(x)).copied();
                 if let Some(w) = preimage {
                     if g1.edge_between(u, w).is_none() {
                         c += cm.edge_ins;
@@ -181,9 +183,18 @@ mod tests {
             let exact = exact_ged(&g1, &g2, &GedOptions::default()).cost;
             let narrow = beam_ged(&g1, &g2, &CostModel::uniform(), 1).cost;
             let wide = beam_ged(&g1, &g2, &CostModel::uniform(), 64).cost;
-            assert!(narrow >= exact - 1e-9, "case {case}: beam(1) {narrow} < exact {exact}");
-            assert!(wide >= exact - 1e-9, "case {case}: beam(64) {wide} < exact {exact}");
-            assert!(wide <= narrow + 1e-9, "case {case}: wider beam must not be worse");
+            assert!(
+                narrow >= exact - 1e-9,
+                "case {case}: beam(1) {narrow} < exact {exact}"
+            );
+            assert!(
+                wide >= exact - 1e-9,
+                "case {case}: beam(64) {wide} < exact {exact}"
+            );
+            assert!(
+                wide <= narrow + 1e-9,
+                "case {case}: wider beam must not be worse"
+            );
         }
     }
 

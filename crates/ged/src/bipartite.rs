@@ -141,7 +141,8 @@ mod tests {
                 let u = VertexId::new(rng.gen_index(n));
                 let w = VertexId::new(rng.gen_index(n));
                 if u != w && !g.has_edge(u, w) {
-                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32)).unwrap();
+                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32))
+                        .unwrap();
                     added += 1;
                 }
             }
@@ -180,7 +181,10 @@ mod tests {
         let warm = exact_ged(
             &g1,
             &g2,
-            &GedOptions { warm_start: Some(ub.mapping.clone()), ..Default::default() },
+            &GedOptions {
+                warm_start: Some(ub.mapping.clone()),
+                ..Default::default()
+            },
         );
         let plain = exact_ged(&g1, &g2, &GedOptions::default());
         assert_eq!(warm.cost, plain.cost);

@@ -73,7 +73,9 @@ impl CostModel {
         ];
         for (name, c) in all {
             if !c.is_finite() || c < 0.0 {
-                return Err(format!("cost {name} must be finite and non-negative, got {c}"));
+                return Err(format!(
+                    "cost {name} must be finite and non-negative, got {c}"
+                ));
             }
         }
         Ok(())

@@ -291,7 +291,10 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
     let trivial = VertexMapping::all_deleted(g1.order());
     let (seed_map, seed_cost) = match &options.warm_start {
         Some(m) => (m.clone(), mapping_cost(g1, g2, m, &options.cost)),
-        None => (trivial.clone(), mapping_cost(g1, g2, &trivial, &options.cost)),
+        None => (
+            trivial.clone(),
+            mapping_cost(g1, g2, &trivial, &options.cost),
+        ),
     };
 
     let mut solver = Solver {
@@ -319,12 +322,22 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
         map: solver
             .best_map
             .iter()
-            .map(|&x| if x == DELETED || x == UNDECIDED { None } else { Some(VertexId(x)) })
+            .map(|&x| {
+                if x == DELETED || x == UNDECIDED {
+                    None
+                } else {
+                    Some(VertexId(x))
+                }
+            })
             .collect(),
     };
     // Recompute from the mapping for bullet-proof consistency.
     let cost = mapping_cost(g1, g2, &mapping, &options.cost);
-    debug_assert!((cost - solver.best_cost).abs() < 1e-9, "incremental cost drifted: {cost} vs {}", solver.best_cost);
+    debug_assert!(
+        (cost - solver.best_cost).abs() < 1e-9,
+        "incremental cost drifted: {cost} vs {}",
+        solver.best_cost
+    );
     GedResult {
         cost,
         mapping,
@@ -343,7 +356,12 @@ mod tests {
     use super::*;
     use gss_graph::{Graph, GraphBuilder, Label, Rng, Vocabulary};
 
-    fn build(v: &mut Vocabulary, name: &str, verts: &[(&str, &str)], edges: &[(&str, &str, &str)]) -> Graph {
+    fn build(
+        v: &mut Vocabulary,
+        name: &str,
+        verts: &[(&str, &str)],
+        edges: &[(&str, &str, &str)],
+    ) -> Graph {
         let mut b = GraphBuilder::new(name, v);
         for (n, l) in verts {
             b = b.vertex(n, l);
@@ -382,7 +400,12 @@ mod tests {
     #[test]
     fn edge_insertion_only() {
         let mut v = Vocabulary::new();
-        let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B"), ("c", "C")], &[("a", "b", "-")]);
+        let g1 = build(
+            &mut v,
+            "g1",
+            &[("a", "A"), ("b", "B"), ("c", "C")],
+            &[("a", "b", "-")],
+        );
         let g2 = build(
             &mut v,
             "g2",
@@ -446,7 +469,12 @@ mod tests {
     fn warm_start_does_not_change_answer() {
         let mut v = Vocabulary::new();
         let g1 = build(&mut v, "g1", &[("a", "A"), ("b", "B")], &[("a", "b", "-")]);
-        let g2 = build(&mut v, "g2", &[("b", "B"), ("x", "X"), ("a", "A")], &[("a", "b", "=")]);
+        let g2 = build(
+            &mut v,
+            "g2",
+            &[("b", "B"), ("x", "X"), ("a", "A")],
+            &[("a", "b", "=")],
+        );
         let plain = exact_ged(&g1, &g2, &GedOptions::default());
         let warm = exact_ged(
             &g1,
@@ -458,30 +486,39 @@ mod tests {
         );
         assert_eq!(plain.cost, warm.cost);
         assert!(warm.exact);
-        assert!(warm.expanded <= plain.expanded, "warm start should not expand more nodes");
+        assert!(
+            warm.expanded <= plain.expanded,
+            "warm start should not expand more nodes"
+        );
     }
 
     #[test]
     fn node_limit_degrades_gracefully() {
         let mut v = Vocabulary::new();
         // Larger same-label graphs so the search tree is non-trivial.
-        let mut b1 = GraphBuilder::new("g1", &mut v).vertices(
-            &["a", "b", "c", "d", "e", "f"],
-            "C",
-        );
+        let mut b1 = GraphBuilder::new("g1", &mut v).vertices(&["a", "b", "c", "d", "e", "f"], "C");
         b1 = b1.cycle(&["a", "b", "c", "d", "e", "f"], "-");
         let g1 = b1.build().unwrap();
-        let mut b2 = GraphBuilder::new("g2", &mut v).vertices(
-            &["a", "b", "c", "d", "e", "f"],
-            "C",
-        );
-        b2 = b2.path(&["a", "b", "c", "d", "e", "f"], "-").edge("a", "c", "-");
+        let mut b2 = GraphBuilder::new("g2", &mut v).vertices(&["a", "b", "c", "d", "e", "f"], "C");
+        b2 = b2
+            .path(&["a", "b", "c", "d", "e", "f"], "-")
+            .edge("a", "c", "-");
         let g2 = b2.build().unwrap();
-        let limited = exact_ged(&g1, &g2, &GedOptions { node_limit: Some(3), ..Default::default() });
+        let limited = exact_ged(
+            &g1,
+            &g2,
+            &GedOptions {
+                node_limit: Some(3),
+                ..Default::default()
+            },
+        );
         assert!(!limited.exact);
         let full = exact_ged(&g1, &g2, &GedOptions::default());
         assert!(full.exact);
-        assert!(limited.cost >= full.cost, "anytime bound must upper-bound the optimum");
+        assert!(
+            limited.cost >= full.cost,
+            "anytime bound must upper-bound the optimum"
+        );
     }
 
     #[test]
@@ -498,7 +535,8 @@ mod tests {
                 let u = gss_graph::VertexId::new(rng.gen_index(n));
                 let w = gss_graph::VertexId::new(rng.gen_index(n));
                 if u != w && !g.has_edge(u, w) {
-                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32)).unwrap();
+                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32))
+                        .unwrap();
                     added += 1;
                 }
             }

@@ -135,10 +135,7 @@ mod tests {
 
     #[test]
     fn respects_forbidden_entries() {
-        let m = vec![
-            vec![FORBIDDEN, 1.0],
-            vec![1.0, FORBIDDEN],
-        ];
+        let m = vec![vec![FORBIDDEN, 1.0], vec![1.0, FORBIDDEN]];
         let (a, total) = solve(&m);
         assert_eq!(a, vec![1, 0]);
         assert_eq!(total, 2.0);
@@ -176,7 +173,10 @@ mod tests {
                 .collect();
             let (_, total) = solve(&m);
             let best = brute_force(&m);
-            assert!((total - best).abs() < 1e-9, "hungarian {total} vs brute {best} on {m:?}");
+            assert!(
+                (total - best).abs() < 1e-9,
+                "hungarian {total} vs brute {best} on {m:?}"
+            );
         }
     }
 }

@@ -58,7 +58,11 @@ pub fn ged(g1: &Graph, g2: &Graph) -> f64 {
     exact_ged(
         g1,
         g2,
-        &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None },
+        &GedOptions {
+            cost,
+            warm_start: Some(warm.mapping),
+            node_limit: None,
+        },
     )
     .cost
 }
@@ -67,6 +71,32 @@ pub fn ged(g1: &Graph, g2: &Graph) -> f64 {
 /// (`O(|V| + |E|)`). `lower_bound(g1, g2) ≤ ged(g1, g2)` always.
 pub fn lower_bound(g1: &Graph, g2: &Graph) -> f64 {
     (vertex_alignment_lower_bound(g1, g2) + edge_alignment_lower_bound(g1, g2)) as f64
+}
+
+/// Admissible lower bound on uniform-cost GED from degree sequences alone.
+///
+/// Every edge insertion/deletion changes exactly two vertex degrees by one,
+/// so it moves the L1 distance between the (zero-padded, sorted) degree
+/// sequences by at most 2; vertex operations move it by 0 (a vertex is
+/// isolated when inserted/deleted, contributing a zero that padding already
+/// accounts for, and relabeling leaves degrees untouched). Hence
+/// `⌈L1 / 2⌉ ≤ ged(g1, g2)`.
+///
+/// Orthogonal to [`lower_bound`]: degree sequences see structure that label
+/// multisets cannot (e.g. a path vs. a star over identical labels).
+pub fn degree_lower_bound(g1: &Graph, g2: &Graph) -> f64 {
+    (gss_graph::stats::degree_sequence_l1(g1, g2).div_ceil(2)) as f64
+}
+
+/// The strongest cheap admissible GED lower bound in the crate: the maximum
+/// of the label-alignment bound ([`lower_bound`]) and the degree-sequence
+/// bound ([`degree_lower_bound`]). Still `O(|V| log |V| + |E|)`.
+///
+/// The two component bounds count different edit obligations, but taking
+/// their sum would double-charge a single edge operation, so only the
+/// maximum is admissible.
+pub fn combined_lower_bound(g1: &Graph, g2: &Graph) -> f64 {
+    lower_bound(g1, g2).max(degree_lower_bound(g1, g2))
 }
 
 #[cfg(test)]
@@ -105,7 +135,8 @@ mod tests {
                 let u = VertexId::new(rng.gen_index(n));
                 let w = VertexId::new(rng.gen_index(n));
                 if u != w && !g.has_edge(u, w) {
-                    g.add_edge(u, w, Label(5 + rng.gen_index(2) as u32)).unwrap();
+                    g.add_edge(u, w, Label(5 + rng.gen_index(2) as u32))
+                        .unwrap();
                     added += 1;
                 }
             }
@@ -117,8 +148,35 @@ mod tests {
             let (n2, m2) = (1 + rng.gen_index(4), rng.gen_index(5));
             let g1 = random_graph(&mut rng, n1, m1);
             let g2 = random_graph(&mut rng, n2, m2);
-            assert!(lower_bound(&g1, &g2) <= ged(&g1, &g2) + 1e-9);
+            let exact = ged(&g1, &g2);
+            assert!(lower_bound(&g1, &g2) <= exact + 1e-9);
+            assert!(degree_lower_bound(&g1, &g2) <= exact + 1e-9);
+            assert!(combined_lower_bound(&g1, &g2) <= exact + 1e-9);
+            assert!(combined_lower_bound(&g1, &g2) >= lower_bound(&g1, &g2));
         }
+    }
+
+    #[test]
+    fn degree_bound_sees_structure_labels_cannot() {
+        // Path vs star over identical label multisets: the label-alignment
+        // bound is blind (0), the degree bound is not.
+        let mut v = Vocabulary::new();
+        let path = GraphBuilder::new("p", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .path(&["a", "b", "c", "d"], "-")
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("s", &mut v)
+            .vertices(&["a", "b", "c", "d"], "C")
+            .edge("a", "b", "-")
+            .edge("a", "c", "-")
+            .edge("a", "d", "-")
+            .build()
+            .unwrap();
+        assert_eq!(lower_bound(&path, &star), 0.0);
+        // Degree sequences [1,1,2,2] vs [1,1,1,3]: L1 = 2 → bound 1.
+        assert_eq!(degree_lower_bound(&path, &star), 1.0);
+        assert!(combined_lower_bound(&path, &star) <= ged(&path, &star) + 1e-9);
     }
 
     #[test]
@@ -153,7 +211,10 @@ mod tests {
             let ab = ged(&a, &b);
             let bc = ged(&b, &c);
             let ac = ged(&a, &c);
-            assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-9,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
         }
     }
 }

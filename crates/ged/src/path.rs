@@ -27,7 +27,9 @@ impl VertexMapping {
     /// The identity-shaped empty mapping for a graph with `n1` vertices
     /// (everything deleted).
     pub fn all_deleted(n1: usize) -> Self {
-        VertexMapping { map: vec![None; n1] }
+        VertexMapping {
+            map: vec![None; n1],
+        }
     }
 
     /// Inverse map: for each `g2` vertex, its `g1` preimage.
@@ -142,7 +144,11 @@ pub fn mapping_cost(g1: &Graph, g2: &Graph, mapping: &VertexMapping, cost: &Cost
 
 /// Materializes the canonical edit path induced by a mapping.
 pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) -> Vec<EditOp> {
-    assert_eq!(mapping.map.len(), g1.order(), "mapping must cover all g1 vertices");
+    assert_eq!(
+        mapping.map.len(),
+        g1.order(),
+        "mapping must cover all g1 vertices"
+    );
     let inv = mapping.inverse(g2.order());
     let mut ops = Vec::new();
 
@@ -152,7 +158,11 @@ pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) ->
             Some(v) => {
                 let (lu, lv) = (g1.vertex_label(u), g2.vertex_label(v));
                 if lu != lv {
-                    ops.push(EditOp::RelabelVertex { vertex: u, from: lu, to: lv });
+                    ops.push(EditOp::RelabelVertex {
+                        vertex: u,
+                        from: lu,
+                        to: lv,
+                    });
                 }
             }
             None => ops.push(EditOp::DeleteVertex { vertex: u }),
@@ -160,7 +170,10 @@ pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) ->
     }
     for v in g2.vertices() {
         if inv[v.index()].is_none() {
-            ops.push(EditOp::InsertVertex { vertex: v, label: g2.vertex_label(v) });
+            ops.push(EditOp::InsertVertex {
+                vertex: v,
+                label: g2.vertex_label(v),
+            });
         }
     }
 
@@ -172,12 +185,23 @@ pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) ->
                 Some(e2) => {
                     let l2 = g2.edge_label(e2);
                     if l2 != edge.label {
-                        ops.push(EditOp::RelabelEdge { u: edge.u, v: edge.v, from: edge.label, to: l2 });
+                        ops.push(EditOp::RelabelEdge {
+                            u: edge.u,
+                            v: edge.v,
+                            from: edge.label,
+                            to: l2,
+                        });
                     }
                 }
-                None => ops.push(EditOp::DeleteEdge { u: edge.u, v: edge.v }),
+                None => ops.push(EditOp::DeleteEdge {
+                    u: edge.u,
+                    v: edge.v,
+                }),
             },
-            _ => ops.push(EditOp::DeleteEdge { u: edge.u, v: edge.v }),
+            _ => ops.push(EditOp::DeleteEdge {
+                u: edge.u,
+                v: edge.v,
+            }),
         }
     }
 
@@ -190,7 +214,11 @@ pub fn edit_path_for_mapping(g1: &Graph, g2: &Graph, mapping: &VertexMapping) ->
             _ => false,
         };
         if !covered {
-            ops.push(EditOp::InsertEdge { u: edge.u, v: edge.v, label: edge.label });
+            ops.push(EditOp::InsertEdge {
+                u: edge.u,
+                v: edge.v,
+                label: edge.label,
+            });
         }
     }
     ops
@@ -236,7 +264,11 @@ mod tests {
         let (g1, g2) = pair();
         // a→a, b→b, c→x : vertex relabel C→X plus edge relabel on b-c.
         let mapping = VertexMapping {
-            map: vec![Some(VertexId::new(0)), Some(VertexId::new(1)), Some(VertexId::new(2))],
+            map: vec![
+                Some(VertexId::new(0)),
+                Some(VertexId::new(1)),
+                Some(VertexId::new(2)),
+            ],
         };
         let ops = edit_path_for_mapping(&g1, &g2, &mapping);
         let kinds: Vec<_> = ops.iter().map(|o| o.kind()).collect();
@@ -251,7 +283,10 @@ mod tests {
         let (g1, g2) = pair();
         let mapping = VertexMapping::all_deleted(g1.order());
         // Delete 3 vertices + 2 edges, insert 3 vertices + 2 edges.
-        assert_eq!(mapping_cost(&g1, &g2, &mapping, &CostModel::uniform()), 10.0);
+        assert_eq!(
+            mapping_cost(&g1, &g2, &mapping, &CostModel::uniform()),
+            10.0
+        );
     }
 
     #[test]

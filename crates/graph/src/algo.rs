@@ -200,7 +200,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let empty = GraphBuilder::new("e", &mut v).build().unwrap();
         assert!(is_connected(&empty));
-        let single = GraphBuilder::new("s", &mut v).vertex("a", "A").build().unwrap();
+        let single = GraphBuilder::new("s", &mut v)
+            .vertex("a", "A")
+            .build()
+            .unwrap();
         assert!(is_connected(&single));
         let pair = GraphBuilder::new("p", &mut v)
             .vertices(&["a", "b"], "A")
@@ -266,7 +269,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let empty = GraphBuilder::new("e", &mut v).build().unwrap();
         assert_eq!(diameter(&empty), None);
-        let single = GraphBuilder::new("s", &mut v).vertex("a", "A").build().unwrap();
+        let single = GraphBuilder::new("s", &mut v)
+            .vertex("a", "A")
+            .build()
+            .unwrap();
         assert_eq!(diameter(&single), Some(0));
         let cycle = GraphBuilder::new("c", &mut v)
             .vertices(&["a", "b", "c", "d", "e", "f"], "C")

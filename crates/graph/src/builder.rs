@@ -50,7 +50,9 @@ impl<'v> GraphBuilder<'v> {
             return self;
         }
         if self.names.contains_key(name) {
-            self.first_error = Some(GraphError::DuplicateVertexName { name: name.to_owned() });
+            self.first_error = Some(GraphError::DuplicateVertexName {
+                name: name.to_owned(),
+            });
             return self;
         }
         let l = self.vocab.intern(label);

@@ -57,16 +57,28 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidVertex { index, order } => {
-                write!(f, "vertex index {index} out of range (graph has {order} vertices)")
+                write!(
+                    f,
+                    "vertex index {index} out of range (graph has {order} vertices)"
+                )
             }
             GraphError::InvalidEdge { index, size } => {
-                write!(f, "edge index {index} out of range (graph has {size} edges)")
+                write!(
+                    f,
+                    "edge index {index} out of range (graph has {size} edges)"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop on vertex {vertex} is not allowed (simple graphs only)")
+                write!(
+                    f,
+                    "self-loop on vertex {vertex} is not allowed (simple graphs only)"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
-                write!(f, "duplicate edge between vertices {u} and {v} (simple graphs only)")
+                write!(
+                    f,
+                    "duplicate edge between vertices {u} and {v} (simple graphs only)"
+                )
             }
             GraphError::DuplicateVertexName { name } => {
                 write!(f, "vertex name {name:?} declared twice in builder")
@@ -93,7 +105,10 @@ mod tests {
         assert!(e.to_string().contains("self-loop"));
         assert!(e.to_string().contains('3'));
 
-        let e = GraphError::Parse { line: 7, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("line 7") && s.contains("bad token"));
     }

@@ -59,7 +59,10 @@ pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>,
                 if idx != g.order() {
                     return Err(GraphError::Parse {
                         line,
-                        message: format!("vertex index {idx} out of order (expected {})", g.order()),
+                        message: format!(
+                            "vertex index {idx} out of order (expected {})",
+                            g.order()
+                        ),
                     });
                 }
                 let l = vocab.intern(label);
@@ -78,7 +81,10 @@ pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>,
                 })?;
                 let l = vocab.intern(label);
                 g.add_edge(VertexId::new(u), VertexId::new(v), l)
-                    .map_err(|e| GraphError::Parse { line, message: e.to_string() })?;
+                    .map_err(|e| GraphError::Parse {
+                        line,
+                        message: e.to_string(),
+                    })?;
             }
             other => {
                 return Err(GraphError::Parse {
@@ -95,7 +101,10 @@ pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>,
 }
 
 fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<usize, GraphError> {
-    let t = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    let t = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
     t.parse().map_err(|_| GraphError::Parse {
         line,
         message: format!("invalid {what} {t:?}"),
@@ -111,7 +120,12 @@ pub fn write_database(graphs: &[Graph], vocab: &Vocabulary) -> String {
     for g in graphs {
         let _ = writeln!(out, "t {}", g.name());
         for v in g.vertices() {
-            let _ = writeln!(out, "v {} {}", v.index(), vocab.name_or_id(g.vertex_label(v)));
+            let _ = writeln!(
+                out,
+                "v {} {}",
+                v.index(),
+                vocab.name_or_id(g.vertex_label(v))
+            );
         }
         for e in g.edges() {
             let edge = g.edge(e);
@@ -264,6 +278,8 @@ e 1 2 =
     fn empty_input_is_empty_database() {
         let mut vocab = Vocabulary::new();
         assert!(parse_database("", &mut vocab).unwrap().is_empty());
-        assert!(parse_database("# only comments\n\n", &mut vocab).unwrap().is_empty());
+        assert!(parse_database("# only comments\n\n", &mut vocab)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -111,7 +111,12 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with a display `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), vertices: Vec::new(), edges: Vec::new(), adj: Vec::new() }
+        Graph {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            adj: Vec::new(),
+        }
     }
 
     /// Creates an empty graph pre-allocating room for `order` vertices and
@@ -163,19 +168,33 @@ impl Graph {
     /// Adds an undirected edge `{u, v}` with `label`.
     ///
     /// Rejects out-of-range endpoints, self-loops and duplicate edges.
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, label: Label) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+    ) -> Result<EdgeId, GraphError> {
         let order = self.order();
         if u.index() >= order {
-            return Err(GraphError::InvalidVertex { index: u.index(), order });
+            return Err(GraphError::InvalidVertex {
+                index: u.index(),
+                order,
+            });
         }
         if v.index() >= order {
-            return Err(GraphError::InvalidVertex { index: v.index(), order });
+            return Err(GraphError::InvalidVertex {
+                index: v.index(),
+                order,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u.index() });
         }
         if self.edge_between(u, v).is_some() {
-            return Err(GraphError::DuplicateEdge { u: u.index(), v: v.index() });
+            return Err(GraphError::DuplicateEdge {
+                u: u.index(),
+                v: v.index(),
+            });
         }
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge { u, v, label });
@@ -217,7 +236,10 @@ impl Graph {
         self.vertices
             .get_mut(v.index())
             .map(|vert| vert.label = label)
-            .ok_or(GraphError::InvalidVertex { index: v.index(), order })
+            .ok_or(GraphError::InvalidVertex {
+                index: v.index(),
+                order,
+            })
     }
 
     /// Relabels edge `e` in place (used by perturbation workloads).
@@ -226,7 +248,10 @@ impl Graph {
         self.edges
             .get_mut(e.index())
             .map(|edge| edge.label = label)
-            .ok_or(GraphError::InvalidEdge { index: e.index(), size })
+            .ok_or(GraphError::InvalidEdge {
+                index: e.index(),
+                size,
+            })
     }
 
     /// Iterates over all vertex ids in order.
@@ -256,7 +281,11 @@ impl Graph {
             return None;
         }
         // Scan the smaller adjacency list.
-        let (base, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (base, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[base.index()]
             .iter()
             .find(|(n, _)| *n == target)
@@ -280,7 +309,8 @@ impl Graph {
         }
         for (i, e) in self.edges.iter().enumerate() {
             if !remove.contains(&EdgeId::new(i)) {
-                g.add_edge(e.u, e.v, e.label).expect("rebuild of a valid graph cannot fail");
+                g.add_edge(e.u, e.v, e.label)
+                    .expect("rebuild of a valid graph cannot fail");
             }
         }
         g
@@ -295,7 +325,8 @@ impl Graph {
         }
         for e in keep {
             let e = self.edge(*e);
-            g.add_edge(e.u, e.v, e.label).expect("edge subset of a valid graph cannot clash");
+            g.add_edge(e.u, e.v, e.label)
+                .expect("edge subset of a valid graph cannot clash");
         }
         g
     }
@@ -310,21 +341,24 @@ impl Graph {
     /// vertex set and ids.
     pub fn edge_induced_subgraph(&self, keep: &[EdgeId]) -> Graph {
         let mut remap: Vec<Option<VertexId>> = vec![None; self.order()];
-        let mut g = Graph::with_capacity(format!("{}[edges]", self.name), keep.len() + 1, keep.len());
-        let map_vertex = |remap: &mut Vec<Option<VertexId>>, g: &mut Graph, v: VertexId, label: Label| {
-            if let Some(id) = remap[v.index()] {
-                id
-            } else {
-                let id = g.add_vertex(label);
-                remap[v.index()] = Some(id);
-                id
-            }
-        };
+        let mut g =
+            Graph::with_capacity(format!("{}[edges]", self.name), keep.len() + 1, keep.len());
+        let map_vertex =
+            |remap: &mut Vec<Option<VertexId>>, g: &mut Graph, v: VertexId, label: Label| {
+                if let Some(id) = remap[v.index()] {
+                    id
+                } else {
+                    let id = g.add_vertex(label);
+                    remap[v.index()] = Some(id);
+                    id
+                }
+            };
         for &eid in keep {
             let e = *self.edge(eid);
             let u = map_vertex(&mut remap, &mut g, e.u, self.vertex_label(e.u));
             let v = map_vertex(&mut remap, &mut g, e.v, self.vertex_label(e.v));
-            g.add_edge(u, v, e.label).expect("edge subset of a valid graph cannot clash");
+            g.add_edge(u, v, e.label)
+                .expect("edge subset of a valid graph cannot clash");
         }
         g
     }
@@ -372,9 +406,15 @@ mod tests {
         let mut g = Graph::new("g");
         let v0 = g.add_vertex(a);
         let v1 = g.add_vertex(a);
-        assert_eq!(g.add_edge(v0, v0, bond), Err(GraphError::SelfLoop { vertex: 0 }));
+        assert_eq!(
+            g.add_edge(v0, v0, bond),
+            Err(GraphError::SelfLoop { vertex: 0 })
+        );
         g.add_edge(v0, v1, bond).unwrap();
-        assert_eq!(g.add_edge(v1, v0, bond), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(
+            g.add_edge(v1, v0, bond),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
         assert_eq!(
             g.add_edge(v0, VertexId::new(9), bond),
             Err(GraphError::InvalidVertex { index: 9, order: 2 })
@@ -458,7 +498,9 @@ mod tests {
     fn edge_induced_subgraph_drops_isolated_vertices() {
         let (_v, a, b, bond) = labels();
         let mut g = Graph::new("g");
-        let vs: Vec<_> = (0..4).map(|i| g.add_vertex(if i == 0 { a } else { b })).collect();
+        let vs: Vec<_> = (0..4)
+            .map(|i| g.add_vertex(if i == 0 { a } else { b }))
+            .collect();
         let e0 = g.add_edge(vs[0], vs[1], bond).unwrap();
         let _e1 = g.add_edge(vs[1], vs[2], bond).unwrap();
         let _e2 = g.add_edge(vs[2], vs[3], bond).unwrap();

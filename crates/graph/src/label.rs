@@ -152,7 +152,10 @@ mod tests {
         let via_entries: Vec<_> = v.entries().map(|(l, _)| l).collect();
         let via_labels: Vec<_> = v.labels().collect();
         assert_eq!(via_entries, via_labels);
-        assert_eq!(v.entries().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(), vec!["x", "y"]);
+        assert_eq!(
+            v.entries().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
     }
 
     #[test]

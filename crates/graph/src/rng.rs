@@ -205,7 +205,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 50-element shuffle staying sorted is astronomically unlikely");
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle staying sorted is astronomically unlikely"
+        );
     }
 
     #[test]

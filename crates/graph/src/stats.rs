@@ -22,7 +22,9 @@ pub struct Multiset<K: Ord> {
 impl<K: Ord + Copy> Multiset<K> {
     /// Creates an empty multiset.
     pub fn new() -> Self {
-        Multiset { counts: BTreeMap::new() }
+        Multiset {
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Adds one occurrence of `key`.
@@ -153,6 +155,39 @@ pub fn mcs_upper_bound(g1: &Graph, g2: &Graph) -> u32 {
     edge_class_multiset(g1).intersection_size(&edge_class_multiset(g2))
 }
 
+/// The sorted (ascending) degree sequence of `g`.
+///
+/// A cheap `O(|V| log |V|)` isomorphism invariant; the similarity prefilter
+/// turns the L1 distance between two degree sequences into a GED lower
+/// bound (`gss-ged::degree_lower_bound`).
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    let mut d: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    d.sort_unstable();
+    d
+}
+
+/// L1 distance between the sorted degree sequences of `g1` and `g2`, with
+/// the shorter sequence zero-padded (a missing vertex contributes degree 0).
+///
+/// Sorting minimizes the element-wise matching cost between the two degree
+/// multisets, so this is the tightest position-wise comparison.
+pub fn degree_sequence_l1(g1: &Graph, g2: &Graph) -> usize {
+    let (a, b) = (degree_sequence(g1), degree_sequence(g2));
+    let (longer, shorter) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    let pad = longer.len() - shorter.len();
+    // Align the shorter sequence against the top of the longer one: padding
+    // zeros occupy the smallest positions of the sorted order.
+    let mut l1 = longer[..pad].iter().sum::<usize>();
+    for (x, y) in longer[pad..].iter().zip(shorter.iter()) {
+        l1 += x.abs_diff(*y);
+    }
+    l1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,7 +233,10 @@ mod tests {
         assert_eq!(a.symmetric_difference_size(&b), 3); // extra 1, extra 2, extra 3
         assert_eq!(b.symmetric_difference_size(&a), 3);
         // |A| + |B| = 2·|A∩B| + |AΔB|
-        assert_eq!(a.total() + b.total(), 2 * a.intersection_size(&b) + a.symmetric_difference_size(&b));
+        assert_eq!(
+            a.total() + b.total(),
+            2 * a.intersection_size(&b) + a.symmetric_difference_size(&b)
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ fn mix(mut x: u64) -> u64 {
 
 #[inline]
 fn combine(a: u64, b: u64) -> u64 {
-    mix(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x2545_F491_4F6C_DD1D))
+    mix(a ^ b
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x2545_F491_4F6C_DD1D))
 }
 
 /// Runs `rounds` of 1-WL refinement and returns the per-vertex colors.
@@ -78,9 +80,9 @@ pub fn wl_fingerprint(g: &Graph, rounds: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::graph::{Graph, VertexId};
     use crate::label::Vocabulary;
     use crate::rng::Rng;
-    use crate::graph::{Graph, VertexId};
 
     #[test]
     fn invariant_under_vertex_permutation() {
@@ -159,11 +161,25 @@ mod tests {
             .edge("x", "y", "=")
             .build()
             .unwrap();
-        assert_ne!(wl_fingerprint(&single, 1), wl_fingerprint(&double, 1), "edge labels matter");
+        assert_ne!(
+            wl_fingerprint(&single, 1),
+            wl_fingerprint(&double, 1),
+            "edge labels matter"
+        );
 
-        let carbon = GraphBuilder::new("v1", &mut v).vertex("x", "C").build().unwrap();
-        let oxygen = GraphBuilder::new("v2", &mut v).vertex("x", "O").build().unwrap();
-        assert_ne!(wl_fingerprint(&carbon, 0), wl_fingerprint(&oxygen, 0), "vertex labels matter");
+        let carbon = GraphBuilder::new("v1", &mut v)
+            .vertex("x", "C")
+            .build()
+            .unwrap();
+        let oxygen = GraphBuilder::new("v2", &mut v)
+            .vertex("x", "O")
+            .build()
+            .unwrap();
+        assert_ne!(
+            wl_fingerprint(&carbon, 0),
+            wl_fingerprint(&oxygen, 0),
+            "vertex labels matter"
+        );
     }
 
     #[test]

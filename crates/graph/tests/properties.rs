@@ -21,7 +21,8 @@ fn random_graph(seed: u64, n: usize, m: usize) -> Graph {
         let u = VertexId::new(rng.gen_index(n));
         let v = VertexId::new(rng.gen_index(n));
         if u != v && !g.has_edge(u, v) {
-            g.add_edge(u, v, Label(10 + rng.gen_index(2) as u32)).unwrap();
+            g.add_edge(u, v, Label(10 + rng.gen_index(2) as u32))
+                .unwrap();
             added += 1;
         }
     }

@@ -155,8 +155,16 @@ mod tests {
             .cycle(&["x", "y", "z"], "-")
             .build()
             .unwrap();
-        assert!(exists_brute(&edge, &triangle, MatchMode::SubgraphNonInduced));
-        assert!(!exists_brute(&triangle, &edge, MatchMode::SubgraphNonInduced));
+        assert!(exists_brute(
+            &edge,
+            &triangle,
+            MatchMode::SubgraphNonInduced
+        ));
+        assert!(!exists_brute(
+            &triangle,
+            &edge,
+            MatchMode::SubgraphNonInduced
+        ));
         assert!(!exists_brute(&edge, &triangle, MatchMode::Isomorphism));
         assert!(exists_brute(&triangle, &triangle, MatchMode::Isomorphism));
     }

@@ -29,7 +29,8 @@ pub fn quick_reject(pattern: &Graph, target: &Graph, mode: MatchMode) -> bool {
             // than all of the above; two refinement rounds are enough to
             // separate almost all non-isomorphic pairs at this domain's
             // graph sizes.
-            if gss_graph::wl::wl_fingerprint(pattern, 2) != gss_graph::wl::wl_fingerprint(target, 2) {
+            if gss_graph::wl::wl_fingerprint(pattern, 2) != gss_graph::wl::wl_fingerprint(target, 2)
+            {
                 return true;
             }
             false
@@ -97,7 +98,11 @@ mod tests {
             .edge("a", "b", "-")
             .build()
             .unwrap();
-        assert!(quick_reject(&carbon, &nitrogen, MatchMode::SubgraphNonInduced));
+        assert!(quick_reject(
+            &carbon,
+            &nitrogen,
+            MatchMode::SubgraphNonInduced
+        ));
         assert!(quick_reject(&carbon, &nitrogen, MatchMode::Isomorphism));
     }
 

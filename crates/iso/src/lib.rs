@@ -43,6 +43,6 @@ pub mod invariants;
 pub mod vf2;
 
 pub use vf2::{
-    are_isomorphic, count_embeddings, enumerate_embeddings, find_embedding,
-    is_subgraph_isomorphic, Embedding, MatchMode,
+    are_isomorphic, count_embeddings, enumerate_embeddings, find_embedding, is_subgraph_isomorphic,
+    Embedding, MatchMode,
 };

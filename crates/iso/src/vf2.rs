@@ -100,7 +100,10 @@ impl<'a> Matcher<'a> {
         }
         // For induced/iso modes: every mapped target-neighbor of t must map
         // back to a pattern-neighbor of p (edges cannot appear from nowhere).
-        if matches!(self.mode, MatchMode::Isomorphism | MatchMode::SubgraphInduced) {
+        if matches!(
+            self.mode,
+            MatchMode::Isomorphism | MatchMode::SubgraphInduced
+        ) {
             for (tn, te) in self.target.neighbors(t) {
                 let pn = self.core_t[tn.index()];
                 if pn == UNMAPPED {
@@ -132,13 +135,10 @@ impl<'a> Matcher<'a> {
         // Candidate generation: if p has a mapped neighbor, only target
         // vertices adjacent to that neighbor's image can work; otherwise try
         // every unmapped target vertex.
-        let anchor = self
-            .pattern
-            .neighbors(p)
-            .find_map(|(pn, _)| {
-                let t = self.core_p[pn.index()];
-                (t != UNMAPPED).then_some(VertexId(t))
-            });
+        let anchor = self.pattern.neighbors(p).find_map(|(pn, _)| {
+            let t = self.core_p[pn.index()];
+            (t != UNMAPPED).then_some(VertexId(t))
+        });
         match anchor {
             Some(a) => {
                 let candidates: Vec<VertexId> = self
@@ -222,7 +222,9 @@ fn matching_order(pattern: &Graph) -> Vec<VertexId> {
 /// target for the subgraph modes, and only into an empty target for
 /// [`MatchMode::Isomorphism`].
 pub fn find_embedding(pattern: &Graph, target: &Graph, mode: MatchMode) -> Option<Embedding> {
-    enumerate_embeddings(pattern, target, mode, 1).into_iter().next()
+    enumerate_embeddings(pattern, target, mode, 1)
+        .into_iter()
+        .next()
 }
 
 /// Enumerates up to `limit` embeddings of `pattern` into `target`.
@@ -274,7 +276,10 @@ mod tests {
             .build()
             .unwrap();
         // All 6 permutations are label-preserving automorphisms.
-        assert_eq!(count_embeddings(&t, &t, MatchMode::Isomorphism, usize::MAX), 6);
+        assert_eq!(
+            count_embeddings(&t, &t, MatchMode::Isomorphism, usize::MAX),
+            6
+        );
     }
 
     #[test]
@@ -287,7 +292,10 @@ mod tests {
             .cycle(&["a", "b", "c"], "-")
             .build()
             .unwrap();
-        assert_eq!(count_embeddings(&t, &t, MatchMode::Isomorphism, usize::MAX), 1);
+        assert_eq!(
+            count_embeddings(&t, &t, MatchMode::Isomorphism, usize::MAX),
+            1
+        );
     }
 
     #[test]
@@ -332,7 +340,10 @@ mod tests {
     fn empty_pattern_cases() {
         let mut v = vocab();
         let empty = GraphBuilder::new("e", &mut v).build().unwrap();
-        let g = GraphBuilder::new("g", &mut v).vertex("a", "A").build().unwrap();
+        let g = GraphBuilder::new("g", &mut v)
+            .vertex("a", "A")
+            .build()
+            .unwrap();
         assert!(is_subgraph_isomorphic(&empty, &g));
         assert!(are_isomorphic(&empty, &empty));
         assert!(!are_isomorphic(&empty, &g));

@@ -18,7 +18,8 @@ fn random_graph(seed: u64, n: usize, m: usize, vlabels: u32, elabels: u32) -> Gr
         let u = VertexId::new(rng.gen_index(n));
         let v = VertexId::new(rng.gen_index(n));
         if u != v && !g.has_edge(u, v) {
-            g.add_edge(u, v, Label(100 + rng.gen_index(elabels as usize) as u32)).unwrap();
+            g.add_edge(u, v, Label(100 + rng.gen_index(elabels as usize) as u32))
+                .unwrap();
             added += 1;
         }
     }

@@ -128,7 +128,10 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        Mcs { vertex_pairs, edge_pairs }
+        Mcs {
+            vertex_pairs,
+            edge_pairs,
+        }
     }
 
     /// Edges of `g1` that could still become shared: at least one endpoint

@@ -74,7 +74,7 @@ impl<'a> State<'a> {
                         continue;
                     }
                     let gain = self.gain(u, v);
-                    if best.map_or(true, |(_, _, g)| gain > g) {
+                    if best.is_none_or(|(_, _, g)| gain > g) {
                         best = Some((u, v, gain));
                     }
                 }
@@ -103,7 +103,10 @@ impl<'a> State<'a> {
                 }
             }
         }
-        Mcs { vertex_pairs, edge_pairs }
+        Mcs {
+            vertex_pairs,
+            edge_pairs,
+        }
     }
 }
 

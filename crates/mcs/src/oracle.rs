@@ -101,7 +101,8 @@ mod tests {
             if u == v || g.has_edge(u, v) {
                 continue;
             }
-            g.add_edge(u, v, Label(100 + rng.gen_index(elabels as usize) as u32)).unwrap();
+            g.add_edge(u, v, Label(100 + rng.gen_index(elabels as usize) as u32))
+                .unwrap();
             added += 1;
         }
         g
@@ -117,7 +118,13 @@ mod tests {
             let g2 = random_graph(&mut rng, n2, m2, 2, 2);
             let fast = mcs_edge_size(&g1, &g2);
             let slow = mcs_edges_by_definition(&g1, &g2);
-            assert_eq!(fast, slow, "case {case}: |g1|={} |g2|={}", g1.size(), g2.size());
+            assert_eq!(
+                fast,
+                slow,
+                "case {case}: |g1|={} |g2|={}",
+                g1.size(),
+                g2.size()
+            );
         }
     }
 

@@ -143,7 +143,8 @@ pub fn maximum_common_induced_subgraph(g1: &Graph, g2: &Graph) -> InducedMcs {
         }
     }
     let clique = max_clique(&adj);
-    let mut vertex_pairs: Vec<(VertexId, VertexId)> = clique.into_iter().map(|i| pairs[i]).collect();
+    let mut vertex_pairs: Vec<(VertexId, VertexId)> =
+        clique.into_iter().map(|i| pairs[i]).collect();
     vertex_pairs.sort();
     InducedMcs { vertex_pairs }
 }

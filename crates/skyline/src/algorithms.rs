@@ -202,11 +202,21 @@ mod tests {
     #[test]
     fn empty_and_singleton() {
         let empty: Vec<Vec<f64>> = vec![];
-        for algo in [Algorithm::Naive, Algorithm::Bnl, Algorithm::Sfs, Algorithm::DivideConquer2D] {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Bnl,
+            Algorithm::Sfs,
+            Algorithm::DivideConquer2D,
+        ] {
             assert!(skyline(&empty, algo).is_empty());
         }
         let one = vec![vec![3.0, 4.0]];
-        for algo in [Algorithm::Naive, Algorithm::Bnl, Algorithm::Sfs, Algorithm::DivideConquer2D] {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Bnl,
+            Algorithm::Sfs,
+            Algorithm::DivideConquer2D,
+        ] {
             assert_eq!(skyline(&one, algo), vec![0]);
         }
     }
@@ -214,7 +224,12 @@ mod tests {
     #[test]
     fn duplicates_all_survive() {
         let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
-        for algo in [Algorithm::Naive, Algorithm::Bnl, Algorithm::Sfs, Algorithm::DivideConquer2D] {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Bnl,
+            Algorithm::Sfs,
+            Algorithm::DivideConquer2D,
+        ] {
             assert_eq!(skyline(&pts, algo), vec![0, 1], "{algo:?}");
         }
     }
@@ -230,7 +245,12 @@ mod tests {
     #[test]
     fn all_incomparable() {
         let pts = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
-        for algo in [Algorithm::Naive, Algorithm::Bnl, Algorithm::Sfs, Algorithm::DivideConquer2D] {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Bnl,
+            Algorithm::Sfs,
+            Algorithm::DivideConquer2D,
+        ] {
             assert_eq!(skyline(&pts, algo), vec![0, 1, 2], "{algo:?}");
         }
     }
@@ -271,7 +291,13 @@ mod tests {
         use crate::dominance::dominates;
         let mut rng = Rng::seed_from_u64(0xcab);
         let pts: Vec<Vec<f64>> = (0..80)
-            .map(|_| vec![(rng.gen_index(6)) as f64, (rng.gen_index(6)) as f64, (rng.gen_index(6)) as f64])
+            .map(|_| {
+                vec![
+                    (rng.gen_index(6)) as f64,
+                    (rng.gen_index(6)) as f64,
+                    (rng.gen_index(6)) as f64,
+                ]
+            })
             .collect();
         let sky = bnl_skyline(&pts);
         // (1) no member is dominated by any point

@@ -30,7 +30,11 @@ fn main() {
         db.len(),
         w.planted.len()
     );
-    println!("query: {} atoms, {} bonds\n", w.query.order(), w.query.size());
+    println!(
+        "query: {} atoms, {} bonds\n",
+        w.query.order(),
+        w.query.size()
+    );
 
     let options = QueryOptions {
         threads: 4,
@@ -39,7 +43,10 @@ fn main() {
     let result = graph_similarity_skyline(&db, &w.query, &options);
 
     println!("similarity skyline ({} members):", result.skyline.len());
-    println!("  {:<12} {:>7} {:>8} {:>8}", "graph", "DistEd", "DistMcs", "DistGu");
+    println!(
+        "  {:<12} {:>7} {:>8} {:>8}",
+        "graph", "DistEd", "DistMcs", "DistGu"
+    );
     for id in &result.skyline {
         let gcs = &result.gcs[id.index()];
         println!(
@@ -55,7 +62,10 @@ fn main() {
     let planted: Vec<GraphId> = w.planted.iter().map(|&(i, _)| GraphId(i)).collect();
     let k = result.skyline.len();
     let in_skyline = planted.iter().filter(|p| result.contains(**p)).count();
-    println!("\nplanted near-matches in the skyline: {in_skyline}/{}", planted.len());
+    println!(
+        "\nplanted near-matches in the skyline: {in_skyline}/{}",
+        planted.len()
+    );
 
     for measure in [MeasureKind::EditDistance, MeasureKind::Mcs, MeasureKind::Gu] {
         let top = top_k_by_measure(&db, &w.query, measure, k, &SolverConfig::default(), 4);
@@ -76,7 +86,10 @@ fn main() {
             println!("  {}", db.get(*id).name());
         }
         if refined.evaluation.tied.len() > 1 {
-            println!("  ({} subsets tied on rank-sum)", refined.evaluation.tied.len());
+            println!(
+                "  ({} subsets tied on rank-sum)",
+                refined.evaluation.tied.len()
+            );
         }
     }
 

@@ -36,8 +36,14 @@ fn main() {
     };
     let r3 = graph_similarity_skyline(&db, &q, &QueryOptions::default());
     let r4 = graph_similarity_skyline(&db, &q, &four_dim);
-    println!("skyline with the paper's 3 measures : {} members", r3.skyline.len());
-    println!("skyline with DistLH as 4th measure  : {} members", r4.skyline.len());
+    println!(
+        "skyline with the paper's 3 measures : {} members",
+        r3.skyline.len()
+    );
+    println!(
+        "skyline with DistLH as 4th measure  : {} members",
+        r4.skyline.len()
+    );
     println!("  DistLH is a structure-free O(|V|+|E|) histogram distance — extra");
     println!("  dimensions can admit new Pareto-optimal answers, never invalidate");
     println!("  strictly-better ones.\n");
@@ -53,7 +59,10 @@ fn main() {
         let r = similarity_skyline::ged::exact_ged(
             &g5,
             &q,
-            &similarity_skyline::ged::GedOptions { cost, ..Default::default() },
+            &similarity_skyline::ged::GedOptions {
+                cost,
+                ..Default::default()
+            },
         );
         println!("  {name:<18} GED = {}", r.cost);
     }

@@ -50,7 +50,11 @@ fn figure1_example() {
     let ged = exact_ged(
         &pair.left,
         &pair.right,
-        &GedOptions { cost, warm_start: Some(warm.mapping), node_limit: None },
+        &GedOptions {
+            cost,
+            warm_start: Some(warm.mapping),
+            node_limit: None,
+        },
     );
     println!("  DistEd(g1, g2) = {} (paper: 4)", ged.cost);
     println!("  optimal edit script:");
@@ -61,7 +65,10 @@ fn figure1_example() {
     let m = mcs.edges() as f64;
     println!("  |mcs(g1, g2)| = {} (paper: 4)", mcs.edges());
     println!("  DistMcs = 1 - {m}/6 = {:.2} (paper: 0.33)", 1.0 - m / 6.0);
-    println!("  DistGu  = 1 - {m}/(6+6-{m}) = {:.2} (paper: 0.50)", 1.0 - m / (12.0 - m));
+    println!(
+        "  DistGu  = 1 - {m}/(6+6-{m}) = {:.2} (paper: 0.50)",
+        1.0 - m / (12.0 - m)
+    );
     println!("  mcs as a graph (Fig. 2):");
     let sub = mcs.as_graph(&pair.left);
     print!("{}", gss_graph::format::to_dot(&sub, &pair.vocab));
@@ -74,7 +81,10 @@ fn section6_example() {
     let db = GraphDatabase::from_parts(data.vocab, data.graphs);
     let result = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
 
-    println!("  {:<4} {:>4} {:>7} {:>8} {:>8}  skyline?", "g", "|g|", "DistEd", "DistMcs", "DistGu");
+    println!(
+        "  {:<4} {:>4} {:>7} {:>8} {:>8}  skyline?",
+        "g", "|g|", "DistEd", "DistMcs", "DistGu"
+    );
     for (i, gcs) in result.gcs.iter().enumerate() {
         println!(
             "  g{:<3} {:>4} {:>7} {:>8.2} {:>8.2}  {}",
@@ -83,10 +93,18 @@ fn section6_example() {
             gcs.values[0],
             gcs.values[1],
             gcs.values[2],
-            if result.contains(GraphId(i)) { "yes" } else { "no" }
+            if result.contains(GraphId(i)) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
-    let sky: Vec<String> = result.skyline.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+    let sky: Vec<String> = result
+        .skyline
+        .iter()
+        .map(|g| format!("g{}", g.index() + 1))
+        .collect();
     println!("  GSS(D, q) = {sky:?} (paper: [g1, g4, g5, g7])");
     for w in &result.dominated {
         println!(
@@ -118,7 +136,10 @@ fn section7_example() {
     let members: Vec<GraphId> = expected::SKYLINE.iter().map(|&i| GraphId(i)).collect();
     let refined = refine_skyline(&db, &members, 2, &RefineOptions::default()).unwrap();
 
-    println!("  {:<12} {:>6} {:>6} {:>6} | {:>2} {:>2} {:>2} | val", "S", "v1", "v2", "v3", "r1", "r2", "r3");
+    println!(
+        "  {:<12} {:>6} {:>6} {:>6} | {:>2} {:>2} {:>2} | val",
+        "S", "v1", "v2", "v3", "r1", "r2", "r3"
+    );
     for cand in &refined.evaluation.candidates {
         let names: Vec<String> = cand
             .members
@@ -137,6 +158,10 @@ fn section7_example() {
             cand.val
         );
     }
-    let sel: Vec<String> = refined.selected.iter().map(|g| format!("g{}", g.index() + 1)).collect();
+    let sel: Vec<String> = refined
+        .selected
+        .iter()
+        .map(|g| format!("g{}", g.index() + 1))
+        .collect();
     println!("  refined subset 𝕊 = {sel:?} (paper: [g1, g4])");
 }

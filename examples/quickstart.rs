@@ -49,7 +49,10 @@ fn main() {
     let result = graph_similarity_skyline(&db, &query, &options);
 
     println!("GCS vectors (lower is more similar):");
-    println!("{:<14} {:>8} {:>8} {:>8}  in skyline?", "graph", "DistEd", "DistMcs", "DistGu");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}  in skyline?",
+        "graph", "DistEd", "DistMcs", "DistGu"
+    );
     for (i, gcs) in result.gcs.iter().enumerate() {
         let id = GraphId(i);
         println!(

@@ -66,7 +66,10 @@ fn main() {
         &db,
         &query,
         &QueryOptions {
-            solvers: SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy },
+            solvers: SolverConfig {
+                ged: GedMode::Bipartite,
+                mcs: McsMode::Greedy,
+            },
             ..QueryOptions::default()
         },
     );

@@ -65,9 +65,9 @@ pub use gss_skyline as skyline;
 /// One-stop import for applications.
 pub mod prelude {
     pub use gss_core::{
-        graph_similarity_skyline, refine_skyline, refine_skyline_greedy, top_k_by_measure,
-        GcsVector, GedMode, GraphDatabase, GraphId, GssResult, McsMode, MeasureKind, QueryOptions,
-        RefineOptions, SolverConfig,
+        graph_similarity_skyline, graph_similarity_skyline_batch, refine_skyline,
+        refine_skyline_greedy, top_k_by_measure, GcsVector, GedMode, GraphDatabase, GraphId,
+        GssResult, McsMode, MeasureKind, PruneStats, QueryOptions, RefineOptions, SolverConfig,
     };
     pub use gss_ged::{ged, CostModel};
     pub use gss_graph::{Graph, GraphBuilder, Label, Rng, Vocabulary};

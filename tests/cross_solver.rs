@@ -14,7 +14,15 @@ fn molecule_pairs(count: usize) -> Vec<(Vocabulary, Graph, Graph)> {
         .map(|i| {
             let mut vocab = Vocabulary::new();
             let mut rng = Rng::seed_from_u64(0xCAFE + i as u64);
-            let g1 = molecule_like_graph("m1", &MoleculeConfig { atoms: 6, ..Default::default() }, &mut vocab, &mut rng);
+            let g1 = molecule_like_graph(
+                "m1",
+                &MoleculeConfig {
+                    atoms: 6,
+                    ..Default::default()
+                },
+                &mut vocab,
+                &mut rng,
+            );
             let g2 = perturb(&g1, 1 + i % 4, &mut vocab, &mut rng, "X");
             (vocab, g1, g2)
         })
@@ -29,9 +37,18 @@ fn ged_solver_sandwich_on_molecules() {
         let lb = similarity_skyline::ged::lower_bound(&g1, &g2);
         let bip = bipartite_ged(&g1, &g2, &cost).cost;
         let beam = beam_ged(&g1, &g2, &cost, 8).cost;
-        assert!(lb <= exact + 1e-9, "case {i}: lower bound {lb} > exact {exact}");
-        assert!(bip >= exact - 1e-9, "case {i}: bipartite {bip} < exact {exact}");
-        assert!(beam >= exact - 1e-9, "case {i}: beam {beam} < exact {exact}");
+        assert!(
+            lb <= exact + 1e-9,
+            "case {i}: lower bound {lb} > exact {exact}"
+        );
+        assert!(
+            bip >= exact - 1e-9,
+            "case {i}: bipartite {bip} < exact {exact}"
+        );
+        assert!(
+            beam >= exact - 1e-9,
+            "case {i}: beam {beam} < exact {exact}"
+        );
     }
 }
 
@@ -51,7 +68,11 @@ fn zero_ged_iff_isomorphic() {
     let mut vocab = Vocabulary::new();
     let mut rng = Rng::seed_from_u64(0x150);
     for i in 0..10 {
-        let cfg = RandomGraphConfig { vertices: 4 + i % 3, edges: 5, ..Default::default() };
+        let cfg = RandomGraphConfig {
+            vertices: 4 + i % 3,
+            edges: 5,
+            ..Default::default()
+        };
         let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
         // A structurally identical copy entered in a different vertex order.
         let mut order: Vec<usize> = (0..g1.order()).collect();
@@ -72,12 +93,16 @@ fn zero_ged_iff_isomorphic() {
             )
             .unwrap();
         }
-        assert!(are_isomorphic(&g1, &g2), "case {i}: permuted copy must be isomorphic");
+        assert!(
+            are_isomorphic(&g1, &g2),
+            "case {i}: permuted copy must be isomorphic"
+        );
         assert_eq!(ged(&g1, &g2), 0.0, "case {i}: isomorphic ⟹ GED 0");
         // And a single relabel breaks both.
         let mut g3 = g2.clone();
         let fresh = vocab.intern("FRESH");
-        g3.relabel_vertex(similarity_skyline::graph::VertexId::new(0), fresh).unwrap();
+        g3.relabel_vertex(similarity_skyline::graph::VertexId::new(0), fresh)
+            .unwrap();
         assert!(!are_isomorphic(&g1, &g3));
         assert!(ged(&g1, &g3) >= 1.0);
     }
@@ -90,15 +115,30 @@ fn vf2_embedding_consistency_with_mcs() {
     let mut vocab = Vocabulary::new();
     let mut rng = Rng::seed_from_u64(0xADD);
     for i in 0..10 {
-        let host_cfg = RandomGraphConfig { vertices: 7, edges: 10, ..Default::default() };
+        let host_cfg = RandomGraphConfig {
+            vertices: 7,
+            edges: 10,
+            ..Default::default()
+        };
         let host = random_connected_graph("host", &host_cfg, &mut vocab, &mut rng);
-        let pat_cfg = RandomGraphConfig { vertices: 3, edges: 3, ..Default::default() };
+        let pat_cfg = RandomGraphConfig {
+            vertices: 3,
+            edges: 3,
+            ..Default::default()
+        };
         let pattern = random_connected_graph("pat", &pat_cfg, &mut vocab, &mut rng);
         let m = mcs_edge_size(&pattern, &host);
         if is_subgraph_isomorphic(&pattern, &host) {
-            assert_eq!(m, pattern.size(), "case {i}: embedded pattern is its own mcs");
+            assert_eq!(
+                m,
+                pattern.size(),
+                "case {i}: embedded pattern is its own mcs"
+            );
         } else {
-            assert!(m < pattern.size(), "case {i}: non-embeddable pattern must lose edges");
+            assert!(
+                m < pattern.size(),
+                "case {i}: non-embeddable pattern must lose edges"
+            );
         }
     }
 }
@@ -109,8 +149,20 @@ fn budgeted_exact_ged_is_anytime() {
     let full = exact_ged(&g1, &g2, &GedOptions::default());
     assert!(full.exact);
     for limit in [1u64, 4, 16, 64, 256, 1024] {
-        let r = exact_ged(&g1, &g2, &GedOptions { node_limit: Some(limit), ..Default::default() });
-        assert!(r.cost >= full.cost - 1e-9, "budget {limit}: {} < {}", r.cost, full.cost);
+        let r = exact_ged(
+            &g1,
+            &g2,
+            &GedOptions {
+                node_limit: Some(limit),
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.cost >= full.cost - 1e-9,
+            "budget {limit}: {} < {}",
+            r.cost,
+            full.cost
+        );
         if r.exact {
             assert_eq!(r.cost, full.cost, "budget {limit} claims exactness");
         }

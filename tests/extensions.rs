@@ -10,7 +10,11 @@ use similarity_skyline::prelude::*;
 
 #[test]
 fn skyband_nests_around_the_skyline_on_workloads() {
-    let w = Workload::generate(&WorkloadConfig { database_size: 10, seed: 0xBAD5EED, ..Default::default() });
+    let w = Workload::generate(&WorkloadConfig {
+        database_size: 10,
+        seed: 0xBAD5EED,
+        ..Default::default()
+    });
     let db = GraphDatabase::from_parts(w.vocab, w.graphs);
     let opts = QueryOptions::default();
     let sky = graph_similarity_skyline(&db, &w.query, &opts).skyline;
@@ -71,9 +75,21 @@ fn wl_fingerprint_constant_across_runs_and_isomorphs() {
 #[test]
 fn isomorphism_classes_on_a_mixed_database() {
     let mut db = GraphDatabase::new();
-    db.add("a1", |b| b.vertices(&["x", "y", "z"], "C").cycle(&["x", "y", "z"], "-")).unwrap();
-    db.add("b", |b| b.vertices(&["x", "y", "z"], "N").cycle(&["x", "y", "z"], "-")).unwrap();
-    db.add("a2", |b| b.vertices(&["p", "q", "r"], "C").cycle(&["r", "q", "p"], "-")).unwrap();
+    db.add("a1", |b| {
+        b.vertices(&["x", "y", "z"], "C")
+            .cycle(&["x", "y", "z"], "-")
+    })
+    .unwrap();
+    db.add("b", |b| {
+        b.vertices(&["x", "y", "z"], "N")
+            .cycle(&["x", "y", "z"], "-")
+    })
+    .unwrap();
+    db.add("a2", |b| {
+        b.vertices(&["p", "q", "r"], "C")
+            .cycle(&["r", "q", "p"], "-")
+    })
+    .unwrap();
     let classes = db.isomorphism_classes();
     assert_eq!(classes.len(), 2);
     assert_eq!(db.duplicate_ids().len(), 1);

@@ -20,19 +20,30 @@ fn examples_2_3_4_figure1() {
     assert_eq!(ged(&pair.left, &pair.right), 4.0, "Example 2");
     let m = mcs_edge_size(&pair.left, &pair.right);
     assert_eq!(m, 4, "Example 3 mcs size");
-    assert!((1.0 - m as f64 / 6.0 - 0.333).abs() < 0.001, "Example 3 DistMcs");
-    assert!((1.0 - m as f64 / (12.0 - m as f64) - 0.5).abs() < 1e-12, "Example 4 DistGu");
+    assert!(
+        (1.0 - m as f64 / 6.0 - 0.333).abs() < 0.001,
+        "Example 3 DistMcs"
+    );
+    assert!(
+        (1.0 - m as f64 / (12.0 - m as f64) - 0.5).abs() < 1e-12,
+        "Example 4 DistGu"
+    );
 }
 
 #[test]
 fn example_2_edit_script_has_the_paper_op_kinds() {
-    use similarity_skyline::ged::{bipartite::bipartite_ged, exact_ged, edit_path_for_mapping, GedOptions};
+    use similarity_skyline::ged::{
+        bipartite::bipartite_ged, edit_path_for_mapping, exact_ged, GedOptions,
+    };
     let pair = figure1_pair();
     let warm = bipartite_ged(&pair.left, &pair.right, &CostModel::uniform());
     let r = exact_ged(
         &pair.left,
         &pair.right,
-        &GedOptions { warm_start: Some(warm.mapping), ..Default::default() },
+        &GedOptions {
+            warm_start: Some(warm.mapping),
+            ..Default::default()
+        },
     );
     let mut kinds: Vec<&str> = edit_path_for_mapping(&pair.left, &pair.right, &r.mapping)
         .iter()
@@ -43,7 +54,12 @@ fn example_2_edit_script_has_the_paper_op_kinds() {
     // one edge insertion.
     assert_eq!(
         kinds,
-        vec!["edge-delete", "edge-insert", "edge-relabel", "vertex-relabel"]
+        vec![
+            "edge-delete",
+            "edge-insert",
+            "edge-relabel",
+            "vertex-relabel"
+        ]
     );
 }
 
@@ -57,8 +73,18 @@ fn tables_2_and_3_reproduce_exactly() {
     assert_eq!(data.query.size(), expected::QUERY_SIZE);
 
     for (i, g) in db.graphs().iter().enumerate() {
-        assert_eq!(mcs_edge_size(g, &data.query), expected::TABLE2_MCS[i], "Table II row {}", i + 1);
-        assert_eq!(ged(g, &data.query), expected::TABLE3_ED[i], "Table III DistEd row {}", i + 1);
+        assert_eq!(
+            mcs_edge_size(g, &data.query),
+            expected::TABLE2_MCS[i],
+            "Table II row {}",
+            i + 1
+        );
+        assert_eq!(
+            ged(g, &data.query),
+            expected::TABLE3_ED[i],
+            "Table III DistEd row {}",
+            i + 1
+        );
     }
 }
 
@@ -68,7 +94,11 @@ fn section6_skyline_and_witnesses() {
     let db = GraphDatabase::from_parts(data.vocab, data.graphs);
     let r = graph_similarity_skyline(&db, &data.query, &QueryOptions::default());
     let got: Vec<usize> = r.skyline.iter().map(|g| g.index()).collect();
-    assert_eq!(got, expected::SKYLINE.to_vec(), "GSS(D,q) = {{g1,g4,g5,g7}}");
+    assert_eq!(
+        got,
+        expected::SKYLINE.to_vec(),
+        "GSS(D,q) = {{g1,g4,g5,g7}}"
+    );
 
     // The paper's named dominators must dominate.
     for (loser, winner) in expected::DOMINANCE_WITNESSES {
@@ -111,17 +141,40 @@ fn section7_refinement_selects_g1_g4() {
     // Table IV: all six v2 (DistMcs) and v3 (DistGu) diversity cells match
     // the paper to printing precision.
     for (idx, cand) in refined.evaluation.candidates.iter().enumerate() {
-        assert!((cand.diversity[1] - expected::TABLE4[idx][1]).abs() < 0.006, "v2 of S{}", idx + 1);
-        assert!((cand.diversity[2] - expected::TABLE4[idx][2]).abs() < 0.006, "v3 of S{}", idx + 1);
+        assert!(
+            (cand.diversity[1] - expected::TABLE4[idx][1]).abs() < 0.006,
+            "v2 of S{}",
+            idx + 1
+        );
+        assert!(
+            (cand.diversity[2] - expected::TABLE4[idx][2]).abs() < 0.006,
+            "v3 of S{}",
+            idx + 1
+        );
     }
     // v1 (normalized GED): four of six cells match; S3 and S5 deviate by
     // exactly the two unattainable Table IV GED entries (see EXPERIMENTS.md).
-    let v1: Vec<f64> = refined.evaluation.candidates.iter().map(|c| c.diversity[0]).collect();
+    let v1: Vec<f64> = refined
+        .evaluation
+        .candidates
+        .iter()
+        .map(|c| c.diversity[0])
+        .collect();
     for idx in [0usize, 1, 3, 5] {
-        assert!((v1[idx] - expected::TABLE4[idx][0]).abs() < 0.011, "v1 of S{}", idx + 1);
+        assert!(
+            (v1[idx] - expected::TABLE4[idx][0]).abs() < 0.011,
+            "v1 of S{}",
+            idx + 1
+        );
     }
-    assert!((v1[2] - 6.0 / 7.0).abs() < 1e-12, "S3 = ged 6 (paper claims 7)");
-    assert!((v1[4] - 6.0 / 7.0).abs() < 1e-12, "S5 = ged 6 (paper claims 5)");
+    assert!(
+        (v1[2] - 6.0 / 7.0).abs() < 1e-12,
+        "S3 = ged 6 (paper claims 7)"
+    );
+    assert!(
+        (v1[4] - 6.0 / 7.0).abs() < 1e-12,
+        "S5 = ged 6 (paper claims 5)"
+    );
 }
 
 #[test]
@@ -130,7 +183,10 @@ fn table4_ged_cells_paper_vs_measured() {
     // paper [6,5,7,4,5,3] vs measured [6,5,6,4,6,3].
     let data = figure3_database();
     let db = GraphDatabase::from_parts(data.vocab, data.graphs);
-    let members: Vec<&Graph> = expected::SKYLINE.iter().map(|&i| db.get(GraphId(i))).collect();
+    let members: Vec<&Graph> = expected::SKYLINE
+        .iter()
+        .map(|&i| db.get(GraphId(i)))
+        .collect();
     let mut measured = Vec::new();
     for a in 0..members.len() {
         for b in a + 1..members.len() {
@@ -143,5 +199,8 @@ fn table4_ged_cells_paper_vs_measured() {
         .zip(expected::TABLE4_GED)
         .filter(|(m, p)| **m == *p)
         .count();
-    assert_eq!(matches, 4, "4 of 6 pairwise GED cells match the paper exactly");
+    assert_eq!(
+        matches, 4,
+        "4 of 6 pairwise GED cells match the paper exactly"
+    );
 }

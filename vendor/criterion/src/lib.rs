@@ -1,0 +1,236 @@
+//! A vendored, dependency-free micro-subset of the `criterion` benchmark
+//! harness API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `criterion` crate cannot be fetched. This stub implements the small
+//! slice of its API the `gss-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId` and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple warmup-then-sample wall-clock loop that prints
+//! `<group>/<id>  time: [median .. mean .. max]` lines. Swapping back to the
+//! real crate is a one-line `Cargo.toml` change; no bench source changes.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of a benchmark: a function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solver", 128)` renders as `solver/128`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`: a short warmup, then `sample_size` timed samples (capped
+    /// by a total measurement budget so exhaustive solvers stay bounded).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call (touch caches, JIT-free so one is enough here).
+        std_black_box(f());
+        let budget = Duration::from_millis(500);
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<48} time: [no samples]");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let max = *sorted.last().expect("non-empty");
+    println!(
+        "{label:<48} time: [{} {} {}] ({} samples)",
+        fmt_dur(median),
+        fmt_dur(mean),
+        fmt_dur(max),
+        sorted.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a shared input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Ends the group (prints a separator, matching real criterion's flow).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a plain closure outside any group.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+        };
+        f(&mut b);
+        report(&id.to_string(), &b.samples);
+        self
+    }
+}
+
+/// Declares a benchmark group function, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, like the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        b.iter(|| 1 + 1);
+        assert!(!b.samples.is_empty() && b.samples.len() <= 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

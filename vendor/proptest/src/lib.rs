@@ -1,0 +1,404 @@
+//! A vendored, dependency-free micro-subset of the `proptest` property
+//! testing crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `proptest` crate cannot be fetched. This stub implements the slice
+//! of its API the workspace tests use — the [`Strategy`] trait over numeric
+//! ranges, `any::<T>()`, `prop::collection::vec`, `.prop_map`, the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`) and the
+//! `prop_assert*` macros — on top of a deterministic SplitMix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case panics with its case number and the
+//!   generated inputs' `Debug` rendering instead of a minimized example;
+//! * **deterministic seeding** — the RNG seed derives from the test name,
+//!   so every run explores the same cases (reproducible CI);
+//! * `prop_assert!` is plain `assert!` (panics instead of returning
+//!   `Err(TestCaseError)`).
+//!
+//! Swapping back to the real crate is a one-line `Cargo.toml` change.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 stream used to generate test cases.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a full-domain default strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`, like proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection size specification: fixed or ranged.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// The `prop::` namespace mirrored from real proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` strategy with the given element strategy and size range.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.hi() - self.size.lo();
+                let n = self.size.lo()
+                    + if span == 0 {
+                        0
+                    } else {
+                        (rng.next_u64() % (span as u64 + 1)) as usize
+                    };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+impl SizeRange {
+    fn lo(&self) -> usize {
+        self.lo
+    }
+    fn hi(&self) -> usize {
+        self.hi
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Failure type for early `return Ok(())` / `Err(..)` exits from property
+/// bodies (the stub's `prop_assert!` panics instead of producing this).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// The everything-import mirrored from real proptest.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times over
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                    let debug_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> { $body Ok(()) },
+                    ));
+                    match result {
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest case {case} failed for {} with inputs: {}",
+                                stringify!($name),
+                                debug_inputs
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                        Ok(Err(e)) => {
+                            panic!(
+                                "proptest case {case} of {} returned {:?} with inputs: {}",
+                                stringify!($name),
+                                e,
+                                debug_inputs
+                            );
+                        }
+                        Ok(Ok(())) => {}
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strat),+ ) $body )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..200 {
+            let x = Strategy::generate(&(2usize..10), &mut rng);
+            assert!((2..10).contains(&x));
+            let y = Strategy::generate(&(1u8..=3), &mut rng);
+            assert!((1..=3).contains(&y));
+            let f = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::from_name("sizes");
+        for _ in 0..100 {
+            let v = Strategy::generate(&prop::collection::vec(0u8..4, 1..30), &mut rng);
+            assert!((1..30).contains(&v.len()));
+            let fixed = Strategy::generate(&prop::collection::vec(0u8..4, 3), &mut rng);
+            assert_eq!(fixed.len(), 3);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_inputs(x in any::<u64>(), n in 1usize..5) {
+            prop_assert!((1..5).contains(&n), "n = {n}");
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(n, 0);
+        }
+    }
+}
