@@ -1,20 +1,31 @@
-//! Quick scaling-shape report (S1–S5) using plain wall-clock medians —
+//! Quick scaling-shape report (S1–S7) using plain wall-clock medians —
 //! a fast complement to the rigorous criterion benches, for smoke-checking
 //! the expected shapes (see DESIGN.md §4) in seconds instead of minutes.
 //!
-//! Usage: `cargo run --release -p gss-bench --bin scaling`
+//! Usage: `cargo run --release -p gss-bench --bin scaling [-- FLAGS]`
+//!
+//! * `--smoke` — run only S7 (the committed CI smoke workload,
+//!   [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
+//! * `--json PATH` — additionally write the S7 measurements as a JSON
+//!   report (the CI `BENCH_2.json` artifact).
+//! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
+//!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
+//!   of candidates at the partition level. This is the CI perf-regression
+//!   gate.
 
 use std::time::Instant;
 
 use gss_bench::TextTable;
 use gss_core::{
-    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig,
+    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, PruneStats, QueryOptions,
+    SolverConfig,
 };
 use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use gss_diversity::{refine_exact, refine_greedy};
 use gss_ged::{beam::beam_ged, bipartite::bipartite_ged, exact_ged, CostModel, GedOptions};
 use gss_graph::{Graph, Rng, Vocabulary};
+use gss_index::{PivotIndex, PivotIndexConfig};
 use gss_mcs::{greedy::greedy_mcs, mcs_edge_size};
 use gss_skyline::{bnl_skyline, naive_skyline, sfs_skyline};
 
@@ -42,12 +53,205 @@ fn fmt_us(us: f64) -> String {
 }
 
 fn main() {
-    s1_skyline();
-    s2_ged();
-    s3_mcs();
-    s4_query();
-    s5_diversity();
-    s6_prefilter();
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
+    let mut gate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--gate" => gate = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?} (expected --smoke, --gate, --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !smoke {
+        s1_skyline();
+        s2_ged();
+        s3_mcs();
+        s4_query();
+        s5_diversity();
+        s6_prefilter();
+    }
+    let report = s7_index();
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    if gate {
+        let mut failed = false;
+        if !report.gate_solver_calls() {
+            eprintln!(
+                "GATE FAILED: indexed scan verified {} candidates, prefilter-only verified {} \
+                 — the index must not cost extra exact solver calls",
+                report.indexed.0.verified, report.prefilter.0.verified
+            );
+            failed = true;
+        }
+        if !report.gate_skip_rate() {
+            eprintln!(
+                "GATE FAILED: index skipped {:.1}% of candidates at the partition level \
+                 (required: ≥ 30%)",
+                report.indexed.0.index_skip_rate() * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate passed: indexed verified {} ≤ prefilter verified {}; index skipped {:.1}% ≥ 30%",
+            report.indexed.0.verified,
+            report.prefilter.0.verified,
+            report.indexed.0.index_skip_rate() * 100.0
+        );
+    }
+}
+
+/// The S7 measurements that feed the report table, the JSON artifact and
+/// the CI gate.
+struct SmokeReport {
+    pivots: usize,
+    partitions: usize,
+    build_us: f64,
+    /// (stats, median wall µs) of the prefilter-only scan.
+    prefilter: (PruneStats, f64),
+    /// (stats, median wall µs) of the indexed scan.
+    indexed: (PruneStats, f64),
+}
+
+impl SmokeReport {
+    fn gate_solver_calls(&self) -> bool {
+        self.indexed.0.verified <= self.prefilter.0.verified
+    }
+
+    fn gate_skip_rate(&self) -> bool {
+        self.indexed.0.index_skip_rate() >= 0.30
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        let stats = |s: &PruneStats, wall: f64| {
+            format!(
+                "{{\"candidates\": {}, \"verified\": {}, \"pruned\": {}, \
+                 \"short_circuited\": {}, \"index_skipped\": {}, \"pruning_rate\": {:.4}, \
+                 \"index_skip_rate\": {:.4}, \"pivot_probes\": {}, \"wall_us\": {:.1}}}",
+                s.candidates,
+                s.verified,
+                s.pruned,
+                s.short_circuited,
+                s.index_skipped,
+                s.pruning_rate(),
+                s.index_skip_rate(),
+                s.pivot_probes,
+                wall
+            )
+        };
+        format!(
+            "{{\n  \"schema\": \"gss-bench-smoke/2\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"index\": {{\"pivots\": {}, \"partitions\": {}, \
+             \"build_us\": {:.1}}},\n  \"prefilter\": {},\n  \"indexed\": {},\n  \
+             \"gate\": {{\"indexed_verified_le_prefilter\": {}, \"index_skip_rate_ge_30pct\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.pivots,
+            self.partitions,
+            self.build_us,
+            stats(&self.prefilter.0, self.prefilter.1),
+            stats(&self.indexed.0, self.indexed.1),
+            self.gate_solver_calls(),
+            self.gate_skip_rate(),
+        )
+    }
+}
+
+fn s7_index() -> SmokeReport {
+    println!("== S7: pivot index vs prefilter (committed smoke workload) ==");
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+
+    let t = Instant::now();
+    let index = std::sync::Arc::new(PivotIndex::build(&db, &PivotIndexConfig::default()));
+    let build_us = t.elapsed().as_secs_f64() * 1e6;
+
+    let prefilter_opts = QueryOptions {
+        prefilter: true,
+        ..QueryOptions::default()
+    };
+    let indexed_opts = QueryOptions::default().with_index(index.clone());
+
+    let pre_wall = time_us(3, || {
+        graph_similarity_skyline(&db, &w.query, &prefilter_opts);
+    });
+    let idx_wall = time_us(3, || {
+        graph_similarity_skyline(&db, &w.query, &indexed_opts);
+    });
+
+    let pre = graph_similarity_skyline(&db, &w.query, &prefilter_opts);
+    let idx = graph_similarity_skyline(&db, &w.query, &indexed_opts);
+    let naive = graph_similarity_skyline(&db, &w.query, &QueryOptions::default());
+    assert_eq!(
+        idx.skyline, naive.skyline,
+        "index must not change the answer"
+    );
+    assert_eq!(
+        idx.dominated, naive.dominated,
+        "index must not change witnesses"
+    );
+    assert_eq!(pre.skyline, naive.skyline);
+    assert_eq!(pre.dominated, naive.dominated);
+
+    let pre_stats = pre.pruning.expect("prefilter stats");
+    let idx_stats = idx.pruning.expect("indexed stats");
+    let mut table = TextTable::new(vec![
+        "scan", "wall", "verified", "pruned", "short", "skipped", "skip %",
+    ]);
+    let row = |t: &mut TextTable, name: &str, s: &PruneStats, wall: f64| {
+        t.row(vec![
+            name.to_owned(),
+            fmt_us(wall),
+            format!("{}", s.verified),
+            format!("{}", s.pruned),
+            format!("{}", s.short_circuited),
+            format!("{}", s.index_skipped),
+            format!("{:.0}%", s.index_skip_rate() * 100.0),
+        ]);
+    };
+    row(&mut table, "prefilter", &pre_stats, pre_wall);
+    row(&mut table, "indexed", &idx_stats, idx_wall);
+    println!("{}", table.render());
+    println!(
+        "index: {} pivots, {} partitions ({} skipped wholesale), built in {}",
+        index.pivots().len(),
+        index.partition_count(),
+        idx_stats.index_partitions_skipped,
+        fmt_us(build_us)
+    );
+    println!();
+
+    SmokeReport {
+        pivots: index.pivots().len(),
+        partitions: index.partition_count(),
+        build_us,
+        prefilter: (pre_stats, pre_wall),
+        indexed: (idx_stats, idx_wall),
+    }
 }
 
 fn s1_skyline() {

@@ -5,6 +5,7 @@
 //! optional `--out` writing handled by the binary shell.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use gss_core::{
     graph_similarity_skyband, graph_similarity_skyline, refine_skyline, top_k_by_measure, GedMode,
@@ -14,6 +15,7 @@ use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use gss_ged::{bipartite::bipartite_ged, edit_path_for_mapping, exact_ged, CostModel, GedOptions};
 use gss_graph::format::to_dot;
 use gss_graph::Graph;
+use gss_index::{PivotIndex, PivotIndexConfig};
 
 use crate::args::{ArgError, Args};
 
@@ -23,12 +25,15 @@ pub fn help() -> String {
 gss — similarity-skyline graph queries (Abbaci et al., GDM/ICDE 2011)
 
 USAGE:
-  gss query    --db FILE --query-name NAME [--refine K] [--approx]
-               [--prefilter] [--threads N] [--algo naive|bnl|sfs]
-               [--format text|json]
+  gss query    --db FILE (--query-name NAME | --query-file FILE)
+               [--refine K] [--approx] [--prefilter] [--index IDX]
+               [--threads N] [--algo naive|bnl|sfs] [--format text|json]
   gss measure  --db FILE --a NAME --b NAME
   gss topk     --db FILE --query-name NAME --measure ed|ned|mcs|gu [--k K]
   gss skyband  --db FILE --query-name NAME [--k K] [--approx] [--threads N]
+  gss index    build --db FILE --out IDX [--pivots K] [--rings R]
+               [--exclude NAME]
+  gss index    stats --index IDX [--db FILE]
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -39,11 +44,16 @@ Databases use the t/v/e text format:
   v <index> <label>
   e <u> <v> <label>
 
-`query` removes the graph named by --query-name from the database and runs
-the compound-similarity skyline (DistEd, DistMcs, DistGu) against the rest.
-With --prefilter it runs the filter-and-verify pipeline: cheap lower bounds
-prune candidates before the exact solvers, with identical results (the
-report then includes pruning statistics).
+`query` runs the compound-similarity skyline (DistEd, DistMcs, DistGu).
+With --query-name the named graph is removed from the database and queried
+against the rest; with --query-file the database is used whole and the
+query graph is the first graph of the given file. With --prefilter it runs
+the filter-and-verify pipeline: cheap lower bounds prune candidates before
+the exact solvers, with identical results (the report then includes
+pruning statistics). With --index it also consults a pivot index built by
+`gss index build`, skipping whole candidate partitions up front — build
+with --exclude NAME when querying by --query-name so the index matches the
+database the query actually scans.
 "
     .to_owned()
 }
@@ -96,20 +106,61 @@ fn parse_measure(token: &str) -> Result<MeasureKind, ArgError> {
     }
 }
 
+/// Resolves the query graph: `--query-name` splits it out of the database,
+/// `--query-file` reads it from its own file (database used whole).
+fn resolve_query(db: GraphDatabase, args: &Args) -> Result<(GraphDatabase, Graph), ArgError> {
+    match (args.get("query-name"), args.get("query-file")) {
+        (Some(name), None) => split_query(db, name),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read --query-file {path}: {e}")))?;
+            let mut db = db;
+            let graphs = gss_graph::format::parse_database(&text, db.vocab_mut())
+                .map_err(|e| ArgError(format!("parse error in {path}: {e}")))?;
+            let q = graphs
+                .into_iter()
+                .next()
+                .ok_or_else(|| ArgError(format!("--query-file {path} contains no graph")))?;
+            Ok((db, q))
+        }
+        _ => Err(ArgError(
+            "provide exactly one of --query-name or --query-file".to_owned(),
+        )),
+    }
+}
+
+/// Loads and validates the pivot index named by `--index`, if any.
+fn load_index(db: &GraphDatabase, args: &Args) -> Result<Option<Arc<PivotIndex>>, ArgError> {
+    let Some(path) = args.get("index") else {
+        return Ok(None);
+    };
+    let index = PivotIndex::load(path).map_err(|e| ArgError(format!("--index {path}: {e}")))?;
+    index.validate(db).map_err(|e| {
+        ArgError(format!(
+            "--index {path}: {e} (with --query-name, build the index with --exclude NAME \
+             so it covers the database the query scans)"
+        ))
+    })?;
+    Ok(Some(Arc::new(index)))
+}
+
 /// `gss query` — similarity skyline with optional diversity refinement.
 pub fn query(args: &Args) -> Result<String, ArgError> {
     args.reject_unknown(&[
         "db",
         "query-name",
+        "query-file",
         "refine",
         "approx",
         "prefilter",
+        "index",
         "threads",
         "algo",
         "format",
     ])?;
     let db = load_db(args)?;
-    let (db, q) = split_query(db, args.require("query-name")?)?;
+    let (db, q) = resolve_query(db, args)?;
+    let index = load_index(&db, args)?;
     let threads = args.get_parsed_or("threads", 1usize)?;
     let algo = match args.get_or("algo", "bnl") {
         "naive" => gss_skyline::Algorithm::Naive,
@@ -126,6 +177,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         threads,
         skyline_algorithm: algo,
         prefilter: args.flag("prefilter"),
+        index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
     };
     let result = graph_similarity_skyline(&db, &q, &options);
@@ -194,6 +246,18 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
             stats.candidates,
             stats.pruning_rate() * 100.0
         );
+        if stats.index_partitions > 0 {
+            let _ = writeln!(
+                out,
+                "index: {} of {} partitions skipped wholesale — {} candidates ({:.0}%) never \
+                 reached candidate filtering; {} pivot probes",
+                stats.index_partitions_skipped,
+                stats.index_partitions,
+                stats.index_skipped,
+                stats.index_skip_rate() * 100.0,
+                stats.pivot_probes
+            );
+        }
     }
 
     if let Some(k) = args.get("refine") {
@@ -322,6 +386,88 @@ pub fn topk(args: &Args) -> Result<String, ArgError> {
     let _ = writeln!(out, "top-{k} by {}:", measure.name());
     for s in scored {
         let _ = writeln!(out, "  {:<20} {:.4}", db.get(s.id).name(), s.distance);
+    }
+    Ok(out)
+}
+
+/// `gss index build|stats` — build, persist and inspect the pivot index.
+pub fn index(args: &Args) -> Result<String, ArgError> {
+    match args.positional().get(1).map(String::as_str) {
+        Some("build") => index_build(args),
+        Some("stats") => index_stats(args),
+        other => Err(ArgError(format!(
+            "unknown index subcommand {other:?} (build|stats)"
+        ))),
+    }
+}
+
+fn index_build(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "out", "pivots", "rings", "exclude"])?;
+    let mut db = load_db(args)?;
+    if let Some(name) = args.get("exclude") {
+        let (rest, _query) = split_query(db, name)?;
+        db = rest;
+    }
+    let config = PivotIndexConfig {
+        pivots: args.get_parsed_or("pivots", PivotIndexConfig::default().pivots)?,
+        rings: args.get_parsed_or("rings", PivotIndexConfig::default().rings)?,
+    };
+    let out_path = args.require("out")?;
+    let start = std::time::Instant::now();
+    let index = PivotIndex::build(&db, &config);
+    let built = start.elapsed();
+    let bytes = index.to_bytes();
+    std::fs::write(out_path, &bytes)
+        .map_err(|e| ArgError(format!("cannot write --out {out_path}: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "built {} in {:.1} ms",
+        gss_core::QueryIndex::describe(&index),
+        built.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "wrote {out_path} ({} bytes, database fingerprint {:016x})",
+        bytes.len(),
+        index.database_fingerprint()
+    );
+    Ok(out)
+}
+
+fn index_stats(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["index", "db"])?;
+    let path = args.require("index")?;
+    let index = PivotIndex::load(path).map_err(|e| ArgError(format!("--index {path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", gss_core::QueryIndex::describe(&index));
+    let _ = writeln!(
+        out,
+        "config: {} pivots requested, {} rings per pivot cell",
+        index.config().pivots,
+        index.config().rings
+    );
+    let _ = writeln!(
+        out,
+        "pivot graph ids: {:?}",
+        index.pivots().iter().map(|g| g.index()).collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "database fingerprint: {:016x}",
+        index.database_fingerprint()
+    );
+    if args.get("db").is_some() {
+        let db = load_db(args)?;
+        match index.validate(&db) {
+            Ok(()) => {
+                let _ = writeln!(out, "database match: ok ({} graphs)", db.len());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "database match: MISMATCH — {e}");
+            }
+        }
     }
     Ok(out)
 }
@@ -662,6 +808,146 @@ e 0 1 -
         ]))
         .unwrap();
         assert!(!naive_json.contains("\"pruning\""));
+    }
+
+    #[test]
+    fn index_build_stats_and_indexed_query() {
+        let (_keep, path) = write_temp_db();
+        let idx_path = {
+            let n = std::process::id();
+            std::env::temp_dir()
+                .join(format!("gss-cli-test-{n}-roundtrip.gsi"))
+                .to_str()
+                .unwrap()
+                .to_owned()
+        };
+
+        // Build excluding the query graph, so the index matches the
+        // database `gss query --query-name needle` actually scans.
+        let built = index(&args(&[
+            "index",
+            "build",
+            "--db",
+            &path,
+            "--out",
+            &idx_path,
+            "--exclude",
+            "needle",
+            "--pivots",
+            "2",
+            "--rings",
+            "2",
+        ]))
+        .unwrap();
+        assert!(built.contains("pivot index"), "{built}");
+        assert!(built.contains("wrote"), "{built}");
+
+        let stats = index(&args(&["index", "stats", "--index", &idx_path])).unwrap();
+        assert!(stats.contains("pivot index"), "{stats}");
+        assert!(stats.contains("database fingerprint"), "{stats}");
+
+        // Indexed query: same skyline as the plain query, plus index stats.
+        let naive = query(&args(&["--db", &path, "--query-name", "needle"])).unwrap();
+        let indexed = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--index",
+            &idx_path,
+        ]))
+        .unwrap();
+        assert!(indexed.contains("index: "), "{indexed}");
+        assert!(indexed.contains("pivot probes"), "{indexed}");
+        let sky = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("similarity skyline"))
+                .take(2)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(sky(&naive), sky(&indexed));
+
+        // JSON explain output carries the index fields.
+        let json = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--index",
+            &idx_path,
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"index_skip_rate\""), "{json}");
+        assert!(json.contains("\"pivot_probes\""), "{json}");
+
+        // Without --exclude the index covers the whole file and must be
+        // rejected against the split database…
+        let full_idx = format!("{idx_path}.full");
+        index(&args(&[
+            "index", "build", "--db", &path, "--out", &full_idx,
+        ]))
+        .unwrap();
+        let err = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--index",
+            &full_idx,
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("different database"), "{err}");
+
+        // …but works with --query-file, which keeps the database whole.
+        let qfile = format!("{idx_path}.query");
+        std::fs::write(&qfile, "t q\nv 0 A\nv 1 B\ne 0 1 -\n").unwrap();
+        let by_file = query(&args(&[
+            "--db",
+            &path,
+            "--query-file",
+            &qfile,
+            "--index",
+            &full_idx,
+        ]))
+        .unwrap();
+        assert!(by_file.contains("database: 3 graphs"), "{by_file}");
+        assert!(by_file.contains("index: "), "{by_file}");
+
+        for p in [&idx_path, &full_idx, &qfile] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn query_rejects_ambiguous_query_source() {
+        let (_keep, path) = write_temp_db();
+        let err = query(&args(&["--db", &path])).unwrap_err();
+        assert!(err.to_string().contains("exactly one of"), "{err}");
+        let err = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--query-file",
+            "also.gdb",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one of"), "{err}");
+    }
+
+    #[test]
+    fn index_subcommand_errors() {
+        let (_keep, path) = write_temp_db();
+        assert!(index(&args(&["index"])).is_err());
+        assert!(index(&args(&["index", "frobnicate"])).is_err());
+        assert!(
+            index(&args(&["index", "build", "--db", &path])).is_err(),
+            "--out required"
+        );
+        assert!(index(&args(&["index", "stats", "--index", "/no/such/file.gsi"])).is_err());
     }
 
     #[test]

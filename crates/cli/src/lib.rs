@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! gss query    --db db.gdb --query-name q [--refine K] [--approx] [--threads N]
+//!              [--prefilter] [--index db.gsi]
 //! gss measure  --db db.gdb --a g1 --b g2
 //! gss topk     --db db.gdb --query-name q --measure ed|mcs|gu [--k K]
+//! gss index    build --db db.gdb --out db.gsi [--pivots K] [--rings R]
+//! gss index    stats --index db.gsi [--db db.gdb]
 //! gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
 //! gss convert  --db db.gdb [--graph NAME]           # Graphviz DOT
 //! gss paper                                          # reproduce Tables I–V
@@ -36,6 +39,7 @@ pub fn run<I: IntoIterator<Item = String>>(raw: I) -> Result<String, String> {
         "measure" => commands::measure(&args).map_err(|e| e.to_string()),
         "topk" => commands::topk(&args).map_err(|e| e.to_string()),
         "skyband" => commands::skyband(&args).map_err(|e| e.to_string()),
+        "index" => commands::index(&args).map_err(|e| e.to_string()),
         "generate" => commands::generate(&args).map_err(|e| e.to_string()),
         "convert" => commands::convert(&args).map_err(|e| e.to_string()),
         "paper" => Ok(commands::paper()),
@@ -52,7 +56,7 @@ mod tests {
     fn help_lists_commands() {
         let out = run(["help".to_string()]).unwrap();
         for cmd in [
-            "query", "measure", "topk", "skyband", "generate", "convert", "paper",
+            "query", "measure", "topk", "skyband", "index", "generate", "convert", "paper",
         ] {
             assert!(out.contains(cmd), "help must mention {cmd}");
         }

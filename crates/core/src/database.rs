@@ -185,6 +185,267 @@ impl GraphDatabase {
             .flat_map(|class| class.into_iter().skip(1))
             .collect()
     }
+
+    /// A structural fingerprint of the database: a 64-bit hash of every
+    /// graph's vertex labels and edge list in insertion order.
+    ///
+    /// Derived artifacts (e.g. a serialized `gss-index` pivot index) store
+    /// this value and refuse to load against a database whose content or
+    /// ordering has changed. Renaming graphs does not change the
+    /// fingerprint; any structural or label edit does.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = codec::Fnv64::new();
+        // Labels hash as their vocabulary strings, not their interned ids:
+        // ids are vocabulary-relative, and two different databases can
+        // intern different strings to the same dense ids.
+        let label = |h: &mut codec::Fnv64, l: gss_graph::Label| {
+            let name = self.vocab.name(l).unwrap_or("");
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
+        };
+        h.write_u64(self.graphs.len() as u64);
+        for g in &self.graphs {
+            h.write_u64(g.order() as u64);
+            h.write_u64(g.size() as u64);
+            for v in g.vertices() {
+                label(&mut h, g.vertex_label(v));
+            }
+            for e in g.edges() {
+                let edge = g.edge(e);
+                h.write_u64(edge.u.index() as u64);
+                h.write_u64(edge.v.index() as u64);
+                label(&mut h, edge.label);
+            }
+        }
+        h.finish()
+    }
+}
+
+pub mod codec {
+    //! Versioned binary serialization for database-derived artifacts.
+    //!
+    //! A tiny dependency-free little-endian codec with the framing every
+    //! persistent artifact in the workspace shares: an 8-byte magic, a
+    //! `u32` format version, a length-delimited payload and a trailing
+    //! FNV-1a checksum. [`Writer`] produces the frame, [`Reader`] verifies
+    //! magic/version/checksum up front so consumers only ever decode
+    //! integrity-checked bytes. The first user is the `gss-index` pivot
+    //! index (`PivotIndex::{to_bytes, from_bytes}`).
+
+    use std::fmt;
+
+    /// Streaming FNV-1a 64-bit hasher (checksums and fingerprints).
+    #[derive(Clone, Debug)]
+    pub struct Fnv64(u64);
+
+    impl Fnv64 {
+        /// The standard FNV-1a offset basis.
+        pub fn new() -> Self {
+            Fnv64(0xcbf2_9ce4_8422_2325)
+        }
+
+        /// Absorbs raw bytes.
+        pub fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+
+        /// Absorbs a `u64` (little-endian).
+        pub fn write_u64(&mut self, v: u64) {
+            self.write(&v.to_le_bytes());
+        }
+
+        /// The digest so far.
+        pub fn finish(&self) -> u64 {
+            self.0
+        }
+    }
+
+    impl Default for Fnv64 {
+        fn default() -> Self {
+            Fnv64::new()
+        }
+    }
+
+    /// Why a binary artifact failed to decode.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum CodecError {
+        /// The magic bytes do not match the expected artifact type.
+        BadMagic,
+        /// The payload checksum does not match (truncation or corruption).
+        BadChecksum,
+        /// The reader ran past the end of the payload.
+        Truncated,
+        /// The payload has bytes left after the last expected field.
+        TrailingBytes,
+        /// The format version is newer than this build understands.
+        UnsupportedVersion {
+            /// Version found in the artifact header.
+            found: u32,
+            /// Highest version this build can read.
+            supported: u32,
+        },
+        /// A field decoded to a value that violates the format's invariants.
+        Invalid(String),
+    }
+
+    impl fmt::Display for CodecError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                CodecError::BadMagic => write!(f, "not a recognized artifact (bad magic)"),
+                CodecError::BadChecksum => write!(f, "checksum mismatch (corrupt or truncated)"),
+                CodecError::Truncated => write!(f, "unexpected end of data"),
+                CodecError::TrailingBytes => write!(f, "trailing bytes after payload"),
+                CodecError::UnsupportedVersion { found, supported } => write!(
+                    f,
+                    "format version {found} is newer than supported version {supported}"
+                ),
+                CodecError::Invalid(msg) => write!(f, "invalid field: {msg}"),
+            }
+        }
+    }
+
+    impl std::error::Error for CodecError {}
+
+    /// Builds a framed artifact: magic, version, payload, FNV-1a checksum.
+    #[derive(Debug)]
+    pub struct Writer {
+        buf: Vec<u8>,
+    }
+
+    impl Writer {
+        /// Starts a frame with the given 8-byte magic and format version.
+        pub fn new(magic: &[u8; 8], version: u32) -> Self {
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(magic);
+            buf.extend_from_slice(&version.to_le_bytes());
+            Writer { buf }
+        }
+
+        /// Appends a `u32`.
+        pub fn u32(&mut self, v: u32) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends a `u64`.
+        pub fn u64(&mut self, v: u64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Appends a `usize` as `u64`.
+        pub fn usize(&mut self, v: usize) {
+            self.u64(v as u64);
+        }
+
+        /// Appends an `f64` by bit pattern (exact round-trip).
+        pub fn f64(&mut self, v: f64) {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+
+        /// Finishes the frame: appends the checksum of everything written
+        /// (magic and version included) and returns the bytes.
+        pub fn finish(self) -> Vec<u8> {
+            let mut h = Fnv64::new();
+            h.write(&self.buf);
+            let mut buf = self.buf;
+            buf.extend_from_slice(&h.finish().to_le_bytes());
+            buf
+        }
+    }
+
+    /// Decodes a framed artifact produced by [`Writer`].
+    #[derive(Debug)]
+    pub struct Reader<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Verifies magic, version and checksum; returns the reader
+        /// positioned at the payload plus the artifact's version.
+        ///
+        /// `supported` is the highest version this build understands;
+        /// older versions are the caller's job to branch on.
+        pub fn new(
+            data: &'a [u8],
+            magic: &[u8; 8],
+            supported: u32,
+        ) -> Result<(Self, u32), CodecError> {
+            if data.len() < 8 + 4 + 8 {
+                return Err(if data.get(..8) == Some(&magic[..]) {
+                    CodecError::BadChecksum
+                } else {
+                    CodecError::BadMagic
+                });
+            }
+            if &data[..8] != magic {
+                return Err(CodecError::BadMagic);
+            }
+            let (payload, tail) = data.split_at(data.len() - 8);
+            let mut h = Fnv64::new();
+            h.write(payload);
+            if tail != h.finish().to_le_bytes() {
+                return Err(CodecError::BadChecksum);
+            }
+            let version = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+            if version > supported {
+                return Err(CodecError::UnsupportedVersion {
+                    found: version,
+                    supported,
+                });
+            }
+            Ok((
+                Reader {
+                    data: payload,
+                    pos: 12,
+                },
+                version,
+            ))
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+            let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+            if end > self.data.len() {
+                return Err(CodecError::Truncated);
+            }
+            let s = &self.data[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+
+        /// Reads a `u32`.
+        pub fn u32(&mut self) -> Result<u32, CodecError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        }
+
+        /// Reads a `u64`.
+        pub fn u64(&mut self) -> Result<u64, CodecError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        }
+
+        /// Reads a `usize` (stored as `u64`), rejecting values that do not
+        /// fit the platform.
+        pub fn usize(&mut self) -> Result<usize, CodecError> {
+            usize::try_from(self.u64()?)
+                .map_err(|_| CodecError::Invalid("length exceeds platform usize".into()))
+        }
+
+        /// Reads an `f64` by bit pattern.
+        pub fn f64(&mut self) -> Result<f64, CodecError> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Asserts the payload was consumed exactly.
+        pub fn finish(self) -> Result<(), CodecError> {
+            if self.pos == self.data.len() {
+                Ok(())
+            } else {
+                Err(CodecError::TrailingBytes)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +541,89 @@ mod tests {
             .unwrap();
         assert_eq!(db.isomorphism_classes().len(), 2);
         assert!(db.duplicate_ids().is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_corruption() {
+        use codec::{CodecError, Reader, Writer};
+        const MAGIC: &[u8; 8] = b"GSSTEST\0";
+        let mut w = Writer::new(MAGIC, 3);
+        w.u32(7);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.f64(-0.125);
+        let bytes = w.finish();
+
+        let (mut r, version) = Reader::new(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        r.finish().unwrap();
+
+        // Underread is detected by finish, overread by the accessor.
+        let (r, _) = Reader::new(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(r.finish().unwrap_err(), CodecError::TrailingBytes);
+        let (mut r2, _) = Reader::new(&bytes, MAGIC, 3).unwrap();
+        for _ in 0..4 {
+            let _ = r2.u64();
+        }
+        assert_eq!(r2.u64().unwrap_err(), CodecError::Truncated);
+
+        // Wrong magic, future version, flipped bit, truncation.
+        assert_eq!(
+            Reader::new(&bytes, b"OTHERMAG", 3).unwrap_err(),
+            CodecError::BadMagic
+        );
+        assert_eq!(
+            Reader::new(&bytes, MAGIC, 2).unwrap_err(),
+            CodecError::UnsupportedVersion {
+                found: 3,
+                supported: 2
+            }
+        );
+        let mut corrupt = bytes.clone();
+        corrupt[14] ^= 1;
+        assert_eq!(
+            Reader::new(&corrupt, MAGIC, 3).unwrap_err(),
+            CodecError::BadChecksum
+        );
+        assert_eq!(
+            Reader::new(&bytes[..bytes.len() - 1], MAGIC, 3).unwrap_err(),
+            CodecError::BadChecksum
+        );
+        assert_eq!(
+            Reader::new(&bytes[..4], MAGIC, 3).unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_names() {
+        let mut db = GraphDatabase::new();
+        db.add("a", |b| b.vertices(&["x", "y"], "C").edge("x", "y", "-"))
+            .unwrap();
+        let fp = db.fingerprint();
+        assert_eq!(fp, db.fingerprint(), "deterministic");
+
+        // Renaming a graph leaves the fingerprint alone…
+        let mut renamed = db.clone();
+        let g = renamed.get(GraphId(0)).clone();
+        let mut g2 = g.clone();
+        g2.set_name("other");
+        renamed = GraphDatabase::from_parts(renamed.vocab().clone(), vec![g2]);
+        assert_eq!(renamed.fingerprint(), fp);
+
+        // …while adding a graph or editing structure changes it.
+        let mut grown = db.clone();
+        grown.add("b", |b| b.vertex("z", "N")).unwrap();
+        assert_ne!(grown.fingerprint(), fp);
+        let mut edited = GraphDatabase::new();
+        edited
+            .add("a", |b| b.vertices(&["x", "y"], "C").edge("x", "y", "="))
+            .unwrap();
+        assert_ne!(edited.fingerprint(), fp);
     }
 
     #[test]

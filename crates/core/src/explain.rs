@@ -191,9 +191,23 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
     if let Some(stats) = &result.pruning {
         let _ = write!(
             out,
-            ",\n  \"pruning\": {{\"candidates\": {}, \"verified\": {}, \"pruned\": {}, \"short_circuited\": {}, \"rate\": {:.4}}}",
+            ",\n  \"pruning\": {{\"candidates\": {}, \"verified\": {}, \"pruned\": {}, \"short_circuited\": {}, \"rate\": {:.4}",
             stats.candidates, stats.verified, stats.pruned, stats.short_circuited, stats.pruning_rate()
         );
+        if stats.index_partitions > 0 {
+            // Index fields appear only for indexed scans, keeping the
+            // prefilter-only JSON byte-stable across engine versions.
+            let _ = write!(
+                out,
+                ", \"index_skipped\": {}, \"index_skip_rate\": {:.4}, \"index_partitions\": {}, \"index_partitions_skipped\": {}, \"pivot_probes\": {}",
+                stats.index_skipped,
+                stats.index_skip_rate(),
+                stats.index_partitions,
+                stats.index_partitions_skipped,
+                stats.pivot_probes
+            );
+        }
+        out.push('}');
     }
     out.push_str("\n}\n");
     out

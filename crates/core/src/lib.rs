@@ -39,6 +39,7 @@
 pub mod baseline;
 pub mod database;
 pub mod explain;
+pub mod index;
 pub mod measures;
 pub mod parallel;
 pub mod prefilter;
@@ -48,6 +49,7 @@ pub mod refine;
 pub use baseline::{top_k_by_measure, ScoredGraph};
 pub use database::{GraphDatabase, GraphId};
 pub use explain::{explain_all, to_json, Explanation};
+pub use index::{IndexPartition, IndexPlan, QueryIndex};
 pub use measures::{
     compute_primitives, GcsVector, GedMode, McsMode, MeasureKind, PairPrimitives, SolverConfig,
 };

@@ -34,12 +34,13 @@
 //! the *exact* solvers and remain valid for the approximate ones (bipartite
 //! and beam GED only over-estimate, greedy MCS only under-estimates `|mcs|`).
 
-use gss_graph::stats::mcs_upper_bound;
-use gss_graph::{algo, wl, Graph};
-
-use crate::measures::{
-    label_histogram_stats, GcsVector, GedMode, McsMode, MeasureKind, SolverConfig,
+use gss_graph::stats::{
+    degree_sequence, degree_sequence_l1_presorted, edge_class_multiset, edge_label_multiset,
+    mcs_upper_bound, vertex_label_multiset, EdgeClass, Multiset,
 };
+use gss_graph::{algo, wl, Graph, Label};
+
+use crate::measures::{GcsVector, GedMode, McsMode, MeasureKind, SolverConfig};
 
 /// Number of 1-WL refinement rounds used for the equality short-circuit.
 /// Two rounds separate almost all non-isomorphic pairs at this domain's
@@ -127,14 +128,22 @@ pub fn measure_lower_bound(
 }
 
 /// Per-query state shared by every [`summarize`] call of one scan: the
-/// query-side invariants are computed once, and the (worst-case
-/// exponential) isomorphism short-circuit is enabled only when it is both
-/// wanted and sound.
+/// query-side invariants — label multisets, edge-class multiset, sorted
+/// degree sequence, WL fingerprint — are computed **once** instead of once
+/// per candidate, and the (worst-case exponential) isomorphism
+/// short-circuit is enabled only when it is both wanted and sound.
 #[derive(Clone, Debug)]
 pub struct PrefilterContext {
     query_fingerprint: u64,
     query_connected: bool,
     check_isomorphism: bool,
+    vertex_labels: Multiset<Label>,
+    edge_labels: Multiset<Label>,
+    edge_classes: Multiset<EdgeClass>,
+    degrees: Vec<usize>,
+    order: usize,
+    size: usize,
+    label_total: u32,
 }
 
 impl PrefilterContext {
@@ -150,6 +159,9 @@ impl PrefilterContext {
     /// active and sound.
     pub fn for_query(q: &Graph, solvers: &SolverConfig, prefilter: bool) -> Self {
         let check = prefilter && solvers.ged == GedMode::Exact && solvers.mcs == McsMode::Exact;
+        let vertex_labels = vertex_label_multiset(q);
+        let edge_labels = edge_label_multiset(q);
+        let label_total = vertex_labels.total() + edge_labels.total();
         PrefilterContext {
             query_fingerprint: if check {
                 wl::wl_fingerprint(q, WL_ROUNDS)
@@ -158,11 +170,22 @@ impl PrefilterContext {
             },
             query_connected: check && algo::is_connected(q),
             check_isomorphism: check,
+            vertex_labels,
+            edge_labels,
+            edge_classes: edge_class_multiset(q),
+            degrees: degree_sequence(q),
+            order: q.order(),
+            size: q.size(),
+            label_total,
         }
     }
 }
 
 /// Computes the pair summary for a candidate against the query.
+///
+/// `q` must be the graph the context was built for; all query-side
+/// invariants (label multisets, degree sequence, WL fingerprint) come from
+/// the context so only the candidate side is derived per call.
 pub fn summarize(
     g: &Graph,
     q: &Graph,
@@ -178,10 +201,24 @@ pub fn summarize(
         && algo::is_connected(g)
         && gss_iso::are_isomorphic(g, q);
 
-    let ged_lb = ged_lower_bound(g, q);
-    let mcs_ub = mcs_edge_upper_bound(g, q);
-    let sizes = (g.size(), q.size());
-    let (mismatch, total) = label_histogram_stats(g, q);
+    // Candidate-side summaries, combined with the context's query side —
+    // the same quantities as `ged_lower_bound`/`mcs_edge_upper_bound`
+    // without recomputing the query's half of each bound.
+    let g_vertices = vertex_label_multiset(g);
+    let g_edges = edge_label_multiset(g);
+    let vertex_align =
+        (g.order().max(ctx.order) as u32) - g_vertices.intersection_size(&ctx.vertex_labels);
+    let edge_align = (g.size().max(ctx.size) as u32) - g_edges.intersection_size(&ctx.edge_labels);
+    let degree_lb = degree_sequence_l1_presorted(&degree_sequence(g), &ctx.degrees).div_ceil(2);
+    let size_diff = g.size().abs_diff(ctx.size);
+    let ged_lb = (f64::from(vertex_align + edge_align))
+        .max(degree_lb as f64)
+        .max(size_diff as f64);
+    let mcs_ub = edge_class_multiset(g).intersection_size(&ctx.edge_classes) as usize;
+    let sizes = (g.size(), ctx.size);
+    let mismatch = g_vertices.symmetric_difference_size(&ctx.vertex_labels)
+        + g_edges.symmetric_difference_size(&ctx.edge_labels);
+    let total = g_vertices.total() + g_edges.total() + ctx.label_total;
     let label_histogram = if total == 0 {
         0.0
     } else {
@@ -211,6 +248,17 @@ pub struct PruneStats {
     /// Candidates resolved by the WL + isomorphism distance-zero
     /// short-circuit (no solver ran; their exact vector is all-zeros).
     pub short_circuited: usize,
+    /// Candidates skipped wholesale by the metric index: their partition's
+    /// bound vector was dominated before any per-candidate work
+    /// (no summary, no solver). Zero without [`crate::QueryOptions::index`].
+    pub index_skipped: usize,
+    /// Partitions in the index plan (zero without an index).
+    pub index_partitions: usize,
+    /// Partitions skipped wholesale.
+    pub index_partitions_skipped: usize,
+    /// Cheap query-to-pivot probes the index plan cost (bound computations,
+    /// not exact solver calls).
+    pub pivot_probes: usize,
 }
 
 impl PruneStats {
@@ -219,7 +267,18 @@ impl PruneStats {
         if self.candidates == 0 {
             0.0
         } else {
-            (self.pruned + self.short_circuited) as f64 / self.candidates as f64
+            (self.pruned + self.short_circuited + self.index_skipped) as f64
+                / self.candidates as f64
+        }
+    }
+
+    /// Fraction of candidates the index skipped before any per-candidate
+    /// lower-bound computation, in `[0, 1]`.
+    pub fn index_skip_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.index_skipped as f64 / self.candidates as f64
         }
     }
 }
@@ -227,7 +286,7 @@ impl PruneStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measures::{compute_primitives, SolverConfig};
+    use crate::measures::{compute_primitives, label_histogram_stats, SolverConfig};
     use gss_graph::{GraphBuilder, Vocabulary};
 
     fn pair() -> (Graph, Graph) {
@@ -373,14 +432,58 @@ mod tests {
     }
 
     #[test]
+    fn context_path_matches_standalone_bounds() {
+        // `summarize` combines the hoisted query-side invariants with the
+        // candidate side; the result must be exactly what the standalone
+        // pair functions compute.
+        let (a, b) = pair();
+        let measures = [
+            MeasureKind::EditDistance,
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+            MeasureKind::LabelHistogram,
+        ];
+        let summary = summarize(&a, &b, &measures, &exact_ctx(&b));
+        let ged_lb = ged_lower_bound(&a, &b);
+        let mcs_ub = mcs_edge_upper_bound(&a, &b);
+        let (mismatch, total) = label_histogram_stats(&a, &b);
+        let lh = f64::from(mismatch) / f64::from(total);
+        for (i, m) in measures.iter().enumerate() {
+            assert_eq!(
+                summary.lower.values[i],
+                measure_lower_bound(*m, ged_lb, mcs_ub, (a.size(), b.size()), lh),
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
     fn pruning_rate_arithmetic() {
         let stats = PruneStats {
             candidates: 10,
             verified: 4,
             pruned: 5,
             short_circuited: 1,
+            ..PruneStats::default()
         };
         assert!((stats.pruning_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(stats.index_skip_rate(), 0.0);
         assert_eq!(PruneStats::default().pruning_rate(), 0.0);
+        assert_eq!(PruneStats::default().index_skip_rate(), 0.0);
+
+        let indexed = PruneStats {
+            candidates: 10,
+            verified: 2,
+            pruned: 2,
+            short_circuited: 1,
+            index_skipped: 5,
+            index_partitions: 4,
+            index_partitions_skipped: 2,
+            pivot_probes: 3,
+        };
+        assert!((indexed.pruning_rate() - 0.8).abs() < 1e-12);
+        assert!((indexed.index_skip_rate() - 0.5).abs() < 1e-12);
     }
 }

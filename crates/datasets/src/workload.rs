@@ -53,6 +53,24 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// The canonical CI smoke workload: the 120-graph molecule database the
+    /// `scaling` benchmark report, the `BENCH_2.json` artifact and the CI
+    /// regression gate all share. One definition keeps "the committed smoke
+    /// workload" unambiguous — changing these values invalidates the perf
+    /// trajectory tracked across PRs, so don't, without a CHANGES.md note.
+    pub fn bench_smoke() -> WorkloadConfig {
+        WorkloadConfig {
+            kind: WorkloadKind::Molecule,
+            database_size: 120,
+            graph_vertices: 7,
+            related_fraction: 0.3,
+            max_edits: 4,
+            seed: 0x56,
+        }
+    }
+}
+
 /// A generated workload.
 #[derive(Clone, Debug)]
 pub struct Workload {
@@ -199,6 +217,15 @@ mod tests {
                 "planted graph {idx} drifted: {d} > {edits}"
             );
         }
+    }
+
+    #[test]
+    fn bench_smoke_workload_is_stable() {
+        let cfg = WorkloadConfig::bench_smoke();
+        assert_eq!(cfg.database_size, 120);
+        let w = Workload::generate(&cfg);
+        assert_eq!(w.graphs.len(), 120);
+        assert_eq!(w.planted.len(), 36, "30% of the smoke workload is planted");
     }
 
     #[test]

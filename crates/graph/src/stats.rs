@@ -32,6 +32,26 @@ impl<K: Ord + Copy> Multiset<K> {
         *self.counts.entry(key).or_insert(0) += 1;
     }
 
+    /// Adds `n` occurrences of `key`.
+    pub fn insert_n(&mut self, key: K, n: u32) {
+        if n > 0 {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Raises every key's multiplicity to at least its multiplicity in
+    /// `other`: the per-key maximum, i.e. the smallest multiset containing
+    /// both. Folding this over a set of multisets yields their *envelope* —
+    /// any multiset's intersection with a member is at most its
+    /// intersection with the envelope, which is what partition-level
+    /// similarity bounds rely on.
+    pub fn max_union(&mut self, other: &Self) {
+        for (k, c) in other.iter() {
+            let e = self.counts.entry(*k).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+
     /// Multiplicity of `key`.
     pub fn count(&self, key: &K) -> u32 {
         self.counts.get(key).copied().unwrap_or(0)
@@ -172,12 +192,15 @@ pub fn degree_sequence(g: &Graph) -> Vec<usize> {
 /// Sorting minimizes the element-wise matching cost between the two degree
 /// multisets, so this is the tightest position-wise comparison.
 pub fn degree_sequence_l1(g1: &Graph, g2: &Graph) -> usize {
-    let (a, b) = (degree_sequence(g1), degree_sequence(g2));
-    let (longer, shorter) = if a.len() >= b.len() {
-        (&a, &b)
-    } else {
-        (&b, &a)
-    };
+    degree_sequence_l1_presorted(&degree_sequence(g1), &degree_sequence(g2))
+}
+
+/// [`degree_sequence_l1`] over already-sorted (ascending) degree sequences.
+///
+/// Scans that compare one query against many candidates sort the query's
+/// sequence once and call this per candidate instead of re-deriving it.
+pub fn degree_sequence_l1_presorted(a: &[usize], b: &[usize]) -> usize {
+    let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let pad = longer.len() - shorter.len();
     // Align the shorter sequence against the top of the longer one: padding
     // zeros occupy the smallest positions of the sorted order.
@@ -225,6 +248,28 @@ mod tests {
     }
 
     #[test]
+    fn max_union_is_an_envelope() {
+        let a: Multiset<u32> = [1, 1, 2].into_iter().collect();
+        let b: Multiset<u32> = [1, 2, 2, 3].into_iter().collect();
+        let mut env = a.clone();
+        env.max_union(&b);
+        assert_eq!(env.count(&1), 2);
+        assert_eq!(env.count(&2), 2);
+        assert_eq!(env.count(&3), 1);
+        // Envelope property: ∀ probe q, q ∩ member ≤ q ∩ envelope.
+        let q: Multiset<u32> = [1, 2, 3, 3].into_iter().collect();
+        assert!(q.intersection_size(&a) <= q.intersection_size(&env));
+        assert!(q.intersection_size(&b) <= q.intersection_size(&env));
+
+        let mut m = Multiset::new();
+        m.insert_n(7, 3);
+        m.insert_n(8, 0);
+        assert_eq!(m.count(&7), 3);
+        assert_eq!(m.count(&8), 0);
+        assert_eq!(m.distinct(), 1, "insert_n(_, 0) must not create a key");
+    }
+
+    #[test]
     fn intersection_and_symmetric_difference() {
         let a: Multiset<u32> = [1, 1, 2].into_iter().collect();
         let b: Multiset<u32> = [1, 2, 2, 3].into_iter().collect();
@@ -268,6 +313,20 @@ mod tests {
         assert_eq!(vertex_alignment_lower_bound(&g1, &g1), 0);
         assert_eq!(edge_alignment_lower_bound(&g1, &g1), 0);
         assert_eq!(mcs_upper_bound(&g1, &g1) as usize, g1.size());
+    }
+
+    #[test]
+    fn presorted_l1_matches_graph_l1() {
+        let (g1, g2) = sample();
+        let (a, b) = (degree_sequence(&g1), degree_sequence(&g2));
+        assert_eq!(
+            degree_sequence_l1_presorted(&a, &b),
+            degree_sequence_l1(&g1, &g2)
+        );
+        // Padding: [1, 2] vs [3] → the 1 aligns with an implicit 0, the 2
+        // with the 3: 1 + 1 = 2.
+        assert_eq!(degree_sequence_l1_presorted(&[1, 2], &[3]), 2);
+        assert_eq!(degree_sequence_l1_presorted(&[], &[2, 2]), 4);
     }
 
     #[test]

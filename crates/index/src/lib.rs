@@ -1,0 +1,631 @@
+//! # gss-index — a pivot-based metric index for similarity skyline scans
+//!
+//! PR 1's filter-and-verify pipeline still touches every database graph to
+//! compute per-candidate lower bounds. This crate removes that linear
+//! factor from the hot path, following the metric-indexing playbook of the
+//! PM-tree metric skyline and MSQ-Index lines of work:
+//!
+//! * **Build time** ([`PivotIndex::build`]): select `k` pivot graphs with
+//!   the maxmin (farthest-point) heuristic under exact uniform GED,
+//!   precompute every database graph's exact GED to every pivot, and store
+//!   the graphs in **distance-ring partitions** (nearest pivot × distance
+//!   quantile). Each partition additionally records label-multiset and
+//!   edge-class *envelopes* (per-key maxima over its members) and its
+//!   member size ranges.
+//! * **Query time** ([`gss_core::QueryIndex::plan`]): `k` cheap probes
+//!   bracket the query's GED to each pivot (admissible lower bound +
+//!   bipartite upper bound — **no exact solver runs**), and every partition
+//!   gets a per-measure lower-bound vector valid for all of its members.
+//!   The engine then skips whole partitions whose vector is dominated by a
+//!   verified skyline point, without touching their members.
+//!
+//! # Which dimensions get triangle bounds
+//!
+//! Only the GED-derived measures (`DistEd`, `DistN-Ed`). Uniform GED is a
+//! true metric (edit scripts compose), and `x ↦ x/(1+x)` preserves
+//! metricity. The MCS-based measures do **not** satisfy the triangle
+//! inequality for the *connected* MCS this workspace uses, despite the
+//! classic Bunke–Shearer result for the unconstrained MCS. Counterexample
+//! on a 6-cycle `C6` with distinct vertex labels: let `g2 = C6` and let
+//! `g1`, `g3` be the 5-edge paths obtained by deleting opposite-ish edges
+//! `e6` and `e3`. Then `DistMcs(g1, g2) = DistMcs(g2, g3) = 1/6`, but the
+//! largest **connected** common subgraph of `g1` and `g3` has only 2 of
+//! their 5 edges (their 4 shared edges form two separate arcs), so
+//! `DistMcs(g1, g3) = 3/5 > 1/6 + 1/6`. The MCS dimensions (and the
+//! non-metric label-histogram measure) therefore use **envelope bounds**
+//! instead: a partition's edge-class envelope upper-bounds every member's
+//! common-subgraph size against any query, which lower-bounds `DistMcs`
+//! and `DistGu` for the whole partition.
+//!
+//! Both bound families are admissible against the *exact* distances, and
+//! every approximate solver in the workspace only ever over-estimates
+//! distances, so the bounds stay sound under every
+//! [`gss_core::SolverConfig`] — the indexed scan is provably
+//! answer-identical to the naive scan (property-tested in
+//! `tests/index_pipeline.rs`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gss_core::{graph_similarity_skyline, GraphDatabase, QueryOptions};
+//! use gss_index::{PivotIndex, PivotIndexConfig};
+//!
+//! let mut db = GraphDatabase::new();
+//! db.add("path", |b| b.vertices(&["x", "y", "z"], "C").path(&["x", "y", "z"], "-")).unwrap();
+//! db.add("tri", |b| b.vertices(&["x", "y", "z"], "C").cycle(&["x", "y", "z"], "-")).unwrap();
+//! let q = db.build_query("q", |b| b.vertices(&["x", "y", "z"], "C").path(&["x", "y", "z"], "-")).unwrap();
+//!
+//! let index = Arc::new(PivotIndex::build(&db, &PivotIndexConfig::default()));
+//! let options = QueryOptions::default().with_index(index);
+//! let result = graph_similarity_skyline(&db, &q, &options);
+//! assert_eq!(result.skyline[0].index(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod serialize;
+
+use gss_core::database::{GraphDatabase, GraphId};
+use gss_core::index::{IndexPartition, IndexPlan, QueryIndex};
+use gss_core::measures::{GcsVector, MeasureKind};
+use gss_ged::bipartite::bipartite_ged;
+use gss_ged::CostModel;
+use gss_graph::stats::{
+    edge_class_multiset, edge_label_multiset, vertex_label_multiset, EdgeClass, Multiset,
+};
+use gss_graph::{Graph, Label};
+
+pub use serialize::IndexError;
+
+/// Build-time knobs for [`PivotIndex::build`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PivotIndexConfig {
+    /// Number of pivot graphs (maxmin-selected). The build runs
+    /// `pivots × |D|` exact GED computations; more pivots give tighter
+    /// triangle bounds and finer partitions at higher build cost.
+    pub pivots: usize,
+    /// Distance rings per pivot cell: members of a cell are split into this
+    /// many distance quantiles. More rings mean smaller partitions with
+    /// tighter bounds but more partitions to test per query.
+    pub rings: usize,
+}
+
+impl Default for PivotIndexConfig {
+    fn default() -> Self {
+        PivotIndexConfig {
+            pivots: 4,
+            rings: 3,
+        }
+    }
+}
+
+/// One distance-ring partition and its precomputed pruning data.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Partition {
+    /// Member graph ids, ascending.
+    pub members: Vec<u32>,
+    /// Per-pivot `[min, max]` of members' exact GED to that pivot.
+    pub ged_rings: Vec<(f64, f64)>,
+    /// Per-key maximum of members' vertex-label multisets.
+    pub vertex_env: Multiset<Label>,
+    /// Per-key maximum of members' edge-label multisets.
+    pub edge_env: Multiset<Label>,
+    /// Per-key maximum of members' edge-class multisets.
+    pub class_env: Multiset<EdgeClass>,
+    /// Range of members' vertex counts.
+    pub order_range: (usize, usize),
+    /// Range of members' edge counts.
+    pub size_range: (usize, usize),
+}
+
+/// The pivot-based metric index over one [`GraphDatabase`].
+///
+/// Built once per database ([`PivotIndex::build`]), shared across queries
+/// and threads (attach with [`gss_core::QueryOptions::with_index`]), and
+/// persistable through the versioned binary format
+/// ([`PivotIndex::to_bytes`] / [`PivotIndex::from_bytes`]). A loaded index
+/// refuses to plan against a database whose [`GraphDatabase::fingerprint`]
+/// differs from the one it was built on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PivotIndex {
+    pub(crate) db_len: usize,
+    pub(crate) db_fingerprint: u64,
+    pub(crate) config: PivotIndexConfig,
+    /// Chosen pivot graph ids (may be fewer than `config.pivots` when the
+    /// database is small or collapses onto the pivots).
+    pub(crate) pivot_ids: Vec<u32>,
+    /// Exact GED from every graph to every pivot, row-major
+    /// (`dist[g * k + j]`).
+    pub(crate) pivot_dists: Vec<f64>,
+    pub(crate) partitions: Vec<Partition>,
+}
+
+impl PivotIndex {
+    /// Builds the index: maxmin pivot selection, exact GED distance table,
+    /// distance-ring partitions with envelopes. Deterministic in the
+    /// database order. Cost: `pivots × |D|` exact GED computations.
+    pub fn build(db: &GraphDatabase, config: &PivotIndexConfig) -> PivotIndex {
+        let n = db.len();
+        let k_wanted = config.pivots.max(1).min(n.max(1));
+        let rings = config.rings.max(1);
+
+        // Maxmin (farthest-point) pivot selection under exact GED. The
+        // first pivot is graph 0 (any deterministic seed works); each next
+        // pivot maximizes its minimum distance to the chosen set, so the
+        // pivots spread across the database's metric extent. Rows computed
+        // during selection *are* the final distance table.
+        let mut pivot_ids: Vec<u32> = Vec::new();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut min_dist = vec![f64::INFINITY; n];
+        let mut next = 0usize;
+        while pivot_ids.len() < k_wanted && n > 0 {
+            pivot_ids.push(next as u32);
+            let pivot = db.get(GraphId(next));
+            let row: Vec<f64> = (0..n)
+                .map(|g| {
+                    if g == next {
+                        0.0
+                    } else {
+                        gss_ged::ged(db.get(GraphId(g)), pivot)
+                    }
+                })
+                .collect();
+            for (g, &d) in row.iter().enumerate() {
+                if d < min_dist[g] {
+                    min_dist[g] = d;
+                }
+            }
+            rows.push(row);
+            // Farthest remaining graph; a maximum of zero means every graph
+            // is isomorphic to some pivot — more pivots add nothing.
+            let far = (0..n).max_by(|&a, &b| {
+                min_dist[a]
+                    .partial_cmp(&min_dist[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a)) // prefer the smaller id on ties
+            });
+            match far {
+                Some(g) if min_dist[g] > 0.0 => next = g,
+                _ => break,
+            }
+        }
+        let k = pivot_ids.len();
+
+        // Row-major per-graph distance vectors.
+        let mut pivot_dists = vec![0.0f64; n * k];
+        for (j, row) in rows.iter().enumerate() {
+            for g in 0..n {
+                pivot_dists[g * k + j] = row[g];
+            }
+        }
+
+        // Assign each graph to its nearest pivot (ties to the lower pivot
+        // index), then split each cell into `rings` distance quantiles.
+        let mut cells: Vec<Vec<usize>> = vec![Vec::new(); k.max(1)];
+        for g in 0..n {
+            let mut best = 0usize;
+            for j in 1..k {
+                if pivot_dists[g * k + j] < pivot_dists[g * k + best] {
+                    best = j;
+                }
+            }
+            cells[best].push(g);
+        }
+        let mut partitions = Vec::new();
+        for (j, mut cell) in cells.into_iter().enumerate() {
+            cell.sort_by(|&a, &b| {
+                pivot_dists[a * k + j]
+                    .partial_cmp(&pivot_dists[b * k + j])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let buckets = rings.min(cell.len().max(1));
+            for r in 0..buckets {
+                let lo = r * cell.len() / buckets;
+                let hi = (r + 1) * cell.len() / buckets;
+                if lo < hi {
+                    partitions.push(Self::summarize_partition(
+                        db,
+                        &cell[lo..hi],
+                        k,
+                        &pivot_dists,
+                    ));
+                }
+            }
+        }
+
+        PivotIndex {
+            db_len: n,
+            db_fingerprint: db.fingerprint(),
+            config: PivotIndexConfig {
+                pivots: config.pivots,
+                rings,
+            },
+            pivot_ids,
+            pivot_dists,
+            partitions,
+        }
+    }
+
+    fn summarize_partition(
+        db: &GraphDatabase,
+        members: &[usize],
+        k: usize,
+        pivot_dists: &[f64],
+    ) -> Partition {
+        let mut ids: Vec<u32> = members.iter().map(|&g| g as u32).collect();
+        ids.sort_unstable();
+        let mut ged_rings = vec![(f64::INFINITY, f64::NEG_INFINITY); k];
+        let mut vertex_env = Multiset::new();
+        let mut edge_env = Multiset::new();
+        let mut class_env = Multiset::new();
+        let mut order_range = (usize::MAX, 0usize);
+        let mut size_range = (usize::MAX, 0usize);
+        for &g in members {
+            for j in 0..k {
+                let d = pivot_dists[g * k + j];
+                ged_rings[j].0 = ged_rings[j].0.min(d);
+                ged_rings[j].1 = ged_rings[j].1.max(d);
+            }
+            let graph = db.get(GraphId(g));
+            vertex_env.max_union(&vertex_label_multiset(graph));
+            edge_env.max_union(&edge_label_multiset(graph));
+            class_env.max_union(&edge_class_multiset(graph));
+            order_range.0 = order_range.0.min(graph.order());
+            order_range.1 = order_range.1.max(graph.order());
+            size_range.0 = size_range.0.min(graph.size());
+            size_range.1 = size_range.1.max(graph.size());
+        }
+        Partition {
+            members: ids,
+            ged_rings,
+            vertex_env,
+            edge_env,
+            class_env,
+            order_range,
+            size_range,
+        }
+    }
+
+    /// Checks that this index belongs to `db` (length and structural
+    /// fingerprint). [`QueryIndex::plan`] panics on mismatch; callers that
+    /// load indexes from disk should surface this error instead.
+    pub fn validate(&self, db: &GraphDatabase) -> Result<(), IndexError> {
+        if db.len() != self.db_len || db.fingerprint() != self.db_fingerprint {
+            return Err(IndexError::DatabaseMismatch {
+                index_graphs: self.db_len,
+                db_graphs: db.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of database graphs the index was built over.
+    pub fn len(&self) -> usize {
+        self.db_len
+    }
+
+    /// True when the index covers an empty database.
+    pub fn is_empty(&self) -> bool {
+        self.db_len == 0
+    }
+
+    /// The chosen pivot graphs.
+    pub fn pivots(&self) -> Vec<GraphId> {
+        self.pivot_ids
+            .iter()
+            .map(|&p| GraphId(p as usize))
+            .collect()
+    }
+
+    /// Number of distance-ring partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The fingerprint of the database the index was built on.
+    pub fn database_fingerprint(&self) -> u64 {
+        self.db_fingerprint
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> PivotIndexConfig {
+        self.config
+    }
+}
+
+/// The query-side view of one plan: probe results and query invariants.
+struct Probe {
+    /// Per pivot: admissible lower and (bipartite) upper bound on the
+    /// query's exact GED to that pivot.
+    ged_bracket: Vec<(f64, f64)>,
+    vertex_labels: Multiset<Label>,
+    edge_labels: Multiset<Label>,
+    edge_classes: Multiset<EdgeClass>,
+    order: usize,
+    size: usize,
+    label_total: u32,
+}
+
+impl PivotIndex {
+    fn probe(&self, db: &GraphDatabase, query: &Graph) -> Probe {
+        let cost = CostModel::uniform();
+        let ged_bracket = self
+            .pivot_ids
+            .iter()
+            .map(|&p| {
+                let pivot = db.get(GraphId(p as usize));
+                let size_diff = query.size().abs_diff(pivot.size()) as f64;
+                let lo = gss_ged::combined_lower_bound(query, pivot).max(size_diff);
+                let hi = bipartite_ged(query, pivot, &cost).cost;
+                (lo, hi)
+            })
+            .collect();
+        let vertex_labels = vertex_label_multiset(query);
+        let edge_labels = edge_label_multiset(query);
+        let label_total = vertex_labels.total() + edge_labels.total();
+        Probe {
+            ged_bracket,
+            vertex_labels,
+            edge_labels,
+            edge_classes: edge_class_multiset(query),
+            order: query.order(),
+            size: query.size(),
+            label_total,
+        }
+    }
+
+    /// The admissible per-measure lower-bound vector of one partition.
+    fn partition_bound(
+        &self,
+        part: &Partition,
+        probe: &Probe,
+        measures: &[MeasureKind],
+    ) -> GcsVector {
+        // Triangle bound on exact GED, per pivot: for every member g,
+        //   ged(g, q) ≥ ged(q, p) − ged(g, p) ≥ lo_p − ring_max, and
+        //   ged(g, q) ≥ ged(g, p) − ged(q, p) ≥ ring_min − hi_p.
+        let mut tri: f64 = 0.0;
+        for (j, &(lo, hi)) in probe.ged_bracket.iter().enumerate() {
+            let (ring_min, ring_max) = part.ged_rings[j];
+            tri = tri.max(lo - ring_max).max(ring_min - hi);
+        }
+        // Envelope bound on GED: every member must align the query's
+        // vertex and edge label multisets, and it can match at most what
+        // the partition envelope matches.
+        let v_align = (part.order_range.0.max(probe.order) as u32)
+            .saturating_sub(part.vertex_env.intersection_size(&probe.vertex_labels));
+        let e_align = (part.size_range.0.max(probe.size) as u32)
+            .saturating_sub(part.edge_env.intersection_size(&probe.edge_labels));
+        let ged_bound = tri.max(f64::from(v_align + e_align)).max(0.0);
+
+        // Envelope bound on the common-subgraph size: any member's common
+        // subgraph with the query has at most `env ∩ q` edges.
+        let env_mcs = f64::from(part.class_env.intersection_size(&probe.edge_classes));
+        let min_size = part.size_range.0;
+        let mcs_denom = min_size.max(probe.size) as f64;
+        let mcs_bound = if mcs_denom == 0.0 {
+            0.0
+        } else {
+            (1.0 - env_mcs / mcs_denom).max(0.0)
+        };
+        let gu_denom = (min_size + probe.size) as f64 - env_mcs;
+        let gu_bound = if gu_denom <= 0.0 {
+            mcs_bound
+        } else {
+            // DistGu ≥ DistMcs always (Section IV-C of the paper), so the
+            // Gu dimension keeps at least the Mcs bound.
+            ((1.0 - env_mcs / gu_denom).max(0.0)).max(mcs_bound)
+        };
+
+        // Label-histogram deficit: occurrences the query demands that no
+        // member can supply, over an upper bound on the pair label total.
+        let deficit = multiset_deficit(&probe.vertex_labels, &part.vertex_env)
+            + multiset_deficit(&probe.edge_labels, &part.edge_env);
+        let lh_total =
+            f64::from(probe.label_total) + (part.order_range.1 + part.size_range.1) as f64;
+        let lh_bound = if lh_total == 0.0 {
+            0.0
+        } else {
+            f64::from(deficit) / lh_total
+        };
+
+        GcsVector {
+            values: measures
+                .iter()
+                .map(|m| match m {
+                    MeasureKind::EditDistance => ged_bound,
+                    MeasureKind::NormalizedEditDistance => ged_bound / (1.0 + ged_bound),
+                    MeasureKind::Mcs => mcs_bound,
+                    MeasureKind::Gu => gu_bound,
+                    MeasureKind::LabelHistogram => lh_bound,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `Σ_key max(0, a[key] − b[key])`: the occurrences of `a` that `b` cannot
+/// match.
+fn multiset_deficit<K: Ord + Copy>(a: &Multiset<K>, b: &Multiset<K>) -> u32 {
+    a.iter().map(|(k, c)| c.saturating_sub(b.count(k))).sum()
+}
+
+impl QueryIndex for PivotIndex {
+    fn plan(&self, db: &GraphDatabase, query: &Graph, measures: &[MeasureKind]) -> IndexPlan {
+        if let Err(e) = self.validate(db) {
+            panic!("pivot index does not match the database: {e}");
+        }
+        let probe = self.probe(db, query);
+        let partitions = self
+            .partitions
+            .iter()
+            .map(|p| IndexPartition {
+                members: p.members.iter().map(|&g| GraphId(g as usize)).collect(),
+                bound: self.partition_bound(p, &probe, measures),
+            })
+            .collect();
+        IndexPlan {
+            partitions,
+            pivot_probes: self.pivot_ids.len(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pivot index: {} pivots, {} partitions over {} graphs (rings {})",
+            self.pivot_ids.len(),
+            self.partitions.len(),
+            self.db_len,
+            self.config.rings
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_core::measures::{compute_primitives, SolverConfig};
+    use gss_core::{graph_similarity_skyline, QueryOptions};
+    use gss_datasets::paper::figure3_database;
+    use std::sync::Arc;
+
+    fn paper_db() -> (GraphDatabase, Graph) {
+        let data = figure3_database();
+        (
+            GraphDatabase::from_parts(data.vocab, data.graphs),
+            data.query,
+        )
+    }
+
+    #[test]
+    fn build_is_deterministic_and_covers_the_database() {
+        let (db, _) = paper_db();
+        let a = PivotIndex::build(&db, &PivotIndexConfig::default());
+        let b = PivotIndex::build(&db, &PivotIndexConfig::default());
+        assert_eq!(a, b);
+        let mut seen: Vec<u32> = a
+            .partitions
+            .iter()
+            .flat_map(|p| p.members.clone())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..db.len() as u32).collect::<Vec<_>>());
+        assert!(!a.pivot_ids.is_empty());
+        assert!(a.pivot_ids.len() <= 4);
+    }
+
+    #[test]
+    fn maxmin_pivots_are_distinct_and_spread() {
+        let (db, _) = paper_db();
+        let idx = PivotIndex::build(
+            &db,
+            &PivotIndexConfig {
+                pivots: 3,
+                rings: 2,
+            },
+        );
+        let mut ids = idx.pivot_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), idx.pivot_ids.len(), "pivots must be distinct");
+        // Every later pivot is at nonzero GED from every earlier pivot.
+        let k = idx.pivot_ids.len();
+        for a_pos in 0..k {
+            for &b in &idx.pivot_ids[a_pos + 1..] {
+                assert!(idx.pivot_dists[(b as usize) * k + a_pos] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bounds_are_admissible_on_paper_data() {
+        let (db, q) = paper_db();
+        let idx = PivotIndex::build(
+            &db,
+            &PivotIndexConfig {
+                pivots: 3,
+                rings: 3,
+            },
+        );
+        let measures = [
+            MeasureKind::EditDistance,
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+            MeasureKind::LabelHistogram,
+        ];
+        let plan = idx.plan(&db, &q, &measures);
+        assert_eq!(plan.pivot_probes, idx.pivot_ids.len());
+        for part in &plan.partitions {
+            for id in &part.members {
+                let p = compute_primitives(db.get(*id), &q, &SolverConfig::default());
+                for (d, m) in measures.iter().enumerate() {
+                    let exact = m.from_primitives(&p);
+                    assert!(
+                        part.bound.values[d] <= exact + 1e-9,
+                        "partition bound {} > exact {} for {} of g{}",
+                        part.bound.values[d],
+                        exact,
+                        m.name(),
+                        id.index() + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_query_matches_naive_on_paper_data() {
+        let (db, q) = paper_db();
+        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let idx = Arc::new(PivotIndex::build(&db, &PivotIndexConfig::default()));
+        let indexed = graph_similarity_skyline(&db, &q, &QueryOptions::default().with_index(idx));
+        assert_eq!(indexed.skyline, naive.skyline);
+        assert_eq!(indexed.dominated, naive.dominated);
+        let stats = indexed.pruning.expect("indexed stats");
+        assert_eq!(stats.candidates, db.len());
+        assert_eq!(
+            stats.verified + stats.pruned + stats.short_circuited + stats.index_skipped,
+            db.len()
+        );
+        assert!(stats.index_partitions > 0);
+    }
+
+    #[test]
+    fn mismatched_database_is_rejected() {
+        let (db, _) = paper_db();
+        let idx = PivotIndex::build(&db, &PivotIndexConfig::default());
+        let mut other = db.clone();
+        other.add("extra", |b| b.vertex("x", "C")).unwrap();
+        assert!(matches!(
+            idx.validate(&other),
+            Err(IndexError::DatabaseMismatch { .. })
+        ));
+        assert!(idx.validate(&db).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the database")]
+    fn planning_against_a_mismatched_database_panics() {
+        let (db, q) = paper_db();
+        let idx = PivotIndex::build(&db, &PivotIndexConfig::default());
+        let mut other = db.clone();
+        other.add("extra", |b| b.vertex("x", "C")).unwrap();
+        let _ = idx.plan(&other, &q, &MeasureKind::paper_query_measures());
+    }
+
+    #[test]
+    fn tiny_and_empty_databases_build() {
+        let empty = GraphDatabase::new();
+        let idx = PivotIndex::build(&empty, &PivotIndexConfig::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.partition_count(), 0);
+
+        let mut one = GraphDatabase::new();
+        one.add("g", |b| b.vertex("x", "C")).unwrap();
+        let idx = PivotIndex::build(&one, &PivotIndexConfig::default());
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.pivots(), vec![GraphId(0)]);
+        assert_eq!(idx.partition_count(), 1);
+    }
+}

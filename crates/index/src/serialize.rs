@@ -1,0 +1,300 @@
+//! Versioned binary persistence for [`PivotIndex`].
+//!
+//! The on-disk format uses the shared artifact framing from
+//! `gss_core::database::codec` — 8-byte magic, `u32` version, payload,
+//! FNV-1a checksum — so corruption, truncation and future-version files are
+//! rejected before any field is trusted. The payload stores the database
+//! fingerprint; loading succeeds against any byte-identical copy of the
+//! file, but planning against a *changed* database is refused (see
+//! [`PivotIndex::validate`]).
+
+use std::path::Path;
+
+use gss_core::database::codec::{CodecError, Reader, Writer};
+use gss_graph::stats::Multiset;
+use gss_graph::Label;
+
+use crate::{Partition, PivotIndex, PivotIndexConfig};
+
+/// Magic bytes of a serialized pivot index.
+pub(crate) const MAGIC: &[u8; 8] = b"GSSPIVIX";
+/// Current (and only) format version.
+pub(crate) const VERSION: u32 = 1;
+
+/// Why a pivot index could not be loaded or used.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The bytes are not a valid pivot-index artifact.
+    Codec(CodecError),
+    /// The index belongs to a different database (length or structural
+    /// fingerprint mismatch).
+    DatabaseMismatch {
+        /// Graph count recorded in the index.
+        index_graphs: usize,
+        /// Graph count of the database it was checked against.
+        db_graphs: usize,
+    },
+    /// Reading or writing the index file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Codec(e) => write!(f, "invalid index data: {e}"),
+            IndexError::DatabaseMismatch {
+                index_graphs,
+                db_graphs,
+            } => write!(
+                f,
+                "index was built for a different database \
+                 (index covers {index_graphs} graphs, database has {db_graphs}); rebuild it"
+            ),
+            IndexError::Io(e) => write!(f, "index file error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<CodecError> for IndexError {
+    fn from(e: CodecError) -> Self {
+        IndexError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+fn write_label_multiset(w: &mut Writer, m: &Multiset<Label>) {
+    w.usize(m.distinct());
+    for (l, c) in m.iter() {
+        w.u32(l.0);
+        w.u32(c);
+    }
+}
+
+fn read_label_multiset(r: &mut Reader<'_>) -> Result<Multiset<Label>, CodecError> {
+    let n = r.usize()?;
+    let mut m = Multiset::new();
+    for _ in 0..n {
+        let l = Label(r.u32()?);
+        m.insert_n(l, r.u32()?);
+    }
+    Ok(m)
+}
+
+impl PivotIndex {
+    /// Serializes the index to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(MAGIC, VERSION);
+        w.usize(self.db_len);
+        w.u64(self.db_fingerprint);
+        w.usize(self.config.pivots);
+        w.usize(self.config.rings);
+        w.usize(self.pivot_ids.len());
+        for &p in &self.pivot_ids {
+            w.u32(p);
+        }
+        for &d in &self.pivot_dists {
+            w.f64(d);
+        }
+        w.usize(self.partitions.len());
+        for part in &self.partitions {
+            w.usize(part.members.len());
+            for &g in &part.members {
+                w.u32(g);
+            }
+            for &(lo, hi) in &part.ged_rings {
+                w.f64(lo);
+                w.f64(hi);
+            }
+            write_label_multiset(&mut w, &part.vertex_env);
+            write_label_multiset(&mut w, &part.edge_env);
+            w.usize(part.class_env.distinct());
+            for (&(a, b, l), c) in part.class_env.iter() {
+                w.u32(a.0);
+                w.u32(b.0);
+                w.u32(l.0);
+                w.u32(c);
+            }
+            w.usize(part.order_range.0);
+            w.usize(part.order_range.1);
+            w.usize(part.size_range.0);
+            w.usize(part.size_range.1);
+        }
+        w.finish()
+    }
+
+    /// Deserializes an index previously produced by [`Self::to_bytes`],
+    /// verifying magic, version, checksum and structural sanity.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PivotIndex, IndexError> {
+        let (mut r, _version) = Reader::new(bytes, MAGIC, VERSION)?;
+        let db_len = r.usize()?;
+        let db_fingerprint = r.u64()?;
+        let config = PivotIndexConfig {
+            pivots: r.usize()?,
+            rings: r.usize()?,
+        };
+        let k = r.usize()?;
+        if k > db_len {
+            return Err(CodecError::Invalid(format!("{k} pivots over {db_len} graphs")).into());
+        }
+        // The checksum detects corruption, not hostility: never trust
+        // decoded lengths for pre-allocation (a crafted header could
+        // request terabytes), and multiply with overflow checks. Reads
+        // past the payload fail with Truncated long before the loops
+        // below become a problem.
+        const CAP_LIMIT: usize = 1 << 16;
+        let mut pivot_ids = Vec::with_capacity(k.min(CAP_LIMIT));
+        for _ in 0..k {
+            let p = r.u32()?;
+            if p as usize >= db_len {
+                return Err(CodecError::Invalid(format!("pivot id {p} out of range")).into());
+            }
+            pivot_ids.push(p);
+        }
+        let dists = db_len
+            .checked_mul(k)
+            .ok_or_else(|| CodecError::Invalid("distance table size overflows".into()))?;
+        let mut pivot_dists = Vec::with_capacity(dists.min(CAP_LIMIT));
+        for _ in 0..dists {
+            pivot_dists.push(r.f64()?);
+        }
+        let partition_count = r.usize()?;
+        let mut partitions = Vec::with_capacity(partition_count.min(db_len));
+        let mut covered = 0usize;
+        for _ in 0..partition_count {
+            let m = r.usize()?;
+            let mut members = Vec::with_capacity(m.min(db_len));
+            for _ in 0..m {
+                let g = r.u32()?;
+                if g as usize >= db_len {
+                    return Err(CodecError::Invalid(format!("member id {g} out of range")).into());
+                }
+                members.push(g);
+            }
+            covered += members.len();
+            let mut ged_rings = Vec::with_capacity(k);
+            for _ in 0..k {
+                ged_rings.push((r.f64()?, r.f64()?));
+            }
+            let vertex_env = read_label_multiset(&mut r)?;
+            let edge_env = read_label_multiset(&mut r)?;
+            let classes = r.usize()?;
+            let mut class_env = Multiset::new();
+            for _ in 0..classes {
+                let key = (Label(r.u32()?), Label(r.u32()?), Label(r.u32()?));
+                class_env.insert_n(key, r.u32()?);
+            }
+            let order_range = (r.usize()?, r.usize()?);
+            let size_range = (r.usize()?, r.usize()?);
+            partitions.push(Partition {
+                members,
+                ged_rings,
+                vertex_env,
+                edge_env,
+                class_env,
+                order_range,
+                size_range,
+            });
+        }
+        r.finish()?;
+        if covered != db_len {
+            return Err(CodecError::Invalid(format!(
+                "partitions cover {covered} of {db_len} graphs"
+            ))
+            .into());
+        }
+        Ok(PivotIndex {
+            db_len,
+            db_fingerprint,
+            config,
+            pivot_ids,
+            pivot_dists,
+            partitions,
+        })
+    }
+
+    /// Writes the index to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IndexError> {
+        std::fs::write(path, self.to_bytes()).map_err(IndexError::Io)
+    }
+
+    /// Reads an index from a file written by [`Self::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<PivotIndex, IndexError> {
+        PivotIndex::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_core::GraphDatabase;
+    use gss_datasets::paper::figure3_database;
+
+    fn index() -> PivotIndex {
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        PivotIndex::build(&db, &PivotIndexConfig::default())
+    }
+
+    #[test]
+    fn byte_round_trip_is_identical() {
+        let idx = index();
+        let bytes = idx.to_bytes();
+        let back = PivotIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is stable");
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_rejected() {
+        let bytes = index().to_bytes();
+        for flip in [8, 20, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x40;
+            assert!(
+                matches!(PivotIndex::from_bytes(&bad), Err(IndexError::Codec(_))),
+                "flipping byte {flip} must be caught"
+            );
+        }
+        assert!(matches!(
+            PivotIndex::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(IndexError::Codec(_))
+        ));
+        assert!(matches!(
+            PivotIndex::from_bytes(b"not an index"),
+            Err(IndexError::Codec(CodecError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let idx = index();
+        let mut w = Writer::new(MAGIC, VERSION + 1);
+        w.usize(idx.db_len);
+        let bytes = w.finish();
+        assert!(matches!(
+            PivotIndex::from_bytes(&bytes),
+            Err(IndexError::Codec(CodecError::UnsupportedVersion { .. }))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let idx = index();
+        let path = std::env::temp_dir().join(format!("gss-index-test-{}.gsi", std::process::id()));
+        idx.save(&path).unwrap();
+        let back = PivotIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back, idx);
+        assert!(matches!(
+            PivotIndex::load("/no/such/dir/zzz.gsi"),
+            Err(IndexError::Io(_))
+        ));
+    }
+}

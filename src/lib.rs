@@ -23,6 +23,7 @@
 //! | [`skyline`] (gss-skyline) | generic Pareto skyline operators |
 //! | [`diversity`] (gss-diversity) | rank-sum diversity refinement |
 //! | [`core`] (gss-core) | measures, GCS, the GSS query engine |
+//! | [`index`] (gss-index) | pivot-based metric index for sublinear scans |
 //! | [`datasets`] (gss-datasets) | paper datasets, generators, workloads |
 //!
 //! ## Quickstart
@@ -58,6 +59,7 @@ pub use gss_datasets as datasets;
 pub use gss_diversity as diversity;
 pub use gss_ged as ged;
 pub use gss_graph as graph;
+pub use gss_index as index;
 pub use gss_iso as iso;
 pub use gss_mcs as mcs;
 pub use gss_skyline as skyline;
@@ -71,6 +73,7 @@ pub mod prelude {
     };
     pub use gss_ged::{ged, CostModel};
     pub use gss_graph::{Graph, GraphBuilder, Label, Rng, Vocabulary};
+    pub use gss_index::{PivotIndex, PivotIndexConfig};
     pub use gss_iso::{are_isomorphic, is_subgraph_isomorphic};
     pub use gss_mcs::mcs_edge_size;
     pub use gss_skyline::Algorithm;

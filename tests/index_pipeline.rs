@@ -1,0 +1,244 @@
+//! Property tests for the pivot-index query pipeline.
+//!
+//! Three families of invariants:
+//!
+//! 1. **Admissibility** — every partition bound vector produced by an
+//!    [`PivotIndex`] plan is ≤ the exact GCS vector of *every* partition
+//!    member (an over-estimating bound would make partition skipping
+//!    unsound);
+//! 2. **Equivalence** — the indexed scan returns *identical* skylines and
+//!    domination witnesses to the naive scan, across workload kinds,
+//!    thread counts, solver configurations and index shapes;
+//! 3. **Persistence** — save → load → query is byte-identical to querying
+//!    the in-memory index (same skylines, witnesses, GCS matrix,
+//!    evaluated flags and pruning stats), and corrupted artifacts are
+//!    rejected up front.
+//!
+//! Plus one deliberate counterexample pinning down *why* the index only
+//! applies the triangle inequality to the GED dimensions.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use similarity_skyline::core::measures::compute_primitives;
+use similarity_skyline::core::QueryIndex;
+use similarity_skyline::datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use similarity_skyline::index::IndexError;
+use similarity_skyline::prelude::*;
+
+fn build_workload(seed: u64, size: usize, kind: WorkloadKind) -> (GraphDatabase, Graph) {
+    let cfg = WorkloadConfig {
+        kind,
+        database_size: size,
+        graph_vertices: 5,
+        related_fraction: 0.5,
+        max_edits: 3,
+        seed,
+    };
+    let w = Workload::generate(&cfg);
+    (GraphDatabase::from_parts(w.vocab, w.graphs), w.query)
+}
+
+fn indexed_options(
+    db: &GraphDatabase,
+    pivots: usize,
+    rings: usize,
+    threads: usize,
+    solvers: SolverConfig,
+) -> QueryOptions {
+    let index = Arc::new(PivotIndex::build(db, &PivotIndexConfig { pivots, rings }));
+    QueryOptions {
+        threads,
+        solvers,
+        ..QueryOptions::default()
+    }
+    .with_index(index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn partition_bounds_are_admissible(
+        seed in any::<u64>(),
+        size in 2usize..10,
+        pivots in 1usize..4,
+        rings in 1usize..4,
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let index = PivotIndex::build(&db, &PivotIndexConfig { pivots, rings });
+        let measures = vec![
+            MeasureKind::EditDistance,
+            MeasureKind::NormalizedEditDistance,
+            MeasureKind::Mcs,
+            MeasureKind::Gu,
+            MeasureKind::LabelHistogram,
+        ];
+        let plan = index.plan(&db, &q, &measures);
+        prop_assert_eq!(plan.pivot_probes, index.pivots().len());
+        for part in &plan.partitions {
+            for id in &part.members {
+                let p = compute_primitives(db.get(*id), &q, &SolverConfig::default());
+                for (d, m) in measures.iter().enumerate() {
+                    let exact = m.from_primitives(&p);
+                    prop_assert!(
+                        part.bound.values[d] <= exact + 1e-9,
+                        "partition bound {} exceeds exact {} for {} of graph {}",
+                        part.bound.values[d], exact, m.name(), id.index()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_scan_equals_naive_scan(
+        seed in any::<u64>(),
+        size in 2usize..10,
+        molecule in any::<bool>(),
+        threads in 1usize..4,
+        pivots in 1usize..4,
+        rings in 1usize..4,
+    ) {
+        let kind = if molecule { WorkloadKind::Molecule } else { WorkloadKind::Uniform };
+        let (db, q) = build_workload(seed, size, kind);
+        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let opts = indexed_options(&db, pivots, rings, threads, SolverConfig::default());
+        let indexed = graph_similarity_skyline(&db, &q, &opts);
+        prop_assert_eq!(&indexed.skyline, &naive.skyline);
+        prop_assert_eq!(&indexed.dominated, &naive.dominated, "witnesses must be identical");
+        let stats = indexed.pruning.expect("indexed stats");
+        prop_assert_eq!(
+            stats.verified + stats.pruned + stats.short_circuited + stats.index_skipped,
+            db.len()
+        );
+        // Verified vectors are byte-identical to the naive scan's.
+        for i in 0..db.len() {
+            if indexed.is_exact(GraphId(i)) {
+                prop_assert_eq!(&indexed.gcs[i], &naive.gcs[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_scan_equals_prefilter_and_naive_with_approx_solvers(
+        seed in any::<u64>(),
+        size in 2usize..8,
+        beam in any::<bool>(),
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let solvers = if beam {
+            SolverConfig { ged: GedMode::Beam(4), mcs: McsMode::Greedy }
+        } else {
+            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        };
+        let naive = graph_similarity_skyline(
+            &db, &q, &QueryOptions { solvers, ..QueryOptions::default() },
+        );
+        let prefilter = graph_similarity_skyline(
+            &db, &q, &QueryOptions { solvers, prefilter: true, ..QueryOptions::default() },
+        );
+        let indexed = graph_similarity_skyline(
+            &db, &q, &indexed_options(&db, 2, 2, 1, solvers),
+        );
+        prop_assert_eq!(&indexed.skyline, &naive.skyline);
+        prop_assert_eq!(&indexed.dominated, &naive.dominated);
+        prop_assert_eq!(&prefilter.skyline, &naive.skyline);
+    }
+
+    #[test]
+    fn save_load_query_is_byte_identical(
+        seed in any::<u64>(),
+        size in 2usize..8,
+        threads in 1usize..4,
+        approx in any::<bool>(),
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let built = PivotIndex::build(&db, &PivotIndexConfig { pivots: 2, rings: 2 });
+        let loaded = PivotIndex::from_bytes(&built.to_bytes()).expect("round trip");
+        prop_assert_eq!(&loaded, &built, "deserialized index equals the in-memory one");
+
+        let solvers = if approx {
+            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        } else {
+            SolverConfig::default()
+        };
+        let base = QueryOptions { threads, solvers, ..QueryOptions::default() };
+        let mem = graph_similarity_skyline(
+            &db, &q, &base.clone().with_index(Arc::new(built)),
+        );
+        let disk = graph_similarity_skyline(
+            &db, &q, &base.with_index(Arc::new(loaded)),
+        );
+        prop_assert_eq!(&mem.skyline, &disk.skyline);
+        prop_assert_eq!(&mem.dominated, &disk.dominated, "witnesses must be identical");
+        prop_assert_eq!(&mem.gcs, &disk.gcs, "the full GCS matrix must match");
+        prop_assert_eq!(&mem.evaluated, &disk.evaluated);
+        prop_assert_eq!(mem.pruning, disk.pruning, "stats must match");
+    }
+
+    #[test]
+    fn serialized_index_rejects_any_single_byte_flip(
+        seed in any::<u64>(),
+        flip in any::<u64>(),
+    ) {
+        let (db, _) = build_workload(seed, 4, WorkloadKind::Molecule);
+        let bytes = PivotIndex::build(&db, &PivotIndexConfig { pivots: 2, rings: 2 }).to_bytes();
+        let at = (flip as usize) % bytes.len();
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x10;
+        // Any flip lands in the magic (BadMagic), the checksum tail, or the
+        // checksummed payload — never in a silently-accepted region.
+        prop_assert!(
+            matches!(PivotIndex::from_bytes(&bad), Err(IndexError::Codec(_))),
+            "flipping byte {} of {} must be rejected", at, bytes.len()
+        );
+    }
+}
+
+/// The C6 counterexample from the `gss-index` crate docs, kept as an
+/// executable fact: `DistMcs` under the *connected* MCS violates the
+/// triangle inequality, so the index must never apply pivot triangle
+/// bounds to the MCS dimensions. If this test ever fails, the measure
+/// changed and the index's bound strategy needs re-auditing.
+#[test]
+fn connected_mcs_distance_violates_triangle_inequality() {
+    let mut db = GraphDatabase::new();
+    let labels = ["L1", "L2", "L3", "L4", "L5", "L6"];
+    let cycle: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+    // g2 = C6; g1 drops edge (5,0); g3 drops edge (2,3).
+    let add_path = |db: &mut GraphDatabase, name: &str, skip: Option<usize>| {
+        db.add(name, |mut b| {
+            for (i, l) in labels.iter().enumerate() {
+                b = b.vertex(&format!("v{i}"), l);
+            }
+            for (e, &(u, v)) in cycle.iter().enumerate() {
+                if Some(e) != skip {
+                    b = b.edge(&format!("v{u}"), &format!("v{v}"), "-");
+                }
+            }
+            b
+        })
+        .unwrap()
+    };
+    let g1 = add_path(&mut db, "g1", Some(5));
+    let g2 = add_path(&mut db, "g2", None);
+    let g3 = add_path(&mut db, "g3", Some(2));
+
+    let dist = |a: GraphId, b: GraphId| {
+        let p = compute_primitives(db.get(a), db.get(b), &SolverConfig::default());
+        MeasureKind::Mcs.from_primitives(&p)
+    };
+    let d12 = dist(g1, g2);
+    let d23 = dist(g2, g3);
+    let d13 = dist(g1, g3);
+    assert!((d12 - 1.0 / 6.0).abs() < 1e-12, "d12 = {d12}");
+    assert!((d23 - 1.0 / 6.0).abs() < 1e-12, "d23 = {d23}");
+    assert!((d13 - 3.0 / 5.0).abs() < 1e-12, "d13 = {d13}");
+    assert!(
+        d13 > d12 + d23 + 0.2,
+        "triangle inequality must fail decisively: {d13} vs {} — \
+         if it holds now, the MCS measure changed and gss-index needs a re-audit",
+        d12 + d23
+    );
+}
