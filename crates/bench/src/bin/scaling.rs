@@ -1,17 +1,23 @@
-//! Quick scaling-shape report (S1–S7) using plain wall-clock medians —
+//! Quick scaling-shape report (S1–S8) using plain wall-clock medians —
 //! a fast complement to the rigorous criterion benches, for smoke-checking
 //! the expected shapes (see DESIGN.md §4) in seconds instead of minutes.
 //!
 //! Usage: `cargo run --release -p gss-bench --bin scaling [-- FLAGS]`
 //!
-//! * `--smoke` — run only S7 (the committed CI smoke workload,
+//! * `--smoke` — run only S7 + S8 (the committed CI smoke workload,
 //!   [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
 //! * `--json PATH` — additionally write the S7 measurements as a JSON
 //!   report (the CI `BENCH_2.json` artifact).
+//! * `--serve-json PATH` — write the S8 serving measurements
+//!   (queries/sec, latency percentiles, cache hit rate, response
+//!   mismatches vs. direct evaluation) as a JSON report (the CI
+//!   `BENCH_3.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
-//!   of candidates at the partition level. This is the CI perf-regression
-//!   gate.
+//!   of candidates at the partition level, and the S8 serving replay
+//!   (c) sees a cache hit rate > 0 on its repeated queries with (d) zero
+//!   response mismatches against direct evaluation. This is the CI
+//!   perf-regression gate.
 
 use std::time::Instant;
 
@@ -54,6 +60,7 @@ fn fmt_us(us: f64) -> String {
 
 fn main() {
     let mut json_path: Option<String> = None;
+    let mut serve_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -68,8 +75,18 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--serve-json" => match args.next() {
+                Some(path) => serve_json_path = Some(path),
+                None => {
+                    eprintln!("--serve-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other:?} (expected --smoke, --gate, --json PATH)");
+                eprintln!(
+                    "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
+                     --serve-json PATH)"
+                );
                 std::process::exit(2);
             }
         }
@@ -86,6 +103,14 @@ fn main() {
     let report = s7_index();
     if let Some(path) = &json_path {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let serve_report = s8_serve();
+    if let Some(path) = &serve_json_path {
+        std::fs::write(path, serve_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -109,14 +134,32 @@ fn main() {
             );
             failed = true;
         }
+        if !serve_report.gate_cache_hits() {
+            eprintln!(
+                "GATE FAILED: serving replay saw cache hit rate {:.3} — repeated queries \
+                 must hit the result cache",
+                serve_report.cache_hit_rate
+            );
+            failed = true;
+        }
+        if !serve_report.gate_no_mismatches() {
+            eprintln!(
+                "GATE FAILED: {} of {} served responses differ from direct evaluation",
+                serve_report.mismatches, serve_report.requests
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "gate passed: indexed verified {} ≤ prefilter verified {}; index skipped {:.1}% ≥ 30%",
+            "gate passed: indexed verified {} ≤ prefilter verified {}; index skipped {:.1}% ≥ 30%; \
+             serving cache hit rate {:.2} > 0 with 0 mismatches over {} requests",
             report.indexed.0.verified,
             report.prefilter.0.verified,
-            report.indexed.0.index_skip_rate() * 100.0
+            report.indexed.0.index_skip_rate() * 100.0,
+            serve_report.cache_hit_rate,
+            serve_report.requests
         );
     }
 }
@@ -252,6 +295,225 @@ fn s7_index() -> SmokeReport {
         prefilter: (pre_stats, pre_wall),
         indexed: (idx_stats, idx_wall),
     }
+}
+
+/// The S8 serving measurements: a loopback `gss-server` on the committed
+/// smoke workload, replayed by concurrent clients. Feeds the report
+/// table, the `BENCH_3.json` artifact and the serving half of the CI
+/// gate.
+struct ServeReport {
+    distinct_queries: usize,
+    passes: usize,
+    connections: usize,
+    requests: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    cache_hits: u64,
+    cache_hit_rate: f64,
+    batches: u64,
+    batched_queries: u64,
+    mismatches: usize,
+}
+
+impl ServeReport {
+    fn gate_cache_hits(&self) -> bool {
+        self.cache_hit_rate > 0.0
+    }
+
+    fn gate_no_mismatches(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        format!(
+            "{{\n  \"schema\": \"gss-bench-serve/1\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"replay\": {{\"distinct_queries\": {}, \"passes\": {}, \
+             \"connections\": {}, \"requests\": {}}},\n  \"throughput\": {{\"wall_s\": {:.4}, \
+             \"queries_per_sec\": {:.1}}},\n  \"latency\": {{\"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"max_us\": {:.1}}},\n  \"server\": {{\"cache_hits\": {}, \
+             \"cache_hit_rate\": {:.4}, \"batches\": {}, \"batched_queries\": {}}},\n  \
+             \"gate\": {{\"cache_hit_rate_gt_0\": {}, \"zero_mismatches\": {}, \
+             \"mismatches\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.distinct_queries,
+            self.passes,
+            self.connections,
+            self.requests,
+            self.wall_s,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.cache_hits,
+            self.cache_hit_rate,
+            self.batches,
+            self.batched_queries,
+            self.gate_cache_hits(),
+            self.gate_no_mismatches(),
+            self.mismatches,
+        )
+    }
+}
+
+fn s8_serve() -> ServeReport {
+    use gss_core::jsonio::Value;
+    use gss_core::GraphId;
+    use gss_server::{percentile_us, serve, Client, ServerConfig};
+    use std::sync::Arc;
+
+    println!("== S8: concurrent serving (loopback gss-server, committed smoke workload) ==");
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+
+    // The replayed smoke queries: the workload's planted query plus every
+    // 10th database graph (a mix of short-circuit-friendly members and
+    // real scans).
+    let mut queries: Vec<Graph> = vec![w.query.clone()];
+    for i in (0..db.len()).step_by(10) {
+        queries.push(db.get(GraphId(i)).clone());
+    }
+    let texts: Vec<String> = queries
+        .iter()
+        .map(|q| gss_graph::format::write_database(std::slice::from_ref(q), db.vocab()))
+        .collect();
+
+    // Direct-evaluation oracle for the mismatch gate: what a
+    // single-threaded graph_similarity_skyline call serializes to.
+    let base = QueryOptions {
+        prefilter: true,
+        ..QueryOptions::default()
+    };
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let r = graph_similarity_skyline(&db, q, &base);
+            Value::parse(&gss_core::to_json(&db, &r))
+                .expect("explain output is valid JSON")
+                .to_compact()
+        })
+        .collect();
+
+    const CONNECTIONS: usize = 4;
+    const PASSES: usize = 3;
+    let handle = serve(
+        Arc::clone(&db),
+        base,
+        ServerConfig {
+            workers: 4,
+            batch_max: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let worker_results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|c| {
+                let texts = &texts;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut mismatches = 0usize;
+                    for pass in 0..PASSES {
+                        for k in 0..texts.len() {
+                            // Stagger the order per connection and pass so
+                            // micro-batches mix distinct queries.
+                            let k = (k + c + pass) % texts.len();
+                            let t = Instant::now();
+                            let response = client.query_text(&texts[k], "").expect("query");
+                            latencies.push(t.elapsed().as_micros() as u64);
+                            let served = response
+                                .get("result")
+                                .map(Value::to_compact)
+                                .unwrap_or_default();
+                            if served != expected[k] {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    (latencies, mismatches)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve bench worker panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = Value::parse(&handle.stats_json()).expect("stats JSON");
+    handle.shutdown();
+    handle.join();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut mismatches = 0usize;
+    for (lat, mm) in worker_results {
+        latencies.extend(lat);
+        mismatches += mm;
+    }
+    latencies.sort_unstable();
+    let counter = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap_or_default() as u64;
+
+    let requests = latencies.len();
+    let report = ServeReport {
+        distinct_queries: texts.len(),
+        passes: PASSES,
+        connections: CONNECTIONS,
+        requests,
+        wall_s,
+        qps: requests as f64 / wall_s.max(1e-9),
+        p50_us: percentile_us(&latencies, 50),
+        p99_us: percentile_us(&latencies, 99),
+        max_us: *latencies.last().expect("nonempty") as f64,
+        cache_hits: counter("cache_hits"),
+        cache_hit_rate: stats
+            .get("cache_hit_rate")
+            .and_then(Value::as_f64)
+            .unwrap_or_default(),
+        batches: counter("batches"),
+        batched_queries: counter("batched_queries"),
+        mismatches,
+    };
+
+    let mut table = TextTable::new(vec![
+        "requests",
+        "wall",
+        "q/s",
+        "p50",
+        "p99",
+        "hit %",
+        "batches",
+        "mismatches",
+    ]);
+    table.row(vec![
+        format!("{}", report.requests),
+        fmt_us(report.wall_s * 1e6),
+        format!("{:.0}", report.qps),
+        fmt_us(report.p50_us),
+        fmt_us(report.p99_us),
+        format!("{:.0}%", report.cache_hit_rate * 100.0),
+        format!("{}", report.batches),
+        format!("{}", report.mismatches),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{} distinct queries × {} passes over {} connections (prefilter on)",
+        report.distinct_queries, report.passes, report.connections
+    );
+    println!();
+    report
 }
 
 fn s1_skyline() {

@@ -34,6 +34,11 @@ USAGE:
   gss index    build --db FILE --out IDX [--pivots K] [--rings R]
                [--exclude NAME]
   gss index    stats --index IDX [--db FILE]
+  gss serve    --db FILE [--index IDX] [--addr HOST:PORT] [--workers N]
+               [--queue N] [--cache N] [--batch N] [--prefilter] [--approx]
+  gss client   --addr HOST:PORT [--query-file FILE|-] [--stats] [--shutdown]
+               [--bench --db FILE [--connections C] [--repeat R] [--limit N]]
+               [--prefilter] [--approx] [--algo naive|bnl|sfs]
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -47,18 +52,24 @@ Databases use the t/v/e text format:
 `query` runs the compound-similarity skyline (DistEd, DistMcs, DistGu).
 With --query-name the named graph is removed from the database and queried
 against the rest; with --query-file the database is used whole and the
-query graph is the first graph of the given file. With --prefilter it runs
+query graph is the first graph of the given file (use `-` to read it from
+stdin, so scripts can pipe queries). With --prefilter it runs
 the filter-and-verify pipeline: cheap lower bounds prune candidates before
 the exact solvers, with identical results (the report then includes
 pruning statistics). With --index it also consults a pivot index built by
 `gss index build`, skipping whole candidate partitions up front — build
 with --exclude NAME when querying by --query-name so the index matches the
 database the query actually scans.
+
+`serve` runs the long-lived query server (newline-delimited JSON protocol,
+result caching, admission control — see the gss-server crate docs);
+`client` talks to it: one-shot queries, stats, graceful shutdown, and a
+--bench load generator reporting queries/sec and latency percentiles.
 "
     .to_owned()
 }
 
-fn load_db(args: &Args) -> Result<GraphDatabase, ArgError> {
+pub(crate) fn load_db(args: &Args) -> Result<GraphDatabase, ArgError> {
     let path = args.require("db")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| ArgError(format!("cannot read --db {path}: {e}")))?;
@@ -67,7 +78,10 @@ fn load_db(args: &Args) -> Result<GraphDatabase, ArgError> {
 
 /// Splits off the named query graph, returning the remaining database and
 /// the query.
-fn split_query(db: GraphDatabase, name: &str) -> Result<(GraphDatabase, Graph), ArgError> {
+pub(crate) fn split_query(
+    db: GraphDatabase,
+    name: &str,
+) -> Result<(GraphDatabase, Graph), ArgError> {
     let id = db
         .find_by_name(name)
         .ok_or_else(|| ArgError(format!("no graph named {name:?} in the database")))?;
@@ -83,7 +97,7 @@ fn split_query(db: GraphDatabase, name: &str) -> Result<(GraphDatabase, Graph), 
     Ok((rest, query.expect("id was found")))
 }
 
-fn solver_config(args: &Args) -> SolverConfig {
+pub(crate) fn solver_config(args: &Args) -> SolverConfig {
     if args.flag("approx") {
         SolverConfig {
             ged: GedMode::Bipartite,
@@ -106,14 +120,30 @@ fn parse_measure(token: &str) -> Result<MeasureKind, ArgError> {
     }
 }
 
+/// Reads a text input that is either a file path or `-` for stdin (so
+/// scripts and the serving client can pipe queries without temp files).
+pub(crate) fn read_text_input(path: &str, flag: &str) -> Result<String, ArgError> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| ArgError(format!("cannot read stdin for {flag}: {e}")))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {flag} {path}: {e}")))
+    }
+}
+
 /// Resolves the query graph: `--query-name` splits it out of the database,
-/// `--query-file` reads it from its own file (database used whole).
+/// `--query-file` reads it from its own file, or from stdin when the path
+/// is `-` (database used whole in both file cases).
 fn resolve_query(db: GraphDatabase, args: &Args) -> Result<(GraphDatabase, Graph), ArgError> {
     match (args.get("query-name"), args.get("query-file")) {
         (Some(name), None) => split_query(db, name),
         (None, Some(path)) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| ArgError(format!("cannot read --query-file {path}: {e}")))?;
+            let text = read_text_input(path, "--query-file")?;
             let mut db = db;
             let graphs = gss_graph::format::parse_database(&text, db.vocab_mut())
                 .map_err(|e| ArgError(format!("parse error in {path}: {e}")))?;
@@ -130,7 +160,10 @@ fn resolve_query(db: GraphDatabase, args: &Args) -> Result<(GraphDatabase, Graph
 }
 
 /// Loads and validates the pivot index named by `--index`, if any.
-fn load_index(db: &GraphDatabase, args: &Args) -> Result<Option<Arc<PivotIndex>>, ArgError> {
+pub(crate) fn load_index(
+    db: &GraphDatabase,
+    args: &Args,
+) -> Result<Option<Arc<PivotIndex>>, ArgError> {
     let Some(path) = args.get("index") else {
         return Ok(None);
     };

@@ -10,6 +10,8 @@
 //! gss topk     --db db.gdb --query-name q --measure ed|mcs|gu [--k K]
 //! gss index    build --db db.gdb --out db.gsi [--pivots K] [--rings R]
 //! gss index    stats --index db.gsi [--db db.gdb]
+//! gss serve    --db db.gdb [--index db.gsi] [--addr HOST:PORT]
+//! gss client   --addr HOST:PORT [--query-file q.gdb|-] [--bench --db db.gdb]
 //! gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
 //! gss convert  --db db.gdb [--graph NAME]           # Graphviz DOT
 //! gss paper                                          # reproduce Tables I–V
@@ -22,6 +24,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod net;
 
 pub use args::{ArgError, Args};
 
@@ -40,6 +43,8 @@ pub fn run<I: IntoIterator<Item = String>>(raw: I) -> Result<String, String> {
         "topk" => commands::topk(&args).map_err(|e| e.to_string()),
         "skyband" => commands::skyband(&args).map_err(|e| e.to_string()),
         "index" => commands::index(&args).map_err(|e| e.to_string()),
+        "serve" => net::serve(&args).map_err(|e| e.to_string()),
+        "client" => net::client(&args).map_err(|e| e.to_string()),
         "generate" => commands::generate(&args).map_err(|e| e.to_string()),
         "convert" => commands::convert(&args).map_err(|e| e.to_string()),
         "paper" => Ok(commands::paper()),

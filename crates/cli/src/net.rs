@@ -1,0 +1,261 @@
+//! The networked subcommands: `gss serve` and `gss client`.
+//!
+//! `serve` starts a `gss-server` over a database file and blocks until a
+//! client sends the `shutdown` verb (graceful drain). `client` speaks the
+//! newline-delimited JSON protocol: one-shot queries (`--query-file`,
+//! `-` for stdin), counter inspection (`--stats`), drain requests
+//! (`--shutdown`) and a load generator (`--bench`) that measures
+//! queries/sec and latency percentiles over concurrent connections.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gss_core::jsonio::Value;
+use gss_core::QueryOptions;
+use gss_server::{percentile_us, Client, ServerConfig};
+
+use crate::args::{ArgError, Args};
+use crate::commands::{load_db, load_index, read_text_input, solver_config};
+
+/// `gss serve` — run the query server until a `shutdown` request drains it.
+pub fn serve(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&[
+        "db",
+        "index",
+        "addr",
+        "workers",
+        "queue",
+        "cache",
+        "cache-shards",
+        "batch",
+        "deadline-ms",
+        "prefilter",
+        "approx",
+    ])?;
+    let db = load_db(args)?;
+    let index = load_index(&db, args)?;
+    let base = QueryOptions {
+        solvers: solver_config(args),
+        prefilter: args.flag("prefilter"),
+        index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
+        ..Default::default()
+    };
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:7878").to_owned(),
+        workers: args.get_parsed_or("workers", defaults.workers)?,
+        queue_capacity: args.get_parsed_or("queue", defaults.queue_capacity)?,
+        cache_capacity: args.get_parsed_or("cache", defaults.cache_capacity)?,
+        cache_shards: args.get_parsed_or("cache-shards", defaults.cache_shards)?,
+        batch_max: args.get_parsed_or("batch", defaults.batch_max)?,
+        default_deadline_ms: args.get_parsed_or("deadline-ms", defaults.default_deadline_ms)?,
+        retry_after_ms: defaults.retry_after_ms,
+    };
+    let graphs = db.len();
+    let handle = gss_server::serve(Arc::new(db), base, config)
+        .map_err(|e| ArgError(format!("cannot start server: {e}")))?;
+    // The bound address goes to stderr immediately (stdout is reserved for
+    // the final report): with --addr …:0 this is the only place the chosen
+    // port appears.
+    eprintln!(
+        "gss-server listening on {} ({graphs} graphs); send {{\"op\":\"shutdown\"}} to stop",
+        handle.addr()
+    );
+    let final_stats = handle.join();
+    Ok(format!("drained; final stats: {final_stats}\n"))
+}
+
+/// Builds the protocol `options` object from client flags (empty string
+/// when every option is default).
+fn options_json(args: &Args) -> Result<String, ArgError> {
+    let mut parts: Vec<String> = Vec::new();
+    if args.flag("prefilter") {
+        parts.push("\"prefilter\":true".to_owned());
+    }
+    if args.flag("approx") {
+        parts.push("\"approx\":true".to_owned());
+    }
+    if let Some(algo) = args.get("algo") {
+        if !matches!(algo, "naive" | "bnl" | "sfs") {
+            return Err(ArgError(format!("unknown --algo {algo:?} (naive|bnl|sfs)")));
+        }
+        parts.push(format!("\"algo\":\"{algo}\""));
+    }
+    Ok(if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    })
+}
+
+fn connect(addr: &str) -> Result<Client, ArgError> {
+    Client::connect(addr).map_err(|e| ArgError(format!("cannot connect to {addr}: {e}")))
+}
+
+fn io_err(e: std::io::Error) -> ArgError {
+    ArgError(format!("protocol error: {e}"))
+}
+
+/// `gss client` — one-shot queries, stats, shutdown and load generation
+/// against a running `gss serve`.
+pub fn client(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&[
+        "addr",
+        "query-file",
+        "bench",
+        "db",
+        "connections",
+        "repeat",
+        "limit",
+        "prefilter",
+        "approx",
+        "algo",
+        "stats",
+        "shutdown",
+    ])?;
+    let addr = args.require("addr")?;
+    let mut out = String::new();
+    let mut acted = false;
+
+    if let Some(path) = args.get("query-file") {
+        acted = true;
+        let text = read_text_input(path, "--query-file")?;
+        let options = options_json(args)?;
+        let response = connect(addr)?.query_text(&text, &options).map_err(io_err)?;
+        let _ = writeln!(out, "{}", response.to_compact());
+    }
+
+    if args.flag("bench") {
+        acted = true;
+        out.push_str(&bench(addr, args)?);
+    }
+
+    if args.flag("stats") {
+        acted = true;
+        let stats = connect(addr)?.stats().map_err(io_err)?;
+        let _ = writeln!(out, "{}", stats.to_compact());
+    }
+
+    if args.flag("shutdown") {
+        acted = true;
+        let ack = connect(addr)?.shutdown().map_err(io_err)?;
+        let _ = writeln!(out, "{}", ack.to_compact());
+    }
+
+    if !acted {
+        connect(addr)?.ping().map_err(io_err)?;
+        let _ = writeln!(out, "pong from {addr}");
+    }
+    Ok(out)
+}
+
+/// The `--bench` load generator: replays every graph of `--db` as a query
+/// (`--limit` caps how many), `--repeat` passes over the set so repeated
+/// queries exercise the result cache, across `--connections` concurrent
+/// connections. Reports client-side throughput and latency percentiles
+/// plus the server's own counters.
+fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
+    let db = load_db(args)?;
+    if db.is_empty() {
+        return Err(ArgError("--bench needs a nonempty --db".to_owned()));
+    }
+    let limit = args.get_parsed_or("limit", db.len())?.min(db.len()).max(1);
+    let repeat = args.get_parsed_or("repeat", 2usize)?.max(1);
+    let connections = args.get_parsed_or("connections", 4usize)?.max(1);
+    let options = options_json(args)?;
+
+    // Each query graph is serialized standalone against the shared vocab.
+    let texts: Vec<String> = db
+        .graphs()
+        .iter()
+        .take(limit)
+        .map(|g| gss_graph::format::write_database(std::slice::from_ref(g), db.vocab()))
+        .collect();
+
+    struct WorkerReport {
+        latencies_us: Vec<u64>,
+        sent: usize,
+        failures: usize,
+    }
+
+    let started = Instant::now();
+    let reports: Vec<Result<WorkerReport, ArgError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let texts = &texts;
+                let options = &options;
+                scope.spawn(move || -> Result<WorkerReport, ArgError> {
+                    let mut client = connect(addr)?;
+                    let mut report = WorkerReport {
+                        latencies_us: Vec::new(),
+                        sent: 0,
+                        failures: 0,
+                    };
+                    for _pass in 0..repeat {
+                        for text in texts.iter().skip(worker).step_by(connections) {
+                            let t0 = Instant::now();
+                            let response = client.query_text(text, options).map_err(io_err)?;
+                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            report.sent += 1;
+                            if response.get("ok") != Some(&Value::Bool(true)) {
+                                report.failures += 1;
+                            }
+                        }
+                    }
+                    Ok(report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut sent = 0usize;
+    let mut failures = 0usize;
+    for r in reports {
+        let r = r?;
+        latencies.extend(r.latencies_us);
+        sent += r.sent;
+        failures += r.failures;
+    }
+    latencies.sort_unstable();
+
+    let server_stats = connect(addr)?.stats().map_err(io_err)?;
+    let hit_rate = server_stats
+        .get("cache_hit_rate")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench: {sent} queries ({} distinct × {repeat} passes) over {connections} connections in {:.2} s",
+        texts.len(),
+        wall
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {:.1} queries/s; latency p50 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
+        sent as f64 / wall.max(1e-9),
+        percentile_us(&latencies, 50),
+        percentile_us(&latencies, 99),
+        latencies.last().copied().unwrap_or(0) as f64,
+    );
+    let _ = writeln!(
+        out,
+        "failures: {failures}; server cache hit rate: {:.1}%",
+        hit_rate * 100.0
+    );
+    let _ = writeln!(out, "server stats: {}", server_stats.to_compact());
+    if failures > 0 {
+        return Err(ArgError(format!(
+            "{failures} of {sent} requests failed\n{out}"
+        )));
+    }
+    Ok(out)
+}

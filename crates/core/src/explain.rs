@@ -10,7 +10,8 @@
 use std::fmt::Write as _;
 
 use crate::database::{GraphDatabase, GraphId};
-use crate::query::GssResult;
+use crate::jsonio::escape as json_escape;
+use crate::query::{BatchStats, GssResult};
 
 /// Why (or why not) one graph is in the skyline, in full detail.
 #[derive(Clone, Debug)]
@@ -101,25 +102,6 @@ pub fn explain_all(result: &GssResult) -> Vec<Explanation> {
             }
         })
         .collect()
-}
-
-/// Escapes a string for JSON output.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Serializes a query result as JSON (stable key order, no dependencies):
@@ -213,6 +195,41 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
     out
 }
 
+/// Serializes aggregated batch counters as a one-line JSON object — the
+/// `"batch"` payload of [`to_json_batch`] and of the `gss-server` `stats`
+/// verb. `verified` counts exact solver calls.
+pub fn batch_stats_to_json(stats: &BatchStats) -> String {
+    format!(
+        "{{\"queries\": {}, \"candidates\": {}, \"evaluated\": {}, \"verified\": {}, \
+         \"pruned\": {}, \"short_circuited\": {}, \"index_skipped\": {}, \"pruning_rate\": {:.4}}}",
+        stats.queries,
+        stats.candidates,
+        stats.evaluated,
+        stats.verified,
+        stats.pruned,
+        stats.short_circuited,
+        stats.index_skipped,
+        stats.pruning_rate()
+    )
+}
+
+/// Serializes a whole batch of results (from
+/// [`crate::graph_similarity_skyline_batch`]): the aggregated
+/// [`BatchStats`] followed by the per-query explain documents, in query
+/// order.
+pub fn to_json_batch(db: &GraphDatabase, results: &[GssResult]) -> String {
+    let stats = BatchStats::aggregate(results);
+    let mut out = String::from("{\n  \"batch\": ");
+    out.push_str(&batch_stats_to_json(&stats));
+    out.push_str(",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(to_json(db, r).trim_end());
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,11 +316,39 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping() {
-        assert_eq!(json_escape("plain"), "plain");
-        assert_eq!(json_escape("a\"b"), "a\\\"b");
-        assert_eq!(json_escape("a\\b"), "a\\\\b");
-        assert_eq!(json_escape("a\nb"), "a\\nb");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    fn batch_json_aggregates_stats() {
+        use crate::query::{graph_similarity_skyline_batch, BatchStats};
+        let data = figure3_database();
+        let db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        let queries = vec![data.query.clone(), db.get(GraphId(0)).clone()];
+        let opts = QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        };
+        let results = graph_similarity_skyline_batch(&db, &queries, &opts);
+        let stats = BatchStats::aggregate(&results);
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.candidates, 2 * db.len());
+        assert_eq!(
+            stats.verified + stats.pruned + stats.short_circuited + stats.index_skipped,
+            stats.candidates
+        );
+        let json = to_json_batch(&db, &results);
+        assert!(json.contains("\"batch\": {\"queries\": 2"), "{json}");
+        assert_eq!(json.matches("\"skyline\":").count(), 2);
+        // The whole document parses with the workspace JSON parser.
+        let v = crate::jsonio::Value::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("batch")
+                .and_then(|b| b.get("queries"))
+                .and_then(crate::jsonio::Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("results")
+                .and_then(crate::jsonio::Value::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
     }
 }

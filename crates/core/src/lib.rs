@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cachekey;
 pub mod database;
 pub mod explain;
 pub mod index;
+pub mod jsonio;
 pub mod measures;
 pub mod parallel;
 pub mod prefilter;
@@ -47,15 +49,16 @@ pub mod query;
 pub mod refine;
 
 pub use baseline::{top_k_by_measure, ScoredGraph};
+pub use cachekey::{options_fingerprint, query_fingerprint, QueryKey};
 pub use database::{GraphDatabase, GraphId};
-pub use explain::{explain_all, to_json, Explanation};
+pub use explain::{batch_stats_to_json, explain_all, to_json, to_json_batch, Explanation};
 pub use index::{IndexPartition, IndexPlan, QueryIndex};
 pub use measures::{
     compute_primitives, GcsVector, GedMode, McsMode, MeasureKind, PairPrimitives, SolverConfig,
 };
 pub use prefilter::{PrefilterContext, PrefilterSummary, PruneStats};
 pub use query::{
-    graph_similarity_skyband, graph_similarity_skyline, graph_similarity_skyline_batch,
+    graph_similarity_skyband, graph_similarity_skyline, graph_similarity_skyline_batch, BatchStats,
     DominationWitness, GssResult, QueryOptions,
 };
 pub use refine::{

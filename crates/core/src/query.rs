@@ -583,13 +583,88 @@ fn compute_witnesses(
     dominated
 }
 
+/// Aggregated observability counters for a batch of query results — the
+/// batch-level view of [`PruneStats`]. Totals are summed over every result;
+/// results from naive scans (no [`GssResult::pruning`]) count each
+/// candidate as one exact solver call, which is exactly what the naive
+/// scan performs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of query results aggregated.
+    pub queries: usize,
+    /// Total candidates considered (database size summed over queries).
+    pub candidates: usize,
+    /// Total candidates whose exact GCS vector is known (solver-verified or
+    /// short-circuited) — the per-result `evaluated` counts summed.
+    pub evaluated: usize,
+    /// Total exact solver calls (candidates that ran the GED/MCS solvers).
+    pub verified: usize,
+    /// Total candidates pruned by lower-bound dominance.
+    pub pruned: usize,
+    /// Total candidates resolved by the isomorphism short-circuit.
+    pub short_circuited: usize,
+    /// Total candidates skipped wholesale by a metric index.
+    pub index_skipped: usize,
+}
+
+impl BatchStats {
+    /// Sums the counters of every result in the batch.
+    pub fn aggregate(results: &[GssResult]) -> BatchStats {
+        let mut total = BatchStats::default();
+        for r in results {
+            total.absorb(r);
+        }
+        total
+    }
+
+    /// Adds one result's counters to the running totals.
+    pub fn absorb(&mut self, result: &GssResult) {
+        self.queries += 1;
+        self.candidates += result.gcs.len();
+        self.evaluated += result.evaluated.iter().filter(|&&e| e).count();
+        match &result.pruning {
+            Some(p) => {
+                self.verified += p.verified;
+                self.pruned += p.pruned;
+                self.short_circuited += p.short_circuited;
+                self.index_skipped += p.index_skipped;
+            }
+            // A naive scan runs the exact solvers for every candidate.
+            None => self.verified += result.gcs.len(),
+        }
+    }
+
+    /// Merges another aggregate into this one (for long-lived accumulators
+    /// like the `gss-server` stats counters).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.queries += other.queries;
+        self.candidates += other.candidates;
+        self.evaluated += other.evaluated;
+        self.verified += other.verified;
+        self.pruned += other.pruned;
+        self.short_circuited += other.short_circuited;
+        self.index_skipped += other.index_skipped;
+    }
+
+    /// Fraction of candidates that skipped exact solving, in `[0, 1]`.
+    pub fn pruning_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            (self.pruned + self.short_circuited + self.index_skipped) as f64
+                / self.candidates as f64
+        }
+    }
+}
+
 /// Runs one skyline query per input over a shared database, spreading the
 /// queries across [`QueryOptions::threads`] workers (each query then scans
 /// sequentially — for multi-query workloads, cross-query parallelism beats
 /// nested per-candidate parallelism because it needs no synchronization).
 ///
 /// Results are in query order and identical to calling
-/// [`graph_similarity_skyline`] per query with `threads = 1`.
+/// [`graph_similarity_skyline`] per query with `threads = 1`. Aggregate the
+/// per-query [`GssResult::pruning`] counters with [`BatchStats::aggregate`].
 pub fn graph_similarity_skyline_batch(
     db: &GraphDatabase,
     queries: &[Graph],

@@ -1,0 +1,90 @@
+//! A minimal blocking protocol client.
+//!
+//! One [`Client`] wraps one TCP connection and exchanges one-line JSON
+//! requests/responses (see the crate docs for the wire format). Used by
+//! the `gss client` CLI subcommand, the loopback tests and the S8
+//! serving benchmark — anything that wants to talk to a `gss-server`
+//! without hand-rolling framing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gss_core::jsonio::{escape, Value};
+
+/// A blocking connection to a `gss-server`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line (newline appended) and returns the raw
+    /// response line (trailing newline trimmed).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends one request line and parses the response envelope.
+    pub fn send(&mut self, line: &str) -> std::io::Result<Value> {
+        let response = self.send_line(line)?;
+        Value::parse(&response).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response {response:?}: {e}"),
+            )
+        })
+    }
+
+    /// Issues a `query` for a graph already in `t/v/e` text form.
+    /// `options_json` is spliced in verbatim when non-empty (e.g.
+    /// `{"prefilter":true}`).
+    pub fn query_text(&mut self, graph_text: &str, options_json: &str) -> std::io::Result<Value> {
+        let mut line = format!("{{\"op\":\"query\",\"graph\":\"{}\"", escape(graph_text));
+        if !options_json.is_empty() {
+            line.push_str(",\"options\":");
+            line.push_str(options_json);
+        }
+        line.push('}');
+        self.send(&line)
+    }
+
+    /// Issues a `ping`.
+    pub fn ping(&mut self) -> std::io::Result<Value> {
+        self.send("{\"op\":\"ping\"}")
+    }
+
+    /// Fetches the server counters (the `"stats"` object of the
+    /// response).
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        let v = self.send("{\"op\":\"stats\"}")?;
+        v.get("stats").cloned().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "response without stats")
+        })
+    }
+
+    /// Requests graceful drain.
+    pub fn shutdown(&mut self) -> std::io::Result<Value> {
+        self.send("{\"op\":\"shutdown\"}")
+    }
+}

@@ -1,0 +1,554 @@
+//! The serving engine: protocol parsing, cache lookups and micro-batched
+//! evaluation. Everything here is transport-free — the TCP layer in
+//! [`crate::server`] feeds it request lines and ships back response
+//! lines — so the whole request path is unit-testable without sockets.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gss_core::jsonio::Value;
+use gss_core::{
+    graph_similarity_skyline_batch, BatchStats, GedMode, GraphDatabase, McsMode, QueryKey,
+    QueryOptions, SolverConfig,
+};
+use gss_graph::Graph;
+use gss_skyline::Algorithm;
+
+use crate::cache::ShardedCache;
+use crate::stats::ServerStats;
+use crate::ServerConfig;
+
+/// A parsed protocol request.
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// Begin graceful drain.
+    Shutdown {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// A skyline query.
+    Query(Box<QueryRequest>),
+}
+
+/// One admitted skyline query.
+pub struct QueryRequest {
+    /// Client correlation id, echoed back in the response.
+    pub id: Option<Value>,
+    /// The parsed query graph.
+    pub graph: Graph,
+    /// Effective options (server base + per-request overrides).
+    pub options: QueryOptions,
+    /// The result-cache key.
+    pub key: QueryKey,
+    /// Absolute execution deadline: the dispatcher drops the request if it
+    /// is still queued past this instant.
+    pub deadline: Instant,
+}
+
+/// A request parse failure: the correlation id (when one was readable)
+/// plus a message for the error envelope.
+#[derive(Debug)]
+pub struct RequestError {
+    /// Correlation id to echo, if the request got far enough to carry one.
+    pub id: Option<Value>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The transport-free serving core: one database, one base option set,
+/// one result cache, one stats block.
+pub struct Engine {
+    db: Arc<GraphDatabase>,
+    db_fingerprint: u64,
+    base: QueryOptions,
+    workers: usize,
+    default_deadline: Duration,
+    /// The sharded LRU result cache.
+    pub cache: ShardedCache,
+    /// Shared observability counters.
+    pub stats: ServerStats,
+}
+
+/// Builds a response envelope: `{"id":…,` (when present) followed by the
+/// body members and a trailing newline (the protocol is line-delimited).
+fn envelope(id: &Option<Value>, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 24);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.to_compact());
+        out.push(',');
+    }
+    out.push_str(body);
+    out.push_str("}\n");
+    out
+}
+
+impl Engine {
+    /// Creates the engine for one database under one server configuration.
+    /// `base` supplies the defaults a request's `options` object overrides.
+    pub fn new(db: Arc<GraphDatabase>, base: QueryOptions, config: &ServerConfig) -> Engine {
+        Engine {
+            db_fingerprint: db.fingerprint(),
+            db,
+            base,
+            workers: config.workers.max(1),
+            default_deadline: Duration::from_millis(config.default_deadline_ms),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The database being served.
+    pub fn db(&self) -> &Arc<GraphDatabase> {
+        &self.db
+    }
+
+    /// The database fingerprint (computed once at startup).
+    pub fn db_fingerprint(&self) -> u64 {
+        self.db_fingerprint
+    }
+
+    /// Parses one request line.
+    pub fn parse_request(&self, line: &str) -> Result<Request, RequestError> {
+        let err = |id: &Option<Value>, message: String| RequestError {
+            id: id.clone(),
+            message,
+        };
+        let doc = Value::parse(line).map_err(|e| err(&None, format!("bad request: {e}")))?;
+        let id = doc.get("id").cloned();
+        if let Some(v) = &id {
+            if !matches!(v, Value::String(_) | Value::Number(_)) {
+                return Err(err(&None, "\"id\" must be a string or number".into()));
+            }
+        }
+        let Some(op) = doc.get("op").and_then(Value::as_str) else {
+            return Err(err(
+                &id,
+                "missing \"op\" (query|ping|stats|shutdown)".into(),
+            ));
+        };
+        match op {
+            "ping" => Ok(Request::Ping { id }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "query" => self.parse_query(&doc, id.clone()).map_err(|m| err(&id, m)),
+            other => Err(err(&id, format!("unknown op {other:?}"))),
+        }
+    }
+
+    fn parse_query(&self, doc: &Value, id: Option<Value>) -> Result<Request, String> {
+        let Some(text) = doc.get("graph").and_then(Value::as_str) else {
+            return Err("query needs a \"graph\" field (t/v/e text)".into());
+        };
+        // Parse against a clone of the database vocabulary: label ids stay
+        // consistent with the stored graphs, labels new to this query get
+        // fresh ids, and the shared database stays immutable. The clone is
+        // O(vocab) per request — label vocabularies are small (element and
+        // bond names, not per-graph data), and parsing needs `&mut`, so a
+        // copy-on-write overlay is not worth a gss-graph API change yet.
+        let mut vocab = self.db.vocab().clone();
+        let graphs = gss_graph::format::parse_database(text, &mut vocab)
+            .map_err(|e| format!("cannot parse query graph: {e}"))?;
+        let graph = graphs
+            .into_iter()
+            .next()
+            .ok_or_else(|| "the \"graph\" field contains no graph".to_owned())?;
+
+        let mut options = self.base.clone();
+        if let Some(o) = doc.get("options") {
+            let members = o
+                .as_object()
+                .ok_or_else(|| "\"options\" must be an object".to_owned())?;
+            for (k, v) in members {
+                match k.as_str() {
+                    "prefilter" => {
+                        options.prefilter = v
+                            .as_bool()
+                            .ok_or_else(|| "options.prefilter must be a boolean".to_owned())?;
+                    }
+                    "approx" => {
+                        let approx = v
+                            .as_bool()
+                            .ok_or_else(|| "options.approx must be a boolean".to_owned())?;
+                        options.solvers = if approx {
+                            SolverConfig {
+                                ged: GedMode::Bipartite,
+                                mcs: McsMode::Greedy,
+                            }
+                        } else {
+                            SolverConfig::default()
+                        };
+                    }
+                    "algo" => {
+                        options.skyline_algorithm = match v.as_str() {
+                            Some("naive") => Algorithm::Naive,
+                            Some("bnl") => Algorithm::Bnl,
+                            Some("sfs") => Algorithm::Sfs,
+                            _ => return Err("options.algo must be naive|bnl|sfs".into()),
+                        };
+                    }
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+            }
+        }
+
+        let deadline_ms = match doc.get("deadline_ms") {
+            None => self.default_deadline.as_millis() as u64,
+            Some(v) => v
+                .as_f64()
+                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
+                .map(|ms| ms as u64)
+                .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_owned())?,
+        };
+
+        let key = QueryKey::with_database(self.db_fingerprint, &vocab, &graph, &options);
+        Ok(Request::Query(Box::new(QueryRequest {
+            id,
+            graph,
+            options,
+            key,
+            deadline: Instant::now() + Duration::from_millis(deadline_ms),
+        })))
+    }
+
+    /// Answers a query from the cache, if present: the response carries
+    /// `"cached":true` around the byte-identical result document.
+    pub fn try_cache(&self, request: &QueryRequest) -> Option<String> {
+        self.cache
+            .get(&request.key)
+            .map(|result| Engine::ok_response(&request.id, true, &result))
+    }
+
+    /// Evaluates admitted queries as micro-batches: jobs sharing an options
+    /// fingerprint go through one [`graph_similarity_skyline_batch`] call
+    /// (wave-parallel across the batch, each query single-threaded — the
+    /// normalization that keeps responses thread-count-invariant), results
+    /// are serialized, cached, and returned as envelopes in job order.
+    /// Jobs sharing a full [`QueryKey`] (concurrent identical queries that
+    /// all missed the cold cache) are evaluated **once** and fanned out.
+    pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<String> {
+        let mut responses: Vec<Option<String>> = (0..jobs.len()).map(|_| None).collect();
+        // Group by options fingerprint, preserving first-seen order.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match groups.iter_mut().find(|(fp, _)| *fp == job.key.options) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((job.key.options, vec![i])),
+            }
+        }
+        for (_, members) in groups {
+            // One representative per distinct key: duplicates ride along.
+            let mut reps: Vec<usize> = Vec::new();
+            for &i in &members {
+                if !reps.iter().any(|&r| jobs[r].key == jobs[i].key) {
+                    reps.push(i);
+                }
+            }
+            let graphs: Vec<Graph> = reps.iter().map(|&i| jobs[i].graph.clone()).collect();
+            let options = QueryOptions {
+                threads: self.workers,
+                ..jobs[members[0]].options.clone()
+            };
+            let results = graph_similarity_skyline_batch(&self.db, &graphs, &options);
+            self.stats.absorb_batch(&BatchStats::aggregate(&results));
+            for (k, &rep) in reps.iter().enumerate() {
+                let pretty = gss_core::to_json(&self.db, &results[k]);
+                let result = Value::parse(&pretty)
+                    .expect("explain output is valid JSON")
+                    .to_compact();
+                self.cache.insert(jobs[rep].key, result.clone());
+                for &i in &members {
+                    if jobs[i].key == jobs[rep].key {
+                        responses[i] = Some(Engine::ok_response(&jobs[i].id, false, &result));
+                    }
+                }
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every job belongs to exactly one group"))
+            .collect()
+    }
+
+    /// The `stats` verb response.
+    pub fn stats_response(&self, id: &Option<Value>) -> String {
+        let stats = self.stats.to_value(self.cache.len()).to_compact();
+        envelope(id, &format!("\"ok\":true,\"stats\":{stats}"))
+    }
+
+    /// A successful query response wrapping a serialized result document.
+    pub fn ok_response(id: &Option<Value>, cached: bool, result: &str) -> String {
+        envelope(
+            id,
+            &format!("\"ok\":true,\"cached\":{cached},\"result\":{result}"),
+        )
+    }
+
+    /// A `ping` response.
+    pub fn pong_response(id: &Option<Value>) -> String {
+        envelope(id, "\"ok\":true")
+    }
+
+    /// A `shutdown` acknowledgement.
+    pub fn shutdown_response(id: &Option<Value>) -> String {
+        envelope(id, "\"ok\":true,\"draining\":true")
+    }
+
+    /// A generic error response.
+    pub fn error_response(id: &Option<Value>, message: &str) -> String {
+        envelope(
+            id,
+            &format!(
+                "\"ok\":false,\"error\":\"{}\"",
+                gss_core::jsonio::escape(message)
+            ),
+        )
+    }
+
+    /// The backpressure response: the admission queue is full (or the
+    /// server is draining); the client should retry after the given delay.
+    pub fn backpressure_response(id: &Option<Value>, retry_after_ms: u64) -> String {
+        envelope(
+            id,
+            &format!("\"ok\":false,\"error\":\"queue full\",\"retry_after_ms\":{retry_after_ms}"),
+        )
+    }
+
+    /// The in-queue deadline expiry response.
+    pub fn expired_response(id: &Option<Value>) -> String {
+        envelope(id, "\"ok\":false,\"error\":\"deadline exceeded\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_datasets::workload::{Workload, WorkloadConfig};
+
+    fn engine() -> Engine {
+        let w = Workload::generate(&WorkloadConfig {
+            database_size: 12,
+            ..WorkloadConfig::default()
+        });
+        let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+        Engine::new(db, QueryOptions::default(), &ServerConfig::default())
+    }
+
+    fn graph_text(engine: &Engine) -> String {
+        gss_graph::format::write_database(
+            std::slice::from_ref(engine.db().get(gss_core::GraphId(0))),
+            engine.db().vocab(),
+        )
+    }
+
+    fn query_line(engine: &Engine, extra: &str) -> String {
+        format!(
+            "{{\"op\":\"query\",\"graph\":\"{}\"{extra}}}",
+            gss_core::jsonio::escape(&graph_text(engine))
+        )
+    }
+
+    #[test]
+    fn parses_the_verbs() {
+        let e = engine();
+        assert!(matches!(
+            e.parse_request("{\"op\":\"ping\"}"),
+            Ok(Request::Ping { id: None })
+        ));
+        assert!(matches!(
+            e.parse_request("{\"op\":\"stats\",\"id\":7}"),
+            Ok(Request::Stats { id: Some(_) })
+        ));
+        assert!(matches!(
+            e.parse_request("{\"op\":\"shutdown\"}"),
+            Ok(Request::Shutdown { .. })
+        ));
+        let q = e.parse_request(&query_line(&e, ""));
+        assert!(matches!(q, Ok(Request::Query(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let e = engine();
+        for (line, what) in [
+            ("", "empty line"),
+            ("not json", "not JSON"),
+            ("{}", "missing op"),
+            ("{\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"query\"}", "missing graph"),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\\nv 0\"}",
+                "bad graph text",
+            ),
+            ("{\"op\":\"query\",\"graph\":\"\"}", "no graph in text"),
+            ("{\"op\":\"ping\",\"id\":[1]}", "non-scalar id"),
+        ] {
+            assert!(e.parse_request(line).is_err(), "{what}");
+        }
+        let bad_opts = query_line(&e, ",\"options\":{\"bogus\":1}");
+        assert!(e.parse_request(&bad_opts).is_err(), "unknown option");
+        let bad_algo = query_line(&e, ",\"options\":{\"algo\":\"quantum\"}");
+        assert!(e.parse_request(&bad_algo).is_err(), "unknown algo");
+        let bad_deadline = query_line(&e, ",\"deadline_ms\":-5");
+        assert!(e.parse_request(&bad_deadline).is_err(), "negative deadline");
+    }
+
+    #[test]
+    fn per_request_options_override_the_base() {
+        let e = engine();
+        let plain = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert!(!plain.options.prefilter);
+        let tuned = match e
+            .parse_request(&query_line(
+                &e,
+                ",\"options\":{\"prefilter\":true,\"approx\":true,\"algo\":\"sfs\"}",
+            ))
+            .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert!(tuned.options.prefilter);
+        assert_eq!(tuned.options.solvers.ged, GedMode::Bipartite);
+        assert_eq!(tuned.options.skyline_algorithm, Algorithm::Sfs);
+        assert_ne!(
+            plain.key.options, tuned.key.options,
+            "different options, different cache slots"
+        );
+        assert_eq!(plain.key.query, tuned.key.query, "same graph");
+    }
+
+    #[test]
+    fn evaluation_matches_direct_call_and_caches() {
+        let e = engine();
+        let job = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert!(e.try_cache(&job).is_none(), "cold cache");
+        let responses = e.evaluate_batch(std::slice::from_ref(&job));
+        assert_eq!(responses.len(), 1);
+        let v = Value::parse(responses[0].trim()).expect("response is JSON");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("cached"), Some(&Value::Bool(false)));
+
+        // The embedded result is byte-identical to a direct evaluation
+        // (same pretty document, compacted by the same writer).
+        let direct = gss_core::graph_similarity_skyline(
+            e.db(),
+            &job.graph,
+            &QueryOptions {
+                threads: 1,
+                ..job.options.clone()
+            },
+        );
+        let direct_compact = Value::parse(&gss_core::to_json(e.db(), &direct))
+            .unwrap()
+            .to_compact();
+        let served = v.get("result").unwrap().to_compact();
+        assert_eq!(served, direct_compact);
+
+        // Second time around: a cache hit with the identical payload.
+        let hit = e.try_cache(&job).expect("warm cache");
+        let hv = Value::parse(hit.trim()).unwrap();
+        assert_eq!(hv.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(hv.get("result").unwrap().to_compact(), served);
+    }
+
+    #[test]
+    fn batch_groups_by_options_and_preserves_order() {
+        let e = engine();
+        let mk = |extra: &str| match e.parse_request(&query_line(&e, extra)).unwrap() {
+            Request::Query(q) => *q,
+            _ => unreachable!(),
+        };
+        let jobs = vec![
+            mk(",\"id\":\"a\""),
+            mk(",\"id\":\"b\",\"options\":{\"prefilter\":true}"),
+            mk(",\"id\":\"c\""),
+        ];
+        let responses = e.evaluate_batch(&jobs);
+        assert_eq!(responses.len(), 3);
+        for (resp, id) in responses.iter().zip(["a", "b", "c"]) {
+            let v = Value::parse(resp.trim()).unwrap();
+            assert_eq!(v.get("id").and_then(Value::as_str), Some(id));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        }
+        // The prefilter run carries pruning stats; the naive ones don't.
+        let with_stats = Value::parse(responses[1].trim()).unwrap();
+        assert!(with_stats.get("result").unwrap().get("pruning").is_some());
+        let naive = Value::parse(responses[0].trim()).unwrap();
+        assert!(naive.get("result").unwrap().get("pruning").is_none());
+        // Engine totals absorbed both groups — jobs "a" and "c" are the
+        // same query under the same options, so they share one scan.
+        let totals = e.stats.totals();
+        assert_eq!(totals.queries, 2);
+        assert_eq!(totals.candidates, 2 * e.db().len());
+    }
+
+    #[test]
+    fn identical_jobs_in_one_batch_evaluate_once() {
+        let e = engine();
+        let mk = |extra: &str| match e.parse_request(&query_line(&e, extra)).unwrap() {
+            Request::Query(q) => *q,
+            _ => unreachable!(),
+        };
+        // Three identical queries plus one distinct (prefilter) one.
+        let jobs = vec![
+            mk(",\"id\":1"),
+            mk(",\"id\":2"),
+            mk(",\"id\":3"),
+            mk(",\"id\":4,\"options\":{\"prefilter\":true}"),
+        ];
+        let responses = e.evaluate_batch(&jobs);
+        assert_eq!(responses.len(), 4);
+        for (resp, id) in responses.iter().zip(1..) {
+            let v = Value::parse(resp.trim()).unwrap();
+            assert_eq!(v.get("id").and_then(Value::as_f64), Some(f64::from(id)));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        }
+        // The three duplicates share one result document…
+        let result = |k: usize| {
+            Value::parse(responses[k].trim())
+                .unwrap()
+                .get("result")
+                .unwrap()
+                .to_compact()
+        };
+        assert_eq!(result(0), result(1));
+        assert_eq!(result(1), result(2));
+        // …and only two scans ran (one per distinct key).
+        let totals = e.stats.totals();
+        assert_eq!(totals.queries, 2, "duplicates must not re-evaluate");
+        assert_eq!(totals.candidates, 2 * e.db().len());
+    }
+
+    #[test]
+    fn envelopes_are_single_lines() {
+        let id = Some(Value::String("x\ny".into()));
+        for resp in [
+            Engine::pong_response(&id),
+            Engine::error_response(&id, "multi\nline\nmessage"),
+            Engine::backpressure_response(&id, 50),
+            Engine::expired_response(&None),
+            Engine::shutdown_response(&None),
+        ] {
+            assert!(resp.ends_with('\n'));
+            assert_eq!(resp.trim_end().matches('\n').count(), 0, "{resp:?}");
+            assert!(Value::parse(resp.trim()).is_ok(), "{resp:?}");
+        }
+    }
+}

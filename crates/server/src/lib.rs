@@ -1,0 +1,105 @@
+//! # gss-server — concurrent similarity-skyline query serving
+//!
+//! The first stateful layer of the workspace: a long-lived, std-only TCP
+//! service (no async runtime — `std::net` plus worker threads) that loads
+//! a [`gss_core::GraphDatabase`] (and optionally a `gss-index` pivot
+//! index) **once** and serves many skyline queries, amortizing the
+//! build-once/serve-many lifecycle the index enables.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use gss_core::{GraphDatabase, QueryOptions};
+//! use gss_server::{serve, ServerConfig};
+//!
+//! let db = Arc::new(GraphDatabase::from_text("t g\nv 0 C\n").unwrap());
+//! let handle = serve(db, QueryOptions::default(), ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! let final_stats = handle.join(); // returns after a `shutdown` request drains
+//! # let _ = final_stats;
+//! ```
+//!
+//! ## Wire format
+//!
+//! The protocol is **newline-delimited JSON**: one request object per
+//! line, one response object per line, over a plain TCP connection (test
+//! it with `nc`). Requests are processed in order per connection;
+//! concurrency comes from multiple connections. Every request may carry
+//! an `"id"` (string or number), echoed verbatim in the response.
+//!
+//! ### Verbs
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `{"op":"ping"}` | `{"ok":true}` |
+//! | `{"op":"stats"}` | `{"ok":true,"stats":{…}}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"draining":true}` |
+//! | `{"op":"query","graph":"t q\nv 0 C\n…"}` | `{"ok":true,"cached":false,"result":{…}}` |
+//!
+//! Anything else (including malformed JSON) gets
+//! `{"ok":false,"error":"…"}`.
+//!
+//! ### The `query` verb
+//!
+//! * `"graph"` (required) — the query graph in the `t/v/e` text format
+//!   (first graph of the document is used). Labels unknown to the
+//!   database are fine; they simply never match.
+//! * `"options"` (optional object) — per-request overrides of the
+//!   server's base options: `"prefilter"` (bool), `"approx"` (bool:
+//!   bipartite GED + greedy MCS), `"algo"` (`"naive"|"bnl"|"sfs"`).
+//!   Unknown keys are rejected.
+//! * `"deadline_ms"` (optional) — queue-admission deadline. If the
+//!   request is still waiting when it expires, the response is
+//!   `{"ok":false,"error":"deadline exceeded"}`. The deadline gates
+//!   *starting* evaluation, not finishing it.
+//!
+//! The `"result"` payload is exactly the [`gss_core::to_json`] explain
+//! document (measures, per-graph GCS vectors, dominators, skyline,
+//! pruning stats when the pipeline ran), compacted onto one line by the
+//! [`gss_core::jsonio`] writer.
+//!
+//! ## Cache semantics
+//!
+//! Results are cached in a sharded LRU keyed by
+//! [`gss_core::QueryKey`]: database fingerprint × structural query
+//! fingerprint × normalized options fingerprint. A hit returns the
+//! **byte-identical** result document of a fresh evaluation (the cache
+//! stores the serialized document itself) with `"cached":true` in the
+//! envelope. Thread counts never enter the key: evaluation is
+//! normalized to per-query single-threaded scans via
+//! [`gss_core::graph_similarity_skyline_batch`], whose results are
+//! identical to sequential evaluation by construction.
+//!
+//! ## Admission control & micro-batching
+//!
+//! A bounded queue sits between connections and the dispatcher. When it
+//! is full (or the server is draining), queries are rejected immediately
+//! with `{"ok":false,"error":"queue full","retry_after_ms":N}` —
+//! backpressure instead of unbounded buffering. The dispatcher pops up
+//! to `batch_max` queued queries at a time and runs them through one
+//! wave-parallel [`gss_core::graph_similarity_skyline_batch`] call
+//! (grouped by options fingerprint), so concurrent clients share scan
+//! parallelism instead of fighting over it.
+//!
+//! ## Graceful drain
+//!
+//! The `shutdown` verb (or [`ServerHandle::shutdown`]) stops accepting
+//! connections and admitting queries; everything already admitted is
+//! still evaluated and answered before [`ServerHandle::join`] returns.
+//! In-queue requests whose deadline lapses during the drain get the
+//! deadline response — admitted work is never silently dropped. Cache
+//! hits may still be served while draining (a hit admits no work);
+//! queries that would need evaluation get the backpressure rejection.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod server;
+pub mod stats;
+
+pub use cache::ShardedCache;
+pub use client::Client;
+pub use engine::{Engine, QueryRequest, Request, RequestError};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::{percentile_us, LatencySnapshot, ServerStats};

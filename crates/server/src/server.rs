@@ -1,0 +1,442 @@
+//! The TCP transport: acceptor, per-connection readers, the bounded
+//! admission queue, and the micro-batching dispatcher.
+//!
+//! Thread layout of a running server:
+//!
+//! ```text
+//! acceptor ──► connection threads (1 per client)
+//!                 │  parse · cache lookup · admission
+//!                 ▼
+//!          AdmissionQueue (bounded, Mutex + Condvar)
+//!                 │  pop up to batch_max
+//!                 ▼
+//!          dispatcher ──► Engine::evaluate_batch ──► respond via channel
+//! ```
+//!
+//! Admission control: a connection thread either answers from the cache,
+//! enqueues the job (blocking on the per-job response channel), or —
+//! when the queue is at capacity or the server is draining — immediately
+//! writes the backpressure envelope with `retry_after_ms`. Nothing
+//! admitted is ever dropped: graceful drain stops *admission* but the
+//! dispatcher keeps popping until the queue is empty, so every admitted
+//! job receives a response (possibly `deadline exceeded`) before the
+//! dispatcher exits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gss_core::{GraphDatabase, QueryOptions};
+
+use crate::engine::{Engine, QueryRequest, Request};
+use crate::stats::ServerStats;
+
+/// Configuration of one [`serve`] instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads the dispatcher spreads each micro-batch across.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with backpressure.
+    pub queue_capacity: usize,
+    /// Total result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (lock granularity).
+    pub cache_shards: usize,
+    /// Most queries one micro-batch evaluates together.
+    pub batch_max: usize,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// The `retry_after_ms` hint sent with backpressure rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            batch_max: 8,
+            default_deadline_ms: 30_000,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// One admitted query waiting for the dispatcher.
+struct Job {
+    request: QueryRequest,
+    enqueued: Instant,
+    respond: mpsc::Sender<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    draining: bool,
+}
+
+/// The bounded admission queue.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job unless the queue is full or draining (the job is
+    /// boxed so rejection hands it back without a large copy).
+    fn push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.draining || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(*job);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next batch (up to `max` jobs); `None` once the queue
+    /// is draining *and* empty.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.jobs.is_empty() {
+                let take = max.max(1).min(state.jobs.len());
+                return Some(state.jobs.drain(..take).collect());
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.cond.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admission and wakes the dispatcher so it can drain and exit.
+    fn drain(&self) {
+        self.state.lock().expect("queue poisoned").draining = true;
+        self.cond.notify_all();
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    queue: AdmissionQueue,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        self.engine.stats.draining.store(true, Ordering::Relaxed);
+        self.queue.drain();
+    }
+
+    fn draining(&self) -> bool {
+        self.engine.stats.draining.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send the `shutdown` verb) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    dispatcher: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared observability counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.engine.stats
+    }
+
+    /// The current `stats` verb payload (a one-line JSON object).
+    pub fn stats_json(&self) -> String {
+        self.shared
+            .engine
+            .stats
+            .to_value(self.shared.engine.cache.len())
+            .to_compact()
+    }
+
+    /// Begins graceful drain, exactly like receiving the `shutdown` verb.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Waits for the drain to complete (acceptor and dispatcher exited,
+    /// every admitted job answered) and returns the final stats payload.
+    pub fn join(self) -> String {
+        let _ = self.acceptor.join();
+        let _ = self.dispatcher.join();
+        self.shared
+            .engine
+            .stats
+            .to_value(self.shared.engine.cache.len())
+            .to_compact()
+    }
+}
+
+/// Starts serving `db` (with `base` as the default query options) and
+/// returns once the listener is bound.
+pub fn serve(
+    db: Arc<GraphDatabase>,
+    base: QueryOptions,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        engine: Engine::new(db, base, &config),
+        queue: AdmissionQueue::new(config.queue_capacity),
+        config,
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, shared))
+    };
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || dispatch_loop(shared))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor,
+        dispatcher,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                // Connection threads are detached: they exit on client
+                // hangup or within one read-timeout of drain starting,
+                // and every response they still owe is owed by the
+                // dispatcher, which join() waits for.
+                std::thread::spawn(move || connection_loop(stream, shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn dispatch_loop(shared: Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.config.batch_max) {
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.request.deadline > now);
+        for job in expired {
+            ServerStats::bump(&shared.engine.stats.deadline_expired);
+            let _ = job.respond.send(Engine::expired_response(&job.request.id));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        ServerStats::bump(&shared.engine.stats.batches);
+        shared
+            .engine
+            .stats
+            .batched_queries
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        let mut requests = Vec::with_capacity(live.len());
+        let mut channels = Vec::with_capacity(live.len());
+        for job in live {
+            requests.push(job.request);
+            channels.push((job.enqueued, job.respond));
+        }
+        let responses = shared.engine.evaluate_batch(&requests);
+        for ((enqueued, respond), response) in channels.into_iter().zip(responses) {
+            shared
+                .engine
+                .stats
+                .record_latency_us(enqueued.elapsed().as_micros() as u64);
+            let _ = respond.send(response);
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    // The read timeout doubles as the drain poll interval: an idle
+    // connection notices drain within 100 ms.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                // A timeout can split one line across reads; only process
+                // complete lines.
+                if !line.ends_with('\n') {
+                    continue;
+                }
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = handle_line(trimmed, &shared);
+                    if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                    ServerStats::bump(&shared.engine.stats.served);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+    let engine = &shared.engine;
+    match engine.parse_request(line) {
+        Err(e) => Engine::error_response(&e.id, &e.message),
+        Ok(Request::Ping { id }) => Engine::pong_response(&id),
+        Ok(Request::Stats { id }) => engine.stats_response(&id),
+        Ok(Request::Shutdown { id }) => {
+            shared.begin_drain();
+            Engine::shutdown_response(&id)
+        }
+        Ok(Request::Query(request)) => {
+            ServerStats::bump(&engine.stats.queries);
+            let started = Instant::now();
+            if let Some(hit) = engine.try_cache(&request) {
+                ServerStats::bump(&engine.stats.cache_hits);
+                engine
+                    .stats
+                    .record_latency_us(started.elapsed().as_micros() as u64);
+                return hit;
+            }
+            ServerStats::bump(&engine.stats.cache_misses);
+            let (tx, rx) = mpsc::channel();
+            let job = Box::new(Job {
+                request: *request,
+                enqueued: started,
+                respond: tx,
+            });
+            match shared.queue.push(job) {
+                Err(rejected) => {
+                    ServerStats::bump(&engine.stats.rejected);
+                    Engine::backpressure_response(
+                        &rejected.request.id,
+                        shared.config.retry_after_ms,
+                    )
+                }
+                Ok(()) => match rx.recv() {
+                    Ok(response) => response,
+                    Err(_) => Engine::error_response(&None, "internal: dispatcher gone"),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_core::jsonio::Value;
+    use std::time::Duration;
+
+    fn job(n: u64) -> Box<Job> {
+        let (tx, _rx) = mpsc::channel();
+        Box::new(Job {
+            request: QueryRequest {
+                id: Some(Value::Number(n as f64)),
+                graph: gss_graph::Graph::new("q"),
+                options: QueryOptions::default(),
+                key: gss_core::QueryKey {
+                    database: 0,
+                    query: n,
+                    options: 0,
+                },
+                deadline: Instant::now() + Duration::from_secs(5),
+            },
+            enqueued: Instant::now(),
+            respond: tx,
+        })
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_when_draining() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.push(job(1)).is_ok());
+        assert!(q.push(job(2)).is_ok());
+        assert!(q.push(job(3)).is_err(), "capacity 2 rejects the third");
+        let batch = q.pop_batch(10).expect("two queued");
+        assert_eq!(batch.len(), 2);
+        assert!(q.push(job(4)).is_ok(), "space again after pop");
+        q.drain();
+        assert!(q.push(job(5)).is_err(), "draining rejects admission");
+        assert_eq!(
+            q.pop_batch(10).expect("drain pops the backlog").len(),
+            1,
+            "jobs admitted before drain still come out"
+        );
+        assert!(q.pop_batch(10).is_none(), "empty + draining ends the loop");
+    }
+
+    #[test]
+    fn pop_batch_respects_batch_max() {
+        let q = AdmissionQueue::new(16);
+        for n in 0..5 {
+            assert!(q.push(job(n)).is_ok());
+        }
+        assert_eq!(q.pop_batch(3).unwrap().len(), 3);
+        assert_eq!(q.pop_batch(3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_work_arrives() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let qc = Arc::clone(&q);
+        let t = std::thread::spawn(move || qc.pop_batch(4).map(|b| b.len()));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(q.push(job(1)).is_ok());
+        assert_eq!(t.join().unwrap(), Some(1));
+    }
+}

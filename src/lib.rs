@@ -24,6 +24,7 @@
 //! | [`diversity`] (gss-diversity) | rank-sum diversity refinement |
 //! | [`core`] (gss-core) | measures, GCS, the GSS query engine |
 //! | [`index`] (gss-index) | pivot-based metric index for sublinear scans |
+//! | [`server`] (gss-server) | concurrent query serving: TCP protocol, caching, admission control |
 //! | [`datasets`] (gss-datasets) | paper datasets, generators, workloads |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use gss_graph as graph;
 pub use gss_index as index;
 pub use gss_iso as iso;
 pub use gss_mcs as mcs;
+pub use gss_server as server;
 pub use gss_skyline as skyline;
 
 /// One-stop import for applications.

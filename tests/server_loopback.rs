@@ -1,0 +1,291 @@
+//! End-to-end loopback tests for the `gss-server` serving subsystem.
+//!
+//! The core guarantees under test:
+//!
+//! 1. **Concurrent correctness** — N client threads hammering one server
+//!    receive, for every query, a result document byte-identical to the
+//!    single-threaded oracle (`graph_similarity_skyline` + `to_json`,
+//!    compacted by the same `jsonio` writer).
+//! 2. **Cache identity** — repeated queries are answered from the result
+//!    cache (`"cached":true`) with payloads byte-identical to the fresh
+//!    evaluation, across random workloads and option sets (property
+//!    test).
+//! 3. **Protocol behavior** — stats counters, graceful drain.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use similarity_skyline::core::jsonio::Value;
+use similarity_skyline::datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use similarity_skyline::prelude::*;
+use similarity_skyline::server::{serve, Client, ServerConfig};
+
+/// The single-threaded oracle: what the server must serve, byte for byte.
+fn oracle(db: &GraphDatabase, query: &Graph, options: &QueryOptions) -> String {
+    let result = similarity_skyline::core::graph_similarity_skyline(
+        db,
+        query,
+        &QueryOptions {
+            threads: 1,
+            ..options.clone()
+        },
+    );
+    Value::parse(&similarity_skyline::core::to_json(db, &result))
+        .expect("explain output is valid JSON")
+        .to_compact()
+}
+
+fn workload_db(size: usize, seed: u64) -> (GraphDatabase, Vec<Graph>) {
+    let w = Workload::generate(&WorkloadConfig {
+        kind: WorkloadKind::Molecule,
+        database_size: size,
+        graph_vertices: 6,
+        related_fraction: 0.4,
+        max_edits: 3,
+        seed,
+    });
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+    // Queries: the planted query plus a handful of database members (their
+    // skylines are nontrivial and they exercise the isomorphism
+    // short-circuit).
+    let mut queries = vec![w.query];
+    for i in (0..db.len()).step_by(db.len().div_ceil(4).max(1)) {
+        queries.push(db.get(GraphId(i)).clone());
+    }
+    (db, queries)
+}
+
+fn graph_text(db: &GraphDatabase, g: &Graph) -> String {
+    similarity_skyline::graph::format::write_database(std::slice::from_ref(g), db.vocab())
+}
+
+#[test]
+fn concurrent_clients_match_the_single_threaded_oracle() {
+    let (db, queries) = workload_db(24, 0xBEEF);
+    let db = Arc::new(db);
+    let handle = serve(
+        Arc::clone(&db),
+        QueryOptions::default(),
+        ServerConfig {
+            workers: 3,
+            batch_max: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Oracle answers per (query, options) pair, computed once up front.
+    let option_sets: Vec<(&str, QueryOptions)> = vec![
+        ("", QueryOptions::default()),
+        (
+            "{\"prefilter\":true}",
+            QueryOptions {
+                prefilter: true,
+                ..QueryOptions::default()
+            },
+        ),
+    ];
+    let expected: Vec<Vec<String>> = option_sets
+        .iter()
+        .map(|(_, opts)| queries.iter().map(|q| oracle(&db, q, opts)).collect())
+        .collect();
+
+    // ≥ 4 concurrent clients, each issuing every (query, options) pair
+    // twice in its own order — plenty of cache hits and batch overlap.
+    const CLIENTS: usize = 6;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let db = &db;
+            let queries = &queries;
+            let option_sets = &option_sets;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..2 {
+                    for (oi, (options_json, _)) in option_sets.iter().enumerate() {
+                        for qi in 0..queries.len() {
+                            // Stagger the order per client so batches mix
+                            // different queries and option groups.
+                            let qi = (qi + c + round) % queries.len();
+                            let text = graph_text(db, &queries[qi]);
+                            let response = client.query_text(&text, options_json).expect("query");
+                            assert_eq!(
+                                response.get("ok"),
+                                Some(&Value::Bool(true)),
+                                "client {c}: {response:?}"
+                            );
+                            let served =
+                                response.get("result").expect("result payload").to_compact();
+                            assert_eq!(
+                                served, expected[oi][qi],
+                                "client {c} round {round} query {qi} options {options_json:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Traffic shape: every query answered, cache hits happened, and the
+    // dispatcher actually micro-batched (batched queries ≥ batches ≥ 1).
+    let stats = Value::parse(&handle.stats_json()).expect("stats JSON");
+    let count = |k: &str| stats.get(k).and_then(Value::as_f64).expect(k);
+    let total = (CLIENTS * 2 * option_sets.len() * queries.len()) as f64;
+    assert_eq!(count("queries"), total);
+    assert!(count("cache_hits") > 0.0, "{stats:?}");
+    assert_eq!(count("rejected"), 0.0, "{stats:?}");
+    assert!(count("batches") >= 1.0);
+    assert!(count("batched_queries") >= count("batches"));
+    assert_eq!(
+        count("cache_hits") + count("cache_misses"),
+        total,
+        "{stats:?}"
+    );
+
+    handle.shutdown();
+    let final_stats = handle.join();
+    assert!(final_stats.contains("\"draining\":true"), "{final_stats}");
+}
+
+#[test]
+fn stats_and_drain_protocol() {
+    let (db, queries) = workload_db(10, 0x51A7);
+    let db = Arc::new(db);
+    let handle = serve(
+        Arc::clone(&db),
+        QueryOptions::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(
+        client.ping().expect("ping").get("ok"),
+        Some(&Value::Bool(true))
+    );
+    let text = graph_text(&db, &queries[0]);
+    client.query_text(&text, "").expect("query");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("queries").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(stats.get("draining"), Some(&Value::Bool(false)));
+    // Totals flow through from the engine's BatchStats aggregation.
+    let totals = stats.get("totals").expect("totals");
+    assert_eq!(
+        totals.get("candidates").and_then(Value::as_f64),
+        Some(db.len() as f64)
+    );
+
+    // Shutdown over the wire: acknowledged; cached queries may still be
+    // served (drain stops admission of *work*, and a hit costs nothing),
+    // but anything needing evaluation is refused with backpressure.
+    let ack = client.shutdown().expect("shutdown");
+    assert_eq!(ack.get("draining"), Some(&Value::Bool(true)));
+    let still_cached = client.query_text(&text, "");
+    if let Ok(v) = &still_cached {
+        assert_eq!(v.get("cached"), Some(&Value::Bool(true)), "{v:?}");
+    }
+    let uncached = client.query_text(&graph_text(&db, &queries[1]), "{\"prefilter\":true}");
+    // (An Err here would mean the connection was already torn down —
+    // also a valid drain outcome.)
+    if let Ok(v) = uncached {
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v:?}");
+        assert!(
+            v.get("retry_after_ms").is_some(),
+            "drain refusals carry the backpressure hint: {v:?}"
+        );
+    }
+    let final_stats = handle.join();
+    assert!(final_stats.contains("\"draining\":true"), "{final_stats}");
+}
+
+#[test]
+fn deadline_zero_expires_in_queue() {
+    let (db, queries) = workload_db(10, 0xDEAD);
+    let db = Arc::new(db);
+    let handle = serve(
+        Arc::clone(&db),
+        QueryOptions::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let text = graph_text(&db, &queries[0]);
+    // A 0 ms deadline is already expired when the dispatcher pops it.
+    let line = format!(
+        "{{\"op\":\"query\",\"graph\":\"{}\",\"deadline_ms\":0}}",
+        similarity_skyline::core::jsonio::escape(&text)
+    );
+    let response = client.send(&line).expect("response");
+    assert_eq!(
+        response.get("ok"),
+        Some(&Value::Bool(false)),
+        "{response:?}"
+    );
+    assert_eq!(
+        response.get("error").and_then(Value::as_str),
+        Some("deadline exceeded")
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Cache hits never change answers: for random workloads, random
+    /// query picks and random option sets, the cached response payload is
+    /// byte-identical to the fresh evaluation — which itself matches the
+    /// single-threaded oracle (skyline *and* witnesses, since both are
+    /// part of the serialized document).
+    #[test]
+    fn cache_hits_are_byte_identical_to_fresh_evaluation(
+        seed in any::<u64>(),
+        size in 6usize..16,
+        pick in any::<usize>(),
+        prefilter in any::<bool>(),
+        approx in any::<bool>(),
+    ) {
+        let (db, queries) = workload_db(size, seed);
+        let db = Arc::new(db);
+        let handle = serve(
+            Arc::clone(&db),
+            QueryOptions::default(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let query = &queries[pick % queries.len()];
+        let mut parts = Vec::new();
+        if prefilter { parts.push("\"prefilter\":true"); }
+        if approx { parts.push("\"approx\":true"); }
+        let options_json = if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        };
+        let mut options = QueryOptions { prefilter, ..QueryOptions::default() };
+        if approx {
+            options.solvers = SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy };
+        }
+
+        let text = graph_text(&db, query);
+        let fresh = client.query_text(&text, &options_json).expect("fresh");
+        prop_assert_eq!(fresh.get("cached"), Some(&Value::Bool(false)));
+        let hit = client.query_text(&text, &options_json).expect("hit");
+        prop_assert_eq!(hit.get("cached"), Some(&Value::Bool(true)));
+
+        let fresh_payload = fresh.get("result").expect("payload").to_compact();
+        let hit_payload = hit.get("result").expect("payload").to_compact();
+        prop_assert_eq!(&hit_payload, &fresh_payload, "cache hit changed the bytes");
+        prop_assert_eq!(&fresh_payload, &oracle(&db, query, &options), "served != oracle");
+
+        handle.shutdown();
+        handle.join();
+    }
+}
