@@ -1,0 +1,191 @@
+//! Solver-kernel microbenchmarks: the rewritten word-parallel kernels
+//! against the retained reference implementations, on paper-scale molecule
+//! pairs.
+//!
+//! Covers the four exact hot paths the skyline scans bottom out in:
+//! branch-and-bound GED (incremental bound vs rescanning reference),
+//! bipartite GED (shared workspace vs per-call allocation), connected MCS
+//! (bitset candidate masks vs per-node `Vec`s), the product-graph max
+//! clique (Tomita colouring vs Bron–Kerbosch) and VF2 isomorphism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
+use gss_ged::bipartite::{bipartite_ged, bipartite_ged_with};
+use gss_ged::reference::reference_exact_ged;
+use gss_ged::{exact_ged, CostModel, GedOptions};
+use gss_graph::{Graph, Rng, Vocabulary};
+use gss_mcs::reference::{max_clique_reference, maximum_common_subgraph_reference};
+use gss_mcs::{max_clique_expanded, maximum_common_subgraph_expanded, Objective};
+use std::hint::black_box;
+
+fn molecule_pair(n: usize, seed: u64) -> (Graph, Graph) {
+    let mut vocab = Vocabulary::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let cfg = RandomGraphConfig {
+        vertices: n,
+        edges: n + n / 3,
+        ..Default::default()
+    };
+    let g1 = random_connected_graph("g1", &cfg, &mut vocab, &mut rng);
+    let g2 = perturb(&g1, 3, &mut vocab, &mut rng, "P");
+    (g1, g2)
+}
+
+fn bench_ged_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers-ged-exact");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let (g1, g2) = molecule_pair(n, 0x9e0 + n as u64);
+        let cost = CostModel::uniform();
+        let warm = bipartite_ged(&g1, &g2, &cost).mapping;
+        let opts = GedOptions {
+            warm_start: Some(warm),
+            ..GedOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bitset", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| black_box(exact_ged(g1, g2, &opts).cost))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reference", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(reference_exact_ged(g1, g2, &opts).cost)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ged_bipartite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers-ged-bipartite");
+    for &n in &[8usize, 12, 16] {
+        let (g1, g2) = molecule_pair(n, 0xb1 + n as u64);
+        let cost = CostModel::uniform();
+        let mut ws = gss_ged::Workspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("workspace", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(bipartite_ged_with(g1, g2, &cost, &mut ws).cost)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fresh-alloc", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(bipartite_ged(g1, g2, &cost).cost)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mcs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers-mcs-exact");
+    group.sample_size(10);
+    for &n in &[7usize, 9, 11] {
+        let (g1, g2) = molecule_pair(n, 0x3c5 + n as u64);
+        group.bench_with_input(BenchmarkId::new("bitset", n), &(&g1, &g2), |b, (g1, g2)| {
+            b.iter(|| {
+                black_box(
+                    maximum_common_subgraph_expanded(g1, g2, Objective::Edges)
+                        .0
+                        .edges(),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reference", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| {
+                b.iter(|| {
+                    black_box(
+                        maximum_common_subgraph_reference(g1, g2, Objective::Edges)
+                            .0
+                            .edges(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn product_adjacency(g1: &Graph, g2: &Graph) -> Vec<Vec<bool>> {
+    let mut pairs = Vec::new();
+    for u in g1.vertices() {
+        for v in g2.vertices() {
+            if g1.vertex_label(u) == g2.vertex_label(v) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    let n = pairs.len();
+    let mut adj = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let (u1, v1) = pairs[i];
+            let (u2, v2) = pairs[j];
+            if u1 == u2 || v1 == v2 {
+                continue;
+            }
+            let consistent = match (g1.edge_between(u1, u2), g2.edge_between(v1, v2)) {
+                (Some(a), Some(b)) => g1.edge_label(a) == g2.edge_label(b),
+                (None, None) => true,
+                _ => false,
+            };
+            if consistent {
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+    }
+    adj
+}
+
+fn bench_max_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers-max-clique");
+    group.sample_size(10);
+    for &n in &[6usize, 8] {
+        let (g1, g2) = molecule_pair(n, 0xc1 + n as u64);
+        let adj = product_adjacency(&g1, &g2);
+        group.bench_with_input(BenchmarkId::new("tomita", adj.len()), &adj, |b, adj| {
+            b.iter(|| black_box(max_clique_expanded(adj).0.len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bron-kerbosch", adj.len()),
+            &adj,
+            |b, adj| b.iter(|| black_box(max_clique_reference(adj).0.len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_vf2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers-vf2");
+    for &n in &[8usize, 12] {
+        let (g1, g2) = molecule_pair(n, 0xf2 + n as u64);
+        // Isomorphic pair: the expensive positive case.
+        group.bench_with_input(
+            BenchmarkId::new("iso-self", n),
+            &(&g1, &g1),
+            |b, (g1, g2)| b.iter(|| black_box(gss_iso::are_isomorphic(g1, g2))),
+        );
+        // Near-miss pair: the common negative case of the short-circuit.
+        group.bench_with_input(
+            BenchmarkId::new("iso-perturbed", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(gss_iso::are_isomorphic(g1, g2))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("subgraph", n),
+            &(&g1, &g2),
+            |b, (g1, g2)| b.iter(|| black_box(gss_iso::is_subgraph_isomorphic(g1, g2))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ged_exact,
+    bench_ged_bipartite,
+    bench_mcs_exact,
+    bench_max_clique,
+    bench_vf2
+);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p gss-bench --bin scaling [-- FLAGS]`
 //!
-//! * `--smoke` — run only S7 + S8 (the committed CI smoke workload,
+//! * `--smoke` — run only S7 + S8 + S9 (the committed CI smoke workload,
 //!   [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
 //! * `--json PATH` — additionally write the S7 measurements as a JSON
 //!   report (the CI `BENCH_2.json` artifact).
@@ -12,12 +12,21 @@
 //!   (queries/sec, latency percentiles, cache hit rate, response
 //!   mismatches vs. direct evaluation) as a JSON report (the CI
 //!   `BENCH_3.json` artifact).
+//! * `--solver-json PATH` — write the S9 solver-kernel measurements
+//!   (per-solver wall time for the bitset kernels and the retained
+//!   reference implementations, expanded-node counters) as a JSON report
+//!   (the CI `BENCH_4.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
-//!   of candidates at the partition level, and the S8 serving replay
+//!   of candidates at the partition level, the S8 serving replay
 //!   (c) sees a cache hit rate > 0 on its repeated queries with (d) zero
-//!   response mismatches against direct evaluation. This is the CI
-//!   perf-regression gate.
+//!   response mismatches against direct evaluation, and the S9 solver
+//!   sweep (e) ran (the artifact carries it), (f) expanded no more GED /
+//!   MCS search nodes than the recorded baselines, and (g) kept the
+//!   expanded-node contract against the retained reference solvers —
+//!   exact equality for MCS (search order preserved), `≤` for GED (its
+//!   cross-edge bound prunes harder). This is the CI perf-regression
+//!   gate.
 
 use std::time::Instant;
 
@@ -61,6 +70,7 @@ fn fmt_us(us: f64) -> String {
 fn main() {
     let mut json_path: Option<String> = None;
     let mut serve_json_path: Option<String> = None;
+    let mut solver_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -82,10 +92,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--solver-json" => match args.next() {
+                Some(path) => solver_json_path = Some(path),
+                None => {
+                    eprintln!("--solver-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
-                     --serve-json PATH)"
+                     --serve-json PATH, --solver-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -111,6 +128,14 @@ fn main() {
     let serve_report = s8_serve();
     if let Some(path) = &serve_json_path {
         std::fs::write(path, serve_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let solver_report = s9_solvers();
+    if let Some(path) = &solver_json_path {
+        std::fs::write(path, solver_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -149,19 +174,283 @@ fn main() {
             );
             failed = true;
         }
+        if !solver_report.gate_present() {
+            eprintln!("GATE FAILED: S9 solver sweep measured no pairs — artifact incomplete");
+            failed = true;
+        }
+        if !solver_report.gate_expanded_baseline() {
+            eprintln!(
+                "GATE FAILED: solver kernels expanded more nodes than the recorded baseline \
+                 (GED {} vs ≤ {}, MCS {} vs ≤ {})",
+                solver_report.ged_expanded,
+                S9_GED_EXPANDED_BASELINE,
+                solver_report.mcs_expanded,
+                S9_MCS_EXPANDED_BASELINE
+            );
+            failed = true;
+        }
+        if !solver_report.gate_parity() {
+            eprintln!(
+                "GATE FAILED: kernel/reference expanded-node contract broken \
+                 (GED {} vs {}, must be ≤; MCS {} vs {}, must be equal)",
+                solver_report.ged_expanded,
+                solver_report.ged_ref_expanded,
+                solver_report.mcs_expanded,
+                solver_report.mcs_ref_expanded
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
             "gate passed: indexed verified {} ≤ prefilter verified {}; index skipped {:.1}% ≥ 30%; \
-             serving cache hit rate {:.2} > 0 with 0 mismatches over {} requests",
+             serving cache hit rate {:.2} > 0 with 0 mismatches over {} requests; \
+             solver expanded nodes at baseline (GED {}, MCS {}) with {:.1}x kernel speedup",
             report.indexed.0.verified,
             report.prefilter.0.verified,
             report.indexed.0.index_skip_rate() * 100.0,
             serve_report.cache_hit_rate,
-            serve_report.requests
+            serve_report.requests,
+            solver_report.ged_expanded,
+            solver_report.mcs_expanded,
+            solver_report.combined_speedup()
         );
     }
+}
+
+/// Recorded S9 baselines on the committed smoke workload: total search
+/// nodes the exact solvers expand over all 120 query/candidate pairs. The
+/// kernels are deterministic, so any increase is a real search-order or
+/// bound regression; re-record deliberately when the workload or the
+/// candidate ordering changes.
+const S9_GED_EXPANDED_BASELINE: u64 = 35_766;
+const S9_MCS_EXPANDED_BASELINE: u64 = 1_536;
+
+/// The S9 measurements: solver-kernel wall times (bitset kernels vs the
+/// retained reference implementations) and expanded-node counters over the
+/// committed smoke workload — the `BENCH_4.json` artifact.
+struct SolverReport {
+    pairs: usize,
+    ged_wall_us: f64,
+    ged_ref_wall_us: f64,
+    ged_expanded: u64,
+    ged_ref_expanded: u64,
+    bipartite_wall_us: f64,
+    bipartite_ref_wall_us: f64,
+    mcs_wall_us: f64,
+    mcs_ref_wall_us: f64,
+    mcs_expanded: u64,
+    mcs_ref_expanded: u64,
+    vf2_wall_us: f64,
+}
+
+impl SolverReport {
+    fn gate_present(&self) -> bool {
+        self.pairs > 0
+    }
+
+    fn gate_expanded_baseline(&self) -> bool {
+        self.ged_expanded <= S9_GED_EXPANDED_BASELINE
+            && self.mcs_expanded <= S9_MCS_EXPANDED_BASELINE
+    }
+
+    /// GED may expand fewer nodes than the reference (its cross-edge bound
+    /// is strictly stronger) but never more; the MCS rewrite preserves the
+    /// search order exactly.
+    fn gate_parity(&self) -> bool {
+        self.ged_expanded <= self.ged_ref_expanded && self.mcs_expanded == self.mcs_ref_expanded
+    }
+
+    /// Headline solver-level speedup: total reference wall time over total
+    /// kernel wall time, across the exact GED, bipartite and MCS sweeps.
+    fn combined_speedup(&self) -> f64 {
+        let new = self.ged_wall_us + self.bipartite_wall_us + self.mcs_wall_us;
+        let reference = self.ged_ref_wall_us + self.bipartite_ref_wall_us + self.mcs_ref_wall_us;
+        reference / new.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        format!(
+            "{{\n  \"schema\": \"gss-bench-solvers/1\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"pairs\": {},\n  \"ged_exact\": {{\"wall_us\": {:.1}, \
+             \"ref_wall_us\": {:.1}, \"speedup\": {:.2}, \"expanded\": {}, \
+             \"ref_expanded\": {}}},\n  \"ged_bipartite\": {{\"wall_us\": {:.1}, \
+             \"ref_wall_us\": {:.1}, \"speedup\": {:.2}}},\n  \"mcs_exact\": {{\"wall_us\": {:.1}, \
+             \"ref_wall_us\": {:.1}, \"speedup\": {:.2}, \"expanded\": {}, \
+             \"ref_expanded\": {}}},\n  \"vf2\": {{\"wall_us\": {:.1}}},\n  \
+             \"combined_speedup\": {:.2},\n  \"gate\": {{\"s9_present\": {}, \
+             \"expanded_le_baseline\": {}, \"expanded_parity\": {}, \
+             \"ged_expanded_baseline\": {}, \"mcs_expanded_baseline\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.pairs,
+            self.ged_wall_us,
+            self.ged_ref_wall_us,
+            self.ged_ref_wall_us / self.ged_wall_us.max(1e-9),
+            self.ged_expanded,
+            self.ged_ref_expanded,
+            self.bipartite_wall_us,
+            self.bipartite_ref_wall_us,
+            self.bipartite_ref_wall_us / self.bipartite_wall_us.max(1e-9),
+            self.mcs_wall_us,
+            self.mcs_ref_wall_us,
+            self.mcs_ref_wall_us / self.mcs_wall_us.max(1e-9),
+            self.mcs_expanded,
+            self.mcs_ref_expanded,
+            self.vf2_wall_us,
+            self.combined_speedup(),
+            self.gate_present(),
+            self.gate_expanded_baseline(),
+            self.gate_parity(),
+            S9_GED_EXPANDED_BASELINE,
+            S9_MCS_EXPANDED_BASELINE,
+        )
+    }
+}
+
+/// S9: the solver kernels the skyline scans bottom out in, swept over
+/// every query/candidate pair of the committed smoke workload — bitset
+/// kernels vs the retained reference implementations.
+fn s9_solvers() -> SolverReport {
+    use gss_ged::bipartite::{bipartite_ged, bipartite_ged_with};
+    use gss_ged::reference::reference_exact_ged;
+    use gss_ged::{exact_ged, CostModel, GedOptions, VertexMapping};
+    use gss_mcs::reference::maximum_common_subgraph_reference;
+    use gss_mcs::{maximum_common_subgraph_expanded, Objective};
+
+    println!("== S9: solver kernels vs retained references (committed smoke workload) ==");
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+    let query = &w.query;
+    let cost = CostModel::uniform();
+
+    // Warm starts once per pair (the scans warm-start the same way), so the
+    // timed loops measure exactly one solver each.
+    let mut ws = gss_ged::Workspace::new();
+    let warms: Vec<VertexMapping> = db
+        .graphs()
+        .iter()
+        .map(|g| bipartite_ged_with(g, query, &cost, &mut ws).mapping)
+        .collect();
+    let opts = |warm: &VertexMapping| GedOptions {
+        cost,
+        warm_start: Some(warm.clone()),
+        node_limit: None,
+    };
+
+    let mut ged_expanded = 0u64;
+    let ged_wall = time_us(3, || {
+        ged_expanded = 0;
+        for (g, warm) in db.graphs().iter().zip(&warms) {
+            ged_expanded += exact_ged(g, query, &opts(warm)).expanded;
+        }
+    });
+    let mut ged_ref_expanded = 0u64;
+    let ged_ref_wall = time_us(3, || {
+        ged_ref_expanded = 0;
+        for (g, warm) in db.graphs().iter().zip(&warms) {
+            ged_ref_expanded += reference_exact_ged(g, query, &opts(warm)).expanded;
+        }
+    });
+
+    let bip_wall = time_us(3, || {
+        for g in db.graphs() {
+            std::hint::black_box(bipartite_ged_with(g, query, &cost, &mut ws).cost);
+        }
+    });
+    let bip_ref_wall = time_us(3, || {
+        for g in db.graphs() {
+            std::hint::black_box(bipartite_ged(g, query, &cost).cost);
+        }
+    });
+
+    let mut mcs_expanded = 0u64;
+    let mcs_wall = time_us(3, || {
+        mcs_expanded = 0;
+        for g in db.graphs() {
+            mcs_expanded += maximum_common_subgraph_expanded(g, query, Objective::Edges).1;
+        }
+    });
+    let mut mcs_ref_expanded = 0u64;
+    let mcs_ref_wall = time_us(3, || {
+        mcs_ref_expanded = 0;
+        for g in db.graphs() {
+            mcs_ref_expanded += maximum_common_subgraph_reference(g, query, Objective::Edges).1;
+        }
+    });
+
+    let vf2_wall = time_us(3, || {
+        for g in db.graphs() {
+            std::hint::black_box(gss_iso::are_isomorphic(g, query));
+        }
+    });
+
+    let report = SolverReport {
+        pairs: db.len(),
+        ged_wall_us: ged_wall,
+        ged_ref_wall_us: ged_ref_wall,
+        ged_expanded,
+        ged_ref_expanded,
+        bipartite_wall_us: bip_wall,
+        bipartite_ref_wall_us: bip_ref_wall,
+        mcs_wall_us: mcs_wall,
+        mcs_ref_wall_us: mcs_ref_wall,
+        mcs_expanded,
+        mcs_ref_expanded,
+        vf2_wall_us: vf2_wall,
+    };
+
+    let mut table = TextTable::new(vec!["solver", "bitset", "reference", "speedup", "expanded"]);
+    table.row(vec![
+        "ged-exact".into(),
+        fmt_us(report.ged_wall_us),
+        fmt_us(report.ged_ref_wall_us),
+        format!(
+            "{:.2}x",
+            report.ged_ref_wall_us / report.ged_wall_us.max(1e-9)
+        ),
+        format!("{}", report.ged_expanded),
+    ]);
+    table.row(vec![
+        "ged-bipartite".into(),
+        fmt_us(report.bipartite_wall_us),
+        fmt_us(report.bipartite_ref_wall_us),
+        format!(
+            "{:.2}x",
+            report.bipartite_ref_wall_us / report.bipartite_wall_us.max(1e-9)
+        ),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "mcs-exact".into(),
+        fmt_us(report.mcs_wall_us),
+        fmt_us(report.mcs_ref_wall_us),
+        format!(
+            "{:.2}x",
+            report.mcs_ref_wall_us / report.mcs_wall_us.max(1e-9)
+        ),
+        format!("{}", report.mcs_expanded),
+    ]);
+    table.row(vec![
+        "vf2-iso".into(),
+        fmt_us(report.vf2_wall_us),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{} pairs; combined exact-kernel speedup {:.2}x",
+        report.pairs,
+        report.combined_speedup()
+    );
+    println!();
+    report
 }
 
 /// The S7 measurements that feed the report table, the JSON artifact and

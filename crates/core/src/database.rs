@@ -1,6 +1,9 @@
 //! The graph database: a set of graphs sharing one label vocabulary.
 
+use std::sync::{Arc, OnceLock};
+
 use gss_graph::format::{parse_database, write_database};
+use gss_graph::stats::GraphStats;
 use gss_graph::{Graph, GraphBuilder, GraphError, Vocabulary};
 
 /// Identifier of a graph inside a [`GraphDatabase`].
@@ -18,10 +21,22 @@ impl GraphId {
 ///
 /// Owning the [`Vocabulary`] guarantees the workspace-wide invariant that
 /// graphs compared against each other use the same label interning.
+///
+/// Every stored graph also carries a lazily-built, cached
+/// [`GraphStats`] summary ([`GraphDatabase::stats`]): label multisets,
+/// edge-class multiset, sorted degree sequence, WL fingerprint and
+/// connectivity — computed at most **once per graph for the lifetime of
+/// the database** instead of once per candidate per scan. Stored graphs
+/// are immutable (the mutating APIs only append), so a computed summary
+/// never goes stale; clones share the cache cells.
 #[derive(Debug, Clone, Default)]
 pub struct GraphDatabase {
     vocab: Vocabulary,
     graphs: Vec<Graph>,
+    /// One cache cell per graph, aligned with `graphs`. `Arc` so clones
+    /// share already-computed summaries; `OnceLock` for thread-safe
+    /// fill-once semantics under the parallel scans.
+    stats: Vec<Arc<OnceLock<GraphStats>>>,
 }
 
 impl GraphDatabase {
@@ -33,14 +48,19 @@ impl GraphDatabase {
     /// Wraps pre-built parts (e.g. the reconstructed paper dataset). The
     /// caller asserts that every graph was built against `vocab`.
     pub fn from_parts(vocab: Vocabulary, graphs: Vec<Graph>) -> Self {
-        GraphDatabase { vocab, graphs }
+        let stats = graphs.iter().map(|_| Arc::default()).collect();
+        GraphDatabase {
+            vocab,
+            graphs,
+            stats,
+        }
     }
 
     /// Parses a database from the `t/v/e` text format.
     pub fn from_text(input: &str) -> Result<Self, GraphError> {
         let mut vocab = Vocabulary::new();
         let graphs = parse_database(input, &mut vocab)?;
-        Ok(GraphDatabase { vocab, graphs })
+        Ok(GraphDatabase::from_parts(vocab, graphs))
     }
 
     /// Serializes the database to the `t/v/e` text format.
@@ -75,6 +95,7 @@ impl GraphDatabase {
     pub fn push(&mut self, graph: Graph) -> GraphId {
         let id = GraphId(self.graphs.len());
         self.graphs.push(graph);
+        self.stats.push(Arc::default());
         id
     }
 
@@ -104,6 +125,25 @@ impl GraphDatabase {
     /// Panics for ids not created by this database.
     pub fn get(&self, id: GraphId) -> &Graph {
         &self.graphs[id.0]
+    }
+
+    /// The cached [`GraphStats`] summary of a stored graph, computed on
+    /// first access and reused by every later scan (and by clones of this
+    /// database).
+    ///
+    /// # Panics
+    /// Panics for ids not created by this database.
+    pub fn stats(&self, id: GraphId) -> &GraphStats {
+        self.stats[id.0].get_or_init(|| GraphStats::compute(&self.graphs[id.0]))
+    }
+
+    /// Eagerly fills every stats cache cell — useful at load time in
+    /// long-lived processes (e.g. `gss-server`) so the first query does not
+    /// pay the whole database's summary cost.
+    pub fn precompute_stats(&self) {
+        for i in 0..self.graphs.len() {
+            let _ = self.stats(GraphId(i));
+        }
     }
 
     /// Iterates `(id, graph)` pairs in insertion order.
@@ -624,6 +664,33 @@ mod tests {
             .add("a", |b| b.vertices(&["x", "y"], "C").edge("x", "y", "="))
             .unwrap();
         assert_ne!(edited.fingerprint(), fp);
+    }
+
+    #[test]
+    fn stats_cache_matches_fresh_computation_and_tracks_pushes() {
+        let mut db = GraphDatabase::new();
+        let a = db
+            .add("a", |b| {
+                b.vertices(&["x", "y", "z"], "C")
+                    .cycle(&["x", "y", "z"], "-")
+            })
+            .unwrap();
+        let cached = db.stats(a).clone();
+        assert_eq!(cached, GraphStats::compute(db.get(a)));
+        assert!(cached.connected);
+        assert_eq!(cached.size, 3);
+
+        // Pushing more graphs leaves earlier cells intact and adds new ones.
+        let b = db.add("b", |b| b.vertex("q", "N")).unwrap();
+        assert_eq!(db.stats(a), &cached);
+        assert_eq!(db.stats(b).order, 1);
+        assert!(!db.stats(b).connected || db.get(b).order() <= 1);
+
+        // Clones share computed cells (same values either way).
+        let clone = db.clone();
+        assert_eq!(clone.stats(a), &cached);
+        db.precompute_stats();
+        assert_eq!(db.stats(b), clone.stats(b));
     }
 
     #[test]

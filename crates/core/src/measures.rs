@@ -8,9 +8,23 @@
 //! ([`MeasureKind::from_primitives`]), so adding a dimension to a query
 //! costs almost nothing extra.
 
-use gss_ged::{beam::beam_ged, bipartite::bipartite_ged, exact_ged, CostModel, GedOptions};
+use std::cell::RefCell;
+
+use gss_ged::{beam::beam_ged, bipartite::bipartite_ged_with, exact_ged, CostModel, GedOptions};
 use gss_graph::Graph;
 use gss_mcs::{greedy::greedy_mcs, mcs_edge_size};
+
+thread_local! {
+    /// Per-thread bipartite-GED workspace (flat cost matrix + Hungarian
+    /// dual/slack buffers), reused across every candidate evaluation a
+    /// worker thread performs in a scan. Thread-local rather than plumbed
+    /// through the public API: the wave-parallel scans hand contiguous
+    /// candidate ranges to each worker, so one workspace per thread gives
+    /// the same reuse as explicit caller-provided plumbing with zero
+    /// signature churn. Results are bit-identical to fresh buffers
+    /// (property-tested in `gss-ged`).
+    static GED_WORKSPACE: RefCell<gss_ged::Workspace> = RefCell::new(gss_ged::Workspace::new());
+}
 
 /// Which GED solver the evaluator runs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -150,9 +164,12 @@ impl MeasureKind {
 /// Computes pair primitives under a [`SolverConfig`].
 pub fn compute_primitives(g1: &Graph, g2: &Graph, config: &SolverConfig) -> PairPrimitives {
     let cost = CostModel::uniform();
+    let bipartite = |g1: &Graph, g2: &Graph| {
+        GED_WORKSPACE.with(|ws| bipartite_ged_with(g1, g2, &cost, &mut ws.borrow_mut()))
+    };
     let ged = match config.ged {
         GedMode::Exact => {
-            let warm = bipartite_ged(g1, g2, &cost);
+            let warm = bipartite(g1, g2);
             exact_ged(
                 g1,
                 g2,
@@ -165,7 +182,7 @@ pub fn compute_primitives(g1: &Graph, g2: &Graph, config: &SolverConfig) -> Pair
             .cost
         }
         GedMode::ExactBudget(limit) => {
-            let warm = bipartite_ged(g1, g2, &cost);
+            let warm = bipartite(g1, g2);
             exact_ged(
                 g1,
                 g2,
@@ -177,7 +194,7 @@ pub fn compute_primitives(g1: &Graph, g2: &Graph, config: &SolverConfig) -> Pair
             )
             .cost
         }
-        GedMode::Bipartite => bipartite_ged(g1, g2, &cost).cost,
+        GedMode::Bipartite => bipartite(g1, g2).cost,
         GedMode::Beam(width) => beam_ged(g1, g2, &cost, width).cost,
     };
     let mcs_edges = match config.mcs {

@@ -36,16 +36,16 @@
 
 use gss_graph::stats::{
     degree_sequence, degree_sequence_l1_presorted, edge_class_multiset, edge_label_multiset,
-    mcs_upper_bound, vertex_label_multiset, EdgeClass, Multiset,
+    mcs_upper_bound, vertex_label_multiset, EdgeClass, GraphStats, Multiset,
 };
 use gss_graph::{algo, wl, Graph, Label};
 
 use crate::measures::{GcsVector, GedMode, McsMode, MeasureKind, SolverConfig};
 
-/// Number of 1-WL refinement rounds used for the equality short-circuit.
-/// Two rounds separate almost all non-isomorphic pairs at this domain's
-/// graph sizes (see `gss_graph::wl`).
-const WL_ROUNDS: usize = 2;
+/// Number of 1-WL refinement rounds used for the equality short-circuit —
+/// kept equal to the rounds baked into the cached per-graph summaries
+/// ([`GraphStats::WL_ROUNDS`]) so cached and ad-hoc fingerprints compare.
+const WL_ROUNDS: usize = GraphStats::WL_ROUNDS;
 
 /// The cheap pair summary driving the pruned scan.
 #[derive(Clone, Debug, PartialEq)]
@@ -186,8 +186,29 @@ impl PrefilterContext {
 /// `q` must be the graph the context was built for; all query-side
 /// invariants (label multisets, degree sequence, WL fingerprint) come from
 /// the context so only the candidate side is derived per call.
+///
+/// Standalone convenience form of [`summarize_with_stats`]: derives the
+/// candidate-side [`GraphStats`] on the fly. Scans over a
+/// [`crate::GraphDatabase`] use the cached per-graph summaries instead, so
+/// the candidate side is computed once per graph ever, not once per scan.
 pub fn summarize(
     g: &Graph,
+    q: &Graph,
+    measures: &[MeasureKind],
+    ctx: &PrefilterContext,
+) -> PrefilterSummary {
+    summarize_with_stats(g, &GraphStats::compute(g), q, measures, ctx)
+}
+
+/// [`summarize`] with the candidate's precomputed [`GraphStats`]: the only
+/// per-call work left is combining the two precomputed sides (multiset
+/// intersections) and, for WL-equal pairs, the VF2 isomorphism check.
+///
+/// `stats` must describe `g` (the database stats cache guarantees this for
+/// stored graphs).
+pub fn summarize_with_stats(
+    g: &Graph,
+    stats: &GraphStats,
     q: &Graph,
     measures: &[MeasureKind],
     ctx: &PrefilterContext,
@@ -197,28 +218,31 @@ pub fn summarize(
     // graph itself has DistMcs > 0, so all-zeros would be wrong.
     let isomorphic = ctx.check_isomorphism
         && ctx.query_connected
-        && wl::wl_fingerprint(g, WL_ROUNDS) == ctx.query_fingerprint
-        && algo::is_connected(g)
+        && stats.wl_fingerprint == ctx.query_fingerprint
+        && stats.connected
         && gss_iso::are_isomorphic(g, q);
 
     // Candidate-side summaries, combined with the context's query side —
     // the same quantities as `ged_lower_bound`/`mcs_edge_upper_bound`
     // without recomputing the query's half of each bound.
-    let g_vertices = vertex_label_multiset(g);
-    let g_edges = edge_label_multiset(g);
-    let vertex_align =
-        (g.order().max(ctx.order) as u32) - g_vertices.intersection_size(&ctx.vertex_labels);
-    let edge_align = (g.size().max(ctx.size) as u32) - g_edges.intersection_size(&ctx.edge_labels);
-    let degree_lb = degree_sequence_l1_presorted(&degree_sequence(g), &ctx.degrees).div_ceil(2);
-    let size_diff = g.size().abs_diff(ctx.size);
+    let vertex_align = (stats.order.max(ctx.order) as u32)
+        - stats.vertex_labels.intersection_size(&ctx.vertex_labels);
+    let edge_align =
+        (stats.size.max(ctx.size) as u32) - stats.edge_labels.intersection_size(&ctx.edge_labels);
+    let degree_lb = degree_sequence_l1_presorted(&stats.degrees, &ctx.degrees).div_ceil(2);
+    let size_diff = stats.size.abs_diff(ctx.size);
     let ged_lb = (f64::from(vertex_align + edge_align))
         .max(degree_lb as f64)
         .max(size_diff as f64);
-    let mcs_ub = edge_class_multiset(g).intersection_size(&ctx.edge_classes) as usize;
-    let sizes = (g.size(), ctx.size);
-    let mismatch = g_vertices.symmetric_difference_size(&ctx.vertex_labels)
-        + g_edges.symmetric_difference_size(&ctx.edge_labels);
-    let total = g_vertices.total() + g_edges.total() + ctx.label_total;
+    let mcs_ub = stats.edge_classes.intersection_size(&ctx.edge_classes) as usize;
+    let sizes = (stats.size, ctx.size);
+    let mismatch = stats
+        .vertex_labels
+        .symmetric_difference_size(&ctx.vertex_labels)
+        + stats
+            .edge_labels
+            .symmetric_difference_size(&ctx.edge_labels);
+    let total = stats.label_total() + ctx.label_total;
     let label_histogram = if total == 0 {
         0.0
     } else {
@@ -456,6 +480,39 @@ mod tests {
                 "{}",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn cached_stats_path_matches_ad_hoc_summaries() {
+        // `summarize_with_stats` fed from the database cache must produce
+        // exactly what the standalone `summarize` computes, for exact and
+        // approximate solver configs alike.
+        use crate::database::{GraphDatabase, GraphId};
+        let (a, b) = pair();
+        let mut db = GraphDatabase::new();
+        let ida = db.push(a.clone());
+        let _ = db.push(b.clone());
+        for solvers in [
+            SolverConfig::default(),
+            SolverConfig {
+                ged: GedMode::Bipartite,
+                mcs: McsMode::Greedy,
+            },
+        ] {
+            let ctx = PrefilterContext::for_query(&b, &solvers, true);
+            for id in [ida, GraphId(1)] {
+                let g = db.get(id).clone();
+                let cached = summarize_with_stats(
+                    &g,
+                    db.stats(id),
+                    &b,
+                    &MeasureKind::paper_query_measures(),
+                    &ctx,
+                );
+                let ad_hoc = summarize(&g, &b, &MeasureKind::paper_query_measures(), &ctx);
+                assert_eq!(cached, ad_hoc, "{solvers:?} g{}", id.index());
+            }
         }
     }
 

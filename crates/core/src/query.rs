@@ -179,8 +179,10 @@ pub fn graph_similarity_skyline(
     } else {
         let summaries: Vec<Option<PrefilterSummary>> =
             parallel_map_indexed(n, options.threads, |i| {
-                Some(prefilter::summarize(
-                    db.get(GraphId(i)),
+                let id = GraphId(i);
+                Some(prefilter::summarize_with_stats(
+                    db.get(id),
+                    db.stats(id),
                     query,
                     &options.measures,
                     &ctx,
@@ -471,7 +473,14 @@ fn indexed_verify(
         let members: Vec<usize> = part.members.iter().map(|g| g.index()).collect();
         let batch: Vec<PrefilterSummary> =
             parallel_map_indexed(members.len(), options.threads, |k| {
-                prefilter::summarize(db.get(GraphId(members[k])), query, &options.measures, ctx)
+                let id = GraphId(members[k]);
+                prefilter::summarize_with_stats(
+                    db.get(id),
+                    db.stats(id),
+                    query,
+                    &options.measures,
+                    ctx,
+                )
             });
         for (k, s) in batch.into_iter().enumerate() {
             summaries[members[k]] = Some(s);
@@ -490,7 +499,8 @@ fn indexed_verify(
     // only after the scan decided what to verify.
     let skipped: Vec<usize> = (0..n).filter(|&i| summaries[i].is_none()).collect();
     let batch: Vec<PrefilterSummary> = parallel_map_indexed(skipped.len(), options.threads, |k| {
-        prefilter::summarize(db.get(GraphId(skipped[k])), query, &options.measures, ctx)
+        let id = GraphId(skipped[k]);
+        prefilter::summarize_with_stats(db.get(id), db.stats(id), query, &options.measures, ctx)
     });
     for (k, s) in batch.into_iter().enumerate() {
         summaries[skipped[k]] = Some(s);

@@ -6,8 +6,14 @@
 //! the resulting vertex mapping. The result is therefore always an *upper
 //! bound* on the exact GED (tests verify this against [`crate::exact`]),
 //! computable in `O((n1+n2)³)`.
+//!
+//! The similarity scans call this once per candidate pair — thousands of
+//! times per query — so the hot entry point [`bipartite_ged_with`] takes a
+//! caller-provided [`Workspace`] and reuses the flat cost matrix, the
+//! Hungarian dual/slack buffers and the incident-label environment tables
+//! across calls. [`bipartite_ged`] is the allocating one-shot wrapper; both
+//! return bit-identical results (property-tested).
 
-use gss_graph::stats::Multiset;
 use gss_graph::{Graph, Label, VertexId};
 
 use crate::cost::CostModel;
@@ -15,15 +21,78 @@ use crate::exact::GedResult;
 use crate::hungarian::{self, FORBIDDEN};
 use crate::path::{mapping_cost, VertexMapping};
 
-fn incident_edge_labels(g: &Graph, v: VertexId) -> Multiset<Label> {
-    g.neighbors(v).map(|(_, e)| g.edge_label(e)).collect()
+/// Reusable buffers for [`bipartite_ged_with`]: the flat assignment matrix,
+/// the Hungarian solver workspace, and per-vertex sorted incident-edge-label
+/// tables for both graphs.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    hungarian: hungarian::Workspace,
+    matrix: Vec<f64>,
+    env_labels1: Vec<Label>,
+    env_offsets1: Vec<usize>,
+    env_labels2: Vec<Label>,
+    env_offsets2: Vec<usize>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+}
+
+/// Fills `labels`/`offsets` with each vertex's incident edge labels, sorted
+/// per vertex: the slice `labels[offsets[i]..offsets[i+1]]` is vertex `i`'s
+/// sorted label environment.
+fn build_env(g: &Graph, labels: &mut Vec<Label>, offsets: &mut Vec<usize>) {
+    labels.clear();
+    offsets.clear();
+    for v in g.vertices() {
+        offsets.push(labels.len());
+        let start = labels.len();
+        for (_, e) in g.neighbors(v) {
+            labels.push(g.edge_label(e));
+        }
+        labels[start..].sort_unstable();
+    }
+    offsets.push(labels.len());
+}
+
+/// Multiset intersection size of two sorted label slices (two-pointer
+/// merge) — the same count `Multiset::intersection_size` produces.
+fn sorted_intersection_size(a: &[Label], b: &[Label]) -> usize {
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
 }
 
 /// Approximates GED via one linear assignment over vertices.
 ///
 /// The returned [`GedResult`] has `exact = false`; its `cost` is the induced
-/// cost of the assignment, an upper bound on the true GED.
+/// cost of the assignment, an upper bound on the true GED. One-shot
+/// wrapper over [`bipartite_ged_with`].
 pub fn bipartite_ged(g1: &Graph, g2: &Graph, cost: &CostModel) -> GedResult {
+    bipartite_ged_with(g1, g2, cost, &mut Workspace::new())
+}
+
+/// [`bipartite_ged`] reusing the caller's [`Workspace`] — no per-call heap
+/// allocation beyond the returned mapping.
+pub fn bipartite_ged_with(
+    g1: &Graph,
+    g2: &Graph,
+    cost: &CostModel,
+    ws: &mut Workspace,
+) -> GedResult {
     cost.validate().expect("invalid cost model");
     let (n1, n2) = (g1.order(), g2.order());
     let n = n1 + n2;
@@ -36,14 +105,26 @@ pub fn bipartite_ged(g1: &Graph, g2: &Graph, cost: &CostModel) -> GedResult {
         };
     }
 
-    // Pre-compute incident edge-label multisets.
-    let env1: Vec<Multiset<Label>> = g1.vertices().map(|v| incident_edge_labels(g1, v)).collect();
-    let env2: Vec<Multiset<Label>> = g2.vertices().map(|v| incident_edge_labels(g2, v)).collect();
+    // Pre-compute per-vertex sorted incident edge-label environments.
+    build_env(g1, &mut ws.env_labels1, &mut ws.env_offsets1);
+    build_env(g2, &mut ws.env_labels2, &mut ws.env_offsets2);
+    let Workspace {
+        hungarian: hungarian_ws,
+        matrix,
+        env_labels1,
+        env_offsets1,
+        env_labels2,
+        env_offsets2,
+    } = ws;
+    let env1 = |i: usize| &env_labels1[env_offsets1[i]..env_offsets1[i + 1]];
+    let env2 = |j: usize| &env_labels2[env_offsets2[j]..env_offsets2[j + 1]];
 
-    let mut matrix = vec![vec![0.0f64; n]; n];
+    matrix.clear();
+    matrix.resize(n * n, 0.0);
     for i in 0..n1 {
         let vi = VertexId::new(i);
-        for j in 0..n2 {
+        let row = &mut matrix[i * n..(i + 1) * n];
+        for (j, cell) in row[..n2].iter_mut().enumerate() {
             let vj = VertexId::new(j);
             let sub = if g1.vertex_label(vi) == g2.vertex_label(vj) {
                 0.0
@@ -54,13 +135,13 @@ pub fn bipartite_ged(g1: &Graph, g2: &Graph, cost: &CostModel) -> GedResult {
             // deleted/inserted. (Heuristic guidance only; each edge is seen
             // from both endpoints, so this over-weights structure, which
             // empirically produces better assignments than halving.)
-            let common = env1[i].intersection_size(&env2[j]) as f64;
+            let common = sorted_intersection_size(env1(i), env2(j)) as f64;
             let d1 = g1.degree(vi) as f64;
             let d2 = g2.degree(vj) as f64;
             let env = (d1 - common) * cost.edge_del + (d2 - common) * cost.edge_ins;
-            matrix[i][j] = sub + env;
+            *cell = sub + env;
         }
-        for (j, cell) in matrix[i][n2..].iter_mut().enumerate() {
+        for (j, cell) in row[n2..].iter_mut().enumerate() {
             *cell = if i == j {
                 cost.vertex_del + g1.degree(vi) as f64 * cost.edge_del
             } else {
@@ -70,7 +151,8 @@ pub fn bipartite_ged(g1: &Graph, g2: &Graph, cost: &CostModel) -> GedResult {
     }
     for i in 0..n2 {
         let vi = VertexId::new(i);
-        for (j, cell) in matrix[n1 + i][..n2].iter_mut().enumerate() {
+        let row = &mut matrix[(n1 + i) * n..(n1 + i + 1) * n];
+        for (j, cell) in row[..n2].iter_mut().enumerate() {
             *cell = if i == j {
                 cost.vertex_ins + g2.degree(vi) as f64 * cost.edge_ins
             } else {
@@ -80,10 +162,10 @@ pub fn bipartite_ged(g1: &Graph, g2: &Graph, cost: &CostModel) -> GedResult {
         // bottom-right block stays 0 (ε → ε)
     }
 
-    let (assignment, _) = hungarian::solve(&matrix);
+    hungarian::solve_into(matrix, n, hungarian_ws);
     let map: Vec<Option<VertexId>> = (0..n1)
         .map(|i| {
-            let j = assignment[i];
+            let j = hungarian_ws.assignment[i];
             (j < n2).then(|| VertexId::new(j))
         })
         .collect();
@@ -126,28 +208,29 @@ mod tests {
         assert!(r.exact);
     }
 
+    fn random_graph(rng: &mut Rng, n: usize, m: usize) -> Graph {
+        use gss_graph::Label;
+        let mut g = Graph::new("r");
+        for _ in 0..n {
+            g.add_vertex(Label(rng.gen_index(3) as u32));
+        }
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < m && attempts < 100 {
+            attempts += 1;
+            let u = VertexId::new(rng.gen_index(n));
+            let w = VertexId::new(rng.gen_index(n));
+            if u != w && !g.has_edge(u, w) {
+                g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32))
+                    .unwrap();
+                added += 1;
+            }
+        }
+        g
+    }
+
     #[test]
     fn upper_bounds_exact_on_random_graphs() {
-        fn random_graph(rng: &mut Rng, n: usize, m: usize) -> Graph {
-            use gss_graph::Label;
-            let mut g = Graph::new("r");
-            for _ in 0..n {
-                g.add_vertex(Label(rng.gen_index(3) as u32));
-            }
-            let mut added = 0;
-            let mut attempts = 0;
-            while added < m && attempts < 100 {
-                attempts += 1;
-                let u = VertexId::new(rng.gen_index(n));
-                let w = VertexId::new(rng.gen_index(n));
-                if u != w && !g.has_edge(u, w) {
-                    g.add_edge(u, w, Label(10 + rng.gen_index(2) as u32))
-                        .unwrap();
-                    added += 1;
-                }
-            }
-            g
-        }
         let mut rng = Rng::seed_from_u64(0xb1b);
         for case in 0..60 {
             let (n1, m1) = (1 + rng.gen_index(5), rng.gen_index(6));
@@ -160,6 +243,26 @@ mod tests {
                 ub >= exact - 1e-9,
                 "case {case}: bipartite {ub} must upper-bound exact {exact}"
             );
+        }
+    }
+
+    /// One shared workspace across many pairs must produce bit-identical
+    /// results to fresh per-call workspaces.
+    #[test]
+    fn shared_workspace_matches_one_shot_calls() {
+        let mut rng = Rng::seed_from_u64(0x7a5e);
+        let mut ws = Workspace::new();
+        for case in 0..60 {
+            let (n1, m1) = (1 + rng.gen_index(6), rng.gen_index(7));
+            let (n2, m2) = (1 + rng.gen_index(6), rng.gen_index(7));
+            let g1 = random_graph(&mut rng, n1, m1);
+            let g2 = random_graph(&mut rng, n2, m2);
+            for cost in [CostModel::uniform(), CostModel::structure_weighted(2.5)] {
+                let shared = bipartite_ged_with(&g1, &g2, &cost, &mut ws);
+                let fresh = bipartite_ged(&g1, &g2, &cost);
+                assert_eq!(shared.cost, fresh.cost, "case {case}");
+                assert_eq!(shared.mapping.map, fresh.mapping.map, "case {case}");
+            }
         }
     }
 

@@ -17,11 +17,53 @@
 //! respective operation cost so it stays admissible under non-uniform
 //! models). Branches with `cost + bound ≥ best` are pruned.
 //!
+//! ### The bound is incremental
+//!
+//! The bound is a function of four aligned-multiset summaries: the
+//! undecided vertex-label counts of each side and the label counts of edges
+//! lying entirely inside the undecided regions. Rather than re-deriving the
+//! edge histograms by scanning both edge sets at every node (the original
+//! implementation — retained as [`crate::reference::reference_exact_ged`] —
+//! allocated two fresh histograms per node), the solver maintains the
+//! counts **incrementally**: deciding a vertex removes its label from the
+//! vertex counters and its incident still-undecided edges from the edge
+//! counters, and updates the running multiset-intersection sizes in `O(1)`
+//! per touched label (a `min(c1, c2)` term changes only when its own counter
+//! moves). Undo reverses the exact same steps, so the aligned part of the
+//! bound is *identical* to the rescanning implementation — debug builds
+//! assert this against a from-scratch recomputation.
+//!
+//! ### The cross-edge term
+//!
+//! Unlimited searches additionally bound the *cross* edges — edges with one
+//! decided and one undecided endpoint, which the aligned part is blind to:
+//!
+//! * every cross edge of a **deleted** g1 vertex must eventually be deleted
+//!   (its charge lands when the undecided endpoint is decided);
+//! * at a **substituted** pair `w → w'`, a g1 cross edge of `w` can only map
+//!   onto a g2 cross edge of `w'` (injectively), so with `c1`/`c2` cross
+//!   edges on the two sides at least `(c1 − c2)₊` deletions and
+//!   `(c2 − c1)₊` insertions remain.
+//!
+//! These charges involve disjoint edge sets from the aligned term and are
+//! all strictly future costs, so the sum stays admissible. Tightening an
+//! admissible bound never changes what branch and bound returns — the
+//! incumbent only advances on *strict* improvement, and any subtree holding
+//! a strict improvement satisfies `cost + bound ≤ total < best` and
+//! survives — so costs and witness mappings are bit-identical to the
+//! reference (property-tested across cost models); only `expanded` shrinks
+//! (gated as `≤` the reference count). Budgeted searches
+//! ([`GedOptions::node_limit`]) keep the original bound so the *anytime*
+//! behavior — which does depend on node counts — also stays bit-identical.
+//!
+//! The per-node candidate list lives in per-depth reusable buffers, making
+//! the search allocation-free after the first descent.
+//!
 //! The solver accepts an optional *node budget*; when exhausted it returns
 //! the best complete mapping found so far flagged `exact = false`, making it
 //! an anytime algorithm for the large-graph benchmarks.
 
-use gss_graph::{Graph, VertexId};
+use gss_graph::{EdgeLookup, Graph, Label, VertexId};
 
 use crate::cost::CostModel;
 use crate::path::{mapping_cost, VertexMapping};
@@ -51,9 +93,38 @@ pub struct GedResult {
     pub expanded: u64,
 }
 
+const UNDECIDED: u32 = u32::MAX;
+/// Sentinel for a deleted vertex in `map`; doubles as the deletion branch
+/// marker in the per-depth candidate buffers (no real vertex id reaches it).
+const DELETED: u32 = u32::MAX - 1;
+
+/// Decrements `count` (one side of an aligned pair) and keeps `common =
+/// Σ min(count_k, other_k)` exact: the `min` for this key shrinks iff this
+/// side was the (weak) minimum before the decrement.
+#[inline]
+fn dec_aligned(count: &mut i64, other: i64, common: &mut i64) {
+    if *count <= other {
+        *common -= 1;
+    }
+    *count -= 1;
+}
+
+/// Exact inverse of [`dec_aligned`].
+#[inline]
+fn inc_aligned(count: &mut i64, other: i64, common: &mut i64) {
+    *count += 1;
+    if *count <= other {
+        *common += 1;
+    }
+}
+
 struct Solver<'a> {
     g1: &'a Graph,
     g2: &'a Graph,
+    /// Dense O(1) edge tables replacing the adjacency-list scans of
+    /// `edge_between` in the per-candidate cost evaluation.
+    lut1: EdgeLookup,
+    lut2: EdgeLookup,
     cm: CostModel,
     /// g1 vertices in decision order (highest degree first).
     order: Vec<VertexId>,
@@ -64,6 +135,31 @@ struct Solver<'a> {
     /// remaining (undecided) vertex-label counts.
     r1_vlabels: Vec<i64>,
     r2_vlabels: Vec<i64>,
+    /// `Σ_l min(r1_vlabels[l], r2_vlabels[l])`, maintained incrementally.
+    common_v: i64,
+    /// undecided g2 vertex count.
+    n2r: i64,
+    /// label counts of edges fully inside the undecided region of each side.
+    e1_labels: Vec<i64>,
+    e2_labels: Vec<i64>,
+    e1r: i64,
+    e2r: i64,
+    /// `Σ_l min(e1_labels[l], e2_labels[l])`, maintained incrementally.
+    common_e: i64,
+    /// Cross-edge counts: `cross1[w]` = edges from decided g1 vertex `w` to
+    /// still-undecided g1 vertices (valid only while `w` is decided);
+    /// `cross2[v]` is the g2 analogue for used vertices.
+    cross1: Vec<i64>,
+    cross2: Vec<i64>,
+    /// Forced future deletions/insertions implied by the cross-edge counts
+    /// (see module docs), in operation units.
+    del_units: i64,
+    ins_units: i64,
+    /// Cross-edge term active? Disabled under a node budget so the anytime
+    /// behavior stays bit-identical to the reference solver.
+    cross_enabled: bool,
+    /// Per-depth candidate buffers, reused across the whole search.
+    cand_bufs: Vec<Vec<u32>>,
     best_cost: f64,
     best_map: Vec<u32>,
     expanded: u64,
@@ -71,10 +167,7 @@ struct Solver<'a> {
     aborted: bool,
 }
 
-const UNDECIDED: u32 = u32::MAX;
-const DELETED: u32 = u32::MAX - 1;
-
-impl<'a> Solver<'a> {
+impl Solver<'_> {
     /// Incremental cost of deciding `u` (the vertex at `depth`) as `choice`
     /// (`Some(v)` substitution, `None` deletion), given all vertices earlier
     /// in the order are decided.
@@ -90,7 +183,7 @@ impl<'a> Solver<'a> {
                     match self.map[w.index()] {
                         UNDECIDED => {}
                         DELETED => c += self.cm.edge_del,
-                        x => match self.g2.edge_between(v, VertexId(x)) {
+                        x => match self.lut2.get(v, VertexId(x)) {
                             Some(e2) => {
                                 if self.g2.edge_label(e2) != self.g1.edge_label(ew) {
                                     c += self.cm.edge_rel;
@@ -106,7 +199,7 @@ impl<'a> Solver<'a> {
                     if w == UNDECIDED {
                         continue;
                     }
-                    if self.g1.edge_between(u, VertexId(w)).is_none() {
+                    if !self.lut1.has(u, VertexId(w)) {
                         c += self.cm.edge_ins;
                     }
                 }
@@ -141,9 +234,245 @@ impl<'a> Solver<'a> {
         c
     }
 
-    /// Admissible lower bound on the cost still to come (see module docs).
+    /// Removes a substituted pair's cross contribution from the unit sums.
+    #[inline]
+    fn pair_remove(&mut self, c1: i64, c2: i64) {
+        self.del_units -= (c1 - c2).max(0);
+        self.ins_units -= (c2 - c1).max(0);
+    }
+
+    /// Adds a substituted pair's cross contribution to the unit sums.
+    #[inline]
+    fn pair_add(&mut self, c1: i64, c2: i64) {
+        self.del_units += (c1 - c2).max(0);
+        self.ins_units += (c2 - c1).max(0);
+    }
+
+    /// Applies the bookkeeping of deciding `u` as `choice`: `u` (and, for a
+    /// substitution, its image `v`) leaves the undecided region, taking its
+    /// vertex label and its incident fully-undecided edges out of the
+    /// aligned multiset counters; every incident edge either leaves the
+    /// fully-undecided set (becoming a cross edge of `u`/`v`) or leaves a
+    /// neighbour's cross set (now decided-decided, charged by
+    /// [`Solver::decide_cost`]). Must run *before* `map`/`inv` are set —
+    /// it reads the pre-decision undecided state.
+    fn decide(&mut self, u: VertexId, lu: Label, choice: Option<VertexId>) {
+        dec_aligned(
+            &mut self.r1_vlabels[lu.index()],
+            self.r2_vlabels[lu.index()],
+            &mut self.common_v,
+        );
+        let mut cross_u = 0i64;
+        for (w, ew) in self.g1.neighbors(u) {
+            match self.map[w.index()] {
+                UNDECIDED => {
+                    let l = self.g1.edge_label(ew).index();
+                    dec_aligned(
+                        &mut self.e1_labels[l],
+                        self.e2_labels[l],
+                        &mut self.common_e,
+                    );
+                    self.e1r -= 1;
+                    cross_u += 1;
+                }
+                DELETED => {
+                    if self.cross_enabled {
+                        self.del_units -= 1;
+                        self.cross1[w.index()] -= 1;
+                    }
+                }
+                x => {
+                    if self.cross_enabled {
+                        let c1 = self.cross1[w.index()];
+                        let c2 = self.cross2[x as usize];
+                        self.pair_remove(c1, c2);
+                        self.cross1[w.index()] = c1 - 1;
+                        self.pair_add(c1 - 1, c2);
+                    }
+                }
+            }
+        }
+        match choice {
+            Some(v) => {
+                let lv = self.g2.vertex_label(v).index();
+                dec_aligned(
+                    &mut self.r2_vlabels[lv],
+                    self.r1_vlabels[lv],
+                    &mut self.common_v,
+                );
+                self.n2r -= 1;
+                let mut cross_v = 0i64;
+                for (x, ex) in self.g2.neighbors(v) {
+                    let w1 = self.inv[x.index()];
+                    if w1 == UNDECIDED {
+                        let l = self.g2.edge_label(ex).index();
+                        dec_aligned(
+                            &mut self.e2_labels[l],
+                            self.e1_labels[l],
+                            &mut self.common_e,
+                        );
+                        self.e2r -= 1;
+                        cross_v += 1;
+                    } else if self.cross_enabled {
+                        let c1 = self.cross1[w1 as usize];
+                        let c2 = self.cross2[x.index()];
+                        self.pair_remove(c1, c2);
+                        self.cross2[x.index()] = c2 - 1;
+                        self.pair_add(c1, c2 - 1);
+                    }
+                }
+                if self.cross_enabled {
+                    self.cross1[u.index()] = cross_u;
+                    self.cross2[v.index()] = cross_v;
+                    self.pair_add(cross_u, cross_v);
+                }
+                self.map[u.index()] = v.0;
+                self.inv[v.index()] = u.0;
+            }
+            None => {
+                if self.cross_enabled {
+                    self.cross1[u.index()] = cross_u;
+                    self.del_units += cross_u;
+                }
+                self.map[u.index()] = DELETED;
+            }
+        }
+    }
+
+    /// Exact inverse of [`Solver::decide`] (LIFO order).
+    fn undecide(&mut self, u: VertexId, lu: Label, choice: Option<VertexId>) {
+        match choice {
+            Some(v) => {
+                self.map[u.index()] = UNDECIDED;
+                self.inv[v.index()] = UNDECIDED;
+                if self.cross_enabled {
+                    self.pair_remove(self.cross1[u.index()], self.cross2[v.index()]);
+                }
+                for (x, ex) in self.g2.neighbors(v) {
+                    let w1 = self.inv[x.index()];
+                    if w1 == UNDECIDED {
+                        let l = self.g2.edge_label(ex).index();
+                        inc_aligned(
+                            &mut self.e2_labels[l],
+                            self.e1_labels[l],
+                            &mut self.common_e,
+                        );
+                        self.e2r += 1;
+                    } else if self.cross_enabled {
+                        let c1 = self.cross1[w1 as usize];
+                        let c2 = self.cross2[x.index()];
+                        self.pair_remove(c1, c2);
+                        self.cross2[x.index()] = c2 + 1;
+                        self.pair_add(c1, c2 + 1);
+                    }
+                }
+                let lv = self.g2.vertex_label(v).index();
+                inc_aligned(
+                    &mut self.r2_vlabels[lv],
+                    self.r1_vlabels[lv],
+                    &mut self.common_v,
+                );
+                self.n2r += 1;
+            }
+            None => {
+                if self.cross_enabled {
+                    self.del_units -= self.cross1[u.index()];
+                }
+                self.map[u.index()] = UNDECIDED;
+            }
+        }
+        for (w, ew) in self.g1.neighbors(u) {
+            match self.map[w.index()] {
+                UNDECIDED => {
+                    let l = self.g1.edge_label(ew).index();
+                    inc_aligned(
+                        &mut self.e1_labels[l],
+                        self.e2_labels[l],
+                        &mut self.common_e,
+                    );
+                    self.e1r += 1;
+                }
+                DELETED => {
+                    if self.cross_enabled {
+                        self.cross1[w.index()] += 1;
+                        self.del_units += 1;
+                    }
+                }
+                x => {
+                    if self.cross_enabled {
+                        let c1 = self.cross1[w.index()];
+                        let c2 = self.cross2[x as usize];
+                        self.pair_remove(c1, c2);
+                        self.cross1[w.index()] = c1 + 1;
+                        self.pair_add(c1 + 1, c2);
+                    }
+                }
+            }
+        }
+        inc_aligned(
+            &mut self.r1_vlabels[lu.index()],
+            self.r2_vlabels[lu.index()],
+            &mut self.common_v,
+        );
+    }
+
+    /// The aligned-multiset part of the bound — `O(1)` from the
+    /// incrementally maintained counters; identical to the reference
+    /// solver's whole bound.
+    fn aligned_bound(&self, depth: usize) -> f64 {
+        let n1r = (self.order.len() - depth) as i64;
+        let vertex_ops = (n1r.max(self.n2r) - self.common_v).max(0) as f64;
+        let edge_ops = (self.e1r.max(self.e2r) - self.common_e).max(0) as f64;
+        vertex_ops * self.cm.min_vertex_op() + edge_ops * self.cm.min_edge_op()
+    }
+
+    /// Admissible lower bound on the cost still to come (see module docs):
+    /// the aligned part plus, for unlimited searches, the cross-edge term.
     fn lower_bound(&self, depth: usize) -> f64 {
-        // Vertex part: align remaining label multisets.
+        let cross = if self.cross_enabled {
+            self.del_units as f64 * self.cm.edge_del + self.ins_units as f64 * self.cm.edge_ins
+        } else {
+            0.0
+        };
+        self.aligned_bound(depth) + cross
+    }
+
+    /// From-scratch recomputation of the cross-edge units — the
+    /// debug-assert oracle for `del_units`/`ins_units`.
+    #[cfg(debug_assertions)]
+    fn cross_units_rescan(&self) -> (i64, i64) {
+        let undecided1 = |w: VertexId| {
+            self.g1
+                .neighbors(w)
+                .filter(|(n, _)| self.map[n.index()] == UNDECIDED)
+                .count() as i64
+        };
+        let unused2 = |v: VertexId| {
+            self.g2
+                .neighbors(v)
+                .filter(|(n, _)| self.inv[n.index()] == UNDECIDED)
+                .count() as i64
+        };
+        let (mut del, mut ins) = (0i64, 0i64);
+        for w in self.g1.vertices() {
+            match self.map[w.index()] {
+                UNDECIDED => {}
+                DELETED => del += undecided1(w),
+                x => {
+                    let c1 = undecided1(w);
+                    let c2 = unused2(VertexId(x));
+                    del += (c1 - c2).max(0);
+                    ins += (c2 - c1).max(0);
+                }
+            }
+        }
+        (del, ins)
+    }
+
+    /// From-scratch recomputation of the bound — the debug-assert oracle
+    /// proving the incremental counters never drift.
+    #[cfg(debug_assertions)]
+    fn lower_bound_rescan(&self, depth: usize) -> f64 {
         let n1r = (self.order.len() - depth) as i64;
         let n2r = self.inv.iter().filter(|&&w| w == UNDECIDED).count() as i64;
         let mut common_v = 0i64;
@@ -152,8 +481,6 @@ impl<'a> Solver<'a> {
         }
         let vertex_ops = (n1r.max(n2r) - common_v).max(0) as f64;
 
-        // Edge part: edges fully inside the undecided regions, aligned by
-        // edge label.
         let mut e1_labels: Vec<i64> = vec![0; self.r1_vlabels.len()];
         let mut e1r = 0i64;
         for e in self.g1.edges() {
@@ -194,9 +521,24 @@ impl<'a> Solver<'a> {
             let total = cost_so_far + self.completion_cost();
             if total < self.best_cost {
                 self.best_cost = total;
-                self.best_map = self.map.clone();
+                self.best_map.copy_from_slice(&self.map);
             }
             return;
+        }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                self.aligned_bound(depth),
+                self.lower_bound_rescan(depth),
+                "incremental aligned bound drifted at depth {depth}"
+            );
+            if self.cross_enabled {
+                debug_assert_eq!(
+                    (self.del_units, self.ins_units),
+                    self.cross_units_rescan(),
+                    "incremental cross-edge units drifted at depth {depth}"
+                );
+            }
         }
         if cost_so_far + self.lower_bound(depth) >= self.best_cost {
             return;
@@ -206,50 +548,39 @@ impl<'a> Solver<'a> {
 
         // Candidate order: same-label substitutions, deletion, then
         // different-label substitutions — cheap options first so a good
-        // incumbent appears early.
-        let mut candidates: Vec<Option<VertexId>> = Vec::with_capacity(self.g2.order() + 1);
+        // incumbent appears early. The buffer is per-depth and reused
+        // across the whole search.
+        if self.cand_bufs.len() <= depth {
+            self.cand_bufs.resize_with(depth + 1, Vec::new);
+        }
+        let mut buf = std::mem::take(&mut self.cand_bufs[depth]);
+        buf.clear();
         for v in self.g2.vertices() {
             if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) == lu {
-                candidates.push(Some(v));
+                buf.push(v.0);
             }
         }
-        candidates.push(None);
+        buf.push(DELETED);
         for v in self.g2.vertices() {
             if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) != lu {
-                candidates.push(Some(v));
+                buf.push(v.0);
             }
         }
 
-        for choice in candidates {
+        for &enc in &buf {
+            let choice = (enc != DELETED).then_some(VertexId(enc));
             let step = self.decide_cost(u, choice);
             if cost_so_far + step >= self.best_cost {
                 continue;
             }
-            // Apply.
-            self.r1_vlabels[lu.index()] -= 1;
-            match choice {
-                Some(v) => {
-                    self.map[u.index()] = v.0;
-                    self.inv[v.index()] = u.0;
-                    self.r2_vlabels[self.g2.vertex_label(v).index()] -= 1;
-                }
-                None => self.map[u.index()] = DELETED,
-            }
+            self.decide(u, lu, choice);
             self.search(depth + 1, cost_so_far + step);
-            // Undo.
-            self.r1_vlabels[lu.index()] += 1;
-            match choice {
-                Some(v) => {
-                    self.map[u.index()] = UNDECIDED;
-                    self.inv[v.index()] = UNDECIDED;
-                    self.r2_vlabels[self.g2.vertex_label(v).index()] += 1;
-                }
-                None => self.map[u.index()] = UNDECIDED,
-            }
+            self.undecide(u, lu, choice);
             if self.aborted {
-                return;
+                break;
             }
         }
+        self.cand_bufs[depth] = buf;
     }
 }
 
@@ -286,6 +617,20 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
     for v in g2.vertices() {
         r2[g2.vertex_label(v).index()] += 1;
     }
+    let common_v: i64 = r1.iter().zip(&r2).map(|(&a, &b)| a.min(b)).sum();
+    let mut e1_labels = vec![0i64; labels];
+    for e in g1.edges() {
+        e1_labels[g1.edge_label(e).index()] += 1;
+    }
+    let mut e2_labels = vec![0i64; labels];
+    for e in g2.edges() {
+        e2_labels[g2.edge_label(e).index()] += 1;
+    }
+    let common_e: i64 = e1_labels
+        .iter()
+        .zip(&e2_labels)
+        .map(|(&a, &b)| a.min(b))
+        .sum();
 
     // Incumbent: warm start if provided, else "delete everything".
     let trivial = VertexMapping::all_deleted(g1.order());
@@ -300,12 +645,27 @@ pub fn exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
     let mut solver = Solver {
         g1,
         g2,
+        lut1: EdgeLookup::new(g1),
+        lut2: EdgeLookup::new(g2),
         cm: options.cost,
         order,
         map: vec![UNDECIDED; g1.order()],
         inv: vec![UNDECIDED; g2.order()],
         r1_vlabels: r1,
         r2_vlabels: r2,
+        common_v,
+        n2r: g2.order() as i64,
+        e1_labels,
+        e2_labels,
+        e1r: g1.size() as i64,
+        e2r: g2.size() as i64,
+        common_e,
+        cross1: vec![0; g1.order()],
+        cross2: vec![0; g2.order()],
+        del_units: 0,
+        ins_units: 0,
+        cross_enabled: options.node_limit.is_none(),
+        cand_bufs: Vec::new(),
         best_cost: seed_cost,
         best_map: seed_map
             .map

@@ -7,14 +7,139 @@
 //! Forbidden assignments should be encoded as [`FORBIDDEN`] (a large finite
 //! value) rather than `f64::INFINITY`, which would poison the potentials
 //! with `inf − inf = NaN`.
+//!
+//! The hot entry point is [`solve_into`]: it takes the cost matrix as one
+//! flat row-major slice and a caller-provided [`Workspace`] holding the dual
+//! potential, slack and augmenting-path buffers, so a scan that solves
+//! thousands of assignment problems (one per candidate pair) performs no
+//! per-call heap allocation. [`solve`] is the allocating convenience wrapper
+//! around it.
 
 /// Large finite cost standing in for "forbidden assignment".
 pub const FORBIDDEN: f64 = 1.0e12;
 
+/// Reusable buffers for [`solve_into`]: dual potentials `u`/`v`, the
+/// per-column slack (`minv`), the visited set and the augmenting-path
+/// predecessor array, plus the output assignment.
+///
+/// One workspace serves any sequence of problem sizes; buffers grow to the
+/// largest size seen and are reused from then on.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    /// `assignment[row] = col` after [`solve_into`] returns.
+    pub assignment: Vec<usize>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Sizes every buffer for an `n × n` problem and resets the duals.
+    fn reset(&mut self, n: usize) {
+        self.u.clear();
+        self.u.resize(n + 1, 0.0);
+        self.v.clear();
+        self.v.resize(n + 1, 0.0);
+        self.p.clear();
+        self.p.resize(n + 1, 0);
+        self.way.clear();
+        self.way.resize(n + 1, 0);
+        self.minv.resize(n + 1, f64::INFINITY);
+        self.used.resize(n + 1, false);
+        self.assignment.clear();
+        self.assignment.resize(n, usize::MAX);
+    }
+}
+
+/// Solves the square assignment problem for an `n × n` cost matrix given as
+/// a flat row-major slice (`cost[r * n + c]`), reusing the caller's
+/// [`Workspace`]. Returns the minimal total cost; the argmin permutation is
+/// left in [`Workspace::assignment`].
+///
+/// # Panics
+/// Panics when `cost.len() != n * n`.
+pub fn solve_into(cost: &[f64], n: usize, ws: &mut Workspace) -> f64 {
+    assert_eq!(cost.len(), n * n, "cost matrix must be n × n");
+    if n == 0 {
+        ws.assignment.clear();
+        return 0.0;
+    }
+    ws.reset(n);
+
+    // 1-based arrays; column 0 is virtual.
+    for i in 1..=n {
+        ws.p[0] = i;
+        let mut j0 = 0usize;
+        for j in 0..=n {
+            ws.minv[j] = f64::INFINITY;
+            ws.used[j] = false;
+        }
+        loop {
+            ws.used[j0] = true;
+            let i0 = ws.p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            let row = &cost[(i0 - 1) * n..i0 * n];
+            for j in 1..=n {
+                if !ws.used[j] {
+                    let cur = row[j - 1] - ws.u[i0] - ws.v[j];
+                    if cur < ws.minv[j] {
+                        ws.minv[j] = cur;
+                        ws.way[j] = j0;
+                    }
+                    if ws.minv[j] < delta {
+                        delta = ws.minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if ws.used[j] {
+                    ws.u[ws.p[j]] += delta;
+                    ws.v[j] -= delta;
+                } else {
+                    ws.minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if ws.p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = ws.way[j0];
+            ws.p[j0] = ws.p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    for j in 1..=n {
+        if ws.p[j] >= 1 {
+            ws.assignment[ws.p[j] - 1] = j - 1;
+        }
+    }
+    ws.assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i * n + j])
+        .sum()
+}
+
 /// Solves the square assignment problem for the given `n × n` cost matrix.
 ///
 /// Returns `(assignment, total_cost)` where `assignment[row] = col` and the
-/// total is minimal.
+/// total is minimal. Allocating convenience wrapper over [`solve_into`].
 ///
 /// # Panics
 /// Panics when the matrix is not square or rows have inconsistent lengths.
@@ -26,71 +151,10 @@ pub fn solve(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
     for row in cost {
         assert_eq!(row.len(), n, "cost matrix must be square");
     }
-
-    // 1-based arrays; column 0 is virtual.
-    let mut u = vec![0.0f64; n + 1];
-    let mut v = vec![0.0f64; n + 1];
-    let mut p = vec![0usize; n + 1]; // p[j]: row currently assigned to column j
-    let mut way = vec![0usize; n + 1];
-
-    for i in 1..=n {
-        p[0] = i;
-        let mut j0 = 0usize;
-        let mut minv = vec![f64::INFINITY; n + 1];
-        let mut used = vec![false; n + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = f64::INFINITY;
-            let mut j1 = 0usize;
-            for j in 1..=n {
-                if !used[j] {
-                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
-                    if cur < minv[j] {
-                        minv[j] = cur;
-                        way[j] = j0;
-                    }
-                    if minv[j] < delta {
-                        delta = minv[j];
-                        j1 = j;
-                    }
-                }
-            }
-            for j in 0..=n {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
-            }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
-            }
-        }
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
-    }
-
-    let mut assignment = vec![usize::MAX; n];
-    for j in 1..=n {
-        if p[j] >= 1 {
-            assignment[p[j] - 1] = j - 1;
-        }
-    }
-    let total = assignment
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| cost[i][j])
-        .sum();
-    (assignment, total)
+    let flat: Vec<f64> = cost.iter().flat_map(|row| row.iter().copied()).collect();
+    let mut ws = Workspace::new();
+    let total = solve_into(&flat, n, &mut ws);
+    (std::mem::take(&mut ws.assignment), total)
 }
 
 #[cfg(test)]
@@ -177,6 +241,25 @@ mod tests {
                 (total - best).abs() < 1e-9,
                 "hungarian {total} vs brute {best} on {m:?}"
             );
+        }
+    }
+
+    /// One workspace across many problems of varying size must behave
+    /// exactly like fresh allocations.
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        use gss_graph::Rng;
+        let mut rng = Rng::seed_from_u64(0x5eed);
+        let mut ws = Workspace::new();
+        for _ in 0..40 {
+            let n = 1 + rng.gen_index(6);
+            let flat: Vec<f64> = (0..n * n).map(|_| rng.gen_index(30) as f64).collect();
+            let reused = solve_into(&flat, n, &mut ws);
+            let assignment_reused = ws.assignment.clone();
+            let mut fresh_ws = Workspace::new();
+            let fresh = solve_into(&flat, n, &mut fresh_ws);
+            assert_eq!(reused, fresh);
+            assert_eq!(assignment_reused, fresh_ws.assignment);
         }
     }
 }

@@ -19,6 +19,13 @@
 //! edit script (used to reproduce the paper's Example 2 op-by-op) and
 //! [`lower_bound`] for the label-alignment lower bound on its own.
 //!
+//! The exact solver maintains its remaining-cost bound **incrementally**
+//! and the bipartite solver reuses caller-provided [`Workspace`] buffers
+//! (cost matrix, Hungarian duals/slacks) across calls — see the module docs
+//! of [`exact`] and [`bipartite`]. The original rescanning solver is
+//! retained in [`mod@reference`] as the parity oracle for property tests
+//! and the baseline for the solver benchmarks.
+//!
 //! ```
 //! use gss_graph::{GraphBuilder, Vocabulary};
 //! use gss_ged::ged;
@@ -41,7 +48,9 @@ pub mod cost;
 pub mod exact;
 pub mod hungarian;
 pub mod path;
+pub mod reference;
 
+pub use bipartite::{bipartite_ged_with, Workspace};
 pub use cost::CostModel;
 pub use exact::{exact_ged, uniform_ged, GedOptions, GedResult};
 pub use path::{edit_path_for_mapping, mapping_cost, EditOp, VertexMapping};

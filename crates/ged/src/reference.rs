@@ -1,0 +1,290 @@
+//! Retained reference implementation of the pre-rewrite exact GED solver.
+//!
+//! [`crate::exact`] was rewritten around an **incremental** remaining-cost
+//! bound (the label-multiset alignment counters are updated on decide/undo
+//! instead of re-scanning both edge sets — and re-allocating two label
+//! histograms — at every search node). This module keeps the original
+//! rescanning solver verbatim so that
+//!
+//! * property tests can assert the rewrite returns identical costs,
+//!   mappings and `expanded` counters across cost models (the rewrite
+//!   preserves the search order, so all three must match exactly), and
+//! * the solver benchmarks (`benches/solvers.rs`, the S9 scaling scenario)
+//!   can measure the speedup against the exact code it replaced.
+//!
+//! Nothing in the query pipeline calls this; it is test and benchmark
+//! substrate only.
+
+use gss_graph::{Graph, VertexId};
+
+use crate::cost::CostModel;
+use crate::exact::{GedOptions, GedResult};
+use crate::path::{mapping_cost, VertexMapping};
+
+const UNDECIDED: u32 = u32::MAX;
+const DELETED: u32 = u32::MAX - 1;
+
+struct RefSolver<'a> {
+    g1: &'a Graph,
+    g2: &'a Graph,
+    cm: CostModel,
+    order: Vec<VertexId>,
+    map: Vec<u32>,
+    inv: Vec<u32>,
+    r1_vlabels: Vec<i64>,
+    r2_vlabels: Vec<i64>,
+    best_cost: f64,
+    best_map: Vec<u32>,
+    expanded: u64,
+    node_limit: u64,
+    aborted: bool,
+}
+
+impl RefSolver<'_> {
+    fn decide_cost(&self, u: VertexId, choice: Option<VertexId>) -> f64 {
+        let mut c = 0.0;
+        match choice {
+            Some(v) => {
+                if self.g1.vertex_label(u) != self.g2.vertex_label(v) {
+                    c += self.cm.vertex_rel;
+                }
+                for (w, ew) in self.g1.neighbors(u) {
+                    match self.map[w.index()] {
+                        UNDECIDED => {}
+                        DELETED => c += self.cm.edge_del,
+                        x => match self.g2.edge_between(v, VertexId(x)) {
+                            Some(e2) => {
+                                if self.g2.edge_label(e2) != self.g1.edge_label(ew) {
+                                    c += self.cm.edge_rel;
+                                }
+                            }
+                            None => c += self.cm.edge_del,
+                        },
+                    }
+                }
+                for (x, _ex) in self.g2.neighbors(v) {
+                    let w = self.inv[x.index()];
+                    if w == UNDECIDED {
+                        continue;
+                    }
+                    if self.g1.edge_between(u, VertexId(w)).is_none() {
+                        c += self.cm.edge_ins;
+                    }
+                }
+            }
+            None => {
+                c += self.cm.vertex_del;
+                for (w, _) in self.g1.neighbors(u) {
+                    if self.map[w.index()] != UNDECIDED {
+                        c += self.cm.edge_del;
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn completion_cost(&self) -> f64 {
+        let mut c = 0.0;
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED {
+                c += self.cm.vertex_ins;
+            }
+        }
+        for e in self.g2.edges() {
+            let edge = self.g2.edge(e);
+            if self.inv[edge.u.index()] == UNDECIDED || self.inv[edge.v.index()] == UNDECIDED {
+                c += self.cm.edge_ins;
+            }
+        }
+        c
+    }
+
+    /// The original remaining-cost bound: full rescans of both edge sets
+    /// plus two fresh label histograms per call.
+    fn lower_bound(&self, depth: usize) -> f64 {
+        let n1r = (self.order.len() - depth) as i64;
+        let n2r = self.inv.iter().filter(|&&w| w == UNDECIDED).count() as i64;
+        let mut common_v = 0i64;
+        for (l, &c1) in self.r1_vlabels.iter().enumerate() {
+            common_v += c1.min(self.r2_vlabels[l]);
+        }
+        let vertex_ops = (n1r.max(n2r) - common_v).max(0) as f64;
+
+        let mut e1_labels: Vec<i64> = vec![0; self.r1_vlabels.len()];
+        let mut e1r = 0i64;
+        for e in self.g1.edges() {
+            let edge = self.g1.edge(e);
+            if self.map[edge.u.index()] == UNDECIDED && self.map[edge.v.index()] == UNDECIDED {
+                e1_labels[edge.label.index()] += 1;
+                e1r += 1;
+            }
+        }
+        let mut e2_labels: Vec<i64> = vec![0; self.r1_vlabels.len()];
+        let mut e2r = 0i64;
+        for e in self.g2.edges() {
+            let edge = self.g2.edge(e);
+            if self.inv[edge.u.index()] == UNDECIDED && self.inv[edge.v.index()] == UNDECIDED {
+                e2_labels[edge.label.index()] += 1;
+                e2r += 1;
+            }
+        }
+        let mut common_e = 0i64;
+        for (l, &c1) in e1_labels.iter().enumerate() {
+            common_e += c1.min(e2_labels[l]);
+        }
+        let edge_ops = (e1r.max(e2r) - common_e).max(0) as f64;
+
+        vertex_ops * self.cm.min_vertex_op() + edge_ops * self.cm.min_edge_op()
+    }
+
+    fn search(&mut self, depth: usize, cost_so_far: f64) {
+        if self.aborted {
+            return;
+        }
+        self.expanded += 1;
+        if self.expanded > self.node_limit {
+            self.aborted = true;
+            return;
+        }
+        if depth == self.order.len() {
+            let total = cost_so_far + self.completion_cost();
+            if total < self.best_cost {
+                self.best_cost = total;
+                self.best_map = self.map.clone();
+            }
+            return;
+        }
+        if cost_so_far + self.lower_bound(depth) >= self.best_cost {
+            return;
+        }
+        let u = self.order[depth];
+        let lu = self.g1.vertex_label(u);
+
+        let mut candidates: Vec<Option<VertexId>> = Vec::with_capacity(self.g2.order() + 1);
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) == lu {
+                candidates.push(Some(v));
+            }
+        }
+        candidates.push(None);
+        for v in self.g2.vertices() {
+            if self.inv[v.index()] == UNDECIDED && self.g2.vertex_label(v) != lu {
+                candidates.push(Some(v));
+            }
+        }
+
+        for choice in candidates {
+            let step = self.decide_cost(u, choice);
+            if cost_so_far + step >= self.best_cost {
+                continue;
+            }
+            self.r1_vlabels[lu.index()] -= 1;
+            match choice {
+                Some(v) => {
+                    self.map[u.index()] = v.0;
+                    self.inv[v.index()] = u.0;
+                    self.r2_vlabels[self.g2.vertex_label(v).index()] -= 1;
+                }
+                None => self.map[u.index()] = DELETED,
+            }
+            self.search(depth + 1, cost_so_far + step);
+            self.r1_vlabels[lu.index()] += 1;
+            match choice {
+                Some(v) => {
+                    self.map[u.index()] = UNDECIDED;
+                    self.inv[v.index()] = UNDECIDED;
+                    self.r2_vlabels[self.g2.vertex_label(v).index()] += 1;
+                }
+                None => self.map[u.index()] = UNDECIDED,
+            }
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+fn max_label_index(g1: &Graph, g2: &Graph) -> usize {
+    let mut m = 0usize;
+    for g in [g1, g2] {
+        for v in g.vertices() {
+            m = m.max(g.vertex_label(v).index() + 1);
+        }
+        for e in g.edges() {
+            m = m.max(g.edge_label(e).index() + 1);
+        }
+    }
+    m
+}
+
+/// The original exact GED solver, byte-for-byte the behavior [`crate::exact::exact_ged`]
+/// had before the incremental-bound rewrite (same search order, same
+/// `expanded` counts, same results).
+pub fn reference_exact_ged(g1: &Graph, g2: &Graph, options: &GedOptions) -> GedResult {
+    options.cost.validate().expect("invalid cost model");
+    let labels = max_label_index(g1, g2);
+
+    let mut order: Vec<VertexId> = g1.vertices().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g1.degree(v)));
+
+    let mut r1 = vec![0i64; labels];
+    for v in g1.vertices() {
+        r1[g1.vertex_label(v).index()] += 1;
+    }
+    let mut r2 = vec![0i64; labels];
+    for v in g2.vertices() {
+        r2[g2.vertex_label(v).index()] += 1;
+    }
+
+    let trivial = VertexMapping::all_deleted(g1.order());
+    let (seed_map, seed_cost) = match &options.warm_start {
+        Some(m) => (m.clone(), mapping_cost(g1, g2, m, &options.cost)),
+        None => (
+            trivial.clone(),
+            mapping_cost(g1, g2, &trivial, &options.cost),
+        ),
+    };
+
+    let mut solver = RefSolver {
+        g1,
+        g2,
+        cm: options.cost,
+        order,
+        map: vec![UNDECIDED; g1.order()],
+        inv: vec![UNDECIDED; g2.order()],
+        r1_vlabels: r1,
+        r2_vlabels: r2,
+        best_cost: seed_cost,
+        best_map: seed_map
+            .map
+            .iter()
+            .map(|m| m.map_or(DELETED, |v| v.0))
+            .collect(),
+        expanded: 0,
+        node_limit: options.node_limit.unwrap_or(u64::MAX),
+        aborted: false,
+    };
+    solver.search(0, 0.0);
+
+    let mapping = VertexMapping {
+        map: solver
+            .best_map
+            .iter()
+            .map(|&x| {
+                if x == DELETED || x == UNDECIDED {
+                    None
+                } else {
+                    Some(VertexId(x))
+                }
+            })
+            .collect(),
+    };
+    let cost = mapping_cost(g1, g2, &mapping, &options.cost);
+    GedResult {
+        cost,
+        mapping,
+        exact: !solver.aborted,
+        expanded: solver.expanded,
+    }
+}

@@ -369,6 +369,50 @@ impl Graph {
     }
 }
 
+/// A dense `order × order` edge-id table for `O(1)` [`Graph::edge_between`]
+/// answers.
+///
+/// The adjacency-list scan behind `edge_between` is the single most
+/// frequent operation in the exact solvers' inner loops (every candidate
+/// evaluation probes several vertex pairs); a solver builds one `EdgeLookup`
+/// per input graph in `O(|V|² + |E|)` and turns each probe into one array
+/// read. Quadratic memory, intended for the small graphs of this domain.
+#[derive(Clone, Debug)]
+pub struct EdgeLookup {
+    n: usize,
+    /// `cells[u * n + v]` is `edge id + 1`, or 0 for "no edge".
+    cells: Vec<u32>,
+}
+
+impl EdgeLookup {
+    /// Builds the table for `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.order();
+        let mut cells = vec![0u32; n * n];
+        for e in g.edges() {
+            let edge = g.edge(e);
+            let id = e.0 + 1;
+            cells[edge.u.index() * n + edge.v.index()] = id;
+            cells[edge.v.index() * n + edge.u.index()] = id;
+        }
+        EdgeLookup { n, cells }
+    }
+
+    /// The edge between `u` and `v`, if present — identical answers to
+    /// [`Graph::edge_between`] in `O(1)`.
+    #[inline]
+    pub fn get(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let cell = self.cells[u.index() * self.n + v.index()];
+        (cell != 0).then(|| EdgeId(cell - 1))
+    }
+
+    /// True when `{u, v}` is an edge.
+    #[inline]
+    pub fn has(&self, u: VertexId, v: VertexId) -> bool {
+        self.cells[u.index() * self.n + v.index()] != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +557,28 @@ mod tests {
         let empty = g.edge_induced_subgraph(&[]);
         assert_eq!(empty.order(), 0);
         assert_eq!(empty.size(), 0);
+    }
+
+    #[test]
+    fn edge_lookup_matches_edge_between() {
+        let (_v, a, b, bond) = labels();
+        let mut g = Graph::new("g");
+        let vs: Vec<_> = (0..5)
+            .map(|i| g.add_vertex(if i % 2 == 0 { a } else { b }))
+            .collect();
+        g.add_edge(vs[0], vs[1], bond).unwrap();
+        g.add_edge(vs[1], vs[2], bond).unwrap();
+        g.add_edge(vs[4], vs[0], bond).unwrap();
+        let lut = EdgeLookup::new(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(lut.get(u, v), g.edge_between(u, v), "{u:?}-{v:?}");
+                assert_eq!(lut.has(u, v), g.has_edge(u, v));
+            }
+        }
+        // Empty graph.
+        let empty = Graph::new("e");
+        let _ = EdgeLookup::new(&empty);
     }
 
     #[test]

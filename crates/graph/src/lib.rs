@@ -15,7 +15,10 @@
 //!
 //! * [`GraphBuilder`] — ergonomic construction from string labels;
 //! * [`algo`] — traversal, connectivity and component utilities;
-//! * [`stats`] — label histograms used by distance lower bounds;
+//! * [`stats`] — label histograms used by distance lower bounds, plus the
+//!   per-graph [`GraphStats`] summary the query pipeline caches;
+//! * [`bitset`] — word-parallel [`Bitset`]/[`BitMatrix`] substrate for the
+//!   allocation-free solver kernels;
 //! * [`mod@format`] — a line-oriented text format (compatible in spirit with the
 //!   classic `t/v/e` transactional graph format) plus Graphviz DOT export;
 //! * [`rng`] — a small, fully deterministic PRNG (SplitMix64-seeded
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod bitset;
 pub mod builder;
 pub mod error;
 pub mod format;
@@ -62,11 +66,13 @@ pub mod rng;
 pub mod stats;
 pub mod wl;
 
+pub use bitset::{BitMatrix, Bitset};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::{Edge, EdgeId, Graph, Vertex, VertexId};
+pub use graph::{Edge, EdgeId, EdgeLookup, Graph, Vertex, VertexId};
 pub use label::{Label, Vocabulary};
 pub use rng::Rng;
+pub use stats::GraphStats;
 pub use wl::wl_fingerprint;
 
 /// Convenient glob import for downstream crates:

@@ -11,6 +11,62 @@ use std::collections::BTreeMap;
 use crate::graph::Graph;
 use crate::label::Label;
 
+/// The static structural summary of one graph, computed once and reused by
+/// every similarity scan that touches the graph.
+///
+/// Everything a prefilter bound or an isomorphism short-circuit needs from
+/// the *candidate* side of a pair lives here: label multisets, the edge-class
+/// multiset, the sorted degree sequence, the WL fingerprint and the
+/// connectivity flag. `gss-core::GraphDatabase` caches one `GraphStats` per
+/// stored graph so scans stop recomputing them per candidate per query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Multiset of vertex labels.
+    pub vertex_labels: Multiset<Label>,
+    /// Multiset of edge labels.
+    pub edge_labels: Multiset<Label>,
+    /// Multiset of [`EdgeClass`]es.
+    pub edge_classes: Multiset<EdgeClass>,
+    /// Sorted (ascending) degree sequence.
+    pub degrees: Vec<usize>,
+    /// `|V|`.
+    pub order: usize,
+    /// `|E|` — the paper's `|g|`.
+    pub size: usize,
+    /// 1-WL fingerprint after [`GraphStats::WL_ROUNDS`] refinement rounds.
+    pub wl_fingerprint: u64,
+    /// True when the graph is connected.
+    pub connected: bool,
+}
+
+impl GraphStats {
+    /// WL refinement rounds used for [`GraphStats::wl_fingerprint`] — the
+    /// same number the query pipeline's isomorphism short-circuit compares
+    /// with (two rounds separate almost all non-isomorphic pairs at this
+    /// domain's graph sizes).
+    pub const WL_ROUNDS: usize = 2;
+
+    /// Computes the full summary of `g` in `O(|V| log |V| + |E| log |E|)`.
+    pub fn compute(g: &Graph) -> Self {
+        GraphStats {
+            vertex_labels: vertex_label_multiset(g),
+            edge_labels: edge_label_multiset(g),
+            edge_classes: edge_class_multiset(g),
+            degrees: degree_sequence(g),
+            order: g.order(),
+            size: g.size(),
+            wl_fingerprint: crate::wl::wl_fingerprint(g, Self::WL_ROUNDS),
+            connected: crate::algo::is_connected(g),
+        }
+    }
+
+    /// Total label occurrences (`|V| + |E|`), the graph's half of the
+    /// label-histogram normalizer.
+    pub fn label_total(&self) -> u32 {
+        self.vertex_labels.total() + self.edge_labels.total()
+    }
+}
+
 /// A multiset of keys with `u32` multiplicities.
 ///
 /// Backed by a `BTreeMap` so iteration order is deterministic.

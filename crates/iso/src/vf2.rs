@@ -1,6 +1,14 @@
 //! VF2-style backtracking matcher for labeled undirected graphs.
+//!
+//! The matcher keeps both graphs' adjacency as word-packed
+//! [`gss_graph::BitMatrix`]es and the set of already-mapped target vertices
+//! as a [`gss_graph::Bitset`]: feasibility checks test adjacency in `O(1)`
+//! words before touching edge labels, and candidate generation intersects
+//! the anchor image's neighbour row with the unmapped-target mask into a
+//! per-depth reusable buffer — one word-parallel operation per search node
+//! instead of a freshly allocated filtered `Vec`.
 
-use gss_graph::{Graph, VertexId};
+use gss_graph::{BitMatrix, Bitset, Graph, VertexId};
 
 use crate::invariants;
 
@@ -41,6 +49,14 @@ struct Matcher<'a> {
     core_p: Vec<u32>,
     /// target vertex -> mapped pattern vertex (or u32::MAX)
     core_t: Vec<u32>,
+    /// word-packed adjacency of the pattern (O(1) edge tests).
+    pattern_adj: BitMatrix,
+    /// word-packed adjacency of the target.
+    target_adj: BitMatrix,
+    /// currently mapped target vertices, as a word mask.
+    mapped_t: Bitset,
+    /// per-depth candidate masks, reused across the whole search.
+    cand_bufs: Vec<Bitset>,
     /// static matching order of pattern vertices (connectivity-first)
     order: Vec<VertexId>,
     /// collected results
@@ -59,6 +75,10 @@ impl<'a> Matcher<'a> {
             mode,
             core_p: vec![UNMAPPED; pattern.order()],
             core_t: vec![UNMAPPED; target.order()],
+            pattern_adj: BitMatrix::adjacency(pattern),
+            target_adj: BitMatrix::adjacency(target),
+            mapped_t: Bitset::new(target.order()),
+            cand_bufs: Vec::new(),
             order: matching_order(pattern),
             found: Vec::new(),
             limit,
@@ -83,19 +103,22 @@ impl<'a> Matcher<'a> {
             }
         }
         // Every mapped pattern-neighbor of p must be adjacent to t with an
-        // equal edge label.
+        // equal edge label. The adjacency word test settles the common
+        // negative case before any edge lookup.
         for (pn, pe) in self.pattern.neighbors(p) {
             let tn = self.core_p[pn.index()];
             if tn == UNMAPPED {
                 continue;
             }
-            match self.target.edge_between(t, VertexId(tn)) {
-                Some(te) => {
-                    if self.target.edge_label(te) != self.pattern.edge_label(pe) {
-                        return false;
-                    }
-                }
-                None => return false,
+            if !self.target_adj.test(t.index(), tn as usize) {
+                return false;
+            }
+            let te = self
+                .target
+                .edge_between(t, VertexId(tn))
+                .expect("adjacency matrix and edge set agree");
+            if self.target.edge_label(te) != self.pattern.edge_label(pe) {
+                return false;
             }
         }
         // For induced/iso modes: every mapped target-neighbor of t must map
@@ -109,13 +132,15 @@ impl<'a> Matcher<'a> {
                 if pn == UNMAPPED {
                     continue;
                 }
-                match self.pattern.edge_between(p, VertexId(pn)) {
-                    Some(pe) => {
-                        if self.pattern.edge_label(pe) != self.target.edge_label(te) {
-                            return false;
-                        }
-                    }
-                    None => return false,
+                if !self.pattern_adj.test(p.index(), pn as usize) {
+                    return false;
+                }
+                let pe = self
+                    .pattern
+                    .edge_between(p, VertexId(pn))
+                    .expect("adjacency matrix and edge set agree");
+                if self.pattern.edge_label(pe) != self.target.edge_label(te) {
+                    return false;
                 }
             }
         }
@@ -141,18 +166,22 @@ impl<'a> Matcher<'a> {
         });
         match anchor {
             Some(a) => {
-                let candidates: Vec<VertexId> = self
-                    .target
-                    .neighbors(a)
-                    .map(|(tn, _)| tn)
-                    .filter(|tn| self.core_t[tn.index()] == UNMAPPED)
-                    .collect();
-                for t in candidates {
-                    self.try_pair(p, t, depth);
+                // Candidates = N(image of anchor) \ mapped, as one
+                // word-parallel row intersection into the per-depth mask.
+                if self.cand_bufs.len() <= depth {
+                    let n = self.target.order();
+                    self.cand_bufs.resize_with(depth + 1, || Bitset::new(n));
+                }
+                let mut cand = std::mem::take(&mut self.cand_bufs[depth]);
+                cand.assign_row(&self.target_adj, a.index());
+                cand.difference_with(&self.mapped_t);
+                for ti in cand.iter() {
+                    self.try_pair(p, VertexId::new(ti), depth);
                     if self.found.len() >= self.limit {
-                        return;
+                        break;
                     }
                 }
+                self.cand_bufs[depth] = cand;
             }
             None => {
                 for ti in 0..self.target.order() {
@@ -174,9 +203,11 @@ impl<'a> Matcher<'a> {
         }
         self.core_p[p.index()] = t.0;
         self.core_t[t.index()] = p.0;
+        self.mapped_t.insert(t.index());
         self.recurse(depth + 1);
         self.core_p[p.index()] = UNMAPPED;
         self.core_t[t.index()] = UNMAPPED;
+        self.mapped_t.remove(t.index());
     }
 }
 

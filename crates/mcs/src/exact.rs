@@ -23,9 +23,33 @@
 //!   where `potential(g)` counts edges that still have an unmapped,
 //!   non-banned endpoint (a mapped-mapped pair that is not already shared
 //!   can never become shared later).
+//!
+//! ## Why this is fast (and still exact)
+//!
+//! The kernel does no per-search-node heap allocation and no per-node
+//! rescans:
+//!
+//! * the `potential` counters are maintained **incrementally** — deciding or
+//!   undoing a pair touches only the decided vertex's incident edges,
+//!   instead of re-scanning every edge of both graphs at every node (debug
+//!   builds assert the counters against a from-scratch rescan);
+//! * candidate pairs are collected into **per-depth reusable buffers**, with
+//!   a flat `n1 × n2` [`gss_graph::Bitset`] as the duplicate mask (the
+//!   `Vec::contains` scan it replaces was quadratic in the candidate count);
+//!   the immediate gain of each pair is computed once and cached for the
+//!   sort and the application;
+//! * the incumbent is recorded into reusable best-buffers only on
+//!   improvement — no per-node cloning.
+//!
+//! None of this changes the search *order*: candidates are generated in the
+//! same sequence, deduplicated keep-first, and stably sorted by the same
+//! keys as the retained reference implementation
+//! ([`crate::reference::maximum_common_subgraph_reference`]), so costs,
+//! witnesses **and expanded-node counts** are identical — property tests
+//! pin all three.
 
 use gss_graph::stats::mcs_upper_bound;
-use gss_graph::{EdgeId, Graph, VertexId};
+use gss_graph::{Bitset, EdgeId, EdgeLookup, Graph, VertexId};
 
 /// What the solver maximizes.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -70,21 +94,45 @@ impl Mcs {
 
 const UNMAPPED: u32 = u32::MAX;
 
+/// A candidate extension pair with its cached immediate gain.
+#[derive(Copy, Clone, Debug)]
+struct Candidate {
+    u: u32,
+    v: u32,
+    gain: u32,
+}
+
 struct Solver<'a> {
     g1: &'a Graph,
     g2: &'a Graph,
+    /// Dense O(1) edge table for g2 — the side `gain` probes per candidate.
+    lut2: EdgeLookup,
     objective: Objective,
     map1: Vec<u32>,
     map2: Vec<u32>,
     banned: Vec<bool>,
     score_edges: usize,
-    best: Mcs,
+    /// Number of currently mapped pairs (incremental `mapped_vertices`).
+    mapped: usize,
+    /// Incremental `potential(g1)`: edges with no banned endpoint and ≥ 1
+    /// unmapped endpoint.
+    pot1: usize,
+    /// Incremental `potential(g2)`: edges with ≥ 1 unmapped endpoint.
+    pot2: usize,
+    /// Flat `n1 × n2` duplicate mask for candidate generation.
+    seen: Bitset,
+    /// Per-depth candidate buffers, reused across the whole search.
+    cand_bufs: Vec<Vec<Candidate>>,
     best_key: (usize, usize),
+    /// Reusable incumbent buffers, written only on improvement.
+    best_vertex_pairs: Vec<(VertexId, VertexId)>,
+    best_edge_pairs: Vec<(EdgeId, EdgeId)>,
     global_bound: usize,
     done: bool,
+    expanded: u64,
 }
 
-impl<'a> Solver<'a> {
+impl Solver<'_> {
     fn key(&self, edges: usize, vertices: usize) -> (usize, usize) {
         match self.objective {
             Objective::Edges => (edges, vertices),
@@ -92,51 +140,59 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn mapped_vertices(&self) -> usize {
-        self.map1.iter().filter(|&&m| m != UNMAPPED).count()
+    /// Maps `u -> v`, updating the incremental potential counters: a g1
+    /// edge leaves `pot1` when its second endpoint becomes mapped (it can
+    /// no longer *become* shared), and symmetrically for g2.
+    fn apply(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!(!self.banned[u.index()], "candidates are never banned");
+        for (w, _) in self.g1.neighbors(u) {
+            if !self.banned[w.index()] && self.map1[w.index()] != UNMAPPED {
+                self.pot1 -= 1;
+            }
+        }
+        for (x, _) in self.g2.neighbors(v) {
+            if self.map2[x.index()] != UNMAPPED {
+                self.pot2 -= 1;
+            }
+        }
+        self.map1[u.index()] = v.0;
+        self.map2[v.index()] = u.0;
+        self.mapped += 1;
     }
 
-    fn record_if_better(&mut self) {
-        let vertices = self.mapped_vertices();
-        let key = self.key(self.score_edges, vertices);
-        if key > self.best_key {
-            self.best_key = key;
-            self.best = self.snapshot();
-            if self.objective == Objective::Edges && self.score_edges >= self.global_bound {
-                self.done = true; // provably optimal
+    /// Reverses [`Solver::apply`] (must be called in LIFO order).
+    fn undo(&mut self, u: VertexId, v: VertexId) {
+        self.map1[u.index()] = UNMAPPED;
+        self.map2[v.index()] = UNMAPPED;
+        self.mapped -= 1;
+        for (w, _) in self.g1.neighbors(u) {
+            if !self.banned[w.index()] && self.map1[w.index()] != UNMAPPED {
+                self.pot1 += 1;
             }
         }
-    }
-
-    fn snapshot(&self) -> Mcs {
-        let mut vertex_pairs = Vec::new();
-        for (i, &m) in self.map1.iter().enumerate() {
-            if m != UNMAPPED {
-                vertex_pairs.push((VertexId::new(i), VertexId(m)));
+        for (x, _) in self.g2.neighbors(v) {
+            if self.map2[x.index()] != UNMAPPED {
+                self.pot2 += 1;
             }
-        }
-        let mut edge_pairs = Vec::new();
-        for e1 in self.g1.edges() {
-            let edge = self.g1.edge(e1);
-            let (mu, mv) = (self.map1[edge.u.index()], self.map1[edge.v.index()]);
-            if mu == UNMAPPED || mv == UNMAPPED {
-                continue;
-            }
-            if let Some(e2) = self.g2.edge_between(VertexId(mu), VertexId(mv)) {
-                if self.g2.edge_label(e2) == edge.label {
-                    edge_pairs.push((e1, e2));
-                }
-            }
-        }
-        Mcs {
-            vertex_pairs,
-            edge_pairs,
         }
     }
 
-    /// Edges of `g1` that could still become shared: at least one endpoint
-    /// unmapped and neither endpoint banned.
-    fn potential1(&self) -> usize {
+    /// Bans a root at the top level (everything unmapped): every edge
+    /// incident to it leaves `pot1` unless the other endpoint was already
+    /// banned (those edges were removed when that endpoint was banned).
+    fn ban_root(&mut self, root: VertexId) {
+        debug_assert_eq!(self.mapped, 0, "roots are banned at the top level");
+        self.banned[root.index()] = true;
+        for (w, _) in self.g1.neighbors(root) {
+            if !self.banned[w.index()] {
+                self.pot1 -= 1;
+            }
+        }
+    }
+
+    /// From-scratch `potential(g1)` — debug-assert oracle for `pot1`.
+    #[cfg(debug_assertions)]
+    fn potential1_rescan(&self) -> usize {
         self.g1
             .edges()
             .filter(|&e| {
@@ -150,7 +206,9 @@ impl<'a> Solver<'a> {
             .count()
     }
 
-    fn potential2(&self) -> usize {
+    /// From-scratch `potential(g2)` — debug-assert oracle for `pot2`.
+    #[cfg(debug_assertions)]
+    fn potential2_rescan(&self) -> usize {
         self.g2
             .edges()
             .filter(|&e| {
@@ -160,15 +218,49 @@ impl<'a> Solver<'a> {
             .count()
     }
 
+    fn record_if_better(&mut self) {
+        let key = self.key(self.score_edges, self.mapped);
+        if key > self.best_key {
+            self.best_key = key;
+            self.snapshot_into_best();
+            if self.objective == Objective::Edges && self.score_edges >= self.global_bound {
+                self.done = true; // provably optimal
+            }
+        }
+    }
+
+    /// Writes the current mapping into the reusable incumbent buffers.
+    fn snapshot_into_best(&mut self) {
+        self.best_vertex_pairs.clear();
+        for (i, &m) in self.map1.iter().enumerate() {
+            if m != UNMAPPED {
+                self.best_vertex_pairs.push((VertexId::new(i), VertexId(m)));
+            }
+        }
+        self.best_edge_pairs.clear();
+        for e1 in self.g1.edges() {
+            let edge = self.g1.edge(e1);
+            let (mu, mv) = (self.map1[edge.u.index()], self.map1[edge.v.index()]);
+            if mu == UNMAPPED || mv == UNMAPPED {
+                continue;
+            }
+            if let Some(e2) = self.lut2.get(VertexId(mu), VertexId(mv)) {
+                if self.g2.edge_label(e2) == edge.label {
+                    self.best_edge_pairs.push((e1, e2));
+                }
+            }
+        }
+    }
+
     /// Shared edges gained by mapping `u -> v` right now.
-    fn gain(&self, u: VertexId, v: VertexId) -> usize {
+    fn gain(&self, u: VertexId, v: VertexId) -> u32 {
         let mut gain = 0;
         for (w, ew) in self.g1.neighbors(u) {
             let mw = self.map1[w.index()];
             if mw == UNMAPPED {
                 continue;
             }
-            if let Some(e2) = self.g2.edge_between(v, VertexId(mw)) {
+            if let Some(e2) = self.lut2.get(v, VertexId(mw)) {
                 if self.g2.edge_label(e2) == self.g1.edge_label(ew) {
                     gain += 1;
                 }
@@ -177,10 +269,16 @@ impl<'a> Solver<'a> {
         gain
     }
 
-    /// All pairs `(u, v)` extending the current component via ≥1 shared edge.
-    fn candidates(&self) -> Vec<(VertexId, VertexId)> {
-        let mut out: Vec<(VertexId, VertexId)> = Vec::new();
-        for (i, &m) in self.map1.iter().enumerate() {
+    /// Collects all pairs `(u, v)` extending the current component via ≥ 1
+    /// shared edge into `buf` (cleared first): generated in deterministic
+    /// scan order, deduplicated keep-first through the flat bitset mask,
+    /// then stably sorted best-immediate-gain-first so large solutions
+    /// appear early and the bound prunes harder.
+    fn collect_candidates(&mut self, buf: &mut Vec<Candidate>) {
+        buf.clear();
+        let n2 = self.g2.order();
+        for i in 0..self.map1.len() {
+            let m = self.map1[i];
             if m == UNMAPPED {
                 continue;
             }
@@ -200,51 +298,77 @@ impl<'a> Solver<'a> {
                     if self.g1.edge_label(eu) != self.g2.edge_label(ev) {
                         continue;
                     }
-                    if !out.contains(&(u, v)) {
-                        out.push((u, v));
+                    let bit = u.index() * n2 + v.index();
+                    if !self.seen.contains(bit) {
+                        self.seen.insert(bit);
+                        buf.push(Candidate {
+                            u: u.0,
+                            v: v.0,
+                            gain: 0,
+                        });
                     }
                 }
             }
         }
-        // Best immediate gain first: finds large solutions early, which
-        // makes the bound prune harder.
-        out.sort_by_key(|&(u, v)| std::cmp::Reverse(self.gain(u, v)));
-        out
+        // Clear only the bits this node set: O(|candidates|), not O(n1·n2).
+        for c in buf.iter() {
+            self.seen.remove(c.u as usize * n2 + c.v as usize);
+        }
+        for c in buf.iter_mut() {
+            c.gain = self.gain(VertexId(c.u), VertexId(c.v));
+        }
+        buf.sort_by_key(|c| std::cmp::Reverse(c.gain));
     }
 
-    fn extend(&mut self) {
+    fn extend(&mut self, depth: usize) {
         if self.done {
             return;
         }
+        self.expanded += 1;
         self.record_if_better();
         if self.done {
             return;
         }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(self.pot1, self.potential1_rescan(), "pot1 drifted");
+            debug_assert_eq!(self.pot2, self.potential2_rescan(), "pot2 drifted");
+        }
         // Bound check (edges part; for the Vertices objective the vertex
         // potential is bounded by edge potential + 1 per component, so the
         // edge bound with slack 1 stays admissible).
-        let potential = self.potential1().min(self.potential2());
-        let bound_edges = self.score_edges + potential;
+        let potential = self.pot1.min(self.pot2);
         let bound_key = match self.objective {
-            Objective::Edges => (bound_edges, usize::MAX),
-            Objective::Vertices => (self.mapped_vertices() + potential, usize::MAX),
+            Objective::Edges => (self.score_edges + potential, usize::MAX),
+            Objective::Vertices => (self.mapped + potential, usize::MAX),
         };
         if bound_key <= self.best_key {
             return;
         }
-        for (u, v) in self.candidates() {
-            let gain = self.gain(u, v);
-            debug_assert!(gain >= 1, "candidates must attach via a shared edge");
-            self.map1[u.index()] = v.0;
-            self.map2[v.index()] = u.0;
-            self.score_edges += gain;
-            self.extend();
-            self.score_edges -= gain;
-            self.map1[u.index()] = UNMAPPED;
-            self.map2[v.index()] = UNMAPPED;
+        if self.cand_bufs.len() <= depth {
+            self.cand_bufs.resize_with(depth + 1, Vec::new);
+        }
+        let mut buf = std::mem::take(&mut self.cand_bufs[depth]);
+        self.collect_candidates(&mut buf);
+        for &c in &buf {
+            let (u, v) = (VertexId(c.u), VertexId(c.v));
+            debug_assert!(c.gain >= 1, "candidates must attach via a shared edge");
+            self.apply(u, v);
+            self.score_edges += c.gain as usize;
+            self.extend(depth + 1);
+            self.score_edges -= c.gain as usize;
+            self.undo(u, v);
             if self.done {
-                return;
+                break;
             }
+        }
+        self.cand_bufs[depth] = buf;
+    }
+
+    fn into_best(self) -> Mcs {
+        Mcs {
+            vertex_pairs: self.best_vertex_pairs,
+            edge_pairs: self.best_edge_pairs,
         }
     }
 }
@@ -255,19 +379,38 @@ impl<'a> Solver<'a> {
 /// Exact but exponential in the worst case; intended for the small graphs of
 /// this domain. For a fast approximation see [`crate::greedy::greedy_mcs`].
 pub fn maximum_common_subgraph(g1: &Graph, g2: &Graph, objective: Objective) -> Mcs {
+    maximum_common_subgraph_expanded(g1, g2, objective).0
+}
+
+/// [`maximum_common_subgraph`] plus the number of search nodes expanded —
+/// identical to the retained reference implementation's count (the rewrite
+/// preserves the search order; see the module docs).
+pub fn maximum_common_subgraph_expanded(
+    g1: &Graph,
+    g2: &Graph,
+    objective: Objective,
+) -> (Mcs, u64) {
     let global_bound = mcs_upper_bound(g1, g2) as usize;
     let mut solver = Solver {
         g1,
         g2,
+        lut2: EdgeLookup::new(g2),
         objective,
         map1: vec![UNMAPPED; g1.order()],
         map2: vec![UNMAPPED; g2.order()],
         banned: vec![false; g1.order()],
         score_edges: 0,
-        best: Mcs::default(),
+        mapped: 0,
+        pot1: g1.size(),
+        pot2: g2.size(),
+        seen: Bitset::new(g1.order() * g2.order()),
+        cand_bufs: Vec::new(),
         best_key: (0, 0),
+        best_vertex_pairs: Vec::new(),
+        best_edge_pairs: Vec::new(),
         global_bound,
         done: false,
+        expanded: 0,
     };
     // Root each component at its minimal g1 vertex: branch over roots in
     // ascending order, banning smaller vertices inside the branch.
@@ -280,18 +423,17 @@ pub fn maximum_common_subgraph(g1: &Graph, g2: &Graph, objective: Objective) -> 
             if g1.vertex_label(u) != g2.vertex_label(v) {
                 continue;
             }
-            solver.map1[u.index()] = v.0;
-            solver.map2[v.index()] = u.0;
-            solver.extend();
-            solver.map1[u.index()] = UNMAPPED;
-            solver.map2[v.index()] = UNMAPPED;
+            solver.apply(u, v);
+            solver.extend(0);
+            solver.undo(u, v);
             if solver.done {
                 break;
             }
         }
-        solver.banned[root] = true;
+        solver.ban_root(u);
     }
-    solver.best
+    let expanded = solver.expanded;
+    (solver.into_best(), expanded)
 }
 
 /// The paper's `|mcs(g1, g2)|`: shared-edge count of a maximum common

@@ -20,9 +20,15 @@
 //!   size, test embeddability with `gss-iso`). Hopelessly slow, but the
 //!   ground truth the other solvers are checked against.
 //! * [`product::maximum_common_induced_subgraph`] — the classical modular
-//!   product + maximum clique (Bron–Kerbosch) construction for the
-//!   *induced* MCS variant; a different problem than Definition 7, included
-//!   for completeness and cross-checked against its own oracle.
+//!   product + maximum clique construction for the *induced* MCS variant
+//!   (a Tomita-style bitset branch and bound with a greedy-colouring
+//!   bound); a different problem than Definition 7, included for
+//!   completeness and cross-checked against its own oracle.
+//!
+//! The exact kernels are allocation-free word-parallel rewrites; the
+//! original implementations are retained in [`mod@reference`] as the
+//! parity oracle for property tests and the baseline for the solver
+//! benchmarks.
 //!
 //! ## Note on disconnected inputs
 //!
@@ -54,6 +60,11 @@ pub mod exact;
 pub mod greedy;
 pub mod oracle;
 pub mod product;
+pub mod reference;
 
-pub use exact::{maximum_common_subgraph, mcs_edge_size, Mcs, Objective};
-pub use product::{max_clique, maximum_common_induced_subgraph, InducedMcs};
+pub use exact::{
+    maximum_common_subgraph, maximum_common_subgraph_expanded, mcs_edge_size, Mcs, Objective,
+};
+pub use product::{
+    max_clique, max_clique_bitset, max_clique_expanded, maximum_common_induced_subgraph, InducedMcs,
+};

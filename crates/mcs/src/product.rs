@@ -13,13 +13,37 @@
 //! tests cross-check each against its own brute-force oracle plus the
 //! inequalities that relate them.
 //!
-//! The max-clique search is Bron–Kerbosch with pivoting ([`max_clique`]) —
-//! also exposed directly since it is a reusable substrate.
+//! ## The clique kernel
+//!
+//! [`max_clique`] is a Tomita-style branch and bound (the MCQ/MCS family)
+//! over a word-packed adjacency matrix ([`gss_graph::BitMatrix`]):
+//!
+//! * candidate sets are [`gss_graph::Bitset`]s held in per-depth reusable
+//!   buffers; a child's candidate set is `P ∩ N(v)` — one word-parallel
+//!   intersection — instead of a freshly allocated filtered `Vec` per
+//!   search node;
+//! * at every node the candidates are **greedily coloured**: vertices are
+//!   partitioned into independent color classes, and a vertex of color `c`
+//!   can extend the current clique `R` by at most `c` vertices (one per
+//!   class). Branching processes candidates in descending color order and
+//!   stops as soon as `|R| + c ≤ |best|` — a bound strictly stronger than
+//!   the `|R| + |P|` cardinality bound the previous Bron–Kerbosch search
+//!   used.
+//!
+//! The bound only ever *prunes* subtrees whose cliques provably cannot beat
+//! the incumbent, so the result stays exact: every maximal clique larger
+//! than the incumbent is still reached. The colouring changes the visit
+//! order, so the specific maximum clique returned (among equals) and the
+//! expanded-node count may differ from the reference search —
+//! [`crate::reference::max_clique_reference`] is retained, and property
+//! tests pin `new size == reference size` plus `new expanded ≤ reference
+//! expanded` on a fixed workload.
 
-use gss_graph::{Graph, VertexId};
+use gss_graph::{BitMatrix, Bitset, Graph, VertexId};
 
-/// Maximum clique of an undirected graph given as an adjacency matrix,
-/// via Bron–Kerbosch with pivoting. Returns vertex indices (ascending).
+/// Maximum clique of an undirected graph given as an adjacency matrix.
+/// Returns vertex indices (ascending). See the module docs for the
+/// algorithm.
 ///
 /// Exponential worst case (the problem is NP-hard); intended for the small
 /// product graphs of this domain.
@@ -27,56 +51,151 @@ use gss_graph::{Graph, VertexId};
 /// # Panics
 /// Panics when `adj` is not square or not symmetric (debug builds).
 pub fn max_clique(adj: &[Vec<bool>]) -> Vec<usize> {
+    max_clique_expanded(adj).0
+}
+
+/// [`max_clique`] plus the number of search-tree nodes expanded — the
+/// counter the solver benchmarks and the CI regression gate consume.
+pub fn max_clique_expanded(adj: &[Vec<bool>]) -> (Vec<usize>, u64) {
     let n = adj.len();
+    let mut m = BitMatrix::new(n, n);
     for (i, row) in adj.iter().enumerate() {
         assert_eq!(row.len(), n, "adjacency matrix must be square");
         debug_assert!(!row[i], "no self-loops expected");
+        for (j, &bit) in row.iter().enumerate() {
+            debug_assert_eq!(bit, adj[j][i], "adjacency matrix must be symmetric");
+            if bit {
+                m.set(i, j);
+            }
+        }
     }
-    let mut best: Vec<usize> = Vec::new();
-    let mut r: Vec<usize> = Vec::new();
-    let p: Vec<usize> = (0..n).collect();
-    let x: Vec<usize> = Vec::new();
-    bron_kerbosch(adj, &mut r, p, x, &mut best);
-    best.sort_unstable();
-    best
+    max_clique_bitset(&m)
 }
 
-fn bron_kerbosch(
-    adj: &[Vec<bool>],
-    r: &mut Vec<usize>,
-    p: Vec<usize>,
-    x: Vec<usize>,
-    best: &mut Vec<usize>,
-) {
-    if p.is_empty() && x.is_empty() {
-        if r.len() > best.len() {
-            *best = r.clone();
-        }
-        return;
+/// Maximum clique over a word-packed adjacency matrix (must be square,
+/// symmetric, zero diagonal). Returns `(clique vertices ascending,
+/// expanded-node count)`.
+pub fn max_clique_bitset(adj: &BitMatrix) -> (Vec<usize>, u64) {
+    let n = adj.rows();
+    debug_assert_eq!(n, adj.cols(), "adjacency matrix must be square");
+    let mut solver = CliqueSolver {
+        adj,
+        r: Vec::with_capacity(n),
+        best: Vec::new(),
+        cand: vec![Bitset::full(n)],
+        orders: Vec::new(),
+        colors: Vec::new(),
+        scratch_uncolored: Bitset::new(n),
+        scratch_class: Bitset::new(n),
+        expanded: 0,
+    };
+    if n > 0 {
+        solver.expand(0);
     }
-    // Bound: even taking all of P cannot beat the incumbent.
-    if r.len() + p.len() <= best.len() {
-        return;
-    }
-    // Pivot: vertex of P ∪ X with most neighbors in P.
-    let pivot = p
-        .iter()
-        .chain(x.iter())
-        .copied()
-        .max_by_key(|&u| p.iter().filter(|&&w| adj[u][w]).count())
-        .expect("P ∪ X non-empty here");
-    let candidates: Vec<usize> = p.iter().copied().filter(|&u| !adj[pivot][u]).collect();
+    solver.best.sort_unstable();
+    (solver.best, solver.expanded)
+}
 
-    let mut p = p;
-    let mut x = x;
-    for u in candidates {
-        let p_next: Vec<usize> = p.iter().copied().filter(|&w| adj[u][w]).collect();
-        let x_next: Vec<usize> = x.iter().copied().filter(|&w| adj[u][w]).collect();
-        r.push(u);
-        bron_kerbosch(adj, r, p_next, x_next, best);
-        r.pop();
-        p.retain(|&w| w != u);
-        x.push(u);
+struct CliqueSolver<'a> {
+    adj: &'a BitMatrix,
+    /// The growing clique (vertex stack).
+    r: Vec<usize>,
+    best: Vec<usize>,
+    /// Per-depth candidate sets: `cand[d]` is `P` at recursion depth `d`.
+    cand: Vec<Bitset>,
+    /// Per-depth colour-sort output buffers (vertices ascending by colour).
+    orders: Vec<Vec<usize>>,
+    colors: Vec<Vec<usize>>,
+    scratch_uncolored: Bitset,
+    scratch_class: Bitset,
+    expanded: u64,
+}
+
+impl CliqueSolver<'_> {
+    fn ensure_depth(&mut self, depth: usize) {
+        let n = self.adj.rows();
+        while self.cand.len() <= depth {
+            self.cand.push(Bitset::new(n));
+        }
+        while self.orders.len() <= depth {
+            self.orders.push(Vec::new());
+            self.colors.push(Vec::new());
+        }
+    }
+
+    fn expand(&mut self, depth: usize) {
+        self.expanded += 1;
+        self.ensure_depth(depth + 1);
+        let mut order = std::mem::take(&mut self.orders[depth]);
+        let mut colors = std::mem::take(&mut self.colors[depth]);
+        color_sort(
+            self.adj,
+            &self.cand[depth],
+            &mut self.scratch_uncolored,
+            &mut self.scratch_class,
+            &mut order,
+            &mut colors,
+        );
+        // Descending colour order: once |R| + colour ≤ |best| fails here it
+        // fails for every remaining (smaller-or-equal-colour) candidate.
+        for i in (0..order.len()).rev() {
+            if self.r.len() + colors[i] <= self.best.len() {
+                break;
+            }
+            let v = order[i];
+            self.r.push(v);
+            let (head, tail) = self.cand.split_at_mut(depth + 1);
+            let child = &mut tail[0];
+            child.copy_from(&head[depth]);
+            child.intersect_with_row(self.adj, v);
+            if child.is_empty() {
+                if self.r.len() > self.best.len() {
+                    // Record into the reusable best buffer only on
+                    // improvement — no per-node incumbent clone.
+                    self.best.clear();
+                    self.best.extend_from_slice(&self.r);
+                }
+            } else {
+                self.expand(depth + 1);
+            }
+            self.r.pop();
+            self.cand[depth].remove(v);
+        }
+        self.orders[depth] = order;
+        self.colors[depth] = colors;
+    }
+}
+
+/// Greedy colouring of `p`: repeatedly peel a maximal independent set (one
+/// colour class) until every candidate is coloured. Outputs vertices in
+/// ascending colour order with their colour numbers (1-based).
+fn color_sort(
+    adj: &BitMatrix,
+    p: &Bitset,
+    uncolored: &mut Bitset,
+    class: &mut Bitset,
+    order: &mut Vec<usize>,
+    colors: &mut Vec<usize>,
+) {
+    order.clear();
+    colors.clear();
+    uncolored.copy_from(p);
+    let mut color = 0usize;
+    while let Some(seed) = uncolored.first() {
+        color += 1;
+        class.copy_from(uncolored);
+        let mut v = seed;
+        loop {
+            class.remove(v);
+            uncolored.remove(v);
+            class.difference_with_row(adj, v);
+            order.push(v);
+            colors.push(color);
+            match class.first() {
+                Some(next) => v = next,
+                None => break,
+            }
+        }
     }
 }
 
@@ -121,7 +240,9 @@ pub fn maximum_common_induced_subgraph(g1: &Graph, g2: &Graph) -> InducedMcs {
         }
     }
     let n = pairs.len();
-    let mut adj = vec![vec![false; n]; n];
+    // The product adjacency goes straight into the word-packed matrix the
+    // clique kernel consumes — no intermediate `Vec<Vec<bool>>`.
+    let mut adj = BitMatrix::new(n, n);
     for i in 0..n {
         for j in i + 1..n {
             let (u1, v1) = pairs[i];
@@ -137,12 +258,11 @@ pub fn maximum_common_induced_subgraph(g1: &Graph, g2: &Graph) -> InducedMcs {
                 _ => false,
             };
             if consistent {
-                adj[i][j] = true;
-                adj[j][i] = true;
+                adj.set_sym(i, j);
             }
         }
     }
-    let clique = max_clique(&adj);
+    let (clique, _) = max_clique_bitset(&adj);
     let mut vertex_pairs: Vec<(VertexId, VertexId)> =
         clique.into_iter().map(|i| pairs[i]).collect();
     vertex_pairs.sort();
@@ -152,6 +272,7 @@ pub fn maximum_common_induced_subgraph(g1: &Graph, g2: &Graph) -> InducedMcs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::max_clique_reference;
     use gss_graph::{GraphBuilder, Label, Rng, Vocabulary};
 
     #[test]
@@ -169,6 +290,46 @@ mod tests {
         assert_eq!(max_clique(&empty).len(), 1);
         // No vertices.
         assert!(max_clique(&[]).is_empty());
+    }
+
+    #[allow(clippy::needless_range_loop)] // symmetric matrix fill reads clearest indexed
+    fn random_adj(rng: &mut Rng, n: usize, density_pct: usize) -> Vec<Vec<bool>> {
+        let mut adj = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen_index(100) < density_pct {
+                    adj[i][j] = true;
+                    adj[j][i] = true;
+                }
+            }
+        }
+        adj
+    }
+
+    /// The clique itself must be a clique, and its size must match the
+    /// retained reference search on random graphs across densities.
+    #[test]
+    fn matches_reference_search_on_random_graphs() {
+        let mut rng = Rng::seed_from_u64(0x70317a);
+        for case in 0..80 {
+            let n = rng.gen_index(12);
+            let density = 10 + rng.gen_index(80);
+            let adj = random_adj(&mut rng, n, density);
+            let (fast, fast_nodes) = max_clique_expanded(&adj);
+            let (slow, slow_nodes) = max_clique_reference(&adj);
+            assert_eq!(fast.len(), slow.len(), "case {case}: clique size");
+            for (k, &a) in fast.iter().enumerate() {
+                for &b in &fast[k + 1..] {
+                    assert!(adj[a][b], "case {case}: witness must be a clique");
+                }
+            }
+            // The colouring bound must not *grow* the search on these
+            // small instances (it typically shrinks it dramatically).
+            assert!(
+                fast_nodes <= slow_nodes.max(n as u64 + 1),
+                "case {case}: {fast_nodes} expanded vs reference {slow_nodes}"
+            );
+        }
     }
 
     #[test]

@@ -97,6 +97,10 @@ impl Engine {
     /// Creates the engine for one database under one server configuration.
     /// `base` supplies the defaults a request's `options` object overrides.
     pub fn new(db: Arc<GraphDatabase>, base: QueryOptions, config: &ServerConfig) -> Engine {
+        // Fill the per-graph stats cache up front: a long-lived server
+        // should pay the one-time summary cost at load, not on the first
+        // uncached query.
+        db.precompute_stats();
         Engine {
             db_fingerprint: db.fingerprint(),
             db,
