@@ -9,7 +9,7 @@
 //! only measures time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gss_core::{graph_similarity_skyline, GraphDatabase, QueryOptions};
+use gss_core::{graph_similarity_skyline, GraphDatabase, Plan, QueryOptions};
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use std::hint::black_box;
 
@@ -43,13 +43,14 @@ fn bench_prefilter(c: &mut Criterion) {
         );
 
         group.bench_with_input(BenchmarkId::new("naive", n), &(&db, &q), |b, (db, q)| {
-            b.iter(|| {
-                black_box(
-                    graph_similarity_skyline(db, q, &QueryOptions::default())
-                        .skyline
-                        .len(),
-                )
-            })
+            // Pin the naive plan: Plan::Auto (the default) would resolve to
+            // the prefilter pipeline at these database sizes, turning the
+            // baseline into a prefilter-vs-prefilter comparison.
+            let opts = QueryOptions {
+                plan: Plan::Naive,
+                ..QueryOptions::default()
+            };
+            b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
         });
         group.bench_with_input(
             BenchmarkId::new("prefilter", n),

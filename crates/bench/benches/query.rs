@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gss_core::{
-    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, QueryOptions, SolverConfig,
+    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, Plan, QueryOptions, SolverConfig,
 };
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use std::hint::black_box;
@@ -31,17 +31,19 @@ fn bench_query(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[10usize, 40, 120] {
         let (db, q) = workload(n);
+        // Every series pins Plan::Naive: this bench measures the raw scan
+        // under each solver/thread configuration, and Plan::Auto (the
+        // default) would switch the larger sizes to the prefilter pipeline.
         group.bench_with_input(BenchmarkId::new("exact", n), &(&db, &q), |b, (db, q)| {
-            b.iter(|| {
-                black_box(
-                    graph_similarity_skyline(db, q, &QueryOptions::default())
-                        .skyline
-                        .len(),
-                )
-            })
+            let opts = QueryOptions {
+                plan: Plan::Naive,
+                ..QueryOptions::default()
+            };
+            b.iter(|| black_box(graph_similarity_skyline(db, q, &opts).skyline.len()))
         });
         group.bench_with_input(BenchmarkId::new("approx", n), &(&db, &q), |b, (db, q)| {
             let opts = QueryOptions {
+                plan: Plan::Naive,
                 solvers: SolverConfig {
                     ged: GedMode::Bipartite,
                     mcs: McsMode::Greedy,
@@ -55,6 +57,7 @@ fn bench_query(c: &mut Criterion) {
             &(&db, &q),
             |b, (db, q)| {
                 let opts = QueryOptions {
+                    plan: Plan::Naive,
                     threads: 4,
                     ..Default::default()
                 };

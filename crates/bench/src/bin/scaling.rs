@@ -1,11 +1,11 @@
-//! Quick scaling-shape report (S1–S8) using plain wall-clock medians —
+//! Quick scaling-shape report (S1–S10) using plain wall-clock medians —
 //! a fast complement to the rigorous criterion benches, for smoke-checking
 //! the expected shapes (see DESIGN.md §4) in seconds instead of minutes.
 //!
 //! Usage: `cargo run --release -p gss-bench --bin scaling [-- FLAGS]`
 //!
-//! * `--smoke` — run only S7 + S8 + S9 (the committed CI smoke workload,
-//!   [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
+//! * `--smoke` — run only S7 + S8 + S9 + S10 (the committed CI smoke
+//!   workload, [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
 //! * `--json PATH` — additionally write the S7 measurements as a JSON
 //!   report (the CI `BENCH_2.json` artifact).
 //! * `--serve-json PATH` — write the S8 serving measurements
@@ -16,24 +16,30 @@
 //!   (per-solver wall time for the bitset kernels and the retained
 //!   reference implementations, expanded-node counters) as a JSON report
 //!   (the CI `BENCH_4.json` artifact).
+//! * `--plan-json PATH` — write the S10 planner measurements (Auto vs
+//!   each manual plan for the skyline scan, plus the pruned skyband) as a
+//!   JSON report (the CI `BENCH_5.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
 //!   of candidates at the partition level, the S8 serving replay
 //!   (c) sees a cache hit rate > 0 on its repeated queries with (d) zero
-//!   response mismatches against direct evaluation, and the S9 solver
+//!   response mismatches against direct evaluation, the S9 solver
 //!   sweep (e) ran (the artifact carries it), (f) expanded no more GED /
 //!   MCS search nodes than the recorded baselines, and (g) kept the
 //!   expanded-node contract against the retained reference solvers —
 //!   exact equality for MCS (search order preserved), `≤` for GED (its
-//!   cross-edge bound prunes harder). This is the CI perf-regression
-//!   gate.
+//!   cross-edge bound prunes harder) — and the S10 planner scenario
+//!   (h) shows `Plan::Auto` performing no more exact solver calls than
+//!   the best manual plan and (i) shows skyband pruning active (> 0
+//!   candidates excluded by lower bounds alone). This is the CI
+//!   perf-regression gate.
 
 use std::time::Instant;
 
 use gss_bench::TextTable;
 use gss_core::{
-    graph_similarity_skyline, GedMode, GraphDatabase, McsMode, PruneStats, QueryOptions,
-    SolverConfig,
+    graph_similarity_skyband, graph_similarity_skyline, GedMode, GraphDatabase, McsMode, Plan,
+    PruneStats, QueryOptions, SolverConfig,
 };
 use gss_datasets::synth::{perturb, random_connected_graph, RandomGraphConfig};
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
@@ -71,6 +77,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut serve_json_path: Option<String> = None;
     let mut solver_json_path: Option<String> = None;
+    let mut plan_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -99,10 +106,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--plan-json" => match args.next() {
+                Some(path) => plan_json_path = Some(path),
+                None => {
+                    eprintln!("--plan-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
-                     --serve-json PATH, --solver-json PATH)"
+                     --serve-json PATH, --solver-json PATH, --plan-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -136,6 +150,14 @@ fn main() {
     let solver_report = s9_solvers();
     if let Some(path) = &solver_json_path {
         std::fs::write(path, solver_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let plan_report = s10_plans();
+    if let Some(path) = &plan_json_path {
+        std::fs::write(path, plan_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -200,13 +222,33 @@ fn main() {
             );
             failed = true;
         }
+        if !plan_report.gate_auto_economical() {
+            eprintln!(
+                "GATE FAILED: Plan::Auto ({}) ran {} exact solver calls, the best manual plan \
+                 ran {} — Auto must never cost extra solver calls",
+                plan_report.auto_resolved,
+                plan_report.auto.0.verified,
+                plan_report.best_manual_verified()
+            );
+            failed = true;
+        }
+        if !plan_report.gate_skyband_pruning() {
+            eprintln!(
+                "GATE FAILED: the pruned skyband excluded 0 candidates by lower bounds \
+                 (verified {} of {}) — skyband pruning must be active on the smoke workload",
+                plan_report.skyband.0.verified, plan_report.skyband.0.candidates
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
             "gate passed: indexed verified {} ≤ prefilter verified {}; index skipped {:.1}% ≥ 30%; \
              serving cache hit rate {:.2} > 0 with 0 mismatches over {} requests; \
-             solver expanded nodes at baseline (GED {}, MCS {}) with {:.1}x kernel speedup",
+             solver expanded nodes at baseline (GED {}, MCS {}) with {:.1}x kernel speedup; \
+             Auto resolved to {} at {} solver calls ≤ best manual {}; skyband excluded {} of {} \
+             candidates without solving",
             report.indexed.0.verified,
             report.prefilter.0.verified,
             report.indexed.0.index_skip_rate() * 100.0,
@@ -214,8 +256,208 @@ fn main() {
             serve_report.requests,
             solver_report.ged_expanded,
             solver_report.mcs_expanded,
-            solver_report.combined_speedup()
+            solver_report.combined_speedup(),
+            plan_report.auto_resolved,
+            plan_report.auto.0.verified,
+            plan_report.best_manual_verified(),
+            plan_report.skyband.0.candidates - plan_report.skyband.0.verified
+                - plan_report.skyband.0.short_circuited,
+            plan_report.skyband.0.candidates,
         );
+    }
+}
+
+/// The S10 measurements: the unified planner on the committed smoke
+/// workload — `Plan::Auto` against every manual plan for the skyline
+/// scan, plus the pruned skyband — the `BENCH_5.json` artifact.
+struct PlanReport {
+    /// (stats, median wall µs) per plan. The naive scan has no
+    /// `PruneStats`; its entry counts every candidate as verified, which
+    /// is exactly what it executes.
+    naive: (PruneStats, f64),
+    prefilter: (PruneStats, f64),
+    indexed: (PruneStats, f64),
+    auto: (PruneStats, f64),
+    /// What `Plan::Auto` resolved to (`"indexed"` with the index attached).
+    auto_resolved: &'static str,
+    /// (stats, median wall µs) of the pruned (Auto) k-skyband, plus its
+    /// membership count and the k it ran with.
+    skyband: (PruneStats, f64),
+    skyband_k: usize,
+    skyband_members: usize,
+}
+
+impl PlanReport {
+    fn best_manual_verified(&self) -> usize {
+        self.naive
+            .0
+            .verified
+            .min(self.prefilter.0.verified)
+            .min(self.indexed.0.verified)
+    }
+
+    fn gate_auto_economical(&self) -> bool {
+        self.auto.0.verified <= self.best_manual_verified()
+    }
+
+    /// Skyband pruning is active when at least one candidate was excluded
+    /// by lower bounds alone (pruned or skipped wholesale — anything not
+    /// verified and not short-circuited).
+    fn gate_skyband_pruning(&self) -> bool {
+        self.skyband.0.candidates > self.skyband.0.verified + self.skyband.0.short_circuited
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        let stats = |s: &PruneStats, wall: f64| {
+            format!(
+                "{{\"candidates\": {}, \"verified\": {}, \"pruned\": {}, \
+                 \"short_circuited\": {}, \"index_skipped\": {}, \"pruning_rate\": {:.4}, \
+                 \"wall_us\": {:.1}}}",
+                s.candidates,
+                s.verified,
+                s.pruned,
+                s.short_circuited,
+                s.index_skipped,
+                s.pruning_rate(),
+                wall
+            )
+        };
+        format!(
+            "{{\n  \"schema\": \"gss-bench-plans/1\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"plans\": {{\n    \"naive\": {},\n    \"prefilter\": {},\n    \
+             \"indexed\": {},\n    \"auto\": {}\n  }},\n  \"auto_resolved\": \"{}\",\n  \
+             \"skyband\": {{\"k\": {}, \"members\": {}, \"stats\": {}}},\n  \
+             \"gate\": {{\"auto_verified_le_best_manual\": {}, \"best_manual_verified\": {}, \
+             \"skyband_pruning_active\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            stats(&self.naive.0, self.naive.1),
+            stats(&self.prefilter.0, self.prefilter.1),
+            stats(&self.indexed.0, self.indexed.1),
+            stats(&self.auto.0, self.auto.1),
+            self.auto_resolved,
+            self.skyband_k,
+            self.skyband_members,
+            stats(&self.skyband.0, self.skyband.1),
+            self.gate_auto_economical(),
+            self.best_manual_verified(),
+            self.gate_skyband_pruning(),
+        )
+    }
+}
+
+/// S10: the unified planner on the committed smoke workload — every plan
+/// runs the same query (with the pivot index attached so `Indexed` and
+/// `Auto` can use it) and must return the identical answer; the report
+/// compares their exact-solver spend, and the pruned skyband rides along.
+fn s10_plans() -> PlanReport {
+    use gss_core::ResolvedPlan;
+
+    println!("== S10: planner — Auto vs manual plans (committed smoke workload) ==");
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+    let index = std::sync::Arc::new(PivotIndex::build(&db, &PivotIndexConfig::default()));
+
+    let options = |plan: Plan| -> QueryOptions {
+        QueryOptions {
+            plan,
+            ..QueryOptions::default()
+        }
+        .with_index(index.clone())
+    };
+    let measure = |plan: Plan| -> (PruneStats, f64, ResolvedPlan) {
+        let opts = options(plan);
+        let wall = time_us(3, || {
+            graph_similarity_skyline(&db, &w.query, &opts);
+        });
+        let r = graph_similarity_skyline(&db, &w.query, &opts);
+        let stats = r.pruning.unwrap_or(PruneStats {
+            candidates: db.len(),
+            verified: db.len(),
+            ..PruneStats::default()
+        });
+        (stats, wall, r.plan)
+    };
+
+    let naive = measure(Plan::Naive);
+    let prefilter = measure(Plan::Prefilter);
+    let indexed = measure(Plan::Indexed);
+    let auto = measure(Plan::Auto);
+
+    // Answer parity across plans (the executor's core contract).
+    let baseline = graph_similarity_skyline(&db, &w.query, &options(Plan::Naive));
+    for plan in [Plan::Prefilter, Plan::Indexed, Plan::Auto] {
+        let r = graph_similarity_skyline(&db, &w.query, &options(plan));
+        assert_eq!(r.skyline, baseline.skyline, "{plan:?} changed the answer");
+        assert_eq!(
+            r.dominated, baseline.dominated,
+            "{plan:?} changed witnesses"
+        );
+    }
+
+    // The pruned skyband under Auto, checked against the naive skyband.
+    const SKYBAND_K: usize = 2;
+    let skyband_wall = time_us(3, || {
+        graph_similarity_skyband(&db, &w.query, SKYBAND_K, &options(Plan::Auto));
+    });
+    let band = graph_similarity_skyband(&db, &w.query, SKYBAND_K, &options(Plan::Auto));
+    let naive_band = graph_similarity_skyband(&db, &w.query, SKYBAND_K, &options(Plan::Naive));
+    assert_eq!(
+        band.members, naive_band.members,
+        "pruned skyband changed membership"
+    );
+    let band_stats = band.pruning.expect("pruned skyband stats");
+
+    let mut table = TextTable::new(vec![
+        "plan", "wall", "verified", "pruned", "short", "skipped",
+    ]);
+    let row = |t: &mut TextTable, name: &str, s: &PruneStats, wall: f64| {
+        t.row(vec![
+            name.to_owned(),
+            fmt_us(wall),
+            format!("{}", s.verified),
+            format!("{}", s.pruned),
+            format!("{}", s.short_circuited),
+            format!("{}", s.index_skipped),
+        ]);
+    };
+    row(&mut table, "naive", &naive.0, naive.1);
+    row(&mut table, "prefilter", &prefilter.0, prefilter.1);
+    row(&mut table, "indexed", &indexed.0, indexed.1);
+    row(
+        &mut table,
+        &format!("auto→{}", auto.2.name()),
+        &auto.0,
+        auto.1,
+    );
+    row(
+        &mut table,
+        &format!("skyband k={SKYBAND_K}"),
+        &band_stats,
+        skyband_wall,
+    );
+    println!("{}", table.render());
+    println!(
+        "all plans agree on {} skyline members and {} witnesses; skyband k={SKYBAND_K} has {} members",
+        baseline.skyline.len(),
+        baseline.dominated.len(),
+        band.members.len()
+    );
+    println!();
+
+    PlanReport {
+        naive: (naive.0, naive.1),
+        prefilter: (prefilter.0, prefilter.1),
+        indexed: (indexed.0, indexed.1),
+        auto: (auto.0, auto.1),
+        auto_resolved: auto.2.name(),
+        skyband: (band_stats, skyband_wall),
+        skyband_k: SKYBAND_K,
+        skyband_members: band.members.len(),
     }
 }
 
@@ -537,7 +779,14 @@ fn s7_index() -> SmokeReport {
 
     let pre = graph_similarity_skyline(&db, &w.query, &prefilter_opts);
     let idx = graph_similarity_skyline(&db, &w.query, &indexed_opts);
-    let naive = graph_similarity_skyline(&db, &w.query, &QueryOptions::default());
+    let naive = graph_similarity_skyline(
+        &db,
+        &w.query,
+        &QueryOptions {
+            plan: Plan::Naive,
+            ..QueryOptions::default()
+        },
+    );
     assert_eq!(
         idx.skyline, naive.skyline,
         "index must not change the answer"
@@ -928,13 +1177,21 @@ fn s4_query() {
         });
         let db = GraphDatabase::from_parts(w.vocab, w.graphs);
         let exact1 = time_us(2, || {
-            graph_similarity_skyline(&db, &w.query, &QueryOptions::default());
+            graph_similarity_skyline(
+                &db,
+                &w.query,
+                &QueryOptions {
+                    plan: Plan::Naive,
+                    ..Default::default()
+                },
+            );
         });
         let exact4 = time_us(2, || {
             graph_similarity_skyline(
                 &db,
                 &w.query,
                 &QueryOptions {
+                    plan: Plan::Naive,
                     threads: 4,
                     ..Default::default()
                 },
@@ -945,6 +1202,7 @@ fn s4_query() {
                 &db,
                 &w.query,
                 &QueryOptions {
+                    plan: Plan::Naive,
                     solvers: SolverConfig {
                         ged: GedMode::Bipartite,
                         mcs: McsMode::Greedy,
@@ -982,7 +1240,10 @@ fn s6_prefilter() {
             ..Default::default()
         });
         let db = GraphDatabase::from_parts(w.vocab, w.graphs);
-        let naive_opts = QueryOptions::default();
+        let naive_opts = QueryOptions {
+            plan: Plan::Naive,
+            ..QueryOptions::default()
+        };
         let pruned_opts = QueryOptions {
             prefilter: true,
             ..QueryOptions::default()

@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use gss_core::{
     graph_similarity_skyband, graph_similarity_skyline, refine_skyline, top_k_by_measure, GedMode,
-    GraphDatabase, GraphId, McsMode, MeasureKind, QueryOptions, RefineOptions, SolverConfig,
+    GraphDatabase, GraphId, McsMode, MeasureKind, Plan, PruneStats, QueryOptions, RefineOptions,
+    SolverConfig,
 };
 use gss_datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use gss_ged::{bipartite::bipartite_ged, edit_path_for_mapping, exact_ged, CostModel, GedOptions};
@@ -27,10 +28,12 @@ gss — similarity-skyline graph queries (Abbaci et al., GDM/ICDE 2011)
 USAGE:
   gss query    --db FILE (--query-name NAME | --query-file FILE)
                [--refine K] [--approx] [--prefilter] [--index IDX]
+               [--plan auto|naive|prefilter|indexed]
                [--threads N] [--algo naive|bnl|sfs] [--format text|json]
   gss measure  --db FILE --a NAME --b NAME
   gss topk     --db FILE --query-name NAME --measure ed|ned|mcs|gu [--k K]
   gss skyband  --db FILE --query-name NAME [--k K] [--approx] [--threads N]
+               [--prefilter] [--index IDX] [--plan auto|naive|prefilter|indexed]
   gss index    build --db FILE --out IDX [--pivots K] [--rings R]
                [--exclude NAME]
   gss index    stats --index IDX [--db FILE]
@@ -38,7 +41,7 @@ USAGE:
                [--queue N] [--cache N] [--batch N] [--prefilter] [--approx]
   gss client   --addr HOST:PORT [--query-file FILE|-] [--stats] [--shutdown]
                [--bench --db FILE [--connections C] [--repeat R] [--limit N]]
-               [--prefilter] [--approx] [--algo naive|bnl|sfs]
+               [--prefilter] [--approx] [--algo naive|bnl|sfs] [--plan PLAN]
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -59,7 +62,12 @@ the exact solvers, with identical results (the report then includes
 pruning statistics). With --index it also consults a pivot index built by
 `gss index build`, skipping whole candidate partitions up front — build
 with --exclude NAME when querying by --query-name so the index matches the
-database the query actually scans.
+database the query actually scans. --plan forces one evaluation strategy
+(all strategies return identical answers); the default `auto` picks from
+the database size and index availability, and the report names the
+strategy that actually ran. `skyband` accepts the same pruning flags: the
+k-skyband now runs through the same staged executor, excluding candidates
+whose lower bounds already have k verified dominators without solving them.
 
 `serve` runs the long-lived query server (newline-delimited JSON protocol,
 result caching, admission control — see the gss-server crate docs);
@@ -105,6 +113,61 @@ pub(crate) fn solver_config(args: &Args) -> SolverConfig {
         }
     } else {
         SolverConfig::default()
+    }
+}
+
+/// Parses `--plan` (default `auto`) and validates it against the loaded
+/// index: the indexed plan without `--index` would panic deep in the
+/// engine, so fail with a usable message here instead.
+pub(crate) fn parse_plan(args: &Args, has_index: bool) -> Result<Plan, ArgError> {
+    let plan = match args.get("plan") {
+        None => Plan::Auto,
+        Some(token) => Plan::parse(token).ok_or_else(|| {
+            ArgError(format!(
+                "unknown --plan {token:?} (auto|naive|prefilter|indexed)"
+            ))
+        })?,
+    };
+    if plan == Plan::Indexed && !has_index {
+        return Err(ArgError(
+            "--plan indexed requires --index IDX (build one with `gss index build`)".to_owned(),
+        ));
+    }
+    Ok(plan)
+}
+
+/// The one-line plan report shown by `query` and `skyband`.
+fn plan_line(requested: Plan, resolved: gss_core::ResolvedPlan) -> String {
+    if requested == Plan::Auto {
+        format!("plan: {} (selected by auto)", resolved.name())
+    } else {
+        format!("plan: {}", resolved.name())
+    }
+}
+
+/// The pruning-statistics lines shown by `query` and `skyband` whenever
+/// the filter-and-verify pipeline ran.
+fn write_prune_stats(out: &mut String, stats: &PruneStats) {
+    let _ = writeln!(
+        out,
+        "\nprefilter: {} verified, {} pruned, {} short-circuited of {} candidates ({:.0}% skipped exact solving)",
+        stats.verified,
+        stats.pruned,
+        stats.short_circuited,
+        stats.candidates,
+        stats.pruning_rate() * 100.0
+    );
+    if stats.index_partitions > 0 {
+        let _ = writeln!(
+            out,
+            "index: {} of {} partitions skipped wholesale — {} candidates ({:.0}%) never \
+             reached candidate filtering; {} pivot probes",
+            stats.index_partitions_skipped,
+            stats.index_partitions,
+            stats.index_skipped,
+            stats.index_skip_rate() * 100.0,
+            stats.pivot_probes
+        );
     }
 }
 
@@ -187,6 +250,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         "approx",
         "prefilter",
         "index",
+        "plan",
         "threads",
         "algo",
         "format",
@@ -194,6 +258,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
     let db = load_db(args)?;
     let (db, q) = resolve_query(db, args)?;
     let index = load_index(&db, args)?;
+    let plan = parse_plan(args, index.is_some())?;
     let threads = args.get_parsed_or("threads", 1usize)?;
     let algo = match args.get_or("algo", "bnl") {
         "naive" => gss_skyline::Algorithm::Naive,
@@ -209,6 +274,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         solvers: solver_config(args),
         threads,
         skyline_algorithm: algo,
+        plan,
         prefilter: args.flag("prefilter"),
         index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
@@ -230,6 +296,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         q.order(),
         q.size()
     );
+    let _ = writeln!(out, "{}", plan_line(plan, result.plan));
     let _ = writeln!(
         out,
         "\n{:<20} {:>8} {:>8} {:>8}  skyline",
@@ -270,27 +337,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         );
     }
     if let Some(stats) = &result.pruning {
-        let _ = writeln!(
-            out,
-            "\nprefilter: {} verified, {} pruned, {} short-circuited of {} candidates ({:.0}% skipped exact solving)",
-            stats.verified,
-            stats.pruned,
-            stats.short_circuited,
-            stats.candidates,
-            stats.pruning_rate() * 100.0
-        );
-        if stats.index_partitions > 0 {
-            let _ = writeln!(
-                out,
-                "index: {} of {} partitions skipped wholesale — {} candidates ({:.0}%) never \
-                 reached candidate filtering; {} pivot probes",
-                stats.index_partitions_skipped,
-                stats.index_partitions,
-                stats.index_skipped,
-                stats.index_skip_rate() * 100.0,
-                stats.pivot_probes
-            );
-        }
+        write_prune_stats(&mut out, stats);
     }
 
     if let Some(k) = args.get("refine") {
@@ -386,22 +433,43 @@ pub fn measure(args: &Args) -> Result<String, ArgError> {
 
 /// `gss skyband` — the k-skyband relaxation of the similarity skyline:
 /// graphs dominated by fewer than `k` others (`k = 1` is the skyline).
+/// Runs through the staged executor, so the pruning flags of `gss query`
+/// (`--prefilter`, `--index`, `--plan`) apply here too, with identical
+/// membership and a pruning report when the pipeline ran.
 pub fn skyband(args: &Args) -> Result<String, ArgError> {
-    args.reject_unknown(&["db", "query-name", "k", "approx", "threads"])?;
+    args.reject_unknown(&[
+        "db",
+        "query-name",
+        "k",
+        "approx",
+        "threads",
+        "prefilter",
+        "index",
+        "plan",
+    ])?;
     let db = load_db(args)?;
     let (db, q) = split_query(db, args.require("query-name")?)?;
+    let index = load_index(&db, args)?;
+    let plan = parse_plan(args, index.is_some())?;
     let k = args.get_parsed_or("k", 2usize)?;
     let threads = args.get_parsed_or("threads", 1usize)?;
     let options = QueryOptions {
         solvers: solver_config(args),
         threads,
+        plan,
+        prefilter: args.flag("prefilter"),
+        index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
     };
     let band = graph_similarity_skyband(&db, &q, k, &options);
     let mut out = String::new();
-    let _ = writeln!(out, "{k}-skyband ({} members):", band.len());
-    for id in &band {
+    let _ = writeln!(out, "{}", plan_line(plan, band.plan));
+    let _ = writeln!(out, "{k}-skyband ({} members):", band.members.len());
+    for id in &band.members {
         let _ = writeln!(out, "  {}", db.get(*id).name());
+    }
+    if let Some(stats) = &band.pruning {
+        write_prune_stats(&mut out, stats);
     }
     Ok(out)
 }
@@ -952,6 +1020,149 @@ e 0 1 -
         for p in [&idx_path, &full_idx, &qfile] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn query_reports_the_plan_and_accepts_plan_flags() {
+        let (_keep, path) = write_temp_db();
+        let auto = query(&args(&["--db", &path, "--query-name", "needle"])).unwrap();
+        assert!(auto.contains("plan: naive (selected by auto)"), "{auto}");
+        let forced = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--plan",
+            "prefilter",
+        ]))
+        .unwrap();
+        assert!(forced.contains("plan: prefilter\n"), "{forced}");
+        assert!(forced.contains("prefilter:"), "{forced}");
+        // Same skyline regardless of plan.
+        let sky = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("similarity skyline"))
+                .take(2)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(sky(&auto), sky(&forced));
+        // JSON names the resolved plan.
+        let json = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"plan\": \"naive\""), "{json}");
+        // Bad plans fail loudly; indexed without an index is refused.
+        assert!(query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--plan",
+            "quantum"
+        ]))
+        .is_err());
+        let err = query(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--plan",
+            "indexed",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--index"), "{err}");
+    }
+
+    #[test]
+    fn skyband_supports_pruning_flags_and_reports_stats() {
+        let (_keep, path) = write_temp_db();
+        let base = skyband(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--k",
+            "1",
+        ]))
+        .unwrap();
+        assert!(base.contains("plan: naive (selected by auto)"), "{base}");
+        assert!(!base.contains("prefilter:"), "{base}");
+        let pruned = skyband(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--k",
+            "1",
+            "--prefilter",
+        ]))
+        .unwrap();
+        assert!(pruned.contains("plan: prefilter"), "{pruned}");
+        assert!(pruned.contains("prefilter:"), "{pruned}");
+        assert!(pruned.contains("candidates"), "{pruned}");
+        // Same members in both modes.
+        let members = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("-skyband ("))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let strip_stats = |s: String| {
+            s.split("\nprefilter:")
+                .next()
+                .unwrap()
+                .trim_end()
+                .to_owned()
+        };
+        assert_eq!(members(&base).trim_end(), strip_stats(members(&pruned)));
+
+        // An index built with --exclude works for the skyband too.
+        let idx_path = std::env::temp_dir()
+            .join(format!("gss-cli-test-{}-skyband.gsi", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_owned();
+        index(&args(&[
+            "index",
+            "build",
+            "--db",
+            &path,
+            "--out",
+            &idx_path,
+            "--exclude",
+            "needle",
+            "--pivots",
+            "2",
+            "--rings",
+            "2",
+        ]))
+        .unwrap();
+        let indexed = skyband(&args(&[
+            "--db",
+            &path,
+            "--query-name",
+            "needle",
+            "--k",
+            "1",
+            "--index",
+            &idx_path,
+        ]))
+        .unwrap();
+        assert!(indexed.contains("plan: indexed"), "{indexed}");
+        assert!(indexed.contains("pivot probes"), "{indexed}");
+        assert_eq!(
+            members(&base).trim_end(),
+            strip_stats(members(&indexed)),
+            "indexed skyband must keep membership"
+        );
+        let _ = std::fs::remove_file(&idx_path);
     }
 
     #[test]

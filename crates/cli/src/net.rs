@@ -16,7 +16,7 @@ use gss_core::QueryOptions;
 use gss_server::{percentile_us, Client, ServerConfig};
 
 use crate::args::{ArgError, Args};
-use crate::commands::{load_db, load_index, read_text_input, solver_config};
+use crate::commands::{load_db, load_index, parse_plan, read_text_input, solver_config};
 
 /// `gss serve` — run the query server until a `shutdown` request drains it.
 pub fn serve(args: &Args) -> Result<String, ArgError> {
@@ -32,11 +32,14 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "deadline-ms",
         "prefilter",
         "approx",
+        "plan",
     ])?;
     let db = load_db(args)?;
     let index = load_index(&db, args)?;
+    let plan = parse_plan(args, index.is_some())?;
     let base = QueryOptions {
         solvers: solver_config(args),
+        plan,
         prefilter: args.flag("prefilter"),
         index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
@@ -82,6 +85,14 @@ fn options_json(args: &Args) -> Result<String, ArgError> {
         }
         parts.push(format!("\"algo\":\"{algo}\""));
     }
+    if let Some(plan) = args.get("plan") {
+        if gss_core::Plan::parse(plan).is_none() {
+            return Err(ArgError(format!(
+                "unknown --plan {plan:?} (auto|naive|prefilter|indexed)"
+            )));
+        }
+        parts.push(format!("\"plan\":\"{plan}\""));
+    }
     Ok(if parts.is_empty() {
         String::new()
     } else {
@@ -111,6 +122,7 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         "prefilter",
         "approx",
         "algo",
+        "plan",
         "stats",
         "shutdown",
     ])?;

@@ -98,9 +98,10 @@ pub fn query_fingerprint(query: &Graph, vocab: &Vocabulary) -> u64 {
 
 /// A fingerprint of everything in [`QueryOptions`] that can change the
 /// response: measures (order-sensitive), skyline algorithm, solver modes
-/// (with their numeric parameters), the prefilter flag, and the attached
-/// index's identity ([`crate::QueryIndex::describe`]). `threads` is
-/// deliberately excluded — see the module docs.
+/// (with their numeric parameters), the prefilter flag, the requested
+/// [`crate::Plan`], and the attached index's identity
+/// ([`crate::QueryIndex::describe`]). `threads` is deliberately excluded —
+/// see the module docs.
 pub fn options_fingerprint(options: &QueryOptions) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(options.measures.len() as u64);
@@ -133,6 +134,12 @@ pub fn options_fingerprint(options: &QueryOptions) -> u64 {
         McsMode::Greedy => hash_str(&mut h, "mcs:greedy"),
     }
     h.write_u64(u64::from(options.prefilter));
+    // The requested plan is part of the key: plans never change answers,
+    // but they do change the response document (pruning stats, per-graph
+    // `exact` flags), and `Auto` resolves deterministically from the
+    // database + options, both already covered by the composite key.
+    hash_str(&mut h, "plan:");
+    hash_str(&mut h, options.plan.name());
     match &options.index {
         None => hash_str(&mut h, "index:none"),
         Some(index) => {
@@ -239,9 +246,19 @@ mod tests {
 
         let algo = QueryOptions {
             skyline_algorithm: gss_skyline::Algorithm::Sfs,
-            ..base
+            ..base.clone()
         };
         assert_ne!(fp, options_fingerprint(&algo));
+
+        let plan = QueryOptions {
+            plan: crate::exec::Plan::Naive,
+            ..base
+        };
+        assert_ne!(
+            fp,
+            options_fingerprint(&plan),
+            "the requested plan changes the response document"
+        );
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub fn explain_all(result: &GssResult) -> Vec<Explanation> {
 /// ```json
 /// {
 ///   "measures": ["DistEd", "DistMcs", "DistGu"],
+///   "plan": "naive",
 ///   "graphs": [
 ///     {"name": "g1", "gcs": [4.0, 0.33, 0.5], "in_skyline": true,
 ///      "dominators": [], "best_dimensions": [1]},
@@ -127,7 +128,8 @@ pub fn to_json(db: &GraphDatabase, result: &GssResult) -> String {
         }
         let _ = write!(out, "\"{}\"", json_escape(m.name()));
     }
-    out.push_str("],\n  \"graphs\": [\n");
+    let _ = write!(out, "],\n  \"plan\": \"{}\"", result.plan.name());
+    out.push_str(",\n  \"graphs\": [\n");
     for (i, ex) in explanations.iter().enumerate() {
         let name = json_escape(db.get(ex.graph).name());
         let values: Vec<String> = result.gcs[i]
@@ -273,6 +275,7 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"name\":").count(), 7);
         assert!(json.contains("\"measures\": [\"DistEd\", \"DistMcs\", \"DistGu\"]"));
+        assert!(json.contains("\"plan\": \"naive\""), "{json}");
         assert!(json.contains("\"skyline\": [\"g1\", \"g4\", \"g5\", \"g7\"]"));
         // Balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

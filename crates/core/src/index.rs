@@ -56,6 +56,25 @@ pub struct IndexPlan {
     pub pivot_probes: usize,
 }
 
+impl IndexPlan {
+    /// The partition visit order of the executor's candidate source stage
+    /// ([`crate::exec`]): most promising first — smallest bound-vector sum,
+    /// ties broken by member ids — so the query's neighbourhood verifies
+    /// early and by the time the far partitions come up the dominance
+    /// frontier usually covers them wholesale.
+    pub fn most_promising_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.partitions.len()).collect();
+        order.sort_by(|&a, &b| {
+            let sum = |p: usize| -> f64 { self.partitions[p].bound.values.iter().sum() };
+            sum(a)
+                .partial_cmp(&sum(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| self.partitions[a].members.cmp(&self.partitions[b].members))
+        });
+        order
+    }
+}
+
 /// A database index the query engine can consult to skip whole candidate
 /// partitions before any per-candidate work.
 ///

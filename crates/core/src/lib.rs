@@ -39,6 +39,7 @@
 pub mod baseline;
 pub mod cachekey;
 pub mod database;
+pub mod exec;
 pub mod explain;
 pub mod index;
 pub mod jsonio;
@@ -51,6 +52,7 @@ pub mod refine;
 pub use baseline::{top_k_by_measure, ScoredGraph};
 pub use cachekey::{options_fingerprint, query_fingerprint, QueryKey};
 pub use database::{GraphDatabase, GraphId};
+pub use exec::{resolve_plan, CancelToken, Cancelled, Plan, ResolvedPlan, SkybandResult};
 pub use explain::{batch_stats_to_json, explain_all, to_json, to_json_batch, Explanation};
 pub use index::{IndexPartition, IndexPlan, QueryIndex};
 pub use measures::{
@@ -58,8 +60,9 @@ pub use measures::{
 };
 pub use prefilter::{PrefilterContext, PrefilterSummary, PruneStats};
 pub use query::{
-    graph_similarity_skyband, graph_similarity_skyline, graph_similarity_skyline_batch, BatchStats,
-    DominationWitness, GssResult, QueryOptions,
+    graph_similarity_skyband, graph_similarity_skyline, graph_similarity_skyline_batch,
+    try_graph_similarity_skyband, try_graph_similarity_skyline, try_graph_similarity_skyline_batch,
+    BatchStats, DominationWitness, GssResult, QueryOptions,
 };
 pub use refine::{
     pairwise_matrices, refine_skyline, refine_skyline_greedy, RefineOptions, RefinedSkyline,

@@ -28,11 +28,13 @@
 //!   nonzero distances even for isomorphic pairs, and the pipeline promises
 //!   byte-identical results to whatever the configured solvers produce.
 //!
-//! Soundness contract, relied on by the pruned scan in [`crate::query`]:
-//! for every measure `m`, `lower_bound_m(g, q) ≤ value_m(g, q)` where
-//! `value_m` is whatever the configured solver reports — the bounds hold for
-//! the *exact* solvers and remain valid for the approximate ones (bipartite
-//! and beam GED only over-estimate, greedy MCS only under-estimates `|mcs|`).
+//! Soundness contract, relied on by the staged executor in [`crate::exec`]
+//! (both the skyline's dominance pruning and the skyband's dominance
+//! *counting*): for every measure `m`, `lower_bound_m(g, q) ≤ value_m(g, q)`
+//! where `value_m` is whatever the configured solver reports — the bounds
+//! hold for the *exact* solvers and remain valid for the approximate ones
+//! (bipartite and beam GED only over-estimate, greedy MCS only
+//! under-estimates `|mcs|`).
 
 use gss_graph::stats::{
     degree_sequence, degree_sequence_l1_presorted, edge_class_multiset, edge_label_multiset,
@@ -259,7 +261,9 @@ pub fn summarize_with_stats(
 }
 
 /// Counters describing what the pruned scan did, for `explain` output and
-/// benchmarking.
+/// benchmarking. Skyline queries fill them via [`crate::GssResult::pruning`],
+/// skyband queries via [`crate::SkybandResult::pruning`]; a naive-plan run
+/// reports `None` instead.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PruneStats {
     /// Database size (candidates considered).

@@ -7,41 +7,51 @@
 //! witness dominator (the explanations the paper walks through in
 //! Section VI: "g2 is dominated by g7", …).
 //!
-//! # Filter-and-verify pipeline
+//! # Plans and the staged executor
 //!
-//! With [`QueryOptions::prefilter`] enabled the scan becomes a two-phase
-//! **filter-and-verify** pipeline:
+//! Every entry point here — [`graph_similarity_skyline`], the batch API and
+//! [`graph_similarity_skyband`] — is a thin wrapper over the staged
+//! executor in [`crate::exec`]: candidate source → per-candidate bound
+//! stage → dominance-driven verifier → assembly. Which source and bound
+//! stage run is chosen by [`QueryOptions::plan`]:
 //!
-//! 1. **Filter** — a cheap [`crate::prefilter`] summary (per-measure lower
-//!    bounds plus a WL/isomorphism distance-zero short-circuit) is computed
-//!    for every candidate in `O(|V| log |V| + |E| log |E|)`.
-//! 2. **Verify** — candidates are visited most-promising-first (smallest
-//!    lower-bound sum). A candidate whose lower-bound vector is already
-//!    similarity-dominated by a *verified* exact vector is **pruned**: its
-//!    exact vector cannot make the skyline, because lower bounds only move
-//!    up (`exact ≥ lower` per dimension, so `dominates(e, lower)` implies
-//!    `dominates(e, exact)`). Everything else runs the exact solvers.
+//! * [`Plan::Naive`] — exact solvers for every candidate;
+//! * [`Plan::Prefilter`] — the filter-and-verify pipeline: cheap
+//!   [`crate::prefilter`] lower bounds are computed for every candidate,
+//!   candidates are verified most-promising-first, and a candidate whose
+//!   lower-bound vector is already similarity-dominated by a *verified*
+//!   exact vector is **pruned** (its exact vector cannot make the skyline,
+//!   because lower bounds only move up: `exact ≥ lower` per dimension, so
+//!   `dominates(e, lower)` implies `dominates(e, exact)`);
+//! * [`Plan::Indexed`] — a [`crate::QueryIndex`] partitions the database
+//!   first and dominated partitions are skipped wholesale;
+//! * [`Plan::Auto`] (default) — resolves to one of the above from the
+//!   database size and index availability ([`crate::exec::resolve_plan`]).
 //!
-//! The pruned scan returns the **identical** skyline and witness list as
-//! the naive scan — only [`GssResult::evaluated`] and
-//! [`GssResult::pruning`] reveal that less work was done. To keep witnesses
-//! identical in both modes, the witness for an excluded graph is defined as
-//! the first skyline member (ascending id) whose exact vector dominates the
-//! graph's *lower-bound* vector, falling back to its exact vector; for a
-//! pruned graph the first rule always fires (its pruner, or a skyline
-//! member dominating the pruner, dominates the lower bound transitively).
+//! All plans return the **identical** skyline and witness list — only
+//! [`GssResult::evaluated`] and [`GssResult::pruning`] reveal that less
+//! work was done. To keep witnesses identical in every plan, the witness
+//! for an excluded graph is defined as the first skyline member (ascending
+//! id) whose exact vector dominates the graph's *lower-bound* vector,
+//! falling back to its exact vector; for a pruned graph the first rule
+//! always fires (its pruner, or a skyline member dominating the pruner,
+//! dominates the lower bound transitively).
+//!
+//! The legacy [`QueryOptions::prefilter`] / [`QueryOptions::index`] fields
+//! keep working: under `Plan::Auto` they steer resolution exactly as
+//! before. The `try_`-prefixed variants additionally accept a
+//! [`CancelToken`] and abort mid-scan at wave boundaries.
 
-use std::cmp::Ordering;
 use std::sync::Arc;
 
 use gss_graph::Graph;
-use gss_skyline::{dominance, Algorithm};
+use gss_skyline::Algorithm;
 
 use crate::database::{GraphDatabase, GraphId};
+use crate::exec::{self, CancelToken, Cancelled, Plan, ResolvedPlan, SkybandResult};
 use crate::index::QueryIndex;
 use crate::measures::{GcsVector, MeasureKind, SolverConfig};
-use crate::parallel::parallel_map_indexed;
-use crate::prefilter::{self, PrefilterContext, PrefilterSummary, PruneStats};
+use crate::prefilter::PruneStats;
 
 /// Options for [`graph_similarity_skyline`].
 #[derive(Clone, Debug)]
@@ -55,19 +65,24 @@ pub struct QueryOptions {
     pub solvers: SolverConfig,
     /// Worker threads for the per-graph GCS scan (1 = sequential).
     pub threads: usize,
-    /// Enables the filter-and-verify pruned scan: candidates whose
-    /// lower-bound GCS vector is dominated by a verified exact vector skip
-    /// the exact solvers. The skyline and witnesses are identical to the
-    /// naive scan. Ignored by [`graph_similarity_skyband`] (a `k`-skyband
-    /// needs every candidate's dominator count, so nothing can be skipped).
+    /// The evaluation strategy (see [`crate::exec`]). `Plan::Auto` (the
+    /// default) picks from the database size, this option set and index
+    /// availability; the explicit plans force one strategy. Every plan
+    /// returns identical answers.
+    pub plan: Plan,
+    /// Under [`Plan::Auto`], requests the filter-and-verify pruned scan:
+    /// candidates whose lower-bound GCS vector is dominated by a verified
+    /// exact vector skip the exact solvers. The skyline, witnesses and
+    /// skyband memberships are identical to the naive scan. An explicit
+    /// [`QueryOptions::plan`] overrides this flag.
     pub prefilter: bool,
     /// Optional database index (e.g. `gss-index`'s pivot index) consulted
     /// *before* the per-candidate prefilter: whole partitions whose bound
     /// vector is dominated by a verified exact vector are skipped without
-    /// touching their members. Implies the filter-and-verify pipeline for
-    /// the partitions that survive, composing with [`Self::prefilter`] as a
-    /// second-stage filter. Results stay identical to the naive scan.
-    /// Ignored by [`graph_similarity_skyband`].
+    /// touching their members. Under [`Plan::Auto`] an attached index
+    /// selects the indexed strategy (which runs the per-candidate
+    /// prefilter inside surviving partitions); [`Plan::Indexed`] requires
+    /// it. Results stay identical to the naive scan.
     pub index: Option<Arc<dyn QueryIndex>>,
 }
 
@@ -78,6 +93,7 @@ impl Default for QueryOptions {
             skyline_algorithm: Algorithm::default(),
             solvers: SolverConfig::default(),
             threads: 1,
+            plan: Plan::Auto,
             prefilter: false,
             index: None,
         }
@@ -85,13 +101,19 @@ impl Default for QueryOptions {
 }
 
 impl QueryOptions {
-    /// Returns the options with the given index attached (the indexed scan
-    /// also enables the per-candidate prefilter for surviving partitions).
+    /// Returns the options with the given index attached (under
+    /// `Plan::Auto` the indexed strategy — including the per-candidate
+    /// prefilter for surviving partitions — is then selected).
     pub fn with_index(self, index: Arc<dyn QueryIndex>) -> Self {
         QueryOptions {
             index: Some(index),
             ..self
         }
+    }
+
+    /// Returns the options with an explicit evaluation plan.
+    pub fn with_plan(self, plan: Plan) -> Self {
+        QueryOptions { plan, ..self }
     }
 }
 
@@ -109,6 +131,9 @@ pub struct DominationWitness {
 pub struct GssResult {
     /// The measures used, in GCS-vector order.
     pub measures: Vec<MeasureKind>,
+    /// The strategy the query actually ran under (an `Auto` request
+    /// resolves to one of the concrete plans).
+    pub plan: ResolvedPlan,
     /// Per-graph vectors in database order: the exact `GCS(gi, q)` for
     /// verified graphs, the prefilter *lower-bound* vector for pruned ones
     /// (see [`GssResult::evaluated`]). Without pruning every entry is exact.
@@ -146,451 +171,26 @@ impl GssResult {
     }
 }
 
-/// Computes `GSS(D, q)` (Equation 4 of the paper), optionally through the
-/// filter-and-verify pruned pipeline ([`QueryOptions::prefilter`]).
+/// Computes `GSS(D, q)` (Equation 4 of the paper) through the staged
+/// executor under [`QueryOptions::plan`].
 pub fn graph_similarity_skyline(
     db: &GraphDatabase,
     query: &Graph,
     options: &QueryOptions,
 ) -> GssResult {
-    assert!(
-        !options.measures.is_empty(),
-        "at least one measure is required"
-    );
-    let n = db.len();
-    let pipeline = options.prefilter || options.index.is_some();
-
-    // 1. Filter contexts: the query-side invariants are hoisted once per
-    //    scan; the isomorphism short-circuit stays off for naive scans and
-    //    approximate solvers.
-    let ctx = PrefilterContext::for_query(query, &options.solvers, pipeline);
-
-    // 2. Filter + verify. Three strategies, all returning the same answer:
-    //    * naive — exact vectors for everyone;
-    //    * prefilter — per-candidate summaries for everyone, exact solving
-    //      only for candidates whose lower-bound vector survives dominance;
-    //    * indexed — whole partitions whose index bound vector is dominated
-    //      are skipped without even summarizing their members; survivors go
-    //      through the per-candidate prefilter as a second stage (skipped
-    //      members get their summaries backfilled for reporting).
-    let (exact, summaries, pruning) = if let Some(index) = &options.index {
-        let (exact, summaries, stats) = indexed_verify(db, query, options, index.as_ref(), &ctx);
-        (exact, summaries, Some(stats))
-    } else {
-        let summaries: Vec<Option<PrefilterSummary>> =
-            parallel_map_indexed(n, options.threads, |i| {
-                let id = GraphId(i);
-                Some(prefilter::summarize_with_stats(
-                    db.get(id),
-                    db.stats(id),
-                    query,
-                    &options.measures,
-                    &ctx,
-                ))
-            });
-        if options.prefilter {
-            let (exact, stats) = pruned_verify(db, query, options, &summaries);
-            (exact, summaries, Some(stats))
-        } else {
-            let gcs: Vec<GcsVector> = parallel_map_indexed(n, options.threads, |i| {
-                GcsVector::compute(
-                    db.get(GraphId(i)),
-                    query,
-                    &options.measures,
-                    &options.solvers,
-                )
-            });
-            (gcs.into_iter().map(Some).collect(), summaries, None)
-        }
-    };
-
-    // 3. Skyline over the verified GCS matrix. Pruned candidates are
-    //    provably dominated, and removing dominated points never changes a
-    //    skyline, so running the algorithm on the verified subset yields
-    //    exactly `GSS(D, q)`.
-    let verified: Vec<usize> = (0..n).filter(|&i| exact[i].is_some()).collect();
-    let points: Vec<Vec<f64>> = verified
-        .iter()
-        .map(|&i| exact[i].as_ref().expect("verified").values.clone())
-        .collect();
-    let skyline: Vec<GraphId> = gss_skyline::skyline(&points, options.skyline_algorithm)
-        .into_iter()
-        .map(|k| GraphId(verified[k]))
-        .collect();
-
-    // 4. Witnesses for the excluded graphs — the identical rule in every
-    //    mode consumes per-candidate lower bounds. Every strategy returns
-    //    fully-materialized summaries (the indexed scan fills in skipped
-    //    partitions itself, after the verify loop), so this is a plain
-    //    unwrap.
-    let summaries: Vec<PrefilterSummary> = summaries
-        .into_iter()
-        .map(|s| s.expect("every scan strategy materializes all summaries"))
-        .collect();
-    let dominated = compute_witnesses(n, &skyline, &exact, &summaries);
-
-    // 5. Assemble: exact vectors where verified, lower bounds elsewhere.
-    let mut evaluated = Vec::with_capacity(n);
-    let mut gcs = Vec::with_capacity(n);
-    for (i, e) in exact.into_iter().enumerate() {
-        match e {
-            Some(v) => {
-                evaluated.push(true);
-                gcs.push(v);
-            }
-            None => {
-                evaluated.push(false);
-                gcs.push(summaries[i].lower.clone());
-            }
-        }
-    }
-
-    GssResult {
-        measures: options.measures.clone(),
-        gcs,
-        evaluated,
-        skyline,
-        dominated,
-        pruning,
-    }
+    exec::skyline(db, query, options, &CancelToken::new()).expect("a fresh CancelToken never fires")
 }
 
-/// Shared state of the filter-and-verify pipeline: the verified vectors so
-/// far, the non-dominated frontier over them, and the running counters.
-/// Both the prefilter-only scan and the indexed scan drive one `Verifier`;
-/// candidates and partitions can be fed in any order without changing the
-/// final skyline (only the stats depend on order).
-struct Verifier<'a> {
-    db: &'a GraphDatabase,
-    query: &'a Graph,
-    options: &'a QueryOptions,
-    exact: Vec<Option<GcsVector>>,
-    /// BNL-style frontier: the non-dominated subset of verified vectors.
-    /// Dominance is transitive, so testing candidates against the frontier
-    /// is as strong as testing against every verified vector.
-    frontier: Vec<usize>,
-    stats: PruneStats,
-}
-
-impl<'a> Verifier<'a> {
-    fn new(db: &'a GraphDatabase, query: &'a Graph, options: &'a QueryOptions) -> Self {
-        Verifier {
-            db,
-            query,
-            options,
-            exact: vec![None; db.len()],
-            frontier: Vec::new(),
-            stats: PruneStats {
-                candidates: db.len(),
-                ..PruneStats::default()
-            },
-        }
-    }
-
-    /// True when a verified vector already dominates `bound` — the one
-    /// pruning decision of the pipeline, shared by partitions (index
-    /// bounds) and candidates (prefilter lower bounds).
-    fn frontier_dominates(&self, bound: &[f64]) -> bool {
-        self.frontier.iter().any(|&f| {
-            dominance::dominates(
-                &self.exact[f].as_ref().expect("frontier is verified").values,
-                bound,
-            )
-        })
-    }
-
-    /// Inserts a verified vector into the non-dominated frontier.
-    fn frontier_insert(&mut self, i: usize) {
-        let v = &self.exact[i]
-            .as_ref()
-            .expect("inserting a verified vector")
-            .values;
-        if self
-            .frontier
-            .iter()
-            .any(|&f| dominance::dominates(&self.exact[f].as_ref().expect("frontier").values, v))
-        {
-            return;
-        }
-        let exact = &self.exact;
-        self.frontier
-            .retain(|&f| !dominance::dominates(v, &exact[f].as_ref().expect("frontier").values));
-        self.frontier.push(i);
-    }
-
-    /// Resolves `i` through the distance-zero short-circuit when its
-    /// summary proved isomorphism: exact all-zero vector, no solver runs.
-    fn try_short_circuit(&mut self, i: usize, summary: &PrefilterSummary) {
-        if summary.isomorphic && self.exact[i].is_none() {
-            self.exact[i] = summary.known_exact(&self.options.measures);
-            self.stats.short_circuited += 1;
-            self.frontier_insert(i);
-        }
-    }
-
-    /// Runs the per-candidate filter-and-verify loop over `candidates`
-    /// (already-resolved entries are skipped).
-    ///
-    /// Verification order is most promising first (smallest lower-bound
-    /// sum, ties by id): near-answers verify early and build a strong
-    /// pruning frontier for the long tail. Exact solving proceeds in waves
-    /// of up to `threads` candidates so it still parallelizes; each wave
-    /// refreshes the frontier before the next pruning decision.
-    /// `threads == 1` is the classic sequential filter-and-verify loop.
-    fn run(&mut self, candidates: &[usize], summaries: &[Option<PrefilterSummary>]) {
-        let lower = |i: usize| {
-            &summaries[i]
-                .as_ref()
-                .expect("candidates fed to run() are summarized")
-                .lower
-                .values
-        };
-        let mut order: Vec<usize> = candidates
-            .iter()
-            .copied()
-            .filter(|&i| self.exact[i].is_none())
-            .collect();
-        order.sort_by(|&a, &b| {
-            let sa: f64 = lower(a).iter().sum();
-            let sb: f64 = lower(b).iter().sum();
-            sa.partial_cmp(&sb)
-                .unwrap_or(Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-
-        let threads = self.options.threads.max(1);
-        let mut cursor = 0usize;
-        while cursor < order.len() {
-            let mut batch: Vec<usize> = Vec::with_capacity(threads);
-            while cursor < order.len() && batch.len() < threads {
-                let i = order[cursor];
-                cursor += 1;
-                if self.frontier_dominates(lower(i)) {
-                    self.stats.pruned += 1;
-                } else {
-                    batch.push(i);
-                }
-            }
-            if batch.is_empty() {
-                continue;
-            }
-            let results: Vec<GcsVector> = parallel_map_indexed(batch.len(), threads, |k| {
-                GcsVector::compute(
-                    self.db.get(GraphId(batch[k])),
-                    self.query,
-                    &self.options.measures,
-                    &self.options.solvers,
-                )
-            });
-            for (k, v) in results.into_iter().enumerate() {
-                let i = batch[k];
-                self.exact[i] = Some(v);
-                self.stats.verified += 1;
-                self.frontier_insert(i);
-            }
-        }
-    }
-}
-
-/// The verify phase of the pruned pipeline: exact vectors for every
-/// candidate that survives lower-bound domination, `None` for the pruned.
-fn pruned_verify(
+/// [`graph_similarity_skyline`] with cooperative cancellation: returns
+/// [`Cancelled`] as soon as a wave checkpoint observes the fired token,
+/// abandoning the rest of the scan.
+pub fn try_graph_similarity_skyline(
     db: &GraphDatabase,
     query: &Graph,
     options: &QueryOptions,
-    summaries: &[Option<PrefilterSummary>],
-) -> (Vec<Option<GcsVector>>, PruneStats) {
-    let n = db.len();
-    let mut v = Verifier::new(db, query, options);
-    for (i, summary) in summaries.iter().enumerate() {
-        v.try_short_circuit(i, summary.as_ref().expect("all summarized"));
-    }
-    let all: Vec<usize> = (0..n).collect();
-    v.run(&all, summaries);
-    (v.exact, v.stats)
-}
-
-/// The indexed scan: the index's partition plan is processed most
-/// promising first; a partition whose bound vector is dominated by a
-/// verified exact vector is skipped **wholesale** — its members get
-/// neither a prefilter summary nor a solver call during the scan
-/// (`summaries` stays `None` for them). Members of surviving partitions
-/// are summarized and run through the ordinary per-candidate
-/// filter-and-verify second stage.
-fn indexed_verify(
-    db: &GraphDatabase,
-    query: &Graph,
-    options: &QueryOptions,
-    index: &dyn QueryIndex,
-    ctx: &PrefilterContext,
-) -> (
-    Vec<Option<GcsVector>>,
-    Vec<Option<PrefilterSummary>>,
-    PruneStats,
-) {
-    let n = db.len();
-    let plan = index.plan(db, query, &options.measures);
-    crate::index::validate_plan(&plan, n);
-    for p in &plan.partitions {
-        assert_eq!(
-            p.bound.values.len(),
-            options.measures.len(),
-            "index partition bound must match the measure count"
-        );
-    }
-
-    let mut v = Verifier::new(db, query, options);
-    v.stats.index_partitions = plan.partitions.len();
-    v.stats.pivot_probes = plan.pivot_probes;
-    let mut summaries: Vec<Option<PrefilterSummary>> = vec![None; n];
-
-    // Most promising partitions first (smallest bound sum, ties by first
-    // member id): the query's neighbourhood verifies early, so by the time
-    // the far partitions come up the frontier usually dominates them.
-    let mut order: Vec<usize> = (0..plan.partitions.len()).collect();
-    order.sort_by(|&a, &b| {
-        let sum = |p: usize| -> f64 { plan.partitions[p].bound.values.iter().sum() };
-        sum(a)
-            .partial_cmp(&sum(b))
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| plan.partitions[a].members.cmp(&plan.partitions[b].members))
-    });
-
-    let mut partition_of: Vec<usize> = vec![usize::MAX; n];
-    for pi in order {
-        let part = &plan.partitions[pi];
-        if part.members.is_empty() {
-            continue;
-        }
-        if v.frontier_dominates(&part.bound.values) {
-            v.stats.index_skipped += part.members.len();
-            v.stats.index_partitions_skipped += 1;
-            for id in &part.members {
-                partition_of[id.index()] = pi;
-            }
-            continue;
-        }
-        let members: Vec<usize> = part.members.iter().map(|g| g.index()).collect();
-        let batch: Vec<PrefilterSummary> =
-            parallel_map_indexed(members.len(), options.threads, |k| {
-                let id = GraphId(members[k]);
-                prefilter::summarize_with_stats(
-                    db.get(id),
-                    db.stats(id),
-                    query,
-                    &options.measures,
-                    ctx,
-                )
-            });
-        for (k, s) in batch.into_iter().enumerate() {
-            summaries[members[k]] = Some(s);
-        }
-        for &i in &members {
-            let summary = summaries[i].as_ref().expect("just summarized").clone();
-            v.try_short_circuit(i, &summary);
-        }
-        v.run(&members, &summaries);
-    }
-
-    // Materialize summaries for the members of skipped partitions: the
-    // witness rule and the reported GCS matrix consume per-candidate lower
-    // bounds for every excluded graph. This is the reporting half of the
-    // bargain — linear-time per candidate, no solver involved — and runs
-    // only after the scan decided what to verify.
-    let skipped: Vec<usize> = (0..n).filter(|&i| summaries[i].is_none()).collect();
-    let batch: Vec<PrefilterSummary> = parallel_map_indexed(skipped.len(), options.threads, |k| {
-        let id = GraphId(skipped[k]);
-        prefilter::summarize_with_stats(db.get(id), db.stats(id), query, &options.measures, ctx)
-    });
-    for (k, s) in batch.into_iter().enumerate() {
-        summaries[skipped[k]] = Some(s);
-    }
-
-    // Witness parity: the canonical witness rule resolves an excluded graph
-    // through the first skyline member dominating its *own* lower bound,
-    // falling back to its exact vector. A skipped candidate's own bound can
-    // be looser than its partition's (the pivot triangle bound sees
-    // structure the label-alignment bounds cannot), so the frontier may
-    // dominate the partition while missing the candidate's bound — verify
-    // those rare stragglers so they resolve exactly as the naive scan
-    // would. Their exact vectors are provably dominated (the skip was
-    // justified by an admissible partition bound), so the skyline cannot
-    // change; and a prefilter-only scan verifies the same candidates (a
-    // candidate whose bound no verified vector dominates is never pruned),
-    // so this never costs more solver calls than the prefilter path.
-    let stragglers: Vec<usize> = skipped
-        .iter()
-        .copied()
-        .filter(|&i| {
-            !v.frontier_dominates(
-                &summaries[i]
-                    .as_ref()
-                    .expect("skipped candidates were just summarized")
-                    .lower
-                    .values,
-            )
-        })
-        .collect();
-    v.stats.index_skipped -= stragglers.len();
-    // A partition that produced a straggler was not skipped *wholesale*
-    // after all — keep the partition counter consistent with the
-    // candidate counter in explain output and the benchmark artifact.
-    let mut demoted: Vec<usize> = stragglers.iter().map(|&i| partition_of[i]).collect();
-    demoted.sort_unstable();
-    demoted.dedup();
-    v.stats.index_partitions_skipped -= demoted.len();
-    v.run(&stragglers, &summaries);
-
-    (v.exact, summaries, v.stats)
-}
-
-/// One witness per excluded graph: the first skyline member (ascending)
-/// whose exact vector dominates the graph's lower-bound vector, else the
-/// first dominating its exact vector. Lower bounds never exceed exact
-/// values, so a lower-bound dominator is always a true dominator; the
-/// two-step rule exists so pruned graphs (whose exact vector is unknown)
-/// and verified graphs resolve through the same deterministic procedure.
-fn compute_witnesses(
-    n: usize,
-    skyline: &[GraphId],
-    exact: &[Option<GcsVector>],
-    summaries: &[PrefilterSummary],
-) -> Vec<DominationWitness> {
-    let sky_point = |s: &GraphId| {
-        &exact[s.index()]
-            .as_ref()
-            .expect("skyline members are verified")
-            .values
-    };
-    let mut dominated = Vec::new();
-    for i in 0..n {
-        let id = GraphId(i);
-        if skyline.binary_search(&id).is_ok() {
-            continue;
-        }
-        let lower = &summaries[i].lower.values;
-        let dominator = skyline
-            .iter()
-            .find(|s| dominance::dominates(sky_point(s), lower))
-            .or_else(|| {
-                let ev = &exact[i]
-                    .as_ref()
-                    .expect(
-                        "an excluded graph is either pruned (lower-bound dominated) or verified",
-                    )
-                    .values;
-                skyline
-                    .iter()
-                    .find(|s| dominance::dominates(sky_point(s), ev))
-            })
-            .copied()
-            .expect("every excluded point has a skyline dominator");
-        dominated.push(DominationWitness {
-            graph: id,
-            dominator,
-        });
-    }
-    dominated
+    cancel: &CancelToken,
+) -> Result<GssResult, Cancelled> {
+    exec::skyline(db, query, options, cancel)
 }
 
 /// Aggregated observability counters for a batch of query results — the
@@ -680,44 +280,58 @@ pub fn graph_similarity_skyline_batch(
     queries: &[Graph],
     options: &QueryOptions,
 ) -> Vec<GssResult> {
-    let per_query = QueryOptions {
-        threads: 1,
-        ..options.clone()
-    };
-    parallel_map_indexed(queries.len(), options.threads, |i| {
-        graph_similarity_skyline(db, &queries[i], &per_query)
-    })
+    let cancels = vec![CancelToken::new(); queries.len()];
+    exec::skyline_batch(db, queries, options, &cancels)
+        .into_iter()
+        .map(|r| r.expect("a fresh CancelToken never fires"))
+        .collect()
+}
+
+/// [`graph_similarity_skyline_batch`] with one [`CancelToken`] per query
+/// (`cancels.len()` must equal `queries.len()`): queries abort
+/// independently, so one expired deadline never takes down its batch
+/// neighbours.
+pub fn try_graph_similarity_skyline_batch(
+    db: &GraphDatabase,
+    queries: &[Graph],
+    options: &QueryOptions,
+    cancels: &[CancelToken],
+) -> Vec<Result<GssResult, Cancelled>> {
+    exec::skyline_batch(db, queries, options, cancels)
 }
 
 /// **Extension** (related work \[20\] of the paper): the *k-skyband* of a
 /// similarity query — every database graph similarity-dominated by fewer
-/// than `k` others. `k = 1` is exactly [`graph_similarity_skyline`]; larger
-/// `k` relaxes the answer set gracefully (useful when the strict skyline is
-/// too small), while staying order-consistent: the skyband is monotone in
-/// `k` and always contains the skyline.
+/// than `k` others. `k = 1` is exactly the [`graph_similarity_skyline`]
+/// member set; larger `k` relaxes the answer set gracefully (useful when
+/// the strict skyline is too small), while staying order-consistent: the
+/// skyband is monotone in `k` and always contains the skyline.
+///
+/// Runs through the same staged executor as the skyline: under the pruned
+/// plans the frontier tracks **dominance counts** against lower bounds — a
+/// candidate whose lower-bound vector is dominated by `k` verified exact
+/// vectors is excluded without ever running the solvers
+/// ([`SkybandResult::pruning`] reports how many were). Membership is
+/// byte-identical across plans.
 pub fn graph_similarity_skyband(
     db: &GraphDatabase,
     query: &Graph,
     k: usize,
     options: &QueryOptions,
-) -> Vec<GraphId> {
-    assert!(
-        !options.measures.is_empty(),
-        "at least one measure is required"
-    );
-    let gcs: Vec<GcsVector> = parallel_map_indexed(db.len(), options.threads, |i| {
-        GcsVector::compute(
-            db.get(GraphId(i)),
-            query,
-            &options.measures,
-            &options.solvers,
-        )
-    });
-    let points: Vec<Vec<f64>> = gcs.into_iter().map(|g| g.values).collect();
-    gss_skyline::k_skyband(&points, k)
-        .into_iter()
-        .map(GraphId)
-        .collect()
+) -> SkybandResult {
+    exec::skyband(db, query, k, options, &CancelToken::new())
+        .expect("a fresh CancelToken never fires")
+}
+
+/// [`graph_similarity_skyband`] with cooperative cancellation.
+pub fn try_graph_similarity_skyband(
+    db: &GraphDatabase,
+    query: &Graph,
+    k: usize,
+    options: &QueryOptions,
+    cancel: &CancelToken,
+) -> Result<SkybandResult, Cancelled> {
+    exec::skyband(db, query, k, options, cancel)
 }
 
 #[cfg(test)]
@@ -852,15 +466,49 @@ mod tests {
         let opts = QueryOptions::default();
         let sky = graph_similarity_skyline(&db, &q, &opts).skyline;
         let band1 = graph_similarity_skyband(&db, &q, 1, &opts);
-        assert_eq!(band1, sky);
+        assert_eq!(band1.members, sky);
+        assert!(band1.contains(sky[0]));
         let band2 = graph_similarity_skyband(&db, &q, 2, &opts);
-        for id in &band1 {
-            assert!(band2.contains(id), "skyband must be monotone in k");
+        for id in &band1.members {
+            assert!(band2.members.contains(id), "skyband must be monotone in k");
         }
         // On the paper's data: g2 has 2 dominators (g1, g7), g3 has 1 (g5),
         // g6 has 2 (g1, g5?) — verify counts directly instead of guessing.
         let big = graph_similarity_skyband(&db, &q, db.len(), &opts);
-        assert_eq!(big.len(), db.len(), "huge k keeps everything");
+        assert_eq!(big.members.len(), db.len(), "huge k keeps everything");
+    }
+
+    #[test]
+    fn pruned_skyband_matches_naive_across_plans_and_k() {
+        let (db, q) = paper_db();
+        for k in 0..=3 {
+            let naive = graph_similarity_skyband(
+                &db,
+                &q,
+                k,
+                &QueryOptions {
+                    plan: Plan::Naive,
+                    ..QueryOptions::default()
+                },
+            );
+            assert!(naive.pruning.is_none());
+            let pruned = graph_similarity_skyband(&db, &q, k, &prefilter_options());
+            assert_eq!(pruned.members, naive.members, "k={k}");
+            let stats = pruned.pruning.expect("prefilter skyband stats");
+            assert_eq!(
+                stats.verified + stats.pruned + stats.short_circuited,
+                db.len(),
+                "k={k}"
+            );
+            if k == 0 {
+                assert!(pruned.members.is_empty());
+            }
+        }
+        // With k = 1 the pruned skyband actually prunes on this dataset
+        // (the skyline pipeline does, and the band frontier is at least as
+        // strong there).
+        let band1 = graph_similarity_skyband(&db, &q, 1, &prefilter_options());
+        assert!(band1.pruning.expect("stats").pruned > 0);
     }
 
     #[test]
@@ -934,6 +582,8 @@ mod tests {
         let pruned = graph_similarity_skyline(&db, &q, &prefilter_options());
         assert_eq!(pruned.skyline, naive.skyline);
         assert_eq!(pruned.dominated, naive.dominated);
+        assert_eq!(naive.plan, ResolvedPlan::Naive);
+        assert_eq!(pruned.plan, ResolvedPlan::Prefilter);
         let stats = pruned.pruning.expect("prefilter stats");
         assert_eq!(stats.candidates, db.len());
         assert_eq!(
@@ -987,7 +637,14 @@ mod tests {
         );
         // An all-zero frontier member prunes everything it strictly
         // dominates; only ties (other zero vectors) still verify.
-        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let naive = graph_similarity_skyline(
+            &db,
+            &q,
+            &QueryOptions {
+                plan: Plan::Naive,
+                ..QueryOptions::default()
+            },
+        );
         assert_eq!(r.skyline, naive.skyline);
         assert_eq!(r.dominated, naive.dominated);
         assert!(stats.pruned > 0, "a perfect match should prune the rest");

@@ -16,8 +16,14 @@
 //!   bracket the query's GED to each pivot (admissible lower bound +
 //!   bipartite upper bound — **no exact solver runs**), and every partition
 //!   gets a per-measure lower-bound vector valid for all of its members.
-//!   The engine then skips whole partitions whose vector is dominated by a
-//!   verified skyline point, without touching their members.
+//!   The plan feeds the staged executor's candidate-source stage
+//!   (`gss_core::exec`, `Plan::Indexed` — or `Plan::Auto`, which selects
+//!   the index whenever one is attached): partitions are visited in
+//!   [`gss_core::IndexPlan::most_promising_order`] and whole partitions
+//!   whose vector is dominated by a verified point are skipped without
+//!   touching their members — this prunes the skyline scan *and* the
+//!   `k`-skyband (where "dominated" means `k` distinct verified
+//!   dominators).
 //!
 //! # Which dimensions get triangle bounds
 //!

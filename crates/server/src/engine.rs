@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 
 use gss_core::jsonio::Value;
 use gss_core::{
-    graph_similarity_skyline_batch, BatchStats, GedMode, GraphDatabase, McsMode, QueryKey,
-    QueryOptions, SolverConfig,
+    try_graph_similarity_skyline_batch, BatchStats, CancelToken, GedMode, GraphDatabase, McsMode,
+    Plan, QueryKey, QueryOptions, SolverConfig,
 };
 use gss_graph::Graph;
 use gss_skyline::Algorithm;
@@ -201,6 +201,17 @@ impl Engine {
                             _ => return Err("options.algo must be naive|bnl|sfs".into()),
                         };
                     }
+                    "plan" => {
+                        let plan = v.as_str().and_then(Plan::parse).ok_or_else(|| {
+                            "options.plan must be auto|naive|prefilter|indexed".to_owned()
+                        })?;
+                        if plan == Plan::Indexed && options.index.is_none() {
+                            return Err("options.plan \"indexed\" requires a server-side index \
+                                 (start gss serve with --index)"
+                                .to_owned());
+                        }
+                        options.plan = plan;
+                    }
                     other => return Err(format!("unknown option {other:?}")),
                 }
             }
@@ -234,12 +245,20 @@ impl Engine {
     }
 
     /// Evaluates admitted queries as micro-batches: jobs sharing an options
-    /// fingerprint go through one [`graph_similarity_skyline_batch`] call
-    /// (wave-parallel across the batch, each query single-threaded — the
-    /// normalization that keeps responses thread-count-invariant), results
-    /// are serialized, cached, and returned as envelopes in job order.
-    /// Jobs sharing a full [`QueryKey`] (concurrent identical queries that
-    /// all missed the cold cache) are evaluated **once** and fanned out.
+    /// fingerprint go through one [`try_graph_similarity_skyline_batch`]
+    /// call (wave-parallel across the batch, each query single-threaded —
+    /// the normalization that keeps responses thread-count-invariant),
+    /// results are serialized, cached, and returned as envelopes in job
+    /// order. Jobs sharing a full [`QueryKey`] (concurrent identical
+    /// queries that all missed the cold cache) are evaluated **once** and
+    /// fanned out.
+    ///
+    /// Every evaluation carries a deadline-armed [`CancelToken`], so a
+    /// query whose deadline passes *mid-scan* is aborted at the next wave
+    /// checkpoint and answered with the `deadline exceeded` error (counted
+    /// in [`crate::ServerStats::cancelled`], distinct from the in-queue
+    /// `deadline_expired` drops). Duplicates share one evaluation, so its
+    /// token fires only once the **latest** duplicate deadline passed.
     pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<String> {
         let mut responses: Vec<Option<String>> = (0..jobs.len()).map(|_| None).collect();
         // Group by options fingerprint, preserving first-seen order.
@@ -259,21 +278,50 @@ impl Engine {
                 }
             }
             let graphs: Vec<Graph> = reps.iter().map(|&i| jobs[i].graph.clone()).collect();
+            let cancels: Vec<CancelToken> = reps
+                .iter()
+                .map(|&r| {
+                    let latest = members
+                        .iter()
+                        .filter(|&&i| jobs[i].key == jobs[r].key)
+                        .map(|&i| jobs[i].deadline)
+                        .max()
+                        .expect("a representative represents at least itself");
+                    CancelToken::with_deadline(latest)
+                })
+                .collect();
             let options = QueryOptions {
                 threads: self.workers,
                 ..jobs[members[0]].options.clone()
             };
-            let results = graph_similarity_skyline_batch(&self.db, &graphs, &options);
-            self.stats.absorb_batch(&BatchStats::aggregate(&results));
+            let results = try_graph_similarity_skyline_batch(&self.db, &graphs, &options, &cancels);
+            let mut totals = BatchStats::default();
+            for r in results.iter().flatten() {
+                totals.absorb(r);
+            }
+            self.stats.absorb_batch(&totals);
             for (k, &rep) in reps.iter().enumerate() {
-                let pretty = gss_core::to_json(&self.db, &results[k]);
-                let result = Value::parse(&pretty)
-                    .expect("explain output is valid JSON")
-                    .to_compact();
-                self.cache.insert(jobs[rep].key, result.clone());
-                for &i in &members {
-                    if jobs[i].key == jobs[rep].key {
-                        responses[i] = Some(Engine::ok_response(&jobs[i].id, false, &result));
+                match &results[k] {
+                    Ok(result) => {
+                        let pretty = gss_core::to_json(&self.db, result);
+                        let result = Value::parse(&pretty)
+                            .expect("explain output is valid JSON")
+                            .to_compact();
+                        self.cache.insert(jobs[rep].key, result.clone());
+                        for &i in &members {
+                            if jobs[i].key == jobs[rep].key {
+                                responses[i] =
+                                    Some(Engine::ok_response(&jobs[i].id, false, &result));
+                            }
+                        }
+                    }
+                    Err(_cancelled) => {
+                        for &i in &members {
+                            if jobs[i].key == jobs[rep].key {
+                                ServerStats::bump(&self.stats.cancelled);
+                                responses[i] = Some(Engine::expired_response(&jobs[i].id));
+                            }
+                        }
                     }
                 }
             }
@@ -328,7 +376,8 @@ impl Engine {
         )
     }
 
-    /// The in-queue deadline expiry response.
+    /// The deadline expiry response — sent both for in-queue drops and for
+    /// evaluations aborted mid-scan by their [`CancelToken`].
     pub fn expired_response(id: &Option<Value>) -> String {
         envelope(id, "\"ok\":false,\"error\":\"deadline exceeded\"")
     }
@@ -538,6 +587,66 @@ mod tests {
         let totals = e.stats.totals();
         assert_eq!(totals.queries, 2, "duplicates must not re-evaluate");
         assert_eq!(totals.candidates, 2 * e.db().len());
+    }
+
+    #[test]
+    fn plan_option_parses_and_validates() {
+        let e = engine();
+        let tuned = match e
+            .parse_request(&query_line(&e, ",\"options\":{\"plan\":\"prefilter\"}"))
+            .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(tuned.options.plan, Plan::Prefilter);
+        let plain = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(plain.options.plan, Plan::Auto);
+        assert_ne!(
+            plain.key.options, tuned.key.options,
+            "different plans, different cache slots"
+        );
+        let bad = query_line(&e, ",\"options\":{\"plan\":\"quantum\"}");
+        assert!(e.parse_request(&bad).is_err(), "unknown plan");
+        // This engine has no index, so the indexed plan must be refused at
+        // parse time (not panic mid-evaluation).
+        let indexed = query_line(&e, ",\"options\":{\"plan\":\"indexed\"}");
+        let err = match e.parse_request(&indexed) {
+            Err(err) => err,
+            Ok(_) => panic!("indexed plan without an index must be rejected"),
+        };
+        assert!(err.message.contains("index"), "{}", err.message);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_batch_and_counts() {
+        let e = engine();
+        // deadline_ms 0: already expired when evaluate_batch arms the
+        // token, so the first wave checkpoint aborts the scan.
+        let job = match e
+            .parse_request(&query_line(&e, ",\"id\":\"late\",\"deadline_ms\":0"))
+            .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        let responses = e.evaluate_batch(std::slice::from_ref(&job));
+        let v = Value::parse(responses[0].trim()).expect("response is JSON");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v:?}");
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("deadline exceeded")
+        );
+        assert_eq!(
+            e.stats.cancelled.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        // Nothing was cached and no engine totals were absorbed.
+        assert!(e.try_cache(&job).is_none());
+        assert_eq!(e.stats.totals().queries, 0);
     }
 
     #[test]

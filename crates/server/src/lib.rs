@@ -45,12 +45,17 @@
 //!   database are fine; they simply never match.
 //! * `"options"` (optional object) — per-request overrides of the
 //!   server's base options: `"prefilter"` (bool), `"approx"` (bool:
-//!   bipartite GED + greedy MCS), `"algo"` (`"naive"|"bnl"|"sfs"`).
-//!   Unknown keys are rejected.
-//! * `"deadline_ms"` (optional) — queue-admission deadline. If the
-//!   request is still waiting when it expires, the response is
-//!   `{"ok":false,"error":"deadline exceeded"}`. The deadline gates
-//!   *starting* evaluation, not finishing it.
+//!   bipartite GED + greedy MCS), `"algo"` (`"naive"|"bnl"|"sfs"`),
+//!   `"plan"` (`"auto"|"naive"|"prefilter"|"indexed"`; `"indexed"` needs
+//!   a server-side index). Unknown keys are rejected.
+//! * `"deadline_ms"` (optional) — the evaluation deadline. If the request
+//!   is still waiting in the queue when it expires it is dropped (counted
+//!   as `deadline_expired`); if it expires **mid-evaluation**, the scan is
+//!   aborted at its next [`gss_core::CancelToken`] wave checkpoint
+//!   (counted as `cancelled`). Either way the response is
+//!   `{"ok":false,"error":"deadline exceeded"}`. Cancellation is
+//!   cooperative: a single in-flight solver call is never interrupted, so
+//!   abort latency is bounded by the most expensive candidate pair.
 //!
 //! The `"result"` payload is exactly the [`gss_core::to_json`] explain
 //! document (measures, per-graph GCS vectors, dominators, skyline,

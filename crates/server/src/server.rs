@@ -21,6 +21,12 @@
 //! dispatcher keeps popping until the queue is empty, so every admitted
 //! job receives a response (possibly `deadline exceeded`) before the
 //! dispatcher exits.
+//!
+//! Deadlines are enforced twice: requests still queued past their
+//! deadline are dropped here (`deadline_expired`), and requests whose
+//! deadline passes *during* evaluation are aborted mid-scan by the
+//! engine's per-query [`gss_core::CancelToken`] (`cancelled`) — see
+//! [`Engine::evaluate_batch`].
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};

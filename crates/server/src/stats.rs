@@ -62,8 +62,13 @@ pub struct ServerStats {
     pub cache_misses: AtomicU64,
     /// Queries rejected because the admission queue was full or draining.
     pub rejected: AtomicU64,
-    /// Admitted queries dropped because their deadline passed in-queue.
+    /// Admitted queries dropped because their deadline passed in-queue
+    /// (evaluation never started).
     pub deadline_expired: AtomicU64,
+    /// Admitted queries aborted **mid-evaluation**: their deadline fired a
+    /// [`gss_core::CancelToken`] checkpoint inside the scan. Distinct from
+    /// [`ServerStats::deadline_expired`], which only counts in-queue drops.
+    pub cancelled: AtomicU64,
     /// Micro-batches the dispatcher executed.
     pub batches: AtomicU64,
     /// Queries evaluated inside those batches.
@@ -152,6 +157,7 @@ impl ServerStats {
             ("cache_entries".into(), Value::Number(cache_entries as f64)),
             ("rejected".into(), load(&self.rejected)),
             ("deadline_expired".into(), load(&self.deadline_expired)),
+            ("cancelled".into(), load(&self.cancelled)),
             ("batches".into(), load(&self.batches)),
             ("batched_queries".into(), load(&self.batched_queries)),
             (

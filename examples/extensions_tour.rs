@@ -19,8 +19,12 @@ fn main() {
     println!("k-skyband of the paper's Fig. 3 query:");
     for k in 1..=3 {
         let band = graph_similarity_skyband(&db, &q, k, &QueryOptions::default());
-        let names: Vec<String> = band.iter().map(|g| format!("g{}", g.index() + 1)).collect();
-        println!("  k = {k}: {names:?}");
+        let names: Vec<String> = band
+            .members
+            .iter()
+            .map(|g| format!("g{}", g.index() + 1))
+            .collect();
+        println!("  k = {k}: {names:?} (plan: {})", band.plan.name());
     }
     println!("  (k = 1 is exactly GSS(D, q); each step admits graphs with one more dominator)\n");
 

@@ -1,0 +1,233 @@
+//! Property tests for the unified planner and staged executor
+//! (`gss_core::exec`).
+//!
+//! Three families of invariants:
+//!
+//! 1. **Plan parity** — all four plans (`Auto | Naive | Prefilter |
+//!    Indexed`) yield byte-identical skylines, domination witnesses,
+//!    verified GCS vectors and skyband memberships, across workload
+//!    kinds, thread counts and solver configurations;
+//! 2. **Auto economy** — `Plan::Auto` never performs more exact solver
+//!    calls than the best manual plan on the same query;
+//! 3. **Cancellation** — a fired [`CancelToken`] aborts every plan (and
+//!    each query of a batch independently) instead of returning a partial
+//!    answer.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use similarity_skyline::core::{
+    try_graph_similarity_skyband, try_graph_similarity_skyline_batch, QueryIndex,
+};
+use similarity_skyline::datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
+use similarity_skyline::prelude::*;
+
+const ALL_PLANS: [Plan; 4] = [Plan::Auto, Plan::Naive, Plan::Prefilter, Plan::Indexed];
+
+fn build_workload(seed: u64, size: usize, kind: WorkloadKind) -> (GraphDatabase, Graph) {
+    let cfg = WorkloadConfig {
+        kind,
+        database_size: size,
+        graph_vertices: 5,
+        related_fraction: 0.5,
+        max_edits: 3,
+        seed,
+    };
+    let w = Workload::generate(&cfg);
+    (GraphDatabase::from_parts(w.vocab, w.graphs), w.query)
+}
+
+/// Options with the index attached (so `Indexed` and `Auto` can use it)
+/// and an explicit plan.
+fn plan_options(
+    index: &Arc<PivotIndex>,
+    plan: Plan,
+    threads: usize,
+    solvers: SolverConfig,
+) -> QueryOptions {
+    QueryOptions {
+        threads,
+        solvers,
+        plan,
+        index: Some(Arc::clone(index) as Arc<dyn QueryIndex>),
+        ..QueryOptions::default()
+    }
+}
+
+/// Exact solver calls a result cost: the `verified` counter for pruned
+/// plans, the full candidate count for a naive scan.
+fn solver_calls(r: &GssResult) -> usize {
+    r.pruning.map_or(r.gcs.len(), |p| p.verified)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_plans_agree_on_skyline_witnesses_and_vectors(
+        seed in any::<u64>(),
+        size in 2usize..10,
+        molecule in any::<bool>(),
+        threads in 1usize..4,
+        pivots in 1usize..4,
+        rings in 1usize..4,
+        approx in any::<bool>(),
+    ) {
+        let kind = if molecule { WorkloadKind::Molecule } else { WorkloadKind::Uniform };
+        let (db, q) = build_workload(seed, size, kind);
+        let index = Arc::new(PivotIndex::build(&db, &PivotIndexConfig { pivots, rings }));
+        let solvers = if approx {
+            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        } else {
+            SolverConfig::default()
+        };
+        let baseline = graph_similarity_skyline(
+            &db, &q, &plan_options(&index, Plan::Naive, 1, solvers),
+        );
+        prop_assert_eq!(baseline.plan, ResolvedPlan::Naive);
+        prop_assert!(baseline.pruning.is_none());
+        for plan in ALL_PLANS {
+            let r = graph_similarity_skyline(
+                &db, &q, &plan_options(&index, plan, threads, solvers),
+            );
+            prop_assert_eq!(&r.skyline, &baseline.skyline, "{:?}", plan);
+            prop_assert_eq!(&r.dominated, &baseline.dominated, "{:?} witnesses", plan);
+            prop_assert_eq!(r.measures.len(), baseline.measures.len());
+            // Verified vectors are byte-identical to the naive scan's;
+            // pruned entries hold admissible lower bounds.
+            for i in 0..db.len() {
+                if r.is_exact(GraphId(i)) {
+                    prop_assert_eq!(&r.gcs[i], &baseline.gcs[i], "{:?} g{}", plan, i);
+                } else {
+                    for (lb, ex) in r.gcs[i].values.iter().zip(&baseline.gcs[i].values) {
+                        prop_assert!(lb <= &(ex + 1e-9), "{:?} g{}", plan, i);
+                    }
+                }
+            }
+            if let Some(stats) = &r.pruning {
+                prop_assert_eq!(
+                    stats.verified + stats.pruned + stats.short_circuited + stats.index_skipped,
+                    db.len(),
+                    "{:?}", plan
+                );
+            }
+        }
+        // An index attached under Auto resolves to the indexed strategy.
+        let auto = graph_similarity_skyline(&db, &q, &plan_options(&index, Plan::Auto, 1, solvers));
+        prop_assert_eq!(auto.plan, ResolvedPlan::Indexed);
+    }
+
+    #[test]
+    fn all_plans_agree_on_skyband_membership(
+        seed in any::<u64>(),
+        size in 2usize..10,
+        k in 0usize..4,
+        threads in 1usize..4,
+        approx in any::<bool>(),
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let index = Arc::new(PivotIndex::build(&db, &PivotIndexConfig { pivots: 2, rings: 2 }));
+        let solvers = if approx {
+            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        } else {
+            SolverConfig::default()
+        };
+        let baseline = graph_similarity_skyband(
+            &db, &q, k, &plan_options(&index, Plan::Naive, 1, solvers),
+        );
+        prop_assert!(baseline.pruning.is_none());
+        for plan in ALL_PLANS {
+            let band = graph_similarity_skyband(
+                &db, &q, k, &plan_options(&index, plan, threads, solvers),
+            );
+            prop_assert_eq!(&band.members, &baseline.members, "{:?} k={}", plan, k);
+            prop_assert_eq!(band.k, k);
+        }
+        // The k = 1 band is exactly the skyline member set, under any plan.
+        if k == 1 {
+            let sky = graph_similarity_skyline(
+                &db, &q, &plan_options(&index, Plan::Prefilter, 1, solvers),
+            );
+            prop_assert_eq!(&baseline.members, &sky.skyline);
+        }
+    }
+
+    #[test]
+    fn auto_plan_never_costs_more_solver_calls_than_the_best_manual_plan(
+        seed in any::<u64>(),
+        size in 2usize..24,
+        with_index in any::<bool>(),
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let index = Arc::new(PivotIndex::build(&db, &PivotIndexConfig { pivots: 2, rings: 2 }));
+        let options = |plan: Plan| -> QueryOptions {
+            let idx = with_index.then(|| Arc::clone(&index) as Arc<dyn QueryIndex>);
+            QueryOptions { plan, index: idx, ..QueryOptions::default() }
+        };
+        let mut manual_best = usize::MAX;
+        for plan in [Plan::Naive, Plan::Prefilter] {
+            manual_best =
+                manual_best.min(solver_calls(&graph_similarity_skyline(&db, &q, &options(plan))));
+        }
+        if with_index {
+            manual_best = manual_best
+                .min(solver_calls(&graph_similarity_skyline(&db, &q, &options(Plan::Indexed))));
+        }
+        let auto = graph_similarity_skyline(&db, &q, &options(Plan::Auto));
+        if with_index || size >= similarity_skyline::core::exec::AUTO_PREFILTER_MIN {
+            // Once Auto resolves to a pruned strategy it is solver-optimal:
+            // prefilter never verifies more than naive, and the indexed
+            // scan never verifies more than prefilter.
+            prop_assert!(auto.plan != ResolvedPlan::Naive);
+            prop_assert!(
+                solver_calls(&auto) <= manual_best,
+                "auto ({:?}) ran {} solver calls, best manual plan ran {}",
+                auto.plan, solver_calls(&auto), manual_best
+            );
+        } else {
+            // Tiny databases resolve to the naive scan on purpose (the
+            // answers are identical and the scan is microseconds either
+            // way); the solver-call guarantee starts at the threshold.
+            prop_assert_eq!(auto.plan, ResolvedPlan::Naive);
+            prop_assert_eq!(solver_calls(&auto), db.len());
+        }
+    }
+
+    #[test]
+    fn fired_tokens_abort_every_plan_and_batch_queries_independently(
+        seed in any::<u64>(),
+        size in 2usize..8,
+    ) {
+        let (db, q) = build_workload(seed, size, WorkloadKind::Molecule);
+        let index = Arc::new(PivotIndex::build(&db, &PivotIndexConfig { pivots: 2, rings: 2 }));
+        let fired = CancelToken::new();
+        fired.cancel();
+        for plan in ALL_PLANS {
+            let opts = plan_options(&index, plan, 1, SolverConfig::default());
+            prop_assert_eq!(
+                try_graph_similarity_skyline(&db, &q, &opts, &fired).err(),
+                Some(Cancelled),
+                "{:?}", plan
+            );
+            prop_assert!(
+                try_graph_similarity_skyband(&db, &q, 2, &opts, &fired).is_err(),
+                "{:?} skyband", plan
+            );
+        }
+        // Batch: only the cancelled slot errors; its neighbour still
+        // returns the full answer.
+        let live = CancelToken::new();
+        let queries = vec![q.clone(), q.clone()];
+        let results = try_graph_similarity_skyline_batch(
+            &db,
+            &queries,
+            &QueryOptions::default(),
+            &[live, fired],
+        );
+        let direct = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let ok = results[0].as_ref().expect("live token completes");
+        prop_assert_eq!(&ok.skyline, &direct.skyline);
+        prop_assert_eq!(&ok.dominated, &direct.dominated);
+        prop_assert!(results[1].is_err());
+    }
+}

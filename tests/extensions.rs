@@ -20,7 +20,7 @@ fn skyband_nests_around_the_skyline_on_workloads() {
     let sky = graph_similarity_skyline(&db, &w.query, &opts).skyline;
     let mut previous: Vec<GraphId> = Vec::new();
     for k in 1..=4 {
-        let band = graph_similarity_skyband(&db, &w.query, k, &opts);
+        let band = graph_similarity_skyband(&db, &w.query, k, &opts).members;
         if k == 1 {
             assert_eq!(band, sky, "1-skyband is the skyline");
         }
@@ -122,7 +122,7 @@ fn skyband_respects_witness_counts() {
                 })
                 .count();
             assert_eq!(
-                band.contains(&GraphId(i)),
+                band.contains(GraphId(i)),
                 dominators < k,
                 "g{} with {dominators} dominators vs k={k}",
                 i + 1

@@ -201,6 +201,97 @@ fn stats_and_drain_protocol() {
 }
 
 #[test]
+fn deadline_aborts_a_long_query_mid_evaluation() {
+    use similarity_skyline::core::{try_graph_similarity_skyline, CancelToken, Plan};
+    use std::time::{Duration, Instant};
+
+    const DEADLINE_MS: u64 = 200;
+    // Grow the workload until a naive single-threaded scan provably
+    // outlives the deadline *in this build mode*: the probe itself runs
+    // through the executor with a deadline-armed CancelToken and must be
+    // aborted mid-scan. This keeps the server half of the test
+    // deterministic on fast and slow machines alike.
+    let naive = QueryOptions {
+        plan: Plan::Naive,
+        ..QueryOptions::default()
+    };
+    let mut size = 30;
+    let (db, query) = loop {
+        let w = Workload::generate(&WorkloadConfig {
+            kind: WorkloadKind::Molecule,
+            database_size: size,
+            graph_vertices: 7,
+            related_fraction: 0.3,
+            max_edits: 4,
+            seed: 0xABBA,
+        });
+        let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_millis(DEADLINE_MS));
+        let aborted = try_graph_similarity_skyline(&db, &w.query, &naive, &token).is_err();
+        if aborted || size >= 1920 {
+            assert!(
+                aborted,
+                "even a {size}-graph naive scan finished in {DEADLINE_MS} ms"
+            );
+            break (db, w.query);
+        }
+        size *= 2;
+    };
+
+    // The server evaluates the same scan (per-query single-threaded);
+    // the request's deadline passes while it is being evaluated, so the
+    // engine's CancelToken aborts it at a wave checkpoint and the client
+    // gets the deadline error — counted as `cancelled`, not as the
+    // in-queue `deadline_expired`.
+    let db = Arc::new(db);
+    let handle = serve(
+        Arc::clone(&db),
+        naive,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let text = graph_text(&db, &query);
+    let started = Instant::now();
+    let line = format!(
+        "{{\"op\":\"query\",\"graph\":\"{}\",\"deadline_ms\":{DEADLINE_MS}}}",
+        similarity_skyline::core::jsonio::escape(&text)
+    );
+    let response = client.send(&line).expect("response");
+    assert_eq!(
+        response.get("ok"),
+        Some(&Value::Bool(false)),
+        "{response:?}"
+    );
+    assert_eq!(
+        response.get("error").and_then(Value::as_str),
+        Some("deadline exceeded")
+    );
+    // The abort happened promptly: well before a full scan would finish
+    // (the probe proved a full scan outlives the deadline), bounded by
+    // deadline + one wave of solver calls.
+    assert!(
+        started.elapsed() >= Duration::from_millis(DEADLINE_MS / 2),
+        "a mid-scan abort cannot beat the deadline by much: {:?}",
+        started.elapsed()
+    );
+
+    let stats = Value::parse(&handle.stats_json()).expect("stats JSON");
+    let count = |k: &str| stats.get(k).and_then(Value::as_f64).expect(k);
+    assert_eq!(count("cancelled"), 1.0, "{stats:?}");
+    assert_eq!(
+        count("deadline_expired"),
+        0.0,
+        "the abort must be mid-evaluation, not in-queue: {stats:?}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn deadline_zero_expires_in_queue() {
     let (db, queries) = workload_db(10, 0xDEAD);
     let db = Arc::new(db);
