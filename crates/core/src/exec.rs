@@ -435,6 +435,7 @@ impl<'a> Verifier<'a> {
         while cursor < order.len() {
             self.cancel.checkpoint()?;
             let mut batch: Vec<usize> = Vec::with_capacity(threads);
+            // gss-lint: allow(cancellation-checkpoint) — fills one wave (≤ threads items) of domination checks; the enclosing wave loop checkpoints every pass
             while cursor < order.len() && batch.len() < threads {
                 let i = order[cursor];
                 cursor += 1;
@@ -455,6 +456,7 @@ impl<'a> Verifier<'a> {
                     &self.options.solvers,
                 )
             });
+            // gss-lint: allow(cancellation-checkpoint) — records one wave's results (≤ threads items); the enclosing wave loop checkpoints every pass
             for (k, v) in results.into_iter().enumerate() {
                 let i = batch[k];
                 self.exact[i] = Some(v);
@@ -531,6 +533,7 @@ fn run_partitions(
     let n = v.db.len();
     let plan = index.plan(v.db, v.query, &v.options.measures);
     crate::index::validate_plan(&plan, n);
+    // gss-lint: allow(cancellation-checkpoint) — linear plan validation before any solver work; partition counts are small by construction
     for p in &plan.partitions {
         assert_eq!(
             p.bound.values.len(),
@@ -551,6 +554,7 @@ fn run_partitions(
         if v.frontier_dominates(&part.bound.values) {
             v.stats.index_skipped += part.members.len();
             v.stats.index_partitions_skipped += 1;
+            // gss-lint: allow(cancellation-checkpoint) — bookkeeping over one partition's members; the partition loop checkpoints every iteration
             for id in &part.members {
                 partition_of[id.index()] = pi;
             }
@@ -568,9 +572,11 @@ fn run_partitions(
                     ctx,
                 )
             });
+        // gss-lint: allow(cancellation-checkpoint) — stores one partition's summaries; the partition loop checkpoints every iteration
         for (k, s) in batch.into_iter().enumerate() {
             summaries[members[k]] = Some(s);
         }
+        // gss-lint: allow(cancellation-checkpoint) — constant-time domination probes per member, no solver; the partition loop checkpoints and v.run checkpoints per wave
         for &i in &members {
             v.try_short_circuit(i, summaries[i].as_ref().expect("just summarized"));
         }
@@ -586,6 +592,7 @@ fn prefilter_verify(
     summaries: &[Option<PrefilterSummary>],
 ) -> Result<(), Cancelled> {
     let n = v.db.len();
+    // gss-lint: allow(cancellation-checkpoint) — constant-time domination probes, no solver; the wave loop inside v.run checkpoints
     for (i, summary) in summaries.iter().enumerate() {
         v.try_short_circuit(i, summary.as_ref().expect("all summarized"));
     }
@@ -660,6 +667,7 @@ pub fn skyline(
                         &ctx,
                     )
                 });
+            // gss-lint: allow(cancellation-checkpoint) — linear reporting bookkeeping after the checkpointed scan decided what to verify
             for (k, s) in batch.into_iter().enumerate() {
                 summaries[skipped[k]] = Some(s);
             }
@@ -734,6 +742,7 @@ pub fn skyline(
     // Exact vectors where verified, lower bounds elsewhere.
     let mut evaluated = Vec::with_capacity(n);
     let mut gcs = Vec::with_capacity(n);
+    // gss-lint: allow(cancellation-checkpoint) — linear result assembly; every solver stage already returned
     for (i, e) in exact.into_iter().enumerate() {
         match e {
             Some(v) => {

@@ -64,6 +64,7 @@ pub struct QueryOptions {
     /// Exact/approximate solver selection for the primitives.
     pub solvers: SolverConfig,
     /// Worker threads for the per-graph GCS scan (1 = sequential).
+    // gss-lint: exempt(QueryOptions::threads) — thread count never changes the result bytes: the server normalizes every evaluation to wave-parallel batches with per-query threads=1 (PR 3), and the wave schedule is deterministic
     pub threads: usize,
     /// The evaluation strategy (see [`crate::exec`]). `Plan::Auto` (the
     /// default) picks from the database size, this option set and index

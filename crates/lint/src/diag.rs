@@ -1,0 +1,128 @@
+//! Diagnostics: the finding type plus `rustc`-style text rendering and
+//! the machine-readable JSON report.
+
+use crate::source::SourceFile;
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `no-panic-in-request-path`.
+    pub rule: &'static str,
+    /// Sub-category within the rule (e.g. `index`, `unwrap`); empty when
+    /// the rule has only one kind of finding. `allow(rule[category])`
+    /// suppresses one category only.
+    pub category: &'static str,
+    /// Index of the file in the [`crate::Workspace`].
+    pub file: usize,
+    /// Byte offset of the offending token.
+    pub start: usize,
+    /// Byte offset one past the offending token.
+    pub end: usize,
+    /// What is wrong.
+    pub message: String,
+    /// Why the invariant matters / how to fix or exempt.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the familiar compiler shape:
+    ///
+    /// ```text
+    /// error[no-panic-in-request-path]: `.unwrap()` can panic in the server request path
+    ///   --> crates/server/src/engine.rs:331:28
+    ///     |
+    /// 331 |             .map(|r| r.unwrap())
+    ///     |                        ^^^^^^
+    ///     = note: request-path errors must flow to the wire as {"ok":false,...}
+    /// ```
+    pub fn render(&self, file: &SourceFile) -> String {
+        let (line, col) = file.line_col(self.start);
+        let gutter = line.to_string().len().max(3);
+        let mut out = String::new();
+        out.push_str(&format!("error[{}]: {}\n", self.rule, self.message));
+        out.push_str(&format!(
+            "{:>gutter$} {}:{}:{}\n",
+            "-->", file.path, line, col
+        ));
+        let text = file.line_text(line);
+        out.push_str(&format!("{:>gutter$} |\n", ""));
+        out.push_str(&format!("{line:>gutter$} | {text}\n"));
+        let width = self.end.saturating_sub(self.start).max(1);
+        // Clamp the caret run to the visible line.
+        let width = width.min(text.len().saturating_sub(col - 1).max(1));
+        out.push_str(&format!(
+            "{:>gutter$} | {}{}\n",
+            "",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+        if let Some(note) = &self.note {
+            out.push_str(&format!("{:>gutter$} = note: {note}\n", ""));
+        }
+        out
+    }
+
+    /// One JSON object for the `--json` report.
+    pub fn to_json(&self, file: &SourceFile) -> String {
+        let (line, col) = file.line_col(self.start);
+        let mut s = String::from("{");
+        push_kv(&mut s, "rule", self.rule);
+        s.push(',');
+        push_kv(&mut s, "category", self.category);
+        s.push(',');
+        push_kv(&mut s, "path", &file.path);
+        s.push_str(&format!(",\"line\":{line},\"col\":{col},"));
+        push_kv(&mut s, "message", &self.message);
+        if let Some(note) = &self.note {
+            s.push(',');
+            push_kv(&mut s, "note", note);
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_token() {
+        let file = SourceFile::new("a/b.rs", "let x = v.unwrap();\n".to_owned());
+        let start = file.text.find("unwrap").unwrap();
+        let d = Diagnostic {
+            rule: "no-panic-in-request-path",
+            category: "unwrap",
+            file: 0,
+            start,
+            end: start + "unwrap".len(),
+            message: "`.unwrap()` can panic".into(),
+            note: Some("return an error envelope instead".into()),
+        };
+        let r = d.render(&file);
+        assert!(r.contains("error[no-panic-in-request-path]"));
+        assert!(r.contains("a/b.rs:1:11"));
+        assert!(r.contains("^^^^^^"));
+        assert!(r.contains("note: return an error"));
+        let j = d.to_json(&file);
+        assert!(j.contains("\"line\":1") && j.contains("\"col\":11"));
+    }
+}

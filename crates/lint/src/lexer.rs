@@ -1,0 +1,383 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The lint rules operate on token streams, not syntax trees, so the
+//! lexer only has to get the *boundaries* right: identifiers (keywords
+//! included), numbers, string/char literals (including raw and byte
+//! strings — a `"` inside a literal must never open or close a region),
+//! lifetimes, single-character punctuation, and comments (line, nested
+//! block). Multi-character operators like `::` or `->` surface as runs
+//! of punctuation tokens; rules match on those runs.
+//!
+//! The lexer never fails: unterminated literals or comments simply run
+//! to end of input. Rules only ever see code that `rustc` also compiles,
+//! so graceful degradation on malformed input is all that is needed.
+
+/// What a [`Token`] is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `while`, `unwrap`, `r#type`).
+    Ident,
+    /// A numeric literal (`0x1f`, `1.5e-3`, `42u64`).
+    Number,
+    /// A string or byte-string literal, raw or not.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: a kind plus its byte span in the source.
+#[derive(Copy, Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// One comment (line or block, doc or not), with its byte span.
+#[derive(Copy, Clone, Debug)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the comment's last byte.
+    pub end: usize,
+}
+
+/// The result of lexing one file: code tokens and comments, both in
+/// source order.
+pub struct Lexed {
+    /// Code tokens, comments excluded.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Scans a non-raw string/char body starting *after* the opening quote;
+/// returns the offset one past the closing quote (or end of input).
+fn scan_quoted(b: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string at `i` pointing at the first `#` or `"` after the
+/// `r`; returns the offset one past the closing quote+hashes.
+fn scan_raw(b: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return i; // not actually a raw string; caller guards against this
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b.len() - i > hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// True when the `r`/`br` at `i` begins a raw string.
+fn raw_follows(b: &[u8], mut i: usize) -> bool {
+    while i < b.len() && b[i] == b'#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == b'"'
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            let start = i;
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            comments.push(Comment { start, end: i });
+            continue;
+        }
+        // Raw strings and byte strings: r"..", r#".."#, b"..", br".." and
+        // the raw identifier r#ident.
+        if c == b'r' || c == b'b' {
+            let start = i;
+            let after_prefix = if c == b'b' && i + 1 < b.len() && b[i + 1] == b'r' {
+                i + 2
+            } else {
+                i + 1
+            };
+            let is_raw_capable = c == b'r' || (c == b'b' && after_prefix == i + 2);
+            if is_raw_capable && after_prefix < b.len() && raw_follows(b, after_prefix) {
+                i = scan_raw(b, after_prefix);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            if c == b'r'
+                && i + 1 < b.len()
+                && b[i + 1] == b'#'
+                && i + 2 < b.len()
+                && is_ident_start(b[i + 2])
+            {
+                // Raw identifier r#type.
+                i += 2;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            if c == b'b' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'') {
+                let quote = b[i + 1];
+                i = scan_quoted(b, i + 2, quote);
+                tokens.push(Token {
+                    kind: if quote == b'"' {
+                        TokKind::Str
+                    } else {
+                        TokKind::Char
+                    },
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c == b'"' {
+            let start = i;
+            i = scan_quoted(b, i + 1, b'"');
+            tokens.push(Token {
+                kind: TokKind::Str,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c == b'\'' {
+            let start = i;
+            // 'a' is a char, 'a is a lifetime, '\n' is a char, ' ' is a char.
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                i = scan_quoted(b, i + 1, b'\'');
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            let mut j = i + 1;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            if j > i + 1 && j < b.len() && b[j] == b'\'' {
+                // 'a' — a char literal (possibly multi-byte like 'é').
+                i = j + 1;
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    start,
+                    end: i,
+                });
+            } else if j > i + 1 {
+                // 'lifetime — no closing quote.
+                i = j;
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    start,
+                    end: i,
+                });
+            } else {
+                // Punctuation char like '(' or ' ' inside quotes.
+                i = scan_quoted(b, i + 1, b'\'');
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    start,
+                    end: i,
+                });
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            loop {
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // Exponent sign: 1e-3, 2.5E+7.
+                if i < b.len()
+                    && (b[i] == b'+' || b[i] == b'-')
+                    && (b[i - 1] == b'e' || b[i - 1] == b'E')
+                    && i + 1 < b.len()
+                    && b[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    continue;
+                }
+                // Fraction: 1.5 — but not the range 0..n or a method 1.max(2).
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            tokens.push(Token {
+                kind: TokKind::Number,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Single punctuation character.
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            start: i,
+            end: i + 1,
+        });
+        i += 1;
+    }
+    Lexed { tokens, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers_punct() {
+        let toks = kinds("fn f(x: u64) -> f64 { x as f64 * 1.5e-3 }");
+        assert_eq!(toks[0], (TokKind::Ident, "fn"));
+        assert_eq!(toks[1], (TokKind::Ident, "f"));
+        assert!(toks.contains(&(TokKind::Number, "1.5e-3")));
+        assert!(toks.contains(&(TokKind::Punct, "{")));
+    }
+
+    #[test]
+    fn ranges_are_not_fractions() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Number, "0")));
+        assert!(toks.contains(&(TokKind::Number, "10")));
+        assert_eq!(
+            toks.iter().filter(|(_, s)| *s == ".").count(),
+            2,
+            "the two range dots lex as punctuation"
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "quoted // not a comment { vec! }";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, s)| *s == "vec"));
+        let lexed = lex(r#"let s = "has // comment";"#);
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"raw "inner" body"#; let b = b"bytes";"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        let toks = kinds("let c = b'x';");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_line_and_nested_block() {
+        let lexed = lex("a // line\nb /* outer /* inner */ still */ c");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.tokens.len(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "r#type")));
+    }
+}

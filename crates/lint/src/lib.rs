@@ -1,0 +1,252 @@
+//! `gss-lint` — workspace-native static analysis for the gss engine.
+//!
+//! The serving stack's correctness rests on invariants that no type
+//! system or runtime test fully enforces: cache keys must fingerprint
+//! every result-affecting option, solver kernels must stay
+//! allocation-free, executor loops must reach cancellation checkpoints,
+//! the server request path must never panic, solver calls must not run
+//! under cache/queue locks, and the retained reference solvers must keep
+//! the signatures their parity oracles compare against. This crate
+//! checks those invariants at the **source level** — a small std-only
+//! lexer plus an item/brace-tree model (no `syn`, same vendoring
+//! discipline as the rest of the workspace) and a registry of
+//! project-specific rules with span-accurate, `rustc`-style diagnostics.
+//!
+//! # Directives
+//!
+//! Rules are steered by structured comments:
+//!
+//! - `// gss-lint: allow(<rule>) — <justification>` suppresses a rule on
+//!   the same line (trailing), the next line (own-line), or a whole
+//!   function (own-line directly above the `fn`). A category narrows the
+//!   suppression: `allow(no-panic-in-request-path[index])` keeps the
+//!   `unwrap`/`expect`/`panic` gates live while permitting indexing.
+//! - `// gss-lint: exempt(<Struct>::<field>) — <justification>` excludes
+//!   one field from the fingerprint-completeness check.
+//! - `// gss-lint: kernel` marks the next `fn` as an allocation-free hot
+//!   region for no-alloc-in-kernel.
+//!
+//! Every directive **requires a justification**; a bare `allow(...)` is
+//! itself a diagnostic (`lint-directives`), so the allowlist cannot rot
+//! silently. Unknown rule names in `allow(...)` are diagnostics too.
+//!
+//! # Running
+//!
+//! `cargo lint` (an alias for `cargo run -p gss-lint -- --workspace
+//! --deny-all`) lints every `.rs` file in the workspace, excluding
+//! `vendor/`, `target/` and the lint fixtures. CI gates on it.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use diag::Diagnostic;
+pub use source::{Directive, DirectiveKind, DirectiveScope, SourceFile};
+
+/// The set of files one lint run analyzes, with cross-file rule support
+/// (the fingerprint rule reads a struct in one file and a function in
+/// another).
+#[derive(Default)]
+pub struct Workspace {
+    /// The indexed files, in load order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Adds one file under the given (possibly virtual) path. Rule
+    /// applicability is decided from path suffixes, so tests can register
+    /// fixture content under the paths the rules watch.
+    pub fn add_file(&mut self, path: impl Into<String>, text: String) {
+        self.files.push(SourceFile::new(path, text));
+    }
+
+    /// Loads every workspace `.rs` file under `root`, skipping `vendor/`,
+    /// `target/`, `.git/` and the lint fixture tree. Paths are stored
+    /// relative to `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut ws = Workspace::new();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for top in ["crates", "src", "tests", "examples", "benches"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths)?;
+            }
+        }
+        paths.sort();
+        for p in paths {
+            let text = std::fs::read_to_string(&p)?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            ws.add_file(rel, text);
+        }
+        Ok(ws)
+    }
+
+    /// The index of the first file whose path ends with `suffix`.
+    pub fn file_matching(&self, suffix: &str) -> Option<usize> {
+        self.files.iter().position(|f| f.path.ends_with(suffix))
+    }
+
+    /// Runs every registered rule plus the directive meta-checks, applies
+    /// `allow(...)` suppression, and returns the surviving diagnostics in
+    /// (file, offset) order.
+    pub fn run(&self) -> Vec<Diagnostic> {
+        let mut raw = Vec::new();
+        for rule in rules::registry() {
+            rule.check(self, &mut raw);
+        }
+        let mut out: Vec<Diagnostic> = raw.into_iter().filter(|d| !self.suppressed(d)).collect();
+        self.check_directives(&mut out);
+        out.sort_by_key(|d| (d.file, d.start));
+        out
+    }
+
+    /// True when an `allow` directive in the diagnostic's file covers it.
+    fn suppressed(&self, d: &Diagnostic) -> bool {
+        let file = &self.files[d.file];
+        let (line, _) = file.line_col(d.start);
+        file.directives.iter().any(|dir| {
+            let DirectiveKind::Allow { rule, category } = &dir.kind else {
+                return false;
+            };
+            if rule != d.rule {
+                return false;
+            }
+            if let Some(cat) = category {
+                if cat != d.category {
+                    return false;
+                }
+            }
+            match dir.scope {
+                DirectiveScope::Line(l) => l == line,
+                DirectiveScope::Span(s, e) => d.start >= s && d.start < e,
+            }
+        })
+    }
+
+    /// The `lint-directives` meta-rule: malformed directives, unknown
+    /// rule names, missing justifications, dangling `kernel` markers.
+    fn check_directives(&self, out: &mut Vec<Diagnostic>) {
+        let known = rules::rule_ids();
+        for (fi, file) in self.files.iter().enumerate() {
+            for (start, end, message) in &file.directive_errors {
+                out.push(Diagnostic {
+                    rule: rules::DIRECTIVES,
+                    category: "syntax",
+                    file: fi,
+                    start: *start,
+                    end: *end,
+                    message: message.clone(),
+                    note: None,
+                });
+            }
+            for dir in &file.directives {
+                if let DirectiveKind::Allow { rule, .. } = &dir.kind {
+                    if !known.contains(&rule.as_str()) {
+                        out.push(Diagnostic {
+                            rule: rules::DIRECTIVES,
+                            category: "unknown-rule",
+                            file: fi,
+                            start: dir.start,
+                            end: dir.end,
+                            message: format!("allow() names unknown rule `{rule}`"),
+                            note: Some(format!("known rules: {}", known.join(", "))),
+                        });
+                    }
+                }
+                if dir.justification.is_empty() {
+                    out.push(Diagnostic {
+                        rule: rules::DIRECTIVES,
+                        category: "justification",
+                        file: fi,
+                        start: dir.start,
+                        end: dir.end,
+                        message: "directive needs a justification".to_owned(),
+                        note: Some(
+                            "write `// gss-lint: allow(rule) — why this is safe`; \
+                             unexplained suppressions rot"
+                                .to_owned(),
+                        ),
+                    });
+                }
+                if matches!(dir.kind, DirectiveKind::Kernel)
+                    && matches!(dir.scope, DirectiveScope::Line(_))
+                {
+                    out.push(Diagnostic {
+                        rule: rules::DIRECTIVES,
+                        category: "dangling-kernel",
+                        file: fi,
+                        start: dir.start,
+                        end: dir.end,
+                        message: "`kernel` marker is not followed by an fn".to_owned(),
+                        note: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(&*name, "target" | "vendor" | ".git" | "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppression_and_meta_checks() {
+        let mut ws = Workspace::new();
+        ws.add_file(
+            "crates/server/src/cache.rs",
+            "fn f(v: Option<u8>) -> u8 {\n    v.unwrap() // gss-lint: allow(no-panic-in-request-path) — test stub\n}\n"
+                .to_owned(),
+        );
+        assert!(ws.run().is_empty(), "trailing allow suppresses");
+
+        let mut ws = Workspace::new();
+        ws.add_file(
+            "crates/x/src/lib.rs",
+            "// gss-lint: allow(frobnicate) — nope\nfn f() {}\n".to_owned(),
+        );
+        let diags = ws.run();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].category, "unknown-rule");
+
+        let mut ws = Workspace::new();
+        ws.add_file(
+            "crates/x/src/lib.rs",
+            "// gss-lint: allow(lock-discipline)\nfn f() {}\n".to_owned(),
+        );
+        let diags = ws.run();
+        assert_eq!(diags.len(), 1, "missing justification is a diagnostic");
+        assert_eq!(diags[0].category, "justification");
+    }
+}

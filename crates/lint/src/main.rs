@@ -1,0 +1,181 @@
+//! The `gss-lint` binary. See the crate docs of [`gss_lint`] for the
+//! rule catalogue and directive syntax.
+//!
+//! ```text
+//! gss-lint --workspace [--root PATH] [--deny-all] [--json FILE]
+//! gss-lint FILE.rs [FILE.rs ...]
+//! gss-lint --list-rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when diagnostics were emitted, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gss_lint::{rules, Workspace};
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+    // --deny-all is accepted for CI clarity; diagnostics always fail the
+    // run (there is no warning level), so it changes nothing today.
+    #[allow(dead_code)]
+    deny_all: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        json: None,
+        list_rules: false,
+        files: Vec::new(),
+        deny_all: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--deny-all" => args.deny_all = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a path argument")?,
+                ));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "-h" | "--help" => {
+                println!(
+                    "gss-lint — static analysis for the gss workspace\n\n\
+                     USAGE:\n  gss-lint --workspace [--root PATH] [--deny-all] [--json FILE]\n  \
+                     gss-lint FILE.rs [FILE.rs ...]\n  gss-lint --list-rules\n\n\
+                     OPTIONS:\n  --workspace     lint every .rs file under the workspace root\n  \
+                     --root PATH     workspace root (default: nearest ancestor with Cargo.toml)\n  \
+                     --deny-all      explicit CI spelling; diagnostics always fail the run\n  \
+                     --json FILE     also write the findings as a JSON array to FILE\n  \
+                     --list-rules    print the registered rule ids and exit"
+                );
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or one or more files".to_owned());
+    }
+    Ok(args)
+}
+
+/// The nearest ancestor of the current directory containing a
+/// `Cargo.toml` with a `[workspace]` table, falling back to the nearest
+/// with any `Cargo.toml`.
+fn find_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let mut best_any = None;
+    for dir in cwd.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            best_any.get_or_insert_with(|| dir.to_path_buf());
+            if std::fs::read_to_string(&manifest).is_ok_and(|t| t.contains("[workspace]")) {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    best_any
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gss-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for id in rules::rule_ids() {
+            println!("{id}");
+        }
+        println!("{} (meta, not allowable)", rules::DIRECTIVES);
+        return ExitCode::SUCCESS;
+    }
+
+    let ws = if args.workspace {
+        let root = match args.root.or_else(find_root) {
+            Some(r) => r,
+            None => {
+                eprintln!("gss-lint: no workspace root found (pass --root)");
+                return ExitCode::from(2);
+            }
+        };
+        match Workspace::load(&root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!(
+                    "gss-lint: failed to load workspace at {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut ws = Workspace::new();
+        for p in &args.files {
+            match std::fs::read_to_string(p) {
+                Ok(text) => ws.add_file(p.to_string_lossy().replace('\\', "/"), text),
+                Err(e) => {
+                    eprintln!("gss-lint: cannot read {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        ws
+    };
+
+    let diags = ws.run();
+
+    if let Some(json_path) = &args.json {
+        let mut s = String::from("[");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('\n');
+            s.push_str("  ");
+            s.push_str(&d.to_json(&ws.files[d.file]));
+        }
+        s.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+        if let Err(e) = std::fs::write(json_path, s) {
+            eprintln!("gss-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for d in &diags {
+        eprintln!("{}", d.render(&ws.files[d.file]));
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "gss-lint: {} file(s) clean across {} rule(s)",
+            ws.files.len(),
+            rules::rule_ids().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "gss-lint: {} diagnostic(s) in {} file(s)",
+            diags.len(),
+            ws.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

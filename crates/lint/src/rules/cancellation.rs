@@ -1,0 +1,155 @@
+//! **cancellation-checkpoint** — executor loops must reach a
+//! [`CancelToken`] check (PR 5).
+//!
+//! Cooperative cancellation only works if every long-running loop in the
+//! staged executor actually polls the token: a scan loop without a
+//! checkpoint turns `deadline_ms` and explicit cancellation into dead
+//! letters, and the server's mid-evaluation aborts (the `cancelled`
+//! stats counter) silently stop firing. Two checks:
+//!
+//! 1. In `gss_core::exec` (`core/src/exec.rs`): inside every function
+//!    that has cancellation in scope (its signature or body mentions
+//!    `CancelToken` or a `cancel`-ish identifier), each `for`/`while`/
+//!    `loop` must contain a cancellation identifier (`checkpoint`,
+//!    `is_cancelled`, anything containing `cancel`) in its header or
+//!    body. Bounded bookkeeping loops that run no solver calls are
+//!    justified with `allow(cancellation-checkpoint)`.
+//! 2. Everywhere: every call to `parallel_map_waves` must pass a
+//!    checkpoint that mentions the token — the wave structure exists
+//!    *for* cancellation, so a caller wiring in a no-op checkpoint is a
+//!    bug.
+//!
+//! [`CancelToken`]: ../../gss_core/exec/struct.CancelToken.html
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+use super::{call_arg_ranges, range_has_ident_containing, Rule};
+
+const CANCEL_NEEDLES: &[&str] = &["cancel", "checkpoint", "Cancelled"];
+
+/// See the module docs.
+pub struct CancellationCheckpoint;
+
+impl Rule for CancellationCheckpoint {
+    fn id(&self) -> &'static str {
+        "cancellation-checkpoint"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.path.ends_with("core/src/exec.rs") {
+                check_exec_loops(fi, file, out);
+            }
+            check_wave_callers(fi, file, out);
+        }
+    }
+}
+
+fn check_exec_loops(fi: usize, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for f in &file.functions {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if file.in_test(file.tokens[f.fn_tok].start) {
+            continue;
+        }
+        // Cancellation in scope? Look at the whole item (signature + body).
+        if !range_has_ident_containing(file, f.fn_tok, close + 1, CANCEL_NEEDLES)
+            && !range_has_ident_containing(file, f.fn_tok, close + 1, &["CancelToken"])
+        {
+            continue;
+        }
+        let mut i = open + 1;
+        while i < close {
+            if is_loop_keyword(file, i) {
+                // The loop body: first `{` at paren/bracket depth 0 after
+                // the keyword (struct literals are not legal in loop
+                // headers without parens).
+                let mut depth = 0i64;
+                let mut j = i + 1;
+                let mut body = None;
+                while j < close {
+                    if file.tokens[j].kind == TokKind::Punct {
+                        match file.text.as_bytes()[file.tokens[j].start] {
+                            b'(' | b'[' => depth += 1,
+                            b')' | b']' => depth -= 1,
+                            b'{' if depth == 0 => {
+                                body = Some((j, file.match_delim(j)));
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some((_, bc)) = body {
+                    // Header + body (nested loops included) must mention
+                    // the token.
+                    if !range_has_ident_containing(file, i, bc + 1, CANCEL_NEEDLES) {
+                        let tok = file.tokens[i];
+                        out.push(Diagnostic {
+                            rule: "cancellation-checkpoint",
+                            category: "loop",
+                            file: fi,
+                            start: tok.start,
+                            end: tok.end,
+                            message: format!(
+                                "loop in `{}` never reaches a CancelToken check",
+                                f.name
+                            ),
+                            note: Some(
+                                "every executor loop must poll cancellation (e.g. \
+                                 cancel.checkpoint()?) or justify its boundedness with \
+                                 allow(cancellation-checkpoint)"
+                                    .to_owned(),
+                            ),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn check_wave_callers(fi: usize, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (open, close) in call_arg_ranges(file, "parallel_map_waves") {
+        let call_tok = file.tokens[open - 1];
+        if file.in_test(call_tok.start) {
+            continue;
+        }
+        if !range_has_ident_containing(file, open, close + 1, CANCEL_NEEDLES) {
+            out.push(Diagnostic {
+                rule: "cancellation-checkpoint",
+                category: "waves",
+                file: fi,
+                start: call_tok.start,
+                end: call_tok.end,
+                message: "parallel_map_waves called without a cancellation checkpoint".to_owned(),
+                note: Some(
+                    "pass `|| cancel.checkpoint()` (or equivalent) — the wave structure exists \
+                     so cancellation is observed between waves"
+                        .to_owned(),
+                ),
+            });
+        }
+    }
+}
+
+/// True when token `i` starts a loop: `for` (not `impl .. for`, not HRTB
+/// `for<'a>`), `while`, or `loop` followed by `{`.
+fn is_loop_keyword(file: &SourceFile, i: usize) -> bool {
+    if file.is_ident(i, "while") {
+        return true;
+    }
+    if file.is_ident(i, "loop") {
+        return file.is_punct(i + 1, '{');
+    }
+    if file.is_ident(i, "for") {
+        return !file.is_punct(i + 1, '<');
+    }
+    false
+}

@@ -1,0 +1,250 @@
+//! **fingerprint-completeness** — cache keys must fingerprint every
+//! result-affecting field (PRs 3 and 5).
+//!
+//! The server's result cache serves whatever the key says is equal. A
+//! `QueryOptions` field that changes the response but is missing from
+//! `options_fingerprint` makes the cache serve **stale bytes** — the
+//! exact hazard PR 5 dodged by hand when `plan` joined the key. The same
+//! applies to `GraphDatabase::fingerprint` versus the stored state, and
+//! to the wire-protocol `QueryRequest` versus the key built for it.
+//!
+//! For each configured (struct, fingerprint-fn) pair, every field of the
+//! struct must either be referenced inside the fingerprint function (or,
+//! for `QueryRequest`, inside the `QueryKey::with_database` call that
+//! builds the key) **or** appear on an explicit exemption list:
+//!
+//! ```text
+//! // gss-lint: exempt(QueryOptions::threads) — thread count never changes the bytes (PR 3)
+//! ```
+//!
+//! A justification is mandatory, and an exemption for a field that *is*
+//! hashed is reported as stale — the list cannot drift in either
+//! direction.
+
+use crate::diag::Diagnostic;
+use crate::source::{DirectiveKind, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+/// One struct/fingerprint-fn pair to audit.
+struct Target {
+    /// Path suffix + struct name.
+    struct_file: &'static str,
+    struct_name: &'static str,
+    /// Path suffix + fn name of the fingerprint function.
+    fn_file: &'static str,
+    fn_name: &'static str,
+    /// When set, only the argument lists of calls to this `A::b` path
+    /// inside the fn count as "hashed" (the key-construction call).
+    call: Option<(&'static str, &'static str)>,
+}
+
+const TARGETS: &[Target] = &[
+    Target {
+        struct_file: "core/src/query.rs",
+        struct_name: "QueryOptions",
+        fn_file: "core/src/cachekey.rs",
+        fn_name: "options_fingerprint",
+        call: None,
+    },
+    Target {
+        struct_file: "core/src/database.rs",
+        struct_name: "GraphDatabase",
+        fn_file: "core/src/database.rs",
+        fn_name: "fingerprint",
+        call: None,
+    },
+    Target {
+        struct_file: "server/src/engine.rs",
+        struct_name: "QueryRequest",
+        fn_file: "server/src/engine.rs",
+        fn_name: "parse_query",
+        call: Some(("QueryKey", "with_database")),
+    },
+];
+
+/// See the module docs.
+pub struct FingerprintCompleteness;
+
+impl Rule for FingerprintCompleteness {
+    fn id(&self) -> &'static str {
+        "fingerprint-completeness"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for t in TARGETS {
+            check_target(ws, t, out);
+        }
+    }
+}
+
+fn check_target(ws: &Workspace, t: &Target, out: &mut Vec<Diagnostic>) {
+    // Both files must be present; a partial workspace (single-file lint,
+    // fixtures for another rule) skips the target silently.
+    let (Some(sfi), Some(ffi)) = (ws.file_matching(t.struct_file), ws.file_matching(t.fn_file))
+    else {
+        return;
+    };
+    let sfile = &ws.files[sfi];
+    let ffile = &ws.files[ffi];
+    let Some(strukt) = sfile.structs.iter().find(|s| s.name == t.struct_name) else {
+        out.push(Diagnostic {
+            rule: "fingerprint-completeness",
+            category: "missing-target",
+            file: sfi,
+            start: 0,
+            end: 0,
+            message: format!(
+                "expected struct `{}` in {} (fingerprint audit target)",
+                t.struct_name, sfile.path
+            ),
+            note: Some("update the target table in gss-lint if the struct moved".to_owned()),
+        });
+        return;
+    };
+    let Some(func) = ffile
+        .functions
+        .iter()
+        .find(|f| f.name == t.fn_name && f.body.is_some())
+    else {
+        out.push(Diagnostic {
+            rule: "fingerprint-completeness",
+            category: "missing-target",
+            file: ffi,
+            start: 0,
+            end: 0,
+            message: format!(
+                "expected fn `{}` in {} (fingerprint of `{}`)",
+                t.fn_name, ffile.path, t.struct_name
+            ),
+            note: Some("update the target table in gss-lint if the fn moved".to_owned()),
+        });
+        return;
+    };
+    let (open, close) = func.body.expect("filtered on body.is_some()");
+
+    // The token ranges that count as "hashed".
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    match t.call {
+        None => regions.push((open, close + 1)),
+        Some((owner, method)) => {
+            let mut i = open;
+            while i + 4 < close {
+                if ffile.is_ident(i, owner)
+                    && ffile.is_punct(i + 1, ':')
+                    && ffile.is_punct(i + 2, ':')
+                    && ffile.is_ident(i + 3, method)
+                    && ffile.is_punct(i + 4, '(')
+                {
+                    regions.push((i + 4, ffile.match_delim(i + 4) + 1));
+                }
+                i += 1;
+            }
+            if regions.is_empty() {
+                out.push(Diagnostic {
+                    rule: "fingerprint-completeness",
+                    category: "missing-target",
+                    file: ffi,
+                    start: ffile.tokens[func.name_tok].start,
+                    end: ffile.tokens[func.name_tok].end,
+                    message: format!(
+                        "`{}` never calls `{owner}::{method}` — the key construction the \
+                         `{}` audit hooks into",
+                        t.fn_name, t.struct_name
+                    ),
+                    note: Some("update the target table in gss-lint if the call moved".to_owned()),
+                });
+                return;
+            }
+        }
+    }
+
+    // Exemptions may live in either file (they belong next to the
+    // fingerprint fn, but the struct file also works).
+    let exemptions: Vec<(&SourceFile, &crate::source::Directive, &str)> = [ffile, sfile]
+        .iter()
+        .flat_map(|f| f.directives.iter().map(move |d| (*f, d)))
+        .filter_map(|(f, d)| match &d.kind {
+            DirectiveKind::Exempt { owner, field } if owner == t.struct_name => {
+                Some((f, d, field.as_str()))
+            }
+            _ => None,
+        })
+        .collect();
+
+    for field in &strukt.fields {
+        let hashed = regions
+            .iter()
+            .any(|&(s, e)| (s..e.min(ffile.tokens.len())).any(|i| ffile.is_ident(i, &field.name)));
+        let exempt = exemptions.iter().find(|(_, _, f)| *f == field.name);
+        match (hashed, exempt) {
+            (false, None) => {
+                let tok = sfile.tokens[field.name_tok];
+                out.push(Diagnostic {
+                    rule: "fingerprint-completeness",
+                    category: "unhashed-field",
+                    file: sfi,
+                    start: tok.start,
+                    end: tok.end,
+                    message: format!(
+                        "field `{}` of `{}` is not covered by `{}` and not exempted",
+                        field.name, t.struct_name, t.fn_name
+                    ),
+                    note: Some(format!(
+                        "a result-affecting field missing from the fingerprint serves stale \
+                         cached bytes; hash it in `{}`, or exempt it with `// gss-lint: \
+                         exempt({}::{}) — <why it cannot change the response>`",
+                        t.fn_name, t.struct_name, field.name
+                    )),
+                });
+            }
+            (true, Some((efile, dir, _))) => {
+                let efi = ws
+                    .files
+                    .iter()
+                    .position(|f| std::ptr::eq(f, *efile))
+                    .expect("exemption file is in the workspace");
+                out.push(Diagnostic {
+                    rule: "fingerprint-completeness",
+                    category: "stale-exemption",
+                    file: efi,
+                    start: dir.start,
+                    end: dir.end,
+                    message: format!(
+                        "stale exemption: `{}::{}` is referenced by `{}`",
+                        t.struct_name, field.name, t.fn_name
+                    ),
+                    note: Some(
+                        "the field is hashed now — drop the exemption so the list stays honest"
+                            .to_owned(),
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Exemptions naming fields the struct no longer has are dead weight.
+    for (efile, dir, fname) in &exemptions {
+        if !strukt.fields.iter().any(|f| f.name == *fname) {
+            let efi = ws
+                .files
+                .iter()
+                .position(|f| std::ptr::eq(f, *efile))
+                .expect("exemption file is in the workspace");
+            out.push(Diagnostic {
+                rule: "fingerprint-completeness",
+                category: "stale-exemption",
+                file: efi,
+                start: dir.start,
+                end: dir.end,
+                message: format!(
+                    "exemption names unknown field `{}::{}`",
+                    t.struct_name, fname
+                ),
+                note: Some("the struct has no such field — remove the exemption".to_owned()),
+            });
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! **lock-discipline** — no solver/engine call while a cache or queue
+//! `MutexGuard` is live (PR 3).
+//!
+//! The server's shared state (the sharded result cache, the admission
+//! queue) is guarded by plain mutexes sized for microsecond critical
+//! sections. Holding one across a solver call turns a 50 µs lock into a
+//! multi-second one: every connection thread hashing into that cache
+//! shard stalls, the admission queue backs up, and backpressure fires
+//! for reasons no profiler will attribute correctly. The dispatcher
+//! deliberately pops jobs *out* of the queue lock before evaluating.
+//!
+//! In the `gss-server` crate, after any `.lock()` the rule scans the
+//! guard's live range — the rest of the statement for a temporary guard,
+//! the rest of the enclosing block for a `let`-bound one (an explicit
+//! `drop(guard)` ends it early) — and flags calls into the evaluation
+//! engine (`evaluate_batch`, `graph_similarity_*`, solver entry points).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+use super::Rule;
+
+/// Engine/solver entry points that must not run under a lock.
+const BANNED_CALLS: &[&str] = &[
+    "evaluate_batch",
+    "graph_similarity_skyline",
+    "graph_similarity_skyline_batch",
+    "graph_similarity_skyband",
+    "try_graph_similarity_skyline",
+    "try_graph_similarity_skyline_batch",
+    "try_graph_similarity_skyband",
+    "compute_primitives",
+    "exact_ged",
+    "maximum_common_subgraph",
+    "max_clique",
+    "find_embedding",
+];
+
+/// See the module docs.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !file.path.contains("server/src/") {
+                continue;
+            }
+            for i in 0..file.tokens.len() {
+                if !(file.is_ident(i, "lock")
+                    && i > 0
+                    && file.is_punct(i - 1, '.')
+                    && file.is_punct(i + 1, '('))
+                {
+                    continue;
+                }
+                if file.in_test(file.tokens[i].start) {
+                    continue;
+                }
+                let (start, end, guard) = guard_live_range(file, i);
+                for j in start..end.min(file.tokens.len()) {
+                    if let Some(g) = &guard {
+                        // drop(guard) releases early.
+                        if file.is_ident(j, "drop")
+                            && file.is_punct(j + 1, '(')
+                            && file.is_ident(j + 2, g)
+                            && file.is_punct(j + 3, ')')
+                        {
+                            break;
+                        }
+                    }
+                    if file.tokens[j].kind == TokKind::Ident
+                        && BANNED_CALLS.contains(&file.tok_str(j))
+                        && (file.is_punct(j + 1, '(')
+                            || (file.is_punct(j + 1, ':') && file.is_punct(j + 2, ':')))
+                    {
+                        let tok = file.tokens[j];
+                        let (lock_line, _) = file.line_col(file.tokens[i].start);
+                        out.push(Diagnostic {
+                            rule: "lock-discipline",
+                            category: "call-under-lock",
+                            file: fi,
+                            start: tok.start,
+                            end: tok.end,
+                            message: format!(
+                                "`{}` called while the MutexGuard from line {lock_line} is live",
+                                file.tok_str(j)
+                            ),
+                            note: Some(
+                                "cache/queue critical sections are sized for microseconds; \
+                                 copy what you need out of the guard (or drop(guard)) before \
+                                 calling into the engine"
+                                    .to_owned(),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The token range in which the guard produced by the `.lock()` at token
+/// `i` is live, plus the guard's binding name when `let`-bound.
+///
+/// - `let g = x.lock()…;` → from the `;` to the end of the enclosing
+///   block, guard name `g`.
+/// - `x.lock()….field = v;` (temporary) → to the end of the statement.
+/// - `if let Ok(g) = x.lock() { … }` / `match x.lock() { … }` → the
+///   brace block that follows.
+fn guard_live_range(file: &SourceFile, lock_tok: usize) -> (usize, usize, Option<String>) {
+    // Find the statement start: walk back to the previous `;`, `{` or `}`.
+    let mut s = lock_tok;
+    let mut depth = 0i64;
+    while s > 0 {
+        let prev = s - 1;
+        if file.tokens[prev].kind == TokKind::Punct {
+            match file.text.as_bytes()[file.tokens[prev].start] {
+                b')' | b']' => depth += 1,
+                b'(' | b'[' => depth -= 1,
+                b';' | b'{' | b'}' if depth <= 0 => break,
+                _ => {}
+            }
+        }
+        s = prev;
+    }
+    let is_let = file.is_ident(s, "let")
+        || (file.is_ident(s, "if") || file.is_ident(s, "while")) && file.is_ident(s + 1, "let");
+    let guard_name = if file.is_ident(s, "let") {
+        let name_tok = if file.is_ident(s + 1, "mut") {
+            s + 2
+        } else {
+            s + 1
+        };
+        (file.tokens[name_tok].kind == TokKind::Ident).then(|| file.tok_str(name_tok).to_owned())
+    } else {
+        None
+    };
+    // Find the statement end going forward: `;` at relative depth 0, or a
+    // `{` (an if-let / match / while-let body).
+    let mut depth = 0i64;
+    let mut j = lock_tok + 1;
+    while j < file.tokens.len() {
+        if file.tokens[j].kind == TokKind::Punct {
+            match file.text.as_bytes()[file.tokens[j].start] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b';' if depth <= 0 => {
+                    return if is_let {
+                        let end = file
+                            .enclosing_block(lock_tok)
+                            .map_or(file.tokens.len(), |(_, close)| close);
+                        (j + 1, end, guard_name)
+                    } else {
+                        (lock_tok, j, None)
+                    };
+                }
+                b'{' if depth <= 0 => {
+                    // The guard lives inside the following block.
+                    return (j, file.match_delim(j), guard_name);
+                }
+                b'}' if depth < 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    (lock_tok, j, guard_name)
+}

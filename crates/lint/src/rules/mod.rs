@@ -1,0 +1,81 @@
+//! The rule registry. Each rule enforces one engine invariant; see the
+//! module docs of each rule for the invariant, the PR that introduced
+//! it, and what a violation looks like.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+pub mod cancellation;
+pub mod fingerprint;
+pub mod lock_discipline;
+pub mod no_alloc;
+pub mod no_panic;
+pub mod parity;
+
+/// The id of the directive meta-rule (malformed/unjustified directives).
+/// Not a registry rule and not a valid `allow(...)` target — the checks
+/// that keep the allowlist honest cannot themselves be allowed away.
+pub const DIRECTIVES: &str = "lint-directives";
+
+/// One registered rule.
+pub trait Rule {
+    /// Stable rule id (the `allow(...)` target).
+    fn id(&self) -> &'static str;
+    /// Runs the rule over the whole workspace, appending findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered rule, in reporting order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(fingerprint::FingerprintCompleteness),
+        Box::new(no_alloc::NoAllocInKernel),
+        Box::new(cancellation::CancellationCheckpoint),
+        Box::new(no_panic::NoPanicInRequestPath),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(parity::ReferenceParityDrift),
+    ]
+}
+
+/// The ids of every registered rule (valid `allow(...)` targets).
+pub fn rule_ids() -> Vec<&'static str> {
+    registry().iter().map(|r| r.id()).collect()
+}
+
+/// True when token `i` is an identifier equal to `s` with a `.` before
+/// it and a `(` after it — a method call `.s(...)`.
+pub(crate) fn is_method_call(file: &SourceFile, i: usize, s: &str) -> bool {
+    file.is_ident(i, s) && i > 0 && file.is_punct(i - 1, '.') && file.is_punct(i + 1, '(')
+}
+
+/// Finds every call to `name` (an identifier followed by `(` that is not
+/// its own declaration) and yields the token range of the argument list
+/// (open paren index, close paren index).
+pub(crate) fn call_arg_ranges(file: &SourceFile, name: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_ident(i, name)
+            && file.is_punct(i + 1, '(')
+            && !(i > 0 && file.is_ident(i - 1, "fn"))
+        {
+            out.push((i + 1, file.match_delim(i + 1)));
+        }
+    }
+    out
+}
+
+/// True when any token in `[start, end)` is an identifier containing
+/// `needle` (case-sensitive substring) — used for the cancellation
+/// heuristics (`cancel`, `cancels`, `cancel_token`, `is_cancelled`…).
+pub(crate) fn range_has_ident_containing(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    needles: &[&str],
+) -> bool {
+    (start..end.min(file.tokens.len())).any(|i| {
+        file.tokens[i].kind == crate::lexer::TokKind::Ident
+            && needles.iter().any(|n| file.tok_str(i).contains(n))
+    })
+}

@@ -1,0 +1,115 @@
+//! **no-alloc-in-kernel** — marked solver hot regions must not allocate
+//! (PR 4).
+//!
+//! The ~10× solver speedup of the bitset kernels came from making the
+//! GED/MCS/VF2 search recursions and the `gss_graph::bitset` word
+//! operations allocation-free: per-depth buffers are preallocated and
+//! reused, candidate sets are word-parallel row intersections, the
+//! incumbent is recorded into a reusable best-buffer. One stray `vec!`
+//! or `.clone()` in a function that runs millions of times per query
+//! silently gives the win back without failing any test.
+//!
+//! Functions marked `// gss-lint: kernel` are checked for allocating
+//! constructs: `vec!`/`format!`, `.clone()`, `.to_vec()`, `.to_owned()`,
+//! `.to_string()`, `.collect()`, and `Type::new`/`with_capacity`/`from`
+//! on the std owning containers. `clone_from`/`copy_from_slice` into
+//! reusable buffers are the sanctioned alternatives and are not flagged.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+use super::Rule;
+
+/// Allocating constructors: `Owner::method` pairs.
+const OWNING_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque", "Rc", "Arc",
+];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Allocating method calls.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+
+/// See the module docs.
+pub struct NoAllocInKernel;
+
+impl Rule for NoAllocInKernel {
+    fn id(&self) -> &'static str {
+        "no-alloc-in-kernel"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            for f in &file.functions {
+                if !f.kernel {
+                    continue;
+                }
+                let Some((open, close)) = f.body else {
+                    continue;
+                };
+                for i in open..=close.min(file.tokens.len() - 1) {
+                    if let Some((message, tok)) = allocation_at(file, i) {
+                        out.push(Diagnostic {
+                            rule: "no-alloc-in-kernel",
+                            category: "alloc",
+                            file: fi,
+                            start: file.tokens[tok].start,
+                            end: file.tokens[tok].end,
+                            message: format!(
+                                "{message} inside kernel fn `{}` (marked `gss-lint: kernel`)",
+                                f.name
+                            ),
+                            note: Some(
+                                "hot-path allocations undo the PR 4 bitset-kernel win; reuse a \
+                                 caller-provided buffer (clone_from / copy_from_slice) or hoist \
+                                 the allocation out of the marked region"
+                                    .to_owned(),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If token `i` begins an allocating construct, returns the message and
+/// the index of the token to report.
+fn allocation_at(file: &SourceFile, i: usize) -> Option<(String, usize)> {
+    // vec![...] / format!(...)
+    if file.is_punct(i + 1, '!') {
+        let name = file.tok_str(i);
+        if file.tokens[i].kind == crate::lexer::TokKind::Ident && ALLOC_MACROS.contains(&name) {
+            return Some((format!("`{name}!` allocates"), i));
+        }
+    }
+    // .clone() / .to_vec() / .collect::<..>() …
+    for m in ALLOC_METHODS {
+        if file.is_ident(i, m)
+            && i > 0
+            && file.is_punct(i - 1, '.')
+            && (file.is_punct(i + 1, '(') || file.is_punct(i + 1, ':'))
+        {
+            return Some((format!("`.{m}()` allocates"), i));
+        }
+    }
+    // Vec::new / String::with_capacity / Box::from …
+    if OWNING_TYPES.contains(&file.tok_str(i))
+        && file.is_punct(i + 1, ':')
+        && file.is_punct(i + 2, ':')
+        && file
+            .tokens
+            .get(i + 3)
+            .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+        && ALLOC_CTORS.contains(&file.tok_str(i + 3))
+    {
+        return Some((
+            format!("`{}::{}` allocates", file.tok_str(i), file.tok_str(i + 3)),
+            i,
+        ));
+    }
+    None
+}

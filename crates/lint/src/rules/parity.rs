@@ -1,0 +1,232 @@
+//! **reference-parity-drift** — the retained reference solvers must keep
+//! kernel-compatible signatures (PR 4).
+//!
+//! PR 4 rewrote the GED/MCS hot paths around bitset kernels and kept the
+//! original implementations verbatim in `gss_ged::reference` /
+//! `gss_mcs::reference` as parity oracles: property tests call the
+//! kernel and the reference with the same inputs and assert identical
+//! costs, witnesses and expanded counts. That oracle only binds while
+//! the two signatures agree — if a kernel entry point gains a parameter
+//! or changes its return shape and the reference does not (or vice
+//! versa), the parity tests quietly compare less than they claim.
+//!
+//! For every `pub fn` in a reference module, the rule derives the kernel
+//! counterpart's name (`reference_exact_ged` → `exact_ged`,
+//! `max_clique_reference` → `max_clique_expanded` / `max_clique`) and
+//! compares the normalized parameter types and return type token-for-
+//! token (parameter names and lifetimes are ignored).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{FnItem, SourceFile};
+use crate::Workspace;
+
+use super::Rule;
+
+/// Reference module → candidate kernel modules.
+const PAIRS: &[(&str, &[&str])] = &[
+    ("ged/src/reference.rs", &["ged/src/exact.rs"]),
+    (
+        "mcs/src/reference.rs",
+        &["mcs/src/exact.rs", "mcs/src/product.rs"],
+    ),
+];
+
+/// See the module docs.
+pub struct ReferenceParityDrift;
+
+impl Rule for ReferenceParityDrift {
+    fn id(&self) -> &'static str {
+        "reference-parity-drift"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (ref_suffix, kernel_suffixes) in PAIRS {
+            let Some(rfi) = ws.file_matching(ref_suffix) else {
+                continue;
+            };
+            let kernels: Vec<usize> = kernel_suffixes
+                .iter()
+                .filter_map(|s| ws.file_matching(s))
+                .collect();
+            if kernels.is_empty() {
+                continue;
+            }
+            let rfile = &ws.files[rfi];
+            for f in &rfile.functions {
+                if !f.is_pub || f.body.is_none() || rfile.in_test(rfile.tokens[f.fn_tok].start) {
+                    continue;
+                }
+                let Some(base) = f
+                    .name
+                    .strip_prefix("reference_")
+                    .or_else(|| f.name.strip_suffix("_reference"))
+                else {
+                    continue; // helpers without the naming convention
+                };
+                let ref_sig = normalized_signature(rfile, f);
+                // Prefer the `_expanded` variant (same return shape as the
+                // reference, which reports expanded counts), fall back to
+                // the bare name.
+                let mut found_name = None;
+                let mut matched = false;
+                'outer: for cand in [format!("{base}_expanded"), base.to_owned()] {
+                    for &kfi in &kernels {
+                        let kfile = &ws.files[kfi];
+                        if let Some(kf) = kfile
+                            .functions
+                            .iter()
+                            .find(|k| k.is_pub && k.name == cand && k.body.is_some())
+                        {
+                            found_name = Some((kfi, cand.clone()));
+                            if normalized_signature(kfile, kf) == ref_sig {
+                                matched = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                    if found_name.is_some() {
+                        break;
+                    }
+                }
+                let tok = rfile.tokens[f.name_tok];
+                match (matched, found_name) {
+                    (true, _) => {}
+                    (false, Some((kfi, kname))) => {
+                        let kfile = &ws.files[kfi];
+                        let kf = kfile
+                            .functions
+                            .iter()
+                            .find(|k| k.name == kname)
+                            .expect("just located by name");
+                        out.push(Diagnostic {
+                            rule: "reference-parity-drift",
+                            category: "signature",
+                            file: rfi,
+                            start: tok.start,
+                            end: tok.end,
+                            message: format!(
+                                "`{}` drifted from its kernel counterpart `{}` ({})",
+                                f.name, kname, kfile.path
+                            ),
+                            note: Some(format!(
+                                "the parity oracle compares these two; reference takes `{ref_sig}` \
+                                 but the kernel takes `{}` — keep them identical",
+                                normalized_signature(kfile, kf)
+                            )),
+                        });
+                    }
+                    (false, None) => {
+                        out.push(Diagnostic {
+                            rule: "reference-parity-drift",
+                            category: "missing-kernel",
+                            file: rfi,
+                            start: tok.start,
+                            end: tok.end,
+                            message: format!(
+                                "reference fn `{}` has no kernel counterpart `{base}` / \
+                                 `{base}_expanded`",
+                                f.name
+                            ),
+                            note: Some(
+                                "a reference without a kernel is a dead oracle; remove it or \
+                                 restore the kernel entry point"
+                                    .to_owned(),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The comparable shape of a signature: parameter *types* (names
+/// dropped) and the return type, as space-joined token text with
+/// lifetimes removed. `&'a Graph` and `&Graph` normalize identically.
+fn normalized_signature(file: &SourceFile, f: &FnItem) -> String {
+    // Parameter list: the first `(` after the name (skipping generics).
+    let mut i = f.name_tok + 1;
+    let mut angle = 0i64;
+    while i < file.tokens.len() {
+        if file.tokens[i].kind == TokKind::Punct {
+            match file.text.as_bytes()[file.tokens[i].start] {
+                b'<' => angle += 1,
+                b'>' if !(i > 0 && file.is_punct(i - 1, '-')) => angle -= 1,
+                b'(' if angle <= 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let open = i;
+    let close = file.match_delim(open);
+    let mut params: Vec<String> = Vec::new();
+    let mut j = open + 1;
+    let mut start = j;
+    let mut depth = 0i64;
+    let mut angle = 0i64;
+    while j <= close {
+        let at_end = j == close;
+        let is_sep = !at_end
+            && file.tokens[j].kind == TokKind::Punct
+            && file.text.as_bytes()[file.tokens[j].start] == b','
+            && depth == 0
+            && angle <= 0;
+        if at_end || is_sep {
+            if j > start {
+                params.push(param_type(file, start, j));
+            }
+            start = j + 1;
+        } else if file.tokens[j].kind == TokKind::Punct {
+            match file.text.as_bytes()[file.tokens[j].start] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'<' => angle += 1,
+                b'>' if !(j > 0 && file.is_punct(j - 1, '-')) => angle -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    // Return type: `-> …` up to the body `{` / `;` / `where`.
+    let mut ret = String::new();
+    if file.is_punct(close + 1, '-') && file.is_punct(close + 2, '>') {
+        let stop = f.body.map_or(file.tokens.len(), |(o, _)| o);
+        for k in close + 3..stop {
+            if file.is_ident(k, "where") {
+                break;
+            }
+            if file.tokens[k].kind == TokKind::Lifetime {
+                continue;
+            }
+            if !ret.is_empty() {
+                ret.push(' ');
+            }
+            ret.push_str(file.tok_str(k));
+        }
+    }
+    format!("({}) -> {}", params.join(", "), ret)
+}
+
+/// The type part of one parameter (`x: &Graph` → `& Graph`; a bare
+/// `self`/`&mut self` keeps its own shape), lifetimes dropped.
+fn param_type(file: &SourceFile, start: usize, end: usize) -> String {
+    let colon = (start..end).find(|&k| {
+        file.is_punct(k, ':')
+            && !file.is_punct(k + 1, ':')
+            && !(k > start && file.is_punct(k - 1, ':'))
+    });
+    let from = colon.map_or(start, |c| c + 1);
+    let mut s = String::new();
+    for k in from..end {
+        if file.tokens[k].kind == TokKind::Lifetime {
+            continue;
+        }
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(file.tok_str(k));
+    }
+    s
+}

@@ -1,0 +1,755 @@
+//! The per-file source model the rules consume: tokens plus a light
+//! item index (functions, structs with fields, test regions) and the
+//! parsed `gss-lint:` directives.
+//!
+//! This is deliberately **not** a parser. A brace-matched token stream
+//! with item anchors is enough for every rule in the registry, keeps the
+//! crate std-only (no `syn`), and degrades gracefully: code the model
+//! cannot classify is simply not checked, never misreported.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// What a `gss-lint:` comment directive asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(<rule>)` or `allow(<rule>[<category>])`: suppress matching
+    /// diagnostics in the directive's scope.
+    Allow {
+        /// Rule id, e.g. `no-panic-in-request-path`.
+        rule: String,
+        /// Optional diagnostic category, e.g. `index`.
+        category: Option<String>,
+    },
+    /// `exempt(<Struct>::<field>)`: the field is deliberately excluded
+    /// from its fingerprint function (fingerprint-completeness rule).
+    Exempt {
+        /// The struct the field belongs to.
+        owner: String,
+        /// The exempted field.
+        field: String,
+    },
+    /// `kernel`: the next `fn` is an allocation-free hot region
+    /// (no-alloc-in-kernel rule).
+    Kernel,
+}
+
+/// Where an `allow` directive applies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectiveScope {
+    /// Diagnostics on this 1-based line (trailing comment, or the line
+    /// right below an own-line comment).
+    Line(usize),
+    /// Diagnostics anywhere in this byte range (an own-line comment
+    /// directly above an `fn` covers the whole item).
+    Span(usize, usize),
+}
+
+/// One parsed `gss-lint:` directive.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// The request.
+    pub kind: DirectiveKind,
+    /// Prose after the directive — the required justification.
+    pub justification: String,
+    /// Byte span of the comment carrying the directive.
+    pub start: usize,
+    /// End of the comment.
+    pub end: usize,
+    /// Where the directive applies.
+    pub scope: DirectiveScope,
+}
+
+/// One `fn` item (any nesting depth, closures excluded).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// Token index of the name.
+    pub name_tok: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token indices of the body `{` and `}`; `None` for bodyless
+    /// declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Whether the declaration is `pub` (any visibility restriction
+    /// counts).
+    pub is_pub: bool,
+    /// Whether a `// gss-lint: kernel` marker precedes the item.
+    pub kernel: bool,
+}
+
+/// One named field of a struct.
+#[derive(Clone, Debug)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// Token index of the field name.
+    pub name_tok: usize,
+}
+
+/// One `struct` item with named fields (tuple and unit structs have an
+/// empty field list).
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    /// The struct name.
+    pub name: String,
+    /// Token index of the name.
+    pub name_tok: usize,
+    /// The named fields, in declaration order.
+    pub fields: Vec<FieldItem>,
+}
+
+/// One lexed + indexed source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The file contents.
+    pub text: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+    /// Parsed `gss-lint:` directives.
+    pub directives: Vec<Directive>,
+    /// Directive parse errors: `(comment span, message)` — surfaced by
+    /// the engine as `lint-directives` diagnostics.
+    pub directive_errors: Vec<(usize, usize, String)>,
+    /// Every `fn` item.
+    pub functions: Vec<FnItem>,
+    /// Every `struct` item.
+    pub structs: Vec<StructItem>,
+    line_starts: Vec<usize>,
+    test_regions: Vec<(usize, usize)>,
+}
+
+const RANGE_OPEN: &[u8] = b"([{";
+const RANGE_CLOSE: &[u8] = b")]}";
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    pub fn new(path: impl Into<String>, text: String) -> SourceFile {
+        let lexed = lex(&text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = SourceFile {
+            path: path.into().replace('\\', "/"),
+            text,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            directives: Vec::new(),
+            directive_errors: Vec::new(),
+            functions: Vec::new(),
+            structs: Vec::new(),
+            line_starts,
+            test_regions: Vec::new(),
+        };
+        file.functions = file.scan_functions();
+        file.structs = file.scan_structs();
+        file.test_regions = file.scan_test_regions();
+        file.scan_directives();
+        file
+    }
+
+    /// 1-based `(line, column)` of a byte offset (columns count bytes).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The text of a 1-based line, without its newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&e| e.saturating_sub(1));
+        self.text[start..end].trim_end_matches('\r')
+    }
+
+    /// The source text of token `i`.
+    pub fn tok_str(&self, i: usize) -> &str {
+        let t = self.tokens[i];
+        &self.text[t.start..t.end]
+    }
+
+    /// True when token `i` is the identifier `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && &self.text[t.start..t.end] == s)
+    }
+
+    /// True when token `i` is the punctuation character `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.text[t.start..t.end].starts_with(c))
+    }
+
+    /// Given the token index of an opening `(`/`[`/`{`, returns the index
+    /// of its matching close (or the last token when unbalanced).
+    pub fn match_delim(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for i in open..self.tokens.len() {
+            let t = self.tokens[i];
+            if t.kind == TokKind::Punct {
+                let b = self.text.as_bytes()[t.start];
+                if RANGE_OPEN.contains(&b) {
+                    depth += 1;
+                } else if RANGE_CLOSE.contains(&b) {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i;
+                    }
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    /// True when the byte offset falls inside `#[test]` / `#[cfg(test)]`
+    /// code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The byte span of the innermost brace block containing token `i`,
+    /// as token indices of `{` and `}`.
+    pub fn enclosing_block(&self, i: usize) -> Option<(usize, usize)> {
+        let mut stack: Vec<usize> = Vec::new();
+        for (j, t) in self.tokens.iter().enumerate() {
+            if j >= i {
+                break;
+            }
+            if t.kind == TokKind::Punct {
+                match self.text.as_bytes()[t.start] {
+                    b'{' => stack.push(j),
+                    b'}' => {
+                        stack.pop();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop().map(|open| (open, self.match_delim(open)))
+    }
+
+    // ---- item scanning -------------------------------------------------
+
+    fn scan_functions(&self) -> Vec<FnItem> {
+        let mut out = Vec::new();
+        for i in 0..self.tokens.len() {
+            if !self.is_ident(i, "fn") {
+                continue;
+            }
+            let Some(name_t) = self.tokens.get(i + 1) else {
+                continue;
+            };
+            if name_t.kind != TokKind::Ident {
+                continue;
+            }
+            // Find the body `{` (or the `;` of a bodyless declaration) at
+            // paren/bracket depth 0 after the signature.
+            let mut depth = 0i64;
+            let mut body = None;
+            for j in i + 2..self.tokens.len() {
+                let t = self.tokens[j];
+                if t.kind != TokKind::Punct {
+                    continue;
+                }
+                match self.text.as_bytes()[t.start] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        body = Some((j, self.match_delim(j)));
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            out.push(FnItem {
+                name: self.tok_str(i + 1).to_owned(),
+                name_tok: i + 1,
+                fn_tok: i,
+                body,
+                is_pub: self.decl_is_pub(i),
+                kernel: false,
+            });
+        }
+        out
+    }
+
+    /// Looks backwards from the `fn` keyword over qualifiers
+    /// (`const`/`unsafe`/`async`/`extern "C"`) for a `pub`.
+    fn decl_is_pub(&self, fn_tok: usize) -> bool {
+        let mut i = fn_tok;
+        while i > 0 {
+            i -= 1;
+            let t = self.tokens[i];
+            match t.kind {
+                TokKind::Ident => match self.tok_str(i) {
+                    "const" | "unsafe" | "async" | "extern" => continue,
+                    "pub" => return true,
+                    _ => return false,
+                },
+                TokKind::Str => continue, // the "C" of extern "C"
+                TokKind::Punct if self.is_punct(i, ')') => {
+                    // pub(crate) and friends: skip back over the group.
+                    let mut depth = 1i64;
+                    while i > 0 && depth > 0 {
+                        i -= 1;
+                        if self.is_punct(i, ')') {
+                            depth += 1;
+                        } else if self.is_punct(i, '(') {
+                            depth -= 1;
+                        }
+                    }
+                    continue;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn scan_structs(&self) -> Vec<StructItem> {
+        let mut out = Vec::new();
+        for i in 0..self.tokens.len() {
+            if !self.is_ident(i, "struct") {
+                continue;
+            }
+            let Some(name_t) = self.tokens.get(i + 1) else {
+                continue;
+            };
+            if name_t.kind != TokKind::Ident {
+                continue;
+            }
+            // Skip generics (angle-aware; `->` inside Fn bounds must not
+            // close an angle) up to `{`, `(`, or `;`.
+            let mut angle = 0i64;
+            let mut fields = Vec::new();
+            for j in i + 2..self.tokens.len() {
+                if self.tokens[j].kind != TokKind::Punct {
+                    continue;
+                }
+                match self.text.as_bytes()[self.tokens[j].start] {
+                    b'<' => angle += 1,
+                    b'>' if !(j > 0 && self.is_punct(j - 1, '-')) => angle -= 1,
+                    b'{' if angle <= 0 => {
+                        fields = self.scan_fields(j, self.match_delim(j));
+                        break;
+                    }
+                    b'(' | b';' if angle <= 0 => break,
+                    _ => {}
+                }
+            }
+            out.push(StructItem {
+                name: self.tok_str(i + 1).to_owned(),
+                name_tok: i + 1,
+                fields,
+            });
+        }
+        out
+    }
+
+    fn scan_fields(&self, open: usize, close: usize) -> Vec<FieldItem> {
+        let mut out = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            // Skip attributes and visibility.
+            if self.is_punct(j, '#') && self.is_punct(j + 1, '[') {
+                j = self.match_delim(j + 1) + 1;
+                continue;
+            }
+            if self.is_ident(j, "pub") {
+                j += 1;
+                if self.is_punct(j, '(') {
+                    j = self.match_delim(j) + 1;
+                }
+                continue;
+            }
+            if self.tokens[j].kind == TokKind::Ident
+                && self.is_punct(j + 1, ':')
+                && !self.is_punct(j + 2, ':')
+            {
+                out.push(FieldItem {
+                    name: self.tok_str(j).to_owned(),
+                    name_tok: j,
+                });
+                // Skip the type up to the `,` at depth 0.
+                let mut depth = 0i64;
+                let mut angle = 0i64;
+                j += 2;
+                while j < close {
+                    if self.tokens[j].kind == TokKind::Punct {
+                        match self.text.as_bytes()[self.tokens[j].start] {
+                            b'(' | b'[' | b'{' => depth += 1,
+                            b')' | b']' | b'}' => depth -= 1,
+                            b'<' => angle += 1,
+                            b'>' if !(j > 0 && self.is_punct(j - 1, '-')) => angle -= 1,
+                            b',' if depth == 0 && angle <= 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            j += 1;
+        }
+        out
+    }
+
+    fn scan_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i + 1 < self.tokens.len() {
+            if self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+                let close = self.match_delim(i + 1);
+                let mut has_test = false;
+                let mut has_not = false;
+                for j in i + 2..close {
+                    if self.is_ident(j, "test") {
+                        has_test = true;
+                    }
+                    if self.is_ident(j, "not") {
+                        has_not = true;
+                    }
+                }
+                let mut resume = close + 1;
+                if has_test && !has_not {
+                    // The attributed item's body: the first `{` at
+                    // paren/bracket depth 0 (skipping further attributes).
+                    let mut depth = 0i64;
+                    let mut j = close + 1;
+                    while j < self.tokens.len() {
+                        if self.is_punct(j, '#') && self.is_punct(j + 1, '[') {
+                            j = self.match_delim(j + 1) + 1;
+                            continue;
+                        }
+                        if self.tokens[j].kind == TokKind::Punct {
+                            match self.text.as_bytes()[self.tokens[j].start] {
+                                b'(' | b'[' => depth += 1,
+                                b')' | b']' => depth -= 1,
+                                b'{' if depth == 0 => {
+                                    let end = self.match_delim(j);
+                                    out.push((self.tokens[j].start, self.tokens[end].end));
+                                    resume = end + 1;
+                                    break;
+                                }
+                                b';' if depth == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                i = resume;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    // ---- directive scanning --------------------------------------------
+
+    fn scan_directives(&mut self) {
+        let mut directives = Vec::new();
+        let mut errors = Vec::new();
+        let mut kernel_marks: Vec<usize> = Vec::new();
+        for (ci, c) in self.comments.iter().enumerate() {
+            let text = &self.text[c.start..c.end];
+            // Doc comments (`///`, `//!`, `/**`, `/*!`) are prose — the
+            // lint's own documentation describes the directive syntax
+            // without issuing directives.
+            if text.starts_with("///")
+                || text.starts_with("//!")
+                || text.starts_with("/**")
+                || text.starts_with("/*!")
+            {
+                continue;
+            }
+            let Some(pos) = text.find("gss-lint:") else {
+                continue;
+            };
+            let rest = text[pos + "gss-lint:".len()..]
+                .trim_start()
+                .trim_end_matches("*/")
+                .trim_end();
+            let (kind, tail) = if let Some(args) = rest.strip_prefix("allow(") {
+                match split_paren(args) {
+                    Some((inner, tail)) => {
+                        let (rule, category) = match inner.split_once('[') {
+                            Some((r, c)) => (
+                                r.trim().to_owned(),
+                                Some(c.trim_end_matches(']').trim().to_owned()),
+                            ),
+                            None => (inner.trim().to_owned(), None),
+                        };
+                        (DirectiveKind::Allow { rule, category }, tail)
+                    }
+                    None => {
+                        errors.push((c.start, c.end, "unclosed `allow(`".to_owned()));
+                        continue;
+                    }
+                }
+            } else if let Some(args) = rest.strip_prefix("exempt(") {
+                match split_paren(args) {
+                    Some((inner, tail)) => match inner.split_once("::") {
+                        Some((owner, field)) => (
+                            DirectiveKind::Exempt {
+                                owner: owner.trim().to_owned(),
+                                field: field.trim().to_owned(),
+                            },
+                            tail,
+                        ),
+                        None => {
+                            errors.push((
+                                c.start,
+                                c.end,
+                                "exempt() takes `Struct::field`".to_owned(),
+                            ));
+                            continue;
+                        }
+                    },
+                    None => {
+                        errors.push((c.start, c.end, "unclosed `exempt(`".to_owned()));
+                        continue;
+                    }
+                }
+            } else if let Some(tail) = rest.strip_prefix("kernel") {
+                (DirectiveKind::Kernel, tail)
+            } else {
+                errors.push((
+                    c.start,
+                    c.end,
+                    format!(
+                        "unknown gss-lint directive {:?} (expected allow(...), exempt(...) or kernel)",
+                        rest.split_whitespace().next().unwrap_or("")
+                    ),
+                ));
+                continue;
+            };
+            let justification = tail
+                .trim_start_matches(|ch: char| {
+                    ch.is_whitespace() || matches!(ch, '—' | '–' | '-' | ':' | ',')
+                })
+                .trim()
+                .to_owned();
+            let scope = self.directive_scope(ci, &kind, &mut kernel_marks);
+            directives.push(Directive {
+                kind,
+                justification,
+                start: c.start,
+                end: c.end,
+                scope,
+            });
+        }
+        for fn_idx in kernel_marks {
+            self.functions[fn_idx].kernel = true;
+        }
+        self.directives = directives;
+        self.directive_errors = errors;
+    }
+
+    /// Resolves where a directive applies; `kernel_marks` collects the
+    /// functions flagged by `kernel` directives.
+    fn directive_scope(
+        &self,
+        comment_idx: usize,
+        kind: &DirectiveKind,
+        kernel_marks: &mut Vec<usize>,
+    ) -> DirectiveScope {
+        let c = self.comments[comment_idx];
+        let (comment_line, _) = self.line_col(c.start);
+        // A trailing comment (code before it on the same line) covers
+        // that line.
+        let own_line = !self
+            .tokens
+            .iter()
+            .any(|t| t.end <= c.start && self.line_col(t.start).0 == comment_line);
+        if !own_line {
+            return DirectiveScope::Line(comment_line);
+        }
+        // Own-line comment: find the next code token.
+        let next = self.tokens.iter().position(|t| t.start >= c.end);
+        let Some(mut j) = next else {
+            return DirectiveScope::Line(comment_line);
+        };
+        // If the next item is an `fn` (skipping attributes + qualifiers),
+        // the directive covers the whole item.
+        let mut probe = j;
+        let mut steps = 0;
+        while probe < self.tokens.len() && steps < 16 {
+            if self.is_punct(probe, '#') && self.is_punct(probe + 1, '[') {
+                probe = self.match_delim(probe + 1) + 1;
+                continue;
+            }
+            if self.is_ident(probe, "fn") {
+                if let Some(fi) = self.functions.iter().position(|f| f.fn_tok == probe) {
+                    if matches!(kind, DirectiveKind::Kernel) {
+                        kernel_marks.push(fi);
+                    }
+                    let f = &self.functions[fi];
+                    let end = f.body.map_or(self.tokens[f.name_tok].end, |(_, close)| {
+                        self.tokens[close].end
+                    });
+                    return DirectiveScope::Span(self.tokens[f.fn_tok].start, end);
+                }
+                break;
+            }
+            match self.tokens[probe].kind {
+                TokKind::Ident
+                    if matches!(
+                        self.tok_str(probe),
+                        "pub" | "const" | "unsafe" | "async" | "extern" | "crate"
+                    ) => {}
+                TokKind::Punct if self.is_punct(probe, '(') => {
+                    probe = self.match_delim(probe) + 1;
+                    continue;
+                }
+                TokKind::Str => {}
+                _ => break,
+            }
+            probe += 1;
+            steps += 1;
+        }
+        // Otherwise it covers the next code line.
+        j = next.unwrap_or(j);
+        DirectiveScope::Line(self.line_col(self.tokens[j].start).0)
+    }
+}
+
+/// Splits `"inner) tail"` into `("inner", " tail")`.
+fn split_paren(s: &str) -> Option<(&str, &str)> {
+    let i = s.find(')')?;
+    Some((&s[..i], &s[i + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs", src.to_owned())
+    }
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let f = file("pub fn a() { b(); }\nfn b() {}\ntrait T { fn c(&self); }");
+        let names: Vec<&str> = f.functions.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(f.functions[0].is_pub);
+        assert!(!f.functions[1].is_pub);
+        assert!(f.functions[0].body.is_some());
+        assert!(f.functions[2].body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn finds_struct_fields() {
+        let f = file(
+            "pub struct S<T: Fn() -> u64> {\n    #[serde(skip)]\n    pub a: Vec<(u8, u8)>,\n    b: T,\n}\nstruct Unit;\nstruct Tup(u8);",
+        );
+        assert_eq!(f.structs.len(), 3);
+        let fields: Vec<&str> = f.structs[0]
+            .fields
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
+        assert_eq!(fields, ["a", "b"]);
+        assert!(f.structs[1].fields.is_empty());
+        assert!(f.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let f = file(src);
+        let live = src.find("live").unwrap();
+        let helper = src.find("helper").unwrap();
+        assert!(!f.in_test(live));
+        assert!(f.in_test(helper));
+        let f2 = file("#[cfg(not(test))]\nfn shipped() {}\n");
+        assert!(!f2.in_test(f2.text.find("shipped").unwrap()));
+    }
+
+    #[test]
+    fn parses_allow_directives_with_scopes() {
+        let src = "\
+fn f() {
+    let a = 1; // gss-lint: allow(no-panic-in-request-path) — trailing
+    // gss-lint: allow(lock-discipline[x]) — own line
+    let b = 2;
+}
+// gss-lint: allow(no-alloc-in-kernel) — whole fn
+fn g() { let c = 3; }
+";
+        let f = file(src);
+        assert_eq!(f.directives.len(), 3);
+        assert_eq!(f.directives[0].scope, DirectiveScope::Line(2));
+        assert_eq!(f.directives[1].scope, DirectiveScope::Line(4));
+        match f.directives[2].scope {
+            DirectiveScope::Span(s, e) => {
+                let g = src.find("fn g").unwrap();
+                assert!(s <= g && e >= src.rfind('}').unwrap());
+            }
+            ref other => panic!("expected fn scope, got {other:?}"),
+        }
+        assert_eq!(f.directives[1].justification, "own line");
+        match &f.directives[1].kind {
+            DirectiveKind::Allow { rule, category } => {
+                assert_eq!(rule, "lock-discipline");
+                assert_eq!(category.as_deref(), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exempt_and_kernel_directives() {
+        let src = "\
+// gss-lint: exempt(QueryOptions::threads) — never changes the bytes
+fn options_fingerprint() {}
+// gss-lint: kernel
+fn hot() {}
+";
+        let f = file(src);
+        assert_eq!(f.directives.len(), 2);
+        assert!(matches!(
+            &f.directives[0].kind,
+            DirectiveKind::Exempt { owner, field } if owner == "QueryOptions" && field == "threads"
+        ));
+        assert!(f.functions[1].kernel, "kernel marker flags `hot`");
+        assert!(!f.functions[0].kernel);
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        let f = file("// gss-lint: frobnicate\nfn x() {}\n");
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(f.directive_errors[0].2.contains("unknown"));
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let f = file("ab\ncd\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+        assert_eq!(f.line_text(2), "cd");
+    }
+}

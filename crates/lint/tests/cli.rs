@@ -1,0 +1,112 @@
+//! End-to-end tests of the `gss-lint` binary: exit codes, rendered
+//! output, `--json` report shape, `--list-rules`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gss-lint"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gss-lint-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = bin().arg("--list-rules").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "fingerprint-completeness",
+        "no-alloc-in-kernel",
+        "cancellation-checkpoint",
+        "no-panic-in-request-path",
+        "lock-discipline",
+        "reference-parity-drift",
+        "lint-directives",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn a_violation_fails_with_a_span_accurate_diagnostic() {
+    let dir = scratch_dir("bad");
+    let file = dir.join("server/src/server.rs");
+    std::fs::create_dir_all(file.parent().expect("parent")).expect("mkdir");
+    std::fs::write(
+        &file,
+        "pub fn handle(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+
+    let out = bin().arg(&file).output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "violations exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error[no-panic-in-request-path]"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("server.rs:2:7"), "span-accurate: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_report_carries_rule_path_and_position() {
+    let dir = scratch_dir("json");
+    let file = dir.join("server/src/cache.rs");
+    std::fs::create_dir_all(file.parent().expect("parent")).expect("mkdir");
+    std::fs::write(
+        &file,
+        "pub fn get(v: Option<u32>) -> u32 {\n    v.expect(\"set\")\n}\n",
+    )
+    .expect("write fixture");
+    let report = dir.join("lint.json");
+
+    let out = bin()
+        .arg(&file)
+        .arg("--json")
+        .arg(&report)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(
+        json.contains("\"rule\":\"no-panic-in-request-path\""),
+        "{json}"
+    );
+    assert!(json.contains("\"category\":\"expect\""), "{json}");
+    assert!(
+        json.contains("\"line\":2") && json.contains("\"col\":7"),
+        "{json}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_real_workspace_exits_zero() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = bin()
+        .args(["--workspace", "--deny-all", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("clean across"), "{stderr}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = bin().output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "no input is a usage error");
+    let out = bin().arg("--frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}

@@ -1,0 +1,20 @@
+pub struct CancelToken;
+
+impl CancelToken {
+    pub fn checkpoint(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn stage(cancel: &CancelToken, items: &[u32]) -> Result<u32, ()> {
+    let mut sum = 0;
+    for x in items {
+        cancel.checkpoint()?;
+        sum += *x;
+    }
+    // gss-lint: allow(cancellation-checkpoint) — fixture: bounded bookkeeping loop
+    for _ in 0..4 {
+        sum += 1;
+    }
+    Ok(sum)
+}

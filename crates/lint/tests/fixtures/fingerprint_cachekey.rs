@@ -1,0 +1,4 @@
+// gss-lint: exempt(QueryOptions::plan) — fixture: stale, plan IS hashed below
+pub fn options_fingerprint(o: &QueryOptions) -> u64 {
+    (o.measures as u64) ^ (o.plan as u64)
+}

@@ -1,0 +1,5 @@
+pub struct QueryOptions {
+    pub measures: u32,
+    pub threads: usize,
+    pub plan: u8,
+}

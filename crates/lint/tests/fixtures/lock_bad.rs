@@ -1,0 +1,22 @@
+use std::sync::Mutex;
+
+pub fn dispatch(m: &Mutex<Vec<u32>>) -> u32 {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    evaluate_batch(&guard)
+}
+
+pub fn dispatch_scoped(m: &Mutex<Vec<u32>>) -> u32 {
+    let jobs = {
+        let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+        guard.len() as u32
+    };
+    compute(jobs)
+}
+
+fn compute(x: u32) -> u32 {
+    x
+}
+
+fn evaluate_batch(xs: &[u32]) -> u32 {
+    xs.iter().sum()
+}

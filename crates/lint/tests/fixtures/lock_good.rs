@@ -1,0 +1,12 @@
+use std::sync::Mutex;
+
+pub fn dispatch(m: &Mutex<Vec<u32>>) -> u32 {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    let jobs: u32 = guard.len() as u32;
+    drop(guard);
+    evaluate_batch(jobs)
+}
+
+fn evaluate_batch(x: u32) -> u32 {
+    x
+}

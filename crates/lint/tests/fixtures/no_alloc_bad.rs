@@ -1,0 +1,13 @@
+// gss-lint: kernel — fixture: marked hot region
+pub fn kernel_step(xs: &[u32], out: &mut Vec<u32>) {
+    let copy = xs.to_vec();
+    let tmp = vec![0u32; xs.len()];
+    let buf: Vec<u32> = Vec::new();
+    out.extend_from_slice(&copy);
+    out.extend_from_slice(&tmp);
+    out.extend_from_slice(&buf);
+}
+
+pub fn unmarked_may_allocate(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

@@ -1,0 +1,9 @@
+// gss-lint: kernel — fixture: allocation-free hot region
+pub fn kernel_step(xs: &[u32], buf: &mut [u32]) -> u32 {
+    buf[..xs.len()].copy_from_slice(xs);
+    let mut sum = 0;
+    for w in buf.iter() {
+        sum += *w;
+    }
+    sum
+}

@@ -1,0 +1,16 @@
+// gss-lint: allow(no-panic-in-request-path[index]) — fixture: indices produced by enumerate over the same slice
+pub fn route(xs: &[u32]) -> u32 {
+    let mut sum = 0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+    }
+    sum
+}
+
+pub fn poisoned(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub fn one_line(v: Option<u32>) -> u32 {
+    v.unwrap() // gss-lint: allow(no-panic-in-request-path) — fixture: trailing allow on one line
+}

@@ -1,0 +1,18 @@
+pub fn handle(v: Option<u32>, xs: &[u32]) -> u32 {
+    let a = v.unwrap();
+    let b = xs[0];
+    let c = v.expect("present");
+    if a > c {
+        panic!("unreachable");
+    }
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

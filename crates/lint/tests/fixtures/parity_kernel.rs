@@ -1,0 +1,8 @@
+pub fn exact_ged(a: &u32, b: &u32, tighten: bool) -> u64 {
+    let base = (*a as u64) + (*b as u64);
+    if tighten {
+        base
+    } else {
+        base + 1
+    }
+}

@@ -1,0 +1,11 @@
+pub fn reference_exact_ged(a: &u32, b: &u32) -> u64 {
+    (*a as u64) + (*b as u64)
+}
+
+pub fn orphan_reference(a: u32) -> u32 {
+    a
+}
+
+pub fn helper_without_convention(a: u32) -> u32 {
+    a
+}

@@ -1,0 +1,232 @@
+//! Rule-by-rule fixture tests: each fixture under `tests/fixtures/` is
+//! registered under a *virtual* workspace path the rule watches, and the
+//! diagnostics are pinned to exact `(rule, category, line, col)` spans so
+//! a regression in the lexer, the item model, or a rule's span
+//! arithmetic fails loudly.
+
+use gss_lint::{Diagnostic, Workspace};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn spans(ws: &Workspace, diags: &[Diagnostic]) -> Vec<(String, String, usize, usize)> {
+    diags
+        .iter()
+        .map(|d| {
+            let (line, col) = ws.files[d.file].line_col(d.start);
+            (d.rule.to_owned(), d.category.to_owned(), line, col)
+        })
+        .collect()
+}
+
+#[test]
+fn no_panic_flags_each_category_at_exact_spans() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/server.rs", fixture("no_panic_bad.rs"));
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            ("no-panic-in-request-path".into(), "unwrap".into(), 2, 15),
+            ("no-panic-in-request-path".into(), "index".into(), 3, 15),
+            ("no-panic-in-request-path".into(), "expect".into(), 4, 15),
+            ("no-panic-in-request-path".into(), "panic".into(), 6, 9),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn no_panic_allows_suppress_by_category_and_line() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/cache.rs", fixture("no_panic_allowed.rs"));
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
+fn no_panic_ignores_unwatched_paths() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/core/src/measures.rs", fixture("no_panic_bad.rs"));
+    assert!(ws.run().is_empty(), "rule must only watch the request path");
+}
+
+#[test]
+fn no_alloc_flags_marked_kernels_only() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/x/src/lib.rs", fixture("no_alloc_bad.rs"));
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            ("no-alloc-in-kernel".into(), "alloc".into(), 3, 19),
+            ("no-alloc-in-kernel".into(), "alloc".into(), 4, 15),
+            ("no-alloc-in-kernel".into(), "alloc".into(), 5, 25),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn no_alloc_accepts_buffer_reuse() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/x/src/lib.rs", fixture("no_alloc_good.rs"));
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
+fn cancellation_flags_unchecked_loops_and_wave_callers() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/core/src/exec.rs", fixture("cancellation_bad.rs"));
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            ("cancellation-checkpoint".into(), "loop".into(), 11, 5),
+            ("cancellation-checkpoint".into(), "waves".into(), 19, 5),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn cancellation_accepts_checkpointed_and_allowed_loops() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/core/src/exec.rs", fixture("cancellation_good.rs"));
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
+fn fingerprint_flags_unhashed_fields_and_stale_exemptions() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/core/src/query.rs", fixture("fingerprint_query.rs"));
+    ws.add_file(
+        "crates/core/src/cachekey.rs",
+        fixture("fingerprint_cachekey.rs"),
+    );
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            // `threads` is neither hashed nor exempted (field token).
+            (
+                "fingerprint-completeness".into(),
+                "unhashed-field".into(),
+                3,
+                9
+            ),
+            // `plan` IS hashed, so its exemption is stale (directive span).
+            (
+                "fingerprint-completeness".into(),
+                "stale-exemption".into(),
+                1,
+                1
+            ),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn fingerprint_accepts_exempted_fields() {
+    let mut ws = Workspace::new();
+    ws.add_file(
+        "crates/core/src/query.rs",
+        "pub struct QueryOptions {\n    pub measures: u32,\n    // gss-lint: exempt(QueryOptions::threads) — fixture: never changes the bytes\n    pub threads: usize,\n}\n"
+            .to_owned(),
+    );
+    ws.add_file(
+        "crates/core/src/cachekey.rs",
+        "pub fn options_fingerprint(o: &QueryOptions) -> u64 {\n    o.measures as u64\n}\n"
+            .to_owned(),
+    );
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
+fn lock_discipline_flags_engine_calls_under_a_live_guard() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/dispatch.rs", fixture("lock_bad.rs"));
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![("lock-discipline".into(), "call-under-lock".into(), 5, 5)],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn lock_discipline_accepts_drop_before_the_call() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/dispatch.rs", fixture("lock_good.rs"));
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
+fn parity_flags_signature_drift_and_dead_oracles() {
+    let mut ws = Workspace::new();
+    ws.add_file(
+        "crates/ged/src/reference.rs",
+        fixture("parity_reference.rs"),
+    );
+    ws.add_file("crates/ged/src/exact.rs", fixture("parity_kernel.rs"));
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            ("reference-parity-drift".into(), "signature".into(), 1, 8),
+            (
+                "reference-parity-drift".into(),
+                "missing-kernel".into(),
+                5,
+                8
+            ),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+    // The drift note shows both normalized signatures.
+    let note = diags[0].note.as_deref().unwrap_or("");
+    assert!(
+        note.contains("(& u32, & u32) -> u64") && note.contains("(& u32, & u32, bool) -> u64"),
+        "note must show both signatures: {note}"
+    );
+}
+
+#[test]
+fn parity_accepts_matching_signatures() {
+    let mut ws = Workspace::new();
+    ws.add_file(
+        "crates/ged/src/reference.rs",
+        "pub fn reference_exact_ged(a: &u32, b: &u32) -> u64 {\n    (*a as u64) + (*b as u64)\n}\n"
+            .to_owned(),
+    );
+    ws.add_file(
+        "crates/ged/src/exact.rs",
+        "pub fn exact_ged(x: &u32, y: &u32) -> u64 {\n    (*x as u64) + (*y as u64)\n}\n"
+            .to_owned(),
+    );
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+fn render_all(ws: &Workspace, diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.render(&ws.files[d.file]))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

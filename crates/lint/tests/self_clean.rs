@@ -1,0 +1,30 @@
+//! The dogfood gate in test form: the real workspace must lint clean.
+//! This is the same check CI's `lint` job runs via `cargo lint`, kept
+//! here too so `cargo test` alone catches a reintroduced violation.
+
+use gss_lint::Workspace;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let ws = Workspace::load(&root).expect("load workspace sources");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk found only {} files — load() is broken",
+        ws.files.len()
+    );
+    let diags = ws.run();
+    let rendered: String = diags
+        .iter()
+        .map(|d| d.render(&ws.files[d.file]))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean; {} diagnostic(s):\n{rendered}",
+        diags.len()
+    );
+}

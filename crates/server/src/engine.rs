@@ -42,15 +42,18 @@ pub enum Request {
 /// One admitted skyline query.
 pub struct QueryRequest {
     /// Client correlation id, echoed back in the response.
+    // gss-lint: exempt(QueryRequest::id) — per-request correlation metadata, echoed in the envelope around the cached document, never inside it
     pub id: Option<Value>,
     /// The parsed query graph.
     pub graph: Graph,
     /// Effective options (server base + per-request overrides).
     pub options: QueryOptions,
     /// The result-cache key.
+    // gss-lint: exempt(QueryRequest::key) — the key IS the fingerprint (the with_database output), not an input to it
     pub key: QueryKey,
     /// Absolute execution deadline: the dispatcher drops the request if it
     /// is still queued past this instant.
+    // gss-lint: exempt(QueryRequest::deadline) — scheduling metadata; an expired request gets an error envelope, never a cached document
     pub deadline: Instant,
 }
 
@@ -259,6 +262,7 @@ impl Engine {
     /// in [`crate::ServerStats::cancelled`], distinct from the in-queue
     /// `deadline_expired` drops). Duplicates share one evaluation, so its
     /// token fires only once the **latest** duplicate deadline passed.
+    // gss-lint: allow(no-panic-in-request-path[index]) — all indices are positions produced by enumerate() over the same `jobs`/`reps`/`responses` slices; in-bounds by construction
     pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<String> {
         let mut responses: Vec<Option<String>> = (0..jobs.len()).map(|_| None).collect();
         // Group by options fingerprint, preserving first-seen order.
@@ -286,7 +290,8 @@ impl Engine {
                         .filter(|&&i| jobs[i].key == jobs[r].key)
                         .map(|&i| jobs[i].deadline)
                         .max()
-                        .expect("a representative represents at least itself");
+                        // A representative represents at least itself.
+                        .unwrap_or(jobs[r].deadline);
                     CancelToken::with_deadline(latest)
                 })
                 .collect();
@@ -304,14 +309,30 @@ impl Engine {
                 match &results[k] {
                     Ok(result) => {
                         let pretty = gss_core::to_json(&self.db, result);
-                        let result = Value::parse(&pretty)
-                            .expect("explain output is valid JSON")
-                            .to_compact();
-                        self.cache.insert(jobs[rep].key, result.clone());
-                        for &i in &members {
-                            if jobs[i].key == jobs[rep].key {
-                                responses[i] =
-                                    Some(Engine::ok_response(&jobs[i].id, false, &result));
+                        match Value::parse(&pretty) {
+                            Ok(value) => {
+                                let result = value.to_compact();
+                                self.cache.insert(jobs[rep].key, result.clone());
+                                for &i in &members {
+                                    if jobs[i].key == jobs[rep].key {
+                                        responses[i] =
+                                            Some(Engine::ok_response(&jobs[i].id, false, &result));
+                                    }
+                                }
+                            }
+                            // Unreachable while to_json is correct, but a
+                            // serializer bug must surface as an error
+                            // envelope, not a worker panic that strands
+                            // every queued connection.
+                            Err(_) => {
+                                for &i in &members {
+                                    if jobs[i].key == jobs[rep].key {
+                                        responses[i] = Some(Engine::error_response(
+                                            &jobs[i].id,
+                                            "internal: result serialization failed",
+                                        ));
+                                    }
+                                }
                             }
                         }
                     }
@@ -328,7 +349,11 @@ impl Engine {
         }
         responses
             .into_iter()
-            .map(|r| r.expect("every job belongs to exactly one group"))
+            // Every job belongs to exactly one group; the fallback keeps
+            // a grouping bug answerable instead of panicking mid-batch.
+            .map(|r| {
+                r.unwrap_or_else(|| Engine::error_response(&None, "internal: job not evaluated"))
+            })
             .collect()
     }
 

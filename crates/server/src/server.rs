@@ -109,7 +109,10 @@ impl AdmissionQueue {
     /// Admits a job unless the queue is full or draining (the job is
     /// boxed so rejection hands it back without a large copy).
     fn push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        // Poison recovery: a panicked worker must not take the whole
+        // queue down with it; the state it guards stays structurally
+        // valid (push_back / drain are not interruptible mid-update).
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         if state.draining || state.jobs.len() >= self.capacity {
             return Err(job);
         }
@@ -121,7 +124,7 @@ impl AdmissionQueue {
     /// Blocks for the next batch (up to `max` jobs); `None` once the queue
     /// is draining *and* empty.
     fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !state.jobs.is_empty() {
                 let take = max.max(1).min(state.jobs.len());
@@ -130,13 +133,16 @@ impl AdmissionQueue {
             if state.draining {
                 return None;
             }
-            state = self.cond.wait(state).expect("queue poisoned");
+            state = self.cond.wait(state).unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Stops admission and wakes the dispatcher so it can drain and exit.
     fn drain(&self) {
-        self.state.lock().expect("queue poisoned").draining = true;
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .draining = true;
         self.cond.notify_all();
     }
 }

@@ -216,7 +216,7 @@ fn deadline_aborts_a_long_query_mid_evaluation() {
         ..QueryOptions::default()
     };
     let mut size = 30;
-    let (db, query) = loop {
+    let calibrated = loop {
         let w = Workload::generate(&WorkloadConfig {
             kind: WorkloadKind::Molecule,
             database_size: size,
@@ -228,15 +228,30 @@ fn deadline_aborts_a_long_query_mid_evaluation() {
         let db = GraphDatabase::from_parts(w.vocab, w.graphs);
         let token = CancelToken::with_deadline(Instant::now() + Duration::from_millis(DEADLINE_MS));
         let aborted = try_graph_similarity_skyline(&db, &w.query, &naive, &token).is_err();
-        if aborted || size >= 1920 {
+        if aborted || size >= 122_880 {
             assert!(
                 aborted,
                 "even a {size}-graph naive scan finished in {DEADLINE_MS} ms"
             );
-            break (db, w.query);
+            break size;
         }
         size *= 2;
     };
+    // Margin against CPU contention: with the whole suite running in
+    // parallel the probe can calibrate small (the contended scan is
+    // slow), yet the server evaluates later with the machine otherwise
+    // idle. A 4× larger database keeps the server-side scan past the
+    // deadline even at uncontended speed.
+    let w = Workload::generate(&WorkloadConfig {
+        kind: WorkloadKind::Molecule,
+        database_size: calibrated * 4,
+        graph_vertices: 7,
+        related_fraction: 0.3,
+        max_edits: 4,
+        seed: 0xABBA,
+    });
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+    let query = w.query;
 
     // The server evaluates the same scan (per-query single-threaded);
     // the request's deadline passes while it is being evaluated, so the
