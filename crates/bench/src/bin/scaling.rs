@@ -1,11 +1,12 @@
-//! Quick scaling-shape report (S1–S10) using plain wall-clock medians —
+//! Quick scaling-shape report (S1–S11) using plain wall-clock medians —
 //! a fast complement to the rigorous criterion benches, for smoke-checking
 //! the expected shapes (see DESIGN.md §4) in seconds instead of minutes.
 //!
 //! Usage: `cargo run --release -p gss-bench --bin scaling [-- FLAGS]`
 //!
-//! * `--smoke` — run only S7 + S8 + S9 + S10 (the committed CI smoke
-//!   workload, [`WorkloadConfig::bench_smoke`]); seconds, not minutes.
+//! * `--smoke` — run only S7 + S8 + S9 + S10 + S11 (the committed CI
+//!   smoke workload, [`WorkloadConfig::bench_smoke`]); seconds, not
+//!   minutes.
 //! * `--json PATH` — additionally write the S7 measurements as a JSON
 //!   report (the CI `BENCH_2.json` artifact).
 //! * `--serve-json PATH` — write the S8 serving measurements
@@ -19,6 +20,10 @@
 //! * `--plan-json PATH` — write the S10 planner measurements (Auto vs
 //!   each manual plan for the skyline scan, plus the pruned skyband) as a
 //!   JSON report (the CI `BENCH_5.json` artifact).
+//! * `--reactor-json PATH` — write the S11 reactor measurements (1k+
+//!   concurrent connections on ≤ 2 reactor threads: ping/query latency
+//!   percentiles, response mismatches vs. direct evaluation) as a JSON
+//!   report (the CI `BENCH_6.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
 //!   of candidates at the partition level, the S8 serving replay
@@ -31,8 +36,10 @@
 //!   cross-edge bound prunes harder) — and the S10 planner scenario
 //!   (h) shows `Plan::Auto` performing no more exact solver calls than
 //!   the best manual plan and (i) shows skyband pruning active (> 0
-//!   candidates excluded by lower bounds alone). This is the CI
-//!   perf-regression gate.
+//!   candidates excluded by lower bounds alone), and the S11 reactor
+//!   scenario (j) holds ≥ 1000 connections on ≤ 2 reactor threads with
+//!   (k) zero response mismatches and (l) a query p99 within the
+//!   recorded budget. This is the CI perf-regression gate.
 
 use std::time::Instant;
 
@@ -78,6 +85,7 @@ fn main() {
     let mut serve_json_path: Option<String> = None;
     let mut solver_json_path: Option<String> = None;
     let mut plan_json_path: Option<String> = None;
+    let mut reactor_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -113,10 +121,18 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--reactor-json" => match args.next() {
+                Some(path) => reactor_json_path = Some(path),
+                None => {
+                    eprintln!("--reactor-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
-                     --serve-json PATH, --solver-json PATH, --plan-json PATH)"
+                     --serve-json PATH, --solver-json PATH, --plan-json PATH, \
+                     --reactor-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -158,6 +174,14 @@ fn main() {
     let plan_report = s10_plans();
     if let Some(path) = &plan_json_path {
         std::fs::write(path, plan_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let reactor_report = s11_reactor();
+    if let Some(path) = &reactor_json_path {
+        std::fs::write(path, reactor_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -240,6 +264,30 @@ fn main() {
             );
             failed = true;
         }
+        if !reactor_report.gate_scale() {
+            eprintln!(
+                "GATE FAILED: the reactor scenario held {} connections on {} reactor threads \
+                 — the contract is ≥ 1000 connections on ≤ 2 threads",
+                reactor_report.connections, reactor_report.reactor_threads
+            );
+            failed = true;
+        }
+        if !reactor_report.gate_no_mismatches() {
+            eprintln!(
+                "GATE FAILED: {} of {} reactor-served responses differ from direct evaluation \
+                 (or an idle connection stopped answering)",
+                reactor_report.mismatches, reactor_report.requests
+            );
+            failed = true;
+        }
+        if !reactor_report.gate_latency() {
+            eprintln!(
+                "GATE FAILED: reactor query p99 was {:.0} µs under a {}-connection wall \
+                 (budget: {:.0} µs) — the readiness layer is stalling",
+                reactor_report.p99_us, reactor_report.connections, S11_P99_BUDGET_US
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -263,6 +311,15 @@ fn main() {
             plan_report.skyband.0.candidates - plan_report.skyband.0.verified
                 - plan_report.skyband.0.short_circuited,
             plan_report.skyband.0.candidates,
+        );
+        println!(
+            "reactor gate passed: {} connections on {} reactor threads, query p99 {:.0} µs \
+             ≤ {:.0} µs, 0 mismatches over {} requests",
+            reactor_report.connections,
+            reactor_report.reactor_threads,
+            reactor_report.p99_us,
+            S11_P99_BUDGET_US,
+            reactor_report.requests,
         );
     }
 }
@@ -969,12 +1026,12 @@ fn s8_serve() -> ServeReport {
                             // micro-batches mix distinct queries.
                             let k = (k + c + pass) % texts.len();
                             let t = Instant::now();
-                            let response = client.query_text(&texts[k], "").expect("query");
+                            let response = client.query(&texts[k]).expect("query");
                             latencies.push(t.elapsed().as_micros() as u64);
-                            let served = response
-                                .get("result")
-                                .map(Value::to_compact)
-                                .unwrap_or_default();
+                            let served = match &response {
+                                gss_server::Response::Result { result, .. } => result.clone(),
+                                _ => String::new(),
+                            };
                             if served != expected[k] {
                                 mismatches += 1;
                             }
@@ -1049,6 +1106,277 @@ fn s8_serve() -> ServeReport {
     println!(
         "{} distinct queries × {} passes over {} connections (prefilter on)",
         report.distinct_queries, report.passes, report.connections
+    );
+    println!();
+    report
+}
+
+/// Recorded S11 latency budget: p99 over the active query replay while a
+/// thousand idle connections sit on the reactor. Generous on purpose —
+/// the gate exists to catch readiness-layer stalls (missed wakeups,
+/// head-of-line blocking across connections), not to benchmark solver
+/// throughput.
+const S11_P99_BUDGET_US: f64 = 2_000_000.0;
+
+/// The S11 measurements: the epoll reactor front end holding ≥ 1k
+/// concurrent connections on ≤ 2 reactor threads — a mostly-idle wall
+/// plus an active replay subset — the `BENCH_6.json` artifact.
+struct ReactorReport {
+    connections: usize,
+    idle: usize,
+    active: usize,
+    reactor_threads: usize,
+    requests: usize,
+    wall_s: f64,
+    qps: f64,
+    ping_p50_us: f64,
+    ping_p99_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    mismatches: usize,
+}
+
+impl ReactorReport {
+    /// The scale contract from the scaling roadmap: ≥ 1k simultaneous
+    /// connections multiplexed onto at most two reactor threads.
+    fn gate_scale(&self) -> bool {
+        self.connections >= 1_000 && self.reactor_threads <= 2
+    }
+
+    fn gate_no_mismatches(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    fn gate_latency(&self) -> bool {
+        self.p99_us <= S11_P99_BUDGET_US
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"gss-bench-reactor/1\",\n  \"scale\": {{\"connections\": {}, \
+             \"idle\": {}, \"active\": {}, \"reactor_threads\": {}}},\n  \
+             \"throughput\": {{\"requests\": {}, \"wall_s\": {:.4}, \
+             \"queries_per_sec\": {:.1}}},\n  \"latency\": {{\"ping_p50_us\": {:.1}, \
+             \"ping_p99_us\": {:.1}, \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}, \
+             \"query_max_us\": {:.1}}},\n  \"gate\": {{\"connections_ge_1k_on_le_2_reactors\": {}, \
+             \"query_p99_budget_us\": {:.0}, \"query_p99_within_budget\": {}, \
+             \"zero_mismatches\": {}, \"mismatches\": {}}}\n}}\n",
+            self.connections,
+            self.idle,
+            self.active,
+            self.reactor_threads,
+            self.requests,
+            self.wall_s,
+            self.qps,
+            self.ping_p50_us,
+            self.ping_p99_us,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.gate_scale(),
+            S11_P99_BUDGET_US,
+            self.gate_latency(),
+            self.gate_no_mismatches(),
+            self.mismatches,
+        )
+    }
+}
+
+/// Reads one response line off a raw wire connection. Only safe with a
+/// single in-flight request per connection, so a trailing `\n` means the
+/// response is complete.
+fn read_wire_line(stream: &mut std::net::TcpStream) -> String {
+    use std::io::Read;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    loop {
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed the connection mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.last() == Some(&b'\n') {
+            return String::from_utf8(buf).expect("response is UTF-8");
+        }
+    }
+}
+
+fn s11_reactor() -> ReactorReport {
+    use gss_core::jsonio::Value;
+    use gss_core::GraphId;
+    use gss_server::{percentile_us, serve, Client, ServerConfig};
+    use std::io::Write;
+    use std::sync::Arc;
+
+    const IDLE: usize = 1_000;
+    const ACTIVE: usize = 16;
+    const PASSES: usize = 2;
+    const REACTOR_THREADS: usize = 2;
+
+    println!(
+        "== S11: reactor front end — {} connections on {} reactor threads ==",
+        IDLE + ACTIVE,
+        REACTOR_THREADS
+    );
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+    let mut queries: Vec<Graph> = vec![w.query.clone()];
+    for i in (0..db.len()).step_by(10) {
+        queries.push(db.get(GraphId(i)).clone());
+    }
+    let texts: Vec<String> = queries
+        .iter()
+        .map(|q| gss_graph::format::write_database(std::slice::from_ref(q), db.vocab()))
+        .collect();
+    let base = QueryOptions {
+        prefilter: true,
+        ..QueryOptions::default()
+    };
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let r = graph_similarity_skyline(&db, q, &base);
+            Value::parse(&gss_core::to_json(&db, &r))
+                .expect("explain output is valid JSON")
+                .to_compact()
+        })
+        .collect();
+
+    let handle = serve(
+        Arc::clone(&db),
+        base,
+        ServerConfig {
+            workers: 4,
+            batch_max: 8,
+            reactor_threads: REACTOR_THREADS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    // Phase 1 — the idle wall: a thousand raw connections, each proving
+    // it is registered with a round-trip ping (timed individually; these
+    // percentiles measure the readiness layer, no solver in the path).
+    let mut idle_conns: Vec<std::net::TcpStream> = (0..IDLE)
+        .map(|_| {
+            let s = std::net::TcpStream::connect(addr).expect("connect idle");
+            s.set_nodelay(true).expect("nodelay");
+            s
+        })
+        .collect();
+    let mut ping_latencies: Vec<u64> = Vec::with_capacity(IDLE);
+    for s in &mut idle_conns {
+        let t = Instant::now();
+        s.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+        let line = read_wire_line(s);
+        ping_latencies.push(t.elapsed().as_micros() as u64);
+        assert!(line.contains("\"ok\":true"), "bad pong: {line}");
+    }
+    ping_latencies.sort_unstable();
+
+    // Phase 2 — the active subset replays the smoke queries through the
+    // typed client while the idle wall stays parked on the same reactors.
+    let t0 = Instant::now();
+    let worker_results: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ACTIVE)
+            .map(|c| {
+                let texts = &texts;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect active");
+                    let mut latencies = Vec::new();
+                    let mut mismatches = 0usize;
+                    for pass in 0..PASSES {
+                        for k in 0..texts.len() {
+                            let k = (k + c + pass) % texts.len();
+                            let t = Instant::now();
+                            let response = client.query(&texts[k]).expect("query");
+                            latencies.push(t.elapsed().as_micros() as u64);
+                            let served = match &response {
+                                gss_server::Response::Result { result, .. } => result.clone(),
+                                _ => String::new(),
+                            };
+                            if served != expected[k] {
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                    (latencies, mismatches)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reactor bench worker panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Phase 3 — the storm is over; every idle connection must still be
+    // answering (a flood this time: all writes first, then all reads, so
+    // a thousand responses are in flight at once).
+    let mut mismatches = 0usize;
+    for s in &mut idle_conns {
+        s.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+    }
+    for s in &mut idle_conns {
+        if !read_wire_line(s).contains("\"ok\":true") {
+            mismatches += 1;
+        }
+    }
+
+    drop(idle_conns);
+    handle.shutdown();
+    handle.join();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for (lat, mm) in worker_results {
+        latencies.extend(lat);
+        mismatches += mm;
+    }
+    latencies.sort_unstable();
+
+    let requests = latencies.len();
+    let report = ReactorReport {
+        connections: IDLE + ACTIVE,
+        idle: IDLE,
+        active: ACTIVE,
+        reactor_threads: REACTOR_THREADS,
+        requests,
+        wall_s,
+        qps: requests as f64 / wall_s.max(1e-9),
+        ping_p50_us: percentile_us(&ping_latencies, 50),
+        ping_p99_us: percentile_us(&ping_latencies, 99),
+        p50_us: percentile_us(&latencies, 50),
+        p99_us: percentile_us(&latencies, 99),
+        max_us: *latencies.last().expect("nonempty") as f64,
+        mismatches,
+    };
+
+    let mut table = TextTable::new(vec![
+        "conns",
+        "reactors",
+        "requests",
+        "q/s",
+        "ping p99",
+        "query p50",
+        "query p99",
+        "mismatches",
+    ]);
+    table.row(vec![
+        format!("{}", report.connections),
+        format!("{}", report.reactor_threads),
+        format!("{}", report.requests),
+        format!("{:.0}", report.qps),
+        fmt_us(report.ping_p99_us),
+        fmt_us(report.p50_us),
+        fmt_us(report.p99_us),
+        format!("{}", report.mismatches),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{} idle + {} active connections; idle wall re-pinged after the replay",
+        report.idle, report.active
     );
     println!();
     report

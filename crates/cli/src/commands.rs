@@ -28,20 +28,23 @@ gss — similarity-skyline graph queries (Abbaci et al., GDM/ICDE 2011)
 USAGE:
   gss query    --db FILE (--query-name NAME | --query-file FILE)
                [--refine K] [--approx] [--prefilter] [--index IDX]
-               [--plan auto|naive|prefilter|indexed]
+               [--plan auto|naive|prefilter|indexed|sharded] [--shards N]
                [--threads N] [--algo naive|bnl|sfs] [--format text|json]
   gss measure  --db FILE --a NAME --b NAME
   gss topk     --db FILE --query-name NAME --measure ed|ned|mcs|gu [--k K]
   gss skyband  --db FILE --query-name NAME [--k K] [--approx] [--threads N]
-               [--prefilter] [--index IDX] [--plan auto|naive|prefilter|indexed]
+               [--prefilter] [--index IDX]
+               [--plan auto|naive|prefilter|indexed|sharded] [--shards N]
   gss index    build --db FILE --out IDX [--pivots K] [--rings R]
                [--exclude NAME]
   gss index    stats --index IDX [--db FILE]
   gss serve    --db FILE [--index IDX] [--addr HOST:PORT] [--workers N]
-               [--queue N] [--cache N] [--batch N] [--prefilter] [--approx]
+               [--reactor-threads N] [--shards N] [--queue N] [--cache N]
+               [--batch N] [--prefilter] [--approx]
   gss client   --addr HOST:PORT [--query-file FILE|-] [--stats] [--shutdown]
                [--bench --db FILE [--connections C] [--repeat R] [--limit N]]
                [--prefilter] [--approx] [--algo naive|bnl|sfs] [--plan PLAN]
+               [--deadline-ms MS]
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -124,7 +127,7 @@ pub(crate) fn parse_plan(args: &Args, has_index: bool) -> Result<Plan, ArgError>
         None => Plan::Auto,
         Some(token) => Plan::parse(token).ok_or_else(|| {
             ArgError(format!(
-                "unknown --plan {token:?} (auto|naive|prefilter|indexed)"
+                "unknown --plan {token:?} (auto|naive|prefilter|indexed|sharded)"
             ))
         })?,
     };
@@ -132,6 +135,16 @@ pub(crate) fn parse_plan(args: &Args, has_index: bool) -> Result<Plan, ArgError>
         return Err(ArgError(
             "--plan indexed requires --index IDX (build one with `gss index build`)".to_owned(),
         ));
+    }
+    Ok(plan)
+}
+
+/// [`parse_plan`] plus the `--shards` convenience: asking for more than
+/// one shard without naming a plan means the sharded plan.
+pub(crate) fn parse_plan_sharded(args: &Args, has_index: bool) -> Result<Plan, ArgError> {
+    let plan = parse_plan(args, has_index)?;
+    if args.get("plan").is_none() && args.get_parsed_or("shards", 1usize)? > 1 {
+        return Ok(Plan::Sharded);
     }
     Ok(plan)
 }
@@ -251,6 +264,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         "prefilter",
         "index",
         "plan",
+        "shards",
         "threads",
         "algo",
         "format",
@@ -258,7 +272,8 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
     let db = load_db(args)?;
     let (db, q) = resolve_query(db, args)?;
     let index = load_index(&db, args)?;
-    let plan = parse_plan(args, index.is_some())?;
+    let plan = parse_plan_sharded(args, index.is_some())?;
+    let shards = args.get_parsed_or("shards", 1usize)?.max(1);
     let threads = args.get_parsed_or("threads", 1usize)?;
     let algo = match args.get_or("algo", "bnl") {
         "naive" => gss_skyline::Algorithm::Naive,
@@ -275,6 +290,7 @@ pub fn query(args: &Args) -> Result<String, ArgError> {
         threads,
         skyline_algorithm: algo,
         plan,
+        shards,
         prefilter: args.flag("prefilter"),
         index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
@@ -446,17 +462,20 @@ pub fn skyband(args: &Args) -> Result<String, ArgError> {
         "prefilter",
         "index",
         "plan",
+        "shards",
     ])?;
     let db = load_db(args)?;
     let (db, q) = split_query(db, args.require("query-name")?)?;
     let index = load_index(&db, args)?;
-    let plan = parse_plan(args, index.is_some())?;
+    let plan = parse_plan_sharded(args, index.is_some())?;
+    let shards = args.get_parsed_or("shards", 1usize)?.max(1);
     let k = args.get_parsed_or("k", 2usize)?;
     let threads = args.get_parsed_or("threads", 1usize)?;
     let options = QueryOptions {
         solvers: solver_config(args),
         threads,
         plan,
+        shards,
         prefilter: args.flag("prefilter"),
         index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()

@@ -13,10 +13,10 @@ use std::time::Instant;
 
 use gss_core::jsonio::Value;
 use gss_core::QueryOptions;
-use gss_server::{percentile_us, Client, ServerConfig};
+use gss_server::{percentile_us, Client, ClientBuilder, ServerConfig};
 
 use crate::args::{ArgError, Args};
-use crate::commands::{load_db, load_index, parse_plan, read_text_input, solver_config};
+use crate::commands::{load_db, load_index, parse_plan_sharded, read_text_input, solver_config};
 
 /// `gss serve` — run the query server until a `shutdown` request drains it.
 pub fn serve(args: &Args) -> Result<String, ArgError> {
@@ -25,6 +25,8 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "index",
         "addr",
         "workers",
+        "reactor-threads",
+        "shards",
         "queue",
         "cache",
         "cache-shards",
@@ -36,7 +38,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     ])?;
     let db = load_db(args)?;
     let index = load_index(&db, args)?;
-    let plan = parse_plan(args, index.is_some())?;
+    let plan = parse_plan_sharded(args, index.is_some())?;
     let base = QueryOptions {
         solvers: solver_config(args),
         plan,
@@ -48,6 +50,8 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     let config = ServerConfig {
         addr: args.get_or("addr", "127.0.0.1:7878").to_owned(),
         workers: args.get_parsed_or("workers", defaults.workers)?,
+        reactor_threads: args.get_parsed_or("reactor-threads", defaults.reactor_threads)?,
+        shards: args.get_parsed_or("shards", defaults.shards)?,
         queue_capacity: args.get_parsed_or("queue", defaults.queue_capacity)?,
         cache_capacity: args.get_parsed_or("cache", defaults.cache_capacity)?,
         cache_shards: args.get_parsed_or("cache-shards", defaults.cache_shards)?,
@@ -69,39 +73,48 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     Ok(format!("drained; final stats: {final_stats}\n"))
 }
 
-/// Builds the protocol `options` object from client flags (empty string
-/// when every option is default).
-fn options_json(args: &Args) -> Result<String, ArgError> {
-    let mut parts: Vec<String> = Vec::new();
+/// Builds the typed client configuration from the query-option flags
+/// (the default builder when none are given).
+fn client_builder(args: &Args) -> Result<ClientBuilder, ArgError> {
+    let mut builder = Client::builder();
     if args.flag("prefilter") {
-        parts.push("\"prefilter\":true".to_owned());
+        builder = builder.prefilter(true);
     }
     if args.flag("approx") {
-        parts.push("\"approx\":true".to_owned());
+        builder = builder.approx(true);
     }
     if let Some(algo) = args.get("algo") {
-        if !matches!(algo, "naive" | "bnl" | "sfs") {
-            return Err(ArgError(format!("unknown --algo {algo:?} (naive|bnl|sfs)")));
-        }
-        parts.push(format!("\"algo\":\"{algo}\""));
+        builder = builder.algo(match algo {
+            "naive" => gss_skyline::Algorithm::Naive,
+            "bnl" => gss_skyline::Algorithm::Bnl,
+            "sfs" => gss_skyline::Algorithm::Sfs,
+            _ => return Err(ArgError(format!("unknown --algo {algo:?} (naive|bnl|sfs)"))),
+        });
     }
     if let Some(plan) = args.get("plan") {
-        if gss_core::Plan::parse(plan).is_none() {
-            return Err(ArgError(format!(
-                "unknown --plan {plan:?} (auto|naive|prefilter|indexed)"
-            )));
-        }
-        parts.push(format!("\"plan\":\"{plan}\""));
+        builder = builder.plan(gss_core::Plan::parse(plan).ok_or_else(|| {
+            ArgError(format!(
+                "unknown --plan {plan:?} (auto|naive|prefilter|indexed|sharded)"
+            ))
+        })?);
     }
-    Ok(if parts.is_empty() {
-        String::new()
-    } else {
-        format!("{{{}}}", parts.join(","))
-    })
+    if let Some(ms) = args.get("deadline-ms") {
+        builder = builder.deadline_ms(
+            ms.parse()
+                .map_err(|_| ArgError(format!("bad --deadline-ms {ms:?}")))?,
+        );
+    }
+    Ok(builder)
 }
 
 fn connect(addr: &str) -> Result<Client, ArgError> {
     Client::connect(addr).map_err(|e| ArgError(format!("cannot connect to {addr}: {e}")))
+}
+
+fn connect_with(builder: ClientBuilder, addr: &str) -> Result<Client, ArgError> {
+    builder
+        .connect(addr)
+        .map_err(|e| ArgError(format!("cannot connect to {addr}: {e}")))
 }
 
 fn io_err(e: std::io::Error) -> ArgError {
@@ -123,6 +136,7 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         "approx",
         "algo",
         "plan",
+        "deadline-ms",
         "stats",
         "shutdown",
     ])?;
@@ -133,9 +147,10 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
     if let Some(path) = args.get("query-file") {
         acted = true;
         let text = read_text_input(path, "--query-file")?;
-        let options = options_json(args)?;
-        let response = connect(addr)?.query_text(&text, &options).map_err(io_err)?;
-        let _ = writeln!(out, "{}", response.to_compact());
+        let response = connect_with(client_builder(args)?, addr)?
+            .query(&text)
+            .map_err(io_err)?;
+        out.push_str(&response.to_line());
     }
 
     if args.flag("bench") {
@@ -152,7 +167,7 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
     if args.flag("shutdown") {
         acted = true;
         let ack = connect(addr)?.shutdown().map_err(io_err)?;
-        let _ = writeln!(out, "{}", ack.to_compact());
+        out.push_str(&ack.to_line());
     }
 
     if !acted {
@@ -175,7 +190,7 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
     let limit = args.get_parsed_or("limit", db.len())?.min(db.len()).max(1);
     let repeat = args.get_parsed_or("repeat", 2usize)?.max(1);
     let connections = args.get_parsed_or("connections", 4usize)?.max(1);
-    let options = options_json(args)?;
+    let builder = client_builder(args)?;
 
     // Each query graph is serialized standalone against the shared vocab.
     let texts: Vec<String> = db
@@ -196,9 +211,9 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
         let handles: Vec<_> = (0..connections)
             .map(|worker| {
                 let texts = &texts;
-                let options = &options;
+                let builder = builder.clone();
                 scope.spawn(move || -> Result<WorkerReport, ArgError> {
-                    let mut client = connect(addr)?;
+                    let mut client = connect_with(builder, addr)?;
                     let mut report = WorkerReport {
                         latencies_us: Vec::new(),
                         sent: 0,
@@ -207,10 +222,10 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
                     for _pass in 0..repeat {
                         for text in texts.iter().skip(worker).step_by(connections) {
                             let t0 = Instant::now();
-                            let response = client.query_text(text, options).map_err(io_err)?;
+                            let response = client.query(text).map_err(io_err)?;
                             report.latencies_us.push(t0.elapsed().as_micros() as u64);
                             report.sent += 1;
-                            if response.get("ok") != Some(&Value::Bool(true)) {
+                            if !response.is_ok() {
                                 report.failures += 1;
                             }
                         }

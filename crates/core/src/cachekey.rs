@@ -203,6 +203,26 @@ mod tests {
             "thread count must not fragment the cache"
         );
 
+        let shards = QueryOptions {
+            shards: 8,
+            ..base.clone()
+        };
+        assert_eq!(
+            fp,
+            options_fingerprint(&shards),
+            "shard count must not fragment the cache (the sharded document is shard-invariant)"
+        );
+
+        let sharded_plan = QueryOptions {
+            plan: crate::exec::Plan::Sharded,
+            ..base.clone()
+        };
+        assert_ne!(
+            fp,
+            options_fingerprint(&sharded_plan),
+            "the plan itself stays in the key"
+        );
+
         let prefilter = QueryOptions {
             prefilter: true,
             ..base.clone()

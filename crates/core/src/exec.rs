@@ -26,6 +26,14 @@
 //!   partitions whose bound vector is dominated are skipped wholesale and
 //!   the survivors run through the prefilter stage. Requires
 //!   [`QueryOptions::index`].
+//! * [`Plan::Sharded`] — the candidate space is split into
+//!   [`QueryOptions::shards`] contiguous ranges; each shard runs its own
+//!   *sequential* filter-and-verify pipeline (shards, not candidates, are
+//!   what [`QueryOptions::threads`] parallelizes), and the per-shard
+//!   dominance frontiers are merged into one skyline. This is the fan-out
+//!   strategy for one huge query spread across a worker pool; the
+//!   reported document is invariant in the shard count by construction
+//!   (see [`skyline`]'s sharded assembly).
 //! * [`Plan::Auto`] (the default) — picks one of the above from what is
 //!   available: an attached index wins, otherwise the prefilter pipeline
 //!   for databases of at least [`AUTO_PREFILTER_MIN`] graphs (or when
@@ -90,6 +98,12 @@ pub enum Plan {
     /// Index partitions first, prefilter inside surviving partitions.
     /// Requires [`QueryOptions::index`].
     Indexed,
+    /// Static `N`-way partition of the candidate space
+    /// ([`QueryOptions::shards`]): each shard runs its own sequential
+    /// filter-and-verify pipeline and the per-shard frontiers are merged
+    /// into one skyline. Made for huge single queries fanning out across a
+    /// worker pool; the answer is byte-identical for every shard count.
+    Sharded,
 }
 
 impl Plan {
@@ -100,6 +114,7 @@ impl Plan {
             "naive" => Some(Plan::Naive),
             "prefilter" => Some(Plan::Prefilter),
             "indexed" => Some(Plan::Indexed),
+            "sharded" => Some(Plan::Sharded),
             _ => None,
         }
     }
@@ -111,6 +126,7 @@ impl Plan {
             Plan::Naive => "naive",
             Plan::Prefilter => "prefilter",
             Plan::Indexed => "indexed",
+            Plan::Sharded => "sharded",
         }
     }
 }
@@ -125,6 +141,8 @@ pub enum ResolvedPlan {
     Prefilter,
     /// Index partition skipping + filter-and-verify.
     Indexed,
+    /// Per-shard filter-and-verify with a merged frontier.
+    Sharded,
 }
 
 impl ResolvedPlan {
@@ -134,6 +152,7 @@ impl ResolvedPlan {
             ResolvedPlan::Naive => "naive",
             ResolvedPlan::Prefilter => "prefilter",
             ResolvedPlan::Indexed => "indexed",
+            ResolvedPlan::Sharded => "sharded",
         }
     }
 }
@@ -150,6 +169,7 @@ pub fn resolve_plan(db: &GraphDatabase, options: &QueryOptions) -> ResolvedPlan 
     match options.plan {
         Plan::Naive => ResolvedPlan::Naive,
         Plan::Prefilter => ResolvedPlan::Prefilter,
+        Plan::Sharded => ResolvedPlan::Sharded,
         Plan::Indexed => {
             assert!(
                 options.index.is_some(),
@@ -263,8 +283,9 @@ pub struct SkybandResult {
     /// The strategy the skyband ran under.
     pub plan: ResolvedPlan,
     /// Pruning counters when the filter-and-verify pipeline ran, `None`
-    /// for the naive scan. Candidates counted `pruned`/`index_skipped`
-    /// were proven out of the band by lower bounds alone — no solver ran.
+    /// for the naive and sharded scans. Candidates counted
+    /// `pruned`/`index_skipped` were proven out of the band by lower
+    /// bounds alone — no solver ran.
     pub pruning: Option<PruneStats>,
 }
 
@@ -600,6 +621,74 @@ fn prefilter_verify(
     v.run(&all, summaries)
 }
 
+/// The contiguous candidate range of shard `s` under an `S`-way static
+/// split (ranges cover `0..n` exactly, sizes differ by at most one).
+fn shard_range(n: usize, shards: usize, s: usize) -> std::ops::Range<usize> {
+    (s * n / shards)..((s + 1) * n / shards)
+}
+
+/// The verify phase of the sharded plan: each shard runs its own
+/// *sequential* [`Verifier`] over its candidate range — shards, not
+/// candidates, are the unit [`QueryOptions::threads`] parallelizes — and
+/// returns its final frontier plus every exact vector it computed.
+/// `band_k` selects the skyband frontier; `None` is a skyline scan.
+///
+/// Within a shard, the final skyline frontier equals the shard's *true
+/// local skyline*: a local skyline member's lower bound is never covered
+/// (a dominator of its bound would dominate its exact vector), so it is
+/// always verified and survives the frontier; and any frontier survivor
+/// dominated by a pruned candidate's exact vector would transitively be
+/// dominated by that candidate's verified dominator, contradicting
+/// survival. The per-shard frontiers are therefore deterministic — the
+/// shard *and* thread counts only decide how much extra verification
+/// happened along the way.
+///
+/// Each shard yields its frontier (candidate indices) and every exact
+/// vector it computed along the way.
+type ShardOutput = (Vec<usize>, Vec<(usize, GcsVector)>);
+
+fn sharded_verify(
+    db: &GraphDatabase,
+    query: &Graph,
+    options: &QueryOptions,
+    cancel: &CancelToken,
+    summaries: &[Option<PrefilterSummary>],
+    band_k: Option<usize>,
+) -> Result<Vec<ShardOutput>, Cancelled> {
+    let n = db.len();
+    let shards = options.shards.max(1).min(n.max(1));
+    let per_shard = QueryOptions {
+        threads: 1,
+        ..options.clone()
+    };
+    let results = parallel_map_indexed(shards, options.threads, |s| {
+        let frontier = match band_k {
+            None => Frontier::Skyline(Vec::new()),
+            Some(k) => Frontier::Band {
+                k,
+                verified: Vec::new(),
+            },
+        };
+        let mut v = Verifier::new(db, query, &per_shard, cancel, frontier);
+        let members: Vec<usize> = shard_range(n, shards, s).collect();
+        // gss-lint: allow(cancellation-checkpoint) — constant-time domination probes, no solver; the wave loop inside v.run checkpoints
+        for &i in &members {
+            v.try_short_circuit(i, summaries[i].as_ref().expect("all summarized"));
+        }
+        v.run(&members, summaries)?;
+        let computed: Vec<(usize, GcsVector)> = members
+            .iter()
+            .filter_map(|&i| v.exact[i].take().map(|g| (i, g)))
+            .collect();
+        let frontier = match v.frontier {
+            Frontier::Skyline(f) => f,
+            Frontier::Band { verified, .. } => verified,
+        };
+        Ok((frontier, computed))
+    });
+    results.into_iter().collect()
+}
+
 /// Computes `GSS(D, q)` through the staged executor under the resolved
 /// plan, with cooperative cancellation. This is the engine behind
 /// [`crate::graph_similarity_skyline`]; see the module docs for the stage
@@ -712,6 +801,120 @@ pub fn skyline(
 
             (v.exact, summaries, Some(v.stats))
         }
+        ResolvedPlan::Sharded => {
+            let summaries = summarize_all(db, query, options, &ctx);
+            cancel.checkpoint()?;
+            let shard_results = sharded_verify(db, query, options, cancel, &summaries, None)?;
+
+            // Divide-and-conquer merge: the skyline of the union of the
+            // per-shard skylines is the skyline of the whole database —
+            // every global member is locally non-dominated (so pooled),
+            // and every pooled non-member is dominated by a global member
+            // that is itself in the pool.
+            let mut computed: Vec<Option<GcsVector>> = vec![None; n];
+            let mut pool: Vec<usize> = Vec::new();
+            // gss-lint: allow(cancellation-checkpoint) — linear merge bookkeeping after the checkpointed shard scans returned
+            for (frontier, exacts) in shard_results {
+                pool.extend(frontier);
+                // gss-lint: allow(cancellation-checkpoint) — moves already-computed vectors, no solver
+                for (i, g) in exacts {
+                    computed[i] = Some(g);
+                }
+            }
+            pool.sort_unstable();
+            let pool_points: Vec<Vec<f64>> = pool
+                .iter()
+                .map(|&i| {
+                    computed[i]
+                        .as_ref()
+                        .expect("pooled frontiers are verified")
+                        .values
+                        .clone()
+                })
+                .collect();
+            let sky: Vec<usize> = gss_skyline::skyline(&pool_points, options.skyline_algorithm)
+                .into_iter()
+                .map(|j| pool[j])
+                .collect();
+
+            // Reporting invariance: the document must not depend on the
+            // shard count, so exact vectors are reported for exactly the
+            // skyline plus the *stragglers* — excluded candidates whose
+            // own lower bound no skyline member's exact vector dominates
+            // (the same set every unsharded plan resolves through the
+            // second witness rule). Extra vectors individual shards
+            // happened to verify are deliberately dropped; vectors the
+            // shards did not compute are filled here. Stragglers are
+            // provably dominated, so the skyline cannot change.
+            let mut in_sky = vec![false; n];
+            // gss-lint: allow(cancellation-checkpoint) — linear flag fill after the checkpointed shard scans returned
+            for &i in &sky {
+                in_sky[i] = true;
+            }
+            let sky_dominates_lower = |i: usize| {
+                let lower = &summaries[i].as_ref().expect("all summarized").lower.values;
+                sky.iter().any(|&m| {
+                    dominance::dominates(
+                        &computed[m].as_ref().expect("skyline is verified").values,
+                        lower,
+                    )
+                })
+            };
+            let stragglers: Vec<usize> = (0..n)
+                .filter(|&i| !in_sky[i] && !sky_dominates_lower(i))
+                .collect();
+            let missing: Vec<usize> = stragglers
+                .iter()
+                .copied()
+                .filter(|&i| computed[i].is_none())
+                .collect();
+            let threads = options.threads.max(1);
+            let fresh = parallel_map_waves(
+                missing.len(),
+                threads,
+                threads * NAIVE_WAVE_PER_THREAD,
+                || cancel.checkpoint(),
+                |j| {
+                    GcsVector::compute(
+                        db.get(GraphId(missing[j])),
+                        query,
+                        &options.measures,
+                        &options.solvers,
+                    )
+                },
+            )?;
+            // gss-lint: allow(cancellation-checkpoint) — linear result placement; the wave computation above checkpointed
+            for (j, g) in fresh.into_iter().enumerate() {
+                computed[missing[j]] = Some(g);
+            }
+
+            let mut exact: Vec<Option<GcsVector>> = vec![None; n];
+            // gss-lint: allow(cancellation-checkpoint) — linear reporting assembly after every solver stage returned
+            for &i in sky.iter().chain(stragglers.iter()) {
+                exact[i] = computed[i].take();
+            }
+
+            // The pruning counters are *derived* from the reported set —
+            // not from the per-shard scans, whose incidental verification
+            // totals vary with the shard count — so the stats block is
+            // invariant too. A candidate outside the reported set was
+            // excluded by lower bounds alone, which is exactly what
+            // `pruned` means in the other pruned plans.
+            let reported = sky.len() + stragglers.len();
+            let short_circuited = sky
+                .iter()
+                .chain(stragglers.iter())
+                .filter(|&&i| summaries[i].as_ref().expect("all summarized").isomorphic)
+                .count();
+            let stats = PruneStats {
+                candidates: n,
+                verified: reported - short_circuited,
+                pruned: n - reported,
+                short_circuited,
+                ..PruneStats::default()
+            };
+            (exact, summaries, Some(stats))
+        }
     };
 
     // Assembly: skyline over the verified GCS matrix. Pruned candidates
@@ -771,7 +974,11 @@ pub fn skyline(
 /// queries across [`QueryOptions::threads`] workers with one
 /// [`CancelToken`] per query (`cancels.len()` must equal `queries.len()`;
 /// each query aborts independently). Results are in query order; each
-/// entry is what [`skyline`] returns for that query with `threads = 1`.
+/// entry is what [`skyline`] returns for that query with `threads = 1` —
+/// except a *single* [`Plan::Sharded`] query, which keeps the full thread
+/// budget so one huge query fans out across its shards instead of running
+/// one shard at a time (the sharded document is thread-invariant, so the
+/// bytes are unchanged).
 pub fn skyline_batch(
     db: &GraphDatabase,
     queries: &[Graph],
@@ -783,8 +990,9 @@ pub fn skyline_batch(
         cancels.len(),
         "one CancelToken per batch query"
     );
+    let fan_out = queries.len() == 1 && options.plan == Plan::Sharded;
     let per_query = QueryOptions {
-        threads: 1,
+        threads: if fan_out { options.threads } else { 1 },
         ..options.clone()
     };
     parallel_map_indexed(queries.len(), options.threads, |i| {
@@ -862,6 +1070,31 @@ pub fn skyband(
             // ≤ each member's exact vector per dimension).
             run_partitions(&mut v, index.as_ref(), &ctx, &mut summaries)?;
             (v.exact, Some(v.stats))
+        }
+        ResolvedPlan::Sharded => {
+            let summaries = summarize_all(db, query, options, &ctx);
+            cancel.checkpoint()?;
+            // Each shard runs the band frontier over its own range; a
+            // local exclusion needs `k` *local* verified dominators, which
+            // are true dominators, so no band member is ever excluded. For
+            // the merged count the argument mirrors the band frontier's:
+            // an unverified dominator of a candidate implies `k` verified
+            // dominators by transitivity, so members (fewer than `k` true
+            // dominators) have every dominator verified and the count over
+            // the merged verified set is exact. Stats are not reported —
+            // the per-shard verification totals vary with the shard count,
+            // and unlike the skyline there is no invariant reported set to
+            // derive them from.
+            let shard_results = sharded_verify(db, query, options, cancel, &summaries, Some(k))?;
+            let mut exact: Vec<Option<GcsVector>> = vec![None; n];
+            // gss-lint: allow(cancellation-checkpoint) — linear merge bookkeeping after the checkpointed shard scans returned
+            for (_, exacts) in shard_results {
+                // gss-lint: allow(cancellation-checkpoint) — moves already-computed vectors, no solver
+                for (i, g) in exacts {
+                    exact[i] = Some(g);
+                }
+            }
+            (exact, None)
         }
     };
 
@@ -957,7 +1190,13 @@ mod tests {
 
     #[test]
     fn plan_tokens_round_trip() {
-        for plan in [Plan::Auto, Plan::Naive, Plan::Prefilter, Plan::Indexed] {
+        for plan in [
+            Plan::Auto,
+            Plan::Naive,
+            Plan::Prefilter,
+            Plan::Indexed,
+            Plan::Sharded,
+        ] {
             assert_eq!(Plan::parse(plan.name()), Some(plan));
         }
         assert_eq!(Plan::parse("quantum"), None);
@@ -1030,7 +1269,7 @@ mod tests {
         let (db, q) = paper_db();
         let token = CancelToken::new();
         token.cancel();
-        for plan in [Plan::Auto, Plan::Naive, Plan::Prefilter] {
+        for plan in [Plan::Auto, Plan::Naive, Plan::Prefilter, Plan::Sharded] {
             let opts = QueryOptions {
                 plan,
                 ..QueryOptions::default()
@@ -1090,6 +1329,74 @@ mod tests {
         assert_eq!(pruned.plan, ResolvedPlan::Prefilter);
         assert_eq!(pruned.skyline, naive.skyline);
         assert_eq!(pruned.dominated, naive.dominated);
+    }
+
+    #[test]
+    fn sharded_plan_matches_unsharded_answers_for_every_shard_count() {
+        let (db, q) = paper_db();
+        let naive = graph_similarity_skyline(&db, &q, &QueryOptions::default());
+        let mut docs: Vec<String> = Vec::new();
+        // 7 candidates: exercise one shard, balanced splits, more shards
+        // than candidates (clamped), and a degenerate giant count.
+        for shards in [1usize, 2, 3, 7, 64] {
+            let opts = QueryOptions::default().with_shards(shards);
+            let r = graph_similarity_skyline(&db, &q, &opts);
+            assert_eq!(r.plan, ResolvedPlan::Sharded, "shards={shards}");
+            assert_eq!(r.skyline, naive.skyline, "shards={shards}");
+            assert_eq!(r.dominated, naive.dominated, "shards={shards}");
+            docs.push(crate::explain::to_json(&db, &r));
+        }
+        for (i, doc) in docs.iter().enumerate() {
+            assert_eq!(
+                doc, &docs[0],
+                "sharded documents must be byte-identical across shard counts (case {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_document_is_thread_invariant() {
+        let (db, q) = paper_db();
+        let sequential = QueryOptions::default().with_shards(3);
+        let threaded = QueryOptions {
+            threads: 4,
+            ..sequential.clone()
+        };
+        let a = graph_similarity_skyline(&db, &q, &sequential);
+        let b = graph_similarity_skyline(&db, &q, &threaded);
+        assert_eq!(
+            crate::explain::to_json(&db, &a),
+            crate::explain::to_json(&db, &b)
+        );
+    }
+
+    #[test]
+    fn sharded_skyband_matches_every_other_plan() {
+        let (db, q) = paper_db();
+        for k in 1..=3 {
+            let naive =
+                crate::query::graph_similarity_skyband(&db, &q, k, &QueryOptions::default());
+            for shards in [1usize, 2, 5] {
+                let opts = QueryOptions::default().with_shards(shards);
+                let sharded = crate::query::graph_similarity_skyband(&db, &q, k, &opts);
+                assert_eq!(sharded.members, naive.members, "k={k} shards={shards}");
+                assert_eq!(sharded.plan, ResolvedPlan::Sharded);
+                assert_eq!(sharded.pruning, None);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_the_database_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 33] {
+            for shards in 1..=9usize {
+                let mut seen = Vec::new();
+                for s in 0..shards {
+                    seen.extend(shard_range(n, shards, s));
+                }
+                assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+            }
+        }
     }
 
     #[test]

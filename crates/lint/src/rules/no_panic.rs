@@ -6,7 +6,9 @@
 //! that failures flow to the wire as `{"ok":false,"error":...}`
 //! envelopes. This rule bans panic-capable constructs in the server's
 //! connection/dispatch/cache modules (`server.rs`, `engine.rs`,
-//! `cache.rs`), test code excluded:
+//! `cache.rs`), the event-driven front end (`reactor.rs`, `conn.rs` —
+//! a panic on a reactor thread strands every connection it multiplexes)
+//! and the shared wire codecs (`gss-protocol`), test code excluded:
 //!
 //! - `.unwrap()` / `.expect(...)` (categories `unwrap`, `expect`) — use
 //!   `unwrap_or_else(PoisonError::into_inner)` for mutex poisoning and
@@ -29,6 +31,9 @@ const WATCHED: &[&str] = &[
     "server/src/server.rs",
     "server/src/engine.rs",
     "server/src/cache.rs",
+    "server/src/reactor.rs",
+    "server/src/conn.rs",
+    "protocol/src/lib.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -1,0 +1,709 @@
+//! # gss-protocol — the `gss-server` wire protocol
+//!
+//! The single definition of the serving wire format, shared by the server
+//! engine, the `gss-server` client, the CLI and the loopback tests.
+//! Everything here is transport- and engine-free: typed [`Request`] /
+//! [`Response`] envelopes plus `to_line` / `from_line` codecs over
+//! newline-delimited JSON. The server parses requests through this crate
+//! and serializes responses through it **once, at the connection edge**;
+//! result documents stay pre-serialized strings so cached responses are
+//! byte-identical to fresh ones by construction.
+//!
+//! ## Wire format
+//!
+//! The protocol is **newline-delimited JSON**: one request object per
+//! line, one response object per line, over a plain TCP connection (test
+//! it with `nc`). Requests are answered in order per connection;
+//! concurrency comes from multiple connections. Every request may carry
+//! an `"id"` (string or number), echoed verbatim in the response.
+//!
+//! ### Verbs
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `{"op":"ping"}` | `{"ok":true}` |
+//! | `{"op":"stats"}` | `{"ok":true,"stats":{…}}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"draining":true}` |
+//! | `{"op":"query","graph":"t q\nv 0 C\n…"}` | `{"ok":true,"cached":false,"result":{…}}` |
+//!
+//! Anything else (including malformed JSON) gets
+//! `{"ok":false,"error":"…"}`. Two error envelopes are machine-readable:
+//! the admission rejection `{"ok":false,"error":"queue full",`
+//! `"retry_after_ms":N}` ([`Response::Backpressure`]) and the deadline
+//! expiry `{"ok":false,"error":"deadline exceeded"}`
+//! ([`Response::Expired`]).
+//!
+//! ### The `query` verb
+//!
+//! * `"graph"` (required) — the query graph in the `t/v/e` text format
+//!   (first graph of the document is used). Labels unknown to the
+//!   database are fine; they simply never match.
+//! * `"options"` (optional object) — per-request overrides of the
+//!   server's base options: `"prefilter"` (bool), `"approx"` (bool:
+//!   bipartite GED + greedy MCS), `"algo"` (`"naive"|"bnl"|"sfs"`),
+//!   `"plan"` (`"auto"|"naive"|"prefilter"|"indexed"|"sharded"`;
+//!   `"indexed"` needs a server-side index). Unknown keys are rejected.
+//! * `"deadline_ms"` (optional) — the evaluation deadline. If the request
+//!   is still waiting in the server queue when it expires it is dropped;
+//!   if it expires **mid-evaluation**, the scan is aborted at the next
+//!   wave checkpoint. Either way the response is
+//!   `{"ok":false,"error":"deadline exceeded"}`.
+//!
+//! The `"result"` payload is exactly the `gss_core::to_json` explain
+//! document (measures, per-graph GCS vectors, dominators, skyline,
+//! pruning stats when a pruned plan ran), compacted onto one line by the
+//! [`gss_core::jsonio`] writer.
+//!
+//! ## Split of responsibilities
+//!
+//! This crate owns the *shape* of the protocol: JSON structure, field
+//! types, option vocabulary, the exact response byte formats. Semantic
+//! resolution stays in the server engine: parsing the graph text against
+//! the database vocabulary, merging overrides into the base options,
+//! checking that an `"indexed"` plan has an index, building cache keys
+//! and arming deadlines. [`Request::from_line`] therefore returns a
+//! [`QueryEnvelope`] whose graph is still raw text.
+
+#![warn(missing_docs)]
+
+use gss_core::jsonio::{escape, Value};
+use gss_core::Plan;
+use gss_skyline::Algorithm;
+
+/// A parsed request line: one of the four protocol verbs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// Begin graceful drain.
+    Shutdown {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+    },
+    /// A skyline query (boxed: the envelope carries the graph text).
+    Query(Box<QueryEnvelope>),
+}
+
+/// The wire-level body of a `query` request: raw graph text plus typed
+/// option overrides. The server engine resolves it against its database
+/// and base options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryEnvelope {
+    /// Client correlation id, echoed back in the response.
+    pub id: Option<Value>,
+    /// The query graph in `t/v/e` text form (unparsed: graph semantics
+    /// belong to the engine, which owns the label vocabulary).
+    pub graph: String,
+    /// Per-request option overrides (`None` fields keep the server base).
+    pub overrides: QueryOverrides,
+    /// Evaluation deadline in milliseconds, when the client set one.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Typed per-request overrides of the server's base query options. Every
+/// field defaults to `None` — "keep the server's setting".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryOverrides {
+    /// Request (or veto) the filter-and-verify pruned scan under the
+    /// automatic plan.
+    pub prefilter: Option<bool>,
+    /// `true` selects the approximate solver pair (bipartite GED + greedy
+    /// MCS); `false` forces the exact solvers.
+    pub approx: Option<bool>,
+    /// Skyline algorithm override. The wire vocabulary is
+    /// `naive|bnl|sfs`; [`Algorithm::DivideConquer2D`] has no wire token
+    /// and is emitted as `"dc2d"`, which servers reject.
+    pub algo: Option<Algorithm>,
+    /// Evaluation plan override (`auto|naive|prefilter|indexed|sharded`).
+    pub plan: Option<Plan>,
+}
+
+impl QueryOverrides {
+    /// True when every field keeps the server default (no `"options"`
+    /// object is emitted on the wire).
+    pub fn is_empty(&self) -> bool {
+        *self == QueryOverrides::default()
+    }
+}
+
+/// A request parse failure: the correlation id (when one was readable)
+/// plus a message for the error envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Correlation id to echo, if the line got far enough to carry one.
+    pub id: Option<Value>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(id: &Option<Value>, message: impl Into<String>) -> WireError {
+        WireError {
+            id: id.clone(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn algo_token(algo: Algorithm) -> &'static str {
+    match algo {
+        Algorithm::Naive => "naive",
+        Algorithm::Bnl => "bnl",
+        Algorithm::Sfs => "sfs",
+        Algorithm::DivideConquer2D => "dc2d",
+    }
+}
+
+impl Request {
+    /// Parses one request line. Validates protocol *shape* only — graph
+    /// text stays raw and plan/index compatibility is the engine's call.
+    pub fn from_line(line: &str) -> Result<Request, WireError> {
+        let doc =
+            Value::parse(line).map_err(|e| WireError::new(&None, format!("bad request: {e}")))?;
+        let id = doc.get("id").cloned();
+        if let Some(v) = &id {
+            if !matches!(v, Value::String(_) | Value::Number(_)) {
+                return Err(WireError::new(&None, "\"id\" must be a string or number"));
+            }
+        }
+        let Some(op) = doc.get("op").and_then(Value::as_str) else {
+            return Err(WireError::new(
+                &id,
+                "missing \"op\" (query|ping|stats|shutdown)",
+            ));
+        };
+        match op {
+            "ping" => Ok(Request::Ping { id }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "query" => parse_query(&doc, id),
+            other => Err(WireError::new(&id, format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Serializes the request onto one wire line (newline included).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping { id } => request_line(id, "ping", ""),
+            Request::Stats { id } => request_line(id, "stats", ""),
+            Request::Shutdown { id } => request_line(id, "shutdown", ""),
+            Request::Query(q) => {
+                let mut extra = String::new();
+                extra.push_str(",\"graph\":\"");
+                extra.push_str(&escape(&q.graph));
+                extra.push('"');
+                let o = &q.overrides;
+                if !o.is_empty() {
+                    extra.push_str(",\"options\":{");
+                    let mut first = true;
+                    let mut member = |out: &mut String, name: &str, value: String| {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push('"');
+                        out.push_str(name);
+                        out.push_str("\":");
+                        out.push_str(&value);
+                    };
+                    if let Some(p) = o.prefilter {
+                        member(&mut extra, "prefilter", p.to_string());
+                    }
+                    if let Some(a) = o.approx {
+                        member(&mut extra, "approx", a.to_string());
+                    }
+                    if let Some(algo) = o.algo {
+                        member(&mut extra, "algo", format!("\"{}\"", algo_token(algo)));
+                    }
+                    if let Some(plan) = o.plan {
+                        member(&mut extra, "plan", format!("\"{}\"", plan.name()));
+                    }
+                    extra.push('}');
+                }
+                if let Some(ms) = q.deadline_ms {
+                    extra.push_str(",\"deadline_ms\":");
+                    extra.push_str(&ms.to_string());
+                }
+                request_line(&q.id, "query", &extra)
+            }
+        }
+    }
+
+    /// The correlation id the request carries, if any.
+    pub fn id(&self) -> &Option<Value> {
+        match self {
+            Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => id,
+            Request::Query(q) => &q.id,
+        }
+    }
+}
+
+fn request_line(id: &Option<Value>, op: &str, extra: &str) -> String {
+    let mut out = String::with_capacity(extra.len() + 32);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.to_compact());
+        out.push(',');
+    }
+    out.push_str("\"op\":\"");
+    out.push_str(op);
+    out.push('"');
+    out.push_str(extra);
+    out.push_str("}\n");
+    out
+}
+
+fn parse_query(doc: &Value, id: Option<Value>) -> Result<Request, WireError> {
+    let err = |message: String| WireError {
+        id: id.clone(),
+        message,
+    };
+    let Some(graph) = doc.get("graph").and_then(Value::as_str) else {
+        return Err(err("query needs a \"graph\" field (t/v/e text)".into()));
+    };
+    let mut overrides = QueryOverrides::default();
+    if let Some(o) = doc.get("options") {
+        let members = o
+            .as_object()
+            .ok_or_else(|| err("\"options\" must be an object".into()))?;
+        for (k, v) in members {
+            match k.as_str() {
+                "prefilter" => {
+                    overrides.prefilter = Some(
+                        v.as_bool()
+                            .ok_or_else(|| err("options.prefilter must be a boolean".into()))?,
+                    );
+                }
+                "approx" => {
+                    overrides.approx = Some(
+                        v.as_bool()
+                            .ok_or_else(|| err("options.approx must be a boolean".into()))?,
+                    );
+                }
+                "algo" => {
+                    overrides.algo = Some(match v.as_str() {
+                        Some("naive") => Algorithm::Naive,
+                        Some("bnl") => Algorithm::Bnl,
+                        Some("sfs") => Algorithm::Sfs,
+                        _ => return Err(err("options.algo must be naive|bnl|sfs".into())),
+                    });
+                }
+                "plan" => {
+                    overrides.plan = Some(v.as_str().and_then(Plan::parse).ok_or_else(|| {
+                        err("options.plan must be auto|naive|prefilter|indexed|sharded".into())
+                    })?);
+                }
+                other => return Err(err(format!("unknown option {other:?}"))),
+            }
+        }
+    }
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
+                .map(|ms| ms as u64)
+                .ok_or_else(|| err("\"deadline_ms\" must be a non-negative integer".into()))?,
+        ),
+    };
+    Ok(Request::Query(Box::new(QueryEnvelope {
+        id,
+        graph: graph.to_owned(),
+        overrides,
+        deadline_ms,
+    })))
+}
+
+/// A typed response envelope. [`Response::to_line`] produces the exact
+/// wire bytes; the engine builds these and the connection edge serializes
+/// them once.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `ping` acknowledgement.
+    Pong {
+        /// Echoed correlation id.
+        id: Option<Value>,
+    },
+    /// Counter snapshot: `stats` is the pre-compacted JSON object text.
+    Stats {
+        /// Echoed correlation id.
+        id: Option<Value>,
+        /// The compact `{"served":…,…}` object, verbatim.
+        stats: String,
+    },
+    /// `shutdown` acknowledgement: the server is draining.
+    Draining {
+        /// Echoed correlation id.
+        id: Option<Value>,
+    },
+    /// A successful query answer wrapping the pre-serialized result
+    /// document (kept as a string so cached responses stay byte-identical
+    /// to fresh ones by construction).
+    Result {
+        /// Echoed correlation id.
+        id: Option<Value>,
+        /// True when the document came from the result cache.
+        cached: bool,
+        /// The compact explain document, verbatim.
+        result: String,
+    },
+    /// Admission rejection: the queue is full (or the server drains);
+    /// retry after the given delay.
+    Backpressure {
+        /// Echoed correlation id.
+        id: Option<Value>,
+        /// Suggested client retry delay.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline passed (in queue or mid-evaluation).
+    Expired {
+        /// Echoed correlation id.
+        id: Option<Value>,
+    },
+    /// Any other failure.
+    Error {
+        /// Echoed correlation id.
+        id: Option<Value>,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Builds a response envelope: `{"id":…,` (when present) followed by the
+/// body members and a trailing newline (the protocol is line-delimited).
+fn envelope(id: &Option<Value>, body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 24);
+    out.push('{');
+    if let Some(id) = id {
+        out.push_str("\"id\":");
+        out.push_str(&id.to_compact());
+        out.push(',');
+    }
+    out.push_str(body);
+    out.push_str("}\n");
+    out
+}
+
+impl Response {
+    /// Serializes the response onto one wire line (newline included).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Pong { id } => envelope(id, "\"ok\":true"),
+            Response::Stats { id, stats } => {
+                envelope(id, &format!("\"ok\":true,\"stats\":{stats}"))
+            }
+            Response::Draining { id } => envelope(id, "\"ok\":true,\"draining\":true"),
+            Response::Result { id, cached, result } => envelope(
+                id,
+                &format!("\"ok\":true,\"cached\":{cached},\"result\":{result}"),
+            ),
+            Response::Backpressure { id, retry_after_ms } => envelope(
+                id,
+                &format!(
+                    "\"ok\":false,\"error\":\"queue full\",\"retry_after_ms\":{retry_after_ms}"
+                ),
+            ),
+            Response::Expired { id } => {
+                envelope(id, "\"ok\":false,\"error\":\"deadline exceeded\"")
+            }
+            Response::Error { id, message } => envelope(
+                id,
+                &format!("\"ok\":false,\"error\":\"{}\"", escape(message)),
+            ),
+        }
+    }
+
+    /// Parses one response line, classifying by the envelope fields (the
+    /// inverse of [`Response::to_line`]: `to_line(from_line(x)) == x` for
+    /// every line a server emits).
+    pub fn from_line(line: &str) -> Result<Response, WireError> {
+        let doc =
+            Value::parse(line).map_err(|e| WireError::new(&None, format!("bad response: {e}")))?;
+        let id = doc.get("id").cloned();
+        let Some(ok) = doc.get("ok").and_then(Value::as_bool) else {
+            return Err(WireError::new(&id, "response has no boolean \"ok\" field"));
+        };
+        if ok {
+            if doc.get("draining").and_then(Value::as_bool) == Some(true) {
+                return Ok(Response::Draining { id });
+            }
+            if let Some(stats) = doc.get("stats") {
+                return Ok(Response::Stats {
+                    id,
+                    stats: stats.to_compact(),
+                });
+            }
+            if let Some(cached) = doc.get("cached").and_then(Value::as_bool) {
+                let Some(result) = doc.get("result") else {
+                    return Err(WireError::new(&id, "ok response has no \"result\" field"));
+                };
+                return Ok(Response::Result {
+                    id,
+                    cached,
+                    result: result.to_compact(),
+                });
+            }
+            return Ok(Response::Pong { id });
+        }
+        let Some(message) = doc.get("error").and_then(Value::as_str) else {
+            return Err(WireError::new(&id, "error response has no \"error\" field"));
+        };
+        if message == "queue full" {
+            if let Some(ms) = doc
+                .get("retry_after_ms")
+                .and_then(Value::as_f64)
+                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
+            {
+                return Ok(Response::Backpressure {
+                    id,
+                    retry_after_ms: ms as u64,
+                });
+            }
+        }
+        if message == "deadline exceeded" {
+            return Ok(Response::Expired { id });
+        }
+        Ok(Response::Error {
+            id,
+            message: message.to_owned(),
+        })
+    }
+
+    /// The correlation id the response carries, if any.
+    pub fn id(&self) -> &Option<Value> {
+        match self {
+            Response::Pong { id }
+            | Response::Stats { id, .. }
+            | Response::Draining { id }
+            | Response::Result { id, .. }
+            | Response::Backpressure { id, .. }
+            | Response::Expired { id }
+            | Response::Error { id, .. } => id,
+        }
+    }
+
+    /// True for the `"ok":true` envelopes.
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            Response::Pong { .. }
+                | Response::Stats { .. }
+                | Response::Draining { .. }
+                | Response::Result { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(s: &str) -> Option<Value> {
+        Some(Value::String(s.to_owned()))
+    }
+
+    #[test]
+    fn request_lines_round_trip() {
+        let requests = vec![
+            Request::Ping { id: None },
+            Request::Ping { id: sid("p") },
+            Request::Stats {
+                id: Some(Value::Number(7.0)),
+            },
+            Request::Shutdown { id: None },
+            Request::Query(Box::new(QueryEnvelope {
+                id: sid("q1"),
+                graph: "t g\nv 0 C\nv 1 O\ne 0 1 =\n".to_owned(),
+                overrides: QueryOverrides::default(),
+                deadline_ms: None,
+            })),
+            Request::Query(Box::new(QueryEnvelope {
+                id: None,
+                graph: "t g\nv 0 C\n".to_owned(),
+                overrides: QueryOverrides {
+                    prefilter: Some(true),
+                    approx: Some(false),
+                    algo: Some(Algorithm::Sfs),
+                    plan: Some(Plan::Sharded),
+                },
+                deadline_ms: Some(2500),
+            })),
+        ];
+        for r in requests {
+            let line = r.to_line();
+            assert!(line.ends_with('\n'), "{line:?}");
+            assert_eq!(line.trim_end().matches('\n').count(), 0, "{line:?}");
+            let back = Request::from_line(line.trim_end()).expect("round trip parses");
+            assert_eq!(back, r, "{line:?}");
+            assert_eq!(back.to_line(), line, "second serialization is stable");
+        }
+    }
+
+    #[test]
+    fn request_parse_rejects_malformed_lines() {
+        for (line, needle) in [
+            ("", "bad request"),
+            ("not json", "bad request"),
+            ("{}", "missing \"op\""),
+            ("{\"op\":\"frobnicate\"}", "unknown op"),
+            ("{\"op\":\"ping\",\"id\":[1]}", "string or number"),
+            ("{\"op\":\"query\"}", "\"graph\" field"),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"options\":3}",
+                "object",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"options\":{\"bogus\":1}}",
+                "unknown option",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"options\":{\"algo\":\"quantum\"}}",
+                "naive|bnl|sfs",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"options\":{\"plan\":\"quantum\"}}",
+                "auto|naive|prefilter|indexed|sharded",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"options\":{\"prefilter\":1}}",
+                "boolean",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"deadline_ms\":-5}",
+                "non-negative integer",
+            ),
+            (
+                "{\"op\":\"query\",\"graph\":\"t g\",\"deadline_ms\":1.5}",
+                "non-negative integer",
+            ),
+        ] {
+            let err = Request::from_line(line).expect_err(line);
+            assert!(
+                err.message.contains(needle),
+                "{line:?}: {} should mention {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn error_ids_echo_when_readable() {
+        let err = Request::from_line("{\"op\":\"nope\",\"id\":\"x\"}").expect_err("unknown op");
+        assert_eq!(err.id, sid("x"));
+        let err = Request::from_line("{\"id\":\"y\"}").expect_err("missing op");
+        assert_eq!(err.id, sid("y"));
+        let err = Request::from_line("garbage").expect_err("unparseable");
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn response_lines_are_byte_exact() {
+        // The formats the server has emitted since PR 3 — frozen here.
+        let cases = vec![
+            (Response::Pong { id: None }, "{\"ok\":true}\n"),
+            (
+                Response::Pong { id: sid("a") },
+                "{\"id\":\"a\",\"ok\":true}\n",
+            ),
+            (
+                Response::Draining { id: None },
+                "{\"ok\":true,\"draining\":true}\n",
+            ),
+            (
+                Response::Result {
+                    id: Some(Value::Number(3.0)),
+                    cached: true,
+                    result: "{\"skyline\":[0]}".to_owned(),
+                },
+                "{\"id\":3,\"ok\":true,\"cached\":true,\"result\":{\"skyline\":[0]}}\n",
+            ),
+            (
+                Response::Backpressure {
+                    id: None,
+                    retry_after_ms: 50,
+                },
+                "{\"ok\":false,\"error\":\"queue full\",\"retry_after_ms\":50}\n",
+            ),
+            (
+                Response::Expired { id: sid("late") },
+                "{\"id\":\"late\",\"ok\":false,\"error\":\"deadline exceeded\"}\n",
+            ),
+            (
+                Response::Error {
+                    id: None,
+                    message: "multi\nline".to_owned(),
+                },
+                "{\"ok\":false,\"error\":\"multi\\nline\"}\n",
+            ),
+            (
+                Response::Stats {
+                    id: None,
+                    stats: "{\"served\":2}".to_owned(),
+                },
+                "{\"ok\":true,\"stats\":{\"served\":2}}\n",
+            ),
+        ];
+        for (resp, bytes) in cases {
+            assert_eq!(resp.to_line(), bytes);
+            let back = Response::from_line(bytes.trim_end()).expect("parses");
+            assert_eq!(back, resp, "{bytes:?}");
+            assert_eq!(back.to_line(), bytes, "round trip is byte-stable");
+        }
+    }
+
+    #[test]
+    fn response_classification_covers_the_error_shapes() {
+        // A "queue full" error without the retry hint stays a plain error.
+        let r = Response::from_line("{\"ok\":false,\"error\":\"queue full\"}").unwrap();
+        assert!(matches!(r, Response::Error { .. }));
+        // Unknown ok-shape defaults to Pong only when nothing else fits.
+        let r = Response::from_line("{\"ok\":true}").unwrap();
+        assert!(matches!(r, Response::Pong { .. }));
+        assert!(Response::from_line("{}").is_err(), "no ok field");
+        assert!(Response::from_line("nope").is_err(), "not JSON");
+        assert!(!Response::Expired { id: None }.is_ok());
+        assert!(Response::Pong { id: None }.is_ok());
+    }
+
+    #[test]
+    fn overrides_emptiness_gates_the_options_object() {
+        assert!(QueryOverrides::default().is_empty());
+        let q = Request::Query(Box::new(QueryEnvelope {
+            id: None,
+            graph: "t g\n".to_owned(),
+            overrides: QueryOverrides::default(),
+            deadline_ms: None,
+        }));
+        assert!(!q.to_line().contains("options"));
+        let q = Request::Query(Box::new(QueryEnvelope {
+            id: None,
+            graph: "t g\n".to_owned(),
+            overrides: QueryOverrides {
+                plan: Some(Plan::Prefilter),
+                ..QueryOverrides::default()
+            },
+            deadline_ms: None,
+        }));
+        assert_eq!(
+            q.to_line(),
+            "{\"op\":\"query\",\"graph\":\"t g\\n\",\"options\":{\"plan\":\"prefilter\"}}\n"
+        );
+    }
+}

@@ -1,35 +1,113 @@
-//! A minimal blocking protocol client.
+//! A minimal blocking protocol client speaking typed
+//! [`gss_protocol`] envelopes.
 //!
 //! One [`Client`] wraps one TCP connection and exchanges one-line JSON
-//! requests/responses (see the crate docs for the wire format). Used by
-//! the `gss client` CLI subcommand, the loopback tests and the S8
-//! serving benchmark — anything that wants to talk to a `gss-server`
+//! requests/responses (see the [`gss_protocol`] crate docs for the wire
+//! format). Per-query options travel with the client: configure them
+//! once on the [`ClientBuilder`] and every [`Client::query`] carries
+//! them, so call sites deal in graphs and typed [`Response`]s instead of
+//! hand-assembled JSON fragments:
+//!
+//! ```no_run
+//! use gss_server::Client;
+//!
+//! let mut client = Client::builder()
+//!     .deadline_ms(2_000)
+//!     .plan(gss_core::Plan::Prefilter)
+//!     .connect("127.0.0.1:7878")?;
+//! let response = client.query("t q\nv 0 C\n")?;
+//! assert!(response.is_ok());
+//! # std::io::Result::Ok(())
+//! ```
+//!
+//! Used by the `gss client` CLI subcommand, the loopback tests and the
+//! serving benchmarks — anything that wants to talk to a `gss-server`
 //! without hand-rolling framing.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use gss_core::jsonio::{escape, Value};
+use gss_core::jsonio::Value;
+use gss_core::Plan;
+use gss_protocol::{QueryEnvelope, QueryOverrides, Request, Response};
+use gss_skyline::Algorithm;
 
-/// A blocking connection to a `gss-server`.
-pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+/// Configures the per-query options a [`Client`] attaches to every
+/// [`Client::query`]. Unset knobs are simply omitted from the wire
+/// envelope, so the server's base options apply.
+#[derive(Clone, Debug, Default)]
+pub struct ClientBuilder {
+    overrides: QueryOverrides,
+    deadline_ms: Option<u64>,
 }
 
-impl Client {
-    /// Connects to a server address.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+impl ClientBuilder {
+    /// Overrides the server's prefilter setting for this client's queries.
+    pub fn prefilter(mut self, on: bool) -> ClientBuilder {
+        self.overrides.prefilter = Some(on);
+        self
+    }
+
+    /// Requests approximate solvers (bipartite GED + greedy MCS).
+    pub fn approx(mut self, on: bool) -> ClientBuilder {
+        self.overrides.approx = Some(on);
+        self
+    }
+
+    /// Selects the server-side skyline algorithm.
+    pub fn algo(mut self, algo: Algorithm) -> ClientBuilder {
+        self.overrides.algo = Some(algo);
+        self
+    }
+
+    /// Selects the evaluation plan.
+    pub fn plan(mut self, plan: Plan) -> ClientBuilder {
+        self.overrides.plan = Some(plan);
+        self
+    }
+
+    /// Attaches an evaluation deadline (milliseconds) to every query.
+    pub fn deadline_ms(mut self, ms: u64) -> ClientBuilder {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Opens the TCP connection and returns the configured client.
+    pub fn connect<A: ToSocketAddrs>(self, addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),
+            overrides: self.overrides,
+            deadline_ms: self.deadline_ms,
         })
+    }
+}
+
+/// A blocking connection to a `gss-server`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    overrides: QueryOverrides,
+    deadline_ms: Option<u64>,
+}
+
+impl Client {
+    /// Starts configuring a client (see [`ClientBuilder`]).
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects with default options (no overrides, server deadline).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Client::builder().connect(addr)
     }
 
     /// Sends one raw request line (newline appended) and returns the raw
-    /// response line (trailing newline trimmed).
+    /// response line (trailing newline trimmed). The escape hatch for
+    /// malformed-input tests; typed traffic goes through
+    /// [`Client::request`].
     pub fn send_line(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -45,46 +123,66 @@ impl Client {
         Ok(response.trim_end().to_owned())
     }
 
-    /// Sends one request line and parses the response envelope.
-    pub fn send(&mut self, line: &str) -> std::io::Result<Value> {
-        let response = self.send_line(line)?;
-        Value::parse(&response).map_err(|e| {
+    /// Sends one typed request and classifies the response envelope.
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        let line = request.to_line(); // includes the trailing newline
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_line(response.trim_end()).map_err(|e| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("bad response {response:?}: {e}"),
+                format!("bad response {response:?}: {}", e.message),
             )
         })
     }
 
-    /// Issues a `query` for a graph already in `t/v/e` text form.
-    /// `options_json` is spliced in verbatim when non-empty (e.g.
-    /// `{"prefilter":true}`).
-    pub fn query_text(&mut self, graph_text: &str, options_json: &str) -> std::io::Result<Value> {
-        let mut line = format!("{{\"op\":\"query\",\"graph\":\"{}\"", escape(graph_text));
-        if !options_json.is_empty() {
-            line.push_str(",\"options\":");
-            line.push_str(options_json);
-        }
-        line.push('}');
-        self.send(&line)
+    /// Issues a `query` for a graph already in `t/v/e` text form,
+    /// carrying this client's configured overrides and deadline.
+    pub fn query(&mut self, graph_text: &str) -> std::io::Result<Response> {
+        let envelope = QueryEnvelope {
+            id: None,
+            graph: graph_text.to_owned(),
+            overrides: self.overrides.clone(),
+            deadline_ms: self.deadline_ms,
+        };
+        self.request(&Request::Query(Box::new(envelope)))
     }
 
     /// Issues a `ping`.
-    pub fn ping(&mut self) -> std::io::Result<Value> {
-        self.send("{\"op\":\"ping\"}")
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Ping { id: None })
     }
 
     /// Fetches the server counters (the `"stats"` object of the
-    /// response).
+    /// response, parsed).
     pub fn stats(&mut self) -> std::io::Result<Value> {
-        let v = self.send("{\"op\":\"stats\"}")?;
-        v.get("stats").cloned().ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "response without stats")
-        })
+        match self.request(&Request::Stats { id: None })? {
+            Response::Stats { stats, .. } => Value::parse(&stats).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad stats payload: {e}"),
+                )
+            }),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "unexpected response to stats: {}",
+                    other.to_line().trim_end()
+                ),
+            )),
+        }
     }
 
     /// Requests graceful drain.
-    pub fn shutdown(&mut self) -> std::io::Result<Value> {
-        self.send("{\"op\":\"shutdown\"}")
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Shutdown { id: None })
     }
 }

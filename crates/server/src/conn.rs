@@ -1,0 +1,179 @@
+//! Per-connection buffering for the event-driven front end: newline
+//! framing over a byte stream plus **in-order response slots**.
+//!
+//! The protocol answers requests in order per connection, which the
+//! thread-per-connection path gets for free by blocking. Under the
+//! reactor a connection can have several queries in flight with the
+//! dispatcher while later pings were answered instantly, so each parsed
+//! request takes a sequence-numbered slot here and only the *completed
+//! in-order prefix* ever reaches the write buffer.
+//!
+//! Everything in this module is transport-free (plain buffers, no
+//! sockets), so the framing and ordering invariants are unit-testable
+//! without a reactor.
+
+use std::collections::VecDeque;
+
+/// Buffered state of one reactor connection.
+#[derive(Default)]
+pub struct Conn {
+    /// Bytes received but not yet forming a complete line.
+    read_buf: Vec<u8>,
+    /// Serialized responses waiting for the socket.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written to the socket.
+    write_pos: usize,
+    /// Sequence number the next request will take.
+    next_seq: u64,
+    /// Outstanding responses in request order; `None` = still evaluating.
+    pending: VecDeque<(u64, Option<String>)>,
+}
+
+impl Conn {
+    /// A fresh connection with empty buffers.
+    pub fn new() -> Conn {
+        Conn::default()
+    }
+
+    /// Appends freshly read bytes and returns every *complete* line they
+    /// finish (without the trailing newline). Partial trailing data stays
+    /// buffered for the next read.
+    pub fn push_bytes(&mut self, data: &[u8]) -> Vec<String> {
+        self.read_buf.extend_from_slice(data);
+        let mut lines = Vec::new();
+        while let Some(pos) = self.read_buf.iter().position(|&b| b == b'\n') {
+            let rest = self.read_buf.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut self.read_buf, rest);
+            line.pop(); // the newline
+                        // Invalid UTF-8 still yields a line; the protocol parser will
+                        // answer it with an error envelope like any other bad input.
+            lines.push(String::from_utf8_lossy(&line).into_owned());
+        }
+        lines
+    }
+
+    /// Allocates the response slot for the next request; responses are
+    /// released strictly in allocation order.
+    pub fn begin_request(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back((seq, None));
+        seq
+    }
+
+    /// Fills the slot for `seq` with its serialized response. Unknown
+    /// sequence numbers are ignored (a slot can only be unknown if the
+    /// response was already released, which cannot happen for `None`
+    /// slots — this keeps a late duplicate harmless).
+    pub fn complete(&mut self, seq: u64, line: String) {
+        if let Some(slot) = self.pending.iter_mut().find(|(s, _)| *s == seq) {
+            if slot.1.is_none() {
+                slot.1 = Some(line);
+            }
+        }
+    }
+
+    /// Moves the completed in-order prefix of the pending slots into the
+    /// write buffer; returns how many responses were released.
+    pub fn flush_ready(&mut self) -> usize {
+        let mut released = 0;
+        while matches!(self.pending.front(), Some((_, Some(_)))) {
+            if let Some((_, Some(line))) = self.pending.pop_front() {
+                self.write_buf.extend_from_slice(line.as_bytes());
+                released += 1;
+            }
+        }
+        if self.write_pos > 0 && self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+        released
+    }
+
+    /// Requests admitted but not yet released to the write buffer.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The bytes still owed to the socket.
+    pub fn unwritten(&self) -> &[u8] {
+        self.write_buf.get(self.write_pos..).unwrap_or(&[])
+    }
+
+    /// Records `n` bytes as written to the socket.
+    pub fn advance_written(&mut self, n: usize) {
+        self.write_pos = (self.write_pos + n).min(self.write_buf.len());
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// True when nothing is owed: no outstanding slots, no unwritten
+    /// bytes. Idle connections can be closed at drain.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty() && self.unwritten().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_reassembles_split_lines() {
+        let mut c = Conn::new();
+        assert!(c.push_bytes(b"{\"op\":\"pi").is_empty(), "no newline yet");
+        assert_eq!(c.push_bytes(b"ng\"}\n"), vec!["{\"op\":\"ping\"}"]);
+        assert_eq!(
+            c.push_bytes(b"a\nb\nc"),
+            vec!["a".to_owned(), "b".to_owned()]
+        );
+        assert_eq!(c.push_bytes(b"\n"), vec!["c"]);
+    }
+
+    #[test]
+    fn responses_release_in_request_order() {
+        let mut c = Conn::new();
+        let s0 = c.begin_request();
+        let s1 = c.begin_request();
+        let s2 = c.begin_request();
+        // The second response lands first: nothing can be released while
+        // the first slot is open.
+        c.complete(s1, "one\n".into());
+        assert_eq!(c.flush_ready(), 0);
+        assert!(c.unwritten().is_empty());
+        c.complete(s0, "zero\n".into());
+        assert_eq!(c.flush_ready(), 2, "prefix zero+one releases together");
+        assert_eq!(c.unwritten(), b"zero\none\n");
+        c.complete(s2, "two\n".into());
+        assert_eq!(c.flush_ready(), 1);
+        assert_eq!(c.unwritten(), b"zero\none\ntwo\n");
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn partial_writes_advance_and_reset() {
+        let mut c = Conn::new();
+        let s = c.begin_request();
+        c.complete(s, "abcdef\n".into());
+        c.flush_ready();
+        c.advance_written(3);
+        assert_eq!(c.unwritten(), b"def\n");
+        assert!(!c.idle());
+        c.advance_written(4);
+        assert!(c.unwritten().is_empty());
+        assert!(c.idle());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_completions_are_harmless() {
+        let mut c = Conn::new();
+        let s = c.begin_request();
+        c.complete(s, "first\n".into());
+        c.complete(s, "second\n".into());
+        c.complete(999, "ghost\n".into());
+        assert_eq!(c.flush_ready(), 1);
+        assert_eq!(c.unwritten(), b"first\n");
+    }
+}

@@ -1,7 +1,13 @@
-//! The serving engine: protocol parsing, cache lookups and micro-batched
-//! evaluation. Everything here is transport-free — the TCP layer in
-//! [`crate::server`] feeds it request lines and ships back response
-//! lines — so the whole request path is unit-testable without sockets.
+//! The serving engine: protocol resolution, cache lookups and
+//! micro-batched evaluation. Everything here is transport-free — the TCP
+//! layer in [`crate::server`] feeds it request lines and ships back typed
+//! [`Response`] values (serialized once, at the connection edge) — so the
+//! whole request path is unit-testable without sockets.
+//!
+//! The *shape* of the wire format lives in [`gss_protocol`]; this module
+//! owns the semantic half: graph text is parsed against the database
+//! vocabulary, overrides are merged into the base options, cache keys are
+//! built and deadlines armed.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -12,13 +18,16 @@ use gss_core::{
     Plan, QueryKey, QueryOptions, SolverConfig,
 };
 use gss_graph::Graph;
-use gss_skyline::Algorithm;
+use gss_protocol::{QueryEnvelope, Response};
 
 use crate::cache::ShardedCache;
 use crate::stats::ServerStats;
 use crate::ServerConfig;
 
-/// A parsed protocol request.
+pub use gss_protocol::WireError as RequestError;
+
+/// A resolved protocol request: the wire verbs with the `query` envelope
+/// parsed against this engine's database and options.
 pub enum Request {
     /// Liveness probe.
     Ping {
@@ -57,16 +66,6 @@ pub struct QueryRequest {
     pub deadline: Instant,
 }
 
-/// A request parse failure: the correlation id (when one was readable)
-/// plus a message for the error envelope.
-#[derive(Debug)]
-pub struct RequestError {
-    /// Correlation id to echo, if the request got far enough to carry one.
-    pub id: Option<Value>,
-    /// Human-readable message.
-    pub message: String,
-}
-
 /// The transport-free serving core: one database, one base option set,
 /// one result cache, one stats block.
 pub struct Engine {
@@ -81,29 +80,29 @@ pub struct Engine {
     pub stats: ServerStats,
 }
 
-/// Builds a response envelope: `{"id":…,` (when present) followed by the
-/// body members and a trailing newline (the protocol is line-delimited).
-fn envelope(id: &Option<Value>, body: &str) -> String {
-    let mut out = String::with_capacity(body.len() + 24);
-    out.push('{');
-    if let Some(id) = id {
-        out.push_str("\"id\":");
-        out.push_str(&id.to_compact());
-        out.push(',');
-    }
-    out.push_str(body);
-    out.push_str("}\n");
-    out
-}
-
 impl Engine {
     /// Creates the engine for one database under one server configuration.
     /// `base` supplies the defaults a request's `options` object overrides.
+    ///
+    /// A [`ServerConfig::shards`] greater than one rewrites the base plan
+    /// to [`Plan::Sharded`] over that many candidate partitions — decided
+    /// here, at construction, so every request resolves (and caches)
+    /// against one consistent base; a per-request `plan` override still
+    /// wins.
     pub fn new(db: Arc<GraphDatabase>, base: QueryOptions, config: &ServerConfig) -> Engine {
         // Fill the per-graph stats cache up front: a long-lived server
         // should pay the one-time summary cost at load, not on the first
         // uncached query.
         db.precompute_stats();
+        let base = if config.shards > 1 {
+            QueryOptions {
+                plan: Plan::Sharded,
+                shards: config.shards,
+                ..base
+            }
+        } else {
+            base
+        };
         Engine {
             db_fingerprint: db.fingerprint(),
             db,
@@ -125,38 +124,22 @@ impl Engine {
         self.db_fingerprint
     }
 
-    /// Parses one request line.
+    /// Parses one request line: wire shape via [`gss_protocol::Request`],
+    /// then semantic resolution of the `query` envelope.
     pub fn parse_request(&self, line: &str) -> Result<Request, RequestError> {
-        let err = |id: &Option<Value>, message: String| RequestError {
-            id: id.clone(),
-            message,
-        };
-        let doc = Value::parse(line).map_err(|e| err(&None, format!("bad request: {e}")))?;
-        let id = doc.get("id").cloned();
-        if let Some(v) = &id {
-            if !matches!(v, Value::String(_) | Value::Number(_)) {
-                return Err(err(&None, "\"id\" must be a string or number".into()));
+        match gss_protocol::Request::from_line(line)? {
+            gss_protocol::Request::Ping { id } => Ok(Request::Ping { id }),
+            gss_protocol::Request::Stats { id } => Ok(Request::Stats { id }),
+            gss_protocol::Request::Shutdown { id } => Ok(Request::Shutdown { id }),
+            gss_protocol::Request::Query(envelope) => {
+                let id = envelope.id.clone();
+                self.parse_query(*envelope)
+                    .map_err(|message| RequestError { id, message })
             }
-        }
-        let Some(op) = doc.get("op").and_then(Value::as_str) else {
-            return Err(err(
-                &id,
-                "missing \"op\" (query|ping|stats|shutdown)".into(),
-            ));
-        };
-        match op {
-            "ping" => Ok(Request::Ping { id }),
-            "stats" => Ok(Request::Stats { id }),
-            "shutdown" => Ok(Request::Shutdown { id }),
-            "query" => self.parse_query(&doc, id.clone()).map_err(|m| err(&id, m)),
-            other => Err(err(&id, format!("unknown op {other:?}"))),
         }
     }
 
-    fn parse_query(&self, doc: &Value, id: Option<Value>) -> Result<Request, String> {
-        let Some(text) = doc.get("graph").and_then(Value::as_str) else {
-            return Err("query needs a \"graph\" field (t/v/e text)".into());
-        };
+    fn parse_query(&self, envelope: QueryEnvelope) -> Result<Request, String> {
         // Parse against a clone of the database vocabulary: label ids stay
         // consistent with the stored graphs, labels new to this query get
         // fresh ids, and the shared database stays immutable. The clone is
@@ -164,7 +147,7 @@ impl Engine {
         // bond names, not per-graph data), and parsing needs `&mut`, so a
         // copy-on-write overlay is not worth a gss-graph API change yet.
         let mut vocab = self.db.vocab().clone();
-        let graphs = gss_graph::format::parse_database(text, &mut vocab)
+        let graphs = gss_graph::format::parse_database(&envelope.graph, &mut vocab)
             .map_err(|e| format!("cannot parse query graph: {e}"))?;
         let graph = graphs
             .into_iter()
@@ -172,66 +155,39 @@ impl Engine {
             .ok_or_else(|| "the \"graph\" field contains no graph".to_owned())?;
 
         let mut options = self.base.clone();
-        if let Some(o) = doc.get("options") {
-            let members = o
-                .as_object()
-                .ok_or_else(|| "\"options\" must be an object".to_owned())?;
-            for (k, v) in members {
-                match k.as_str() {
-                    "prefilter" => {
-                        options.prefilter = v
-                            .as_bool()
-                            .ok_or_else(|| "options.prefilter must be a boolean".to_owned())?;
-                    }
-                    "approx" => {
-                        let approx = v
-                            .as_bool()
-                            .ok_or_else(|| "options.approx must be a boolean".to_owned())?;
-                        options.solvers = if approx {
-                            SolverConfig {
-                                ged: GedMode::Bipartite,
-                                mcs: McsMode::Greedy,
-                            }
-                        } else {
-                            SolverConfig::default()
-                        };
-                    }
-                    "algo" => {
-                        options.skyline_algorithm = match v.as_str() {
-                            Some("naive") => Algorithm::Naive,
-                            Some("bnl") => Algorithm::Bnl,
-                            Some("sfs") => Algorithm::Sfs,
-                            _ => return Err("options.algo must be naive|bnl|sfs".into()),
-                        };
-                    }
-                    "plan" => {
-                        let plan = v.as_str().and_then(Plan::parse).ok_or_else(|| {
-                            "options.plan must be auto|naive|prefilter|indexed".to_owned()
-                        })?;
-                        if plan == Plan::Indexed && options.index.is_none() {
-                            return Err("options.plan \"indexed\" requires a server-side index \
-                                 (start gss serve with --index)"
-                                .to_owned());
-                        }
-                        options.plan = plan;
-                    }
-                    other => return Err(format!("unknown option {other:?}")),
+        let o = &envelope.overrides;
+        if let Some(prefilter) = o.prefilter {
+            options.prefilter = prefilter;
+        }
+        if let Some(approx) = o.approx {
+            options.solvers = if approx {
+                SolverConfig {
+                    ged: GedMode::Bipartite,
+                    mcs: McsMode::Greedy,
                 }
+            } else {
+                SolverConfig::default()
+            };
+        }
+        if let Some(algo) = o.algo {
+            options.skyline_algorithm = algo;
+        }
+        if let Some(plan) = o.plan {
+            if plan == Plan::Indexed && options.index.is_none() {
+                return Err("options.plan \"indexed\" requires a server-side index \
+                     (start gss serve with --index)"
+                    .to_owned());
             }
+            options.plan = plan;
         }
 
-        let deadline_ms = match doc.get("deadline_ms") {
-            None => self.default_deadline.as_millis() as u64,
-            Some(v) => v
-                .as_f64()
-                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
-                .map(|ms| ms as u64)
-                .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_owned())?,
-        };
+        let deadline_ms = envelope
+            .deadline_ms
+            .unwrap_or(self.default_deadline.as_millis() as u64);
 
         let key = QueryKey::with_database(self.db_fingerprint, &vocab, &graph, &options);
         Ok(Request::Query(Box::new(QueryRequest {
-            id,
+            id: envelope.id,
             graph,
             options,
             key,
@@ -240,31 +196,43 @@ impl Engine {
     }
 
     /// Answers a query from the cache, if present: the response carries
-    /// `"cached":true` around the byte-identical result document.
-    pub fn try_cache(&self, request: &QueryRequest) -> Option<String> {
-        self.cache
-            .get(&request.key)
-            .map(|result| Engine::ok_response(&request.id, true, &result))
+    /// `cached: true` around the byte-identical result document.
+    pub fn try_cache(&self, request: &QueryRequest) -> Option<Response> {
+        self.cache.get(&request.key).map(|result| Response::Result {
+            id: request.id.clone(),
+            cached: true,
+            result,
+        })
+    }
+
+    /// The `stats` verb response.
+    pub fn stats_response(&self, id: &Option<Value>) -> Response {
+        Response::Stats {
+            id: id.clone(),
+            stats: self.stats.to_value(self.cache.len()).to_compact(),
+        }
     }
 
     /// Evaluates admitted queries as micro-batches: jobs sharing an options
     /// fingerprint go through one [`try_graph_similarity_skyline_batch`]
     /// call (wave-parallel across the batch, each query single-threaded —
-    /// the normalization that keeps responses thread-count-invariant),
-    /// results are serialized, cached, and returned as envelopes in job
-    /// order. Jobs sharing a full [`QueryKey`] (concurrent identical
-    /// queries that all missed the cold cache) are evaluated **once** and
-    /// fanned out.
+    /// the normalization that keeps responses thread-count-invariant; a
+    /// lone [`Plan::Sharded`] query instead fans its shards out across the
+    /// worker pool, which is byte-identical by the sharded plan's
+    /// construction), results are serialized, cached, and returned as
+    /// typed [`Response`] values in job order. Jobs sharing a full
+    /// [`QueryKey`] (concurrent identical queries that all missed the cold
+    /// cache) are evaluated **once** and fanned out.
     ///
     /// Every evaluation carries a deadline-armed [`CancelToken`], so a
     /// query whose deadline passes *mid-scan* is aborted at the next wave
-    /// checkpoint and answered with the `deadline exceeded` error (counted
-    /// in [`crate::ServerStats::cancelled`], distinct from the in-queue
+    /// checkpoint and answered with [`Response::Expired`] (counted in
+    /// [`crate::ServerStats::cancelled`], distinct from the in-queue
     /// `deadline_expired` drops). Duplicates share one evaluation, so its
     /// token fires only once the **latest** duplicate deadline passed.
     // gss-lint: allow(no-panic-in-request-path[index]) — all indices are positions produced by enumerate() over the same `jobs`/`reps`/`responses` slices; in-bounds by construction
-    pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<String> {
-        let mut responses: Vec<Option<String>> = (0..jobs.len()).map(|_| None).collect();
+    pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
         // Group by options fingerprint, preserving first-seen order.
         let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
@@ -315,8 +283,11 @@ impl Engine {
                                 self.cache.insert(jobs[rep].key, result.clone());
                                 for &i in &members {
                                     if jobs[i].key == jobs[rep].key {
-                                        responses[i] =
-                                            Some(Engine::ok_response(&jobs[i].id, false, &result));
+                                        responses[i] = Some(Response::Result {
+                                            id: jobs[i].id.clone(),
+                                            cached: false,
+                                            result: result.clone(),
+                                        });
                                     }
                                 }
                             }
@@ -327,10 +298,11 @@ impl Engine {
                             Err(_) => {
                                 for &i in &members {
                                     if jobs[i].key == jobs[rep].key {
-                                        responses[i] = Some(Engine::error_response(
-                                            &jobs[i].id,
-                                            "internal: result serialization failed",
-                                        ));
+                                        responses[i] = Some(Response::Error {
+                                            id: jobs[i].id.clone(),
+                                            message: "internal: result serialization failed"
+                                                .to_owned(),
+                                        });
                                     }
                                 }
                             }
@@ -340,7 +312,9 @@ impl Engine {
                         for &i in &members {
                             if jobs[i].key == jobs[rep].key {
                                 ServerStats::bump(&self.stats.cancelled);
-                                responses[i] = Some(Engine::expired_response(&jobs[i].id));
+                                responses[i] = Some(Response::Expired {
+                                    id: jobs[i].id.clone(),
+                                });
                             }
                         }
                     }
@@ -352,59 +326,12 @@ impl Engine {
             // Every job belongs to exactly one group; the fallback keeps
             // a grouping bug answerable instead of panicking mid-batch.
             .map(|r| {
-                r.unwrap_or_else(|| Engine::error_response(&None, "internal: job not evaluated"))
+                r.unwrap_or_else(|| Response::Error {
+                    id: None,
+                    message: "internal: job not evaluated".to_owned(),
+                })
             })
             .collect()
-    }
-
-    /// The `stats` verb response.
-    pub fn stats_response(&self, id: &Option<Value>) -> String {
-        let stats = self.stats.to_value(self.cache.len()).to_compact();
-        envelope(id, &format!("\"ok\":true,\"stats\":{stats}"))
-    }
-
-    /// A successful query response wrapping a serialized result document.
-    pub fn ok_response(id: &Option<Value>, cached: bool, result: &str) -> String {
-        envelope(
-            id,
-            &format!("\"ok\":true,\"cached\":{cached},\"result\":{result}"),
-        )
-    }
-
-    /// A `ping` response.
-    pub fn pong_response(id: &Option<Value>) -> String {
-        envelope(id, "\"ok\":true")
-    }
-
-    /// A `shutdown` acknowledgement.
-    pub fn shutdown_response(id: &Option<Value>) -> String {
-        envelope(id, "\"ok\":true,\"draining\":true")
-    }
-
-    /// A generic error response.
-    pub fn error_response(id: &Option<Value>, message: &str) -> String {
-        envelope(
-            id,
-            &format!(
-                "\"ok\":false,\"error\":\"{}\"",
-                gss_core::jsonio::escape(message)
-            ),
-        )
-    }
-
-    /// The backpressure response: the admission queue is full (or the
-    /// server is draining); the client should retry after the given delay.
-    pub fn backpressure_response(id: &Option<Value>, retry_after_ms: u64) -> String {
-        envelope(
-            id,
-            &format!("\"ok\":false,\"error\":\"queue full\",\"retry_after_ms\":{retry_after_ms}"),
-        )
-    }
-
-    /// The deadline expiry response — sent both for in-queue drops and for
-    /// evaluations aborted mid-scan by their [`CancelToken`].
-    pub fn expired_response(id: &Option<Value>) -> String {
-        envelope(id, "\"ok\":false,\"error\":\"deadline exceeded\"")
     }
 }
 
@@ -412,6 +339,7 @@ impl Engine {
 mod tests {
     use super::*;
     use gss_datasets::workload::{Workload, WorkloadConfig};
+    use gss_skyline::Algorithm;
 
     fn engine() -> Engine {
         let w = Workload::generate(&WorkloadConfig {
@@ -434,6 +362,10 @@ mod tests {
             "{{\"op\":\"query\",\"graph\":\"{}\"{extra}}}",
             gss_core::jsonio::escape(&graph_text(engine))
         )
+    }
+
+    fn response_value(response: &Response) -> Value {
+        Value::parse(response.to_line().trim()).expect("responses serialize to JSON")
     }
 
     #[test]
@@ -519,9 +451,14 @@ mod tests {
         assert!(e.try_cache(&job).is_none(), "cold cache");
         let responses = e.evaluate_batch(std::slice::from_ref(&job));
         assert_eq!(responses.len(), 1);
-        let v = Value::parse(responses[0].trim()).expect("response is JSON");
-        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
-        assert_eq!(v.get("cached"), Some(&Value::Bool(false)));
+        let Response::Result {
+            cached: false,
+            result: served,
+            ..
+        } = &responses[0]
+        else {
+            panic!("expected a fresh result, got {:?}", responses[0].to_line())
+        };
 
         // The embedded result is byte-identical to a direct evaluation
         // (same pretty document, compacted by the same writer).
@@ -536,14 +473,19 @@ mod tests {
         let direct_compact = Value::parse(&gss_core::to_json(e.db(), &direct))
             .unwrap()
             .to_compact();
-        let served = v.get("result").unwrap().to_compact();
-        assert_eq!(served, direct_compact);
+        assert_eq!(served, &direct_compact);
 
         // Second time around: a cache hit with the identical payload.
         let hit = e.try_cache(&job).expect("warm cache");
-        let hv = Value::parse(hit.trim()).unwrap();
-        assert_eq!(hv.get("cached"), Some(&Value::Bool(true)));
-        assert_eq!(hv.get("result").unwrap().to_compact(), served);
+        let Response::Result {
+            cached: true,
+            result: hit_result,
+            ..
+        } = &hit
+        else {
+            panic!("expected a cache hit, got {:?}", hit.to_line())
+        };
+        assert_eq!(hit_result, served, "hit bytes match the fresh evaluation");
     }
 
     #[test]
@@ -561,14 +503,14 @@ mod tests {
         let responses = e.evaluate_batch(&jobs);
         assert_eq!(responses.len(), 3);
         for (resp, id) in responses.iter().zip(["a", "b", "c"]) {
-            let v = Value::parse(resp.trim()).unwrap();
+            let v = response_value(resp);
             assert_eq!(v.get("id").and_then(Value::as_str), Some(id));
             assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
         }
         // The prefilter run carries pruning stats; the naive ones don't.
-        let with_stats = Value::parse(responses[1].trim()).unwrap();
+        let with_stats = response_value(&responses[1]);
         assert!(with_stats.get("result").unwrap().get("pruning").is_some());
-        let naive = Value::parse(responses[0].trim()).unwrap();
+        let naive = response_value(&responses[0]);
         assert!(naive.get("result").unwrap().get("pruning").is_none());
         // Engine totals absorbed both groups — jobs "a" and "c" are the
         // same query under the same options, so they share one scan.
@@ -594,17 +536,14 @@ mod tests {
         let responses = e.evaluate_batch(&jobs);
         assert_eq!(responses.len(), 4);
         for (resp, id) in responses.iter().zip(1..) {
-            let v = Value::parse(resp.trim()).unwrap();
+            let v = response_value(resp);
             assert_eq!(v.get("id").and_then(Value::as_f64), Some(f64::from(id)));
             assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
         }
         // The three duplicates share one result document…
-        let result = |k: usize| {
-            Value::parse(responses[k].trim())
-                .unwrap()
-                .get("result")
-                .unwrap()
-                .to_compact()
+        let result = |k: usize| match &responses[k] {
+            Response::Result { result, .. } => result.clone(),
+            other => panic!("expected a result, got {:?}", other.to_line()),
         };
         assert_eq!(result(0), result(1));
         assert_eq!(result(1), result(2));
@@ -634,6 +573,17 @@ mod tests {
             plain.key.options, tuned.key.options,
             "different plans, different cache slots"
         );
+        // The sharded plan is requestable per query (it runs as one shard
+        // unless the server was started with --shards).
+        let sharded = match e
+            .parse_request(&query_line(&e, ",\"options\":{\"plan\":\"sharded\"}"))
+            .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(sharded.options.plan, Plan::Sharded);
+        assert_ne!(sharded.key.options, plain.key.options);
         let bad = query_line(&e, ",\"options\":{\"plan\":\"quantum\"}");
         assert!(e.parse_request(&bad).is_err(), "unknown plan");
         // This engine has no index, so the indexed plan must be refused at
@@ -644,6 +594,38 @@ mod tests {
             Ok(_) => panic!("indexed plan without an index must be rejected"),
         };
         assert!(err.message.contains("index"), "{}", err.message);
+    }
+
+    #[test]
+    fn sharded_server_config_rewrites_the_base_plan() {
+        let w = Workload::generate(&WorkloadConfig {
+            database_size: 12,
+            ..WorkloadConfig::default()
+        });
+        let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+        let e = Engine::new(
+            db,
+            QueryOptions::default(),
+            &ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let job = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(job.options.plan, Plan::Sharded);
+        assert_eq!(job.options.shards, 4);
+        // A per-request plan override still wins.
+        let naive = match e
+            .parse_request(&query_line(&e, ",\"options\":{\"plan\":\"naive\"}"))
+            .unwrap()
+        {
+            Request::Query(q) => q,
+            _ => unreachable!(),
+        };
+        assert_eq!(naive.options.plan, Plan::Naive);
     }
 
     #[test]
@@ -659,11 +641,14 @@ mod tests {
             _ => unreachable!(),
         };
         let responses = e.evaluate_batch(std::slice::from_ref(&job));
-        let v = Value::parse(responses[0].trim()).expect("response is JSON");
-        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v:?}");
+        assert!(
+            matches!(&responses[0], Response::Expired { id: Some(_) }),
+            "{:?}",
+            responses[0].to_line()
+        );
         assert_eq!(
-            v.get("error").and_then(Value::as_str),
-            Some("deadline exceeded")
+            responses[0].to_line(),
+            "{\"id\":\"late\",\"ok\":false,\"error\":\"deadline exceeded\"}\n"
         );
         assert_eq!(
             e.stats.cancelled.load(std::sync::atomic::Ordering::Relaxed),
@@ -672,21 +657,5 @@ mod tests {
         // Nothing was cached and no engine totals were absorbed.
         assert!(e.try_cache(&job).is_none());
         assert_eq!(e.stats.totals().queries, 0);
-    }
-
-    #[test]
-    fn envelopes_are_single_lines() {
-        let id = Some(Value::String("x\ny".into()));
-        for resp in [
-            Engine::pong_response(&id),
-            Engine::error_response(&id, "multi\nline\nmessage"),
-            Engine::backpressure_response(&id, 50),
-            Engine::expired_response(&None),
-            Engine::shutdown_response(&None),
-        ] {
-            assert!(resp.ends_with('\n'));
-            assert_eq!(resp.trim_end().matches('\n').count(), 0, "{resp:?}");
-            assert!(Value::parse(resp.trim()).is_ok(), "{resp:?}");
-        }
     }
 }

@@ -20,47 +20,52 @@
 //!
 //! ## Wire format
 //!
-//! The protocol is **newline-delimited JSON**: one request object per
-//! line, one response object per line, over a plain TCP connection (test
-//! it with `nc`). Requests are processed in order per connection;
-//! concurrency comes from multiple connections. Every request may carry
-//! an `"id"` (string or number), echoed verbatim in the response.
+//! The wire protocol — newline-delimited JSON, the verb vocabulary, the
+//! option/deadline fields, the exact response byte formats — is owned by
+//! the [`gss_protocol`] crate; see its docs for the spec. This crate
+//! consumes the typed [`gss_protocol::Request`] / [`Response`] envelopes:
+//! requests are parsed once by the [`engine`], responses are serialized
+//! **once, at the connection edge** (`Response::to_line`), identically on
+//! every front end.
 //!
-//! ### Verbs
+//! ## Front ends
 //!
-//! | request | response |
-//! |---------|----------|
-//! | `{"op":"ping"}` | `{"ok":true}` |
-//! | `{"op":"stats"}` | `{"ok":true,"stats":{…}}` |
-//! | `{"op":"shutdown"}` | `{"ok":true,"draining":true}` |
-//! | `{"op":"query","graph":"t q\nv 0 C\n…"}` | `{"ok":true,"cached":false,"result":{…}}` |
+//! Two interchangeable connection front ends feed one shared protocol
+//! path (parse → cache probe → admission queue), so their responses are
+//! byte-identical by construction:
 //!
-//! Anything else (including malformed JSON) gets
-//! `{"ok":false,"error":"…"}`.
+//! * **Reactor** (Linux, the default) — [`ServerConfig::reactor_threads`]
+//!   event-loop threads multiplex *all* connections over nonblocking
+//!   sockets and an epoll readiness layer: per-connection read/write
+//!   buffers, newline framing, strict request-order response sequencing
+//!   even when later requests (cache hits, pings) complete before earlier
+//!   ones (evaluations). Thousands of idle connections cost two fds and
+//!   a few hundred bytes each — no thread, no stack.
+//! * **Thread-per-connection** (`reactor_threads: 0`, and every non-Linux
+//!   platform) — the legacy blocking front end, kept as the portable
+//!   fallback and as the byte-parity oracle for the reactor.
 //!
-//! ### The `query` verb
+//! ## Sharded evaluation
 //!
-//! * `"graph"` (required) — the query graph in the `t/v/e` text format
-//!   (first graph of the document is used). Labels unknown to the
-//!   database are fine; they simply never match.
-//! * `"options"` (optional object) — per-request overrides of the
-//!   server's base options: `"prefilter"` (bool), `"approx"` (bool:
-//!   bipartite GED + greedy MCS), `"algo"` (`"naive"|"bnl"|"sfs"`),
-//!   `"plan"` (`"auto"|"naive"|"prefilter"|"indexed"`; `"indexed"` needs
-//!   a server-side index). Unknown keys are rejected.
-//! * `"deadline_ms"` (optional) — the evaluation deadline. If the request
-//!   is still waiting in the queue when it expires it is dropped (counted
-//!   as `deadline_expired`); if it expires **mid-evaluation**, the scan is
-//!   aborted at its next [`gss_core::CancelToken`] wave checkpoint
-//!   (counted as `cancelled`). Either way the response is
-//!   `{"ok":false,"error":"deadline exceeded"}`. Cancellation is
-//!   cooperative: a single in-flight solver call is never interrupted, so
-//!   abort latency is bounded by the most expensive candidate pair.
+//! [`ServerConfig::shards`] > 1 rewrites the server's base options to
+//! [`gss_core::Plan::Sharded`]: the candidate space is statically split
+//! into per-shard filter-and-verify pipelines whose frontiers merge into
+//! one skyline. A *single* admitted query fans its shards out across the
+//! evaluation threads (one huge query keeps the machine busy), while a
+//! full micro-batch packs queries one-per-thread as before — same
+//! answers, same bytes, either way (the shard count is deliberately
+//! excluded from the cache key).
 //!
-//! The `"result"` payload is exactly the [`gss_core::to_json`] explain
-//! document (measures, per-graph GCS vectors, dominators, skyline,
-//! pruning stats when the pipeline ran), compacted onto one line by the
-//! [`gss_core::jsonio`] writer.
+//! ## Deadlines
+//!
+//! A request's `deadline_ms` is enforced in two places: if it expires
+//! while the request waits in the queue the request is dropped (counted
+//! as `deadline_expired`); if it expires **mid-evaluation** the scan is
+//! aborted at its next [`gss_core::CancelToken`] wave checkpoint (counted
+//! as `cancelled`). Either way the client gets the deadline response.
+//! Cancellation is cooperative: a single in-flight solver call is never
+//! interrupted, so abort latency is bounded by the most expensive
+//! candidate pair.
 //!
 //! ## Cache semantics
 //!
@@ -99,12 +104,17 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(target_os = "linux")]
+mod conn;
 pub mod engine;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 pub mod stats;
 
 pub use cache::ShardedCache;
-pub use client::Client;
+pub use client::{Client, ClientBuilder};
 pub use engine::{Engine, QueryRequest, Request, RequestError};
+pub use gss_protocol::Response;
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::{percentile_us, LatencySnapshot, ServerStats};

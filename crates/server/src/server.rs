@@ -1,26 +1,37 @@
-//! The TCP transport: acceptor, per-connection readers, the bounded
-//! admission queue, and the micro-batching dispatcher.
+//! The TCP transport: front ends, the bounded admission queue, and the
+//! micro-batching dispatcher.
 //!
-//! Thread layout of a running server:
+//! Two front ends share one back end. The default is the **reactor**
+//! (`reactor_threads ≥ 1`, Linux): an epoll readiness loop that
+//! multiplexes thousands of connections per thread — see the `reactor`
+//! module. Setting `reactor_threads = 0` (or building on a
+//! platform without epoll) selects the legacy **thread-per-connection**
+//! front end, kept for byte-parity comparison and portability:
 //!
 //! ```text
-//! acceptor ──► connection threads (1 per client)
-//!                 │  parse · cache lookup · admission
+//! reactor 0..R (or acceptor ──► connection threads)
+//!                 │  parse · cache lookup · admission   [process_line]
 //!                 ▼
 //!          AdmissionQueue (bounded, Mutex + Condvar)
 //!                 │  pop up to batch_max
 //!                 ▼
-//!          dispatcher ──► Engine::evaluate_batch ──► respond via channel
+//!          dispatcher ──► Engine::evaluate_batch ──► Responder
 //! ```
 //!
-//! Admission control: a connection thread either answers from the cache,
-//! enqueues the job (blocking on the per-job response channel), or —
+//! Both paths run the same `process_line` and serialize the same typed
+//! [`gss_protocol::Response`] at the socket edge, so the wire bytes are
+//! identical front end to front end.
+//!
+//! Admission control: a front end either answers from the cache, admits
+//! the job (a `Responder` carries the completion back — a blocking
+//! channel for connection threads, a completion queue for reactors), or —
 //! when the queue is at capacity or the server is draining — immediately
 //! writes the backpressure envelope with `retry_after_ms`. Nothing
 //! admitted is ever dropped: graceful drain stops *admission* but the
 //! dispatcher keeps popping until the queue is empty, so every admitted
 //! job receives a response (possibly `deadline exceeded`) before the
-//! dispatcher exits.
+//! dispatcher exits and sets `Shared::dispatcher_done` (the reactors'
+//! signal that no more completions are owed).
 //!
 //! Deadlines are enforced twice: requests still queued past their
 //! deadline are dropped here (`deadline_expired`), and requests whose
@@ -30,12 +41,13 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gss_core::{GraphDatabase, QueryOptions};
+use gss_protocol::Response;
 
 use crate::engine::{Engine, QueryRequest, Request};
 use crate::stats::ServerStats;
@@ -48,6 +60,17 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads the dispatcher spreads each micro-batch across.
     pub workers: usize,
+    /// Event-loop threads multiplexing connections (the default front
+    /// end; 1 is enough for thousands of idle connections). `0` selects
+    /// the legacy thread-per-connection front end, kept for byte-parity
+    /// comparison; platforms without epoll always use it.
+    pub reactor_threads: usize,
+    /// Static candidate shards for evaluation. `> 1` rewrites the base
+    /// options to [`gss_core::Plan::Sharded`] with this shard count so a
+    /// single big query fans its verification across `workers`;
+    /// per-request `"plan"` overrides still win. `0`/`1` leave the base
+    /// plan untouched.
+    pub shards: usize,
     /// Admission queue capacity; a full queue rejects with backpressure.
     pub queue_capacity: usize,
     /// Total result-cache entries (0 disables caching).
@@ -67,6 +90,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
+            reactor_threads: 1,
+            shards: 1,
             queue_capacity: 64,
             cache_capacity: 256,
             cache_shards: 8,
@@ -77,11 +102,45 @@ impl Default for ServerConfig {
     }
 }
 
+/// How a completed evaluation travels back to its connection. Created at
+/// admission time by the front end that owns the connection; consumed
+/// exactly once by the dispatcher. Serialization to wire bytes happens
+/// here — the connection edge — so the cache and engine stay typed.
+pub(crate) enum Responder {
+    /// Thread-per-connection: the blocked connection thread waits on the
+    /// paired receiver.
+    Channel(mpsc::Sender<String>),
+    /// Reactor: the response joins the owning reactor's completion queue
+    /// under the connection's slab token and request sequence number.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        reactor: Arc<crate::reactor::ReactorShared>,
+        token: usize,
+        seq: u64,
+    },
+}
+
+impl Responder {
+    pub(crate) fn send(self, response: Response) {
+        let line = response.to_line();
+        match self {
+            // The receiver hanging up just means the client left early.
+            Responder::Channel(tx) => drop(tx.send(line)),
+            #[cfg(target_os = "linux")]
+            Responder::Reactor {
+                reactor,
+                token,
+                seq,
+            } => reactor.complete(token, seq, line),
+        }
+    }
+}
+
 /// One admitted query waiting for the dispatcher.
-struct Job {
-    request: QueryRequest,
-    enqueued: Instant,
-    respond: mpsc::Sender<String>,
+pub(crate) struct Job {
+    pub(crate) request: QueryRequest,
+    pub(crate) enqueued: Instant,
+    pub(crate) respond: Responder,
 }
 
 #[derive(Default)]
@@ -91,7 +150,7 @@ struct QueueState {
 }
 
 /// The bounded admission queue.
-struct AdmissionQueue {
+pub(crate) struct AdmissionQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
     capacity: usize,
@@ -147,19 +206,24 @@ impl AdmissionQueue {
     }
 }
 
-struct Shared {
-    engine: Engine,
-    queue: AdmissionQueue,
-    config: ServerConfig,
+/// State shared by every front-end thread and the dispatcher.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) queue: AdmissionQueue,
+    pub(crate) config: ServerConfig,
+    /// Set once the dispatcher has exited: every admitted job has been
+    /// answered, so reactors owe no more completions and may close their
+    /// connections as soon as their buffers are flushed.
+    pub(crate) dispatcher_done: AtomicBool,
 }
 
 impl Shared {
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.engine.stats.draining.store(true, Ordering::Relaxed);
         self.queue.drain();
     }
 
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.engine.stats.draining.load(Ordering::Relaxed)
     }
 }
@@ -170,7 +234,10 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: std::thread::JoinHandle<()>,
+    /// Present only with the thread-per-connection front end.
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    /// Present only with the reactor front end.
+    reactors: Vec<std::thread::JoinHandle<()>>,
     dispatcher: std::thread::JoinHandle<()>,
 }
 
@@ -199,11 +266,16 @@ impl ServerHandle {
         self.shared.begin_drain();
     }
 
-    /// Waits for the drain to complete (acceptor and dispatcher exited,
+    /// Waits for the drain to complete (front end and dispatcher exited,
     /// every admitted job answered) and returns the final stats payload.
     pub fn join(self) -> String {
-        let _ = self.acceptor.join();
+        if let Some(acceptor) = self.acceptor {
+            let _ = acceptor.join();
+        }
         let _ = self.dispatcher.join();
+        for reactor in self.reactors {
+            let _ = reactor.join();
+        }
         self.shared
             .engine
             .stats
@@ -227,12 +299,23 @@ pub fn serve(
         engine: Engine::new(db, base, &config),
         queue: AdmissionQueue::new(config.queue_capacity),
         config,
+        dispatcher_done: AtomicBool::new(false),
     });
 
-    let acceptor = {
+    let mut acceptor = None;
+    #[allow(unused_mut)] // mutated only on Linux
+    let mut reactors = Vec::new();
+    if cfg!(target_os = "linux") && shared.config.reactor_threads > 0 {
+        #[cfg(target_os = "linux")]
+        {
+            let (_handles, joins) =
+                crate::reactor::spawn_reactors(&shared, listener, shared.config.reactor_threads)?;
+            reactors = joins;
+        }
+    } else {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(listener, shared))
-    };
+        acceptor = Some(std::thread::spawn(move || accept_loop(listener, shared)));
+    }
     let dispatcher = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || dispatch_loop(shared))
@@ -242,6 +325,7 @@ pub fn serve(
         addr,
         shared,
         acceptor,
+        reactors,
         dispatcher,
     })
 }
@@ -273,7 +357,10 @@ fn dispatch_loop(shared: Arc<Shared>) {
             .partition(|job| job.request.deadline > now);
         for job in expired {
             ServerStats::bump(&shared.engine.stats.deadline_expired);
-            let _ = job.respond.send(Engine::expired_response(&job.request.id));
+            let Job {
+                request, respond, ..
+            } = job;
+            respond.send(Response::Expired { id: request.id });
         }
         if live.is_empty() {
             continue;
@@ -285,18 +372,82 @@ fn dispatch_loop(shared: Arc<Shared>) {
             .batched_queries
             .fetch_add(live.len() as u64, Ordering::Relaxed);
         let mut requests = Vec::with_capacity(live.len());
-        let mut channels = Vec::with_capacity(live.len());
+        let mut responders = Vec::with_capacity(live.len());
         for job in live {
             requests.push(job.request);
-            channels.push((job.enqueued, job.respond));
+            responders.push((job.enqueued, job.respond));
         }
         let responses = shared.engine.evaluate_batch(&requests);
-        for ((enqueued, respond), response) in channels.into_iter().zip(responses) {
+        for ((enqueued, respond), response) in responders.into_iter().zip(responses) {
             shared
                 .engine
                 .stats
                 .record_latency_us(enqueued.elapsed().as_micros() as u64);
-            let _ = respond.send(response);
+            respond.send(response);
+        }
+    }
+    // Every admitted job is answered; reactors poll this flag as their
+    // license to finish draining.
+    shared.dispatcher_done.store(true, Ordering::Relaxed);
+}
+
+/// The outcome of processing one request line.
+pub(crate) enum Outcome {
+    /// Answered inline (errors, ping/stats/shutdown, cache hits,
+    /// backpressure): the front end writes the response itself.
+    Immediate(Response),
+    /// Admitted to the queue; the [`Responder`] made by the front end
+    /// will deliver the response.
+    Enqueued,
+}
+
+/// Parses and processes one request line — the single protocol path both
+/// front ends share, so stats accounting and response bytes cannot
+/// diverge between them. `responder` is invoked only if the request is
+/// actually admitted to the queue.
+pub(crate) fn process_line(
+    line: &str,
+    shared: &Arc<Shared>,
+    responder: impl FnOnce() -> Responder,
+) -> Outcome {
+    let engine = &shared.engine;
+    match engine.parse_request(line) {
+        Err(e) => Outcome::Immediate(Response::Error {
+            id: e.id,
+            message: e.message,
+        }),
+        Ok(Request::Ping { id }) => Outcome::Immediate(Response::Pong { id }),
+        Ok(Request::Stats { id }) => Outcome::Immediate(engine.stats_response(&id)),
+        Ok(Request::Shutdown { id }) => {
+            shared.begin_drain();
+            Outcome::Immediate(Response::Draining { id })
+        }
+        Ok(Request::Query(request)) => {
+            ServerStats::bump(&engine.stats.queries);
+            let started = Instant::now();
+            if let Some(hit) = engine.try_cache(&request) {
+                ServerStats::bump(&engine.stats.cache_hits);
+                engine
+                    .stats
+                    .record_latency_us(started.elapsed().as_micros() as u64);
+                return Outcome::Immediate(hit);
+            }
+            ServerStats::bump(&engine.stats.cache_misses);
+            let job = Box::new(Job {
+                request: *request,
+                enqueued: started,
+                respond: responder(),
+            });
+            match shared.queue.push(job) {
+                Err(rejected) => {
+                    ServerStats::bump(&engine.stats.rejected);
+                    Outcome::Immediate(Response::Backpressure {
+                        id: rejected.request.id,
+                        retry_after_ms: shared.config.retry_after_ms,
+                    })
+                }
+                Ok(()) => Outcome::Enqueued,
+            }
         }
     }
 }
@@ -345,46 +496,16 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
 }
 
 fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
-    let engine = &shared.engine;
-    match engine.parse_request(line) {
-        Err(e) => Engine::error_response(&e.id, &e.message),
-        Ok(Request::Ping { id }) => Engine::pong_response(&id),
-        Ok(Request::Stats { id }) => engine.stats_response(&id),
-        Ok(Request::Shutdown { id }) => {
-            shared.begin_drain();
-            Engine::shutdown_response(&id)
-        }
-        Ok(Request::Query(request)) => {
-            ServerStats::bump(&engine.stats.queries);
-            let started = Instant::now();
-            if let Some(hit) = engine.try_cache(&request) {
-                ServerStats::bump(&engine.stats.cache_hits);
-                engine
-                    .stats
-                    .record_latency_us(started.elapsed().as_micros() as u64);
-                return hit;
+    let (tx, rx) = mpsc::channel();
+    match process_line(line, shared, move || Responder::Channel(tx)) {
+        Outcome::Immediate(response) => response.to_line(),
+        Outcome::Enqueued => rx.recv().unwrap_or_else(|_| {
+            Response::Error {
+                id: None,
+                message: "internal: dispatcher gone".to_owned(),
             }
-            ServerStats::bump(&engine.stats.cache_misses);
-            let (tx, rx) = mpsc::channel();
-            let job = Box::new(Job {
-                request: *request,
-                enqueued: started,
-                respond: tx,
-            });
-            match shared.queue.push(job) {
-                Err(rejected) => {
-                    ServerStats::bump(&engine.stats.rejected);
-                    Engine::backpressure_response(
-                        &rejected.request.id,
-                        shared.config.retry_after_ms,
-                    )
-                }
-                Ok(()) => match rx.recv() {
-                    Ok(response) => response,
-                    Err(_) => Engine::error_response(&None, "internal: dispatcher gone"),
-                },
-            }
-        }
+            .to_line()
+        }),
     }
 }
 
@@ -409,7 +530,7 @@ mod tests {
                 deadline: Instant::now() + Duration::from_secs(5),
             },
             enqueued: Instant::now(),
-            respond: tx,
+            respond: Responder::Channel(tx),
         })
     }
 

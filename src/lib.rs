@@ -24,7 +24,8 @@
 //! | [`diversity`] (gss-diversity) | rank-sum diversity refinement |
 //! | [`core`] (gss-core) | measures, GCS, the GSS query engine |
 //! | [`index`] (gss-index) | pivot-based metric index for sublinear scans |
-//! | [`server`] (gss-server) | concurrent query serving: TCP protocol, caching, admission control |
+//! | [`protocol`] (gss-protocol) | the typed wire protocol: request/response envelopes, line codecs |
+//! | [`server`] (gss-server) | concurrent query serving: event-driven front end, caching, admission control |
 //! | [`datasets`] (gss-datasets) | paper datasets, generators, workloads |
 //!
 //! ## Quickstart
@@ -63,6 +64,7 @@ pub use gss_graph as graph;
 pub use gss_index as index;
 pub use gss_iso as iso;
 pub use gss_mcs as mcs;
+pub use gss_protocol as protocol;
 pub use gss_server as server;
 pub use gss_skyline as skyline;
 

@@ -1,15 +1,18 @@
 //! Property tests for the unified planner and staged executor
 //! (`gss_core::exec`).
 //!
-//! Three families of invariants:
+//! Four families of invariants:
 //!
-//! 1. **Plan parity** — all four plans (`Auto | Naive | Prefilter |
-//!    Indexed`) yield byte-identical skylines, domination witnesses,
-//!    verified GCS vectors and skyband memberships, across workload
-//!    kinds, thread counts and solver configurations;
-//! 2. **Auto economy** — `Plan::Auto` never performs more exact solver
+//! 1. **Plan parity** — all five plans (`Auto | Naive | Prefilter |
+//!    Indexed | Sharded`) yield byte-identical skylines, domination
+//!    witnesses, verified GCS vectors and skyband memberships, across
+//!    workload kinds, thread counts and solver configurations;
+//! 2. **Shard invariance** — the sharded plan's *entire serialized
+//!    explain document* is byte-identical across shard counts (the
+//!    server's cache key exempts `shards`, so this is load-bearing);
+//! 3. **Auto economy** — `Plan::Auto` never performs more exact solver
 //!    calls than the best manual plan on the same query;
-//! 3. **Cancellation** — a fired [`CancelToken`] aborts every plan (and
+//! 4. **Cancellation** — a fired [`CancelToken`] aborts every plan (and
 //!    each query of a batch independently) instead of returning a partial
 //!    answer.
 
@@ -22,7 +25,13 @@ use similarity_skyline::core::{
 use similarity_skyline::datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use similarity_skyline::prelude::*;
 
-const ALL_PLANS: [Plan; 4] = [Plan::Auto, Plan::Naive, Plan::Prefilter, Plan::Indexed];
+const ALL_PLANS: [Plan; 5] = [
+    Plan::Auto,
+    Plan::Naive,
+    Plan::Prefilter,
+    Plan::Indexed,
+    Plan::Sharded,
+];
 
 fn build_workload(seed: u64, size: usize, kind: WorkloadKind) -> (GraphDatabase, Graph) {
     let cfg = WorkloadConfig {
@@ -149,6 +158,64 @@ proptest! {
                 &db, &q, &plan_options(&index, Plan::Prefilter, 1, solvers),
             );
             prop_assert_eq!(&baseline.members, &sky.skyline);
+        }
+    }
+
+    #[test]
+    fn sharded_documents_are_byte_identical_across_shard_and_thread_counts(
+        seed in any::<u64>(),
+        size in 2usize..14,
+        molecule in any::<bool>(),
+        approx in any::<bool>(),
+        k in 0usize..3,
+    ) {
+        let kind = if molecule { WorkloadKind::Molecule } else { WorkloadKind::Uniform };
+        let (db, q) = build_workload(seed, size, kind);
+        let solvers = if approx {
+            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+        } else {
+            SolverConfig::default()
+        };
+        let sharded = |shards: usize, threads: usize| QueryOptions {
+            threads,
+            solvers,
+            ..QueryOptions::default()
+        }
+        .with_shards(shards);
+        let naive = graph_similarity_skyline(
+            &db, &q,
+            &QueryOptions { solvers, plan: Plan::Naive, ..QueryOptions::default() },
+        );
+
+        // The shard count is *not* part of the server's cache key, so the
+        // whole explain document — answer set, witnesses, reported
+        // vectors, pruning stats — must not depend on it (nor on the
+        // thread count fanning the shards out).
+        let reference = similarity_skyline::core::to_json(
+            &db,
+            &graph_similarity_skyline(&db, &q, &sharded(1, 1)),
+        );
+        for shards in [2usize, 3, 5, 16] {
+            for threads in [1usize, 3] {
+                let r = graph_similarity_skyline(&db, &q, &sharded(shards, threads));
+                prop_assert_eq!(r.plan, ResolvedPlan::Sharded);
+                prop_assert_eq!(&r.skyline, &naive.skyline, "shards={}", shards);
+                prop_assert_eq!(&r.dominated, &naive.dominated, "shards={} witnesses", shards);
+                prop_assert_eq!(
+                    &similarity_skyline::core::to_json(&db, &r), &reference,
+                    "document drifted at shards={} threads={}", shards, threads
+                );
+            }
+        }
+
+        // Skyband membership is likewise shard-invariant.
+        let band = graph_similarity_skyband(
+            &db, &q, k,
+            &QueryOptions { solvers, plan: Plan::Naive, ..QueryOptions::default() },
+        );
+        for shards in [2usize, 7] {
+            let b = graph_similarity_skyband(&db, &q, k, &sharded(shards, 2));
+            prop_assert_eq!(&b.members, &band.members, "k={} shards={}", k, shards);
         }
     }
 

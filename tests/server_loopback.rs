@@ -7,17 +7,27 @@
 //!    single-threaded oracle (`graph_similarity_skyline` + `to_json`,
 //!    compacted by the same `jsonio` writer).
 //! 2. **Cache identity** — repeated queries are answered from the result
-//!    cache (`"cached":true`) with payloads byte-identical to the fresh
+//!    cache (`cached: true`) with payloads byte-identical to the fresh
 //!    evaluation, across random workloads and option sets (property
 //!    test).
-//! 3. **Protocol behavior** — stats counters, graceful drain.
+//! 3. **Front-end identity** — the epoll reactor and the legacy
+//!    thread-per-connection front end serve byte-identical wire lines
+//!    for the same traffic, and the reactor preserves per-connection
+//!    request order under pipelining.
+//! 4. **Protocol behavior** — stats counters, deadlines, graceful drain.
+//!
+//! Clients speak the typed [`similarity_skyline::protocol`] envelopes;
+//! raw `send_line` is reserved for malformed-input and byte-parity
+//! checks.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use proptest::TestCaseError;
 use similarity_skyline::core::jsonio::Value;
 use similarity_skyline::datasets::workload::{Workload, WorkloadConfig, WorkloadKind};
 use similarity_skyline::prelude::*;
+use similarity_skyline::protocol::{QueryEnvelope, QueryOverrides, Request, Response};
 use similarity_skyline::server::{serve, Client, ServerConfig};
 
 /// The single-threaded oracle: what the server must serve, byte for byte.
@@ -59,6 +69,18 @@ fn graph_text(db: &GraphDatabase, g: &Graph) -> String {
     similarity_skyline::graph::format::write_database(std::slice::from_ref(g), db.vocab())
 }
 
+/// A `query` request with per-request overrides (the builder covers the
+/// per-connection case; tests that mix option sets on one connection go
+/// through the envelope directly).
+fn query_request(text: &str, overrides: &QueryOverrides) -> Request {
+    Request::Query(Box::new(QueryEnvelope {
+        id: None,
+        graph: text.to_owned(),
+        overrides: overrides.clone(),
+        deadline_ms: None,
+    }))
+}
+
 #[test]
 fn concurrent_clients_match_the_single_threaded_oracle() {
     let (db, queries) = workload_db(24, 0xBEEF);
@@ -76,10 +98,13 @@ fn concurrent_clients_match_the_single_threaded_oracle() {
     let addr = handle.addr();
 
     // Oracle answers per (query, options) pair, computed once up front.
-    let option_sets: Vec<(&str, QueryOptions)> = vec![
-        ("", QueryOptions::default()),
+    let option_sets: Vec<(QueryOverrides, QueryOptions)> = vec![
+        (QueryOverrides::default(), QueryOptions::default()),
         (
-            "{\"prefilter\":true}",
+            QueryOverrides {
+                prefilter: Some(true),
+                ..QueryOverrides::default()
+            },
             QueryOptions {
                 prefilter: true,
                 ..QueryOptions::default()
@@ -103,23 +128,22 @@ fn concurrent_clients_match_the_single_threaded_oracle() {
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 for round in 0..2 {
-                    for (oi, (options_json, _)) in option_sets.iter().enumerate() {
+                    for (oi, (overrides, _)) in option_sets.iter().enumerate() {
                         for qi in 0..queries.len() {
                             // Stagger the order per client so batches mix
                             // different queries and option groups.
                             let qi = (qi + c + round) % queries.len();
                             let text = graph_text(db, &queries[qi]);
-                            let response = client.query_text(&text, options_json).expect("query");
-                            assert_eq!(
-                                response.get("ok"),
-                                Some(&Value::Bool(true)),
-                                "client {c}: {response:?}"
-                            );
-                            let served =
-                                response.get("result").expect("result payload").to_compact();
+                            let response = client
+                                .request(&query_request(&text, overrides))
+                                .expect("query");
+                            let served = match response {
+                                Response::Result { result, .. } => result,
+                                other => panic!("client {c}: {other:?}"),
+                            };
                             assert_eq!(
                                 served, expected[oi][qi],
-                                "client {c} round {round} query {qi} options {options_json:?}"
+                                "client {c} round {round} query {qi} option set {oi}"
                             );
                         }
                     }
@@ -149,6 +173,116 @@ fn concurrent_clients_match_the_single_threaded_oracle() {
     assert!(final_stats.contains("\"draining\":true"), "{final_stats}");
 }
 
+/// The epoll reactor and the thread-per-connection front end must be
+/// indistinguishable on the wire: same request lines in, byte-identical
+/// response lines out — across verbs, malformed input, cache hits and
+/// option overrides.
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_and_threaded_front_ends_serve_identical_bytes() {
+    let (db, queries) = workload_db(12, 0xFACE);
+    let db = Arc::new(db);
+    let front_end = |reactor_threads: usize| {
+        serve(
+            Arc::clone(&db),
+            QueryOptions::default(),
+            ServerConfig {
+                reactor_threads,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+    let reactor = front_end(1);
+    let threaded = front_end(0);
+
+    let escape = similarity_skyline::core::jsonio::escape;
+    let q0 = escape(&graph_text(&db, &queries[0]));
+    let q1 = escape(&graph_text(&db, &queries[1]));
+    let lines = vec![
+        "{\"id\":1,\"op\":\"ping\"}".to_owned(),
+        "not json at all".to_owned(),
+        "{\"id\":2,\"op\":\"frobnicate\"}".to_owned(),
+        "{\"op\":\"query\"}".to_owned(),
+        format!("{{\"id\":\"q0\",\"op\":\"query\",\"graph\":\"{q0}\"}}"),
+        // Again: served from the cache, so `cached` flips identically.
+        format!("{{\"id\":\"q0\",\"op\":\"query\",\"graph\":\"{q0}\"}}"),
+        format!("{{\"op\":\"query\",\"graph\":\"{q1}\",\"options\":{{\"prefilter\":true}}}}"),
+        format!("{{\"op\":\"query\",\"graph\":\"{q1}\",\"options\":{{\"bogus\":1}}}}"),
+        "{\"id\":9,\"op\":\"query\",\"graph\":\"t q\\nv 0\"}".to_owned(),
+    ];
+
+    let mut on_reactor = Client::connect(reactor.addr()).expect("connect reactor");
+    let mut on_threaded = Client::connect(threaded.addr()).expect("connect threaded");
+    for line in &lines {
+        let a = on_reactor.send_line(line).expect("reactor response");
+        let b = on_threaded.send_line(line).expect("threaded response");
+        assert_eq!(a, b, "front ends disagree on {line:?}");
+    }
+
+    for handle in [reactor, threaded] {
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+/// Pipelined requests on one connection come back strictly in request
+/// order, even though pings are answered inline while queries take the
+/// dispatcher round-trip (the reactor's sequence-slot ordering).
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_pipelines_responses_in_request_order() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (db, queries) = workload_db(10, 0xC0DE);
+    let db = Arc::new(db);
+    let handle = serve(
+        Arc::clone(&db),
+        QueryOptions::default(),
+        ServerConfig {
+            // Two reactors: the connection also exercises the accept
+            // hand-off (injection) path, not just reactor 0.
+            reactor_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+
+    let escape = similarity_skyline::core::jsonio::escape;
+    let q0 = escape(&graph_text(&db, &queries[0]));
+    let q1 = escape(&graph_text(&db, &queries[1]));
+    let burst = format!(
+        "{{\"id\":1,\"op\":\"ping\"}}\n\
+         {{\"id\":2,\"op\":\"query\",\"graph\":\"{q0}\"}}\n\
+         {{\"id\":3,\"op\":\"ping\"}}\n\
+         garbage\n\
+         {{\"id\":5,\"op\":\"query\",\"graph\":\"{q1}\"}}\n\
+         {{\"id\":6,\"op\":\"ping\"}}\n"
+    );
+
+    let mut stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(burst.as_bytes()).expect("write burst");
+    stream.flush().expect("flush");
+
+    let mut reader = BufReader::new(stream);
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read response") > 0);
+        let v = Value::parse(line.trim_end()).expect("response JSON");
+        ids.push(v.get("id").and_then(Value::as_f64));
+    }
+    assert_eq!(
+        ids,
+        vec![Some(1.0), Some(2.0), Some(3.0), None, Some(5.0), Some(6.0)],
+        "responses must arrive in request order"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn stats_and_drain_protocol() {
     let (db, queries) = workload_db(10, 0x51A7);
@@ -161,12 +295,12 @@ fn stats_and_drain_protocol() {
     .expect("bind loopback");
 
     let mut client = Client::connect(handle.addr()).expect("connect");
-    assert_eq!(
-        client.ping().expect("ping").get("ok"),
-        Some(&Value::Bool(true))
-    );
+    assert!(matches!(
+        client.ping().expect("ping"),
+        Response::Pong { .. }
+    ));
     let text = graph_text(&db, &queries[0]);
-    client.query_text(&text, "").expect("query");
+    assert!(client.query(&text).expect("query").is_ok());
     let stats = client.stats().expect("stats");
     assert_eq!(stats.get("queries").and_then(Value::as_f64), Some(1.0));
     assert_eq!(stats.get("draining"), Some(&Value::Bool(false)));
@@ -181,20 +315,23 @@ fn stats_and_drain_protocol() {
     // served (drain stops admission of *work*, and a hit costs nothing),
     // but anything needing evaluation is refused with backpressure.
     let ack = client.shutdown().expect("shutdown");
-    assert_eq!(ack.get("draining"), Some(&Value::Bool(true)));
-    let still_cached = client.query_text(&text, "");
-    if let Ok(v) = &still_cached {
-        assert_eq!(v.get("cached"), Some(&Value::Bool(true)), "{v:?}");
+    assert!(matches!(ack, Response::Draining { .. }), "{ack:?}");
+    match client.query(&text) {
+        Ok(Response::Result { cached, .. }) => assert!(cached, "drain admits no work"),
+        Ok(other) => panic!("cached replay during drain: {other:?}"),
+        Err(_) => {} // connection already torn down — a valid drain outcome
     }
-    let uncached = client.query_text(&graph_text(&db, &queries[1]), "{\"prefilter\":true}");
-    // (An Err here would mean the connection was already torn down —
-    // also a valid drain outcome.)
-    if let Ok(v) = uncached {
-        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v:?}");
-        assert!(
-            v.get("retry_after_ms").is_some(),
-            "drain refusals carry the backpressure hint: {v:?}"
-        );
+    let uncached = client.request(&query_request(
+        &graph_text(&db, &queries[1]),
+        &QueryOverrides {
+            prefilter: Some(true),
+            ..QueryOverrides::default()
+        },
+    ));
+    match uncached {
+        Ok(Response::Backpressure { .. }) => {}
+        Ok(other) => panic!("drain refusals carry the backpressure hint: {other:?}"),
+        Err(_) => {} // ditto
     }
     let final_stats = handle.join();
     assert!(final_stats.contains("\"draining\":true"), "{final_stats}");
@@ -268,23 +405,14 @@ fn deadline_aborts_a_long_query_mid_evaluation() {
         },
     )
     .expect("bind loopback");
-    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut client = Client::builder()
+        .deadline_ms(DEADLINE_MS)
+        .connect(handle.addr())
+        .expect("connect");
     let text = graph_text(&db, &query);
-    let started = Instant::now();
-    let line = format!(
-        "{{\"op\":\"query\",\"graph\":\"{}\",\"deadline_ms\":{DEADLINE_MS}}}",
-        similarity_skyline::core::jsonio::escape(&text)
-    );
-    let response = client.send(&line).expect("response");
-    assert_eq!(
-        response.get("ok"),
-        Some(&Value::Bool(false)),
-        "{response:?}"
-    );
-    assert_eq!(
-        response.get("error").and_then(Value::as_str),
-        Some("deadline exceeded")
-    );
+    let started = std::time::Instant::now();
+    let response = client.query(&text).expect("response");
+    assert!(matches!(response, Response::Expired { .. }), "{response:?}");
     // The abort happened promptly: well before a full scan would finish
     // (the probe proved a full scan outlives the deadline), bounded by
     // deadline + one wave of solver calls.
@@ -316,23 +444,14 @@ fn deadline_zero_expires_in_queue() {
         ServerConfig::default(),
     )
     .expect("bind loopback");
-    let mut client = Client::connect(handle.addr()).expect("connect");
-    let text = graph_text(&db, &queries[0]);
     // A 0 ms deadline is already expired when the dispatcher pops it.
-    let line = format!(
-        "{{\"op\":\"query\",\"graph\":\"{}\",\"deadline_ms\":0}}",
-        similarity_skyline::core::jsonio::escape(&text)
-    );
-    let response = client.send(&line).expect("response");
-    assert_eq!(
-        response.get("ok"),
-        Some(&Value::Bool(false)),
-        "{response:?}"
-    );
-    assert_eq!(
-        response.get("error").and_then(Value::as_str),
-        Some("deadline exceeded")
-    );
+    let mut client = Client::builder()
+        .deadline_ms(0)
+        .connect(handle.addr())
+        .expect("connect");
+    let text = graph_text(&db, &queries[0]);
+    let response = client.query(&text).expect("response");
+    assert!(matches!(response, Response::Expired { .. }), "{response:?}");
     handle.shutdown();
     handle.join();
 }
@@ -364,32 +483,35 @@ proptest! {
             },
         )
         .expect("bind loopback");
-        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut builder = Client::builder();
+        if prefilter { builder = builder.prefilter(true); }
+        if approx { builder = builder.approx(true); }
+        let mut client = builder.connect(handle.addr()).expect("connect");
 
         let query = &queries[pick % queries.len()];
-        let mut parts = Vec::new();
-        if prefilter { parts.push("\"prefilter\":true"); }
-        if approx { parts.push("\"approx\":true"); }
-        let options_json = if parts.is_empty() {
-            String::new()
-        } else {
-            format!("{{{}}}", parts.join(","))
-        };
         let mut options = QueryOptions { prefilter, ..QueryOptions::default() };
         if approx {
             options.solvers = SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy };
         }
 
         let text = graph_text(&db, query);
-        let fresh = client.query_text(&text, &options_json).expect("fresh");
-        prop_assert_eq!(fresh.get("cached"), Some(&Value::Bool(false)));
-        let hit = client.query_text(&text, &options_json).expect("hit");
-        prop_assert_eq!(hit.get("cached"), Some(&Value::Bool(true)));
+        let fresh = match client.query(&text).expect("fresh") {
+            Response::Result { cached, result, .. } => {
+                prop_assert!(!cached, "first evaluation cannot be a hit");
+                result
+            }
+            other => return Err(TestCaseError(format!("fresh: {other:?}"))),
+        };
+        let hit = match client.query(&text).expect("hit") {
+            Response::Result { cached, result, .. } => {
+                prop_assert!(cached, "replay must hit the cache");
+                result
+            }
+            other => return Err(TestCaseError(format!("hit: {other:?}"))),
+        };
 
-        let fresh_payload = fresh.get("result").expect("payload").to_compact();
-        let hit_payload = hit.get("result").expect("payload").to_compact();
-        prop_assert_eq!(&hit_payload, &fresh_payload, "cache hit changed the bytes");
-        prop_assert_eq!(&fresh_payload, &oracle(&db, query, &options), "served != oracle");
+        prop_assert_eq!(&hit, &fresh, "cache hit changed the bytes");
+        prop_assert_eq!(&fresh, &oracle(&db, query, &options), "served != oracle");
 
         handle.shutdown();
         handle.join();
