@@ -24,6 +24,10 @@
 //!   concurrent connections on ≤ 2 reactor threads: ping/query latency
 //!   percentiles, response mismatches vs. direct evaluation) as a JSON
 //!   report (the CI `BENCH_6.json` artifact).
+//! * `--churn-json PATH` — write the S12 live-store churn measurements
+//!   (queries/sec while mutation batches bump epochs, partial index
+//!   rebuilds under a tiny staleness budget, epoch-keyed cache hit rate)
+//!   as a JSON report (the CI `BENCH_7.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
 //!   of candidates at the partition level, the S8 serving replay
@@ -39,7 +43,12 @@
 //!   candidates excluded by lower bounds alone), and the S11 reactor
 //!   scenario (j) holds ≥ 1000 connections on ≤ 2 reactor threads with
 //!   (k) zero response mismatches and (l) a query p99 within the
-//!   recorded budget. This is the CI perf-regression gate.
+//!   recorded budget, and the S12 churn scenario (m) applies every
+//!   mutation batch successfully (one epoch per batch, zero refusals),
+//!   (n) keeps a cache hit rate > 0 across epochs, (o) trips ≥ 1 partial
+//!   index rebuild under its tiny staleness budget, and (p) sustains
+//!   nonzero query throughput while mutating. This is the CI
+//!   perf-regression gate.
 
 use std::time::Instant;
 
@@ -86,6 +95,7 @@ fn main() {
     let mut solver_json_path: Option<String> = None;
     let mut plan_json_path: Option<String> = None;
     let mut reactor_json_path: Option<String> = None;
+    let mut churn_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -128,11 +138,18 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--churn-json" => match args.next() {
+                Some(path) => churn_json_path = Some(path),
+                None => {
+                    eprintln!("--churn-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
                      --serve-json PATH, --solver-json PATH, --plan-json PATH, \
-                     --reactor-json PATH)"
+                     --reactor-json PATH, --churn-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -182,6 +199,14 @@ fn main() {
     let reactor_report = s11_reactor();
     if let Some(path) = &reactor_json_path {
         std::fs::write(path, reactor_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let churn_report = s12_churn();
+    if let Some(path) = &churn_json_path {
+        std::fs::write(path, churn_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -288,6 +313,40 @@ fn main() {
             );
             failed = true;
         }
+        if !churn_report.gate_mutations() {
+            eprintln!(
+                "GATE FAILED: churn applied {} batches with {} failures over {} epochs \
+                 — every batch must land and bump exactly one epoch",
+                churn_report.mutation_batches, churn_report.mutation_failures, churn_report.epochs
+            );
+            failed = true;
+        }
+        if !churn_report.gate_cache_hits() {
+            eprintln!(
+                "GATE FAILED: churn replay saw cache hit rate {:.3} — the epoch-keyed cache \
+                 must still serve hits once mutation stops",
+                churn_report.cache_hit_rate
+            );
+            failed = true;
+        }
+        if !churn_report.gate_partial_rebuilds() {
+            eprintln!(
+                "GATE FAILED: churn ran {} partial index rebuilds with a staleness budget of {} \
+                 over {} batches — the budget must trip incremental maintenance into rebuilds",
+                churn_report.partial_rebuilds,
+                churn_report.staleness_budget,
+                churn_report.mutation_batches
+            );
+            failed = true;
+        }
+        if !churn_report.gate_throughput() {
+            eprintln!(
+                "GATE FAILED: churn served {} queries at {:.1} q/s — queries must keep flowing \
+                 while the store mutates",
+                churn_report.requests, churn_report.qps
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -320,6 +379,18 @@ fn main() {
             reactor_report.p99_us,
             S11_P99_BUDGET_US,
             reactor_report.requests,
+        );
+        println!(
+            "churn gate passed: {} mutation batches → {} epochs with 0 failures, \
+             {} partial rebuilds under budget {}, cache hit rate {:.2} > 0, \
+             {:.0} q/s over {} queries while mutating",
+            churn_report.mutation_batches,
+            churn_report.epochs,
+            churn_report.partial_rebuilds,
+            churn_report.staleness_budget,
+            churn_report.cache_hit_rate,
+            churn_report.qps,
+            churn_report.requests,
         );
     }
 }
@@ -1377,6 +1448,299 @@ fn s11_reactor() -> ReactorReport {
     println!(
         "{} idle + {} active connections; idle wall re-pinged after the replay",
         report.idle, report.active
+    );
+    println!();
+    report
+}
+
+/// The S12 measurements: interleaved mutation + query churn on the live
+/// store — writer batches bump epochs (with a tiny staleness budget so
+/// partial index rebuilds happen mid-run) while reader connections keep
+/// querying, then a quiescent replay collects epoch-keyed cache hits —
+/// the `BENCH_7.json` artifact.
+struct ChurnReport {
+    distinct_queries: usize,
+    churn_readers: usize,
+    staleness_budget: u64,
+    mutation_batches: u64,
+    mutation_failures: usize,
+    epochs: u64,
+    inserted: u64,
+    removed: u64,
+    updated: u64,
+    requests: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hits: u64,
+    cache_hit_rate: f64,
+    partial_rebuilds: u64,
+    full_rebuilds: u64,
+    stale_ops: u64,
+}
+
+impl ChurnReport {
+    fn gate_mutations(&self) -> bool {
+        self.mutation_failures == 0
+            && self.mutation_batches > 0
+            && self.epochs == self.mutation_batches
+    }
+
+    fn gate_cache_hits(&self) -> bool {
+        self.cache_hit_rate > 0.0
+    }
+
+    fn gate_partial_rebuilds(&self) -> bool {
+        self.partial_rebuilds >= 1
+    }
+
+    fn gate_throughput(&self) -> bool {
+        self.requests > 0 && self.qps > 0.0
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        format!(
+            "{{\n  \"schema\": \"gss-bench-churn/1\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"churn\": {{\"distinct_queries\": {}, \"readers\": {}, \
+             \"staleness_budget\": {}, \"mutation_batches\": {}, \"mutation_failures\": {}, \
+             \"epochs\": {}, \"inserted\": {}, \"removed\": {}, \"updated\": {}}},\n  \
+             \"throughput\": {{\"requests\": {}, \"wall_s\": {:.4}, \
+             \"queries_per_sec\": {:.1}}},\n  \"latency\": {{\"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}}},\n  \"server\": {{\"cache_hits\": {}, \
+             \"cache_hit_rate\": {:.4}}},\n  \"index\": {{\"partial_rebuilds\": {}, \
+             \"full_rebuilds\": {}, \"stale_ops\": {}}},\n  \"gate\": {{\
+             \"zero_mutation_failures\": {}, \"cache_hit_rate_gt_0\": {}, \
+             \"partial_rebuilds_ge_1\": {}, \"throughput_gt_0\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.distinct_queries,
+            self.churn_readers,
+            self.staleness_budget,
+            self.mutation_batches,
+            self.mutation_failures,
+            self.epochs,
+            self.inserted,
+            self.removed,
+            self.updated,
+            self.requests,
+            self.wall_s,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.cache_hits,
+            self.cache_hit_rate,
+            self.partial_rebuilds,
+            self.full_rebuilds,
+            self.stale_ops,
+            self.gate_mutations(),
+            self.gate_cache_hits(),
+            self.gate_partial_rebuilds(),
+            self.gate_throughput(),
+        )
+    }
+}
+
+fn s12_churn() -> ChurnReport {
+    use gss_core::jsonio::Value;
+    use gss_core::GraphId;
+    use gss_server::{
+        percentile_us, serve_store, Client, GraphStore, Response, ServerConfig, StoreConfig,
+    };
+    use std::sync::Arc;
+
+    const READERS: usize = 3;
+    const PASSES: usize = 2;
+    const BATCHES: usize = 40;
+    const STALENESS_BUDGET: u64 = 4;
+
+    println!(
+        "== S12: live-store churn — {BATCHES} mutation batches under {READERS} query readers \
+         (committed smoke workload) =="
+    );
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+    let store = Arc::new(GraphStore::new(
+        Arc::clone(&db),
+        StoreConfig {
+            index: Some(PivotIndexConfig::default()),
+            staleness_budget: STALENESS_BUDGET,
+        },
+    ));
+
+    let mut queries: Vec<Graph> = vec![w.query.clone()];
+    for i in (0..db.len()).step_by(20) {
+        queries.push(db.get(GraphId(i)).clone());
+    }
+    let texts: Vec<String> = queries
+        .iter()
+        .map(|q| gss_graph::format::write_database(std::slice::from_ref(q), db.vocab()))
+        .collect();
+    // Writer traffic reuses database structure under fresh names, so the
+    // vocabulary never grows and inserted graphs can never be pivots —
+    // the churn stays on the incremental/partial maintenance path.
+    let donor_text = |i: usize, name: &str| {
+        let g = db.get(GraphId(i % db.len()));
+        let text = gss_graph::format::write_database(std::slice::from_ref(g), db.vocab());
+        let body = text.split_once('\n').map_or("", |(_, b)| b);
+        format!("t {name}\n{body}")
+    };
+
+    let handle = serve_store(
+        Arc::clone(&store),
+        QueryOptions {
+            prefilter: true,
+            ..QueryOptions::default()
+        },
+        ServerConfig {
+            workers: 4,
+            batch_max: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.addr();
+
+    // Phase 1 — churn: one writer streams mutation batches while the
+    // readers replay the query set (each query pinning whatever epoch is
+    // current when it is admitted).
+    let t0 = Instant::now();
+    let (mutation_failures, reader_latencies) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect writer");
+            let mut live: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+            let mut failures = 0usize;
+            for i in 0..BATCHES {
+                let response = match i % 8 {
+                    5 if !live.is_empty() => {
+                        let name = live.pop_front().expect("nonempty");
+                        client.remove(&[name]).expect("remove")
+                    }
+                    7 if !live.is_empty() => {
+                        let name = live.back().expect("nonempty").clone();
+                        client
+                            .update(&name, &donor_text(i * 7 + 3, &name))
+                            .expect("update")
+                    }
+                    _ => {
+                        let name = format!("churn{i}");
+                        let ack = client
+                            .insert(&donor_text(i * 3 + 1, &name))
+                            .expect("insert");
+                        live.push_back(name);
+                        ack
+                    }
+                };
+                if !matches!(response, Response::Mutated { .. }) {
+                    failures += 1;
+                }
+            }
+            failures
+        });
+        let readers: Vec<_> = (0..READERS)
+            .map(|c| {
+                let texts = &texts;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect reader");
+                    let mut latencies = Vec::new();
+                    for pass in 0..PASSES {
+                        for k in 0..texts.len() {
+                            let k = (k + c + pass) % texts.len();
+                            let t = Instant::now();
+                            let response = client.query(&texts[k]).expect("query");
+                            latencies.push(t.elapsed().as_micros() as u64);
+                            assert!(response.is_ok(), "churn query refused");
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let failures = writer.join().expect("churn writer panicked");
+        let latencies: Vec<u64> = readers
+            .into_iter()
+            .flat_map(|h| h.join().expect("churn reader panicked"))
+            .collect();
+        (failures, latencies)
+    });
+
+    // Phase 2 — quiescent replay: mutations stopped, so replaying the set
+    // twice on one connection must produce epoch-keyed cache hits.
+    let mut latencies = reader_latencies;
+    {
+        let mut client = Client::connect(addr).expect("connect replay");
+        for _ in 0..2 {
+            for text in &texts {
+                let t = Instant::now();
+                let response = client.query(text).expect("replay query");
+                latencies.push(t.elapsed().as_micros() as u64);
+                assert!(response.is_ok(), "quiescent replay refused");
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = Value::parse(&handle.stats_json()).expect("stats JSON");
+    handle.shutdown();
+    handle.join();
+    let store_stats = store.stats();
+    latencies.sort_unstable();
+
+    let counter = |k: &str| stats.get(k).and_then(Value::as_f64).unwrap_or_default() as u64;
+    let requests = latencies.len();
+    let report = ChurnReport {
+        distinct_queries: texts.len(),
+        churn_readers: READERS,
+        staleness_budget: STALENESS_BUDGET,
+        mutation_batches: store_stats.batches,
+        mutation_failures,
+        epochs: store_stats.epoch,
+        inserted: store_stats.inserted,
+        removed: store_stats.removed,
+        updated: store_stats.updated,
+        requests,
+        wall_s,
+        qps: requests as f64 / wall_s.max(1e-9),
+        p50_us: percentile_us(&latencies, 50),
+        p99_us: percentile_us(&latencies, 99),
+        cache_hits: counter("cache_hits"),
+        cache_hit_rate: stats
+            .get("cache_hit_rate")
+            .and_then(Value::as_f64)
+            .unwrap_or_default(),
+        partial_rebuilds: store_stats.index_partial_rebuilds.unwrap_or_default(),
+        full_rebuilds: store_stats.index_rebuilds,
+        stale_ops: store_stats.index_stale_ops.unwrap_or_default(),
+    };
+
+    let mut table = TextTable::new(vec![
+        "queries", "q/s", "p50", "p99", "hit %", "epochs", "partials", "failures",
+    ]);
+    table.row(vec![
+        format!("{}", report.requests),
+        format!("{:.0}", report.qps),
+        fmt_us(report.p50_us),
+        fmt_us(report.p99_us),
+        format!("{:.0}%", report.cache_hit_rate * 100.0),
+        format!("{}", report.epochs),
+        format!("{}", report.partial_rebuilds),
+        format!("{}", report.mutation_failures),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{} mutation batches (+{} -{} ~{}), staleness budget {}, {} partial / {} full \
+         index rebuilds",
+        report.mutation_batches,
+        report.inserted,
+        report.removed,
+        report.updated,
+        report.staleness_budget,
+        report.partial_rebuilds,
+        report.full_rebuilds,
     );
     println!();
     report

@@ -40,8 +40,10 @@ USAGE:
   gss index    stats --index IDX [--db FILE]
   gss serve    --db FILE [--index IDX] [--addr HOST:PORT] [--workers N]
                [--reactor-threads N] [--shards N] [--queue N] [--cache N]
-               [--batch N] [--prefilter] [--approx]
+               [--batch N] [--prefilter] [--approx] [--staleness-budget N]
   gss client   --addr HOST:PORT [--query-file FILE|-] [--stats] [--shutdown]
+               [--insert-file FILE|-] [--remove NAME[,NAME…]]
+               [--update NAME --update-file FILE|-]
                [--bench --db FILE [--connections C] [--repeat R] [--limit N]]
                [--prefilter] [--approx] [--algo naive|bnl|sfs] [--plan PLAN]
                [--deadline-ms MS]
@@ -73,9 +75,13 @@ k-skyband now runs through the same staged executor, excluding candidates
 whose lower bounds already have k verified dominators without solving them.
 
 `serve` runs the long-lived query server (newline-delimited JSON protocol,
-result caching, admission control — see the gss-server crate docs);
-`client` talks to it: one-shot queries, stats, graceful shutdown, and a
---bench load generator reporting queries/sec and latency percentiles.
+result caching, admission control — see the gss-server crate docs). The
+served database is live: `client` mutation flags (--insert-file, --remove,
+--update … --update-file) apply atomic batches that bump the store epoch,
+maintain the pivot index incrementally (--staleness-budget caps drift
+before a partial rebuild), and invalidate cached results. `client` also
+does one-shot queries, stats, graceful shutdown, and a --bench load
+generator reporting queries/sec and latency percentiles.
 "
     .to_owned()
 }

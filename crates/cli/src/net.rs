@@ -1,11 +1,15 @@
 //! The networked subcommands: `gss serve` and `gss client`.
 //!
-//! `serve` starts a `gss-server` over a database file and blocks until a
-//! client sends the `shutdown` verb (graceful drain). `client` speaks the
-//! newline-delimited JSON protocol: one-shot queries (`--query-file`,
-//! `-` for stdin), counter inspection (`--stats`), drain requests
-//! (`--shutdown`) and a load generator (`--bench`) that measures
-//! queries/sec and latency percentiles over concurrent connections.
+//! `serve` starts a `gss-server` over a database file — wrapped in a live
+//! [`GraphStore`] (with the `--index` pivot index maintained across
+//! mutations, partial-rebuilding once `--staleness-budget` is exceeded) —
+//! and blocks until a client sends the `shutdown` verb (graceful drain).
+//! `client` speaks the newline-delimited JSON protocol: one-shot queries
+//! (`--query-file`, `-` for stdin), atomic mutation batches
+//! (`--insert-file`, `--remove`, `--update` + `--update-file`), counter
+//! inspection (`--stats`), drain requests (`--shutdown`) and a load
+//! generator (`--bench`) that measures queries/sec and latency
+//! percentiles over concurrent connections.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -13,7 +17,7 @@ use std::time::Instant;
 
 use gss_core::jsonio::Value;
 use gss_core::QueryOptions;
-use gss_server::{percentile_us, Client, ClientBuilder, ServerConfig};
+use gss_server::{percentile_us, Client, ClientBuilder, GraphStore, ServerConfig, StoreConfig};
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_db, load_index, parse_plan_sharded, read_text_input, solver_config};
@@ -35,6 +39,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "prefilter",
         "approx",
         "plan",
+        "staleness-budget",
     ])?;
     let db = load_db(args)?;
     let index = load_index(&db, args)?;
@@ -43,8 +48,21 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         solvers: solver_config(args),
         plan,
         prefilter: args.flag("prefilter"),
-        index: index.map(|i| i as Arc<dyn gss_core::QueryIndex>),
         ..Default::default()
+    };
+    // The index lives in the live store (not the base options): each
+    // mutation epoch maintains it incrementally and queries pick it up
+    // from their pinned snapshot.
+    let store_config = StoreConfig {
+        index: None,
+        staleness_budget: args
+            .get_parsed_or("staleness-budget", StoreConfig::default().staleness_budget)?,
+    };
+    let db = Arc::new(db);
+    let store = match index {
+        Some(index) => GraphStore::with_index(db, index, store_config)
+            .map_err(|e| ArgError(format!("--index does not match --db: {e}")))?,
+        None => GraphStore::new(db, store_config),
     };
     let defaults = ServerConfig::default();
     let config = ServerConfig {
@@ -59,8 +77,8 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         default_deadline_ms: args.get_parsed_or("deadline-ms", defaults.default_deadline_ms)?,
         retry_after_ms: defaults.retry_after_ms,
     };
-    let graphs = db.len();
-    let handle = gss_server::serve(Arc::new(db), base, config)
+    let graphs = store.snapshot().database().len();
+    let handle = gss_server::serve_store(Arc::new(store), base, config)
         .map_err(|e| ArgError(format!("cannot start server: {e}")))?;
     // The bound address goes to stderr immediately (stdout is reserved for
     // the final report): with --addr …:0 this is the only place the chosen
@@ -139,6 +157,10 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         "deadline-ms",
         "stats",
         "shutdown",
+        "insert-file",
+        "remove",
+        "update",
+        "update-file",
     ])?;
     let addr = args.require("addr")?;
     let mut out = String::new();
@@ -151,6 +173,50 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
             .query(&text)
             .map_err(io_err)?;
         out.push_str(&response.to_line());
+    }
+
+    if let Some(path) = args.get("insert-file") {
+        acted = true;
+        let text = read_text_input(path, "--insert-file")?;
+        let response = connect(addr)?.insert(&text).map_err(io_err)?;
+        out.push_str(&response.to_line());
+    }
+
+    if let Some(list) = args.get("remove") {
+        acted = true;
+        let names: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if names.is_empty() {
+            return Err(ArgError(
+                "--remove needs at least one graph name".to_owned(),
+            ));
+        }
+        let response = connect(addr)?.remove(&names).map_err(io_err)?;
+        out.push_str(&response.to_line());
+    }
+
+    match (args.get("update"), args.get("update-file")) {
+        (Some(name), Some(path)) => {
+            acted = true;
+            let text = read_text_input(path, "--update-file")?;
+            let response = connect(addr)?.update(name, &text).map_err(io_err)?;
+            out.push_str(&response.to_line());
+        }
+        (Some(_), None) => {
+            return Err(ArgError(
+                "--update needs --update-file FILE with the replacement graph".to_owned(),
+            ))
+        }
+        (None, Some(_)) => {
+            return Err(ArgError(
+                "--update-file needs --update NAME naming the graph to replace".to_owned(),
+            ))
+        }
+        (None, None) => {}
     }
 
     if args.flag("bench") {

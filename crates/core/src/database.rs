@@ -26,13 +26,29 @@ impl GraphId {
 /// [`GraphStats`] summary ([`GraphDatabase::stats`]): label multisets,
 /// edge-class multiset, sorted degree sequence, WL fingerprint and
 /// connectivity — computed at most **once per graph for the lifetime of
-/// the database** instead of once per candidate per scan. Stored graphs
-/// are immutable (the mutating APIs only append), so a computed summary
-/// never goes stale; clones share the cache cells.
+/// the database** instead of once per candidate per scan. The mutating
+/// APIs keep the cache aligned: [`GraphDatabase::push`] adds a fresh
+/// cell, [`GraphDatabase::remove`] drops one, and
+/// [`GraphDatabase::replace`] resets the touched cell — so a computed
+/// summary never goes stale. Clones share the cells, which is what makes
+/// the `gss-store` MVCC layer cheap: a new epoch clones the database and
+/// only the touched graphs lose their cached summaries.
+///
+/// # Epochs
+///
+/// A database carries a monotonically increasing **epoch** counter
+/// ([`GraphDatabase::epoch`], 0 for freshly loaded/built databases) that
+/// is folded into [`GraphDatabase::fingerprint`]. The `gss-store`
+/// snapshot store bumps it on every mutation batch, so two snapshots
+/// never share a fingerprint — even when a remove+insert round-trip
+/// reproduces byte-identical content — which is what keeps
+/// fingerprint-keyed caches (the server's result cache) epoch-consistent.
 #[derive(Debug, Clone, Default)]
 pub struct GraphDatabase {
     vocab: Vocabulary,
     graphs: Vec<Graph>,
+    /// Mutation-batch generation this content belongs to (see type docs).
+    epoch: u64,
     /// One cache cell per graph, aligned with `graphs`. `Arc` so clones
     /// share already-computed summaries; `OnceLock` for thread-safe
     /// fill-once semantics under the parallel scans.
@@ -53,6 +69,7 @@ impl GraphDatabase {
         GraphDatabase {
             vocab,
             graphs,
+            epoch: 0,
             stats,
         }
     }
@@ -98,6 +115,30 @@ impl GraphDatabase {
         self.graphs.push(graph);
         self.stats.push(Arc::default());
         id
+    }
+
+    /// Removes a graph, compacting the dense id space: every graph after
+    /// it shifts down by one id. Returns the removed graph. Derived
+    /// artifacts holding old ids (indexes, snapshots) must be remapped or
+    /// rebuilt — the `gss-store` mutation path does exactly that and bumps
+    /// the epoch so stale fingerprints stop validating.
+    ///
+    /// # Panics
+    /// Panics for ids not created by this database.
+    pub fn remove(&mut self, id: GraphId) -> Graph {
+        self.stats.remove(id.0);
+        self.graphs.remove(id.0)
+    }
+
+    /// Replaces the graph behind an id in place (same id, new content),
+    /// resetting its cached stats cell. Returns the previous graph. The
+    /// replacement must share this database's vocabulary.
+    ///
+    /// # Panics
+    /// Panics for ids not created by this database.
+    pub fn replace(&mut self, id: GraphId, graph: Graph) -> Graph {
+        self.stats[id.0] = Arc::default();
+        std::mem::replace(&mut self.graphs[id.0], graph)
     }
 
     /// Builds a query graph against this database's vocabulary *without*
@@ -167,6 +208,22 @@ impl GraphDatabase {
         &mut self.vocab
     }
 
+    /// The mutation epoch this content belongs to (0 for freshly
+    /// loaded/built databases; bumped by the `gss-store` snapshot store
+    /// on every mutation batch). Folded into
+    /// [`GraphDatabase::fingerprint`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the mutation epoch (see [`GraphDatabase::epoch`]). Intended
+    /// for the snapshot store's batch-apply path; changing the epoch
+    /// changes the fingerprint, so derived artifacts built against the
+    /// old epoch stop validating.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Finds a graph id by name (first match).
     pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
         self.graphs
@@ -227,15 +284,19 @@ impl GraphDatabase {
             .collect()
     }
 
-    /// A structural fingerprint of the database: a 64-bit hash of every
-    /// graph's vertex labels and edge list in insertion order.
+    /// A structural fingerprint of the database: a 64-bit hash of the
+    /// mutation epoch plus every graph's vertex labels and edge list in
+    /// insertion order.
     ///
     /// Derived artifacts (e.g. a serialized `gss-index` pivot index) store
     /// this value and refuse to load against a database whose content or
     /// ordering has changed. Renaming graphs does not change the
-    /// fingerprint; any structural or label edit does.
+    /// fingerprint; any structural or label edit does, and so does a
+    /// mutation-epoch bump — two live-store snapshots never collide even
+    /// when a mutation round-trip restores identical content.
     pub fn fingerprint(&self) -> u64 {
         let mut h = codec::Fnv64::new();
+        h.write_u64(self.epoch);
         // Labels hash as their vocabulary strings, not their interned ids:
         // ids are vocabulary-relative, and two different databases can
         // intern different strings to the same dense ids.
@@ -665,6 +726,53 @@ mod tests {
             .add("a", |b| b.vertices(&["x", "y"], "C").edge("x", "y", "="))
             .unwrap();
         assert_ne!(edited.fingerprint(), fp);
+    }
+
+    #[test]
+    fn remove_compacts_ids_and_replace_resets_stats() {
+        let mut db = GraphDatabase::new();
+        db.add("a", |b| b.vertex("x", "A")).unwrap();
+        db.add("b", |b| b.vertices(&["p", "q"], "B").edge("p", "q", "-"))
+            .unwrap();
+        db.add("c", |b| b.vertex("y", "C")).unwrap();
+        let snapshot = db.clone();
+
+        let gone = db.remove(GraphId(1));
+        assert_eq!(gone.name(), "b");
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(GraphId(1)).name(), "c", "ids compact");
+        assert_eq!(db.stats(GraphId(1)).order, 1);
+        // The clone taken before the removal is untouched.
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot.get(GraphId(1)).name(), "b");
+
+        let replacement = db
+            .build_query("a2", |b| b.vertices(&["u", "v"], "A").edge("u", "v", "-"))
+            .unwrap();
+        let old = db.replace(GraphId(0), replacement);
+        assert_eq!(old.name(), "a");
+        assert_eq!(db.stats(GraphId(0)).order, 2, "stats cell was reset");
+        assert_eq!(snapshot.stats(GraphId(0)).order, 1, "clone keeps its own");
+    }
+
+    #[test]
+    fn epoch_is_folded_into_the_fingerprint() {
+        let mut db = GraphDatabase::new();
+        db.add("a", |b| b.vertices(&["x", "y"], "C").edge("x", "y", "-"))
+            .unwrap();
+        assert_eq!(db.epoch(), 0, "fresh databases start at epoch 0");
+        let fp0 = db.fingerprint();
+
+        // Same content at a later epoch fingerprints differently…
+        let mut bumped = db.clone();
+        bumped.set_epoch(7);
+        assert_eq!(bumped.epoch(), 7);
+        assert_ne!(bumped.fingerprint(), fp0);
+        // …deterministically…
+        assert_eq!(bumped.fingerprint(), bumped.fingerprint());
+        // …and restoring the epoch restores the fingerprint.
+        bumped.set_epoch(0);
+        assert_eq!(bumped.fingerprint(), fp0);
     }
 
     #[test]

@@ -50,6 +50,32 @@
 //! answer-identical to the naive scan (property-tested in
 //! `tests/index_pipeline.rs`).
 //!
+//! # Incremental maintenance (live databases)
+//!
+//! A built index does not have to be thrown away when the database
+//! mutates. [`PivotIndex::apply_batch`] absorbs one `gss-store` mutation
+//! batch **without running the exact solvers**: the per-graph distance
+//! table stores an admissible `[lower, upper]` GED *bracket* per pivot
+//! (exact builds have `lower == upper`), inserted/updated graphs get
+//! their bracket from the same cheap probe bounds the query path uses,
+//! and removals tombstone the member out of its partition while the
+//! partition's rings and envelopes stay behind as valid-but-looser
+//! bounds. A ring `[min, max]` is maintained as (min of member lower
+//! bounds, max of member upper bounds), which keeps the triangle bound
+//! `max(lo_q − ring_max, ring_min − hi_q)` admissible for every member.
+//! Removing or replacing a **pivot** graph falls back to a full exact
+//! rebuild — the one case incremental absorption cannot cover.
+//!
+//! Absorbed operations accumulate as staleness ([`PivotIndex::stale_ops`]).
+//! When the caller's budget is exceeded, [`PivotIndex::partial_rebuild`]
+//! re-assigns members to their nearest pivot and re-quantiles the
+//! distance rings from the *stored* brackets — no exact GED — restoring
+//! partition tightness at a fraction of the build cost. Because every
+//! maintained bound stays admissible, queries through an incrementally
+//! maintained index return skylines and witnesses **byte-identical** to a
+//! from-scratch rebuild at every epoch (property-tested in
+//! `tests/store_incremental.rs`).
+//!
 //! ```
 //! use std::sync::Arc;
 //! use gss_core::{graph_similarity_skyline, GraphDatabase, QueryOptions};
@@ -139,10 +165,19 @@ pub struct PivotIndex {
     /// Chosen pivot graph ids (may be fewer than `config.pivots` when the
     /// database is small or collapses onto the pivots).
     pub(crate) pivot_ids: Vec<u32>,
-    /// Exact GED from every graph to every pivot, row-major
-    /// (`dist[g * k + j]`).
+    /// Admissible *lower* bound on every graph's GED to every pivot,
+    /// row-major (`dist[g * k + j]`). Exact for graphs present at build
+    /// time; a probe lower bound for incrementally absorbed graphs.
     pub(crate) pivot_dists: Vec<f64>,
+    /// Matching *upper* bounds (equal to [`PivotIndex::pivot_dists`] for
+    /// exactly-built graphs; the bipartite upper bound for absorbed ones).
+    pub(crate) pivot_dists_hi: Vec<f64>,
     pub(crate) partitions: Vec<Partition>,
+    /// Mutation operations absorbed since the last full or partial
+    /// rebuild.
+    pub(crate) stale_ops: u64,
+    /// Partial rebuilds performed over this index's lifetime.
+    pub(crate) partial_rebuilds: u64,
 }
 
 impl PivotIndex {
@@ -234,6 +269,7 @@ impl PivotIndex {
                         &cell[lo..hi],
                         k,
                         &pivot_dists,
+                        &pivot_dists,
                     ));
                 }
             }
@@ -247,8 +283,11 @@ impl PivotIndex {
                 rings,
             },
             pivot_ids,
+            pivot_dists_hi: pivot_dists.clone(),
             pivot_dists,
             partitions,
+            stale_ops: 0,
+            partial_rebuilds: 0,
         }
     }
 
@@ -256,7 +295,8 @@ impl PivotIndex {
         db: &GraphDatabase,
         members: &[usize],
         k: usize,
-        pivot_dists: &[f64],
+        dists_lo: &[f64],
+        dists_hi: &[f64],
     ) -> Partition {
         let mut ids: Vec<u32> = members.iter().map(|&g| g as u32).collect();
         ids.sort_unstable();
@@ -268,9 +308,8 @@ impl PivotIndex {
         let mut size_range = (usize::MAX, 0usize);
         for &g in members {
             for j in 0..k {
-                let d = pivot_dists[g * k + j];
-                ged_rings[j].0 = ged_rings[j].0.min(d);
-                ged_rings[j].1 = ged_rings[j].1.max(d);
+                ged_rings[j].0 = ged_rings[j].0.min(dists_lo[g * k + j]);
+                ged_rings[j].1 = ged_rings[j].1.max(dists_hi[g * k + j]);
             }
             let graph = db.get(GraphId(g));
             vertex_env.max_union(&vertex_label_multiset(graph));
@@ -336,6 +375,292 @@ impl PivotIndex {
     /// The build configuration.
     pub fn config(&self) -> PivotIndexConfig {
         self.config
+    }
+}
+
+/// How [`PivotIndex::apply_batch`] absorbed a mutation batch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MaintenanceOutcome {
+    /// Every operation was absorbed in place via cheap probe bounds.
+    Incremental,
+    /// A pivot graph was removed or replaced (or the index had no pivots
+    /// yet), so the index ran a full exact rebuild.
+    Rebuilt,
+}
+
+impl PivotIndex {
+    /// Admissible GED bracket of `graph` against a pivot from probe bounds
+    /// alone — the same bounds the query path uses, no exact solver.
+    fn bracket(graph: &Graph, pivot: &Graph) -> (f64, f64) {
+        let size_diff = graph.size().abs_diff(pivot.size()) as f64;
+        let lo = gss_ged::combined_lower_bound(graph, pivot).max(size_diff);
+        let hi = bipartite_ged(graph, pivot, &CostModel::uniform()).cost;
+        (lo, hi)
+    }
+
+    /// Mutation operations absorbed since the last full or partial
+    /// rebuild — the staleness a maintenance budget is tracked against.
+    /// Absorbed operations loosen bounds (probe brackets instead of exact
+    /// distances, tombstoned rings) but never break admissibility.
+    pub fn stale_ops(&self) -> u64 {
+        self.stale_ops
+    }
+
+    /// Number of [`PivotIndex::partial_rebuild`] passes run over this
+    /// index's lifetime (surviving full rebuilds, for observability).
+    pub fn partial_rebuilds(&self) -> u64 {
+        self.partial_rebuilds
+    }
+
+    /// Absorbs one mutation batch, transforming an index valid for the
+    /// pre-batch database into one valid for `db` (the **post-batch**
+    /// database) without running the exact solvers.
+    ///
+    /// The batch follows the `gss-store` apply order — removals first,
+    /// then in-place updates, then appends:
+    ///
+    /// * `removed` — pre-batch ids taken out (any order; ids above each
+    ///   removal shift down by one, matching the dense-id compaction of
+    ///   `GraphDatabase`),
+    /// * `updated` — **post-removal** ids whose graph content was replaced
+    ///   in place,
+    /// * `inserted` — how many graphs were appended at the tail of `db`.
+    ///
+    /// Inserted and updated graphs get probe-bound brackets and join the
+    /// existing partition that needs the least ring expansion; removed
+    /// graphs are tombstoned out (their partition's rings and envelopes
+    /// stay behind as valid-but-looser bounds). Removing or replacing a
+    /// pivot falls back to [`PivotIndex::build`] and reports
+    /// [`MaintenanceOutcome::Rebuilt`].
+    pub fn apply_batch(
+        &mut self,
+        db: &GraphDatabase,
+        removed: &[usize],
+        updated: &[usize],
+        inserted: usize,
+    ) -> MaintenanceOutcome {
+        // Removals, descending so earlier shifts cannot disturb later ids.
+        let mut removals: Vec<usize> = removed.to_vec();
+        removals.sort_unstable_by(|a, b| b.cmp(a));
+        removals.dedup();
+
+        // A removed pivot invalidates a whole distance-table column; an
+        // updated pivot invalidates it too (updates keep their id, and
+        // removals shift later ids down — map each surviving pivot through
+        // the removals before comparing).
+        let removed_pivot = removals
+            .iter()
+            .any(|&g| self.pivot_ids.iter().any(|&p| p as usize == g));
+        let shifted_pivot = |p: u32| {
+            let below = removals.iter().filter(|&&r| r < p as usize).count();
+            p as usize - below
+        };
+        let updated_pivot = updated
+            .iter()
+            .any(|&g| self.pivot_ids.iter().any(|&p| shifted_pivot(p) == g));
+        if removed_pivot || updated_pivot || (self.pivot_ids.is_empty() && !db.is_empty()) {
+            let keep = self.partial_rebuilds;
+            *self = PivotIndex::build(db, &self.config);
+            self.partial_rebuilds = keep;
+            return MaintenanceOutcome::Rebuilt;
+        }
+
+        let k = self.pivot_ids.len();
+
+        for &g in &removals {
+            self.detach(g);
+            self.pivot_dists.drain(g * k..(g + 1) * k);
+            self.pivot_dists_hi.drain(g * k..(g + 1) * k);
+            for part in &mut self.partitions {
+                for m in &mut part.members {
+                    if *m as usize > g {
+                        *m -= 1;
+                    }
+                }
+            }
+            for p in &mut self.pivot_ids {
+                if *p as usize > g {
+                    *p -= 1;
+                }
+            }
+        }
+
+        // In-place updates: re-bracket, then migrate to the best partition
+        // (the old partition keeps its looser summary).
+        for &g in updated {
+            self.detach(g);
+            let bracket = self.bracket_row(db, g);
+            for (j, &(lo, hi)) in bracket.iter().enumerate() {
+                self.pivot_dists[g * k + j] = lo;
+                self.pivot_dists_hi[g * k + j] = hi;
+            }
+            self.attach(db, g, &bracket);
+        }
+
+        // Appends.
+        for g in db.len().saturating_sub(inserted)..db.len() {
+            let bracket = self.bracket_row(db, g);
+            for &(lo, hi) in &bracket {
+                self.pivot_dists.push(lo);
+                self.pivot_dists_hi.push(hi);
+            }
+            self.attach(db, g, &bracket);
+        }
+
+        self.db_len = db.len();
+        self.db_fingerprint = db.fingerprint();
+        self.stale_ops += (removals.len() + updated.len() + inserted) as u64;
+        MaintenanceOutcome::Incremental
+    }
+
+    /// Re-partitions from the stored distance brackets — no exact GED:
+    /// members are re-assigned to their nearest pivot (by upper bound) and
+    /// each cell is re-quantiled into distance rings with envelopes
+    /// re-summarized from the live graphs. This undoes the bound slack
+    /// tombstones and migrations accumulate; call it when
+    /// [`PivotIndex::stale_ops`] exceeds the maintenance budget. Resets
+    /// the staleness counter and bumps [`PivotIndex::partial_rebuilds`].
+    pub fn partial_rebuild(&mut self, db: &GraphDatabase) {
+        let n = self.db_len;
+        let k = self.pivot_ids.len();
+        debug_assert_eq!(n, db.len(), "partial rebuild against a foreign database");
+        let mut cells: Vec<Vec<usize>> = vec![Vec::new(); k.max(1)];
+        for g in 0..n {
+            let mut best = 0usize;
+            for j in 1..k {
+                if self.pivot_dists_hi[g * k + j] < self.pivot_dists_hi[g * k + best] {
+                    best = j;
+                }
+            }
+            cells[best].push(g);
+        }
+        let rings = self.config.rings.max(1);
+        let mut partitions = Vec::new();
+        for (j, mut cell) in cells.into_iter().enumerate() {
+            if k > 0 {
+                cell.sort_by(|&a, &b| {
+                    self.pivot_dists[a * k + j]
+                        .partial_cmp(&self.pivot_dists[b * k + j])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+            let buckets = rings.min(cell.len().max(1));
+            for r in 0..buckets {
+                let lo = r * cell.len() / buckets;
+                let hi = (r + 1) * cell.len() / buckets;
+                if lo < hi {
+                    partitions.push(Self::summarize_partition(
+                        db,
+                        &cell[lo..hi],
+                        k,
+                        &self.pivot_dists,
+                        &self.pivot_dists_hi,
+                    ));
+                }
+            }
+        }
+        self.partitions = partitions;
+        self.stale_ops = 0;
+        self.partial_rebuilds += 1;
+    }
+
+    /// The probe-bound bracket of graph `g` against every pivot.
+    fn bracket_row(&self, db: &GraphDatabase, g: usize) -> Vec<(f64, f64)> {
+        let graph = db.get(GraphId(g));
+        self.pivot_ids
+            .iter()
+            .map(|&p| Self::bracket(graph, db.get(GraphId(p as usize))))
+            .collect()
+    }
+
+    /// Removes graph `g` from its partition, dropping the partition when
+    /// it empties. Returns whether the member was found.
+    fn detach(&mut self, g: usize) -> bool {
+        let id = g as u32;
+        let mut hit = None;
+        for (pi, part) in self.partitions.iter_mut().enumerate() {
+            if let Ok(pos) = part.members.binary_search(&id) {
+                part.members.remove(pos);
+                hit = Some(pi);
+                break;
+            }
+        }
+        match hit {
+            Some(pi) => {
+                if self.partitions[pi].members.is_empty() {
+                    self.partitions.remove(pi);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds graph `g` (with its per-pivot bracket) to the partition whose
+    /// ring at `g`'s nearest pivot needs the least expansion, widening
+    /// that partition's rings, envelopes and ranges to cover it. Creates
+    /// the first partition when none exist.
+    fn attach(&mut self, db: &GraphDatabase, g: usize, bracket: &[(f64, f64)]) {
+        let graph = db.get(GraphId(g));
+        if self.partitions.is_empty() {
+            self.partitions.push(Partition {
+                members: vec![g as u32],
+                ged_rings: bracket.to_vec(),
+                vertex_env: vertex_label_multiset(graph),
+                edge_env: edge_label_multiset(graph),
+                class_env: edge_class_multiset(graph),
+                order_range: (graph.order(), graph.order()),
+                size_range: (graph.size(), graph.size()),
+            });
+            return;
+        }
+        let k = bracket.len();
+        let near = (0..k)
+            .min_by(|&a, &b| {
+                bracket[a]
+                    .1
+                    .partial_cmp(&bracket[b].1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0);
+        let expansion = |part: &Partition| -> f64 {
+            if k == 0 {
+                return 0.0;
+            }
+            let (ring_min, ring_max) = part.ged_rings[near];
+            let (lo, hi) = bracket[near];
+            (ring_min - lo).max(0.0) + (hi - ring_max).max(0.0)
+        };
+        let best = self
+            .partitions
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| {
+                expansion(a)
+                    .partial_cmp(&expansion(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+            .expect("partitions checked nonempty");
+        let part = &mut self.partitions[best];
+        let id = g as u32;
+        if let Err(pos) = part.members.binary_search(&id) {
+            part.members.insert(pos, id);
+        }
+        for (ring, &(lo, hi)) in part.ged_rings.iter_mut().zip(bracket) {
+            ring.0 = ring.0.min(lo);
+            ring.1 = ring.1.max(hi);
+        }
+        part.vertex_env.max_union(&vertex_label_multiset(graph));
+        part.edge_env.max_union(&edge_label_multiset(graph));
+        part.class_env.max_union(&edge_class_multiset(graph));
+        part.order_range.0 = part.order_range.0.min(graph.order());
+        part.order_range.1 = part.order_range.1.max(graph.order());
+        part.size_range.0 = part.size_range.0.min(graph.size());
+        part.size_range.1 = part.size_range.1.max(graph.size());
     }
 }
 
@@ -618,6 +943,131 @@ mod tests {
         let mut other = db.clone();
         other.add("extra", |b| b.vertex("x", "C")).unwrap();
         let _ = idx.plan(&other, &q, &MeasureKind::paper_query_measures());
+    }
+
+    /// Every partition member must be covered exactly once and every
+    /// stored bound must stay admissible against the database.
+    fn assert_well_formed(idx: &PivotIndex, db: &GraphDatabase) {
+        assert!(idx.validate(db).is_ok());
+        let mut seen: Vec<u32> = idx
+            .partitions
+            .iter()
+            .flat_map(|p| p.members.clone())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..db.len() as u32).collect::<Vec<_>>());
+        let k = idx.pivot_ids.len();
+        for g in 0..db.len() {
+            for (j, &p) in idx.pivot_ids.iter().enumerate() {
+                let exact = gss_ged::ged(db.get(GraphId(g)), db.get(GraphId(p as usize)));
+                assert!(
+                    idx.pivot_dists[g * k + j] <= exact + 1e-9,
+                    "lower bound of g{g} vs pivot {p} exceeds exact GED"
+                );
+                assert!(
+                    idx.pivot_dists_hi[g * k + j] >= exact - 1e-9,
+                    "upper bound of g{g} vs pivot {p} below exact GED"
+                );
+            }
+        }
+    }
+
+    fn indexed_matches_rebuild(idx: &PivotIndex, db: &GraphDatabase, q: &Graph) {
+        let fresh = PivotIndex::build(db, &idx.config());
+        let a = graph_similarity_skyline(
+            db,
+            q,
+            &QueryOptions::default().with_index(Arc::new(idx.clone())),
+        );
+        let b =
+            graph_similarity_skyline(db, q, &QueryOptions::default().with_index(Arc::new(fresh)));
+        assert_eq!(a.skyline, b.skyline);
+        assert_eq!(a.dominated, b.dominated);
+    }
+
+    #[test]
+    fn incremental_insert_remove_update_stays_admissible() {
+        let (db, q) = paper_db();
+        let mut idx = PivotIndex::build(&db, &PivotIndexConfig::default());
+        let non_pivot = (0..db.len())
+            .rev()
+            .find(|g| !idx.pivot_ids.contains(&(*g as u32)))
+            .expect("paper database has non-pivot graphs");
+
+        // Insert two graphs.
+        let mut live = db.clone();
+        live.add("extra1", |b| {
+            b.vertices(&["a", "b", "c"], "C")
+                .path(&["a", "b", "c"], "-")
+        })
+        .unwrap();
+        live.add("extra2", |b| {
+            b.vertices(&["a", "b"], "N").edge("a", "b", "=")
+        })
+        .unwrap();
+        live.set_epoch(1);
+        assert_eq!(
+            idx.apply_batch(&live, &[], &[], 2),
+            MaintenanceOutcome::Incremental
+        );
+        assert_eq!(idx.stale_ops(), 2);
+        assert_well_formed(&idx, &live);
+        indexed_matches_rebuild(&idx, &live, &q);
+
+        // Remove a non-pivot graph (ids above it shift down).
+        let mut next = live.clone();
+        next.remove(GraphId(non_pivot));
+        next.set_epoch(2);
+        assert_eq!(
+            idx.apply_batch(&next, &[non_pivot], &[], 0),
+            MaintenanceOutcome::Incremental
+        );
+        assert_eq!(idx.stale_ops(), 3);
+        assert_well_formed(&idx, &next);
+        indexed_matches_rebuild(&idx, &next, &q);
+
+        // Update the last graph in place.
+        let mut updated = next.clone();
+        let target = updated.len() - 1;
+        let replacement = updated
+            .build_query("swap", |b| {
+                b.vertices(&["x", "y", "z", "w"], "C")
+                    .cycle(&["x", "y", "z", "w"], "-")
+            })
+            .unwrap();
+        updated.replace(GraphId(target), replacement);
+        updated.set_epoch(3);
+        assert_eq!(
+            idx.apply_batch(&updated, &[], &[target], 0),
+            MaintenanceOutcome::Incremental
+        );
+        assert_eq!(idx.stale_ops(), 4);
+        assert_well_formed(&idx, &updated);
+        indexed_matches_rebuild(&idx, &updated, &q);
+
+        // A partial rebuild re-tightens without exact GED and resets
+        // staleness.
+        idx.partial_rebuild(&updated);
+        assert_eq!(idx.stale_ops(), 0);
+        assert_eq!(idx.partial_rebuilds(), 1);
+        assert_well_formed(&idx, &updated);
+        indexed_matches_rebuild(&idx, &updated, &q);
+    }
+
+    #[test]
+    fn touching_a_pivot_forces_a_full_rebuild() {
+        let (db, _) = paper_db();
+        let mut idx = PivotIndex::build(&db, &PivotIndexConfig::default());
+        let pivot = idx.pivot_ids[0] as usize;
+        let mut live = db.clone();
+        live.remove(GraphId(pivot));
+        live.set_epoch(1);
+        assert_eq!(
+            idx.apply_batch(&live, &[pivot], &[], 0),
+            MaintenanceOutcome::Rebuilt
+        );
+        assert_eq!(idx.stale_ops(), 0, "a rebuild starts fresh");
+        assert_well_formed(&idx, &live);
     }
 
     #[test]

@@ -18,8 +18,11 @@ use crate::{Partition, PivotIndex, PivotIndexConfig};
 
 /// Magic bytes of a serialized pivot index.
 pub(crate) const MAGIC: &[u8; 8] = b"GSSPIVIX";
-/// Current (and only) format version.
-pub(crate) const VERSION: u32 = 1;
+/// Current format version. Version 2 added the per-graph upper-bound
+/// distance table and the staleness counters of incremental maintenance;
+/// version-1 artifacts (exact distances only) still load, with the upper
+/// bounds initialized to the exact values.
+pub(crate) const VERSION: u32 = 2;
 
 /// Why a pivot index could not be loaded or used.
 #[derive(Debug)]
@@ -95,11 +98,16 @@ impl PivotIndex {
         w.u64(self.db_fingerprint);
         w.usize(self.config.pivots);
         w.usize(self.config.rings);
+        w.u64(self.stale_ops);
+        w.u64(self.partial_rebuilds);
         w.usize(self.pivot_ids.len());
         for &p in &self.pivot_ids {
             w.u32(p);
         }
         for &d in &self.pivot_dists {
+            w.f64(d);
+        }
+        for &d in &self.pivot_dists_hi {
             w.f64(d);
         }
         w.usize(self.partitions.len());
@@ -132,12 +140,17 @@ impl PivotIndex {
     /// Deserializes an index previously produced by [`Self::to_bytes`],
     /// verifying magic, version, checksum and structural sanity.
     pub fn from_bytes(bytes: &[u8]) -> Result<PivotIndex, IndexError> {
-        let (mut r, _version) = Reader::new(bytes, MAGIC, VERSION)?;
+        let (mut r, version) = Reader::new(bytes, MAGIC, VERSION)?;
         let db_len = r.usize()?;
         let db_fingerprint = r.u64()?;
         let config = PivotIndexConfig {
             pivots: r.usize()?,
             rings: r.usize()?,
+        };
+        let (stale_ops, partial_rebuilds) = if version >= 2 {
+            (r.u64()?, r.u64()?)
+        } else {
+            (0, 0)
         };
         let k = r.usize()?;
         if k > db_len {
@@ -164,6 +177,17 @@ impl PivotIndex {
         for _ in 0..dists {
             pivot_dists.push(r.f64()?);
         }
+        // Version 1 stored exact distances only: the bracket degenerates
+        // to [exact, exact], which is what an exact build produces.
+        let pivot_dists_hi = if version >= 2 {
+            let mut hi = Vec::with_capacity(dists.min(CAP_LIMIT));
+            for _ in 0..dists {
+                hi.push(r.f64()?);
+            }
+            hi
+        } else {
+            pivot_dists.clone()
+        };
         let partition_count = r.usize()?;
         let mut partitions = Vec::with_capacity(partition_count.min(db_len));
         let mut covered = 0usize;
@@ -215,7 +239,10 @@ impl PivotIndex {
             config,
             pivot_ids,
             pivot_dists,
+            pivot_dists_hi,
             partitions,
+            stale_ops,
+            partial_rebuilds,
         })
     }
 
@@ -270,6 +297,53 @@ mod tests {
             PivotIndex::from_bytes(b"not an index"),
             Err(IndexError::Codec(CodecError::BadMagic))
         ));
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load() {
+        // Hand-write the version-1 layout (exact distances only, no
+        // staleness counters) for a freshly built index. A fresh build has
+        // `lower == upper` and zero counters, so the decoded index must be
+        // identical to the in-memory one.
+        let idx = index();
+        let mut w = Writer::new(MAGIC, 1);
+        w.usize(idx.db_len);
+        w.u64(idx.db_fingerprint);
+        w.usize(idx.config.pivots);
+        w.usize(idx.config.rings);
+        w.usize(idx.pivot_ids.len());
+        for &p in &idx.pivot_ids {
+            w.u32(p);
+        }
+        for &d in &idx.pivot_dists {
+            w.f64(d);
+        }
+        w.usize(idx.partitions.len());
+        for part in &idx.partitions {
+            w.usize(part.members.len());
+            for &g in &part.members {
+                w.u32(g);
+            }
+            for &(lo, hi) in &part.ged_rings {
+                w.f64(lo);
+                w.f64(hi);
+            }
+            write_label_multiset(&mut w, &part.vertex_env);
+            write_label_multiset(&mut w, &part.edge_env);
+            w.usize(part.class_env.distinct());
+            for (&(a, b, l), c) in part.class_env.iter() {
+                w.u32(a.0);
+                w.u32(b.0);
+                w.u32(l.0);
+                w.u32(c);
+            }
+            w.usize(part.order_range.0);
+            w.usize(part.order_range.1);
+            w.usize(part.size_range.0);
+            w.usize(part.size_range.1);
+        }
+        let back = PivotIndex::from_bytes(&w.finish()).unwrap();
+        assert_eq!(back, idx);
     }
 
     #[test]

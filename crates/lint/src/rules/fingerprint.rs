@@ -5,8 +5,10 @@
 //! `QueryOptions` field that changes the response but is missing from
 //! `options_fingerprint` makes the cache serve **stale bytes** — the
 //! exact hazard PR 5 dodged by hand when `plan` joined the key. The same
-//! applies to `GraphDatabase::fingerprint` versus the stored state, and
-//! to the wire-protocol `QueryRequest` versus the key built for it.
+//! applies to `GraphDatabase::fingerprint` versus the stored state, to
+//! the wire-protocol `QueryRequest` versus the key built for it, and to
+//! the MVCC `Snapshot` versus the fingerprint it serves as cache-key
+//! identity (PR 8).
 //!
 //! For each configured (struct, fingerprint-fn) pair, every field of the
 //! struct must either be referenced inside the fingerprint function (or,
@@ -61,6 +63,16 @@ const TARGETS: &[Target] = &[
         fn_file: "server/src/engine.rs",
         fn_name: "parse_query",
         call: Some(("QueryKey", "with_database")),
+    },
+    // Snapshot::fingerprint returns the captured `fingerprint` field, so
+    // every *other* snapshot field needs an exemption explaining why the
+    // epoch-folded database fingerprint already covers it.
+    Target {
+        struct_file: "store/src/lib.rs",
+        struct_name: "Snapshot",
+        fn_file: "store/src/lib.rs",
+        fn_name: "fingerprint",
+        call: None,
     },
 ];
 

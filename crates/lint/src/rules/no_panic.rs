@@ -7,8 +7,10 @@
 //! envelopes. This rule bans panic-capable constructs in the server's
 //! connection/dispatch/cache modules (`server.rs`, `engine.rs`,
 //! `cache.rs`), the event-driven front end (`reactor.rs`, `conn.rs` —
-//! a panic on a reactor thread strands every connection it multiplexes)
-//! and the shared wire codecs (`gss-protocol`), test code excluded:
+//! a panic on a reactor thread strands every connection it multiplexes),
+//! the shared wire codecs (`gss-protocol`) and the mutation path
+//! (`gss-store` — a panic inside `GraphStore::apply` poisons the writer
+//! lock and wedges every later mutation), test code excluded:
 //!
 //! - `.unwrap()` / `.expect(...)` (categories `unwrap`, `expect`) — use
 //!   `unwrap_or_else(PoisonError::into_inner)` for mutex poisoning and
@@ -34,6 +36,7 @@ const WATCHED: &[&str] = &[
     "server/src/reactor.rs",
     "server/src/conn.rs",
     "protocol/src/lib.rs",
+    "store/src/lib.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

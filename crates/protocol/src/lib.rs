@@ -25,6 +25,9 @@
 //! | `{"op":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"draining":true}` |
 //! | `{"op":"query","graph":"t q\nv 0 C\n…"}` | `{"ok":true,"cached":false,"result":{…}}` |
+//! | `{"op":"insert","graphs":"t a\nv 0 C\n…"}` | `{"ok":true,"epoch":1,"inserted":1,"removed":0,"updated":0}` |
+//! | `{"op":"remove","names":["a"]}` | `{"ok":true,"epoch":2,"inserted":0,"removed":1,"updated":0}` |
+//! | `{"op":"update","name":"a","graph":"t a\n…"}` | `{"ok":true,"epoch":3,"inserted":0,"removed":0,"updated":1}` |
 //!
 //! Anything else (including malformed JSON) gets
 //! `{"ok":false,"error":"…"}`. Two error envelopes are machine-readable:
@@ -53,6 +56,17 @@
 //! document (measures, per-graph GCS vectors, dominators, skyline,
 //! pruning stats when a pruned plan ran), compacted onto one line by the
 //! [`gss_core::jsonio`] writer.
+//!
+//! ### Mutation verbs
+//!
+//! `insert` / `remove` / `update` mutate the server's live store: each
+//! request is one atomic batch that bumps the database **epoch** (echoed
+//! in the [`Response::Mutated`] envelope, along with the applied
+//! operation counts). Graph payloads use the same `t/v/e` text format as
+//! queries; `insert` may carry any number of graphs, `update` exactly
+//! one. Queries already admitted keep evaluating against the snapshot
+//! they were admitted on; since the epoch is folded into the database
+//! fingerprint, cached results can never leak across epochs.
 //!
 //! ## Split of responsibilities
 //!
@@ -90,6 +104,29 @@ pub enum Request {
     },
     /// A skyline query (boxed: the envelope carries the graph text).
     Query(Box<QueryEnvelope>),
+    /// Append graphs to the live store (one atomic batch, one epoch).
+    Insert {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Graphs to append, in `t/v/e` text form (any number).
+        graphs: String,
+    },
+    /// Remove graphs from the live store by name.
+    Remove {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Names of the graphs to remove (at least one).
+        names: Vec<String>,
+    },
+    /// Replace one named graph in place.
+    Update {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Name of the graph to replace.
+        name: String,
+        /// The replacement, in `t/v/e` text form (exactly one graph).
+        graph: String,
+    },
 }
 
 /// The wire-level body of a `query` request: raw graph text plus typed
@@ -185,7 +222,7 @@ impl Request {
         let Some(op) = doc.get("op").and_then(Value::as_str) else {
             return Err(WireError::new(
                 &id,
-                "missing \"op\" (query|ping|stats|shutdown)",
+                "missing \"op\" (query|ping|stats|shutdown|insert|remove|update)",
             ));
         };
         match op {
@@ -193,6 +230,54 @@ impl Request {
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             "query" => parse_query(&doc, id),
+            "insert" => {
+                let Some(graphs) = doc.get("graphs").and_then(Value::as_str) else {
+                    return Err(WireError::new(
+                        &id,
+                        "insert needs a \"graphs\" field (t/v/e text)",
+                    ));
+                };
+                Ok(Request::Insert {
+                    id,
+                    graphs: graphs.to_owned(),
+                })
+            }
+            "remove" => {
+                let names = doc
+                    .get("names")
+                    .and_then(Value::as_array)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .map(|v| v.as_str().map(str::to_owned))
+                            .collect::<Option<Vec<String>>>()
+                    })
+                    .unwrap_or(None)
+                    .filter(|names| !names.is_empty());
+                let Some(names) = names else {
+                    return Err(WireError::new(
+                        &id,
+                        "remove needs a non-empty \"names\" array of strings",
+                    ));
+                };
+                Ok(Request::Remove { id, names })
+            }
+            "update" => {
+                let Some(name) = doc.get("name").and_then(Value::as_str) else {
+                    return Err(WireError::new(&id, "update needs a \"name\" field"));
+                };
+                let Some(graph) = doc.get("graph").and_then(Value::as_str) else {
+                    return Err(WireError::new(
+                        &id,
+                        "update needs a \"graph\" field (t/v/e text, one graph)",
+                    ));
+                };
+                Ok(Request::Update {
+                    id,
+                    name: name.to_owned(),
+                    graph: graph.to_owned(),
+                })
+            }
             other => Err(WireError::new(&id, format!("unknown op {other:?}"))),
         }
     }
@@ -242,13 +327,43 @@ impl Request {
                 }
                 request_line(&q.id, "query", &extra)
             }
+            Request::Insert { id, graphs } => {
+                request_line(id, "insert", &format!(",\"graphs\":\"{}\"", escape(graphs)))
+            }
+            Request::Remove { id, names } => {
+                let mut extra = String::from(",\"names\":[");
+                for (i, name) in names.iter().enumerate() {
+                    if i > 0 {
+                        extra.push(',');
+                    }
+                    extra.push('"');
+                    extra.push_str(&escape(name));
+                    extra.push('"');
+                }
+                extra.push(']');
+                request_line(id, "remove", &extra)
+            }
+            Request::Update { id, name, graph } => request_line(
+                id,
+                "update",
+                &format!(
+                    ",\"name\":\"{}\",\"graph\":\"{}\"",
+                    escape(name),
+                    escape(graph)
+                ),
+            ),
         }
     }
 
     /// The correlation id the request carries, if any.
     pub fn id(&self) -> &Option<Value> {
         match self {
-            Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => id,
+            Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id }
+            | Request::Insert { id, .. }
+            | Request::Remove { id, .. }
+            | Request::Update { id, .. } => id,
             Request::Query(q) => &q.id,
         }
     }
@@ -364,6 +479,19 @@ pub enum Response {
         /// The compact explain document, verbatim.
         result: String,
     },
+    /// A mutation batch was applied: the new epoch plus what it did.
+    Mutated {
+        /// Echoed correlation id.
+        id: Option<Value>,
+        /// The epoch the batch produced.
+        epoch: u64,
+        /// Graphs appended.
+        inserted: u64,
+        /// Graphs removed.
+        removed: u64,
+        /// Graphs replaced in place.
+        updated: u64,
+    },
     /// Admission rejection: the queue is full (or the server drains);
     /// retry after the given delay.
     Backpressure {
@@ -414,6 +542,18 @@ impl Response {
                 id,
                 &format!("\"ok\":true,\"cached\":{cached},\"result\":{result}"),
             ),
+            Response::Mutated {
+                id,
+                epoch,
+                inserted,
+                removed,
+                updated,
+            } => envelope(
+                id,
+                &format!(
+                    "\"ok\":true,\"epoch\":{epoch},\"inserted\":{inserted},\"removed\":{removed},\"updated\":{updated}"
+                ),
+            ),
             Response::Backpressure { id, retry_after_ms } => envelope(
                 id,
                 &format!(
@@ -448,6 +588,29 @@ impl Response {
                 return Ok(Response::Stats {
                     id,
                     stats: stats.to_compact(),
+                });
+            }
+            // Mutation acknowledgements are classified by their "epoch"
+            // field, ahead of the bare-`{"ok":true}` Pong fallback.
+            if doc.get("epoch").is_some() {
+                let counter = |field: &str| {
+                    doc.get(field)
+                        .and_then(Value::as_f64)
+                        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| {
+                            WireError::new(
+                                &id,
+                                format!("mutation response needs an integer {field:?} field"),
+                            )
+                        })
+                };
+                return Ok(Response::Mutated {
+                    id: id.clone(),
+                    epoch: counter("epoch")?,
+                    inserted: counter("inserted")?,
+                    removed: counter("removed")?,
+                    updated: counter("updated")?,
                 });
             }
             if let Some(cached) = doc.get("cached").and_then(Value::as_bool) {
@@ -493,6 +656,7 @@ impl Response {
             | Response::Stats { id, .. }
             | Response::Draining { id }
             | Response::Result { id, .. }
+            | Response::Mutated { id, .. }
             | Response::Backpressure { id, .. }
             | Response::Expired { id }
             | Response::Error { id, .. } => id,
@@ -507,6 +671,7 @@ impl Response {
                 | Response::Stats { .. }
                 | Response::Draining { .. }
                 | Response::Result { .. }
+                | Response::Mutated { .. }
         )
     }
 }
@@ -545,6 +710,19 @@ mod tests {
                 },
                 deadline_ms: Some(2500),
             })),
+            Request::Insert {
+                id: sid("i"),
+                graphs: "t a\nv 0 C\nt b\nv 0 N\n".to_owned(),
+            },
+            Request::Remove {
+                id: None,
+                names: vec!["a\"quoted".to_owned(), "b".to_owned()],
+            },
+            Request::Update {
+                id: Some(Value::Number(4.0)),
+                name: "a".to_owned(),
+                graph: "t a\nv 0 O\n".to_owned(),
+            },
         ];
         for r in requests {
             let line = r.to_line();
@@ -593,6 +771,12 @@ mod tests {
                 "{\"op\":\"query\",\"graph\":\"t g\",\"deadline_ms\":1.5}",
                 "non-negative integer",
             ),
+            ("{\"op\":\"insert\"}", "\"graphs\" field"),
+            ("{\"op\":\"remove\"}", "\"names\" array"),
+            ("{\"op\":\"remove\",\"names\":[]}", "\"names\" array"),
+            ("{\"op\":\"remove\",\"names\":[1]}", "\"names\" array"),
+            ("{\"op\":\"update\",\"graph\":\"t g\"}", "\"name\" field"),
+            ("{\"op\":\"update\",\"name\":\"g\"}", "\"graph\" field"),
         ] {
             let err = Request::from_line(line).expect_err(line);
             assert!(
@@ -659,6 +843,16 @@ mod tests {
                 },
                 "{\"ok\":true,\"stats\":{\"served\":2}}\n",
             ),
+            (
+                Response::Mutated {
+                    id: sid("m"),
+                    epoch: 3,
+                    inserted: 2,
+                    removed: 1,
+                    updated: 0,
+                },
+                "{\"id\":\"m\",\"ok\":true,\"epoch\":3,\"inserted\":2,\"removed\":1,\"updated\":0}\n",
+            ),
         ];
         for (resp, bytes) in cases {
             assert_eq!(resp.to_line(), bytes);
@@ -676,6 +870,15 @@ mod tests {
         // Unknown ok-shape defaults to Pong only when nothing else fits.
         let r = Response::from_line("{\"ok\":true}").unwrap();
         assert!(matches!(r, Response::Pong { .. }));
+        // An "epoch" field routes to Mutated ahead of the Pong fallback,
+        // and a half-formed mutation ack is an error, not a Pong.
+        let r = Response::from_line(
+            "{\"ok\":true,\"epoch\":1,\"inserted\":0,\"removed\":0,\"updated\":1}",
+        )
+        .unwrap();
+        assert!(matches!(r, Response::Mutated { updated: 1, .. }));
+        let err = Response::from_line("{\"ok\":true,\"epoch\":1}").unwrap_err();
+        assert!(err.message.contains("inserted"), "{}", err.message);
         assert!(Response::from_line("{}").is_err(), "no ok field");
         assert!(Response::from_line("nope").is_err(), "not JSON");
         assert!(!Response::Expired { id: None }.is_ok());

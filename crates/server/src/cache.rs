@@ -108,6 +108,22 @@ impl ShardedCache {
         );
     }
 
+    /// Drops every entry whose database fingerprint is not `live` and
+    /// returns how many were evicted. Called after a mutation bumps the
+    /// epoch: the epoch is folded into the fingerprint, so stale entries
+    /// can never be hit again — eviction just reclaims their memory
+    /// eagerly instead of waiting for LRU churn.
+    pub fn evict_stale(&self, live: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let before = shard.map.len();
+            shard.map.retain(|key, _| key.database == live);
+            evicted += before - shard.map.len();
+        }
+        evicted
+    }
+
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -171,6 +187,19 @@ mod tests {
         cache.insert(key(0, 0, 1), "a2".into());
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(&key(0, 0, 1)).as_deref(), Some("a2"));
+    }
+
+    #[test]
+    fn evict_stale_keeps_only_the_live_fingerprint() {
+        let cache = ShardedCache::new(16, 4);
+        cache.insert(key(1, 10, 0), "old".into());
+        cache.insert(key(1, 11, 0), "old".into());
+        cache.insert(key(2, 10, 0), "live".into());
+        assert_eq!(cache.evict_stale(2), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(2, 10, 0)).is_some());
+        assert!(cache.get(&key(1, 10, 0)).is_none());
+        assert_eq!(cache.evict_stale(2), 0, "idempotent");
     }
 
     #[test]

@@ -181,6 +181,34 @@ impl Client {
         }
     }
 
+    /// Inserts one or more graphs (a `t/v/e` document) into the server's
+    /// live store as one atomic batch.
+    pub fn insert(&mut self, graphs_text: &str) -> std::io::Result<Response> {
+        self.request(&Request::Insert {
+            id: None,
+            graphs: graphs_text.to_owned(),
+        })
+    }
+
+    /// Removes the named graphs from the server's live store as one
+    /// atomic batch.
+    pub fn remove(&mut self, names: &[String]) -> std::io::Result<Response> {
+        self.request(&Request::Remove {
+            id: None,
+            names: names.to_vec(),
+        })
+    }
+
+    /// Replaces one named graph in place with the single graph parsed
+    /// from `graph_text`.
+    pub fn update(&mut self, name: &str, graph_text: &str) -> std::io::Result<Response> {
+        self.request(&Request::Update {
+            id: None,
+            name: name.to_owned(),
+            graph: graph_text.to_owned(),
+        })
+    }
+
     /// Requests graceful drain.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Shutdown { id: None })

@@ -19,6 +19,7 @@ use gss_core::{
 };
 use gss_graph::Graph;
 use gss_protocol::{QueryEnvelope, Response};
+use gss_store::{GraphStore, MutationBatch, MutationError, MutationReceipt, StoreConfig};
 
 use crate::cache::ShardedCache;
 use crate::stats::ServerStats;
@@ -46,13 +47,41 @@ pub enum Request {
     },
     /// A skyline query.
     Query(Box<QueryRequest>),
+    /// Append graphs to the live store.
+    Insert {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Graphs to append, in `t/v/e` text form.
+        graphs: String,
+    },
+    /// Remove graphs from the live store by name.
+    Remove {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Names of the graphs to remove.
+        names: Vec<String>,
+    },
+    /// Replace one named graph in place.
+    Update {
+        /// Client correlation id, echoed back.
+        id: Option<Value>,
+        /// Name of the graph to replace.
+        name: String,
+        /// The replacement, in `t/v/e` text form.
+        graph: String,
+    },
 }
 
-/// One admitted skyline query.
+/// One admitted skyline query, pinned to the MVCC snapshot it was
+/// admitted against.
 pub struct QueryRequest {
     /// Client correlation id, echoed back in the response.
     // gss-lint: exempt(QueryRequest::id) — per-request correlation metadata, echoed in the envelope around the cached document, never inside it
     pub id: Option<Value>,
+    /// The snapshot database this query evaluates against: mutations
+    /// landing after admission cannot disturb it.
+    // gss-lint: exempt(QueryRequest::db) — the snapshot's identity IS the key's `database` component (its epoch-folded fingerprint, captured by `QueryKey::with_database` at parse time)
+    pub db: Arc<GraphDatabase>,
     /// The parsed query graph.
     pub graph: Graph,
     /// Effective options (server base + per-request overrides).
@@ -66,11 +95,10 @@ pub struct QueryRequest {
     pub deadline: Instant,
 }
 
-/// The transport-free serving core: one database, one base option set,
+/// The transport-free serving core: one live store, one base option set,
 /// one result cache, one stats block.
 pub struct Engine {
-    db: Arc<GraphDatabase>,
-    db_fingerprint: u64,
+    store: Arc<GraphStore>,
     base: QueryOptions,
     workers: usize,
     default_deadline: Duration,
@@ -90,10 +118,21 @@ impl Engine {
     /// against one consistent base; a per-request `plan` override still
     /// wins.
     pub fn new(db: Arc<GraphDatabase>, base: QueryOptions, config: &ServerConfig) -> Engine {
+        Engine::with_store(
+            Arc::new(GraphStore::new(db, StoreConfig::default())),
+            base,
+            config,
+        )
+    }
+
+    /// Creates the engine over an existing live store (e.g. one carrying
+    /// a maintained pivot index or a tuned staleness budget).
+    pub fn with_store(store: Arc<GraphStore>, base: QueryOptions, config: &ServerConfig) -> Engine {
         // Fill the per-graph stats cache up front: a long-lived server
         // should pay the one-time summary cost at load, not on the first
-        // uncached query.
-        db.precompute_stats();
+        // uncached query. (Later epochs share the cells of untouched
+        // graphs, so churn only recomputes what actually changed.)
+        store.snapshot().database().precompute_stats();
         let base = if config.shards > 1 {
             QueryOptions {
                 plan: Plan::Sharded,
@@ -104,8 +143,7 @@ impl Engine {
             base
         };
         Engine {
-            db_fingerprint: db.fingerprint(),
-            db,
+            store,
             base,
             workers: config.workers.max(1),
             default_deadline: Duration::from_millis(config.default_deadline_ms),
@@ -114,14 +152,31 @@ impl Engine {
         }
     }
 
-    /// The database being served.
-    pub fn db(&self) -> &Arc<GraphDatabase> {
-        &self.db
+    /// The database of the current head snapshot.
+    pub fn db(&self) -> Arc<GraphDatabase> {
+        Arc::clone(self.store.snapshot().database())
     }
 
-    /// The database fingerprint (computed once at startup).
+    /// The live store behind this engine.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
+    }
+
+    /// The current head snapshot's fingerprint (changes every epoch).
     pub fn db_fingerprint(&self) -> u64 {
-        self.db_fingerprint
+        self.store.snapshot().fingerprint()
+    }
+
+    /// Applies one mutation batch to the live store, then evicts result
+    /// cache entries whose database fingerprint is no longer the head's
+    /// (epoch-folded fingerprints make them unreachable the moment the
+    /// epoch bumps; eviction reclaims their memory eagerly and keeps the
+    /// `cache_entries` stat honest).
+    pub fn apply_mutation(&self, batch: &MutationBatch) -> Result<MutationReceipt, MutationError> {
+        let receipt = self.store.apply(batch)?;
+        ServerStats::bump(&self.stats.mutated);
+        self.cache.evict_stale(self.store.snapshot().fingerprint());
+        Ok(receipt)
     }
 
     /// Parses one request line: wire shape via [`gss_protocol::Request`],
@@ -136,17 +191,26 @@ impl Engine {
                 self.parse_query(*envelope)
                     .map_err(|message| RequestError { id, message })
             }
+            gss_protocol::Request::Insert { id, graphs } => Ok(Request::Insert { id, graphs }),
+            gss_protocol::Request::Remove { id, names } => Ok(Request::Remove { id, names }),
+            gss_protocol::Request::Update { id, name, graph } => {
+                Ok(Request::Update { id, name, graph })
+            }
         }
     }
 
     fn parse_query(&self, envelope: QueryEnvelope) -> Result<Request, String> {
+        // Pin the head snapshot: this query resolves, keys and evaluates
+        // against exactly this epoch, however many mutations land while
+        // it waits in the queue.
+        let snapshot = self.store.snapshot();
         // Parse against a clone of the database vocabulary: label ids stay
         // consistent with the stored graphs, labels new to this query get
         // fresh ids, and the shared database stays immutable. The clone is
         // O(vocab) per request — label vocabularies are small (element and
         // bond names, not per-graph data), and parsing needs `&mut`, so a
         // copy-on-write overlay is not worth a gss-graph API change yet.
-        let mut vocab = self.db.vocab().clone();
+        let mut vocab = snapshot.database().vocab().clone();
         let graphs = gss_graph::format::parse_database(&envelope.graph, &mut vocab)
             .map_err(|e| format!("cannot parse query graph: {e}"))?;
         let graph = graphs
@@ -155,6 +219,12 @@ impl Engine {
             .ok_or_else(|| "the \"graph\" field contains no graph".to_owned())?;
 
         let mut options = self.base.clone();
+        // The snapshot's incrementally maintained index replaces whatever
+        // the base carried: it is the one that validates against this
+        // epoch's database.
+        if let Some(index) = snapshot.query_index() {
+            options.index = Some(index);
+        }
         let o = &envelope.overrides;
         if let Some(prefilter) = o.prefilter {
             options.prefilter = prefilter;
@@ -185,9 +255,10 @@ impl Engine {
             .deadline_ms
             .unwrap_or(self.default_deadline.as_millis() as u64);
 
-        let key = QueryKey::with_database(self.db_fingerprint, &vocab, &graph, &options);
+        let key = QueryKey::with_database(snapshot.fingerprint(), &vocab, &graph, &options);
         Ok(Request::Query(Box::new(QueryRequest {
             id: envelope.id,
+            db: Arc::clone(snapshot.database()),
             graph,
             options,
             key,
@@ -205,11 +276,38 @@ impl Engine {
         })
     }
 
-    /// The `stats` verb response.
+    /// The `stats` verb response: the server counters plus the live
+    /// store's epoch, mutation totals and index-maintenance state.
     pub fn stats_response(&self, id: &Option<Value>) -> Response {
+        let mut value = self.stats.to_value(self.cache.len());
+        let store = self.store.stats();
+        if let Value::Object(members) = &mut value {
+            let n = |v: u64| Value::Number(v as f64);
+            members.push(("epoch".to_owned(), n(store.epoch)));
+            members.push((
+                "store".to_owned(),
+                Value::Object(vec![
+                    ("inserted".to_owned(), n(store.inserted)),
+                    ("removed".to_owned(), n(store.removed)),
+                    ("updated".to_owned(), n(store.updated)),
+                ]),
+            ));
+            if let (Some(stale), Some(partial)) =
+                (store.index_stale_ops, store.index_partial_rebuilds)
+            {
+                members.push((
+                    "index".to_owned(),
+                    Value::Object(vec![
+                        ("stale_ops".to_owned(), n(stale)),
+                        ("partial_rebuilds".to_owned(), n(partial)),
+                        ("rebuilds".to_owned(), n(store.index_rebuilds)),
+                    ]),
+                ));
+            }
+        }
         Response::Stats {
             id: id.clone(),
-            stats: self.stats.to_value(self.cache.len()).to_compact(),
+            stats: value.to_compact(),
         }
     }
 
@@ -233,12 +331,16 @@ impl Engine {
     // gss-lint: allow(no-panic-in-request-path[index]) — all indices are positions produced by enumerate() over the same `jobs`/`reps`/`responses` slices; in-bounds by construction
     pub fn evaluate_batch(&self, jobs: &[QueryRequest]) -> Vec<Response> {
         let mut responses: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
-        // Group by options fingerprint, preserving first-seen order.
-        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        // Group by (database, options) fingerprint pair, preserving
+        // first-seen order: one micro-batch may span epochs when a
+        // mutation landed between admissions, and each job must evaluate
+        // against the snapshot it was keyed on.
+        let mut groups: Vec<((u64, u64), Vec<usize>)> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
-            match groups.iter_mut().find(|(fp, _)| *fp == job.key.options) {
+            let fp = (job.key.database, job.key.options);
+            match groups.iter_mut().find(|(g, _)| *g == fp) {
                 Some((_, members)) => members.push(i),
-                None => groups.push((job.key.options, vec![i])),
+                None => groups.push((fp, vec![i])),
             }
         }
         for (_, members) in groups {
@@ -267,7 +369,10 @@ impl Engine {
                 threads: self.workers,
                 ..jobs[members[0]].options.clone()
             };
-            let results = try_graph_similarity_skyline_batch(&self.db, &graphs, &options, &cancels);
+            // Every member of the group shares one key.database, hence
+            // one pinned snapshot database.
+            let db = &jobs[members[0]].db;
+            let results = try_graph_similarity_skyline_batch(db, &graphs, &options, &cancels);
             let mut totals = BatchStats::default();
             for r in results.iter().flatten() {
                 totals.absorb(r);
@@ -276,7 +381,7 @@ impl Engine {
             for (k, &rep) in reps.iter().enumerate() {
                 match &results[k] {
                     Ok(result) => {
-                        let pretty = gss_core::to_json(&self.db, result);
+                        let pretty = gss_core::to_json(db, result);
                         match Value::parse(&pretty) {
                             Ok(value) => {
                                 let result = value.to_compact();
@@ -385,6 +490,88 @@ mod tests {
         ));
         let q = e.parse_request(&query_line(&e, ""));
         assert!(matches!(q, Ok(Request::Query(_))));
+        assert!(matches!(
+            e.parse_request("{\"op\":\"insert\",\"graphs\":\"t a\\nv 0 C\\n\"}"),
+            Ok(Request::Insert { .. })
+        ));
+        assert!(matches!(
+            e.parse_request("{\"op\":\"remove\",\"names\":[\"a\"]}"),
+            Ok(Request::Remove { .. })
+        ));
+        assert!(matches!(
+            e.parse_request("{\"op\":\"update\",\"name\":\"a\",\"graph\":\"t a\\nv 0 C\\n\"}"),
+            Ok(Request::Update { .. })
+        ));
+    }
+
+    #[test]
+    fn mutations_bump_epochs_and_queries_pin_their_snapshot() {
+        let e = engine();
+        let before = e.db();
+        // Warm the cache at epoch 0.
+        let job0 = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => *q,
+            _ => unreachable!(),
+        };
+        e.evaluate_batch(std::slice::from_ref(&job0));
+        assert!(e.try_cache(&job0).is_some(), "epoch-0 entry cached");
+
+        let receipt = e
+            .apply_mutation(&MutationBatch::default().insert("t fresh\nv 0 C\nv 1 O\ne 0 1 =\n"))
+            .expect("insert applies");
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(e.db().len(), before.len() + 1);
+        assert_eq!(
+            e.stats.mutated.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert!(
+            e.try_cache(&job0).is_none(),
+            "stale-epoch cache entries are evicted"
+        );
+
+        // The same query line now keys (and evaluates) against epoch 1.
+        let job1 = match e.parse_request(&query_line(&e, "")).unwrap() {
+            Request::Query(q) => *q,
+            _ => unreachable!(),
+        };
+        assert_ne!(job0.key.database, job1.key.database, "epoch in the key");
+        assert_eq!(job0.key.query, job1.key.query, "same graph fingerprint");
+        assert_eq!(job0.db.len() + 1, job1.db.len(), "snapshots pinned");
+
+        // One micro-batch spanning both epochs: each job evaluates against
+        // its own pinned snapshot.
+        let epoch1_fp = job1.key.database;
+        let responses = e.evaluate_batch(&[job0, job1]);
+        let result = |k: usize| match &responses[k] {
+            Response::Result { result, .. } => result.clone(),
+            other => panic!("expected a result, got {:?}", other.to_line()),
+        };
+        assert_ne!(
+            result(0),
+            result(1),
+            "the epoch-1 answer sees the inserted graph"
+        );
+
+        // A failed batch is a no-op and does not bump anything.
+        assert!(e
+            .apply_mutation(&MutationBatch::default().remove("no-such-graph"))
+            .is_err());
+        assert_eq!(e.db_fingerprint(), epoch1_fp);
+
+        // The stats payload reports the store state.
+        let Response::Stats { stats, .. } = e.stats_response(&None) else {
+            unreachable!()
+        };
+        let v = Value::parse(&stats).expect("stats payload parses");
+        assert_eq!(v.get("epoch").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("mutated").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            v.get("store")
+                .and_then(|s| s.get("inserted"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -463,14 +650,14 @@ mod tests {
         // The embedded result is byte-identical to a direct evaluation
         // (same pretty document, compacted by the same writer).
         let direct = gss_core::graph_similarity_skyline(
-            e.db(),
+            &e.db(),
             &job.graph,
             &QueryOptions {
                 threads: 1,
                 ..job.options.clone()
             },
         );
-        let direct_compact = Value::parse(&gss_core::to_json(e.db(), &direct))
+        let direct_compact = Value::parse(&gss_core::to_json(&e.db(), &direct))
             .unwrap()
             .to_compact();
         assert_eq!(served, &direct_compact);

@@ -99,6 +99,20 @@
 //! deadline response — admitted work is never silently dropped. Cache
 //! hits may still be served while draining (a hit admits no work);
 //! queries that would need evaluation get the backpressure rejection.
+//!
+//! ## Live mutation
+//!
+//! The database behind a server is a [`gss_store::GraphStore`]: an
+//! epoch-based MVCC snapshot store. The `insert` / `remove` / `update`
+//! verbs apply atomic mutation batches that bump the epoch; queries pin
+//! the head snapshot at parse time and evaluate against it no matter how
+//! many mutations land meanwhile. Because the epoch is folded into the
+//! database fingerprint (the cache key's `database` component), cached
+//! results can never leak across epochs — mutation additionally evicts
+//! the now-unreachable stale entries eagerly. Serve a store with a
+//! maintained pivot index or a tuned staleness budget via
+//! [`serve_store`]; plain [`serve`] wraps the database in an index-less
+//! store so mutation works out of the box.
 
 #![warn(missing_docs)]
 
@@ -116,5 +130,9 @@ pub use cache::ShardedCache;
 pub use client::{Client, ClientBuilder};
 pub use engine::{Engine, QueryRequest, Request, RequestError};
 pub use gss_protocol::Response;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use gss_store::{
+    GraphStore, IndexMaintenance, MutationBatch, MutationError, MutationReceipt, Snapshot,
+    StoreConfig, StoreStats,
+};
+pub use server::{serve, serve_store, ServerConfig, ServerHandle};
 pub use stats::{percentile_us, LatencySnapshot, ServerStats};

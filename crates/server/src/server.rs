@@ -46,8 +46,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gss_core::jsonio::Value;
 use gss_core::{GraphDatabase, QueryOptions};
 use gss_protocol::Response;
+use gss_store::{GraphStore, MutationBatch, StoreConfig};
 
 use crate::engine::{Engine, QueryRequest, Request};
 use crate::stats::ServerStats;
@@ -285,9 +287,26 @@ impl ServerHandle {
 }
 
 /// Starts serving `db` (with `base` as the default query options) and
-/// returns once the listener is bound.
+/// returns once the listener is bound. The database is wrapped in an
+/// index-less [`GraphStore`], so the mutation verbs work out of the box;
+/// use [`serve_store`] to serve a store with a maintained pivot index or
+/// a tuned staleness budget.
 pub fn serve(
     db: Arc<GraphDatabase>,
+    base: QueryOptions,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    serve_store(
+        Arc::new(GraphStore::new(db, StoreConfig::default())),
+        base,
+        config,
+    )
+}
+
+/// Starts serving a live [`GraphStore`] (with `base` as the default query
+/// options) and returns once the listener is bound.
+pub fn serve_store(
+    store: Arc<GraphStore>,
     base: QueryOptions,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
@@ -296,7 +315,7 @@ pub fn serve(
     listener.set_nonblocking(true)?;
 
     let shared = Arc::new(Shared {
-        engine: Engine::new(db, base, &config),
+        engine: Engine::with_store(store, base, &config),
         queue: AdmissionQueue::new(config.queue_capacity),
         config,
         dispatcher_done: AtomicBool::new(false),
@@ -422,6 +441,21 @@ pub(crate) fn process_line(
             shared.begin_drain();
             Outcome::Immediate(Response::Draining { id })
         }
+        Ok(Request::Insert { id, graphs }) => {
+            Outcome::Immediate(mutate(shared, id, MutationBatch::default().insert(&graphs)))
+        }
+        Ok(Request::Remove { id, names }) => {
+            let batch = MutationBatch {
+                removes: names,
+                ..MutationBatch::default()
+            };
+            Outcome::Immediate(mutate(shared, id, batch))
+        }
+        Ok(Request::Update { id, name, graph }) => Outcome::Immediate(mutate(
+            shared,
+            id,
+            MutationBatch::default().update(&name, &graph),
+        )),
         Ok(Request::Query(request)) => {
             ServerStats::bump(&engine.stats.queries);
             let started = Instant::now();
@@ -449,6 +483,33 @@ pub(crate) fn process_line(
                 Ok(()) => Outcome::Enqueued,
             }
         }
+    }
+}
+
+/// Applies one mutation batch and builds its response envelope. Runs
+/// inline on the front-end thread: batches validate before touching
+/// anything, writers serialize on the store's writer lock, and readers
+/// (queries) never block on it. A draining server refuses mutations the
+/// same way it refuses new queries.
+fn mutate(shared: &Arc<Shared>, id: Option<Value>, batch: MutationBatch) -> Response {
+    if shared.draining() {
+        return Response::Error {
+            id,
+            message: "server is draining".to_owned(),
+        };
+    }
+    match shared.engine.apply_mutation(&batch) {
+        Ok(receipt) => Response::Mutated {
+            id,
+            epoch: receipt.epoch,
+            inserted: receipt.inserted as u64,
+            removed: receipt.removed as u64,
+            updated: receipt.updated as u64,
+        },
+        Err(e) => Response::Error {
+            id,
+            message: e.to_string(),
+        },
     }
 }
 
@@ -520,6 +581,7 @@ mod tests {
         Box::new(Job {
             request: QueryRequest {
                 id: Some(Value::Number(n as f64)),
+                db: Arc::new(GraphDatabase::new()),
                 graph: gss_graph::Graph::new("q"),
                 options: QueryOptions::default(),
                 key: gss_core::QueryKey {

@@ -73,6 +73,9 @@ pub struct ServerStats {
     pub batches: AtomicU64,
     /// Queries evaluated inside those batches.
     pub batched_queries: AtomicU64,
+    /// Mutation batches applied to the live store (each bumped the
+    /// database epoch).
+    pub mutated: AtomicU64,
     /// True once graceful drain began (no new work admitted).
     pub draining: AtomicBool,
     totals: Mutex<BatchStats>,
@@ -160,6 +163,7 @@ impl ServerStats {
             ("cancelled".into(), load(&self.cancelled)),
             ("batches".into(), load(&self.batches)),
             ("batched_queries".into(), load(&self.batched_queries)),
+            ("mutated".into(), load(&self.mutated)),
             (
                 "draining".into(),
                 Value::Bool(self.draining.load(Ordering::Relaxed)),

@@ -24,6 +24,7 @@
 //! | [`diversity`] (gss-diversity) | rank-sum diversity refinement |
 //! | [`core`] (gss-core) | measures, GCS, the GSS query engine |
 //! | [`index`] (gss-index) | pivot-based metric index for sublinear scans |
+//! | [`store`] (gss-store) | live mutation: epoch-based MVCC snapshots, incremental index maintenance |
 //! | [`protocol`] (gss-protocol) | the typed wire protocol: request/response envelopes, line codecs |
 //! | [`server`] (gss-server) | concurrent query serving: event-driven front end, caching, admission control |
 //! | [`datasets`] (gss-datasets) | paper datasets, generators, workloads |
@@ -67,6 +68,7 @@ pub use gss_mcs as mcs;
 pub use gss_protocol as protocol;
 pub use gss_server as server;
 pub use gss_skyline as skyline;
+pub use gss_store as store;
 
 /// One-stop import for applications.
 pub mod prelude {
@@ -83,4 +85,5 @@ pub mod prelude {
     pub use gss_iso::{are_isomorphic, is_subgraph_isomorphic};
     pub use gss_mcs::mcs_edge_size;
     pub use gss_skyline::Algorithm;
+    pub use gss_store::{GraphStore, MutationBatch, MutationReceipt, Snapshot, StoreConfig};
 }
