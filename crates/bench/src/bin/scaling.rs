@@ -28,6 +28,11 @@
 //!   (queries/sec while mutation batches bump epochs, partial index
 //!   rebuilds under a tiny staleness budget, epoch-keyed cache hit rate)
 //!   as a JSON report (the CI `BENCH_7.json` artifact).
+//! * `--crash-json PATH` — write the S13 crash-churn measurements (a
+//!   deterministic fault plan kills the WAL mid-churn, restart recovers
+//!   the acked prefix from the data directory, a retrying client resumes
+//!   through injected connection resets with server-side mutation
+//!   dedup) as a JSON report (the CI `BENCH_8.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
 //!   of candidates at the partition level, the S8 serving replay
@@ -47,7 +52,12 @@
 //!   mutation batch successfully (one epoch per batch, zero refusals),
 //!   (n) keeps a cache hit rate > 0 across epochs, (o) trips ≥ 1 partial
 //!   index rebuild under its tiny staleness budget, and (p) sustains
-//!   nonzero query throughput while mutating. This is the CI
+//!   nonzero query throughput while mutating, and the S13 crash-churn
+//!   scenario (q) recovers exactly the acked prefix after an injected
+//!   WAL crash (epoch and fingerprint equal to a never-crashed oracle),
+//!   (r) resumes with every unique mutation applied exactly once, and
+//!   (s) shows the injected connection resets forcing client resends
+//!   that the server deduplicates by `mutation_id`. This is the CI
 //!   perf-regression gate.
 
 use std::time::Instant;
@@ -96,6 +106,7 @@ fn main() {
     let mut plan_json_path: Option<String> = None;
     let mut reactor_json_path: Option<String> = None;
     let mut churn_json_path: Option<String> = None;
+    let mut crash_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -145,11 +156,18 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--crash-json" => match args.next() {
+                Some(path) => crash_json_path = Some(path),
+                None => {
+                    eprintln!("--crash-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
                      --serve-json PATH, --solver-json PATH, --plan-json PATH, \
-                     --reactor-json PATH, --churn-json PATH)"
+                     --reactor-json PATH, --churn-json PATH, --crash-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -207,6 +225,14 @@ fn main() {
     let churn_report = s12_churn();
     if let Some(path) = &churn_json_path {
         std::fs::write(path, churn_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let crash_report = s13_crash_churn();
+    if let Some(path) = &crash_json_path {
+        std::fs::write(path, crash_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -347,6 +373,34 @@ fn main() {
             );
             failed = true;
         }
+        if !crash_report.gate_recovery() {
+            eprintln!(
+                "GATE FAILED: crash-churn acked {} batches but recovery reached epoch {} \
+                 (fingerprint match: {}) — restart must recover exactly the acked prefix",
+                crash_report.acked_before_crash,
+                crash_report.recovered_epoch,
+                crash_report.fingerprint_match
+            );
+            failed = true;
+        }
+        if !crash_report.gate_continuity() {
+            eprintln!(
+                "GATE FAILED: crash-churn resumed {} mutations from epoch {} but ended at \
+                 epoch {} — every unique mutation must apply exactly once",
+                crash_report.resumed_mutations,
+                crash_report.acked_before_crash,
+                crash_report.final_epoch
+            );
+            failed = true;
+        }
+        if !crash_report.gate_retries() {
+            eprintln!(
+                "GATE FAILED: crash-churn saw {} client retries and {} deduped replays \
+                 — the injected resets must force resends that dedup server-side",
+                crash_report.client_retries, crash_report.deduped_replays
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -391,6 +445,17 @@ fn main() {
             churn_report.cache_hit_rate,
             churn_report.qps,
             churn_report.requests,
+        );
+        println!(
+            "crash gate passed: {} acked batches recovered to epoch {} (fingerprint match), \
+             {} resumed mutations reached epoch {} through {} retries with {} deduped replays \
+             and 0 duplicate applications",
+            crash_report.acked_before_crash,
+            crash_report.recovered_epoch,
+            crash_report.resumed_mutations,
+            crash_report.final_epoch,
+            crash_report.client_retries,
+            crash_report.deduped_replays,
         );
     }
 }
@@ -1741,6 +1806,260 @@ fn s12_churn() -> ChurnReport {
         report.staleness_budget,
         report.partial_rebuilds,
         report.full_rebuilds,
+    );
+    println!();
+    report
+}
+
+/// The S13 measurements: crash-churn on the durable store — a deterministic
+/// fault plan kills the WAL mid-churn, the store restarts from its data
+/// directory, and a retrying client resumes through injected connection
+/// resets — the `BENCH_8.json` artifact.
+struct CrashReport {
+    crash_point: &'static str,
+    crash_hit: u64,
+    acked_before_crash: u64,
+    recovered_epoch: u64,
+    recovery_replayed: u64,
+    recovery_truncated_tail: bool,
+    fingerprint_match: bool,
+    checkpoints: u64,
+    resumed_mutations: u64,
+    final_epoch: u64,
+    client_retries: u64,
+    deduped_replays: u64,
+    wall_s: f64,
+}
+
+impl CrashReport {
+    /// (q) restart recovers exactly the acked prefix: the recovered epoch
+    /// equals the acked count and the fingerprint matches a never-crashed
+    /// oracle.
+    fn gate_recovery(&self) -> bool {
+        self.acked_before_crash > 0
+            && self.recovered_epoch == self.acked_before_crash
+            && self.fingerprint_match
+    }
+
+    /// (r) resumed churn through injected resets applies every unique
+    /// mutation exactly once: no gaps, no duplicates.
+    fn gate_continuity(&self) -> bool {
+        self.resumed_mutations > 0
+            && self.final_epoch == self.acked_before_crash + self.resumed_mutations
+    }
+
+    /// (s) the resets actually bit and dedup answered: the client resent
+    /// at least once and at least one resend was replayed server-side.
+    fn gate_retries(&self) -> bool {
+        self.client_retries >= 1 && self.deduped_replays >= 1
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        format!(
+            "{{\n  \"schema\": \"gss-bench-crash/1\",\n  \"workload\": {{\"kind\": \"molecule\", \
+             \"database_size\": {}, \"graph_vertices\": {}, \"related_fraction\": {}, \
+             \"seed\": {}}},\n  \"crash\": {{\"point\": \"{}\", \"hit\": {}, \
+             \"acked_before_crash\": {}}},\n  \"recovery\": {{\"epoch\": {}, \"replayed\": {}, \
+             \"truncated_tail\": {}, \"fingerprint_match\": {}, \"checkpoints\": {}}},\n  \
+             \"resume\": {{\"mutations\": {}, \"final_epoch\": {}, \"client_retries\": {}, \
+             \"deduped_replays\": {}, \"wall_s\": {:.4}}},\n  \"gate\": {{\
+             \"recovery_acked_prefix\": {}, \"epoch_continuity\": {}, \
+             \"retries_deduped\": {}}}\n}}\n",
+            cfg.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.crash_point,
+            self.crash_hit,
+            self.acked_before_crash,
+            self.recovered_epoch,
+            self.recovery_replayed,
+            self.recovery_truncated_tail,
+            self.fingerprint_match,
+            self.checkpoints,
+            self.resumed_mutations,
+            self.final_epoch,
+            self.client_retries,
+            self.deduped_replays,
+            self.wall_s,
+            self.gate_recovery(),
+            self.gate_continuity(),
+            self.gate_retries(),
+        )
+    }
+}
+
+fn s13_crash_churn() -> CrashReport {
+    use gss_server::{
+        serve_store, Client, FaultPlan, GraphStore, Response, RetryPolicy, ServerConfig,
+        StoreConfig, WalConfig,
+    };
+    use std::sync::Arc;
+
+    const BATCHES: usize = 32;
+    const CRASH_HIT: u64 = 20;
+    const CHECKPOINT_EVERY: u64 = 8;
+    const RESUMED: usize = 12;
+
+    println!(
+        "== S13: crash-churn — WAL killed at append #{CRASH_HIT} of {BATCHES}, restart from \
+         the data directory, resume through injected connection resets =="
+    );
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = Arc::new(GraphDatabase::from_parts(w.vocab, w.graphs));
+    let dir = std::env::temp_dir().join(format!("gss-bench-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // Writer traffic reuses database structure under fresh names (same
+    // trick as S12) so every batch is valid regardless of where the crash
+    // lands.
+    let donor_text = |i: usize, name: &str| {
+        let g = db.get(gss_core::GraphId(i % db.len()));
+        let text = gss_graph::format::write_database(std::slice::from_ref(g), db.vocab());
+        let body = text.split_once('\n').map_or("", |(_, b)| b);
+        format!("t {name}\n{body}")
+    };
+    let batch = |i: usize| {
+        gss_server::MutationBatch::default().insert(&donor_text(i * 3 + 1, &format!("crash{i}")))
+    };
+
+    let t0 = Instant::now();
+
+    // Phase 1 — churn into a deterministic crash: the fault plan kills the
+    // WAL on its CRASH_HIT-th append, so exactly CRASH_HIT - 1 batches are
+    // acked and everything after is refused.
+    let mut wal_config = WalConfig::new(&dir);
+    wal_config.checkpoint_every = CHECKPOINT_EVERY;
+    wal_config.faults =
+        Arc::new(FaultPlan::parse(&format!("wal.append@{CRASH_HIT}=crash")).expect("fault plan"));
+    let store = GraphStore::open_durable(Arc::clone(&db), StoreConfig::default(), wal_config)
+        .expect("open durable store");
+    let mut acked = 0u64;
+    for i in 0..BATCHES {
+        match store.apply(&batch(i)) {
+            Ok(_) => acked += 1,
+            Err(_) => break,
+        }
+    }
+    drop(store);
+
+    // Phase 2 — restart: recovery loads the latest checkpoint and replays
+    // the WAL tail; the result must equal a never-crashed oracle that saw
+    // exactly the acked prefix.
+    let recovered = GraphStore::open_durable(
+        Arc::clone(&db),
+        StoreConfig::default(),
+        WalConfig::new(&dir),
+    )
+    .expect("recover from data directory");
+    let oracle = GraphStore::new(Arc::clone(&db), StoreConfig::default());
+    for i in 0..acked as usize {
+        oracle.apply(&batch(i)).expect("oracle batch");
+    }
+    let recovered_epoch = recovered.snapshot().epoch();
+    let fingerprint_match = recovered.snapshot().fingerprint() == oracle.snapshot().fingerprint();
+    let recovered_stats = recovered.stats();
+    let wal_stats = recovered_stats.wal.unwrap_or_default();
+
+    // Phase 3 — resume behind the server with injected connection resets:
+    // a retrying client streams fresh mutations; resent batches must be
+    // deduplicated by their mutation_id, never double-applied.
+    let recovered = Arc::new(recovered);
+    let handle = serve_store(
+        Arc::clone(&recovered),
+        QueryOptions::default(),
+        ServerConfig {
+            workers: 2,
+            faults: Arc::new(
+                FaultPlan::parse("conn.write@2=reset;conn.write@7=reset").expect("fault plan"),
+            ),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let mut client = Client::builder()
+        .retry(RetryPolicy {
+            max_retries: 6,
+            base_delay_ms: 1,
+            max_delay_ms: 20,
+            jitter_seed: 13,
+            timeout_ms: Some(10_000),
+        })
+        .connect(handle.addr())
+        .expect("connect retrying client");
+    let mut deduped_replays = 0u64;
+    for i in 0..RESUMED {
+        let name = format!("resume{i}");
+        match client
+            .insert(&donor_text(i * 5 + 2, &name))
+            .expect("resumed insert")
+        {
+            Response::Mutated { replayed, .. } => {
+                if replayed {
+                    deduped_replays += 1;
+                }
+            }
+            other => panic!("unexpected response: {}", other.to_line().trim_end()),
+        }
+    }
+    let client_retries = client.retries();
+    handle.shutdown();
+    handle.join();
+    let final_epoch = recovered.snapshot().epoch();
+    let wall_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = CrashReport {
+        crash_point: "wal.append",
+        crash_hit: CRASH_HIT,
+        acked_before_crash: acked,
+        recovered_epoch,
+        recovery_replayed: wal_stats.recovery.replayed,
+        recovery_truncated_tail: wal_stats.recovery.truncated_tail,
+        fingerprint_match,
+        checkpoints: wal_stats.checkpoints,
+        resumed_mutations: RESUMED as u64,
+        final_epoch,
+        client_retries,
+        deduped_replays,
+        wall_s,
+    };
+
+    let mut table = TextTable::new(vec![
+        "acked",
+        "recovered",
+        "replayed",
+        "fp match",
+        "resumed",
+        "final",
+        "retries",
+        "replays",
+    ]);
+    table.row(vec![
+        format!("{}", report.acked_before_crash),
+        format!("{}", report.recovered_epoch),
+        format!("{}", report.recovery_replayed),
+        format!("{}", report.fingerprint_match),
+        format!("{}", report.resumed_mutations),
+        format!("{}", report.final_epoch),
+        format!("{}", report.client_retries),
+        format!("{}", report.deduped_replays),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "crash at {}#{}: {} acked → recovered epoch {} ({} WAL records replayed over \
+         {} checkpoints); resumed {} mutations to epoch {} through {} retries / {} \
+         deduped replays",
+        report.crash_point,
+        report.crash_hit,
+        report.acked_before_crash,
+        report.recovered_epoch,
+        report.recovery_replayed,
+        report.checkpoints,
+        report.resumed_mutations,
+        report.final_epoch,
+        report.client_retries,
+        report.deduped_replays,
     );
     println!();
     report

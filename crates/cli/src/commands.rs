@@ -41,12 +41,15 @@ USAGE:
   gss serve    --db FILE [--index IDX] [--addr HOST:PORT] [--workers N]
                [--reactor-threads N] [--shards N] [--queue N] [--cache N]
                [--batch N] [--prefilter] [--approx] [--staleness-budget N]
+               [--data-dir DIR [--fsync always|off|every-N]
+               [--checkpoint-every N]]
   gss client   --addr HOST:PORT [--query-file FILE|-] [--stats] [--shutdown]
                [--insert-file FILE|-] [--remove NAME[,NAME…]]
                [--update NAME --update-file FILE|-]
                [--bench --db FILE [--connections C] [--repeat R] [--limit N]]
                [--prefilter] [--approx] [--algo naive|bnl|sfs] [--plan PLAN]
-               [--deadline-ms MS]
+               [--deadline-ms MS] [--retry N]
+  gss wal      inspect DIR
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -82,6 +85,17 @@ maintain the pivot index incrementally (--staleness-budget caps drift
 before a partial rebuild), and invalidate cached results. `client` also
 does one-shot queries, stats, graceful shutdown, and a --bench load
 generator reporting queries/sec and latency percentiles.
+
+With --data-dir the served store is durable: every acknowledged mutation
+is appended to a checksummed write-ahead log and fsynced per --fsync
+before the ack, periodic snapshot checkpoints (--checkpoint-every) bound
+replay time, and a restart from the same directory recovers exactly the
+acknowledged mutations (torn tails are truncated, ambiguous logs refused).
+`wal inspect` prints segments, record counts, checksum status and the
+recoverable epoch range of such a directory. `client --retry N` retries
+transient failures and backpressure with exponential backoff and jitter;
+retried mutations carry a mutation_id the durable server deduplicates, so
+a resend never double-applies.
 "
     .to_owned()
 }

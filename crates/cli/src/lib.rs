@@ -11,7 +11,10 @@
 //! gss index    build --db db.gdb --out db.gsi [--pivots K] [--rings R]
 //! gss index    stats --index db.gsi [--db db.gdb]
 //! gss serve    --db db.gdb [--index db.gsi] [--addr HOST:PORT]
+//!              [--data-dir DIR [--fsync always|off|every-N] [--checkpoint-every N]]
 //! gss client   --addr HOST:PORT [--query-file q.gdb|-] [--bench --db db.gdb]
+//!              [--retry N]
+//! gss wal      inspect DIR
 //! gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
 //! gss convert  --db db.gdb [--graph NAME]           # Graphviz DOT
 //! gss paper                                          # reproduce Tables I–V
@@ -45,6 +48,7 @@ pub fn run<I: IntoIterator<Item = String>>(raw: I) -> Result<String, String> {
         "index" => commands::index(&args).map_err(|e| e.to_string()),
         "serve" => net::serve(&args).map_err(|e| e.to_string()),
         "client" => net::client(&args).map_err(|e| e.to_string()),
+        "wal" => net::wal(&args).map_err(|e| e.to_string()),
         "generate" => commands::generate(&args).map_err(|e| e.to_string()),
         "convert" => commands::convert(&args).map_err(|e| e.to_string()),
         "paper" => Ok(commands::paper()),

@@ -17,7 +17,11 @@ use std::time::Instant;
 
 use gss_core::jsonio::Value;
 use gss_core::QueryOptions;
-use gss_server::{percentile_us, Client, ClientBuilder, GraphStore, ServerConfig, StoreConfig};
+use gss_server::{
+    percentile_us, Client, ClientBuilder, FaultPlan, GraphStore, RetryPolicy, ServerConfig,
+    StoreConfig,
+};
+use gss_store::{FsyncPolicy, WalConfig};
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_db, load_index, parse_plan_sharded, read_text_input, solver_config};
@@ -40,6 +44,9 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "approx",
         "plan",
         "staleness-budget",
+        "data-dir",
+        "fsync",
+        "checkpoint-every",
     ])?;
     let db = load_db(args)?;
     let index = load_index(&db, args)?;
@@ -59,10 +66,46 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
             .get_parsed_or("staleness-budget", StoreConfig::default().staleness_budget)?,
     };
     let db = Arc::new(db);
-    let store = match index {
-        Some(index) => GraphStore::with_index(db, index, store_config)
-            .map_err(|e| ArgError(format!("--index does not match --db: {e}")))?,
-        None => GraphStore::new(db, store_config),
+    // Chaos testing: GSS_FAULT compiles a deterministic fault plan into
+    // the WAL and connection write paths (see gss_store::fault).
+    let faults = match std::env::var("GSS_FAULT") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            Arc::new(FaultPlan::parse(&spec).map_err(|e| ArgError(format!("bad GSS_FAULT: {e}")))?)
+        }
+        _ => Arc::new(FaultPlan::none()),
+    };
+    let store = match args.get("data-dir") {
+        Some(dir) => {
+            // Durable mode: the WAL owns recovery, so the pivot index is
+            // rebuilt on the recovered database rather than loaded.
+            let durable_config = StoreConfig {
+                index: index.as_ref().map(|i| i.config()),
+                ..store_config
+            };
+            let mut wal_config = WalConfig::new(dir);
+            if let Some(policy) = args.get("fsync") {
+                wal_config.fsync = FsyncPolicy::parse(policy).ok_or_else(|| {
+                    ArgError(format!("bad --fsync {policy:?} (always|off|every-N)"))
+                })?;
+            }
+            wal_config.checkpoint_every =
+                args.get_parsed_or("checkpoint-every", wal_config.checkpoint_every)?;
+            wal_config.faults = Arc::clone(&faults);
+            GraphStore::open_durable(db, durable_config, wal_config)
+                .map_err(|e| ArgError(format!("cannot open --data-dir {dir}: {e}")))?
+        }
+        None => {
+            if args.get("fsync").is_some() || args.get("checkpoint-every").is_some() {
+                return Err(ArgError(
+                    "--fsync / --checkpoint-every need --data-dir DIR".to_owned(),
+                ));
+            }
+            match index {
+                Some(index) => GraphStore::with_index(db, index, store_config)
+                    .map_err(|e| ArgError(format!("--index does not match --db: {e}")))?,
+                None => GraphStore::new(db, store_config),
+            }
+        }
     };
     let defaults = ServerConfig::default();
     let config = ServerConfig {
@@ -76,6 +119,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         batch_max: args.get_parsed_or("batch", defaults.batch_max)?,
         default_deadline_ms: args.get_parsed_or("deadline-ms", defaults.default_deadline_ms)?,
         retry_after_ms: defaults.retry_after_ms,
+        faults,
     };
     let graphs = store.snapshot().database().len();
     let handle = gss_server::serve_store(Arc::new(store), base, config)
@@ -89,6 +133,77 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     );
     let final_stats = handle.join();
     Ok(format!("drained; final stats: {final_stats}\n"))
+}
+
+/// `gss wal inspect DIR` — offline durability-log inspection: per-file
+/// record counts and checksum status plus the recoverable epoch range,
+/// without opening (or mutating) the store.
+pub fn wal(args: &Args) -> Result<String, ArgError> {
+    match args.positional().get(1).map(String::as_str) {
+        Some("inspect") => wal_inspect(args),
+        other => Err(ArgError(format!(
+            "unknown wal subcommand {other:?} (inspect)"
+        ))),
+    }
+}
+
+fn wal_inspect(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&[])?;
+    let dir = args
+        .positional()
+        .get(2)
+        .ok_or_else(|| ArgError("usage: gss wal inspect DIR".to_owned()))?;
+    let report = gss_store::inspect(std::path::Path::new(dir))
+        .map_err(|e| ArgError(format!("cannot inspect {dir}: {e}")))?;
+
+    let status = |s: &gss_store::ArtifactStatus| match s {
+        gss_store::ArtifactStatus::Clean => "clean".to_owned(),
+        gss_store::ArtifactStatus::TornTail { offset } => {
+            format!("torn tail at byte {offset} (recovery truncates)")
+        }
+        gss_store::ArtifactStatus::Corrupt { detail } => format!("CORRUPT: {detail}"),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "wal directory {dir}:");
+    for c in &report.checkpoints {
+        let graphs = c
+            .graphs
+            .map(|g| format!("{g} graphs"))
+            .unwrap_or_else(|| "? graphs".to_owned());
+        let _ = writeln!(
+            out,
+            "  checkpoint {} epoch {} ({graphs}) — {}",
+            c.file,
+            c.epoch,
+            status(&c.status)
+        );
+    }
+    for s in &report.segments {
+        let range = match (s.first_epoch, s.last_epoch) {
+            (Some(a), Some(b)) => format!("epochs {a}..={b}"),
+            _ => "no complete records".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "  segment {} ({} bytes, {} records, {range}) — {}",
+            s.file,
+            s.bytes,
+            s.records,
+            status(&s.status)
+        );
+    }
+    if report.checkpoints.is_empty() && report.segments.is_empty() {
+        let _ = writeln!(out, "  (empty)");
+    }
+    match report.recoverable {
+        Some((from, to)) => {
+            let _ = writeln!(out, "recoverable: epochs {from}..={to}");
+        }
+        None => {
+            let _ = writeln!(out, "recoverable: NONE — recovery would refuse this log");
+        }
+    }
+    Ok(out)
 }
 
 /// Builds the typed client configuration from the query-option flags
@@ -121,6 +236,12 @@ fn client_builder(args: &Args) -> Result<ClientBuilder, ArgError> {
             ms.parse()
                 .map_err(|_| ArgError(format!("bad --deadline-ms {ms:?}")))?,
         );
+    }
+    if let Some(n) = args.get("retry") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| ArgError(format!("bad --retry {n:?}")))?;
+        builder = builder.retry(RetryPolicy::retries(n));
     }
     Ok(builder)
 }
@@ -155,6 +276,7 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         "algo",
         "plan",
         "deadline-ms",
+        "retry",
         "stats",
         "shutdown",
         "insert-file",
@@ -178,7 +300,9 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
     if let Some(path) = args.get("insert-file") {
         acted = true;
         let text = read_text_input(path, "--insert-file")?;
-        let response = connect(addr)?.insert(&text).map_err(io_err)?;
+        let response = connect_with(client_builder(args)?, addr)?
+            .insert(&text)
+            .map_err(io_err)?;
         out.push_str(&response.to_line());
     }
 
@@ -195,7 +319,9 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
                 "--remove needs at least one graph name".to_owned(),
             ));
         }
-        let response = connect(addr)?.remove(&names).map_err(io_err)?;
+        let response = connect_with(client_builder(args)?, addr)?
+            .remove(&names)
+            .map_err(io_err)?;
         out.push_str(&response.to_line());
     }
 
@@ -203,7 +329,9 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         (Some(name), Some(path)) => {
             acted = true;
             let text = read_text_input(path, "--update-file")?;
-            let response = connect(addr)?.update(name, &text).map_err(io_err)?;
+            let response = connect_with(client_builder(args)?, addr)?
+                .update(name, &text)
+                .map_err(io_err)?;
             out.push_str(&response.to_line());
         }
         (Some(_), None) => {
@@ -270,6 +398,7 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
         latencies_us: Vec<u64>,
         sent: usize,
         failures: usize,
+        retries: u64,
     }
 
     let started = Instant::now();
@@ -284,6 +413,7 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
                         latencies_us: Vec::new(),
                         sent: 0,
                         failures: 0,
+                        retries: 0,
                     };
                     for _pass in 0..repeat {
                         for text in texts.iter().skip(worker).step_by(connections) {
@@ -296,6 +426,7 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
                             }
                         }
                     }
+                    report.retries = client.retries();
                     Ok(report)
                 })
             })
@@ -310,11 +441,13 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
     let mut latencies: Vec<u64> = Vec::new();
     let mut sent = 0usize;
     let mut failures = 0usize;
+    let mut retries = 0u64;
     for r in reports {
         let r = r?;
         latencies.extend(r.latencies_us);
         sent += r.sent;
         failures += r.failures;
+        retries += r.retries;
     }
     latencies.sort_unstable();
 
@@ -341,7 +474,7 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
     );
     let _ = writeln!(
         out,
-        "failures: {failures}; server cache hit rate: {:.1}%",
+        "failures: {failures}; retries: {retries}; server cache hit rate: {:.1}%",
         hit_rate * 100.0
     );
     let _ = writeln!(out, "server stats: {}", server_stats.to_compact());

@@ -446,6 +446,18 @@ pub mod codec {
             self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
         }
 
+        /// Appends length-delimited raw bytes (`u64` length, then the
+        /// bytes verbatim).
+        pub fn bytes(&mut self, v: &[u8]) {
+            self.usize(v.len());
+            self.buf.extend_from_slice(v);
+        }
+
+        /// Appends a length-delimited UTF-8 string.
+        pub fn str(&mut self, v: &str) {
+            self.bytes(v.as_bytes());
+        }
+
         /// Finishes the frame: appends the checksum of everything written
         /// (magic and version included) and returns the bytes.
         pub fn finish(self) -> Vec<u8> {
@@ -537,6 +549,19 @@ pub mod codec {
         /// Reads an `f64` by bit pattern.
         pub fn f64(&mut self) -> Result<f64, CodecError> {
             Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Reads length-delimited raw bytes written by [`Writer::bytes`].
+        pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+            let len = self.usize()?;
+            self.take(len)
+        }
+
+        /// Reads a length-delimited UTF-8 string written by
+        /// [`Writer::str`], rejecting invalid UTF-8.
+        pub fn str(&mut self) -> Result<&'a str, CodecError> {
+            std::str::from_utf8(self.bytes()?)
+                .map_err(|_| CodecError::Invalid("string field is not valid UTF-8".into()))
         }
 
         /// Asserts the payload was consumed exactly.
@@ -699,6 +724,36 @@ mod tests {
             Reader::new(&bytes[..4], MAGIC, 3).unwrap_err(),
             CodecError::BadMagic
         );
+    }
+
+    #[test]
+    fn codec_strings_and_bytes_round_trip() {
+        use codec::{CodecError, Reader, Writer};
+        const MAGIC: &[u8; 8] = b"GSSTEST\0";
+        let mut w = Writer::new(MAGIC, 1);
+        w.str("t a\nv 0 C\n");
+        w.bytes(&[0, 255, 7]);
+        w.str("");
+        let bytes = w.finish();
+
+        let (mut r, _) = Reader::new(&bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.str().unwrap(), "t a\nv 0 C\n");
+        assert_eq!(r.bytes().unwrap(), &[0, 255, 7]);
+        assert_eq!(r.str().unwrap(), "");
+        r.finish().unwrap();
+
+        // A length that runs past the payload is a truncation, and
+        // invalid UTF-8 is rejected as a typed error.
+        let mut w = Writer::new(MAGIC, 1);
+        w.usize(1_000_000);
+        let bytes = w.finish();
+        let (mut r, _) = Reader::new(&bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.bytes().unwrap_err(), CodecError::Truncated);
+        let mut w = Writer::new(MAGIC, 1);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.finish();
+        let (mut r, _) = Reader::new(&bytes, MAGIC, 1).unwrap();
+        assert!(matches!(r.str().unwrap_err(), CodecError::Invalid(_)));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! every result-affecting option, solver kernels must stay
 //! allocation-free, executor loops must reach cancellation checkpoints,
 //! the server request path must never panic, solver calls must not run
-//! under cache/queue locks, and the retained reference solvers must keep
-//! the signatures their parity oracles compare against. This crate
+//! under cache/queue locks, a mutation ack must never precede its WAL
+//! flush (durability-before-ack), and the retained reference solvers
+//! must keep the signatures their parity oracles compare against. This crate
 //! checks those invariants at the **source level** — a small std-only
 //! lexer plus an item/brace-tree model (no `syn`, same vendoring
 //! discipline as the rest of the workspace) and a registry of

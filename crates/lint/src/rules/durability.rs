@@ -1,0 +1,232 @@
+//! **durability-before-ack** — a mutation is acknowledged only after its
+//! WAL record is flushed (PR 9).
+//!
+//! The durable store's contract is *durability before ack*: the epoch a
+//! client sees in `{"ok":true,"epoch":N,...}` must already be on disk
+//! (appended to the write-ahead log and flushed per the fsync policy)
+//! when the response leaves. Two orderings uphold it, and this rule pins
+//! both:
+//!
+//! - **`publish-before-append`** (`gss-store`): inside any function of
+//!   the store that both touches the WAL and publishes a new head
+//!   snapshot (an assignment through `self.current`), the
+//!   `wal.append(...)` call must come lexically *before* the publish.
+//!   A snapshot published first would be visible to readers — and its
+//!   receipt returnable — before the log write, so a crash in between
+//!   would acknowledge an epoch recovery cannot reproduce.
+//! - **`ack-without-durability`** (`gss-server`): constructing a
+//!   `Response::Mutated` envelope is only legitimate downstream of an
+//!   `apply_mutation_logged` / `apply_logged` call in the same function
+//!   (those return only after the WAL flush). A `Mutated` ack assembled
+//!   any other way — e.g. echoing the request before applying it — is
+//!   an unfounded durability claim.
+//!
+//! Both checks are lexical-order heuristics, so a justified exemption
+//! (`// gss-lint: allow(durability-before-ack[...]) — why`) is the
+//! escape hatch for code that reorders provably-equivalent steps.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Workspace;
+
+use super::{is_method_call, Rule};
+
+/// See the module docs.
+pub struct DurabilityBeforeAck;
+
+impl Rule for DurabilityBeforeAck {
+    fn id(&self) -> &'static str {
+        "durability-before-ack"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.path.contains("store/src/") {
+                check_publish_order(fi, file, out);
+            }
+            if file.path.contains("server/src/") {
+                check_mutated_acks(fi, file, out);
+            }
+        }
+    }
+}
+
+/// `publish-before-append` (any `gss-store` module): every head-snapshot
+/// publish in a WAL-touching function must be preceded by the `append`
+/// call.
+fn check_publish_order(fi: usize, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for body in fn_bodies(file) {
+        let (start, end) = body;
+        // Only functions that handle the WAL at all are in scope: a
+        // non-durable publish has nothing to order against.
+        let touches_wal = (start..end).any(|i| file.is_ident(i, "wal"));
+        if !touches_wal {
+            continue;
+        }
+        let mut appended_at: Option<usize> = None;
+        for i in start..end {
+            if file.in_test(file.tokens[i].start) {
+                continue;
+            }
+            if is_method_call(file, i, "append") {
+                appended_at.get_or_insert(i);
+            }
+            if is_head_publish(file, i) && appended_at.is_none() {
+                let tok = file.tokens[i];
+                out.push(Diagnostic {
+                    rule: "durability-before-ack",
+                    category: "publish-before-append",
+                    file: fi,
+                    start: tok.start,
+                    end: tok.end,
+                    message: "head snapshot published before the WAL append".to_owned(),
+                    note: Some(
+                        "readers (and the receipt) must never see an epoch that is not yet \
+                         on the log; call wal.append(...) before swapping self.current"
+                            .to_owned(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `ack-without-durability`: `Response::Mutated { ... }` construction
+/// requires a prior `apply_mutation_logged` / `apply_logged` call in the
+/// same function.
+fn check_mutated_acks(fi: usize, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for body in fn_bodies(file) {
+        let (start, end) = body;
+        let mut applied_at: Option<usize> = None;
+        for i in start..end {
+            if file.in_test(file.tokens[i].start) {
+                continue;
+            }
+            if (file.is_ident(i, "apply_mutation_logged") || file.is_ident(i, "apply_logged"))
+                && file.is_punct(i + 1, '(')
+            {
+                applied_at.get_or_insert(i);
+            }
+            // `Response :: Mutated {` — a construction, not a pattern
+            // match on an incoming response (patterns appear in tests,
+            // which are excluded above, and in the client, which never
+            // *builds* Mutated).
+            if file.is_ident(i, "Response")
+                && file.is_punct(i + 1, ':')
+                && file.is_punct(i + 2, ':')
+                && file.is_ident(i + 3, "Mutated")
+                && file.is_punct(i + 4, '{')
+                && applied_at.is_none()
+            {
+                let tok = file.tokens[i + 3];
+                out.push(Diagnostic {
+                    rule: "durability-before-ack",
+                    category: "ack-without-durability",
+                    file: fi,
+                    start: tok.start,
+                    end: tok.end,
+                    message: "`Response::Mutated` built without a preceding \
+                              apply_mutation_logged call"
+                        .to_owned(),
+                    note: Some(
+                        "a Mutated ack promises the epoch is durable; build it only from \
+                         the receipt of apply_mutation_logged / apply_logged, which return \
+                         after the WAL flush"
+                            .to_owned(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True at the `current` token of a head publish: the assignment
+/// `*self.current.lock()... = ...;`. Distinguished from snapshot *reads*
+/// (`Arc::clone(&self.current.lock()...)`) by requiring a top-level `=`
+/// before the statement's `;`.
+fn is_head_publish(file: &SourceFile, i: usize) -> bool {
+    if !(file.is_ident(i, "current")
+        && i >= 2
+        && file.is_ident(i - 2, "self")
+        && file.is_punct(i - 1, '.')
+        && file.is_punct(i + 1, '.')
+        && file.is_ident(i + 2, "lock"))
+    {
+        return false;
+    }
+    // Scan to the end of the statement for a bare assignment `=`.
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    while j < file.tokens.len() {
+        if file.tokens[j].kind == TokKind::Punct {
+            let c = file.text.as_bytes().get(file.tokens[j].start).copied();
+            match c {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') | Some(b'}') => depth -= 1,
+                Some(b';') if depth <= 0 => return false,
+                Some(b'=') if depth <= 0 => {
+                    // Bare `=`: not `==`, `=>`, `<=`, `>=`, `!=`, `+=`…
+                    let next_eq = file.is_punct(j + 1, '=') || file.is_punct(j + 1, '>');
+                    let prev_op = j > 0
+                        && file.tokens[j - 1].kind == TokKind::Punct
+                        && matches!(
+                            file.text.as_bytes().get(file.tokens[j - 1].start).copied(),
+                            Some(b'=')
+                                | Some(b'!')
+                                | Some(b'<')
+                                | Some(b'>')
+                                | Some(b'+')
+                                | Some(b'-')
+                                | Some(b'*')
+                                | Some(b'/')
+                                | Some(b'%')
+                                | Some(b'&')
+                                | Some(b'|')
+                                | Some(b'^')
+                        );
+                    if !next_eq && !prev_op {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// The token ranges of every `fn` body in the file (body-open to
+/// matching close). Nested functions yield nested ranges; each range is
+/// scanned independently, which is exactly the scoping the ordering
+/// checks want.
+fn fn_bodies(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if !file.is_ident(i, "fn") {
+            continue;
+        }
+        // The body is the first `{` after the signature at paren depth 0
+        // (generics, argument lists and where clauses contain no braces).
+        let mut depth = 0i64;
+        let mut j = i + 1;
+        while j < file.tokens.len() {
+            if file.tokens[j].kind == TokKind::Punct {
+                match file.text.as_bytes().get(file.tokens[j].start).copied() {
+                    Some(b'(') | Some(b'[') => depth += 1,
+                    Some(b')') | Some(b']') => depth -= 1,
+                    Some(b'{') if depth <= 0 => {
+                        out.push((j + 1, file.match_delim(j)));
+                        break;
+                    }
+                    // A `;` ends a bodiless declaration (trait method).
+                    Some(b';') if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+    out
+}

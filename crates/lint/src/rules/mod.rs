@@ -7,6 +7,7 @@ use crate::source::SourceFile;
 use crate::Workspace;
 
 pub mod cancellation;
+pub mod durability;
 pub mod fingerprint;
 pub mod lock_discipline;
 pub mod no_alloc;
@@ -33,6 +34,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(no_alloc::NoAllocInKernel),
         Box::new(cancellation::CancellationCheckpoint),
         Box::new(no_panic::NoPanicInRequestPath),
+        Box::new(durability::DurabilityBeforeAck),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(parity::ReferenceParityDrift),
     ]

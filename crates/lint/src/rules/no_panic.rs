@@ -10,7 +10,9 @@
 //! a panic on a reactor thread strands every connection it multiplexes),
 //! the shared wire codecs (`gss-protocol`) and the mutation path
 //! (`gss-store` — a panic inside `GraphStore::apply` poisons the writer
-//! lock and wedges every later mutation), test code excluded:
+//! lock and wedges every later mutation; the WAL append/recovery and
+//! fault-injection modules sit on that same path, and a panic there can
+//! additionally strand a half-written log record), test code excluded:
 //!
 //! - `.unwrap()` / `.expect(...)` (categories `unwrap`, `expect`) — use
 //!   `unwrap_or_else(PoisonError::into_inner)` for mutex poisoning and
@@ -37,6 +39,8 @@ const WATCHED: &[&str] = &[
     "server/src/conn.rs",
     "protocol/src/lib.rs",
     "store/src/lib.rs",
+    "store/src/wal.rs",
+    "store/src/fault.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -1,0 +1,10 @@
+pub fn ack_without_apply(id: Option<u64>) -> Response {
+    Response::Mutated {
+        id,
+        epoch: 1,
+        inserted: 0,
+        removed: 0,
+        updated: 0,
+        replayed: false,
+    }
+}

@@ -1,0 +1,16 @@
+pub fn ack(engine: &Engine, batch: &MutationBatch) -> Response {
+    match engine.apply_mutation_logged(batch, None) {
+        Ok(receipt) => Response::Mutated {
+            id: None,
+            epoch: receipt.epoch,
+            inserted: receipt.inserted,
+            removed: receipt.removed,
+            updated: receipt.updated,
+            replayed: receipt.replayed,
+        },
+        Err(e) => Response::Error {
+            id: None,
+            message: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,7 @@
+impl Store {
+    fn publish_then_log(&self, next: Snap) -> Result<(), Error> {
+        *self.current.lock().unwrap_or_else(recover) = next;
+        self.wal.append(1)?;
+        Ok(())
+    }
+}

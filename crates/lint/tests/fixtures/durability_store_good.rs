@@ -1,0 +1,8 @@
+impl Store {
+    fn log_then_publish(&self, next: Snap) -> Result<Snap, Error> {
+        self.wal.append(1)?;
+        *self.current.lock().unwrap_or_else(recover) = next;
+        // A head *read* is not a publish: no top-level assignment.
+        Ok(Snap::clone(&self.current.lock().unwrap_or_else(recover)))
+    }
+}

@@ -155,6 +155,49 @@ fn fingerprint_accepts_exempted_fields() {
 }
 
 #[test]
+fn durability_flags_unfounded_acks_and_early_publishes() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/server.rs", fixture("durability_bad.rs"));
+    // Registered as wal.rs: the fingerprint audit owns store/src/lib.rs.
+    ws.add_file(
+        "crates/store/src/wal.rs",
+        fixture("durability_store_bad.rs"),
+    );
+    let diags = ws.run();
+    assert_eq!(
+        spans(&ws, &diags),
+        vec![
+            (
+                "durability-before-ack".into(),
+                "ack-without-durability".into(),
+                2,
+                15
+            ),
+            (
+                "durability-before-ack".into(),
+                "publish-before-append".into(),
+                3,
+                15
+            ),
+        ],
+        "full diagnostics:\n{}",
+        render_all(&ws, &diags)
+    );
+}
+
+#[test]
+fn durability_accepts_receipt_backed_acks_and_append_first_publishes() {
+    let mut ws = Workspace::new();
+    ws.add_file("crates/server/src/server.rs", fixture("durability_good.rs"));
+    ws.add_file(
+        "crates/store/src/wal.rs",
+        fixture("durability_store_good.rs"),
+    );
+    let diags = ws.run();
+    assert!(diags.is_empty(), "{}", render_all(&ws, &diags));
+}
+
+#[test]
 fn lock_discipline_flags_engine_calls_under_a_live_guard() {
     let mut ws = Workspace::new();
     ws.add_file("crates/server/src/dispatch.rs", fixture("lock_bad.rs"));

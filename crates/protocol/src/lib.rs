@@ -68,6 +68,13 @@
 //! they were admitted on; since the epoch is folded into the database
 //! fingerprint, cached results can never leak across epochs.
 //!
+//! Every mutation verb accepts an optional `"mutation_id"` string — an
+//! idempotency key. A server with a durable store deduplicates retries
+//! carrying an id it already applied: the retry is acked with the
+//! **original** receipt plus `"replayed":true`, and the epoch advances
+//! exactly once. `"replayed"` is omitted (not `false`) on first
+//! applications, so pre-durability ack bytes are unchanged.
+//!
 //! ## Split of responsibilities
 //!
 //! This crate owns the *shape* of the protocol: JSON structure, field
@@ -110,6 +117,9 @@ pub enum Request {
         id: Option<Value>,
         /// Graphs to append, in `t/v/e` text form (any number).
         graphs: String,
+        /// Client-supplied idempotency key: a server with a durable
+        /// store deduplicates retries carrying the same id.
+        mutation_id: Option<String>,
     },
     /// Remove graphs from the live store by name.
     Remove {
@@ -117,6 +127,8 @@ pub enum Request {
         id: Option<Value>,
         /// Names of the graphs to remove (at least one).
         names: Vec<String>,
+        /// Client-supplied idempotency key (see [`Request::Insert`]).
+        mutation_id: Option<String>,
     },
     /// Replace one named graph in place.
     Update {
@@ -126,6 +138,8 @@ pub enum Request {
         name: String,
         /// The replacement, in `t/v/e` text form (exactly one graph).
         graph: String,
+        /// Client-supplied idempotency key (see [`Request::Insert`]).
+        mutation_id: Option<String>,
     },
 }
 
@@ -237,9 +251,11 @@ impl Request {
                         "insert needs a \"graphs\" field (t/v/e text)",
                     ));
                 };
+                let mutation_id = parse_mutation_id(&doc, &id)?;
                 Ok(Request::Insert {
                     id,
                     graphs: graphs.to_owned(),
+                    mutation_id,
                 })
             }
             "remove" => {
@@ -260,7 +276,12 @@ impl Request {
                         "remove needs a non-empty \"names\" array of strings",
                     ));
                 };
-                Ok(Request::Remove { id, names })
+                let mutation_id = parse_mutation_id(&doc, &id)?;
+                Ok(Request::Remove {
+                    id,
+                    names,
+                    mutation_id,
+                })
             }
             "update" => {
                 let Some(name) = doc.get("name").and_then(Value::as_str) else {
@@ -272,10 +293,12 @@ impl Request {
                         "update needs a \"graph\" field (t/v/e text, one graph)",
                     ));
                 };
+                let mutation_id = parse_mutation_id(&doc, &id)?;
                 Ok(Request::Update {
                     id,
                     name: name.to_owned(),
                     graph: graph.to_owned(),
+                    mutation_id,
                 })
             }
             other => Err(WireError::new(&id, format!("unknown op {other:?}"))),
@@ -327,10 +350,20 @@ impl Request {
                 }
                 request_line(&q.id, "query", &extra)
             }
-            Request::Insert { id, graphs } => {
-                request_line(id, "insert", &format!(",\"graphs\":\"{}\"", escape(graphs)))
+            Request::Insert {
+                id,
+                graphs,
+                mutation_id,
+            } => {
+                let mut extra = format!(",\"graphs\":\"{}\"", escape(graphs));
+                push_mutation_id(&mut extra, mutation_id);
+                request_line(id, "insert", &extra)
             }
-            Request::Remove { id, names } => {
+            Request::Remove {
+                id,
+                names,
+                mutation_id,
+            } => {
                 let mut extra = String::from(",\"names\":[");
                 for (i, name) in names.iter().enumerate() {
                     if i > 0 {
@@ -341,17 +374,23 @@ impl Request {
                     extra.push('"');
                 }
                 extra.push(']');
+                push_mutation_id(&mut extra, mutation_id);
                 request_line(id, "remove", &extra)
             }
-            Request::Update { id, name, graph } => request_line(
+            Request::Update {
                 id,
-                "update",
-                &format!(
+                name,
+                graph,
+                mutation_id,
+            } => {
+                let mut extra = format!(
                     ",\"name\":\"{}\",\"graph\":\"{}\"",
                     escape(name),
                     escape(graph)
-                ),
-            ),
+                );
+                push_mutation_id(&mut extra, mutation_id);
+                request_line(id, "update", &extra)
+            }
         }
     }
 
@@ -366,6 +405,34 @@ impl Request {
             | Request::Update { id, .. } => id,
             Request::Query(q) => &q.id,
         }
+    }
+
+    /// The client-supplied idempotency key, for the mutation verbs.
+    pub fn mutation_id(&self) -> Option<&str> {
+        match self {
+            Request::Insert { mutation_id, .. }
+            | Request::Remove { mutation_id, .. }
+            | Request::Update { mutation_id, .. } => mutation_id.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+fn parse_mutation_id(doc: &Value, id: &Option<Value>) -> Result<Option<String>, WireError> {
+    match doc.get("mutation_id") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(s) => Ok(Some(s.to_owned())),
+            None => Err(WireError::new(id, "\"mutation_id\" must be a string")),
+        },
+    }
+}
+
+fn push_mutation_id(extra: &mut String, mutation_id: &Option<String>) {
+    if let Some(mid) = mutation_id {
+        extra.push_str(",\"mutation_id\":\"");
+        extra.push_str(&escape(mid));
+        extra.push('"');
     }
 }
 
@@ -491,6 +558,11 @@ pub enum Response {
         removed: u64,
         /// Graphs replaced in place.
         updated: u64,
+        /// True when this ack answers a deduplicated `mutation_id` retry
+        /// with the original receipt (nothing was applied again). Only
+        /// emitted on the wire when true, keeping first-application acks
+        /// byte-identical to the pre-durability format.
+        replayed: bool,
     },
     /// Admission rejection: the queue is full (or the server drains);
     /// retry after the given delay.
@@ -548,12 +620,16 @@ impl Response {
                 inserted,
                 removed,
                 updated,
-            } => envelope(
-                id,
-                &format!(
+                replayed,
+            } => {
+                let mut body = format!(
                     "\"ok\":true,\"epoch\":{epoch},\"inserted\":{inserted},\"removed\":{removed},\"updated\":{updated}"
-                ),
-            ),
+                );
+                if *replayed {
+                    body.push_str(",\"replayed\":true");
+                }
+                envelope(id, &body)
+            }
             Response::Backpressure { id, retry_after_ms } => envelope(
                 id,
                 &format!(
@@ -605,12 +681,19 @@ impl Response {
                             )
                         })
                 };
+                let replayed = match doc.get("replayed") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| WireError::new(&id, "\"replayed\" must be a boolean"))?,
+                };
                 return Ok(Response::Mutated {
                     id: id.clone(),
                     epoch: counter("epoch")?,
                     inserted: counter("inserted")?,
                     removed: counter("removed")?,
                     updated: counter("updated")?,
+                    replayed,
                 });
             }
             if let Some(cached) = doc.get("cached").and_then(Value::as_bool) {
@@ -713,15 +796,23 @@ mod tests {
             Request::Insert {
                 id: sid("i"),
                 graphs: "t a\nv 0 C\nt b\nv 0 N\n".to_owned(),
+                mutation_id: None,
+            },
+            Request::Insert {
+                id: None,
+                graphs: "t a\nv 0 C\n".to_owned(),
+                mutation_id: Some("c1:42".to_owned()),
             },
             Request::Remove {
                 id: None,
                 names: vec!["a\"quoted".to_owned(), "b".to_owned()],
+                mutation_id: Some("c1:43".to_owned()),
             },
             Request::Update {
                 id: Some(Value::Number(4.0)),
                 name: "a".to_owned(),
                 graph: "t a\nv 0 O\n".to_owned(),
+                mutation_id: None,
             },
         ];
         for r in requests {
@@ -777,6 +868,10 @@ mod tests {
             ("{\"op\":\"remove\",\"names\":[1]}", "\"names\" array"),
             ("{\"op\":\"update\",\"graph\":\"t g\"}", "\"name\" field"),
             ("{\"op\":\"update\",\"name\":\"g\"}", "\"graph\" field"),
+            (
+                "{\"op\":\"insert\",\"graphs\":\"t g\",\"mutation_id\":7}",
+                "\"mutation_id\" must be a string",
+            ),
         ] {
             let err = Request::from_line(line).expect_err(line);
             assert!(
@@ -850,8 +945,20 @@ mod tests {
                     inserted: 2,
                     removed: 1,
                     updated: 0,
+                    replayed: false,
                 },
                 "{\"id\":\"m\",\"ok\":true,\"epoch\":3,\"inserted\":2,\"removed\":1,\"updated\":0}\n",
+            ),
+            (
+                Response::Mutated {
+                    id: sid("m"),
+                    epoch: 3,
+                    inserted: 2,
+                    removed: 1,
+                    updated: 0,
+                    replayed: true,
+                },
+                "{\"id\":\"m\",\"ok\":true,\"epoch\":3,\"inserted\":2,\"removed\":1,\"updated\":0,\"replayed\":true}\n",
             ),
         ];
         for (resp, bytes) in cases {

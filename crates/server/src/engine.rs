@@ -53,6 +53,8 @@ pub enum Request {
         id: Option<Value>,
         /// Graphs to append, in `t/v/e` text form.
         graphs: String,
+        /// Client idempotency key, deduplicated by a durable store.
+        mutation_id: Option<String>,
     },
     /// Remove graphs from the live store by name.
     Remove {
@@ -60,6 +62,8 @@ pub enum Request {
         id: Option<Value>,
         /// Names of the graphs to remove.
         names: Vec<String>,
+        /// Client idempotency key, deduplicated by a durable store.
+        mutation_id: Option<String>,
     },
     /// Replace one named graph in place.
     Update {
@@ -69,6 +73,8 @@ pub enum Request {
         name: String,
         /// The replacement, in `t/v/e` text form.
         graph: String,
+        /// Client idempotency key, deduplicated by a durable store.
+        mutation_id: Option<String>,
     },
 }
 
@@ -173,9 +179,22 @@ impl Engine {
     /// epoch bumps; eviction reclaims their memory eagerly and keeps the
     /// `cache_entries` stat honest).
     pub fn apply_mutation(&self, batch: &MutationBatch) -> Result<MutationReceipt, MutationError> {
-        let receipt = self.store.apply(batch)?;
-        ServerStats::bump(&self.stats.mutated);
-        self.cache.evict_stale(self.store.snapshot().fingerprint());
+        self.apply_mutation_logged(batch, None)
+    }
+
+    /// [`Engine::apply_mutation`] with a client idempotency key. A
+    /// replayed receipt (duplicate `mutation_id` on a durable store)
+    /// skips the stats bump and cache eviction — nothing changed.
+    pub fn apply_mutation_logged(
+        &self,
+        batch: &MutationBatch,
+        mutation_id: Option<&str>,
+    ) -> Result<MutationReceipt, MutationError> {
+        let receipt = self.store.apply_logged(batch, mutation_id)?;
+        if !receipt.replayed {
+            ServerStats::bump(&self.stats.mutated);
+            self.cache.evict_stale(self.store.snapshot().fingerprint());
+        }
         Ok(receipt)
     }
 
@@ -191,11 +210,35 @@ impl Engine {
                 self.parse_query(*envelope)
                     .map_err(|message| RequestError { id, message })
             }
-            gss_protocol::Request::Insert { id, graphs } => Ok(Request::Insert { id, graphs }),
-            gss_protocol::Request::Remove { id, names } => Ok(Request::Remove { id, names }),
-            gss_protocol::Request::Update { id, name, graph } => {
-                Ok(Request::Update { id, name, graph })
-            }
+            gss_protocol::Request::Insert {
+                id,
+                graphs,
+                mutation_id,
+            } => Ok(Request::Insert {
+                id,
+                graphs,
+                mutation_id,
+            }),
+            gss_protocol::Request::Remove {
+                id,
+                names,
+                mutation_id,
+            } => Ok(Request::Remove {
+                id,
+                names,
+                mutation_id,
+            }),
+            gss_protocol::Request::Update {
+                id,
+                name,
+                graph,
+                mutation_id,
+            } => Ok(Request::Update {
+                id,
+                name,
+                graph,
+                mutation_id,
+            }),
         }
     }
 
@@ -301,6 +344,28 @@ impl Engine {
                         ("stale_ops".to_owned(), n(stale)),
                         ("partial_rebuilds".to_owned(), n(partial)),
                         ("rebuilds".to_owned(), n(store.index_rebuilds)),
+                    ]),
+                ));
+            }
+            if let Some(wal) = store.wal {
+                members.push((
+                    "wal".to_owned(),
+                    Value::Object(vec![
+                        ("appended".to_owned(), n(wal.appended)),
+                        ("fsyncs".to_owned(), n(wal.fsyncs)),
+                        ("checkpoints".to_owned(), n(wal.checkpoints)),
+                        ("checkpoint_failures".to_owned(), n(wal.checkpoint_failures)),
+                        ("last_durable_epoch".to_owned(), n(wal.last_durable_epoch)),
+                        (
+                            "recovery".to_owned(),
+                            Value::Object(vec![
+                                ("replayed".to_owned(), n(wal.recovery.replayed)),
+                                (
+                                    "truncated_tail".to_owned(),
+                                    Value::Bool(wal.recovery.truncated_tail),
+                                ),
+                            ]),
+                        ),
                     ]),
                 ));
             }

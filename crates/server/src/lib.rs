@@ -127,12 +127,13 @@ pub mod server;
 pub mod stats;
 
 pub use cache::ShardedCache;
-pub use client::{Client, ClientBuilder};
+pub use client::{Client, ClientBuilder, RetryPolicy};
 pub use engine::{Engine, QueryRequest, Request, RequestError};
 pub use gss_protocol::Response;
 pub use gss_store::{
-    GraphStore, IndexMaintenance, MutationBatch, MutationError, MutationReceipt, Snapshot,
-    StoreConfig, StoreStats,
+    FaultAction, FaultPlan, FsyncPolicy, GraphStore, IndexMaintenance, MutationBatch,
+    MutationError, MutationReceipt, RecoveryStats, Snapshot, StoreConfig, StoreStats, WalConfig,
+    WalStats,
 };
 pub use server::{serve, serve_store, ServerConfig, ServerHandle};
 pub use stats::{percentile_us, LatencySnapshot, ServerStats};

@@ -476,7 +476,27 @@ impl Reactor {
             }
             if !entry.dead {
                 if let Some(stream) = entry.stream.as_mut() {
+                    // Chaos testing: an injected reset (or crash) at the
+                    // socket edge hangs up before the buffered response
+                    // bytes leave, so the client observes a dead
+                    // connection and must retry. Transient kinds fall
+                    // through — the write loop below already absorbs
+                    // interrupted/would-block, which is what they model.
+                    if !entry.conn.unwritten().is_empty() {
+                        if let Some(gss_store::FaultAction::Reset | gss_store::FaultAction::Crash) =
+                            self.shared
+                                .config
+                                .faults
+                                .fire(gss_store::fault::points::CONN_WRITE)
+                        {
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                            entry.dead = true;
+                        }
+                    }
                     loop {
+                        if entry.dead {
+                            break;
+                        }
                         let written = {
                             let buf = entry.conn.unwritten();
                             if buf.is_empty() {

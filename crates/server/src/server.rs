@@ -49,7 +49,8 @@ use std::time::{Duration, Instant};
 use gss_core::jsonio::Value;
 use gss_core::{GraphDatabase, QueryOptions};
 use gss_protocol::Response;
-use gss_store::{GraphStore, MutationBatch, StoreConfig};
+use gss_store::fault::points;
+use gss_store::{FaultAction, FaultPlan, GraphStore, MutationBatch, StoreConfig};
 
 use crate::engine::{Engine, QueryRequest, Request};
 use crate::stats::ServerStats;
@@ -85,6 +86,10 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// The `retry_after_ms` hint sent with backpressure rejections.
     pub retry_after_ms: u64,
+    /// Deterministic fault plan for connection-level chaos testing
+    /// (injection point `conn.write`). Empty in production; see
+    /// [`gss_store::FaultPlan`].
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             batch_max: 8,
             default_deadline_ms: 30_000,
             retry_after_ms: 50,
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -441,20 +447,37 @@ pub(crate) fn process_line(
             shared.begin_drain();
             Outcome::Immediate(Response::Draining { id })
         }
-        Ok(Request::Insert { id, graphs }) => {
-            Outcome::Immediate(mutate(shared, id, MutationBatch::default().insert(&graphs)))
-        }
-        Ok(Request::Remove { id, names }) => {
+        Ok(Request::Insert {
+            id,
+            graphs,
+            mutation_id,
+        }) => Outcome::Immediate(mutate(
+            shared,
+            id,
+            MutationBatch::default().insert(&graphs),
+            mutation_id,
+        )),
+        Ok(Request::Remove {
+            id,
+            names,
+            mutation_id,
+        }) => {
             let batch = MutationBatch {
                 removes: names,
                 ..MutationBatch::default()
             };
-            Outcome::Immediate(mutate(shared, id, batch))
+            Outcome::Immediate(mutate(shared, id, batch, mutation_id))
         }
-        Ok(Request::Update { id, name, graph }) => Outcome::Immediate(mutate(
+        Ok(Request::Update {
+            id,
+            name,
+            graph,
+            mutation_id,
+        }) => Outcome::Immediate(mutate(
             shared,
             id,
             MutationBatch::default().update(&name, &graph),
+            mutation_id,
         )),
         Ok(Request::Query(request)) => {
             ServerStats::bump(&engine.stats.queries);
@@ -491,20 +514,29 @@ pub(crate) fn process_line(
 /// anything, writers serialize on the store's writer lock, and readers
 /// (queries) never block on it. A draining server refuses mutations the
 /// same way it refuses new queries.
-fn mutate(shared: &Arc<Shared>, id: Option<Value>, batch: MutationBatch) -> Response {
+fn mutate(
+    shared: &Arc<Shared>,
+    id: Option<Value>,
+    batch: MutationBatch,
+    mutation_id: Option<String>,
+) -> Response {
     if shared.draining() {
         return Response::Error {
             id,
             message: "server is draining".to_owned(),
         };
     }
-    match shared.engine.apply_mutation(&batch) {
+    match shared
+        .engine
+        .apply_mutation_logged(&batch, mutation_id.as_deref())
+    {
         Ok(receipt) => Response::Mutated {
             id,
             epoch: receipt.epoch,
             inserted: receipt.inserted as u64,
             removed: receipt.removed as u64,
             updated: receipt.updated as u64,
+            replayed: receipt.replayed,
         },
         Err(e) => Response::Error {
             id,
@@ -536,6 +568,21 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let response = handle_line(trimmed, &shared);
+                    match shared.config.faults.fire(points::CONN_WRITE) {
+                        // A reset (or crash) drops the connection before
+                        // the response bytes leave — the client observes
+                        // a hung-up socket and must retry.
+                        Some(FaultAction::Reset) | Some(FaultAction::Crash) => {
+                            let _ = writer.shutdown(std::net::Shutdown::Both);
+                            return;
+                        }
+                        // Transient kinds (interrupted, short write,
+                        // would-block) are exactly what the blocking
+                        // `write_all` below absorbs by retrying; skipping
+                        // the write instead would corrupt the line
+                        // protocol, so fall through.
+                        _ => {}
+                    }
                     if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
                         return;
                     }

@@ -1,0 +1,366 @@
+//! Deterministic, seedable fault injection for the durability stack.
+//!
+//! Chaos testing is only useful when a failure is **reproducible**. Every
+//! injection site compiled into the WAL append path, the checkpoint
+//! writer and the server connection I/O asks its [`FaultPlan`] whether to
+//! fail *this* hit, and the plan answers deterministically from a parsed
+//! spec — hit counters per point, plus a seeded xorshift generator for
+//! probabilistic clauses. Plans are plain values shared by `Arc`, so two
+//! stores (or two tests) in one process never interfere, and the default
+//! empty plan short-circuits to a no-op.
+//!
+//! # Spec syntax
+//!
+//! A plan is a `;`-separated list of clauses, each `point@when=action`:
+//!
+//! | `when`     | fires on                                  |
+//! |------------|-------------------------------------------|
+//! | `N`        | exactly the Nth hit of the point (1-based)|
+//! | `N+`       | the Nth hit and every later one           |
+//! | `every-N`  | every Nth hit                             |
+//! | `pN`       | each hit with probability N/1000 (seeded) |
+//!
+//! Actions: `err` (injected I/O error), `short` (partial write, then
+//! error), `interrupted` / `wouldblock` (transient-kind errors),
+//! `reset` (connection reset), `crash` (simulated `kill -9`: the
+//! operation tears mid-write and the component refuses further work, as
+//! a dead process would).
+//!
+//! ```
+//! use gss_store::fault::{points, FaultAction, FaultPlan};
+//!
+//! let plan = FaultPlan::parse("wal.append@2=crash;conn.write@every-3=reset").unwrap();
+//! assert_eq!(plan.fire(points::WAL_APPEND), None);
+//! assert_eq!(plan.fire(points::WAL_APPEND), Some(FaultAction::Crash));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::Mutex;
+
+/// Named injection points compiled into the durability stack. The spec
+/// language accepts arbitrary point names; these are the ones that
+/// actually fire in this workspace.
+pub mod points {
+    /// WAL record append (`gss-store`), before the epoch is published.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// WAL fsync per the configured [`crate::wal::FsyncPolicy`].
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// Checkpoint serialization + atomic rename (`gss-store`).
+    pub const CHECKPOINT_WRITE: &str = "checkpoint.write";
+    /// Server-side response write on a client connection (`gss-server`).
+    pub const CONN_WRITE: &str = "conn.write";
+}
+
+/// What an injection point does when its clause fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with an injected I/O error.
+    Err,
+    /// Write a partial prefix, then fail (exercises rollback paths).
+    Short,
+    /// Fail with `ErrorKind::Interrupted` (transient; retry-safe).
+    Interrupted,
+    /// Fail with `ErrorKind::WouldBlock` (readiness storm).
+    WouldBlock,
+    /// Drop the peer: the server shuts the connection down mid-response.
+    Reset,
+    /// Simulated `kill -9`: the operation tears mid-write and the
+    /// component poisons itself, as a dead process would.
+    Crash,
+}
+
+impl FaultAction {
+    /// The injected error this action surfaces to the failed operation.
+    pub fn to_io_error(self, point: &str) -> io::Error {
+        let kind = match self {
+            FaultAction::Interrupted => io::ErrorKind::Interrupted,
+            FaultAction::WouldBlock => io::ErrorKind::WouldBlock,
+            FaultAction::Reset => io::ErrorKind::ConnectionReset,
+            FaultAction::Err | FaultAction::Short | FaultAction::Crash => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, format!("injected fault at {point}: {self:?}"))
+    }
+}
+
+/// When one clause fires, relative to the point's 1-based hit counter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum When {
+    Exact(u64),
+    From(u64),
+    Every(u64),
+    /// Probability per hit, in permille, drawn from the seeded generator.
+    Chance(u64),
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Clause {
+    when: When,
+    action: FaultAction,
+}
+
+#[derive(Default)]
+struct PlanState {
+    hits: HashMap<String, u64>,
+    rng: u64,
+}
+
+const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A parsed, deterministic fault plan (see the module docs for syntax).
+pub struct FaultPlan {
+    clauses: HashMap<String, Vec<Clause>>,
+    state: Mutex<PlanState>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("points", &self.clauses.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: every [`FaultPlan::fire`] call is a cheap no-op.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            clauses: HashMap::new(),
+            state: Mutex::new(PlanState {
+                hits: HashMap::new(),
+                rng: DEFAULT_SEED,
+            }),
+        }
+    }
+
+    /// Parses a plan spec with the default probabilistic seed.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        FaultPlan::parse_seeded(spec, DEFAULT_SEED)
+    }
+
+    /// Parses a plan spec, seeding the generator behind `pN` clauses so
+    /// probabilistic chaos runs replay byte-for-byte.
+    pub fn parse_seeded(spec: &str, seed: u64) -> Result<FaultPlan, FaultSpecError> {
+        let mut clauses: HashMap<String, Vec<Clause>> = HashMap::new();
+        for raw in spec.split([';', ',']) {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (point, rest) = raw
+                .split_once('@')
+                .ok_or_else(|| FaultSpecError::new(raw, "expected point@when=action"))?;
+            let (when, action) = rest
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::new(raw, "expected point@when=action"))?;
+            let when = parse_when(when).ok_or_else(|| {
+                FaultSpecError::new(raw, "`when` must be N, N+, every-N or pN (N >= 1)")
+            })?;
+            let action = parse_action(action).ok_or_else(|| {
+                FaultSpecError::new(
+                    raw,
+                    "action must be err, short, interrupted, wouldblock, reset or crash",
+                )
+            })?;
+            clauses
+                .entry(point.trim().to_owned())
+                .or_default()
+                .push(Clause { when, action });
+        }
+        Ok(FaultPlan {
+            clauses,
+            state: Mutex::new(PlanState {
+                hits: HashMap::new(),
+                rng: if seed == 0 { DEFAULT_SEED } else { seed },
+            }),
+        })
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Registers one hit of `point` and returns the action to inject, if
+    /// any clause fires. The empty plan never locks.
+    pub fn fire(&self, point: &str) -> Option<FaultAction> {
+        if self.clauses.is_empty() {
+            return None;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let counter = state.hits.entry(point.to_owned()).or_insert(0);
+        *counter += 1;
+        let hit = *counter;
+        let clauses = self.clauses.get(point)?;
+        for clause in clauses {
+            let fired = match clause.when {
+                When::Exact(n) => hit == n,
+                When::From(n) => hit >= n,
+                When::Every(n) => n > 0 && hit.is_multiple_of(n),
+                When::Chance(permille) => {
+                    let mut x = state.rng;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    state.rng = x;
+                    x % 1000 < permille
+                }
+            };
+            if fired {
+                return Some(clause.action);
+            }
+        }
+        None
+    }
+
+    /// How many times `point` has been hit so far (fired or not).
+    pub fn hits(&self, point: &str) -> u64 {
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.hits.get(point).copied().unwrap_or(0)
+    }
+}
+
+fn parse_when(s: &str) -> Option<When> {
+    let s = s.trim();
+    if let Some(n) = s.strip_suffix('+') {
+        let n: u64 = n.parse().ok()?;
+        return (n >= 1).then_some(When::From(n));
+    }
+    if let Some(n) = s.strip_prefix("every-") {
+        let n: u64 = n.parse().ok()?;
+        return (n >= 1).then_some(When::Every(n));
+    }
+    if let Some(n) = s.strip_prefix('p') {
+        if let Ok(permille) = n.parse::<u64>() {
+            return (permille <= 1000).then_some(When::Chance(permille));
+        }
+    }
+    let n: u64 = s.parse().ok()?;
+    (n >= 1).then_some(When::Exact(n))
+}
+
+fn parse_action(s: &str) -> Option<FaultAction> {
+    match s.trim() {
+        "err" => Some(FaultAction::Err),
+        "short" => Some(FaultAction::Short),
+        "interrupted" => Some(FaultAction::Interrupted),
+        "wouldblock" => Some(FaultAction::WouldBlock),
+        "reset" => Some(FaultAction::Reset),
+        "crash" => Some(FaultAction::Crash),
+        _ => None,
+    }
+}
+
+/// A malformed fault-plan spec (the offending clause plus what was
+/// expected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    clause: String,
+    expected: String,
+}
+
+impl FaultSpecError {
+    fn new(clause: &str, expected: &str) -> FaultSpecError {
+        FaultSpecError {
+            clause: clause.to_owned(),
+            expected: expected.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault clause {:?}: {}",
+            self.clause, self.expected
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_from_and_every_clauses_fire_deterministically() {
+        let plan = FaultPlan::parse("a@2=err;b@3+=reset;c@every-2=short").unwrap();
+        assert_eq!(plan.fire("a"), None);
+        assert_eq!(plan.fire("a"), Some(FaultAction::Err));
+        assert_eq!(plan.fire("a"), None, "exact clauses fire once");
+
+        assert_eq!(plan.fire("b"), None);
+        assert_eq!(plan.fire("b"), None);
+        assert_eq!(plan.fire("b"), Some(FaultAction::Reset));
+        assert_eq!(plan.fire("b"), Some(FaultAction::Reset), "N+ keeps firing");
+
+        assert_eq!(plan.fire("c"), None);
+        assert_eq!(plan.fire("c"), Some(FaultAction::Short));
+        assert_eq!(plan.fire("c"), None);
+        assert_eq!(plan.fire("c"), Some(FaultAction::Short));
+
+        assert_eq!(plan.hits("a"), 3);
+        assert_eq!(plan.hits("unknown"), 0);
+        assert_eq!(plan.fire("unknown"), None);
+        assert_eq!(plan.hits("unknown"), 1, "unknown points still count hits");
+    }
+
+    #[test]
+    fn probabilistic_clauses_replay_per_seed() {
+        let runs = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::parse_seeded("x@p500=err", seed).unwrap();
+            (0..64).map(|_| plan.fire("x").is_some()).collect()
+        };
+        assert_eq!(runs(7), runs(7), "same seed, same chaos");
+        assert_ne!(runs(7), runs(8), "different seed, different chaos");
+        let fired = runs(7).iter().filter(|&&b| b).count();
+        assert!(fired > 8 && fired < 56, "p500 fires roughly half the time");
+    }
+
+    #[test]
+    fn empty_and_invalid_specs() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; , ").unwrap().is_empty());
+        assert!(!FaultPlan::parse("wal.append@1=crash").unwrap().is_empty());
+
+        for bad in [
+            "no-at-sign",
+            "p@1",
+            "p@x=err",
+            "p@0=err",
+            "p@1=explode",
+            "p@p1001=err",
+            "p@every-0=err",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn io_error_kinds_match_the_action() {
+        use std::io::ErrorKind;
+        assert_eq!(
+            FaultAction::Interrupted.to_io_error("p").kind(),
+            ErrorKind::Interrupted
+        );
+        assert_eq!(
+            FaultAction::WouldBlock.to_io_error("p").kind(),
+            ErrorKind::WouldBlock
+        );
+        assert_eq!(
+            FaultAction::Reset.to_io_error("p").kind(),
+            ErrorKind::ConnectionReset
+        );
+        assert_eq!(FaultAction::Err.to_io_error("p").kind(), ErrorKind::Other);
+    }
+}

@@ -32,6 +32,16 @@
 //!   store runs a cheap [`PivotIndex::partial_rebuild`]
 //!   (re-quantile rings from stored brackets) instead of re-pivoting.
 //!   Only removing/replacing a pivot graph forces a full rebuild.
+//! * **Durability** ([`GraphStore::open_durable`]): an optional
+//!   write-ahead log (module [`wal`]) persists every batch — flushed per
+//!   a configurable [`FsyncPolicy`] — *before* its epoch is published,
+//!   so an acked mutation survives a crash. Restart recovery loads the
+//!   newest checkpoint, replays the WAL tail, truncates torn tails, and
+//!   refuses ambiguous logs with a typed [`WalError`]. Client-supplied
+//!   mutation ids are deduplicated across the log and checkpoints, so a
+//!   retried mutation is acked with its original receipt instead of
+//!   applying twice. Module [`fault`] provides the deterministic fault
+//!   injection the crash-recovery tests drive this machinery with.
 //!
 //! ```
 //! use gss_core::GraphDatabase;
@@ -63,6 +73,17 @@ use gss_core::index::QueryIndex;
 use gss_graph::format::parse_database;
 use gss_graph::GraphError;
 use gss_index::{IndexError, MaintenanceOutcome, PivotIndex, PivotIndexConfig};
+
+pub mod fault;
+pub mod wal;
+
+pub use fault::{FaultAction, FaultPlan, FaultSpecError};
+pub use wal::{
+    inspect, ArtifactStatus, CheckpointInfo, FsyncPolicy, RecoveryStats, SegmentInfo, WalConfig,
+    WalError, WalInspection, WalStats,
+};
+
+use wal::{DedupEntry, DedupLog, Wal, WalCounters};
 
 /// Build-time knobs for a [`GraphStore`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -205,6 +226,9 @@ pub enum MutationError {
         /// How many graphs the text parsed to.
         found: usize,
     },
+    /// The batch could not be made durable (WAL append or flush failed);
+    /// nothing was published and nothing was acked.
+    Durability(WalError),
 }
 
 impl std::fmt::Display for MutationError {
@@ -218,15 +242,29 @@ impl std::fmt::Display for MutationError {
                     "update of {name:?} must carry exactly one graph, got {found}"
                 )
             }
+            MutationError::Durability(e) => write!(f, "mutation was not made durable: {e}"),
         }
     }
 }
 
-impl std::error::Error for MutationError {}
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Durability(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<GraphError> for MutationError {
     fn from(e: GraphError) -> Self {
         MutationError::Parse(e)
+    }
+}
+
+impl From<WalError> for MutationError {
+    fn from(e: WalError) -> Self {
+        MutationError::Durability(e)
     }
 }
 
@@ -257,6 +295,10 @@ pub struct MutationReceipt {
     pub updated: usize,
     /// How the index was maintained.
     pub maintenance: IndexMaintenance,
+    /// True when this receipt answers a deduplicated retry: the
+    /// `mutation_id` was already applied, nothing changed, and the
+    /// counts above are the original application's.
+    pub replayed: bool,
 }
 
 /// A point-in-time view of the store's mutation counters (the `stats`
@@ -280,6 +322,9 @@ pub struct StoreStats {
     pub index_stale_ops: Option<u64>,
     /// Partial rebuilds the index has run, when an index is maintained.
     pub index_partial_rebuilds: Option<u64>,
+    /// Write-ahead-log counters, when the store was opened durably via
+    /// [`GraphStore::open_durable`].
+    pub wal: Option<WalStats>,
 }
 
 /// The MVCC snapshot store: one mutable head, immutable epochs behind it.
@@ -292,14 +337,30 @@ pub struct GraphStore {
     /// The head snapshot. Swapped wholesale under the writer lock; read
     /// with a brief lock (clone an `Arc`, never blocks on evaluation).
     current: Mutex<Arc<Snapshot>>,
-    /// Serializes writers across the whole read-modify-swap cycle.
-    write: Mutex<()>,
+    /// Serializes writers across the whole read-modify-swap cycle and
+    /// owns the durability state (WAL + dedup log) when there is one.
+    write: Mutex<WriterState>,
     config: StoreConfig,
     batches: AtomicU64,
     inserted: AtomicU64,
     removed: AtomicU64,
     updated: AtomicU64,
     index_rebuilds: AtomicU64,
+    /// Lock-free view of the WAL counters for [`GraphStore::stats`]
+    /// (shared with the `Wal` inside the writer lock).
+    wal_counters: Option<Arc<WalCounters>>,
+    recovery: Option<RecoveryStats>,
+}
+
+/// State owned by the writer lock.
+#[derive(Default)]
+struct WriterState {
+    durable: Option<DurableState>,
+}
+
+struct DurableState {
+    wal: Wal,
+    dedup: DedupLog,
 }
 
 impl GraphStore {
@@ -311,7 +372,35 @@ impl GraphStore {
             .index
             .as_ref()
             .map(|cfg| Arc::new(PivotIndex::build(&db, cfg)));
-        GraphStore::assemble(Snapshot::capture(db, index), config)
+        GraphStore::assemble(Snapshot::capture(db, index), config, None)
+    }
+
+    /// Opens a store backed by a write-ahead log in
+    /// [`WalConfig::dir`]. A fresh directory is initialized with a
+    /// checkpoint of `db`; a directory with prior state **recovers from
+    /// disk and ignores `db`'s content** — the newest valid checkpoint
+    /// is loaded, the WAL tail replayed, torn tails truncated, and
+    /// ambiguous or gapped logs refused with a typed [`WalError`].
+    ///
+    /// The pivot index is never persisted: it is rebuilt once from
+    /// [`StoreConfig::index`] after replay, which keeps recovered
+    /// fingerprints byte-stable under vocabulary re-interning.
+    pub fn open_durable(
+        db: Arc<GraphDatabase>,
+        config: StoreConfig,
+        wal_config: WalConfig,
+    ) -> Result<GraphStore, WalError> {
+        let (wal, recovered) = Wal::open(wal_config, &db)?;
+        let index = config
+            .index
+            .as_ref()
+            .map(|cfg| Arc::new(PivotIndex::build(&recovered.db, cfg)));
+        let dedup = DedupLog::from_entries(recovered.dedup);
+        Ok(GraphStore::assemble(
+            Snapshot::capture(recovered.db, index),
+            config,
+            Some(DurableState { wal, dedup }),
+        ))
     }
 
     /// Opens a store over a database with a pre-built (e.g. loaded)
@@ -325,19 +414,30 @@ impl GraphStore {
         Ok(GraphStore::assemble(
             Snapshot::capture(db, Some(index)),
             config,
+            None,
         ))
     }
 
-    fn assemble(snapshot: Snapshot, config: StoreConfig) -> GraphStore {
+    fn assemble(
+        snapshot: Snapshot,
+        config: StoreConfig,
+        durable: Option<DurableState>,
+    ) -> GraphStore {
+        let (wal_counters, recovery) = match &durable {
+            Some(d) => (Some(d.wal.counters()), Some(d.wal.recovery())),
+            None => (None, None),
+        };
         GraphStore {
             current: Mutex::new(Arc::new(snapshot)),
-            write: Mutex::new(()),
+            write: Mutex::new(WriterState { durable }),
             config,
             batches: AtomicU64::new(0),
             inserted: AtomicU64::new(0),
             removed: AtomicU64::new(0),
             updated: AtomicU64::new(0),
             index_rebuilds: AtomicU64::new(0),
+            wal_counters,
+            recovery,
         }
     }
 
@@ -371,6 +471,10 @@ impl GraphStore {
             index_rebuilds: self.index_rebuilds.load(Ordering::Relaxed),
             index_stale_ops: snap.index.as_ref().map(|i| i.stale_ops()),
             index_partial_rebuilds: snap.index.as_ref().map(|i| i.partial_rebuilds()),
+            wal: self
+                .wal_counters
+                .as_ref()
+                .map(|c| c.stats(self.recovery.unwrap_or_default())),
         }
     }
 
@@ -381,7 +485,35 @@ impl GraphStore {
     /// swap. On error nothing changes. An empty batch is a no-op that
     /// keeps the current epoch.
     pub fn apply(&self, batch: &MutationBatch) -> Result<MutationReceipt, MutationError> {
-        let _writer = self.write.lock().unwrap_or_else(|p| p.into_inner());
+        self.apply_logged(batch, None)
+    }
+
+    /// [`GraphStore::apply`] with an optional client-supplied
+    /// `mutation_id` for at-most-once semantics: when the store is
+    /// durable and the id was already applied, nothing changes and the
+    /// original receipt is returned with [`MutationReceipt::replayed`]
+    /// set. On a durable store the batch is WAL-appended and flushed
+    /// **before** the new epoch is published; a durability failure
+    /// refuses the batch ([`MutationError::Durability`]) with nothing
+    /// observable changed.
+    pub fn apply_logged(
+        &self,
+        batch: &MutationBatch,
+        mutation_id: Option<&str>,
+    ) -> Result<MutationReceipt, MutationError> {
+        let mut writer = self.write.lock().unwrap_or_else(|p| p.into_inner());
+        if let (Some(durable), Some(id)) = (writer.durable.as_ref(), mutation_id) {
+            if let Some(entry) = durable.dedup.get(id) {
+                return Ok(MutationReceipt {
+                    epoch: entry.epoch,
+                    inserted: entry.inserted,
+                    removed: entry.removed,
+                    updated: entry.updated,
+                    maintenance: IndexMaintenance::None,
+                    replayed: true,
+                });
+            }
+        }
         let snap = self.snapshot();
         if batch.is_empty() {
             return Ok(MutationReceipt {
@@ -390,64 +522,23 @@ impl GraphStore {
                 removed: 0,
                 updated: 0,
                 maintenance: IndexMaintenance::None,
+                replayed: false,
             });
         }
 
         // The clone shares the stats cache cells of untouched graphs, so
         // a new epoch does not recompute summaries it already has.
         let mut db = (*snap.db).clone();
-
-        // Removals first (descending ids so each removal's shift cannot
-        // disturb the next).
-        let mut removed_ids: Vec<usize> = Vec::new();
-        for name in &batch.removes {
-            let id = db
-                .find_by_name(name)
-                .ok_or_else(|| MutationError::UnknownGraph(name.clone()))?
-                .index();
-            if !removed_ids.contains(&id) {
-                removed_ids.push(id);
-            }
-        }
-        removed_ids.sort_unstable_by(|a, b| b.cmp(a));
-        for &id in &removed_ids {
-            db.remove(GraphId(id));
-        }
-
-        // In-place updates (ids are post-removal).
-        let mut updated_ids: Vec<usize> = Vec::new();
-        for (name, text) in &batch.updates {
-            let id = db
-                .find_by_name(name)
-                .ok_or_else(|| MutationError::UnknownGraph(name.clone()))?
-                .index();
-            let mut graphs = parse_database(text, db.vocab_mut())?;
-            let one = match (graphs.pop(), graphs.len()) {
-                (Some(g), 0) => g,
-                (got, rest) => {
-                    return Err(MutationError::NotOneGraph {
-                        name: name.clone(),
-                        found: rest + usize::from(got.is_some()),
-                    })
-                }
-            };
-            db.replace(GraphId(id), one);
-            if !updated_ids.contains(&id) {
-                updated_ids.push(id);
-            }
-        }
-
-        // Appends.
-        let mut inserted = 0usize;
-        for text in &batch.inserts {
-            for graph in parse_database(text, db.vocab_mut())? {
-                db.push(graph);
-                inserted += 1;
-            }
-        }
-
+        let (removed_ids, updated_ids, inserted) = apply_batch_contents(&mut db, batch)?;
         let epoch = snap.epoch + 1;
         db.set_epoch(epoch);
+
+        // Durability before ack: the record must be on the log (flushed
+        // per the fsync policy) before any reader or responder can see
+        // the new epoch.
+        if let Some(durable) = writer.durable.as_mut() {
+            durable.wal.append(epoch, mutation_id, batch)?;
+        }
 
         // Index maintenance on a private clone of the old epoch's index.
         let (index, maintenance) = match &snap.index {
@@ -478,8 +569,10 @@ impl GraphStore {
             removed: removed_ids.len(),
             updated: updated_ids.len(),
             maintenance,
+            replayed: false,
         };
-        let next = Arc::new(Snapshot::capture(Arc::new(db), index));
+        let db = Arc::new(db);
+        let next = Arc::new(Snapshot::capture(Arc::clone(&db), index));
         *self.current.lock().unwrap_or_else(|p| p.into_inner()) = next;
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.inserted.fetch_add(inserted as u64, Ordering::Relaxed);
@@ -487,8 +580,81 @@ impl GraphStore {
             .fetch_add(removed_ids.len() as u64, Ordering::Relaxed);
         self.updated
             .fetch_add(updated_ids.len() as u64, Ordering::Relaxed);
+        if let Some(durable) = writer.durable.as_mut() {
+            if let Some(id) = mutation_id {
+                durable.dedup.insert(
+                    id.to_owned(),
+                    DedupEntry {
+                        epoch,
+                        inserted,
+                        removed: removed_ids.len(),
+                        updated: updated_ids.len(),
+                    },
+                );
+            }
+            durable.wal.after_publish(&db, &durable.dedup);
+        }
         Ok(receipt)
     }
+}
+
+/// Applies a batch's removals, updates and inserts to `db` in the fixed
+/// batch order, **without** bumping the epoch. Shared between the live
+/// writer path and WAL replay, so a replayed record reproduces exactly
+/// what the original application did.
+pub(crate) fn apply_batch_contents(
+    db: &mut GraphDatabase,
+    batch: &MutationBatch,
+) -> Result<(Vec<usize>, Vec<usize>, usize), MutationError> {
+    // Removals first (descending ids so each removal's shift cannot
+    // disturb the next).
+    let mut removed_ids: Vec<usize> = Vec::new();
+    for name in &batch.removes {
+        let id = db
+            .find_by_name(name)
+            .ok_or_else(|| MutationError::UnknownGraph(name.clone()))?
+            .index();
+        if !removed_ids.contains(&id) {
+            removed_ids.push(id);
+        }
+    }
+    removed_ids.sort_unstable_by(|a, b| b.cmp(a));
+    for &id in &removed_ids {
+        db.remove(GraphId(id));
+    }
+
+    // In-place updates (ids are post-removal).
+    let mut updated_ids: Vec<usize> = Vec::new();
+    for (name, text) in &batch.updates {
+        let id = db
+            .find_by_name(name)
+            .ok_or_else(|| MutationError::UnknownGraph(name.clone()))?
+            .index();
+        let mut graphs = parse_database(text, db.vocab_mut())?;
+        let one = match (graphs.pop(), graphs.len()) {
+            (Some(g), 0) => g,
+            (got, rest) => {
+                return Err(MutationError::NotOneGraph {
+                    name: name.clone(),
+                    found: rest + usize::from(got.is_some()),
+                })
+            }
+        };
+        db.replace(GraphId(id), one);
+        if !updated_ids.contains(&id) {
+            updated_ids.push(id);
+        }
+    }
+
+    // Appends.
+    let mut inserted = 0usize;
+    for text in &batch.inserts {
+        for graph in parse_database(text, db.vocab_mut())? {
+            db.push(graph);
+            inserted += 1;
+        }
+    }
+    Ok((removed_ids, updated_ids, inserted))
 }
 
 #[cfg(test)]
@@ -677,5 +843,214 @@ mod tests {
         assert_eq!(snap.epoch(), 32, "every batch got its own epoch");
         assert_eq!(snap.database().len(), 7 + 32);
         assert_eq!(store.stats().inserted, 32);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("gss-store-test-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn figure3_arc() -> Arc<GraphDatabase> {
+        let data = figure3_database();
+        Arc::new(GraphDatabase::from_parts(data.vocab, data.graphs))
+    }
+
+    #[test]
+    fn durable_store_recovers_acked_mutations() {
+        let dir = temp_dir("recover");
+        let fp = {
+            let store = GraphStore::open_durable(
+                figure3_arc(),
+                StoreConfig::default(),
+                WalConfig::new(&dir),
+            )
+            .unwrap();
+            for i in 0..3 {
+                store
+                    .apply(&MutationBatch::default().insert(&format!("t d{i}\nv 0 C\n")))
+                    .unwrap();
+            }
+            let stats = store.stats().wal.unwrap();
+            assert_eq!(stats.appended, 3);
+            assert_eq!(stats.fsyncs, 3, "fsync always");
+            assert_eq!(stats.last_durable_epoch, 3);
+            store.snapshot().fingerprint()
+        };
+        // Reopen with an EMPTY initial database: recovery must restore
+        // state from disk and ignore it.
+        let store = GraphStore::open_durable(
+            Arc::new(GraphDatabase::new()),
+            StoreConfig::default(),
+            WalConfig::new(&dir),
+        )
+        .unwrap();
+        assert_eq!(store.epoch(), 3);
+        assert_eq!(store.snapshot().fingerprint(), fp);
+        assert_eq!(store.snapshot().database().len(), 7 + 3);
+        let stats = store.stats().wal.unwrap();
+        assert_eq!(stats.recovery.replayed, 3);
+        assert!(!stats.recovery.truncated_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replayed_mutation_id_never_double_applies() {
+        let dir = temp_dir("dedup");
+        let batch = MutationBatch::default().insert("t once\nv 0 C\n");
+        {
+            let store = GraphStore::open_durable(
+                figure3_arc(),
+                StoreConfig::default(),
+                WalConfig::new(&dir),
+            )
+            .unwrap();
+            let first = store.apply_logged(&batch, Some("m-1")).unwrap();
+            assert_eq!(first.epoch, 1);
+            assert!(!first.replayed);
+            let retry = store.apply_logged(&batch, Some("m-1")).unwrap();
+            assert!(retry.replayed);
+            assert_eq!(retry.epoch, 1, "original receipt, not a new epoch");
+            assert_eq!(retry.inserted, 1);
+            assert_eq!(store.epoch(), 1, "epoch advanced exactly once");
+        }
+        // The dedup log survives recovery: a retry after restart still
+        // replays instead of double-applying.
+        let store =
+            GraphStore::open_durable(figure3_arc(), StoreConfig::default(), WalConfig::new(&dir))
+                .unwrap();
+        let retry = store.apply_logged(&batch, Some("m-1")).unwrap();
+        assert!(retry.replayed);
+        assert_eq!(retry.epoch, 1);
+        assert_eq!(store.epoch(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_crash_recovers_to_the_acked_prefix() {
+        let dir = temp_dir("crash");
+        let mut config = WalConfig::new(&dir);
+        config.faults = Arc::new(FaultPlan::parse("wal.append@3=crash").unwrap());
+        let store =
+            GraphStore::open_durable(figure3_arc(), StoreConfig::default(), config).unwrap();
+        let batch = |i: usize| MutationBatch::default().insert(&format!("t c{i}\nv 0 C\n"));
+        store.apply(&batch(0)).unwrap();
+        store.apply(&batch(1)).unwrap();
+        // Third append crashes mid-record: the batch is refused and the
+        // WAL is poisoned (the simulated process is dead).
+        assert!(matches!(
+            store.apply(&batch(2)),
+            Err(MutationError::Durability(WalError::Poisoned(_)))
+        ));
+        assert!(matches!(
+            store.apply(&batch(3)),
+            Err(MutationError::Durability(WalError::Poisoned(_)))
+        ));
+        assert_eq!(store.epoch(), 2, "unacked batch never published");
+        drop(store);
+
+        // Recovery truncates the torn record and lands exactly on the
+        // acked prefix: fingerprint equals a never-crashed oracle that
+        // saw the two acked batches.
+        let recovered = GraphStore::open_durable(
+            Arc::new(GraphDatabase::new()),
+            StoreConfig::default(),
+            WalConfig::new(&dir),
+        )
+        .unwrap();
+        let oracle = GraphStore::new(figure3_arc(), StoreConfig::default());
+        oracle.apply(&batch(0)).unwrap();
+        oracle.apply(&batch(1)).unwrap();
+        assert_eq!(recovered.epoch(), 2);
+        assert_eq!(
+            recovered.snapshot().fingerprint(),
+            oracle.snapshot().fingerprint()
+        );
+        let stats = recovered.stats().wal.unwrap();
+        assert_eq!(stats.recovery.replayed, 2);
+        assert!(stats.recovery.truncated_tail, "torn tail was truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_bound_replay_and_prune_segments() {
+        let dir = temp_dir("ckpt");
+        let mut config = WalConfig::new(&dir);
+        config.checkpoint_every = 2;
+        let fp = {
+            let store =
+                GraphStore::open_durable(figure3_arc(), StoreConfig::default(), config).unwrap();
+            for i in 0..5 {
+                store
+                    .apply(&MutationBatch::default().insert(&format!("t k{i}\nv 0 C\n")))
+                    .unwrap();
+            }
+            let stats = store.stats().wal.unwrap();
+            assert_eq!(stats.checkpoints, 3, "initial + two periodic");
+            store.snapshot().fingerprint()
+        };
+        let inspection = wal::inspect(&dir).unwrap();
+        assert_eq!(inspection.recoverable, Some((4, 5)));
+        assert!(
+            inspection.segments.iter().all(|s| s.start_epoch >= 5),
+            "segments covered by the checkpoint were pruned"
+        );
+        let store = GraphStore::open_durable(
+            Arc::new(GraphDatabase::new()),
+            StoreConfig::default(),
+            WalConfig::new(&dir),
+        )
+        .unwrap();
+        assert_eq!(store.epoch(), 5);
+        assert_eq!(store.snapshot().fingerprint(), fp);
+        assert_eq!(
+            store.stats().wal.unwrap().recovery.replayed,
+            1,
+            "only the post-checkpoint tail replays"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_indexed_store_rebuilds_index_on_recovery() {
+        let dir = temp_dir("indexed");
+        let q = figure3_database().query;
+        let expected = {
+            let store = GraphStore::open_durable(
+                figure3_arc(),
+                indexed_config(1_000),
+                WalConfig::new(&dir),
+            )
+            .unwrap();
+            store
+                .apply(&MutationBatch::default().insert("t ix\nv 0 C\nv 1 N\ne 0 1 -\n"))
+                .unwrap();
+            let snap = store.snapshot();
+            graph_similarity_skyline(
+                snap.database(),
+                &q,
+                &QueryOptions::default().with_index(snap.index().unwrap().clone()),
+            )
+        };
+        let store = GraphStore::open_durable(
+            Arc::new(GraphDatabase::new()),
+            indexed_config(1_000),
+            WalConfig::new(&dir),
+        )
+        .unwrap();
+        let snap = store.snapshot();
+        let idx = snap.index().expect("index rebuilt after recovery").clone();
+        assert!(idx.validate(snap.database()).is_ok());
+        let got = graph_similarity_skyline(
+            snap.database(),
+            &q,
+            &QueryOptions::default().with_index(idx),
+        );
+        assert_eq!(got.skyline, expected.skyline);
+        assert_eq!(got.dominated, expected.dominated);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

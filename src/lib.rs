@@ -24,7 +24,7 @@
 //! | [`diversity`] (gss-diversity) | rank-sum diversity refinement |
 //! | [`core`] (gss-core) | measures, GCS, the GSS query engine |
 //! | [`index`] (gss-index) | pivot-based metric index for sublinear scans |
-//! | [`store`] (gss-store) | live mutation: epoch-based MVCC snapshots, incremental index maintenance |
+//! | [`store`] (gss-store) | live mutation: epoch-based MVCC snapshots, incremental index maintenance, checksummed WAL + crash recovery, deterministic fault injection |
 //! | [`protocol`] (gss-protocol) | the typed wire protocol: request/response envelopes, line codecs |
 //! | [`server`] (gss-server) | concurrent query serving: event-driven front end, caching, admission control |
 //! | [`datasets`] (gss-datasets) | paper datasets, generators, workloads |
