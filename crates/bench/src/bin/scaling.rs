@@ -33,6 +33,12 @@
 //!   the acked prefix from the data directory, a retrying client resumes
 //!   through injected connection resets with server-side mutation
 //!   dedup) as a JSON report (the CI `BENCH_8.json` artifact).
+//! * `--coldstart-json PATH` — write the S14 cold-start measurements
+//!   (compact-arena bytes per graph vs. the pointer-rich estimate,
+//!   zero-parse binary load time vs. text parse time, answer parity of
+//!   the arena representation against the pointer-rich oracle across
+//!   every plan × thread count × solver config) as a JSON report (the CI
+//!   `BENCH_9.json` artifact).
 //! * `--gate` — exit nonzero unless the indexed scan (a) needs no more
 //!   exact solver calls than the prefilter-only scan and (b) skips ≥ 30%
 //!   of candidates at the partition level, the S8 serving replay
@@ -57,8 +63,12 @@
 //!   WAL crash (epoch and fingerprint equal to a never-crashed oracle),
 //!   (r) resumes with every unique mutation applied exactly once, and
 //!   (s) shows the injected connection resets forcing client resends
-//!   that the server deduplicates by `mutation_id`. This is the CI
-//!   perf-regression gate.
+//!   that the server deduplicates by `mutation_id`, and the S14
+//!   cold-start scenario (t) fits the compact arena in ≤ 0.6× the
+//!   pointer-rich bytes, (u) adopts the saved binary image without
+//!   re-parsing inside the load budget, and (v) answers every plan ×
+//!   thread × solver combo byte-identically from both representations.
+//!   This is the CI perf-regression gate.
 
 use std::time::Instant;
 
@@ -107,6 +117,7 @@ fn main() {
     let mut reactor_json_path: Option<String> = None;
     let mut churn_json_path: Option<String> = None;
     let mut crash_json_path: Option<String> = None;
+    let mut coldstart_json_path: Option<String> = None;
     let mut smoke = false;
     let mut gate = false;
     let mut args = std::env::args().skip(1);
@@ -163,11 +174,19 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--coldstart-json" => match args.next() {
+                Some(path) => coldstart_json_path = Some(path),
+                None => {
+                    eprintln!("--coldstart-json needs a file path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown flag {other:?} (expected --smoke, --gate, --json PATH, \
                      --serve-json PATH, --solver-json PATH, --plan-json PATH, \
-                     --reactor-json PATH, --churn-json PATH, --crash-json PATH)"
+                     --reactor-json PATH, --churn-json PATH, --crash-json PATH, \
+                     --coldstart-json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -233,6 +252,14 @@ fn main() {
     let crash_report = s13_crash_churn();
     if let Some(path) = &crash_json_path {
         std::fs::write(path, crash_report.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let coldstart_report = s14_coldstart();
+    if let Some(path) = &coldstart_json_path {
+        std::fs::write(path, coldstart_report.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });
@@ -401,6 +428,32 @@ fn main() {
             );
             failed = true;
         }
+        if !coldstart_report.gate_compaction() {
+            eprintln!(
+                "GATE FAILED: cold-start arena uses {} bytes vs {} pointer-rich \
+                 ({:.2}x > {COMPACTION_CEILING}x ceiling) — compaction must pay for itself",
+                coldstart_report.arena_bytes,
+                coldstart_report.pointer_rich_bytes,
+                coldstart_report.compaction_ratio(),
+            );
+            failed = true;
+        }
+        if !coldstart_report.gate_load() {
+            eprintln!(
+                "GATE FAILED: cold-start load took {:.2} ms (budget {COLD_START_BUDGET_MS} ms, \
+                 adopted compact: {}) — the binary path must adopt the bytes, not re-parse",
+                coldstart_report.load_ms, coldstart_report.adopted_compact,
+            );
+            failed = true;
+        }
+        if !coldstart_report.gate_parity() {
+            eprintln!(
+                "GATE FAILED: cold-start parity sweep saw {} mismatches over {} combos \
+                 — arena-backed answers must be byte-identical to the pointer-rich oracle",
+                coldstart_report.mismatches, coldstart_report.combos,
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -456,6 +509,17 @@ fn main() {
             crash_report.final_epoch,
             crash_report.client_retries,
             crash_report.deduped_replays,
+        );
+        println!(
+            "coldstart gate passed: {} bytes/graph ≤ {:.1}x of {} pointer-rich bytes/graph, \
+             zero-parse load {:.2} ms ≤ {COLD_START_BUDGET_MS} ms (vs {:.2} ms text parse), \
+             0 mismatches over {} plan/thread/solver combos",
+            coldstart_report.arena_bytes_per_graph,
+            COMPACTION_CEILING,
+            coldstart_report.pointer_rich_bytes_per_graph,
+            coldstart_report.load_ms,
+            coldstart_report.parse_ms,
+            coldstart_report.combos,
         );
     }
 }
@@ -768,9 +832,8 @@ fn s9_solvers() -> SolverReport {
     // timed loops measure exactly one solver each.
     let mut ws = gss_ged::Workspace::new();
     let warms: Vec<VertexMapping> = db
-        .graphs()
         .iter()
-        .map(|g| bipartite_ged_with(g, query, &cost, &mut ws).mapping)
+        .map(|(_, g)| bipartite_ged_with(g, query, &cost, &mut ws).mapping)
         .collect();
     let opts = |warm: &VertexMapping| GedOptions {
         cost,
@@ -781,25 +844,25 @@ fn s9_solvers() -> SolverReport {
     let mut ged_expanded = 0u64;
     let ged_wall = time_us(3, || {
         ged_expanded = 0;
-        for (g, warm) in db.graphs().iter().zip(&warms) {
+        for ((_, g), warm) in db.iter().zip(&warms) {
             ged_expanded += exact_ged(g, query, &opts(warm)).expanded;
         }
     });
     let mut ged_ref_expanded = 0u64;
     let ged_ref_wall = time_us(3, || {
         ged_ref_expanded = 0;
-        for (g, warm) in db.graphs().iter().zip(&warms) {
+        for ((_, g), warm) in db.iter().zip(&warms) {
             ged_ref_expanded += reference_exact_ged(g, query, &opts(warm)).expanded;
         }
     });
 
     let bip_wall = time_us(3, || {
-        for g in db.graphs() {
+        for (_, g) in db.iter() {
             std::hint::black_box(bipartite_ged_with(g, query, &cost, &mut ws).cost);
         }
     });
     let bip_ref_wall = time_us(3, || {
-        for g in db.graphs() {
+        for (_, g) in db.iter() {
             std::hint::black_box(bipartite_ged(g, query, &cost).cost);
         }
     });
@@ -807,20 +870,20 @@ fn s9_solvers() -> SolverReport {
     let mut mcs_expanded = 0u64;
     let mcs_wall = time_us(3, || {
         mcs_expanded = 0;
-        for g in db.graphs() {
+        for (_, g) in db.iter() {
             mcs_expanded += maximum_common_subgraph_expanded(g, query, Objective::Edges).1;
         }
     });
     let mut mcs_ref_expanded = 0u64;
     let mcs_ref_wall = time_us(3, || {
         mcs_ref_expanded = 0;
-        for g in db.graphs() {
+        for (_, g) in db.iter() {
             mcs_ref_expanded += maximum_common_subgraph_reference(g, query, Objective::Edges).1;
         }
     });
 
     let vf2_wall = time_us(3, || {
-        for g in db.graphs() {
+        for (_, g) in db.iter() {
             std::hint::black_box(gss_iso::are_isomorphic(g, query));
         }
     });
@@ -2060,6 +2123,228 @@ fn s13_crash_churn() -> CrashReport {
         report.final_epoch,
         report.client_retries,
         report.deduped_replays,
+    );
+    println!();
+    report
+}
+
+/// Wall-clock budget for adopting a saved compact database (S14). The
+/// smoke database loads in well under a millisecond on any machine the
+/// suite runs on — the generous ceiling only exists to catch a load path
+/// that silently regresses to re-parsing text.
+const COLD_START_BUDGET_MS: f64 = 250.0;
+
+/// Ceiling on arena bytes relative to the pointer-rich estimate (S14):
+/// the compact representation must use at most this fraction.
+const COMPACTION_CEILING: f64 = 0.6;
+
+struct ColdStartReport {
+    database_size: usize,
+    arena_bytes: usize,
+    pointer_rich_bytes: usize,
+    arena_bytes_per_graph: usize,
+    pointer_rich_bytes_per_graph: usize,
+    file_bytes: usize,
+    pack_ms: f64,
+    load_ms: f64,
+    parse_ms: f64,
+    adopted_compact: bool,
+    combos: usize,
+    mismatches: usize,
+}
+
+impl ColdStartReport {
+    fn compaction_ratio(&self) -> f64 {
+        self.arena_bytes as f64 / self.pointer_rich_bytes.max(1) as f64
+    }
+
+    fn gate_compaction(&self) -> bool {
+        self.compaction_ratio() <= COMPACTION_CEILING
+    }
+
+    fn gate_load(&self) -> bool {
+        self.adopted_compact && self.load_ms <= COLD_START_BUDGET_MS
+    }
+
+    fn gate_parity(&self) -> bool {
+        self.combos > 0 && self.mismatches == 0
+    }
+
+    fn to_json(&self) -> String {
+        let cfg = WorkloadConfig::bench_smoke();
+        format!(
+            "{{\n  \"schema\": \"gss-bench-coldstart/1\",\n  \"workload\": {{\"kind\": \
+             \"molecule\", \"database_size\": {}, \"graph_vertices\": {}, \
+             \"related_fraction\": {}, \"seed\": {}}},\n  \"memory\": {{\
+             \"arena_bytes\": {}, \"pointer_rich_bytes\": {}, \
+             \"arena_bytes_per_graph\": {}, \"pointer_rich_bytes_per_graph\": {}, \
+             \"compaction_ratio\": {:.4}, \"file_bytes\": {}}},\n  \
+             \"cold_start\": {{\"pack_ms\": {:.3}, \"load_ms\": {:.3}, \
+             \"parse_ms\": {:.3}, \"adopted_compact\": {}, \"budget_ms\": {:.1}}},\n  \
+             \"parity\": {{\"combos\": {}, \"mismatches\": {}}},\n  \"gate\": {{\
+             \"arena_le_0_6x_pointer_rich\": {}, \"load_within_budget\": {}, \
+             \"zero_answer_mismatches\": {}}}\n}}\n",
+            self.database_size,
+            cfg.graph_vertices,
+            cfg.related_fraction,
+            cfg.seed,
+            self.arena_bytes,
+            self.pointer_rich_bytes,
+            self.arena_bytes_per_graph,
+            self.pointer_rich_bytes_per_graph,
+            self.compaction_ratio(),
+            self.file_bytes,
+            self.pack_ms,
+            self.load_ms,
+            self.parse_ms,
+            self.adopted_compact,
+            COLD_START_BUDGET_MS,
+            self.combos,
+            self.mismatches,
+            self.gate_compaction(),
+            self.gate_load(),
+            self.gate_parity(),
+        )
+    }
+}
+
+/// S14: cold-start on the compact binary format — build the smoke
+/// database, pack it (compact + save), adopt it back with the zero-parse
+/// load path, and sweep every plan × thread count × solver config over
+/// both representations demanding byte-identical `Debug` output. The
+/// pointer-rich database stays in play as the parity oracle.
+fn s14_coldstart() -> ColdStartReport {
+    println!("== S14: cold start — compact pack / zero-parse load / answer parity ==");
+    let w = Workload::generate(&WorkloadConfig::bench_smoke());
+    let db = GraphDatabase::from_parts(w.vocab, w.graphs);
+    let pointer_rich = db.memory_stats();
+
+    // Pack: compact into the arena representation and save the framed
+    // binary image to a scratch file.
+    let path = std::env::temp_dir().join(format!("gss-bench-coldstart-{}.gsb", std::process::id()));
+    let pack_t = Instant::now();
+    let mut packed = db.clone();
+    packed.compact();
+    packed.save(&path).expect("save packed database");
+    let pack_ms = pack_t.elapsed().as_secs_f64() * 1e3;
+    let compact = packed.memory_stats();
+    let file_bytes = std::fs::metadata(&path)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0);
+
+    // Cold start: the checksummed frame is validated and the bytes are
+    // adopted as the in-memory layout — no per-graph parsing. The text
+    // parse of the same database is the baseline it replaces.
+    let load_ms = time_us(3, || {
+        GraphDatabase::load(&path).expect("load packed database");
+    }) / 1e3;
+    let text = db.to_text();
+    let parse_ms = time_us(3, || {
+        GraphDatabase::from_text(&text).expect("parse text database");
+    }) / 1e3;
+    let loaded = GraphDatabase::load(&path).expect("load packed database");
+    let _ = std::fs::remove_file(&path);
+    let adopted_compact = loaded.is_compact();
+    assert_eq!(
+        loaded.fingerprint(),
+        db.fingerprint(),
+        "loaded database must fingerprint-match its source"
+    );
+
+    // One pivot index serves both representations: attachment is keyed on
+    // the database fingerprint, which the round trip preserves.
+    let index = std::sync::Arc::new(PivotIndex::build(&db, &PivotIndexConfig::default()));
+
+    // Answer parity: every plan × thread count × solver config must
+    // produce byte-identical skyline and skyband output from the
+    // arena-backed database and the pointer-rich oracle.
+    const SKYBAND_K: usize = 2;
+    let mut combos = 0usize;
+    let mut mismatches = 0usize;
+    for plan in [Plan::Naive, Plan::Prefilter, Plan::Indexed, Plan::Sharded] {
+        for threads in [1usize, 4] {
+            for approx in [false, true] {
+                let opts = QueryOptions {
+                    plan,
+                    threads,
+                    shards: 4,
+                    solvers: if approx {
+                        SolverConfig {
+                            ged: GedMode::Bipartite,
+                            mcs: McsMode::Greedy,
+                        }
+                    } else {
+                        SolverConfig::default()
+                    },
+                    ..QueryOptions::default()
+                }
+                .with_index(index.clone());
+                let oracle = graph_similarity_skyline(&db, &w.query, &opts);
+                let arena = graph_similarity_skyline(&loaded, &w.query, &opts);
+                combos += 1;
+                if format!("{oracle:?}") != format!("{arena:?}") {
+                    mismatches += 1;
+                    eprintln!("S14 skyline mismatch: {plan:?} threads={threads} approx={approx}");
+                }
+                let oracle_band = graph_similarity_skyband(&db, &w.query, SKYBAND_K, &opts);
+                let arena_band = graph_similarity_skyband(&loaded, &w.query, SKYBAND_K, &opts);
+                combos += 1;
+                if format!("{oracle_band:?}") != format!("{arena_band:?}") {
+                    mismatches += 1;
+                    eprintln!("S14 skyband mismatch: {plan:?} threads={threads} approx={approx}");
+                }
+            }
+        }
+    }
+
+    let report = ColdStartReport {
+        database_size: db.len(),
+        arena_bytes: compact.arena_bytes,
+        pointer_rich_bytes: pointer_rich.pointer_rich_bytes,
+        arena_bytes_per_graph: compact.arena_bytes_per_graph() as usize,
+        pointer_rich_bytes_per_graph: pointer_rich.pointer_rich_bytes_per_graph() as usize,
+        file_bytes,
+        pack_ms,
+        load_ms,
+        parse_ms,
+        adopted_compact,
+        combos,
+        mismatches,
+    };
+
+    let mut table = TextTable::new(vec![
+        "graphs",
+        "B/graph",
+        "ptr B/graph",
+        "ratio",
+        "pack",
+        "load",
+        "parse",
+        "combos",
+        "miss",
+    ]);
+    table.row(vec![
+        format!("{}", report.database_size),
+        format!("{}", report.arena_bytes_per_graph),
+        format!("{}", report.pointer_rich_bytes_per_graph),
+        format!("{:.2}", report.compaction_ratio()),
+        fmt_us(report.pack_ms * 1e3),
+        fmt_us(report.load_ms * 1e3),
+        fmt_us(report.parse_ms * 1e3),
+        format!("{}", report.combos),
+        format!("{}", report.mismatches),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "packed {} graphs into {} bytes ({:.2}x pointer-rich); zero-parse load {:.2} ms \
+         vs text parse {:.2} ms; {} plan/thread/solver combos, {} mismatches",
+        report.database_size,
+        report.file_bytes,
+        report.compaction_ratio(),
+        report.load_ms,
+        report.parse_ms,
+        report.combos,
+        report.mismatches,
     );
     println!();
     report

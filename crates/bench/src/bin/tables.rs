@@ -419,9 +419,8 @@ fn ablation_a3() {
             CostModel::structure_weighted(w)
         };
         let eds: Vec<String> = db
-            .graphs()
             .iter()
-            .map(|g| {
+            .map(|(_, g)| {
                 let warm = bipartite_ged(g, &data.query, &cost);
                 let r = exact_ged(
                     g,

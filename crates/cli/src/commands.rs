@@ -50,6 +50,7 @@ USAGE:
                [--prefilter] [--approx] [--algo naive|bnl|sfs] [--plan PLAN]
                [--deadline-ms MS] [--retry N]
   gss wal      inspect DIR
+  gss pack     --db FILE --out FILE
   gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
                [--related FRACTION] [--max-edits E]
   gss convert  --db FILE [--graph NAME]
@@ -59,6 +60,12 @@ Databases use the t/v/e text format:
   t <name>
   v <index> <label>
   e <u> <v> <label>
+
+`pack` converts a text database into the compact checksummed binary format
+(CSR arenas + precomputed stats columns). Every --db flag accepts either
+format — the binary one loads without re-parsing or recomputing
+summaries, so `gss serve` over a packed file starts near-instantly. Both
+representations answer every query byte-identically.
 
 `query` runs the compound-similarity skyline (DistEd, DistMcs, DistGu).
 With --query-name the named graph is removed from the database and queried
@@ -100,10 +107,18 @@ a resend never double-applies.
     .to_owned()
 }
 
+/// Loads `--db`, sniffing the format: the compact binary format (made by
+/// `gss pack`) is adopted without parsing; anything else is `t/v/e` text.
 pub(crate) fn load_db(args: &Args) -> Result<GraphDatabase, ArgError> {
     let path = args.require("db")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read --db {path}: {e}")))?;
+    let data =
+        std::fs::read(path).map_err(|e| ArgError(format!("cannot read --db {path}: {e}")))?;
+    if GraphDatabase::is_binary(&data) {
+        return GraphDatabase::load_bytes(&data)
+            .map_err(|e| ArgError(format!("corrupt binary database {path}: {e}")));
+    }
+    let text = String::from_utf8(data)
+        .map_err(|e| ArgError(format!("--db {path} is neither binary nor UTF-8 text: {e}")))?;
     GraphDatabase::from_text(&text).map_err(|e| ArgError(format!("parse error in {path}: {e}")))
 }
 
@@ -599,7 +614,9 @@ fn index_stats(args: &Args) -> Result<String, ArgError> {
         index.database_fingerprint()
     );
     if args.get("db").is_some() {
+        let load_start = std::time::Instant::now();
         let db = load_db(args)?;
+        let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
         match index.validate(&db) {
             Ok(()) => {
                 let _ = writeln!(out, "database match: ok ({} graphs)", db.len());
@@ -608,7 +625,80 @@ fn index_stats(args: &Args) -> Result<String, ArgError> {
                 let _ = writeln!(out, "database match: MISMATCH — {e}");
             }
         }
+        let _ = writeln!(out, "database load: {load_ms:.1} ms");
+        out.push_str(&memory_report(&db.memory_stats()));
     }
+    Ok(out)
+}
+
+/// Renders one memory-stats block as indented text (shared by `pack`,
+/// `index stats` and the served `stats` verb's client rendering).
+pub(crate) fn memory_report(mem: &gss_core::database::MemoryStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "memory:");
+    let _ = writeln!(
+        out,
+        "  graphs: {} ({} arena-backed, {} materialized)",
+        mem.graphs, mem.arena_graphs, mem.materialized
+    );
+    let _ = writeln!(
+        out,
+        "  arena: {} bytes ({:.1} B/graph), stats columns {} bytes",
+        mem.arena_bytes,
+        mem.arena_bytes_per_graph(),
+        mem.stats_columns_bytes
+    );
+    let _ = writeln!(
+        out,
+        "  pointer-rich estimate: {} bytes ({:.1} B/graph)",
+        mem.pointer_rich_bytes,
+        mem.pointer_rich_bytes_per_graph()
+    );
+    let _ = writeln!(
+        out,
+        "  label pool: {} entries, {} bytes",
+        mem.pool_entries, mem.pool_bytes
+    );
+    out
+}
+
+/// `gss pack` — convert a database (either format) into the compact binary
+/// format: interned CSR arenas plus precomputed stats columns under one
+/// checksummed frame. The written file is verified by reloading it and
+/// comparing fingerprints before this command reports success.
+pub fn pack(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown(&["db", "out"])?;
+    let out_path = args.require("out")?.to_owned();
+    let parse_start = std::time::Instant::now();
+    let mut db = load_db(args)?;
+    let parsed_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+    db.compact();
+    let bytes = db.save_bytes();
+    std::fs::write(&out_path, &bytes)
+        .map_err(|e| ArgError(format!("cannot write --out {out_path}: {e}")))?;
+
+    let reload_start = std::time::Instant::now();
+    let reloaded = GraphDatabase::load_bytes(&bytes)
+        .map_err(|e| ArgError(format!("packed file failed verification: {e}")))?;
+    let reload_ms = reload_start.elapsed().as_secs_f64() * 1e3;
+    if reloaded.fingerprint() != db.fingerprint() {
+        return Err(ArgError(
+            "packed file failed verification: fingerprint mismatch".to_owned(),
+        ));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "packed {} graphs into {out_path} ({} bytes)",
+        db.len(),
+        bytes.len()
+    );
+    let _ = writeln!(
+        out,
+        "load: source {parsed_ms:.1} ms, packed {reload_ms:.1} ms (zero-parse)"
+    );
+    out.push_str(&memory_report(&db.memory_stats()));
     Ok(out)
 }
 
@@ -832,6 +922,32 @@ e 0 1 -
         ]))
         .unwrap();
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn pack_round_trips_and_binary_db_works_everywhere() {
+        let (_keep, path) = write_temp_db();
+        let packed = std::env::temp_dir().join(format!("gss-pack-test-{}.gsb", std::process::id()));
+        let packed_str = packed.to_str().unwrap().to_owned();
+
+        let report = pack(&args(&["--db", &path, "--out", &packed_str])).unwrap();
+        assert!(report.contains("packed 3 graphs"), "{report}");
+        assert!(report.contains("memory:"), "{report}");
+        assert!(report.contains("arena-backed"), "{report}");
+
+        // The packed file answers the same query as the text original.
+        let from_text = query(&args(&["--db", &path, "--query-name", "needle"])).unwrap();
+        let from_binary = query(&args(&["--db", &packed_str, "--query-name", "needle"])).unwrap();
+        assert_eq!(from_text, from_binary);
+
+        // Corruption is refused, not misparsed.
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&packed, &bytes).unwrap();
+        let err = query(&args(&["--db", &packed_str, "--query-name", "needle"])).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        std::fs::remove_file(&packed).unwrap();
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! gss client   --addr HOST:PORT [--query-file q.gdb|-] [--bench --db db.gdb]
 //!              [--retry N]
 //! gss wal      inspect DIR
+//! gss pack     --db db.gdb --out db.gsb               # compact binary format
 //! gss generate --kind molecule|uniform --count N [--vertices V] [--seed S]
 //! gss convert  --db db.gdb [--graph NAME]           # Graphviz DOT
 //! gss paper                                          # reproduce Tables I–V
@@ -49,6 +50,7 @@ pub fn run<I: IntoIterator<Item = String>>(raw: I) -> Result<String, String> {
         "serve" => net::serve(&args).map_err(|e| e.to_string()),
         "client" => net::client(&args).map_err(|e| e.to_string()),
         "wal" => net::wal(&args).map_err(|e| e.to_string()),
+        "pack" => commands::pack(&args).map_err(|e| e.to_string()),
         "generate" => commands::generate(&args).map_err(|e| e.to_string()),
         "convert" => commands::convert(&args).map_err(|e| e.to_string()),
         "paper" => Ok(commands::paper()),

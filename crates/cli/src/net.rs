@@ -356,6 +356,26 @@ pub fn client(args: &Args) -> Result<String, ArgError> {
         acted = true;
         let stats = connect(addr)?.stats().map_err(io_err)?;
         let _ = writeln!(out, "{}", stats.to_compact());
+        // Render the server's memory section as readable text below the
+        // raw JSON (same layout `gss pack` and `gss index stats` print).
+        if let Some(mem) = stats.get("memory") {
+            let field = |k: &str| mem.get(k).and_then(Value::as_f64).unwrap_or(0.0) as usize;
+            out.push_str(&crate::commands::memory_report(
+                &gss_core::database::MemoryStats {
+                    graphs: field("graphs"),
+                    arena_graphs: field("arena_graphs"),
+                    materialized: field("materialized"),
+                    arena_bytes: field("arena_bytes"),
+                    stats_columns_bytes: field("stats_columns_bytes"),
+                    pool_entries: field("pool_entries"),
+                    pool_bytes: field("pool_bytes"),
+                    pointer_rich_bytes: field("pointer_rich_bytes"),
+                },
+            ));
+            if let Some(ms) = mem.get("cold_start_ms").and_then(Value::as_f64) {
+                let _ = writeln!(out, "  cold start: {ms:.1} ms");
+            }
+        }
     }
 
     if args.flag("shutdown") {
@@ -388,10 +408,9 @@ fn bench(addr: &str, args: &Args) -> Result<String, ArgError> {
 
     // Each query graph is serialized standalone against the shared vocab.
     let texts: Vec<String> = db
-        .graphs()
         .iter()
         .take(limit)
-        .map(|g| gss_graph::format::write_database(std::slice::from_ref(g), db.vocab()))
+        .map(|(_, g)| gss_graph::format::write_database(std::slice::from_ref(g), db.vocab()))
         .collect();
 
     struct WorkerReport {

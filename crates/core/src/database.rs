@@ -1,7 +1,40 @@
 //! The graph database: a set of graphs sharing one label vocabulary.
+//!
+//! # Representations
+//!
+//! A [`GraphDatabase`] holds each graph in one of two representations:
+//!
+//! * **Owned** — the pointer-rich [`Graph`] (construction, mutation, and
+//!   the parity oracle);
+//! * **Arena** — a row of a shared compact [`GraphArena`] (CSR flat
+//!   arrays + interned [`gss_graph::LabelPool`]), paired with
+//!   column-oriented [`StatsColumns`] so summaries decode without any
+//!   recomputation. Arena rows materialize into pointer-rich graphs
+//!   lazily, at most once, only when a consumer actually needs full
+//!   random access (exact solvers, isomorphism checks).
+//!
+//! [`GraphDatabase::compact`] converts the current content into the
+//! arena representation; mutations ([`GraphDatabase::push`],
+//! [`GraphDatabase::replace`], [`GraphDatabase::remove`]) copy-on-write
+//! the touched graph back into an owned slot and leave the shared arena
+//! untouched — which is exactly what the `gss-store` MVCC layer needs:
+//! cloning an arena-backed database is O(slots), not O(content).
+//!
+//! Both representations answer every query with **byte-identical**
+//! results; `tests/storage_compact.rs` proptests enforce it and the
+//! S14 cold-start benchmark gates it in CI.
+//!
+//! # Persistence
+//!
+//! [`GraphDatabase::save_bytes`] / [`GraphDatabase::load_bytes`] use the
+//! [`codec`] section framing (magic `GSSGRDB\0`): the on-disk payload is
+//! the arena's in-memory column layout, so loading validates the FNV
+//! frame and adopts the bytes into aligned buffers — no per-graph
+//! parsing, no summary recomputation. See README "Memory & storage".
 
 use std::sync::{Arc, OnceLock};
 
+use gss_graph::arena::{ArenaError, GraphArena, LabelPool, StatsColumns};
 use gss_graph::format::{parse_database, write_database};
 use gss_graph::stats::GraphStats;
 use gss_graph::{Graph, GraphBuilder, GraphError, Vocabulary};
@@ -46,14 +79,89 @@ impl GraphId {
 #[derive(Debug, Clone, Default)]
 pub struct GraphDatabase {
     vocab: Vocabulary,
-    graphs: Vec<Graph>,
+    /// One slot per graph, in id order: owned pointer-rich graphs and/or
+    /// rows of the shared compact arena (see module docs).
+    slots: Vec<Slot>,
+    /// The shared compact store arena slots point into. `Arc` so clones
+    /// (MVCC epochs) share one copy; `None` until [`GraphDatabase::compact`]
+    /// or a binary load.
+    compact: Option<Arc<CompactStore>>,
     /// Mutation-batch generation this content belongs to (see type docs).
     epoch: u64,
-    /// One cache cell per graph, aligned with `graphs`. `Arc` so clones
+    /// One cache cell per graph, aligned with `slots`. `Arc` so clones
     /// share already-computed summaries; `OnceLock` for thread-safe
     /// fill-once semantics under the parallel scans.
-    // gss-lint: exempt(GraphDatabase::stats) — derived cache: every summary is a pure function of `graphs` + `vocab`, which the fingerprint already covers; hashing fill state would make the key depend on scan history
+    // gss-lint: exempt(GraphDatabase::stats) — derived cache: every summary is a pure function of the stored content + `vocab`, which the fingerprint already covers; hashing fill state would make the key depend on scan history
     stats: Vec<Arc<OnceLock<GraphStats>>>,
+}
+
+/// One stored graph: owned pointer-rich, or a lazily-materialized row of
+/// the shared [`CompactStore`] arena.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Pointer-rich graph owned by this database (freshly built or
+    /// copy-on-write after a mutation).
+    Owned(Graph),
+    /// Row `idx` of the shared arena. `cell` caches the materialized
+    /// pointer-rich form, filled at most once and shared by clones.
+    Arena {
+        idx: u32,
+        cell: Arc<OnceLock<Graph>>,
+    },
+}
+
+/// The compact half of an arena-backed database: CSR graph columns plus
+/// column-oriented per-graph summaries, always index-aligned.
+#[derive(Debug)]
+struct CompactStore {
+    arena: GraphArena,
+    columns: StatsColumns,
+}
+
+/// Memory accounting of one database, for the observability surface
+/// (`stats` verb, `gss index stats`, `gss client --stats`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryStats {
+    /// Number of stored graphs.
+    pub graphs: usize,
+    /// Graphs currently living in the compact arena (the rest are owned
+    /// pointer-rich slots).
+    pub arena_graphs: usize,
+    /// Arena slots whose pointer-rich form has been materialized (each
+    /// costs pointer-rich bytes *in addition to* its arena row).
+    pub materialized: usize,
+    /// Heap bytes of the compact arena, interned pool included (0 when
+    /// the database has no arena).
+    pub arena_bytes: usize,
+    /// Heap bytes of the column-oriented stats (0 without an arena).
+    pub stats_columns_bytes: usize,
+    /// Entries in the interned string pool (labels + graph names).
+    pub pool_entries: usize,
+    /// Heap bytes of the interned string pool.
+    pub pool_bytes: usize,
+    /// Estimated heap bytes the same content costs pointer-rich — the
+    /// baseline the ≤ 60% compaction gate compares against.
+    pub pointer_rich_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Arena bytes per graph (0.0 for an empty or arena-less database).
+    pub fn arena_bytes_per_graph(&self) -> f64 {
+        if self.arena_graphs == 0 {
+            0.0
+        } else {
+            self.arena_bytes as f64 / self.arena_graphs as f64
+        }
+    }
+
+    /// Pointer-rich estimate per graph (0.0 for an empty database).
+    pub fn pointer_rich_bytes_per_graph(&self) -> f64 {
+        if self.graphs == 0 {
+            0.0
+        } else {
+            self.pointer_rich_bytes as f64 / self.graphs as f64
+        }
+    }
 }
 
 impl GraphDatabase {
@@ -68,7 +176,8 @@ impl GraphDatabase {
         let stats = graphs.iter().map(|_| Arc::default()).collect();
         GraphDatabase {
             vocab,
-            graphs,
+            slots: graphs.into_iter().map(Slot::Owned).collect(),
+            compact: None,
             epoch: 0,
             stats,
         }
@@ -83,7 +192,7 @@ impl GraphDatabase {
 
     /// Serializes the database to the `t/v/e` text format.
     pub fn to_text(&self) -> String {
-        write_database(&self.graphs, &self.vocab)
+        write_database(self.iter().map(|(_, g)| g), &self.vocab)
     }
 
     /// Adds a graph built through a builder wired to this database's
@@ -110,9 +219,13 @@ impl GraphDatabase {
     }
 
     /// Adds an already-built graph (must share this database's vocabulary).
+    ///
+    /// The new graph lives in an owned pointer-rich slot regardless of
+    /// whether the database is arena-backed — mutations never touch the
+    /// shared arena (copy-on-write at graph granularity).
     pub fn push(&mut self, graph: Graph) -> GraphId {
-        let id = GraphId(self.graphs.len());
-        self.graphs.push(graph);
+        let id = GraphId(self.slots.len());
+        self.slots.push(Slot::Owned(graph));
         self.stats.push(Arc::default());
         id
     }
@@ -127,7 +240,8 @@ impl GraphDatabase {
     /// Panics for ids not created by this database.
     pub fn remove(&mut self, id: GraphId) -> Graph {
         self.stats.remove(id.0);
-        self.graphs.remove(id.0)
+        let slot = self.slots.remove(id.0);
+        self.take_graph(slot)
     }
 
     /// Replaces the graph behind an id in place (same id, new content),
@@ -138,7 +252,31 @@ impl GraphDatabase {
     /// Panics for ids not created by this database.
     pub fn replace(&mut self, id: GraphId, graph: Graph) -> Graph {
         self.stats[id.0] = Arc::default();
-        std::mem::replace(&mut self.graphs[id.0], graph)
+        let slot = std::mem::replace(&mut self.slots[id.0], Slot::Owned(graph));
+        self.take_graph(slot)
+    }
+
+    /// Converts a detached slot into an owned pointer-rich graph
+    /// (materializing from the arena when it was never touched).
+    fn take_graph(&self, slot: Slot) -> Graph {
+        match slot {
+            Slot::Owned(g) => g,
+            Slot::Arena { idx, cell } => {
+                let store = self
+                    .compact
+                    .as_ref()
+                    .expect("arena slot without a compact store");
+                match Arc::try_unwrap(cell) {
+                    Ok(cell) => cell
+                        .into_inner()
+                        .unwrap_or_else(|| store.arena.materialize(idx as usize)),
+                    Err(shared) => shared
+                        .get()
+                        .cloned()
+                        .unwrap_or_else(|| store.arena.materialize(idx as usize)),
+                }
+            }
+        }
     }
 
     /// Builds a query graph against this database's vocabulary *without*
@@ -153,49 +291,94 @@ impl GraphDatabase {
 
     /// Number of graphs.
     pub fn len(&self) -> usize {
-        self.graphs.len()
+        self.slots.len()
     }
 
     /// True when the database holds no graphs.
     pub fn is_empty(&self) -> bool {
-        self.graphs.is_empty()
+        self.slots.is_empty()
     }
 
     /// The graph behind an id.
     ///
+    /// For arena slots this materializes the pointer-rich form on first
+    /// access (at most once; clones share the cell). Summary-only
+    /// consumers should prefer [`GraphDatabase::stats`], which never
+    /// materializes.
+    ///
     /// # Panics
     /// Panics for ids not created by this database.
     pub fn get(&self, id: GraphId) -> &Graph {
-        &self.graphs[id.0]
+        match &self.slots[id.0] {
+            Slot::Owned(g) => g,
+            Slot::Arena { idx, cell } => cell.get_or_init(|| {
+                self.compact
+                    .as_ref()
+                    .expect("arena slot without a compact store")
+                    .arena
+                    .materialize(*idx as usize)
+            }),
+        }
     }
 
     /// The cached [`GraphStats`] summary of a stored graph, computed on
     /// first access and reused by every later scan (and by clones of this
     /// database).
     ///
+    /// Arena-backed graphs never compute anything here: the summary is
+    /// decoded from the column-oriented [`StatsColumns`] the compact
+    /// store persisted, which is what makes cold start near-instant.
+    ///
     /// # Panics
     /// Panics for ids not created by this database.
     pub fn stats(&self, id: GraphId) -> &GraphStats {
-        self.stats[id.0].get_or_init(|| GraphStats::compute(&self.graphs[id.0]))
+        self.stats[id.0].get_or_init(|| match &self.slots[id.0] {
+            Slot::Owned(g) => GraphStats::compute(g),
+            Slot::Arena { idx, .. } => self
+                .compact
+                .as_ref()
+                .expect("arena slot without a compact store")
+                .columns
+                .decode(*idx as usize),
+        })
     }
 
     /// Eagerly fills every stats cache cell — useful at load time in
     /// long-lived processes (e.g. `gss-server`) so the first query does not
-    /// pay the whole database's summary cost.
+    /// pay the whole database's summary cost. For arena-backed databases
+    /// this is a pure column decode (no WL refinement, no connectivity
+    /// traversal).
     pub fn precompute_stats(&self) {
-        for i in 0..self.graphs.len() {
+        for i in 0..self.slots.len() {
             let _ = self.stats(GraphId(i));
         }
     }
 
-    /// Iterates `(id, graph)` pairs in insertion order.
+    /// Iterates `(id, graph)` pairs in insertion order, materializing
+    /// arena slots on the way.
     pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> + '_ {
-        self.graphs.iter().enumerate().map(|(i, g)| (GraphId(i), g))
+        (0..self.slots.len()).map(|i| (GraphId(i), self.get(GraphId(i))))
     }
 
-    /// All graphs as a slice (paper order).
-    pub fn graphs(&self) -> &[Graph] {
-        &self.graphs
+    /// The display name of a stored graph, without materializing arena
+    /// slots (one interned-pool lookup).
+    ///
+    /// # Panics
+    /// Panics for ids not created by this database.
+    pub fn name_of(&self, id: GraphId) -> &str {
+        match &self.slots[id.0] {
+            Slot::Owned(g) => g.name(),
+            Slot::Arena { idx, cell } => match cell.get() {
+                Some(g) => g.name(),
+                None => self
+                    .compact
+                    .as_ref()
+                    .expect("arena slot without a compact store")
+                    .arena
+                    .graph(*idx as usize)
+                    .name(),
+            },
+        }
     }
 
     /// The shared vocabulary.
@@ -224,12 +407,12 @@ impl GraphDatabase {
         self.epoch = epoch;
     }
 
-    /// Finds a graph id by name (first match).
+    /// Finds a graph id by name (first match). Does not materialize
+    /// arena slots.
     pub fn find_by_name(&self, name: &str) -> Option<GraphId> {
-        self.graphs
-            .iter()
-            .position(|g| g.name() == name)
+        (0..self.slots.len())
             .map(GraphId)
+            .find(|&id| self.name_of(id) == name)
     }
 
     /// Groups the database into isomorphism classes: each inner vector holds
@@ -241,9 +424,12 @@ impl GraphDatabase {
     pub fn isomorphism_classes(&self) -> Vec<Vec<GraphId>> {
         use std::collections::HashMap;
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, g) in self.graphs.iter().enumerate() {
+        for i in 0..self.slots.len() {
+            // The cached summary's WL fingerprint uses the same round
+            // count as the direct call did, and decodes for free on
+            // arena-backed graphs.
             buckets
-                .entry(gss_graph::wl::wl_fingerprint(g, 2))
+                .entry(self.stats(GraphId(i)).wl_fingerprint)
                 .or_default()
                 .push(i);
         }
@@ -259,10 +445,7 @@ impl GraphDatabase {
             'member: for &i in members {
                 for class in &mut local {
                     let representative = class[0];
-                    if gss_iso::are_isomorphic(
-                        &self.graphs[representative.index()],
-                        &self.graphs[i],
-                    ) {
+                    if gss_iso::are_isomorphic(self.get(representative), self.get(GraphId(i))) {
                         class.push(GraphId(i));
                         continue 'member;
                     }
@@ -305,22 +488,307 @@ impl GraphDatabase {
             h.write_u64(name.len() as u64);
             h.write(name.as_bytes());
         };
-        h.write_u64(self.graphs.len() as u64);
-        for g in &self.graphs {
-            h.write_u64(g.order() as u64);
-            h.write_u64(g.size() as u64);
-            for v in g.vertices() {
-                label(&mut h, g.vertex_label(v));
-            }
-            for e in g.edges() {
-                let edge = g.edge(e);
-                h.write_u64(edge.u.index() as u64);
-                h.write_u64(edge.v.index() as u64);
-                label(&mut h, edge.label);
+        h.write_u64(self.slots.len() as u64);
+        // Both representations hash the identical byte stream — arena
+        // labels are vocabulary ids by construction, so the same strings
+        // come out either way. This keeps the fingerprint stable across
+        // `compact()`, save/load, and graph-granular copy-on-write.
+        for slot in &self.slots {
+            match slot {
+                Slot::Owned(g) => {
+                    h.write_u64(g.order() as u64);
+                    h.write_u64(g.size() as u64);
+                    for v in g.vertices() {
+                        label(&mut h, g.vertex_label(v));
+                    }
+                    for e in g.edges() {
+                        let edge = g.edge(e);
+                        h.write_u64(edge.u.index() as u64);
+                        h.write_u64(edge.v.index() as u64);
+                        label(&mut h, edge.label);
+                    }
+                }
+                Slot::Arena { idx, .. } => {
+                    let r = self
+                        .compact
+                        .as_ref()
+                        .expect("arena slot without a compact store")
+                        .arena
+                        .graph(*idx as usize);
+                    h.write_u64(r.order() as u64);
+                    h.write_u64(r.size() as u64);
+                    for v in r.vertices() {
+                        label(&mut h, r.vertex_label(v));
+                    }
+                    for e in r.edges() {
+                        let (u, v) = r.edge_endpoints(e);
+                        h.write_u64(u.index() as u64);
+                        h.write_u64(v.index() as u64);
+                        label(&mut h, r.edge_label(e));
+                    }
+                }
             }
         }
         h.finish()
     }
+
+    /// True when every stored graph lives in the compact arena (no owned
+    /// slots) — the state [`GraphDatabase::compact`] and
+    /// [`GraphDatabase::load_bytes`] produce.
+    pub fn is_compact(&self) -> bool {
+        self.slots.iter().all(|s| matches!(s, Slot::Arena { .. }))
+    }
+
+    /// Converts the current content into the compact arena representation:
+    /// one shared [`GraphArena`] (CSR flat arrays + interned pool) plus
+    /// column-oriented [`StatsColumns`].
+    ///
+    /// Content, ids, epoch and [`GraphDatabase::fingerprint`] are all
+    /// unchanged; already-computed summaries are reused (anything missing
+    /// is computed here, so the columns are always complete). Later
+    /// mutations copy-on-write out of the arena at graph granularity.
+    pub fn compact(&mut self) {
+        // Complete the summary cache first — the columns persist every
+        // graph's stats so a later load never recomputes them.
+        self.precompute_stats();
+        let arena = {
+            let graphs: Vec<&Graph> = (0..self.slots.len())
+                .map(|i| self.get(GraphId(i)))
+                .collect();
+            GraphArena::from_graphs(graphs, &self.vocab)
+        };
+        let columns =
+            StatsColumns::from_stats((0..self.slots.len()).map(|i| self.stats(GraphId(i))));
+        self.compact = Some(Arc::new(CompactStore { arena, columns }));
+        self.slots = (0..self.stats.len())
+            .map(|i| Slot::Arena {
+                idx: i as u32,
+                cell: Arc::default(),
+            })
+            .collect();
+    }
+
+    /// Memory accounting of the current representation (see
+    /// [`MemoryStats`]). The pointer-rich baseline is an estimate of the
+    /// same content in owned [`Graph`] form, derived from each graph's
+    /// shape — allocator slack excluded on both sides.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut m = MemoryStats {
+            graphs: self.slots.len(),
+            arena_graphs: 0,
+            materialized: 0,
+            arena_bytes: 0,
+            stats_columns_bytes: 0,
+            pool_entries: 0,
+            pool_bytes: 0,
+            pointer_rich_bytes: 0,
+        };
+        if let Some(store) = &self.compact {
+            m.arena_bytes = store.arena.heap_bytes();
+            m.stats_columns_bytes = store.columns.heap_bytes();
+            m.pool_entries = store.arena.pool().len();
+            m.pool_bytes = store.arena.pool().heap_bytes();
+        }
+        for slot in &self.slots {
+            let (order, size, name_len) = match slot {
+                Slot::Owned(g) => (g.order(), g.size(), g.name().len()),
+                Slot::Arena { idx, cell } => {
+                    m.arena_graphs += 1;
+                    if cell.get().is_some() {
+                        m.materialized += 1;
+                    }
+                    let r = self
+                        .compact
+                        .as_ref()
+                        .expect("arena slot without a compact store")
+                        .arena
+                        .graph(*idx as usize);
+                    (r.order(), r.size(), r.name().len())
+                }
+            };
+            m.pointer_rich_bytes += gss_graph::arena::pointer_rich_estimate(order, size, name_len);
+        }
+        m
+    }
+
+    /// Serializes the database into the zero-parse binary format (magic
+    /// `GSSGRDB\0`): the [`codec`] FNV-checksummed frame around
+    /// alignment-padded sections whose payloads are the arena's
+    /// in-memory columns. Databases not yet compact are compacted into a
+    /// temporary store first (`&self` stays untouched).
+    pub fn save_bytes(&self) -> Vec<u8> {
+        if self.fully_compact() {
+            let store = self.compact.as_ref().expect("fully_compact checked");
+            encode_store(self.epoch, store)
+        } else {
+            let mut tmp = self.clone();
+            tmp.compact();
+            let store = tmp.compact.as_ref().expect("just compacted");
+            encode_store(self.epoch, store)
+        }
+    }
+
+    /// True when the slots are exactly rows `0..n` of the arena, in order
+    /// — the state where the arena alone describes the whole content.
+    fn fully_compact(&self) -> bool {
+        match &self.compact {
+            None => false,
+            Some(store) => {
+                store.arena.len() == self.slots.len()
+                    && self
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .all(|(i, s)| matches!(s, Slot::Arena { idx, .. } if *idx as usize == i))
+            }
+        }
+    }
+
+    /// Loads a database serialized by [`GraphDatabase::save_bytes`].
+    ///
+    /// The FNV frame is validated first (any single corrupted byte is
+    /// rejected), then the section payloads are adopted into aligned
+    /// column buffers and structurally validated — no per-graph parsing,
+    /// no label re-interning, no summary recomputation. Every graph
+    /// arrives as a lazy arena slot; the vocabulary is rebuilt from the
+    /// pool prefix with identical label ids.
+    pub fn load_bytes(data: &[u8]) -> Result<Self, codec::CodecError> {
+        let (epoch, store) = decode_store(data)?;
+        let vocab = store.arena.rebuild_vocab();
+        let n = store.arena.len();
+        Ok(GraphDatabase {
+            vocab,
+            slots: (0..n)
+                .map(|i| Slot::Arena {
+                    idx: i as u32,
+                    cell: Arc::default(),
+                })
+                .collect(),
+            compact: Some(Arc::new(store)),
+            epoch,
+            stats: (0..n).map(|_| Arc::default()).collect(),
+        })
+    }
+
+    /// True when `data` begins with the binary database magic — the
+    /// front-end's format sniff (binary vs `t/v/e` text).
+    pub fn is_binary(data: &[u8]) -> bool {
+        data.get(..8) == Some(&DB_MAGIC[..])
+    }
+
+    /// Writes [`GraphDatabase::save_bytes`] to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save_bytes())
+    }
+
+    /// Reads a file written by [`GraphDatabase::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::load_bytes(&data).map_err(std::io::Error::other)
+    }
+}
+
+/// 8-byte magic of the binary database format.
+const DB_MAGIC: &[u8; 8] = b"GSSGRDB\0";
+/// Current format version. Bump rules: add sections only at the end and
+/// gate them on the version read from the header; never reorder or
+/// re-type existing sections — old readers must keep rejecting newer
+/// files via `UnsupportedVersion`, and this reader must keep accepting
+/// every older version it ever shipped.
+const DB_VERSION: u32 = 1;
+
+/// Encodes a compact store (+ epoch) into the section format. Layout
+/// after the 12-byte frame header: `epoch: u64`, `label_count: u32`,
+/// then one aligned section per column in fixed order — pool (bytes,
+/// offsets), arena (names, vertex_off, edge_off, vertex_labels, edge_u,
+/// edge_v, edge_labels), stats (orders, sizes, wl_fingerprints,
+/// connected, degree/vlabel/elabel/eclass CSR families) — and the
+/// trailing FNV-1a checksum.
+fn encode_store(epoch: u64, store: &CompactStore) -> Vec<u8> {
+    let mut w = codec::Writer::new(DB_MAGIC, DB_VERSION);
+    w.u64(epoch);
+    w.u32(store.arena.label_count());
+    let (pool_bytes, pool_offsets) = store.arena.pool().raw();
+    w.section(pool_bytes);
+    w.section_u32(pool_offsets);
+    let (names, voff, eoff, vlabels, eu, ev, elabels) = store.arena.raw();
+    for col in [names, voff, eoff, vlabels, eu, ev, elabels] {
+        w.section_u32(col);
+    }
+    let (fixed, deg, vl, el, ec) = store.columns.raw();
+    w.section_u32(fixed.0);
+    w.section_u32(fixed.1);
+    w.section_u64(fixed.2);
+    w.section(fixed.3);
+    for col in [
+        deg.0, deg.1, vl.0, vl.1, vl.2, el.0, el.1, el.2, ec.0, ec.1, ec.2, ec.3, ec.4,
+    ] {
+        w.section_u32(col);
+    }
+    w.finish()
+}
+
+/// Decodes the section format back into a compact store (+ epoch),
+/// validating frame, structure and cross-column alignment.
+fn decode_store(data: &[u8]) -> Result<(u64, CompactStore), codec::CodecError> {
+    let invalid = |e: ArenaError| codec::CodecError::Invalid(e.0);
+    let (mut r, _version) = codec::Reader::new(data, DB_MAGIC, DB_VERSION)?;
+    let epoch = r.u64()?;
+    let label_count = r.u32()?;
+    let pool_bytes = r.section()?.to_vec();
+    let pool_offsets = r.section_u32()?;
+    let pool = LabelPool::from_raw(pool_bytes, pool_offsets).map_err(invalid)?;
+    let names = r.section_u32()?;
+    let voff = r.section_u32()?;
+    let eoff = r.section_u32()?;
+    let vlabels = r.section_u32()?;
+    let eu = r.section_u32()?;
+    let ev = r.section_u32()?;
+    let elabels = r.section_u32()?;
+    let arena = GraphArena::from_raw(
+        pool,
+        label_count,
+        names,
+        voff,
+        eoff,
+        vlabels,
+        eu,
+        ev,
+        elabels,
+    )
+    .map_err(invalid)?;
+    let orders = r.section_u32()?;
+    let sizes = r.section_u32()?;
+    let wl = r.section_u64()?;
+    let connected = r.section()?.to_vec();
+    let deg_off = r.section_u32()?;
+    let deg_vals = r.section_u32()?;
+    let vl_off = r.section_u32()?;
+    let vl_keys = r.section_u32()?;
+    let vl_counts = r.section_u32()?;
+    let el_off = r.section_u32()?;
+    let el_keys = r.section_u32()?;
+    let el_counts = r.section_u32()?;
+    let ec_off = r.section_u32()?;
+    let ec_lo = r.section_u32()?;
+    let ec_hi = r.section_u32()?;
+    let ec_label = r.section_u32()?;
+    let ec_counts = r.section_u32()?;
+    r.finish()?;
+    let columns = StatsColumns::from_raw(
+        (orders, sizes, wl, connected),
+        (deg_off, deg_vals),
+        (vl_off, vl_keys, vl_counts),
+        (el_off, el_keys, el_counts),
+        (ec_off, ec_lo, ec_hi, ec_label, ec_counts),
+    )
+    .map_err(invalid)?;
+    if columns.len() != arena.len() {
+        return Err(codec::CodecError::Invalid(
+            "stats columns do not align with the arena".into(),
+        ));
+    }
+    Ok((epoch, CompactStore { arena, columns }))
 }
 
 pub mod codec {
@@ -458,6 +926,43 @@ pub mod codec {
             self.bytes(v.as_bytes());
         }
 
+        /// Pads with zero bytes to the next 8-byte frame offset.
+        pub fn align8(&mut self) {
+            while !self.buf.len().is_multiple_of(8) {
+                self.buf.push(0);
+            }
+        }
+
+        /// Appends an **aligned section**: a `u64` byte length, zero
+        /// padding up to the next 8-byte frame offset, then the payload
+        /// verbatim. Because payloads always start 8-byte aligned, a
+        /// little-endian array written here can be adopted (or mmapped)
+        /// in place by the reader — the on-disk layout *is* the
+        /// in-memory layout.
+        pub fn section(&mut self, payload: &[u8]) {
+            self.usize(payload.len());
+            self.align8();
+            self.buf.extend_from_slice(payload);
+        }
+
+        /// Appends a `u32` column as an aligned section (little-endian).
+        pub fn section_u32(&mut self, vals: &[u32]) {
+            self.usize(vals.len() * 4);
+            self.align8();
+            for &v in vals {
+                self.buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
+        /// Appends a `u64` column as an aligned section (little-endian).
+        pub fn section_u64(&mut self, vals: &[u64]) {
+            self.usize(vals.len() * 8);
+            self.align8();
+            for &v in vals {
+                self.buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+
         /// Finishes the frame: appends the checksum of everything written
         /// (magic and version included) and returns the bytes.
         pub fn finish(self) -> Vec<u8> {
@@ -562,6 +1067,50 @@ pub mod codec {
         pub fn str(&mut self) -> Result<&'a str, CodecError> {
             std::str::from_utf8(self.bytes()?)
                 .map_err(|_| CodecError::Invalid("string field is not valid UTF-8".into()))
+        }
+
+        /// Skips the padding [`Writer::align8`] wrote.
+        pub fn align8(&mut self) -> Result<(), CodecError> {
+            let pad = (8 - self.pos % 8) % 8;
+            self.take(pad).map(|_| ())
+        }
+
+        /// Reads an aligned section written by [`Writer::section`],
+        /// borrowing the payload in place (zero-copy).
+        pub fn section(&mut self) -> Result<&'a [u8], CodecError> {
+            let len = self.usize()?;
+            self.align8()?;
+            self.take(len)
+        }
+
+        /// Reads an aligned `u32` column section into an (aligned)
+        /// buffer — a bulk little-endian adopt, not a parse.
+        pub fn section_u32(&mut self) -> Result<Vec<u32>, CodecError> {
+            let raw = self.section()?;
+            if raw.len() % 4 != 0 {
+                return Err(CodecError::Invalid(
+                    "u32 section length not a multiple of 4".into(),
+                ));
+            }
+            Ok(raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4")))
+                .collect())
+        }
+
+        /// Reads an aligned `u64` column section into an (aligned)
+        /// buffer — a bulk little-endian adopt, not a parse.
+        pub fn section_u64(&mut self) -> Result<Vec<u64>, CodecError> {
+            let raw = self.section()?;
+            if raw.len() % 8 != 0 {
+                return Err(CodecError::Invalid(
+                    "u64 section length not a multiple of 8".into(),
+                ));
+            }
+            Ok(raw
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8")))
+                .collect())
         }
 
         /// Asserts the payload was consumed exactly.
@@ -866,5 +1415,177 @@ mod tests {
         let lg = db.get(GraphId(0)).vertex_label(gss_graph::VertexId::new(0));
         let lq = q.vertex_label(gss_graph::VertexId::new(0));
         assert_eq!(lg, lq);
+    }
+
+    fn sample_db() -> GraphDatabase {
+        let mut db = GraphDatabase::new();
+        db.add("triangle", |b| {
+            b.vertices(&["a", "b", "c"], "C")
+                .cycle(&["a", "b", "c"], "-")
+        })
+        .unwrap();
+        db.add("path", |b| {
+            b.vertex("p", "N")
+                .vertex("q", "C")
+                .vertex("r", "O")
+                .path(&["p", "q", "r"], "=")
+        })
+        .unwrap();
+        db.add("lone", |b| b.vertex("x", "S")).unwrap();
+        db.set_epoch(11);
+        db
+    }
+
+    #[test]
+    fn compact_preserves_fingerprint_content_and_stats() {
+        let oracle = sample_db();
+        let mut db = sample_db();
+        assert!(!db.is_compact());
+        db.compact();
+        assert!(db.is_compact());
+
+        // Byte-identical contract: fingerprint, text form, per-graph stats
+        // and structure all match the pointer-rich oracle.
+        assert_eq!(db.fingerprint(), oracle.fingerprint());
+        assert_eq!(db.to_text(), oracle.to_text());
+        for (id, g) in oracle.iter() {
+            assert_eq!(db.name_of(id), g.name());
+            assert_eq!(db.stats(id), oracle.stats(id));
+            let m = db.get(id);
+            assert_eq!(m.order(), g.order());
+            assert_eq!(m.size(), g.size());
+            for v in g.vertices() {
+                let pairs_a: Vec<_> = g.neighbors(v).collect();
+                let pairs_b: Vec<_> = m.neighbors(v).collect();
+                assert_eq!(pairs_a, pairs_b, "adjacency order must survive");
+            }
+        }
+        assert_eq!(
+            db.isomorphism_classes(),
+            oracle.isomorphism_classes(),
+            "cached WL fingerprints must group identically"
+        );
+    }
+
+    #[test]
+    fn compact_mutations_copy_on_write() {
+        let mut db = sample_db();
+        db.compact();
+        let clone = db.clone();
+
+        // Replacing one graph de-compacts only the touched slot; the other
+        // slots still read from the shared arena and the clone is untouched.
+        let replacement = db
+            .build_query("path2", |b| {
+                b.vertices(&["u", "v"], "C").edge("u", "v", "-")
+            })
+            .unwrap();
+        let old = db.replace(GraphId(1), replacement);
+        assert_eq!(old.name(), "path");
+        assert_eq!(db.get(GraphId(1)).name(), "path2");
+        assert_eq!(db.name_of(GraphId(0)), "triangle");
+        assert_eq!(clone.get(GraphId(1)).name(), "path");
+        assert_eq!(clone.len(), 3);
+
+        // Pushing appends an owned slot alongside the arena-backed ones.
+        let extra = db.build_query("extra", |b| b.vertex("z", "C")).unwrap();
+        db.push(extra);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.name_of(GraphId(3)), "extra");
+    }
+
+    #[test]
+    fn save_load_round_trip_is_byte_stable() {
+        let db = sample_db();
+        let bytes = db.save_bytes();
+        assert!(GraphDatabase::is_binary(&bytes));
+        assert!(!GraphDatabase::is_binary(b"t graph\nv 0 C\n"));
+
+        let loaded = GraphDatabase::load_bytes(&bytes).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.epoch(), db.epoch());
+        assert!(loaded.is_compact(), "load adopts the arena directly");
+        assert_eq!(loaded.fingerprint(), db.fingerprint());
+        assert_eq!(loaded.to_text(), db.to_text());
+        for (id, _) in db.iter() {
+            assert_eq!(loaded.stats(id), db.stats(id), "stats come from columns");
+        }
+
+        // Saving an already-compact database is deterministic.
+        let mut compacted = sample_db();
+        compacted.compact();
+        assert_eq!(compacted.save_bytes(), bytes);
+        let again = GraphDatabase::load_bytes(&compacted.save_bytes()).unwrap();
+        assert_eq!(again.save_bytes(), bytes);
+    }
+
+    #[test]
+    fn load_rejects_any_single_byte_flip() {
+        let bytes = sample_db().save_bytes();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                GraphDatabase::load_bytes(&corrupt).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+        assert!(GraphDatabase::load_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(GraphDatabase::load_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join(format!("gss-dbio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke.gdb");
+        db.save(&path).unwrap();
+        let loaded = GraphDatabase::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint(), db.fingerprint());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_stats_report_compaction_win() {
+        let mut db = GraphDatabase::new();
+        for i in 0..32 {
+            db.add(&format!("g{i}"), |b| {
+                b.vertices(&["a", "b", "c", "d"], "C")
+                    .cycle(&["a", "b", "c", "d"], "-")
+                    .edge("a", "c", "=")
+            })
+            .unwrap();
+        }
+        let before = db.memory_stats();
+        assert_eq!(before.graphs, 32);
+        assert_eq!(before.arena_graphs, 0);
+        assert!(before.pointer_rich_bytes > 0);
+
+        db.compact();
+        let after = db.memory_stats();
+        assert_eq!(after.arena_graphs, 32);
+        assert_eq!(after.materialized, 0, "compact() drops materialized copies");
+        assert!(after.pool_entries > 0);
+        assert!(
+            (after.arena_bytes as f64) <= 0.6 * after.pointer_rich_bytes as f64,
+            "arena {} vs pointer-rich {} misses the 60% gate",
+            after.arena_bytes,
+            after.pointer_rich_bytes
+        );
+
+        // Touching a graph materializes exactly that slot.
+        let _ = db.get(GraphId(3));
+        assert_eq!(db.memory_stats().materialized, 1);
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let db = GraphDatabase::new();
+        let bytes = db.save_bytes();
+        let loaded = GraphDatabase::load_bytes(&bytes).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.fingerprint(), db.fingerprint());
+        assert_eq!(loaded.memory_stats().graphs, 0);
     }
 }

@@ -500,8 +500,10 @@ fn summarize_all(
 ) -> Vec<Option<PrefilterSummary>> {
     parallel_map_indexed(db.len(), options.threads, |i| {
         let id = GraphId(i);
-        Some(prefilter::summarize_with_stats(
-            db.get(id),
+        // The graph thunk keeps arena-backed candidates unmaterialized
+        // unless the WL short-circuit actually needs the full graph.
+        Some(prefilter::summarize_deferred(
+            || db.get(id),
             db.stats(id),
             query,
             &options.measures,
@@ -585,8 +587,8 @@ fn run_partitions(
         let batch: Vec<PrefilterSummary> =
             parallel_map_indexed(members.len(), v.options.threads, |k| {
                 let id = GraphId(members[k]);
-                prefilter::summarize_with_stats(
-                    v.db.get(id),
+                prefilter::summarize_deferred(
+                    || v.db.get(id),
                     v.db.stats(id),
                     v.query,
                     &v.options.measures,

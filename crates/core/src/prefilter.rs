@@ -215,6 +215,26 @@ pub fn summarize_with_stats(
     measures: &[MeasureKind],
     ctx: &PrefilterContext,
 ) -> PrefilterSummary {
+    summarize_deferred(|| g, stats, q, measures, ctx)
+}
+
+/// [`summarize_with_stats`] with the candidate graph behind a thunk.
+///
+/// Everything the summary needs comes from `stats` and `ctx` — the only
+/// consumer of the candidate *graph* is the VF2 isomorphism check behind
+/// the WL-fingerprint short-circuit, which fires for a vanishing
+/// fraction of candidates. Deferring the graph lets arena-backed
+/// databases (`GraphDatabase::get` materializes lazily) prefilter whole
+/// scans from contiguous stat columns without reconstructing a single
+/// pruned candidate. `summarize_with_stats` delegates here, so both
+/// entry points produce byte-identical summaries by construction.
+pub fn summarize_deferred<'g>(
+    graph: impl FnOnce() -> &'g Graph,
+    stats: &GraphStats,
+    q: &Graph,
+    measures: &[MeasureKind],
+    ctx: &PrefilterContext,
+) -> PrefilterSummary {
     // Distance-zero short-circuit. Connectivity is required because the MCS
     // measures use the *connected* MCS: for a disconnected graph, even the
     // graph itself has DistMcs > 0, so all-zeros would be wrong.
@@ -222,7 +242,7 @@ pub fn summarize_with_stats(
         && ctx.query_connected
         && stats.wl_fingerprint == ctx.query_fingerprint
         && stats.connected
-        && gss_iso::are_isomorphic(g, q);
+        && gss_iso::are_isomorphic(graph(), q);
 
     // Candidate-side summaries, combined with the context's query side —
     // the same quantities as `ged_lower_bound`/`mcs_edge_upper_bound`

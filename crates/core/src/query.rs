@@ -411,7 +411,7 @@ mod tests {
         let ed: Vec<f64> = r.gcs.iter().map(|g| g.values[0]).collect();
         assert_eq!(ed, expected::TABLE3_ED.to_vec());
         // Columns 1–2 derive from Table II mcs sizes.
-        for (i, g) in db.graphs().iter().enumerate() {
+        for (i, (_, g)) in db.iter().enumerate() {
             let mcs = expected::TABLE2_MCS[i] as f64;
             let dist_mcs = 1.0 - mcs / (g.size().max(q.size()) as f64);
             let dist_gu = 1.0 - mcs / ((g.size() + q.size()) as f64 - mcs);

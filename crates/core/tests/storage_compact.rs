@@ -1,0 +1,153 @@
+//! Property-based parity suite for the compact storage layer.
+//!
+//! The arena representation (`GraphDatabase::compact`) and the
+//! checksummed binary codec (`save_bytes`/`load_bytes`) carry a hard
+//! contract: **representation never changes answers**. These properties
+//! drive randomly generated databases through the pointer-rich ↔ arena ↔
+//! on-disk round trip and demand
+//!
+//! * identical database fingerprints and text serializations,
+//! * byte-for-byte identical skyline / skyband / witness output across
+//!   every plan × shard count × thread count × solver config, with the
+//!   pointer-rich database as the oracle, and
+//! * rejection of any single corrupted byte in the saved image.
+
+use gss_core::{
+    graph_similarity_skyband, graph_similarity_skyline, GedMode, GraphDatabase, McsMode, Plan,
+    QueryOptions, SolverConfig,
+};
+use gss_graph::{Graph, Rng, VertexId, Vocabulary};
+use proptest::prelude::*;
+
+const VERTEX_LABELS: [&str; 3] = ["C", "N", "O"];
+const EDGE_LABELS: [&str; 3] = ["-", "=", "#"];
+
+/// Deterministic random labeled graph over the shared vocabulary.
+fn random_graph(rng: &mut Rng, vocab: &mut Vocabulary, name: &str, max_vertices: usize) -> Graph {
+    let n = 2 + rng.gen_index(max_vertices - 1);
+    let mut g = Graph::new(name);
+    for _ in 0..n {
+        g.add_vertex(vocab.intern(VERTEX_LABELS[rng.gen_index(VERTEX_LABELS.len())]));
+    }
+    // A spanning path keeps most graphs connected, then a few extras.
+    for i in 1..n {
+        let label = vocab.intern(EDGE_LABELS[rng.gen_index(EDGE_LABELS.len())]);
+        g.add_edge(VertexId::new(i - 1), VertexId::new(i), label)
+            .unwrap();
+    }
+    for _ in 0..rng.gen_index(n) {
+        let u = VertexId::new(rng.gen_index(n));
+        let v = VertexId::new(rng.gen_index(n));
+        if u != v && !g.has_edge(u, v) {
+            let label = vocab.intern(EDGE_LABELS[rng.gen_index(EDGE_LABELS.len())]);
+            g.add_edge(u, v, label).unwrap();
+        }
+    }
+    g
+}
+
+/// Deterministic random database plus a query graph over its vocabulary.
+fn random_db(seed: u64, graphs: usize, max_vertices: usize) -> (GraphDatabase, Graph) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut vocab = Vocabulary::new();
+    let query = random_graph(&mut rng, &mut vocab, "query", max_vertices);
+    let members = (0..graphs)
+        .map(|i| random_graph(&mut rng, &mut vocab, &format!("g{i}"), max_vertices))
+        .collect();
+    (GraphDatabase::from_parts(vocab, members), query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// compact → save → load preserves the representation-independent
+    /// database fingerprint, the text serialization, and re-saves to the
+    /// identical byte stream (the zero-parse load adopts, not rebuilds).
+    #[test]
+    fn round_trip_is_fingerprint_and_byte_stable(seed in any::<u64>(), graphs in 1usize..10) {
+        let (db, _) = random_db(seed, graphs, 7);
+        let mut packed = db.clone();
+        packed.compact();
+        prop_assert_eq!(packed.fingerprint(), db.fingerprint());
+
+        let bytes = packed.save_bytes();
+        prop_assert!(GraphDatabase::is_binary(&bytes));
+        let loaded = GraphDatabase::load_bytes(&bytes).expect("saved image loads");
+        prop_assert!(loaded.is_compact(), "load must adopt the arena, not re-parse");
+        prop_assert_eq!(loaded.fingerprint(), db.fingerprint());
+        prop_assert_eq!(loaded.to_text(), db.to_text());
+        prop_assert_eq!(loaded.save_bytes(), bytes, "re-save must be deterministic");
+    }
+
+    /// The arena-backed database answers every plan × shard × thread ×
+    /// solver combination with output byte-identical (`Debug` formatting,
+    /// witnesses included) to the pointer-rich oracle.
+    #[test]
+    fn answers_are_byte_identical_across_representations(
+        seed in any::<u64>(),
+        graphs in 2usize..8,
+        shards in 1usize..4,
+    ) {
+        let (db, query) = random_db(seed, graphs, 6);
+        let mut packed = db.clone();
+        packed.compact();
+        let loaded = GraphDatabase::load_bytes(&packed.save_bytes()).expect("round trip");
+
+        for plan in [Plan::Naive, Plan::Prefilter, Plan::Sharded, Plan::Auto] {
+            for threads in [1usize, 2] {
+                for approx in [false, true] {
+                    let opts = QueryOptions {
+                        plan,
+                        threads,
+                        shards,
+                        solvers: if approx {
+                            SolverConfig { ged: GedMode::Bipartite, mcs: McsMode::Greedy }
+                        } else {
+                            SolverConfig::default()
+                        },
+                        ..QueryOptions::default()
+                    };
+                    let oracle = graph_similarity_skyline(&db, &query, &opts);
+                    let arena = graph_similarity_skyline(&loaded, &query, &opts);
+                    prop_assert_eq!(
+                        format!("{oracle:?}"),
+                        format!("{arena:?}"),
+                        "skyline diverged: {:?} threads={} shards={} approx={}",
+                        plan, threads, shards, approx
+                    );
+                    let oracle_band = graph_similarity_skyband(&db, &query, 2, &opts);
+                    let arena_band = graph_similarity_skyband(&loaded, &query, 2, &opts);
+                    prop_assert_eq!(
+                        format!("{oracle_band:?}"),
+                        format!("{arena_band:?}"),
+                        "skyband diverged: {:?} threads={} shards={} approx={}",
+                        plan, threads, shards, approx
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any single corrupted byte anywhere in the saved image — header,
+    /// section payload, or alignment padding — fails the load.
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        seed in any::<u64>(),
+        graphs in 1usize..6,
+        pos in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let (db, _) = random_db(seed, graphs, 6);
+        let mut packed = db.clone();
+        packed.compact();
+        let bytes = packed.save_bytes();
+        let mut corrupt = bytes.clone();
+        let at = (pos % corrupt.len() as u64) as usize;
+        corrupt[at] ^= 1 << bit;
+        prop_assert!(
+            GraphDatabase::load_bytes(&corrupt).is_err(),
+            "flipping bit {} of byte {} (of {}) must be rejected",
+            bit, at, bytes.len()
+        );
+    }
+}

@@ -20,8 +20,38 @@ use crate::graph::{Graph, VertexId};
 use crate::label::Vocabulary;
 
 /// Parses a multi-graph database from the `t/v/e` text format.
+///
+/// A cheap counting pre-pass sizes every graph up front
+/// ([`Graph::with_capacity`], which also pre-sizes adjacency rows), so a
+/// corpus load performs no mid-graph reallocation.
 pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>, GraphError> {
-    let mut graphs: Vec<Graph> = Vec::new();
+    // Pre-pass: count vertices/edges per `t` block so each graph is built
+    // at its final capacity. Malformed lines are left to the main pass,
+    // which owns error reporting.
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for raw in input.lines() {
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        match text.split_whitespace().next() {
+            Some("t") => counts.push((0, 0)),
+            Some("v") => {
+                if let Some(c) = counts.last_mut() {
+                    c.0 += 1;
+                }
+            }
+            Some("e") => {
+                if let Some(c) = counts.last_mut() {
+                    c.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut counts = counts.into_iter();
+
+    let mut graphs: Vec<Graph> = Vec::with_capacity(counts.len());
     let mut current: Option<Graph> = None;
 
     for (lineno, raw) in input.lines().enumerate() {
@@ -44,7 +74,8 @@ pub fn parse_database(input: &str, vocab: &mut Vocabulary) -> Result<Vec<Graph>,
                         message: "t line takes exactly one name token".into(),
                     });
                 }
-                current = Some(Graph::new(name));
+                let (order, size) = counts.next().unwrap_or((0, 0));
+                current = Some(Graph::with_capacity(name, order, size));
             }
             "v" => {
                 let g = current.as_mut().ok_or_else(|| GraphError::Parse {
@@ -113,9 +144,14 @@ fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<usize, Grap
 
 /// Serializes a database into the `t/v/e` text format.
 ///
+/// Accepts any iterator of graphs (a `&[Graph]` slice, a `&Vec<Graph>`, or
+/// a lazily materializing database view).
 /// `parse_database(&write_database(gs, vocab), &mut fresh_vocab)` round-trips
 /// structurally (names, labels, edges).
-pub fn write_database(graphs: &[Graph], vocab: &Vocabulary) -> String {
+pub fn write_database<'a>(
+    graphs: impl IntoIterator<Item = &'a Graph>,
+    vocab: &Vocabulary,
+) -> String {
     let mut out = String::new();
     for g in graphs {
         let _ = writeln!(out, "t {}", g.name());

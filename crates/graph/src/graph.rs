@@ -106,6 +106,10 @@ pub struct Graph {
     edges: Vec<Edge>,
     /// `adj[v]` lists `(neighbor, edge)` pairs.
     adj: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Per-row capacity hint for new `adj` rows — the expected average
+    /// degree, derived from the `size` passed to [`Graph::with_capacity`].
+    /// 0 (the `new`/`Default` value) means "no hint, allocate lazily".
+    adj_hint: usize,
 }
 
 impl Graph {
@@ -116,17 +120,29 @@ impl Graph {
             vertices: Vec::new(),
             edges: Vec::new(),
             adj: Vec::new(),
+            adj_hint: 0,
         }
     }
 
     /// Creates an empty graph pre-allocating room for `order` vertices and
     /// `size` edges.
+    ///
+    /// Besides pre-sizing the vertex/edge/adjacency spines, the expected
+    /// average degree (`⌈2·size / order⌉`) is remembered and every
+    /// adjacency row created by [`Graph::add_vertex`] is pre-sized to it,
+    /// so bulk construction (corpus load, arena materialization) stops
+    /// reallocating per-row as edges stream in.
     pub fn with_capacity(name: impl Into<String>, order: usize, size: usize) -> Self {
         Graph {
             name: name.into(),
             vertices: Vec::with_capacity(order),
             edges: Vec::with_capacity(size),
             adj: Vec::with_capacity(order),
+            adj_hint: if order > 0 {
+                (2 * size).div_ceil(order)
+            } else {
+                0
+            },
         }
     }
 
@@ -161,7 +177,9 @@ impl Graph {
     pub fn add_vertex(&mut self, label: Label) -> VertexId {
         let id = VertexId::new(self.vertices.len());
         self.vertices.push(Vertex { label });
-        self.adj.push(Vec::new());
+        // `with_capacity(0)` does not allocate, so the no-hint path stays
+        // exactly as lazy as `Vec::new()`.
+        self.adj.push(Vec::with_capacity(self.adj_hint));
         id
     }
 

@@ -13,6 +13,10 @@
 //!
 //! Beyond the model itself the crate offers:
 //!
+//! * [`arena`] — compact interned storage: a database-wide [`LabelPool`],
+//!   CSR-style [`GraphArena`] flat arrays with borrowed [`GraphRef`]
+//!   views, and column-oriented [`StatsColumns`] — the memory layout the
+//!   zero-parse persistence format adopts byte-for-byte;
 //! * [`GraphBuilder`] — ergonomic construction from string labels;
 //! * [`algo`] — traversal, connectivity and component utilities;
 //! * [`stats`] — label histograms used by distance lower bounds, plus the
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod arena;
 pub mod bitset;
 pub mod builder;
 pub mod error;
@@ -66,6 +71,7 @@ pub mod rng;
 pub mod stats;
 pub mod wl;
 
+pub use arena::{GraphArena, GraphRef, LabelPool, StatsColumns};
 pub use bitset::{BitMatrix, Bitset};
 pub use builder::GraphBuilder;
 pub use error::GraphError;

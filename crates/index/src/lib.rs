@@ -131,12 +131,20 @@ impl Default for PivotIndexConfig {
 }
 
 /// One distance-ring partition and its precomputed pruning data.
+///
+/// The ring table is column-oriented: `ring_lo[j]`/`ring_hi[j]` hold the
+/// per-pivot `[min, max]` of members' GED brackets as two flat `f64`
+/// columns. The query-time triangle bound streams both columns in lockstep,
+/// so struct-of-arrays keeps that inner loop on contiguous memory (the
+/// on-disk format still interleaves pairs; see `serialize.rs`).
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Partition {
     /// Member graph ids, ascending.
     pub members: Vec<u32>,
-    /// Per-pivot `[min, max]` of members' exact GED to that pivot.
-    pub ged_rings: Vec<(f64, f64)>,
+    /// Per-pivot minimum of members' GED lower bounds to that pivot.
+    pub ring_lo: Vec<f64>,
+    /// Per-pivot maximum of members' GED upper bounds to that pivot.
+    pub ring_hi: Vec<f64>,
     /// Per-key maximum of members' vertex-label multisets.
     pub vertex_env: Multiset<Label>,
     /// Per-key maximum of members' edge-label multisets.
@@ -300,7 +308,8 @@ impl PivotIndex {
     ) -> Partition {
         let mut ids: Vec<u32> = members.iter().map(|&g| g as u32).collect();
         ids.sort_unstable();
-        let mut ged_rings = vec![(f64::INFINITY, f64::NEG_INFINITY); k];
+        let mut ring_lo = vec![f64::INFINITY; k];
+        let mut ring_hi = vec![f64::NEG_INFINITY; k];
         let mut vertex_env = Multiset::new();
         let mut edge_env = Multiset::new();
         let mut class_env = Multiset::new();
@@ -308,8 +317,8 @@ impl PivotIndex {
         let mut size_range = (usize::MAX, 0usize);
         for &g in members {
             for j in 0..k {
-                ged_rings[j].0 = ged_rings[j].0.min(dists_lo[g * k + j]);
-                ged_rings[j].1 = ged_rings[j].1.max(dists_hi[g * k + j]);
+                ring_lo[j] = ring_lo[j].min(dists_lo[g * k + j]);
+                ring_hi[j] = ring_hi[j].max(dists_hi[g * k + j]);
             }
             let graph = db.get(GraphId(g));
             vertex_env.max_union(&vertex_label_multiset(graph));
@@ -322,7 +331,8 @@ impl PivotIndex {
         }
         Partition {
             members: ids,
-            ged_rings,
+            ring_lo,
+            ring_hi,
             vertex_env,
             edge_env,
             class_env,
@@ -606,7 +616,8 @@ impl PivotIndex {
         if self.partitions.is_empty() {
             self.partitions.push(Partition {
                 members: vec![g as u32],
-                ged_rings: bracket.to_vec(),
+                ring_lo: bracket.iter().map(|&(lo, _)| lo).collect(),
+                ring_hi: bracket.iter().map(|&(_, hi)| hi).collect(),
                 vertex_env: vertex_label_multiset(graph),
                 edge_env: edge_label_multiset(graph),
                 class_env: edge_class_multiset(graph),
@@ -629,7 +640,7 @@ impl PivotIndex {
             if k == 0 {
                 return 0.0;
             }
-            let (ring_min, ring_max) = part.ged_rings[near];
+            let (ring_min, ring_max) = (part.ring_lo[near], part.ring_hi[near]);
             let (lo, hi) = bracket[near];
             (ring_min - lo).max(0.0) + (hi - ring_max).max(0.0)
         };
@@ -650,9 +661,9 @@ impl PivotIndex {
         if let Err(pos) = part.members.binary_search(&id) {
             part.members.insert(pos, id);
         }
-        for (ring, &(lo, hi)) in part.ged_rings.iter_mut().zip(bracket) {
-            ring.0 = ring.0.min(lo);
-            ring.1 = ring.1.max(hi);
+        for (j, &(lo, hi)) in bracket.iter().enumerate() {
+            part.ring_lo[j] = part.ring_lo[j].min(lo);
+            part.ring_hi[j] = part.ring_hi[j].max(hi);
         }
         part.vertex_env.max_union(&vertex_label_multiset(graph));
         part.edge_env.max_union(&edge_label_multiset(graph));
@@ -717,8 +728,7 @@ impl PivotIndex {
         //   ged(g, q) ≥ ged(g, p) − ged(q, p) ≥ ring_min − hi_p.
         let mut tri: f64 = 0.0;
         for (j, &(lo, hi)) in probe.ged_bracket.iter().enumerate() {
-            let (ring_min, ring_max) = part.ged_rings[j];
-            tri = tri.max(lo - ring_max).max(ring_min - hi);
+            tri = tri.max(lo - part.ring_hi[j]).max(part.ring_lo[j] - hi);
         }
         // Envelope bound on GED: every member must align the query's
         // vertex and edge label multisets, and it can match at most what

@@ -116,7 +116,10 @@ impl PivotIndex {
             for &g in &part.members {
                 w.u32(g);
             }
-            for &(lo, hi) in &part.ged_rings {
+            // On disk the ring table stays interleaved (lo, hi) pairs —
+            // the in-memory columns are zipped here so the v2 layout is
+            // unchanged by the struct-of-arrays refactor.
+            for (&lo, &hi) in part.ring_lo.iter().zip(&part.ring_hi) {
                 w.f64(lo);
                 w.f64(hi);
             }
@@ -202,9 +205,11 @@ impl PivotIndex {
                 members.push(g);
             }
             covered += members.len();
-            let mut ged_rings = Vec::with_capacity(k);
+            let mut ring_lo = Vec::with_capacity(k);
+            let mut ring_hi = Vec::with_capacity(k);
             for _ in 0..k {
-                ged_rings.push((r.f64()?, r.f64()?));
+                ring_lo.push(r.f64()?);
+                ring_hi.push(r.f64()?);
             }
             let vertex_env = read_label_multiset(&mut r)?;
             let edge_env = read_label_multiset(&mut r)?;
@@ -218,7 +223,8 @@ impl PivotIndex {
             let size_range = (r.usize()?, r.usize()?);
             partitions.push(Partition {
                 members,
-                ged_rings,
+                ring_lo,
+                ring_hi,
                 vertex_env,
                 edge_env,
                 class_env,
@@ -324,7 +330,7 @@ mod tests {
             for &g in &part.members {
                 w.u32(g);
             }
-            for &(lo, hi) in &part.ged_rings {
+            for (&lo, &hi) in part.ring_lo.iter().zip(&part.ring_hi) {
                 w.f64(lo);
                 w.f64(hi);
             }

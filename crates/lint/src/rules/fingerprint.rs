@@ -74,6 +74,30 @@ const TARGETS: &[Target] = &[
         fn_name: "fingerprint",
         call: None,
     },
+    // The compact-storage self-identities (PR 10): the save/load round
+    // trip verifies these digests, so a column missing from its
+    // fingerprint lets silent arena corruption load as "equal".
+    Target {
+        struct_file: "graph/src/arena.rs",
+        struct_name: "LabelPool",
+        fn_file: "graph/src/arena.rs",
+        fn_name: "pool_fingerprint",
+        call: None,
+    },
+    Target {
+        struct_file: "graph/src/arena.rs",
+        struct_name: "GraphArena",
+        fn_file: "graph/src/arena.rs",
+        fn_name: "content_fingerprint",
+        call: None,
+    },
+    Target {
+        struct_file: "graph/src/arena.rs",
+        struct_name: "StatsColumns",
+        fn_file: "graph/src/arena.rs",
+        fn_name: "columns_fingerprint",
+        call: None,
+    },
 ];
 
 /// See the module docs.

@@ -24,6 +24,13 @@
 //!   byte-identical content. Caches keyed by the fingerprint (the
 //!   server's result cache) therefore never serve a stale epoch: old
 //!   keys simply stop being produced, and stale entries age out.
+//! * **Compact storage**: a snapshot whose database was
+//!   [`GraphDatabase::compact`]ed keeps its CSR arena (and the lazy
+//!   materialization cells) behind `Arc`s. The writer's private clone
+//!   shares them, so a mutation batch copies-on-write only the graphs it
+//!   actually touches — untouched slots keep reading the same flat
+//!   arrays across every epoch, and a graph materialized under one
+//!   snapshot stays materialized for all of them.
 //! * **Incremental index maintenance**: when the store carries a
 //!   [`PivotIndex`], each batch is absorbed through
 //!   [`PivotIndex::apply_batch`] (probe-bound brackets, tombstoned
@@ -696,6 +703,44 @@ mod tests {
         // The pinned snapshot still evaluates against the old content.
         assert_eq!(before.database().len(), 7);
         assert_eq!(before.database().epoch(), 0);
+    }
+
+    #[test]
+    fn epoch_clones_share_the_compact_arena() {
+        let data = figure3_database();
+        let mut db = GraphDatabase::from_parts(data.vocab, data.graphs);
+        db.compact();
+        let n = db.len();
+        let store = GraphStore::new(Arc::new(db), StoreConfig::default());
+        let before = store.snapshot();
+        store
+            .apply(&MutationBatch::default().insert("t extra\nv 0 C\n"))
+            .unwrap();
+        let after = store.snapshot();
+
+        // The new epoch appends an owned slot; the original graphs still
+        // read from the arena rather than being deep-copied.
+        let mem = after.database().memory_stats();
+        assert_eq!(mem.graphs, n + 1);
+        assert_eq!(mem.arena_graphs, n);
+
+        // The lazy materialization cells are shared across epochs: a graph
+        // materialized through the old snapshot (after the clone was taken)
+        // shows up as materialized in the new one too.
+        assert_eq!(after.database().memory_stats().materialized, 0);
+        let _ = before.database().get(GraphId(2));
+        assert_eq!(before.database().memory_stats().materialized, 1);
+        assert_eq!(after.database().memory_stats().materialized, 1);
+
+        // And the compact epoch answers queries byte-identically to the
+        // pointer-rich original.
+        let q = figure3_database().query;
+        let compact_r = graph_similarity_skyline(before.database(), &q, &QueryOptions::default());
+        let fresh = figure3_database();
+        let plain = GraphDatabase::from_parts(fresh.vocab, fresh.graphs);
+        let plain_r = graph_similarity_skyline(&plain, &q, &QueryOptions::default());
+        assert_eq!(compact_r.skyline, plain_r.skyline);
+        assert_eq!(compact_r.gcs, plain_r.gcs);
     }
 
     #[test]

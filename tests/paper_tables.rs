@@ -68,11 +68,11 @@ fn tables_2_and_3_reproduce_exactly() {
     let data = figure3_database();
     let db = GraphDatabase::from_parts(data.vocab, data.graphs);
     // Sizes as printed in Section VI.
-    let sizes: Vec<usize> = db.graphs().iter().map(|g| g.size()).collect();
+    let sizes: Vec<usize> = db.iter().map(|(_, g)| g.size()).collect();
     assert_eq!(sizes, expected::SIZES.to_vec());
     assert_eq!(data.query.size(), expected::QUERY_SIZE);
 
-    for (i, g) in db.graphs().iter().enumerate() {
+    for (i, (_, g)) in db.iter().enumerate() {
         assert_eq!(
             mcs_edge_size(g, &data.query),
             expected::TABLE2_MCS[i],
